@@ -1,0 +1,63 @@
+//! EX-F2 benchmark: the paper's §3 example.
+//!
+//! Times each stage of the pipeline on the Figure 2 scenario: mediation
+//! (abductive rewriting) alone, full mediated execution, the naive
+//! execution baseline, and executing the hand-written mediated query from
+//! the paper (to separate rewriting cost from execution cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coin_core::baseline::figure2_handwritten_rewrite;
+use coin_core::fixtures::figure2_system;
+
+const Q1: &str = "SELECT r1.cname, r1.revenue FROM r1, r2 \
+                  WHERE r1.cname = r2.cname AND r1.revenue > r2.expenses";
+
+fn bench_figure2(c: &mut Criterion) {
+    let sys = figure2_system();
+    let mut g = c.benchmark_group("figure2");
+
+    g.bench_function("mediate_only", |b| {
+        b.iter(|| {
+            let m = sys.mediate(black_box(Q1), "c_recv").unwrap();
+            black_box(m.query.branches().len())
+        })
+    });
+
+    g.bench_function("mediated_end_to_end", |b| {
+        b.iter(|| {
+            let a = sys.query(black_box(Q1), "c_recv").unwrap();
+            assert_eq!(a.table.rows.len(), 1);
+            black_box(a.table.rows.len())
+        })
+    });
+
+    g.bench_function("naive_execution", |b| {
+        b.iter(|| {
+            let (t, _) = sys.query_naive(black_box(Q1)).unwrap();
+            black_box(t.rows.len())
+        })
+    });
+
+    g.bench_function("handwritten_mediated_execution", |b| {
+        let sql = figure2_handwritten_rewrite();
+        b.iter(|| {
+            let (t, _) = sys.query_naive(black_box(sql)).unwrap();
+            assert_eq!(t.rows.len(), 1);
+            black_box(t.rows.len())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_figure2
+}
+criterion_main!(benches);

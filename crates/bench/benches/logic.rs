@@ -1,0 +1,100 @@
+//! EX-LOGIC: abductive-engine micro-benchmarks (\[KK93\] substrate).
+//!
+//! Unification over deep terms, fact enumeration, and the abductive case
+//! enumeration that powers mediation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use coin_logic::{Bindings, Program, Solver, Term};
+
+fn deep_term(depth: usize, var_at_leaf: bool) -> Term {
+    let mut t = if var_at_leaf { Term::var(0) } else { Term::int(1) };
+    for i in 0..depth {
+        t = Term::compound("f", vec![t, Term::int(i as i64)]);
+    }
+    t
+}
+
+fn bench_unify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("logic_unify");
+    for depth in [8usize, 64, 256] {
+        let a = deep_term(depth, true);
+        let b_term = deep_term(depth, false);
+        g.bench_with_input(BenchmarkId::new("deep_term", depth), &depth, |b, _| {
+            b.iter(|| {
+                let mut binds = Bindings::new();
+                binds.fresh(1);
+                let ok = binds.unify(black_box(&a), black_box(&b_term));
+                black_box(ok)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("logic_solve");
+    for n in [100usize, 1000] {
+        let src: String = (0..n).map(|i| format!("p({i}).\n")).collect();
+        let program = Program::from_source(&src).unwrap();
+        let solver = Solver::new(&program);
+        g.bench_with_input(BenchmarkId::new("enumerate_facts", n), &n, |b, _| {
+            b.iter(|| black_box(solver.query("p(X)").unwrap().len()))
+        });
+        g.bench_with_input(BenchmarkId::new("filtered_join", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    solver
+                        .query(&format!("p(X), X > {}", n - 5))
+                        .unwrap()
+                        .len(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_abduction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("logic_abduction");
+    for k in [2usize, 4, 8] {
+        // k independent case-splitting predicates ⇒ 2^k abductive answers.
+        let mut src = String::from(
+            ":- abducible(eqc/2, eq).\n\
+             :- abducible(neqc/2, ne).\n\
+             ic :- eqc(X, V), eqc(X, W), V \\== W.\n\
+             ic :- eqc(X, V), neqc(X, V).\n",
+        );
+        for i in 0..k {
+            src.push_str(&format!(
+                "m{i}(1000) :- eqc(col(t, a{i}), \"X\").\n\
+                 m{i}(1) :- neqc(col(t, a{i}), \"X\").\n"
+            ));
+        }
+        let goal: Vec<String> = (0..k).map(|i| format!("m{i}(S{i})")).collect();
+        let goal = goal.join(", ");
+        let program = Program::from_source(&src).unwrap();
+        let solver = Solver::new(&program);
+        let expected = 1usize << k;
+        assert_eq!(solver.query(&goal).unwrap().len(), expected);
+        g.bench_with_input(BenchmarkId::new("case_splits_2^k", k), &k, |b, _| {
+            b.iter(|| {
+                let n = solver.query(black_box(&goal)).unwrap().len();
+                assert_eq!(n, expected);
+                black_box(n)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_unify, bench_solve, bench_abduction
+}
+criterion_main!(benches);

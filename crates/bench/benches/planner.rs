@@ -1,0 +1,157 @@
+//! EX-PLAN: the multi-database access engine's optimizations.
+//!
+//! "Planning and optimizing the multi-source queries taking into account
+//! the sources capabilities as well as the execution and communication
+//! costs" (paper §2). Ablations: selection pushdown on/off, fetch/join
+//! reordering on/off, and the dependent (binding-pattern) join against a
+//! web source.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use coin_planner::{Dictionary, Planner, PlannerConfig};
+use coin_rel::{Catalog, ColumnType, Schema, Table, Value};
+use coin_wrapper::{figure2_rates_source, RelationalSource, SimWeb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Two databases: a large orders table and a small customers table, plus
+/// the exchange-rate web source for dependent-join benchmarking.
+fn dictionary(orders_rows: usize) -> Dictionary {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut orders = Table::new(
+        "orders",
+        Schema::of(&[
+            ("oid", ColumnType::Int),
+            ("cust", ColumnType::Int),
+            ("amount", ColumnType::Int),
+            ("currency", ColumnType::Str),
+        ]),
+    );
+    let currencies = ["USD", "JPY", "EUR"];
+    for i in 0..orders_rows {
+        orders
+            .push(vec![
+                Value::Int(i as i64),
+                Value::Int(rng.random_range(0..100)),
+                Value::Int(rng.random_range(1..100_000)),
+                Value::str(currencies[rng.random_range(0..currencies.len())]),
+            ])
+            .unwrap();
+    }
+    let mut customers = Table::new(
+        "customers",
+        Schema::of(&[("cid", ColumnType::Int), ("name", ColumnType::Str)]),
+    );
+    for i in 0..100 {
+        customers
+            .push(vec![Value::Int(i), Value::str(&format!("cust{i}"))])
+            .unwrap();
+    }
+    let mut dict = Dictionary::new();
+    dict.register_source(RelationalSource::new(
+        "oltp",
+        Catalog::new().with_table(orders),
+    ))
+    .unwrap();
+    dict.register_source(RelationalSource::new(
+        "crm",
+        Catalog::new().with_table(customers),
+    ))
+    .unwrap();
+    let web = SimWeb::new();
+    dict.register_source(figure2_rates_source(&web)).unwrap();
+    dict
+}
+
+fn bench_pushdown(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planner_pushdown");
+    for rows in [1_000usize, 10_000] {
+        let dict = dictionary(rows);
+        let sql = "SELECT o.oid, c.name FROM orders o, customers c \
+                   WHERE o.cust = c.cid AND o.amount > 90000";
+        for (label, config) in [
+            ("on", PlannerConfig::default()),
+            (
+                "off",
+                PlannerConfig {
+                    pushdown_select: false,
+                    pushdown_project: false,
+                    ..Default::default()
+                },
+            ),
+        ] {
+            let planner = Planner::with_config(dict.clone(), config);
+            let (_, stats) = planner.run_sql(sql).unwrap();
+            eprintln!(
+                "[planner_pushdown] rows={rows} pushdown={label}: shipped {} rows, comm {:.0}",
+                stats.rows_shipped, stats.comm_cost
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("pushdown_{label}"), rows),
+                &rows,
+                |b, _| {
+                    b.iter(|| {
+                        let (t, _) = planner.run_sql(black_box(sql)).unwrap();
+                        black_box(t.rows.len())
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_dependent_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planner_dependent_join");
+    let dict = dictionary(2_000);
+    // The rate lookup requires bound parameters: the planner must execute
+    // it as a dependent fetch per distinct currency.
+    let sql = "SELECT o.oid, r3.rate FROM orders o, r3 \
+               WHERE r3.fromCur = o.currency AND r3.toCur = 'USD' AND o.amount > 95000";
+    let planner = Planner::new(dict);
+    let (_, stats) = planner.run_sql(sql).unwrap();
+    eprintln!(
+        "[planner_dependent_join] {} remote queries, comm {:.0}",
+        stats.remote_queries, stats.comm_cost
+    );
+    g.bench_function("dependent_web_join", |b| {
+        b.iter(|| {
+            let (t, _) = planner.run_sql(black_box(sql)).unwrap();
+            black_box(t.rows.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_reorder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planner_reorder");
+    let dict = dictionary(10_000);
+    // Query lists the big table first; reordering fetches the small,
+    // heavily-filtered side first.
+    let sql = "SELECT o.oid FROM orders o, customers c \
+               WHERE o.cust = c.cid AND c.cid < 10 AND o.amount > 50000";
+    for (label, reorder) in [("on", true), ("off", false)] {
+        let planner = Planner::with_config(
+            dict.clone(),
+            PlannerConfig { reorder, ..Default::default() },
+        );
+        g.bench_function(format!("reorder_{label}"), |b| {
+            b.iter(|| {
+                let (t, _) = planner.run_sql(black_box(sql)).unwrap();
+                black_box(t.rows.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pushdown, bench_dependent_join, bench_reorder
+}
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Relational-engine benchmarks: the local-operations substrate of the
+//! multi-database access engine (joins across sources, temporaries on the
+//! "local secondary storage").
+//!
+//! Includes the spill ablation called out in DESIGN.md §5: external sort
+//! with forced disk runs vs the in-memory path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use coin_rel::exec::{drain, HashJoin, NestedLoopJoin, Sort, ValuesScan};
+use coin_rel::expr::CExpr;
+use coin_rel::tempstore::{ExternalSorter, TempStore};
+use coin_rel::{execute_sql, Catalog, ColumnType, Row, Schema, Table, Value};
+use coin_sql::BinOp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rows(n: usize, key_range: i64, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            vec![
+                Value::Int(rng.random_range(0..key_range)),
+                Value::Int(rng.random_range(0..1_000_000)),
+            ]
+        })
+        .collect()
+}
+
+fn scan(data: Vec<Row>) -> coin_rel::BoxOp {
+    Box::new(ValuesScan::new(
+        Schema::of(&[("k", ColumnType::Int), ("v", ColumnType::Int)]),
+        data,
+    ))
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut g = c.benchmark_group("relational_join");
+    for n in [1_000usize, 10_000] {
+        let left = rows(n, (n / 10) as i64, 1);
+        let right = rows(n / 10, (n / 10) as i64, 2);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("hash_join", n), &n, |b, _| {
+            b.iter(|| {
+                let hj = HashJoin::new(
+                    scan(left.clone()),
+                    scan(right.clone()),
+                    vec![0],
+                    vec![0],
+                    None,
+                );
+                black_box(drain(Box::new(hj)).unwrap().len())
+            })
+        });
+        // Nested loop only at the small size (quadratic).
+        if n <= 1_000 {
+            g.bench_with_input(BenchmarkId::new("nested_loop", n), &n, |b, _| {
+                let pred = CExpr::Cmp(
+                    Box::new(CExpr::Col(0)),
+                    BinOp::Eq,
+                    Box::new(CExpr::Col(2)),
+                );
+                b.iter(|| {
+                    let nl = NestedLoopJoin::new(
+                        scan(left.clone()),
+                        scan(right.clone()),
+                        Some(pred.clone()),
+                    );
+                    black_box(drain(Box::new(nl)).unwrap().len())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_sort_spill_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("relational_sort");
+    let n = 50_000usize;
+    let data = rows(n, 1_000_000, 3);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("in_memory", |b| {
+        b.iter(|| {
+            let s = Sort::new(scan(data.clone()), vec![(0, false)]);
+            black_box(drain(Box::new(s)).unwrap().len())
+        })
+    });
+    g.bench_function("spilling_4k_runs", |b| {
+        b.iter(|| {
+            let s = Sort::new(scan(data.clone()), vec![(0, false)]).with_run_capacity(4096);
+            black_box(drain(Box::new(s)).unwrap().len())
+        })
+    });
+    g.bench_function("external_sorter_direct", |b| {
+        b.iter(|| {
+            let mut sorter =
+                ExternalSorter::new(TempStore::new(), vec![(0, false)], 4096);
+            for r in data.clone() {
+                sorter.push(r).unwrap();
+            }
+            black_box(sorter.finish().unwrap().len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_sql_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("relational_sql");
+    let n = 20_000usize;
+    let table = Table {
+        name: "t".into(),
+        schema: Schema::of(&[("k", ColumnType::Int), ("v", ColumnType::Int)]),
+        rows: rows(n, 100, 4),
+    };
+    let catalog = Catalog::new().with_table(table);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("filter_project", |b| {
+        b.iter(|| {
+            let t = execute_sql(
+                black_box("SELECT v FROM t WHERE v > 500000"),
+                &catalog,
+            )
+            .unwrap();
+            black_box(t.rows.len())
+        })
+    });
+    g.bench_function("group_by_aggregate", |b| {
+        b.iter(|| {
+            let t = execute_sql(
+                black_box("SELECT k, COUNT(*), SUM(v) FROM t GROUP BY k"),
+                &catalog,
+            )
+            .unwrap();
+            black_box(t.rows.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_joins, bench_sort_spill_ablation, bench_sql_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! EX-WRAP: wrapper throughput (\[Qu96\]).
+//!
+//! Pages navigated and tuples extracted per second, swept over page size
+//! (rows per listing page) and transition-network depth (chained pages).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+use coin_wrapper::{SimWeb, WrapperExec, WrapperSpec};
+
+fn quote_site(rows: usize) -> (WrapperSpec, SimWeb) {
+    let web = SimWeb::new();
+    let mut body = String::from("<html><h1>NYSE</h1><table>");
+    for i in 0..rows {
+        body.push_str(&format!(
+            "<tr><td>SYM{i}</td><td>{}.{:02}</td></tr>",
+            100 + i,
+            i % 100
+        ));
+    }
+    body.push_str("</table></html>");
+    web.mount_static("http://quotes.example/nyse", &body);
+    let spec = WrapperSpec::parse(
+        r#"
+EXPORT quotes(exchange STR, symbol STR, price FLOAT)
+START listing "http://quotes.example/nyse"
+PAGE listing MATCH ONE "<h1>(?P<exchange>\w+)</h1>"
+PAGE listing MATCH MANY "<tr><td>(?P<symbol>[A-Z0-9]+)</td><td>(?P<price>[0-9.]+)</td></tr>"
+"#,
+    )
+    .unwrap();
+    (spec, web)
+}
+
+fn chain_site(depth: usize) -> (WrapperSpec, SimWeb) {
+    let web = SimWeb::new();
+    for i in 0..depth {
+        let next = if i + 1 < depth {
+            format!("<a href=\"http://chain.example/p{}\">next</a>", i + 1)
+        } else {
+            String::new()
+        };
+        web.mount_static(
+            &format!("http://chain.example/p{i}"),
+            &format!("<html>{next}<p>val=({i})</p></html>"),
+        );
+    }
+    let spec = WrapperSpec::parse(
+        r#"
+EXPORT vals(v INT)
+START page "http://chain.example/p0"
+PAGE page FOLLOW page LINKS "<a href=\"(?P<url>[^\"]+)\">"
+PAGE page MATCH MANY "val=\((?P<v>\d+)\)"
+"#,
+    )
+    .unwrap();
+    (spec, web)
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wrapper_extraction");
+    for rows in [10usize, 100, 1000] {
+        let (spec, web) = quote_site(rows);
+        g.throughput(Throughput::Elements(rows as u64));
+        g.bench_with_input(BenchmarkId::new("tuples_per_page", rows), &rows, |b, _| {
+            let exec = WrapperExec::new(&spec, &web);
+            b.iter(|| {
+                let t = exec.run(black_box(&BTreeMap::new())).unwrap();
+                assert_eq!(t.rows.len(), rows);
+                black_box(t.rows.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_navigation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wrapper_navigation");
+    for depth in [2usize, 8, 32] {
+        let (spec, web) = chain_site(depth);
+        g.throughput(Throughput::Elements(depth as u64));
+        g.bench_with_input(BenchmarkId::new("network_depth", depth), &depth, |b, _| {
+            let mut exec = WrapperExec::new(&spec, &web);
+            exec.max_pages = depth + 4;
+            b.iter(|| {
+                let t = exec.run(black_box(&BTreeMap::new())).unwrap();
+                assert_eq!(t.rows.len(), depth);
+                black_box(t.rows.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pattern_engine(c: &mut Criterion) {
+    // The extraction substrate itself: pattern scan rate over page text.
+    let mut g = c.benchmark_group("wrapper_pattern_scan");
+    let (_, web) = quote_site(1000);
+    let page = web.fetch("http://quotes.example/nyse").unwrap();
+    let pattern = coin_pattern::Pattern::new(
+        r"<tr><td>(?P<symbol>[A-Z0-9]+)</td><td>(?P<price>[0-9.]+)</td></tr>",
+    )
+    .unwrap();
+    g.throughput(Throughput::Bytes(page.len() as u64));
+    g.bench_function("find_iter_1000_rows", |b| {
+        b.iter(|| black_box(pattern.find_iter(black_box(&page)).count()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_extraction, bench_navigation, bench_pattern_engine
+}
+criterion_main!(benches);

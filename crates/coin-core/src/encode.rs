@@ -1,0 +1,446 @@
+//! Compiling the COIN model into an abductive logic program.
+//!
+//! The mediation procedure works by abductive inference over a logic
+//! program assembled from the domain model, the context theories, the
+//! elevation axioms and the conversion functions (\[GBMS96\], \[KK93\]). This
+//! module performs that assembly. The generated program uses:
+//!
+//! * `col('r1', revenue)` — symbolic reference to a column of a FROM
+//!   binding (a ground term standing for a per-tuple value);
+//! * `mod_val(Ctx, Col, Modifier, V)` — the value of a modifier for the
+//!   semantic object `Col` in context `Ctx`;
+//! * `cvt_<modifier>(Vin, From, To, Vout)` — conversion functions;
+//! * abducibles `eqc/2` (semantic equality), `neqc/2` (semantic
+//!   disequality) and `anc_<modifier>/3` (ancillary-source access, e.g. an
+//!   exchange-rate lookup), with integrity constraints making hypothesis
+//!   sets consistent;
+//! * `rcv(Col, V)` — the column's value converted into the receiver's
+//!   context: the predicate the query translation drives.
+
+use std::fmt::Write as _;
+
+use coin_rel::Value;
+
+use crate::model::{
+    Conversion, ConversionRegistry, ContextTheory, DomainModel, Elevation, ModelError,
+    ModifierSpec,
+};
+
+/// Render a data constant as a logic-program term. Strings become logic
+/// string constants; atoms are reserved for structural names.
+pub fn value_term(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_owned(),
+        Value::Bool(b) => format!("'{b}'"),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            // Ensure a parseable float literal (always with a decimal part).
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                format!("{f:.1}")
+            } else {
+                format!("{f:?}")
+            }
+        }
+        Value::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+    }
+}
+
+/// Render a column term `col('binding', 'column')`.
+pub fn col_term(binding: &str, column: &str) -> String {
+    format!("col('{binding}', '{column}')")
+}
+
+fn quote_atom(s: &str) -> String {
+    format!("'{}'", s.replace('\\', "\\\\").replace('\'', "\\'"))
+}
+
+/// The encoder accumulates program text (kept readable on purpose: the
+/// generated axioms are part of the mediator's "explicit codification of
+/// the implicit semantics").
+#[derive(Debug, Default)]
+pub struct Encoder {
+    text: String,
+    /// (modifier, lookup conversion) pairs that introduced ancillary
+    /// predicates, for decoding Δ atoms back into SQL joins.
+    pub ancillaries: Vec<(String, Conversion)>,
+}
+
+impl Encoder {
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// The accumulated program text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Emit the fixed preamble: abducible declarations and integrity
+    /// constraints over the case predicates.
+    pub fn preamble(&mut self) {
+        self.text.push_str(
+            ":- abducible(eqc/2, eq).\n\
+             :- abducible(neqc/2, ne).\n\
+             ic :- eqc(X, V), eqc(X, W), V \\== W.\n\
+             ic :- eqc(X, V), neqc(X, V).\n",
+        );
+    }
+
+    /// Emit conversion clauses for every registered modifier conversion.
+    pub fn conversions(&mut self, registry: &ConversionRegistry) {
+        for (modifier, conv) in registry.iter() {
+            let cvt = quote_atom(&format!("cvt_{modifier}"));
+            // Identity when modifier values coincide.
+            writeln!(self.text, "{cvt}(V, F, T, V) :- eqc(F, T).").unwrap();
+            match conv {
+                Conversion::Ratio => {
+                    writeln!(self.text, "{cvt}(V, F, T, W) :- neqc(F, T), W is V * F / T.")
+                        .unwrap();
+                }
+                Conversion::Lookup { .. } => {
+                    let anc = quote_atom(&format!("anc_{modifier}"));
+                    writeln!(
+                        self.text,
+                        "{cvt}(V, F, T, W) :- neqc(F, T), {anc}(F, T, R), W is V * R."
+                    )
+                    .unwrap();
+                    writeln!(self.text, ":- abducible({anc}/3).").unwrap();
+                    self.ancillaries.push((modifier.to_owned(), conv.clone()));
+                }
+            }
+        }
+    }
+
+    /// Emit the `mod_val` axioms of one context for one column of one
+    /// binding. `spec` comes from the context theory of the elevation's
+    /// context.
+    fn modifier_axioms(
+        &mut self,
+        context: &str,
+        binding: &str,
+        column: &str,
+        modifier: &str,
+        spec: &ModifierSpec,
+    ) {
+        let ctx = quote_atom(context);
+        let col = col_term(binding, column);
+        let m = quote_atom(modifier);
+        match spec {
+            ModifierSpec::Constant(v) => {
+                writeln!(self.text, "mod_val({ctx}, {col}, {m}, {}).", value_term(v)).unwrap();
+            }
+            ModifierSpec::FromAttribute(attr) => {
+                writeln!(
+                    self.text,
+                    "mod_val({ctx}, {col}, {m}, {}).",
+                    col_term(binding, attr)
+                )
+                .unwrap();
+            }
+            ModifierSpec::Conditional { cases, default } => {
+                for case in cases {
+                    let cond_col = col_term(binding, &case.attribute);
+                    let val = value_term(&case.equals);
+                    let result = self.spec_leaf(binding, &case.then);
+                    writeln!(
+                        self.text,
+                        "mod_val({ctx}, {col}, {m}, {result}) :- eqc({cond_col}, {val})."
+                    )
+                    .unwrap();
+                }
+                // Default: the negation of every case condition.
+                let negs: Vec<String> = cases
+                    .iter()
+                    .map(|c| {
+                        format!(
+                            "neqc({}, {})",
+                            col_term(binding, &c.attribute),
+                            value_term(&c.equals)
+                        )
+                    })
+                    .collect();
+                let result = self.spec_leaf(binding, default);
+                writeln!(
+                    self.text,
+                    "mod_val({ctx}, {col}, {m}, {result}) :- {}.",
+                    negs.join(", ")
+                )
+                .unwrap();
+            }
+        }
+    }
+
+    /// Leaf spec to a term (constants and attribute references only —
+    /// nested conditionals are normalized away at model validation).
+    fn spec_leaf(&self, binding: &str, spec: &ModifierSpec) -> String {
+        match spec {
+            ModifierSpec::Constant(v) => value_term(v),
+            ModifierSpec::FromAttribute(a) => col_term(binding, a),
+            ModifierSpec::Conditional { .. } => {
+                // Guarded against by validation; degrade gracefully.
+                "null".to_owned()
+            }
+        }
+    }
+
+    /// Emit the full per-column pipeline for one FROM binding: modifier
+    /// axioms in the source context plus the `rcv/2` clause converting into
+    /// the receiver context.
+    #[allow(clippy::too_many_arguments)]
+    pub fn elevated_column(
+        &mut self,
+        domain: &DomainModel,
+        conversions: &ConversionRegistry,
+        source_ctx: &ContextTheory,
+        receiver_ctx: &ContextTheory,
+        elevation: &Elevation,
+        binding: &str,
+        column: &str,
+    ) -> Result<(), ModelError> {
+        let col = col_term(binding, column);
+        let Some(sem_type) = elevation.type_of(column) else {
+            // Plain column: identity in every context.
+            writeln!(self.text, "rcv({col}, {col}).").unwrap();
+            return Ok(());
+        };
+        let modifiers = domain.modifiers_of(sem_type)?;
+        if modifiers.is_empty() {
+            writeln!(self.text, "rcv({col}, {col}).").unwrap();
+            return Ok(());
+        }
+
+        // Modifier axioms in the source context + receiver constants.
+        let mut body = String::new();
+        let mut current = col.clone();
+        for (i, m) in modifiers.iter().enumerate() {
+            conversions.get(m)?; // must have a conversion function
+            let spec = source_ctx.get(sem_type, m).ok_or_else(|| {
+                ModelError::Invalid(format!(
+                    "context {} does not assign {sem_type}.{m}",
+                    source_ctx.name
+                ))
+            })?;
+            self.modifier_axioms(&source_ctx.name, binding, column, m, spec);
+
+            let target = receiver_ctx.get(sem_type, m).ok_or_else(|| {
+                ModelError::Invalid(format!(
+                    "receiver context {} does not assign {sem_type}.{m}",
+                    receiver_ctx.name
+                ))
+            })?;
+            let ModifierSpec::Constant(target_v) = target else {
+                return Err(ModelError::Invalid(format!(
+                    "receiver context {} must assign constants ({sem_type}.{m})",
+                    receiver_ctx.name
+                )));
+            };
+
+            let fvar = format!("F{i}");
+            let next = format!("V{i}");
+            let cvt = quote_atom(&format!("cvt_{m}"));
+            if !body.is_empty() {
+                body.push_str(", ");
+            }
+            write!(
+                body,
+                "mod_val({}, {col}, {}, {fvar}), {cvt}({current}, {fvar}, {}, {next})",
+                quote_atom(&source_ctx.name),
+                quote_atom(m),
+                value_term(target_v),
+            )
+            .unwrap();
+            current = next;
+        }
+        writeln!(self.text, "rcv({col}, {current}) :- {body}.").unwrap();
+        Ok(())
+    }
+
+    /// Count of emitted clause lines (statement metric used by EX-SCALE).
+    pub fn statement_count(&self) -> usize {
+        self.text.lines().filter(|l| !l.trim().is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::figure2_domain;
+    use coin_logic::{Program, Solver};
+
+    fn source1_context() -> ContextTheory {
+        ContextTheory::new("c_src1")
+            .set(
+                "companyFinancials",
+                "currency",
+                ModifierSpec::from_attribute("currency"),
+            )
+            .set(
+                "companyFinancials",
+                "scaleFactor",
+                ModifierSpec::if_attr_eq(
+                    "currency",
+                    "JPY",
+                    ModifierSpec::constant(1000i64),
+                    ModifierSpec::constant(1i64),
+                ),
+            )
+    }
+
+    fn receiver_context() -> ContextTheory {
+        ContextTheory::new("c_recv")
+            .set("companyFinancials", "currency", ModifierSpec::constant("USD"))
+            .set("companyFinancials", "scaleFactor", ModifierSpec::constant(1i64))
+    }
+
+    fn encode_figure2_column() -> Encoder {
+        let (dm, conv) = figure2_domain();
+        let elevation = Elevation::new("r1", "c_src1")
+            .column("cname", "companyName")
+            .column("revenue", "companyFinancials");
+        let mut enc = Encoder::new();
+        enc.preamble();
+        enc.conversions(&conv);
+        enc.elevated_column(
+            &dm,
+            &conv,
+            &source1_context(),
+            &receiver_context(),
+            &elevation,
+            "r1",
+            "revenue",
+        )
+        .unwrap();
+        enc
+    }
+
+    #[test]
+    fn generated_program_parses() {
+        let enc = encode_figure2_column();
+        Program::from_source(enc.text()).unwrap_or_else(|e| {
+            panic!("generated program failed to parse: {e}\n{}", enc.text())
+        });
+    }
+
+    #[test]
+    fn value_terms_roundtrip_via_parser() {
+        for v in [
+            Value::Int(-42),
+            Value::Float(0.0096),
+            Value::Float(1000.0),
+            Value::str("JPY"),
+            Value::str("it's"),
+            Value::Bool(true),
+        ] {
+            let text = value_term(&v);
+            coin_logic::parse_term_str(&text)
+                .unwrap_or_else(|e| panic!("{text}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rcv_enumerates_three_cases() {
+        // The heart of Figure 2: converting r1.revenue into the receiver
+        // context yields exactly three abductive answers (JPY with rate,
+        // USD identity, other with rate).
+        let enc = encode_figure2_column();
+        let program = Program::from_source(enc.text()).unwrap();
+        let solver = Solver::new(&program);
+        let answers = solver.query("rcv(col('r1', 'revenue'), W)").unwrap();
+        assert_eq!(answers.len(), 3, "program:\n{}", enc.text());
+        let rendered: Vec<String> =
+            answers.iter().map(|a| a.vars["W"].to_string()).collect();
+        // JPY case: revenue * 1000 * rate (rate abduced, still a variable).
+        assert!(rendered[0].contains("1000"), "{rendered:?}");
+        // USD case: identity.
+        assert_eq!(rendered[1], "col(r1, revenue)");
+        // Other: revenue * rate.
+        assert!(rendered[2].starts_with("*("), "{rendered:?}");
+    }
+
+    #[test]
+    fn constant_context_single_case() {
+        // Source 2 reports USD/1: no case analysis, identity conversion.
+        let (dm, conv) = figure2_domain();
+        let src2 = ContextTheory::new("c_src2")
+            .set("companyFinancials", "currency", ModifierSpec::constant("USD"))
+            .set("companyFinancials", "scaleFactor", ModifierSpec::constant(1i64));
+        let elevation =
+            Elevation::new("r2", "c_src2").column("expenses", "companyFinancials");
+        let mut enc = Encoder::new();
+        enc.preamble();
+        enc.conversions(&conv);
+        enc.elevated_column(&dm, &conv, &src2, &receiver_context(), &elevation, "r2", "expenses")
+            .unwrap();
+        let program = Program::from_source(enc.text()).unwrap();
+        let solver = Solver::new(&program);
+        let answers = solver.query("rcv(col('r2', 'expenses'), W)").unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].vars["W"].to_string(), "col(r2, expenses)");
+        assert!(answers[0].delta.is_empty(), "no hypotheses needed");
+    }
+
+    #[test]
+    fn plain_column_is_identity() {
+        let (dm, conv) = figure2_domain();
+        let elevation = Elevation::new("r1", "c_src1").column("cname", "companyName");
+        let mut enc = Encoder::new();
+        enc.preamble();
+        enc.elevated_column(
+            &dm,
+            &conv,
+            &source1_context(),
+            &receiver_context(),
+            &elevation,
+            "r1",
+            "cname",
+        )
+        .unwrap();
+        assert!(enc.text().contains("rcv(col('r1', 'cname'), col('r1', 'cname'))."));
+    }
+
+    #[test]
+    fn missing_context_assignment_is_error() {
+        let (dm, conv) = figure2_domain();
+        let incomplete = ContextTheory::new("c_bad"); // no assignments
+        let elevation = Elevation::new("r1", "c_bad").column("revenue", "companyFinancials");
+        let mut enc = Encoder::new();
+        let e = enc
+            .elevated_column(
+                &dm,
+                &conv,
+                &incomplete,
+                &receiver_context(),
+                &elevation,
+                "r1",
+                "revenue",
+            )
+            .unwrap_err();
+        assert!(matches!(e, ModelError::Invalid(_)));
+    }
+
+    #[test]
+    fn non_constant_receiver_rejected() {
+        let (dm, conv) = figure2_domain();
+        let recv = ContextTheory::new("c_recv")
+            .set(
+                "companyFinancials",
+                "currency",
+                ModifierSpec::from_attribute("currency"),
+            )
+            .set("companyFinancials", "scaleFactor", ModifierSpec::constant(1i64));
+        let elevation = Elevation::new("r1", "c_src1").column("revenue", "companyFinancials");
+        let mut enc = Encoder::new();
+        let e = enc
+            .elevated_column(
+                &dm,
+                &conv,
+                &source1_context(),
+                &recv,
+                &elevation,
+                "r1",
+                "revenue",
+            )
+            .unwrap_err();
+        assert!(matches!(e, ModelError::Invalid(_)));
+    }
+}

@@ -1,0 +1,679 @@
+//! The mediation procedure: SQL in, mediated SQL out.
+//!
+//! "The context mediator rewrites a query posed in a receiver's context
+//! into a mediated query where all potential conflicts are explicitly
+//! resolved. This rewriting, based on an abductive procedure, is
+//! accomplished by determining what conflicts exist and how they may be
+//! resolved by comparing relevant statements in the respective contexts."
+//! (paper §1)
+//!
+//! The pipeline:
+//!
+//! 1. normalize the receiver's SQL (conjunctive SELECT-FROM-WHERE);
+//! 2. compile domain model + context theories + elevation axioms +
+//!    conversion functions into an abductive logic program ([`crate::encode`]);
+//! 3. translate the query into goals over `rcv/2` (receiver-context values)
+//!    with comparison predicates mapped to the abducible case predicates
+//!    `eqc`/`neqc` and residual arithmetic comparisons;
+//! 4. enumerate all abductive answers — each hypothesis set Δ (case
+//!    assumptions + ancillary-source accesses) plus residual constraints is
+//!    one *conflict resolution case*;
+//! 5. decode every answer into one SQL sub-query: Δ's `eqc`/`neqc` become
+//!    WHERE equalities, ancillary atoms become joins against the conversion
+//!    source, residual constraints become comparisons, and the converted
+//!    output terms become the SELECT list;
+//! 6. the mediated query is the UNION of the sub-queries.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use coin_logic::{CmpOp, Program, Solver, SolverConfig, Term};
+use coin_rel::Value;
+use coin_sql::normalize::SchemaLookup;
+use coin_sql::{BinOp, ColumnRef, Expr, Query, Select, SelectItem, TableRef};
+
+use crate::encode::{col_term, value_term, Encoder};
+use crate::model::{
+    Conversion, ContextTheory, ConversionRegistry, DomainModel, ElevationRegistry, ModelError,
+};
+
+/// Mediation errors.
+#[derive(Debug)]
+pub enum MediationError {
+    Model(ModelError),
+    Sql(coin_sql::SqlError),
+    Normalize(coin_sql::NormalizeError),
+    Logic(coin_logic::ProgramError),
+    /// The query uses constructs outside the conjunctive fragment the
+    /// mediator rewrites (disjunction, aggregates inside mediation, …).
+    Unsupported(String),
+    /// Decoding an abductive answer back to SQL failed (internal).
+    Decode(String),
+}
+
+impl std::fmt::Display for MediationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MediationError::Model(e) => write!(f, "{e}"),
+            MediationError::Sql(e) => write!(f, "{e}"),
+            MediationError::Normalize(e) => write!(f, "{e}"),
+            MediationError::Logic(e) => write!(f, "{e}"),
+            MediationError::Unsupported(m) => write!(f, "mediation does not support: {m}"),
+            MediationError::Decode(m) => write!(f, "internal decode error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MediationError {}
+
+impl From<ModelError> for MediationError {
+    fn from(e: ModelError) -> Self {
+        MediationError::Model(e)
+    }
+}
+impl From<coin_sql::SqlError> for MediationError {
+    fn from(e: coin_sql::SqlError) -> Self {
+        MediationError::Sql(e)
+    }
+}
+impl From<coin_sql::NormalizeError> for MediationError {
+    fn from(e: coin_sql::NormalizeError) -> Self {
+        MediationError::Normalize(e)
+    }
+}
+impl From<coin_logic::ProgramError> for MediationError {
+    fn from(e: coin_logic::ProgramError) -> Self {
+        MediationError::Logic(e)
+    }
+}
+
+/// One mediated sub-query with its provenance.
+#[derive(Debug, Clone)]
+pub struct BranchReport {
+    /// The case assumptions (Δ) this branch rests on, rendered.
+    pub assumptions: Vec<String>,
+    /// Residual comparison constraints, rendered.
+    pub residuals: Vec<String>,
+    /// The sub-query.
+    pub select: Select,
+}
+
+/// The result of mediation.
+#[derive(Debug, Clone)]
+pub struct Mediated {
+    /// The mediated query: a union of conflict-resolution sub-queries.
+    pub query: Query,
+    /// Per-branch provenance (the mediator's explanation).
+    pub branches: Vec<BranchReport>,
+    /// The generated logic program (the explicit codification of the
+    /// contexts involved).
+    pub program_text: String,
+    /// Number of logic statements compiled for this mediation.
+    pub statements: usize,
+}
+
+impl Mediated {
+    /// A human-readable mediation report.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "mediated into {} sub-quer{}:",
+            self.branches.len(),
+            if self.branches.len() == 1 { "y" } else { "ies" }
+        )
+        .unwrap();
+        for (i, b) in self.branches.iter().enumerate() {
+            writeln!(out, "case {}:", i + 1).unwrap();
+            if b.assumptions.is_empty() {
+                writeln!(out, "  assumptions: (none — contexts agree)").unwrap();
+            } else {
+                for a in &b.assumptions {
+                    writeln!(out, "  assume {a}").unwrap();
+                }
+            }
+            for r in &b.residuals {
+                writeln!(out, "  check  {r}").unwrap();
+            }
+            writeln!(out, "  {}", b.select).unwrap();
+        }
+        out
+    }
+}
+
+/// The context mediator.
+pub struct Mediator<'a> {
+    pub domain: &'a DomainModel,
+    pub conversions: &'a ConversionRegistry,
+    pub contexts: &'a BTreeMap<String, ContextTheory>,
+    pub elevations: &'a ElevationRegistry,
+    /// Solver bounds (mediation programs are small; defaults are ample).
+    pub solver_config: SolverConfig,
+}
+
+impl<'a> Mediator<'a> {
+    pub fn new(
+        domain: &'a DomainModel,
+        conversions: &'a ConversionRegistry,
+        contexts: &'a BTreeMap<String, ContextTheory>,
+        elevations: &'a ElevationRegistry,
+    ) -> Mediator<'a> {
+        Mediator {
+            domain,
+            conversions,
+            contexts,
+            elevations,
+            solver_config: SolverConfig { max_answers: 512, ..SolverConfig::default() },
+        }
+    }
+
+    /// Mediate a conjunctive SELECT posed in `receiver` context.
+    /// `schema` resolves bare column references (the dictionary).
+    pub fn mediate_select(
+        &self,
+        select: &Select,
+        receiver: &str,
+        schema: &dyn SchemaLookup,
+    ) -> Result<Mediated, MediationError> {
+        let s = coin_sql::normalize_select(select, schema)?;
+        check_conjunctive(&s)?;
+        let receiver_ctx = self
+            .contexts
+            .get(receiver)
+            .ok_or_else(|| ModelError::UnknownContext(receiver.to_owned()))?;
+
+        // ---- referenced columns ----------------------------------------
+        let mut cols: Vec<&ColumnRef> = Vec::new();
+        for item in &s.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                expr.columns(&mut cols);
+            }
+        }
+        if let Some(w) = &s.where_clause {
+            w.columns(&mut cols);
+        }
+        let mut referenced: Vec<(String, String)> = Vec::new();
+        for c in cols {
+            let q = c.qualifier.clone().ok_or_else(|| {
+                MediationError::Decode(format!("unqualified column {c} after normalize"))
+            })?;
+            let pair = (q, c.column.clone());
+            if !referenced.contains(&pair) {
+                referenced.push(pair);
+            }
+        }
+
+        // ---- compile the program ----------------------------------------
+        let mut enc = Encoder::new();
+        enc.preamble();
+        enc.conversions(self.conversions);
+        for t in &s.from {
+            let elevation = self.elevations.get(&t.table)?;
+            let source_ctx =
+                self.contexts.get(&elevation.context).ok_or_else(|| {
+                    ModelError::UnknownContext(elevation.context.clone())
+                })?;
+            let binding = t.binding();
+            for (b, c) in &referenced {
+                if b == binding {
+                    enc.elevated_column(
+                        self.domain,
+                        self.conversions,
+                        source_ctx,
+                        receiver_ctx,
+                        elevation,
+                        binding,
+                        c,
+                    )?;
+                }
+            }
+        }
+        let program_text = enc.text().to_owned();
+        let statements = enc.statement_count();
+
+        // ---- goal construction -------------------------------------------
+        let mut col_vars: BTreeMap<(String, String), String> = BTreeMap::new();
+        let mut goals = String::new();
+        for (i, (b, c)) in referenced.iter().enumerate() {
+            let var = format!("C{i}");
+            if !goals.is_empty() {
+                goals.push_str(", ");
+            }
+            write!(goals, "rcv({}, {var})", col_term(b, c)).unwrap();
+            col_vars.insert((b.clone(), c.clone()), var);
+        }
+        if let Some(w) = &s.where_clause {
+            for raw in w.conjuncts() {
+                for conjunct in desugar_conjunct(raw) {
+                    let goal = where_goal(&conjunct, &col_vars)?;
+                    if !goals.is_empty() {
+                        goals.push_str(", ");
+                    }
+                    goals.push_str(&goal);
+                }
+            }
+        }
+        let mut out_vars = Vec::new();
+        for (j, item) in s.items.iter().enumerate() {
+            let SelectItem::Expr { expr, .. } = item else {
+                return Err(MediationError::Unsupported("wildcard select item".into()));
+            };
+            let term = expr_to_goal_term(expr, &col_vars)?;
+            let var = format!("O{j}");
+            if !goals.is_empty() {
+                goals.push_str(", ");
+            }
+            if is_arith_expr(expr) {
+                write!(goals, "{var} is {term}").unwrap();
+            } else {
+                write!(goals, "{var} = {term}").unwrap();
+            }
+            out_vars.push(var);
+        }
+
+        // ---- solve --------------------------------------------------------
+        let program = Program::from_source(&program_text)?;
+        let solver = Solver::with_config(&program, self.solver_config);
+        let (parsed_goals, nvars, names) =
+            coin_logic::parse_goals(&goals).map_err(|e| {
+                MediationError::Decode(format!("goal construction: {e}\ngoals: {goals}"))
+            })?;
+        let answers = solver.all_answers(&parsed_goals, nvars);
+        if answers.is_empty() {
+            // No consistent case exists — the query is provably empty
+            // (e.g. a ground-false predicate, or contradictory context
+            // assumptions). Mediate to a single unsatisfiable branch.
+            let empty = Select {
+                items: s.items.clone(),
+                from: s.from.clone(),
+                where_clause: Some(Expr::bin(Expr::Int(0), BinOp::Eq, Expr::Int(1))),
+                ..Default::default()
+            };
+            return Ok(Mediated {
+                query: Query::Select(Box::new(empty.clone())),
+                branches: vec![BranchReport {
+                    assumptions: vec![
+                        "no consistent conflict-resolution case exists; \
+                         the answer is provably empty"
+                            .into(),
+                    ],
+                    residuals: Vec::new(),
+                    select: empty,
+                }],
+                program_text,
+                statements,
+            });
+        }
+
+        // ---- decode answers into branches ---------------------------------
+        let mut branches: Vec<BranchReport> = Vec::new();
+        let mut seen_sql: Vec<String> = Vec::new();
+        for ans in &answers {
+            let branch = decode_answer(
+                ans,
+                &s,
+                &out_vars,
+                &names,
+                &enc.ancillaries,
+                self.conversions,
+            )?;
+            let printed = branch.select.to_string();
+            if !seen_sql.contains(&printed) {
+                seen_sql.push(printed);
+                branches.push(branch);
+            }
+        }
+
+        let query =
+            Query::union_of(branches.iter().map(|b| b.select.clone()).collect(), false);
+        Ok(Mediated { query, branches, program_text, statements })
+    }
+}
+
+/// Reject constructs outside the conjunctive SPJ fragment.
+fn check_conjunctive(s: &Select) -> Result<(), MediationError> {
+    if !s.group_by.is_empty() || s.having.is_some() {
+        return Err(MediationError::Unsupported(
+            "GROUP BY/HAVING (aggregate above the mediated core instead)".into(),
+        ));
+    }
+    if !s.order_by.is_empty() || s.limit.is_some() || s.distinct {
+        return Err(MediationError::Unsupported(
+            "ORDER BY/LIMIT/DISTINCT (apply above the mediated core instead)".into(),
+        ));
+    }
+    for item in &s.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            if expr.has_aggregate() {
+                return Err(MediationError::Unsupported("aggregates in SELECT".into()));
+            }
+        }
+    }
+    if let Some(w) = &s.where_clause {
+        for c in w.conjuncts() {
+            match c {
+                Expr::Bin(_, op, _) if op.is_comparison() => {}
+                // Non-negated BETWEEN desugars to two comparisons.
+                Expr::Between { negated: false, .. } => {}
+                Expr::Bin(_, BinOp::Or, _) => {
+                    return Err(MediationError::Unsupported(
+                        "disjunction in WHERE".into(),
+                    ))
+                }
+                other => {
+                    return Err(MediationError::Unsupported(format!(
+                        "WHERE predicate {other}"
+                    )))
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Desugar supported predicate forms into plain comparisons
+/// (`x BETWEEN lo AND hi` → `x >= lo, x <= hi`).
+fn desugar_conjunct(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::Between { expr, low, high, negated: false } => vec![
+            Expr::Bin(expr.clone(), BinOp::Ge, low.clone()),
+            Expr::Bin(expr.clone(), BinOp::Le, high.clone()),
+        ],
+        other => vec![other.clone()],
+    }
+}
+
+/// Is the expression arithmetic (needs `is/2`) rather than a plain term?
+fn is_arith_expr(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Bin(_, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div, _)
+    )
+}
+
+/// Translate a scalar expression into a logic term over the column vars.
+fn expr_to_goal_term(
+    e: &Expr,
+    col_vars: &BTreeMap<(String, String), String>,
+) -> Result<String, MediationError> {
+    Ok(match e {
+        Expr::Column(c) => {
+            let q = c.qualifier.clone().unwrap_or_default();
+            col_vars
+                .get(&(q, c.column.clone()))
+                .cloned()
+                .ok_or_else(|| MediationError::Decode(format!("no var for column {c}")))?
+        }
+        Expr::Int(i) => value_term(&Value::Int(*i)),
+        Expr::Float(f) => value_term(&Value::Float(*f)),
+        Expr::Str(s) => value_term(&Value::str(s)),
+        Expr::Bool(b) => value_term(&Value::Bool(*b)),
+        Expr::Bin(l, op, r)
+            if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div) =>
+        {
+            let ls = expr_to_goal_term(l, col_vars)?;
+            let rs = expr_to_goal_term(r, col_vars)?;
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                _ => unreachable!(),
+            };
+            format!("(({ls}) {sym} ({rs}))")
+        }
+        other => {
+            return Err(MediationError::Unsupported(format!(
+                "expression {other} in mediated query"
+            )))
+        }
+    })
+}
+
+/// Translate a WHERE comparison into a goal.
+fn where_goal(
+    e: &Expr,
+    col_vars: &BTreeMap<(String, String), String>,
+) -> Result<String, MediationError> {
+    let Expr::Bin(l, op, r) = e else {
+        return Err(MediationError::Unsupported(format!("WHERE predicate {e}")));
+    };
+    let ls = expr_to_goal_term(l, col_vars)?;
+    let rs = expr_to_goal_term(r, col_vars)?;
+    Ok(match op {
+        BinOp::Eq => format!("eqc({ls}, {rs})"),
+        BinOp::Neq => format!("neqc({ls}, {rs})"),
+        BinOp::Lt => format!("({ls}) < ({rs})"),
+        BinOp::Le => format!("({ls}) =< ({rs})"),
+        BinOp::Gt => format!("({ls}) > ({rs})"),
+        BinOp::Ge => format!("({ls}) >= ({rs})"),
+        other => {
+            return Err(MediationError::Unsupported(format!(
+                "comparison {} in WHERE",
+                other.sql()
+            )))
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Decoding abductive answers into SQL branches
+// ---------------------------------------------------------------------------
+
+fn decode_answer(
+    ans: &coin_logic::Answer,
+    original: &Select,
+    out_vars: &[String],
+    names: &std::collections::HashMap<String, u32>,
+    ancillaries: &[(String, Conversion)],
+    conversions: &ConversionRegistry,
+) -> Result<BranchReport, MediationError> {
+    let _ = conversions;
+    // 1. Ancillary atoms introduce FROM aliases and map their rate variable.
+    let mut from = original.from.clone();
+    let mut used_bindings: Vec<String> =
+        from.iter().map(|t| t.binding().to_owned()).collect();
+    let mut var_columns: BTreeMap<u32, ColumnRef> = BTreeMap::new();
+    let mut join_preds: Vec<Expr> = Vec::new();
+    let mut assumptions: Vec<String> = Vec::new();
+
+    for atom in &ans.delta {
+        let Term::Compound(f, args) = atom else {
+            return Err(MediationError::Decode(format!("non-compound Δ atom {atom}")));
+        };
+        let fname = f.as_str();
+        if let Some(modifier) = fname.strip_prefix("anc_") {
+            let Some((_, Conversion::Lookup { relation, from_col, to_col, factor_col })) =
+                ancillaries.iter().find(|(m, _)| m == modifier)
+            else {
+                return Err(MediationError::Decode(format!(
+                    "no ancillary registered for modifier {modifier}"
+                )));
+            };
+            // Fresh alias for the conversion relation.
+            let mut alias = relation.clone();
+            let mut k = 1;
+            while used_bindings.contains(&alias) {
+                k += 1;
+                alias = format!("{relation}_{k}");
+            }
+            used_bindings.push(alias.clone());
+            from.push(TableRef {
+                source: None,
+                table: relation.clone(),
+                alias: if alias == *relation { None } else { Some(alias.clone()) },
+            });
+            // Join predicates from/to; factor variable maps to the column.
+            let [fterm, tterm, rterm] = args.as_slice() else {
+                return Err(MediationError::Decode(format!("bad ancillary atom {atom}")));
+            };
+            if let Term::Var(v) = rterm {
+                var_columns.insert(v.0, ColumnRef::new(&alias, factor_col));
+            }
+            let fexpr = term_to_expr(fterm, &var_columns)?;
+            let texpr = term_to_expr(tterm, &var_columns)?;
+            join_preds.push(Expr::bin(
+                Expr::Column(ColumnRef::new(&alias, from_col)),
+                BinOp::Eq,
+                fexpr,
+            ));
+            join_preds.push(Expr::bin(
+                Expr::Column(ColumnRef::new(&alias, to_col)),
+                BinOp::Eq,
+                texpr,
+            ));
+            assumptions.push(format!("{modifier} conversion via {relation} ({atom})"));
+        }
+    }
+
+    // 2. Case predicates become WHERE conjuncts.
+    let mut case_preds: Vec<Expr> = Vec::new();
+    for atom in &ans.delta {
+        let Term::Compound(f, args) = atom else { continue };
+        match f.as_str() {
+            "eqc" | "neqc" => {
+                let op = if f.as_str() == "eqc" { BinOp::Eq } else { BinOp::Neq };
+                let l = term_to_expr(&args[0], &var_columns)?;
+                let r = term_to_expr(&args[1], &var_columns)?;
+                case_preds.push(Expr::bin(l, op, r));
+                assumptions.push(format!("{atom}"));
+            }
+            _ => {} // ancillaries handled above
+        }
+    }
+
+    // 3. Residual constraints.
+    let mut residual_preds: Vec<Expr> = Vec::new();
+    let mut residuals: Vec<String> = Vec::new();
+    for c in &ans.constraints {
+        let op = match c.op {
+            CmpOp::Lt => BinOp::Lt,
+            CmpOp::Le => BinOp::Le,
+            CmpOp::Gt => BinOp::Gt,
+            CmpOp::Ge => BinOp::Ge,
+            CmpOp::Neq => BinOp::Neq,
+            CmpOp::Eq => BinOp::Eq,
+        };
+        let l = term_to_expr(&c.lhs, &var_columns)?;
+        let r = term_to_expr(&c.rhs, &var_columns)?;
+        residual_preds.push(Expr::bin(l, op, r));
+        residuals.push(c.to_string());
+    }
+
+    // 4. SELECT list from the output variables.
+    let mut items = Vec::new();
+    for (j, item) in original.items.iter().enumerate() {
+        let SelectItem::Expr { alias, .. } = item else { unreachable!() };
+        let var_idx = *names.get(&out_vars[j]).ok_or_else(|| {
+            MediationError::Decode(format!("missing output var {}", out_vars[j]))
+        })?;
+        let term = &ans.bindings[var_idx as usize];
+        items.push(SelectItem::Expr {
+            expr: term_to_expr(term, &var_columns)?,
+            alias: alias.clone(),
+        });
+    }
+
+    // 5. Assemble and simplify.
+    let mut preds = Vec::new();
+    preds.extend(case_preds);
+    preds.extend(join_preds);
+    preds.extend(residual_preds);
+    let preds = simplify_conjuncts(preds);
+
+    let select = Select {
+        items,
+        from,
+        where_clause: Expr::conjoin(preds),
+        ..Default::default()
+    };
+    Ok(BranchReport { assumptions, residuals, select })
+}
+
+/// Convert a logic term back into a SQL expression.
+fn term_to_expr(
+    t: &Term,
+    var_columns: &BTreeMap<u32, ColumnRef>,
+) -> Result<Expr, MediationError> {
+    Ok(match t {
+        Term::Int(i) => Expr::Int(*i),
+        Term::Float(f) => Expr::Float(f.0),
+        Term::Str(s) => Expr::Str(s.as_str().to_owned()),
+        Term::Atom(a) => match a.as_str() {
+            "true" => Expr::Bool(true),
+            "false" => Expr::Bool(false),
+            "null" => Expr::Null,
+            other => Expr::Str(other.to_owned()),
+        },
+        Term::Var(v) => Expr::Column(
+            var_columns
+                .get(&v.0)
+                .ok_or_else(|| {
+                    MediationError::Decode(format!("unbound variable _V{} in answer", v.0))
+                })?
+                .clone(),
+        ),
+        Term::Compound(f, args) => match (f.as_str(), args.as_slice()) {
+            ("col", [Term::Atom(b), Term::Atom(c)]) => {
+                Expr::Column(ColumnRef::new(b.as_str(), c.as_str()))
+            }
+            (op @ ("+" | "-" | "*" | "/"), [l, r]) => {
+                let lo = term_to_expr(l, var_columns)?;
+                let ro = term_to_expr(r, var_columns)?;
+                let bop = match op {
+                    "+" => BinOp::Add,
+                    "-" => BinOp::Sub,
+                    "*" => BinOp::Mul,
+                    "/" => BinOp::Div,
+                    _ => unreachable!(),
+                };
+                Expr::bin(lo, bop, ro)
+            }
+            _ => {
+                return Err(MediationError::Decode(format!(
+                    "cannot render term {t} as SQL"
+                )))
+            }
+        },
+    })
+}
+
+/// Branch-level predicate cleanup:
+/// * drop duplicates;
+/// * drop `X <> c2` when `X = c1` (distinct constants) is present — the
+///   equality subsumes the disequality, matching the paper's first branch
+///   which shows only `currency = 'USD'`.
+fn simplify_conjuncts(preds: Vec<Expr>) -> Vec<Expr> {
+    let mut out: Vec<Expr> = Vec::new();
+    // Collect equalities X = const.
+    let equalities: Vec<(Expr, Expr)> = preds
+        .iter()
+        .filter_map(|p| match p {
+            Expr::Bin(l, BinOp::Eq, r) if is_const(r) => {
+                Some((l.as_ref().clone(), r.as_ref().clone()))
+            }
+            _ => None,
+        })
+        .collect();
+    for p in preds {
+        if out.contains(&p) {
+            continue;
+        }
+        if let Expr::Bin(l, BinOp::Neq, r) = &p {
+            if is_const(r) {
+                let implied = equalities.iter().any(|(el, er)| {
+                    el == l.as_ref() && er != r.as_ref() && is_const(er)
+                });
+                if implied {
+                    continue;
+                }
+            }
+        }
+        out.push(p);
+    }
+    out
+}
+
+fn is_const(e: &Expr) -> bool {
+    matches!(e, Expr::Int(_) | Expr::Float(_) | Expr::Str(_) | Expr::Bool(_))
+}

@@ -1,0 +1,380 @@
+//! The assembled COIN system.
+//!
+//! [`CoinSystem`] is the deployment unit of Figure 1: a registry of
+//! sources (behind wrappers), context theories, elevation axioms, the
+//! shared domain model and conversion functions, a context mediator, and
+//! the multi-database access engine. Receivers hand it SQL plus their
+//! context name; it returns mediated, executed answers.
+
+use std::collections::BTreeMap;
+
+use coin_planner::{Dictionary, Planner, PlannerConfig};
+use coin_rel::{Catalog, Table};
+use coin_sql::normalize::SchemaLookup;
+use coin_sql::{ColumnRef, Expr, OrderItem, Query, Select, SelectItem, TableRef};
+
+use crate::mediate::{Mediated, MediationError, Mediator};
+use crate::model::{
+    ContextTheory, Conversion, ConversionRegistry, DomainModel, Elevation,
+    ElevationRegistry, ModelError,
+};
+
+/// Unified error type for the system façade.
+#[derive(Debug)]
+pub enum CoinError {
+    Model(ModelError),
+    Mediation(MediationError),
+    Plan(coin_planner::PlanError),
+    Engine(coin_rel::EngineError),
+    Dict(coin_planner::DictError),
+    Sql(coin_sql::SqlError),
+    Unsupported(String),
+}
+
+impl std::fmt::Display for CoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoinError::Model(e) => write!(f, "{e}"),
+            CoinError::Mediation(e) => write!(f, "{e}"),
+            CoinError::Plan(e) => write!(f, "{e}"),
+            CoinError::Engine(e) => write!(f, "{e}"),
+            CoinError::Dict(e) => write!(f, "{e}"),
+            CoinError::Sql(e) => write!(f, "{e}"),
+            CoinError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoinError {}
+
+impl From<ModelError> for CoinError {
+    fn from(e: ModelError) -> Self {
+        CoinError::Model(e)
+    }
+}
+impl From<MediationError> for CoinError {
+    fn from(e: MediationError) -> Self {
+        CoinError::Mediation(e)
+    }
+}
+impl From<coin_planner::PlanError> for CoinError {
+    fn from(e: coin_planner::PlanError) -> Self {
+        CoinError::Plan(e)
+    }
+}
+impl From<coin_rel::EngineError> for CoinError {
+    fn from(e: coin_rel::EngineError) -> Self {
+        CoinError::Engine(e)
+    }
+}
+impl From<coin_planner::DictError> for CoinError {
+    fn from(e: coin_planner::DictError) -> Self {
+        CoinError::Dict(e)
+    }
+}
+impl From<coin_sql::SqlError> for CoinError {
+    fn from(e: coin_sql::SqlError) -> Self {
+        CoinError::Sql(e)
+    }
+}
+impl From<coin_sql::NormalizeError> for CoinError {
+    fn from(e: coin_sql::NormalizeError) -> Self {
+        CoinError::Mediation(MediationError::Normalize(e))
+    }
+}
+
+/// The result of a mediated query: the answer plus full provenance.
+#[derive(Debug)]
+pub struct MediatedAnswer {
+    pub table: Table,
+    pub mediated: Mediated,
+    pub stats: coin_planner::ExecStats,
+}
+
+/// The assembled system.
+pub struct CoinSystem {
+    pub domain: DomainModel,
+    pub conversions: ConversionRegistry,
+    pub contexts: BTreeMap<String, ContextTheory>,
+    pub elevations: ElevationRegistry,
+    pub planner: Planner,
+}
+
+impl CoinSystem {
+    /// An empty system over a domain model.
+    pub fn new(domain: DomainModel) -> CoinSystem {
+        CoinSystem {
+            domain,
+            conversions: ConversionRegistry::new(),
+            contexts: BTreeMap::new(),
+            elevations: ElevationRegistry::new(),
+            planner: Planner::new(Dictionary::new()),
+        }
+    }
+
+    pub fn with_planner_config(mut self, config: PlannerConfig) -> CoinSystem {
+        self.planner.config = config;
+        self
+    }
+
+    /// Register a source (its tables become queryable).
+    pub fn add_source<S: coin_wrapper::Source + 'static>(
+        &mut self,
+        source: S,
+    ) -> Result<(), CoinError> {
+        self.planner.dictionary.register_source(source)?;
+        Ok(())
+    }
+
+    /// Register a context theory. Adding a source+context is the *only*
+    /// administration needed to join the system (extensibility claim).
+    pub fn add_context(&mut self, ctx: ContextTheory) -> Result<(), CoinError> {
+        ctx.validate(&self.domain)?;
+        if self.contexts.contains_key(&ctx.name) {
+            return Err(ModelError::DuplicateContext(ctx.name).into());
+        }
+        self.contexts.insert(ctx.name.clone(), ctx);
+        Ok(())
+    }
+
+    /// Register elevation axioms for a relation.
+    pub fn add_elevation(&mut self, e: Elevation) -> Result<(), CoinError> {
+        if !self.contexts.contains_key(&e.context) {
+            return Err(ModelError::UnknownContext(e.context.clone()).into());
+        }
+        for (_, ty) in e.columns() {
+            self.domain.get(ty)?;
+        }
+        self.elevations.add(e)?;
+        Ok(())
+    }
+
+    /// Register a conversion function for a modifier.
+    pub fn add_conversion(&mut self, modifier: &str, conversion: Conversion) {
+        self.conversions.set(modifier, conversion);
+    }
+
+    /// The schema dictionary (receiver-visible).
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.planner.dictionary
+    }
+
+    /// Total number of context/elevation axioms administered in the system
+    /// — the scalability metric (EX-SCALE): grows O(n) in the number of
+    /// sources, vs O(n²) for pairwise a-priori integration.
+    pub fn axiom_count(&self) -> usize {
+        self.contexts.values().map(ContextTheory::axiom_count).sum::<usize>()
+            + self.elevations.iter().map(Elevation::axiom_count).sum::<usize>()
+    }
+
+    fn mediator(&self) -> Mediator<'_> {
+        Mediator::new(&self.domain, &self.conversions, &self.contexts, &self.elevations)
+    }
+
+    /// Mediate SQL posed in `receiver` context without executing it.
+    pub fn mediate(&self, sql: &str, receiver: &str) -> Result<Mediated, CoinError> {
+        let q = coin_sql::parse_query(sql)?;
+        let Query::Select(s) = q else {
+            return Err(CoinError::Unsupported(
+                "mediation input must be a single SELECT".into(),
+            ));
+        };
+        let (core, _outer) = split_outer(&s, self.dictionary())?;
+        Ok(self.mediator().mediate_select(&core, receiver, self.dictionary())?)
+    }
+
+    /// The full pipeline: mediate, plan, execute, and (if the receiver's
+    /// query had aggregation/ordering above the conjunctive core) apply the
+    /// outer operations over the mediated result.
+    pub fn query(&self, sql: &str, receiver: &str) -> Result<MediatedAnswer, CoinError> {
+        let q = coin_sql::parse_query(sql)?;
+        let Query::Select(s) = q else {
+            return Err(CoinError::Unsupported(
+                "receiver queries are single SELECT blocks".into(),
+            ));
+        };
+        let (core, outer) = split_outer(&s, self.dictionary())?;
+        let mediated = self.mediator().mediate_select(&core, receiver, self.dictionary())?;
+        let (table, stats) = self.planner.execute_query(&mediated.query)?;
+        let table = match outer {
+            None => table,
+            Some(outer) => {
+                // Execute the outer block over the staged mediated result.
+                let staged = Table {
+                    name: "mediated".into(),
+                    schema: table.schema.clone(),
+                    rows: table.rows,
+                };
+                let catalog = Catalog::new().with_table(staged);
+                coin_rel::execute_select(&outer, &catalog)?
+            }
+        };
+        Ok(MediatedAnswer { table, mediated, stats })
+    }
+
+    /// Execute without mediation (the naive baseline of §3 that returns the
+    /// "incorrect" answer).
+    pub fn query_naive(
+        &self,
+        sql: &str,
+    ) -> Result<(Table, coin_planner::ExecStats), CoinError> {
+        Ok(self.planner.run_sql(sql)?)
+    }
+}
+
+/// Split a receiver query into its conjunctive core (to be mediated) and an
+/// optional outer block (aggregation / ordering / distinct / limit) applied
+/// over the mediated result.
+///
+/// The core projects every column referenced anywhere in the query, aliased
+/// `m0, m1, …`; the outer block re-expresses the original items over those
+/// aliases against the staged table `mediated`.
+fn split_outer(
+    s: &Select,
+    schema: &dyn SchemaLookup,
+) -> Result<(Select, Option<Select>), CoinError> {
+    let needs_outer = !s.group_by.is_empty()
+        || s.having.is_some()
+        || !s.order_by.is_empty()
+        || s.limit.is_some()
+        || s.distinct
+        || s.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => expr.has_aggregate(),
+            _ => false,
+        });
+    if !needs_outer {
+        return Ok((s.clone(), None));
+    }
+
+    // Normalize first so column references are qualified and unambiguous.
+    let s = coin_sql::normalize_select(s, schema)?;
+
+    // Columns referenced anywhere.
+    let mut cols: Vec<&ColumnRef> = Vec::new();
+    for item in &s.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            expr.columns(&mut cols);
+        }
+    }
+    for g in &s.group_by {
+        g.columns(&mut cols);
+    }
+    if let Some(h) = &s.having {
+        h.columns(&mut cols);
+    }
+    for o in &s.order_by {
+        o.expr.columns(&mut cols);
+    }
+    let mut distinct_cols: Vec<ColumnRef> = Vec::new();
+    for c in cols {
+        if !distinct_cols.contains(c) {
+            distinct_cols.push(c.clone());
+        }
+    }
+    if distinct_cols.is_empty() {
+        return Err(CoinError::Unsupported(
+            "aggregation query references no columns".into(),
+        ));
+    }
+
+    // Core: SELECT each referenced column AS m<i>, same FROM/WHERE.
+    let core_items: Vec<SelectItem> = distinct_cols
+        .iter()
+        .enumerate()
+        .map(|(i, c)| SelectItem::Expr {
+            expr: Expr::Column(c.clone()),
+            alias: Some(format!("m{i}")),
+        })
+        .collect();
+    let core = Select {
+        items: core_items,
+        from: s.from.clone(),
+        where_clause: s.where_clause.clone(),
+        ..Default::default()
+    };
+
+    // Outer: original items/group/having/order with columns renamed to the
+    // staged aliases, FROM the staged `mediated` table.
+    let rename: BTreeMap<ColumnRef, ColumnRef> = distinct_cols
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.clone(), ColumnRef::bare(&format!("m{i}"))))
+        .collect();
+    let outer = Select {
+        distinct: s.distinct,
+        items: s
+            .items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Expr { expr, alias } => {
+                    // Keep the receiver-visible column name: a bare column
+                    // item stays named after the original column, not the
+                    // internal staging alias.
+                    let alias = alias.clone().or_else(|| match expr {
+                        Expr::Column(c) => Some(c.column.clone()),
+                        _ => None,
+                    });
+                    SelectItem::Expr { expr: rename_columns(expr, &rename), alias }
+                }
+                other => other.clone(),
+            })
+            .collect(),
+        from: vec![TableRef::new("mediated")],
+        where_clause: None,
+        group_by: s.group_by.iter().map(|g| rename_columns(g, &rename)).collect(),
+        having: s.having.as_ref().map(|h| rename_columns(h, &rename)),
+        order_by: s
+            .order_by
+            .iter()
+            .map(|o| OrderItem { expr: rename_columns(&o.expr, &rename), desc: o.desc })
+            .collect(),
+        limit: s.limit,
+    };
+    Ok((core, Some(outer)))
+}
+
+/// Rename column references per the mapping (leaves other leaves intact).
+fn rename_columns(e: &Expr, map: &BTreeMap<ColumnRef, ColumnRef>) -> Expr {
+    match e {
+        Expr::Column(c) => Expr::Column(map.get(c).cloned().unwrap_or_else(|| c.clone())),
+        Expr::Bin(l, op, r) => Expr::Bin(
+            Box::new(rename_columns(l, map)),
+            *op,
+            Box::new(rename_columns(r, map)),
+        ),
+        Expr::Un(op, inner) => Expr::Un(*op, Box::new(rename_columns(inner, map))),
+        Expr::Func(f, args) => Expr::Func(
+            f.clone(),
+            args.iter().map(|a| rename_columns(a, map)).collect(),
+        ),
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(rename_columns(expr, map)),
+            low: Box::new(rename_columns(low, map)),
+            high: Box::new(rename_columns(high, map)),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(rename_columns(expr, map)),
+            list: list.iter().map(|a| rename_columns(a, map)).collect(),
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(rename_columns(expr, map)),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(rename_columns(expr, map)),
+            negated: *negated,
+        },
+        Expr::Case { operand, branches, else_branch } => Expr::Case {
+            operand: operand.as_ref().map(|o| Box::new(rename_columns(o, map))),
+            branches: branches
+                .iter()
+                .map(|(c, v)| (rename_columns(c, map), rename_columns(v, map)))
+                .collect(),
+            else_branch: else_branch.as_ref().map(|o| Box::new(rename_columns(o, map))),
+        },
+        leaf => leaf.clone(),
+    }
+}

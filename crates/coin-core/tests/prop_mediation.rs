@@ -1,0 +1,173 @@
+//! Differential testing of mediation: executing the mediated query must be
+//! equivalent to converting every tuple into the receiver context up front
+//! and running the naive query over the converted data.
+
+use coin_core::fixtures::{synthetic_system, CURRENCIES};
+use coin_rel::Value;
+use proptest::prelude::*;
+
+/// Oracle conversion: (amount, source currency, source scale) → USD units.
+fn to_usd(amount: i64, currency: &str, scale: i64) -> f64 {
+    let usd_rates = [1.0, 0.0096, 1.18, 1.64, 0.70];
+    let idx = CURRENCIES.iter().position(|c| *c == currency).unwrap();
+    amount as f64 * scale as f64 * usd_rates[idx]
+}
+
+/// The synthetic fixture assigns source `i` currency `CURRENCIES[i % 5]`
+/// and scale `[1, 1000, 1_000_000][i % 3]`.
+fn context_of(i: usize) -> (&'static str, i64) {
+    let scales = [1i64, 1000, 1_000_000];
+    (CURRENCIES[i % CURRENCIES.len()], scales[i % scales.len()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Selection with a threshold over one synthetic source, any of the
+    /// first six source contexts.
+    #[test]
+    fn mediated_selection_matches_oracle(
+        src in 0usize..6,
+        threshold in 0i64..2_000_000_000,
+        seed in 1u64..500,
+    ) {
+        let sys = synthetic_system(6, 8, seed);
+        let sql = format!(
+            "SELECT f.cname, f.amount FROM fin{src} f WHERE f.amount > {threshold}"
+        );
+        let answer = sys.query(&sql, "c_recv").unwrap();
+
+        // Oracle: read the source rows directly and convert.
+        let (naive, _) = sys
+            .query_naive(&format!("SELECT f.cname, f.amount FROM fin{src} f"))
+            .unwrap();
+        let (cur, scale) = context_of(src);
+        let mut expected: Vec<(String, f64)> = naive
+            .rows
+            .iter()
+            .filter_map(|r| {
+                let name = match &r[0] {
+                    Value::Str(s) => s.clone(),
+                    _ => unreachable!(),
+                };
+                let amount = match r[1] {
+                    Value::Int(i) => i,
+                    _ => unreachable!(),
+                };
+                let converted = to_usd(amount, cur, scale);
+                (converted > threshold as f64).then_some((name, converted))
+            })
+            .collect();
+        expected.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+
+        let mut got: Vec<(String, f64)> = answer
+            .table
+            .rows
+            .iter()
+            .map(|r| {
+                (
+                    match &r[0] {
+                        Value::Str(s) => s.clone(),
+                        _ => unreachable!(),
+                    },
+                    r[1].as_f64().unwrap(),
+                )
+            })
+            .collect();
+        got.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+
+        prop_assert_eq!(got.len(), expected.len());
+        for ((gn, gv), (en, ev)) in got.iter().zip(&expected) {
+            prop_assert_eq!(gn, en);
+            prop_assert!((gv - ev).abs() <= 1e-6 * ev.abs().max(1.0),
+                "{} vs {}", gv, ev);
+        }
+    }
+
+    /// Cross-source comparison: companies whose amount in source A exceeds
+    /// their amount in source B, receiver context USD/1.
+    #[test]
+    fn mediated_cross_source_comparison_matches_oracle(
+        a in 0usize..4,
+        b in 0usize..4,
+        seed in 1u64..200,
+    ) {
+        prop_assume!(a != b);
+        let sys = synthetic_system(4, 6, seed);
+        let sql = format!(
+            "SELECT x.cname FROM fin{a} x, fin{b} y \
+             WHERE x.cname = y.cname AND x.amount > y.amount"
+        );
+        let answer = sys.query(&sql, "c_recv").unwrap();
+
+        let (ta, _) = sys.query_naive(&format!("SELECT * FROM fin{a}")).unwrap();
+        let (tb, _) = sys.query_naive(&format!("SELECT * FROM fin{b}")).unwrap();
+        let (cur_a, scale_a) = context_of(a);
+        let (cur_b, scale_b) = context_of(b);
+        let read = |t: &coin_rel::Table| -> Vec<(String, i64)> {
+            t.rows
+                .iter()
+                .map(|r| {
+                    (
+                        match &r[0] {
+                            Value::Str(s) => s.clone(),
+                            _ => unreachable!(),
+                        },
+                        match r[1] {
+                            Value::Int(i) => i,
+                            _ => unreachable!(),
+                        },
+                    )
+                })
+                .collect()
+        };
+        let rows_a = read(&ta);
+        let rows_b = read(&tb);
+        let mut expected: Vec<String> = Vec::new();
+        for (n, va) in &rows_a {
+            for (m, vb) in &rows_b {
+                if n == m && to_usd(*va, cur_a, scale_a) > to_usd(*vb, cur_b, scale_b) {
+                    expected.push(n.clone());
+                }
+            }
+        }
+        expected.sort();
+        expected.dedup();
+
+        let mut got: Vec<String> = answer
+            .table
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Str(s) => s.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        got.sort();
+        got.dedup();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The mediated SUM equals the oracle sum of converted values.
+    #[test]
+    fn mediated_aggregate_matches_oracle(src in 0usize..4, seed in 1u64..200) {
+        let sys = synthetic_system(4, 10, seed);
+        let answer = sys
+            .query(&format!("SELECT SUM(f.amount) FROM fin{src} f"), "c_recv")
+            .unwrap();
+        let (naive, _) = sys
+            .query_naive(&format!("SELECT f.amount FROM fin{src} f"))
+            .unwrap();
+        let (cur, scale) = context_of(src);
+        let expected: f64 = naive
+            .rows
+            .iter()
+            .map(|r| match r[0] {
+                Value::Int(i) => to_usd(i, cur, scale),
+                _ => unreachable!(),
+            })
+            .sum();
+        let got = answer.table.rows[0][0].as_f64().unwrap();
+        prop_assert!((got - expected).abs() <= 1e-6 * expected.abs().max(1.0));
+    }
+}

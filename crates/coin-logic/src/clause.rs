@@ -1,0 +1,231 @@
+//! Clauses and the knowledge base.
+//!
+//! A COIN logic program is a set of definite clauses with negation-as-failure
+//! in bodies (SLDNF), partitioned here into a single [`KnowledgeBase`]
+//! indexed by head functor/arity. Context theories, elevation axioms and the
+//! domain model from the COIN framework all compile down to such clauses
+//! (see `coin-core::encode`).
+
+use std::collections::HashMap;
+
+use crate::symbol::Sym;
+use crate::term::Term;
+
+/// A body literal: a positive subgoal or a negation-as-failure subgoal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Literal {
+    Pos(Term),
+    /// Negation as failure (`\+ G` / `not(G)`).
+    Neg(Term),
+}
+
+impl Literal {
+    pub fn term(&self) -> &Term {
+        match self {
+            Literal::Pos(t) | Literal::Neg(t) => t,
+        }
+    }
+
+    pub fn is_negative(&self) -> bool {
+        matches!(self, Literal::Neg(_))
+    }
+
+    /// Rename variables by offset (for fresh clause instances).
+    pub fn offset_vars(&self, offset: u32) -> Literal {
+        match self {
+            Literal::Pos(t) => Literal::Pos(t.offset_vars(offset)),
+            Literal::Neg(t) => Literal::Neg(t.offset_vars(offset)),
+        }
+    }
+}
+
+impl std::fmt::Display for Literal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Literal::Pos(t) => write!(f, "{t}"),
+            Literal::Neg(t) => write!(f, "\\+ {t}"),
+        }
+    }
+}
+
+/// A clause `head :- body.` (facts have an empty body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    pub head: Term,
+    pub body: Vec<Literal>,
+    /// Number of distinct variables in the clause; used to allocate a fresh
+    /// frame when the clause is applied during resolution.
+    pub nvars: u32,
+}
+
+impl Clause {
+    pub fn fact(head: Term) -> Clause {
+        let nvars = head.max_var().map_or(0, |m| m + 1);
+        Clause { head, body: Vec::new(), nvars }
+    }
+
+    pub fn rule(head: Term, body: Vec<Literal>) -> Clause {
+        let mut max = head.max_var();
+        for l in &body {
+            max = max.max(l.term().max_var());
+        }
+        let nvars = max.map_or(0, |m| m + 1);
+        Clause { head, body, nvars }
+    }
+
+    /// The functor/arity this clause defines.
+    pub fn key(&self) -> (Sym, usize) {
+        self.head
+            .functor()
+            .expect("clause head must be an atom or compound term")
+    }
+}
+
+impl std::fmt::Display for Clause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            f.write_str(" :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+        }
+        f.write_str(".")
+    }
+}
+
+/// A set of clauses indexed by head functor and arity.
+#[derive(Debug, Default, Clone)]
+pub struct KnowledgeBase {
+    clauses: HashMap<(Sym, usize), Vec<Clause>>,
+    count: usize,
+}
+
+impl KnowledgeBase {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, clause: Clause) {
+        let key = clause.key();
+        self.clauses.entry(key).or_default().push(clause);
+        self.count += 1;
+    }
+
+    pub fn add_fact(&mut self, head: Term) {
+        self.add(Clause::fact(head));
+    }
+
+    /// All clauses whose head has the given functor/arity.
+    pub fn clauses_for(&self, key: (Sym, usize)) -> &[Clause] {
+        self.clauses.get(&key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Is any clause defined for this functor/arity?
+    pub fn defines(&self, key: (Sym, usize)) -> bool {
+        self.clauses.contains_key(&key)
+    }
+
+    /// Total number of clauses (facts + rules). This is the "number of
+    /// context statements" metric used by the scalability experiment.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterate over all clauses (unspecified order across predicates).
+    pub fn iter(&self) -> impl Iterator<Item = &Clause> {
+        self.clauses.values().flatten()
+    }
+
+    /// Remove all clauses for a predicate, returning how many were removed.
+    pub fn retract_all(&mut self, key: (Sym, usize)) -> usize {
+        match self.clauses.remove(&key) {
+            Some(v) => {
+                self.count -= v.len();
+                v.len()
+            }
+            None => 0,
+        }
+    }
+
+    /// Merge another knowledge base into this one.
+    pub fn absorb(&mut self, other: KnowledgeBase) {
+        for (_, v) in other.clauses {
+            for c in v {
+                self.add(c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fact_has_no_body() {
+        let c = Clause::fact(Term::compound("p", vec![Term::int(1)]));
+        assert!(c.body.is_empty());
+        assert_eq!(c.nvars, 0);
+    }
+
+    #[test]
+    fn nvars_counts_distinct_vars() {
+        let c = Clause::rule(
+            Term::compound("p", vec![Term::var(0), Term::var(2)]),
+            vec![Literal::Pos(Term::compound("q", vec![Term::var(1)]))],
+        );
+        assert_eq!(c.nvars, 3);
+    }
+
+    #[test]
+    fn kb_indexing() {
+        let mut kb = KnowledgeBase::new();
+        kb.add_fact(Term::compound("p", vec![Term::int(1)]));
+        kb.add_fact(Term::compound("p", vec![Term::int(2)]));
+        kb.add_fact(Term::compound("q", vec![Term::int(3)]));
+        let p = (Sym::intern("p"), 1);
+        assert_eq!(kb.clauses_for(p).len(), 2);
+        assert_eq!(kb.len(), 3);
+        assert!(kb.defines(p));
+        assert!(!kb.defines((Sym::intern("r"), 1)));
+    }
+
+    #[test]
+    fn retract_all_removes() {
+        let mut kb = KnowledgeBase::new();
+        kb.add_fact(Term::compound("p", vec![Term::int(1)]));
+        kb.add_fact(Term::compound("p", vec![Term::int(2)]));
+        assert_eq!(kb.retract_all((Sym::intern("p"), 1)), 2);
+        assert!(kb.is_empty());
+    }
+
+    #[test]
+    fn clause_display() {
+        let c = Clause::rule(
+            Term::compound("p", vec![Term::var(0)]),
+            vec![
+                Literal::Pos(Term::compound("q", vec![Term::var(0)])),
+                Literal::Neg(Term::compound("r", vec![Term::var(0)])),
+            ],
+        );
+        assert_eq!(c.to_string(), "p(_V0) :- q(_V0), \\+ r(_V0).");
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = KnowledgeBase::new();
+        a.add_fact(Term::atom("x"));
+        let mut b = KnowledgeBase::new();
+        b.add_fact(Term::atom("y"));
+        a.absorb(b);
+        assert_eq!(a.len(), 2);
+    }
+}

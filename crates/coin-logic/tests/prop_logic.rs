@@ -1,0 +1,142 @@
+//! Property-based tests for the logic engine's core invariants.
+
+use coin_logic::{parse_term_str, Bindings, Program, Solver, Term};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary terms over a small vocabulary (so that
+/// unification succeeds often enough to be interesting).
+fn arb_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (0u32..4).prop_map(Term::var),
+        prop_oneof![Just("a"), Just("b"), Just("usd")].prop_map(Term::atom),
+        (-5i64..5).prop_map(Term::int),
+        prop_oneof![Just("x"), Just("y")].prop_map(Term::string),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        (
+            prop_oneof![Just("f"), Just("g"), Just("col")],
+            prop::collection::vec(inner, 1..3),
+        )
+            .prop_map(|(f, args)| Term::compound(f, args))
+    })
+}
+
+proptest! {
+    /// Successful unification makes both terms resolve identically.
+    #[test]
+    fn unify_makes_terms_equal(a in arb_term(), b in arb_term()) {
+        let mut bind = Bindings::new();
+        bind.fresh(8);
+        if bind.unify(&a, &b) {
+            prop_assert_eq!(bind.resolve(&a), bind.resolve(&b));
+        }
+    }
+
+    /// Unification is symmetric in success/failure.
+    #[test]
+    fn unify_symmetric(a in arb_term(), b in arb_term()) {
+        let mut b1 = Bindings::new();
+        b1.fresh(8);
+        let mut b2 = Bindings::new();
+        b2.fresh(8);
+        prop_assert_eq!(b1.unify_or_undo(&a, &b), b2.unify_or_undo(&b, &a));
+    }
+
+    /// Resolution is idempotent.
+    #[test]
+    fn resolve_idempotent(a in arb_term(), b in arb_term()) {
+        let mut bind = Bindings::new();
+        bind.fresh(8);
+        let _ = bind.unify_or_undo(&a, &b);
+        let r1 = bind.resolve(&a);
+        let r2 = bind.resolve(&r1);
+        prop_assert_eq!(r1, r2);
+    }
+
+    /// Undoing to a mark restores all variables made since.
+    #[test]
+    fn undo_restores(a in arb_term(), b in arb_term()) {
+        let mut bind = Bindings::new();
+        bind.fresh(8);
+        let before: Vec<Term> = (0..8).map(|i| bind.resolve(&Term::var(i))).collect();
+        let m = bind.mark();
+        let _ = bind.unify(&a, &b);
+        bind.undo_to(m);
+        let after: Vec<Term> = (0..8).map(|i| bind.resolve(&Term::var(i))).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Ground terms printed by Display re-parse to the same term.
+    #[test]
+    fn display_parse_roundtrip(t in arb_term().prop_filter("ground", Term::is_ground)) {
+        let text = t.to_string();
+        let (parsed, _, _) = parse_term_str(&text).unwrap();
+        prop_assert_eq!(parsed, t);
+    }
+
+    /// Occurs check: unifying X with any term strictly containing X fails.
+    #[test]
+    fn occurs_check_holds(inner in arb_term()) {
+        let wrapped = Term::compound("f", vec![Term::var(0), inner]);
+        let mut bind = Bindings::new();
+        bind.fresh(8);
+        prop_assert!(!bind.unify_or_undo(&Term::var(0), &wrapped));
+    }
+
+    /// Arithmetic partial evaluation of fully ground int expressions agrees
+    /// with direct evaluation.
+    #[test]
+    fn ground_arith_agrees(x in -100i64..100, y in -100i64..100, z in -100i64..100) {
+        let src = format!("{x} + {y} * {z}");
+        let (t, _, _) = parse_term_str(&src).unwrap();
+        let bind = Bindings::new();
+        let r = coin_logic::eval::partial_eval(&t, &bind).unwrap();
+        prop_assert_eq!(r.term(), Term::int(x + y * z));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Solver facts: querying p(X) over n distinct facts yields n answers.
+    #[test]
+    fn fact_enumeration_complete(values in prop::collection::btree_set(-50i64..50, 1..12)) {
+        let src: String = values.iter().map(|v| format!("p({v}).\n")).collect();
+        let program = Program::from_source(&src).unwrap();
+        let solver = Solver::new(&program);
+        let answers = solver.query("p(X)").unwrap();
+        prop_assert_eq!(answers.len(), values.len());
+    }
+
+    /// NAF complement: answers to `p(X), \+ q(X)` plus answers to
+    /// `p(X), q(X)` partition the p-facts.
+    #[test]
+    fn naf_partitions(
+        ps in prop::collection::btree_set(0i64..20, 1..10),
+        qs in prop::collection::btree_set(0i64..20, 0..10),
+    ) {
+        let mut src = String::new();
+        for p in &ps { src.push_str(&format!("p({p}).\n")); }
+        for q in &qs { src.push_str(&format!("q({q}).\n")); }
+        let program = Program::from_source(&src).unwrap();
+        let solver = Solver::new(&program);
+        let neg = solver.query("p(X), \\+ q(X)").unwrap().len();
+        let pos = solver.query("p(X), q(X)").unwrap().len();
+        prop_assert_eq!(neg + pos, ps.len());
+    }
+
+    /// Residual constraints ground consistently: `X > k, p(X)` returns
+    /// exactly the p-facts above k.
+    #[test]
+    fn residual_then_ground(
+        values in prop::collection::btree_set(-50i64..50, 1..12),
+        k in -50i64..50,
+    ) {
+        let src: String = values.iter().map(|v| format!("p({v}).\n")).collect();
+        let program = Program::from_source(&src).unwrap();
+        let solver = Solver::new(&program);
+        let answers = solver.query(&format!("X > {k}, p(X)")).unwrap();
+        let expected = values.iter().filter(|&&v| v > k).count();
+        prop_assert_eq!(answers.len(), expected);
+    }
+}

@@ -1,0 +1,512 @@
+//! Regex abstract syntax and parser.
+//!
+//! The wrapper specification language of \[Qu96\] locates information on web
+//! pages with regular expressions. This module parses the pattern dialect
+//! used by wrapper specs:
+//!
+//! * literals, `.`, escapes (`\d \D \w \W \s \S`, punctuation escapes);
+//! * character classes `[a-z0-9_]`, negated `[^…]`, with escapes inside;
+//! * alternation `|`, grouping `(…)`, non-capturing `(?:…)`, named capture
+//!   groups `(?P<name>…)`;
+//! * quantifiers `* + ? {m} {m,} {m,n}`, each with a lazy variant (`*?` …);
+//! * anchors `^` and `$`.
+
+/// A character-class item: a single char or an inclusive range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassItem {
+    Single(char),
+    Range(char, char),
+}
+
+/// Parsed regex AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ast {
+    Empty,
+    Literal(char),
+    /// `.` — any char except newline.
+    Dot,
+    Class { negated: bool, items: Vec<ClassItem> },
+    Concat(Vec<Ast>),
+    Alternate(Vec<Ast>),
+    /// Quantified sub-pattern; `lazy` flips match priority.
+    Repeat { inner: Box<Ast>, min: u32, max: Option<u32>, lazy: bool },
+    /// Capturing group with 1-based index and optional name.
+    Group { index: u32, name: Option<String>, inner: Box<Ast> },
+    /// Non-capturing group.
+    NonCapturing(Box<Ast>),
+    AnchorStart,
+    AnchorEnd,
+}
+
+/// Pattern syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternError {
+    pub message: String,
+    pub position: usize,
+}
+
+impl std::fmt::Display for PatternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pattern error at offset {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+pub(crate) struct ParsedPattern {
+    pub ast: Ast,
+    pub group_count: u32,
+    pub group_names: Vec<(String, u32)>,
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    next_group: u32,
+    group_names: Vec<(String, u32)>,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> PatternError {
+        PatternError { message: msg.into(), position: self.pos }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn parse_alternate(&mut self) -> Result<Ast, PatternError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.eat('|') {
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Ast::Alternate(branches)
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, PatternError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.parse_quantified()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().unwrap(),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn parse_quantified(&mut self) -> Result<Ast, PatternError> {
+        let atom = self.parse_atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('{') => {
+                let save = self.pos;
+                self.bump();
+                match self.parse_bounds() {
+                    Some(b) => b,
+                    None => {
+                        // `{` not followed by a valid bound: literal brace.
+                        self.pos = save;
+                        return Ok(atom);
+                    }
+                }
+            }
+            _ => return Ok(atom),
+        };
+        if let Some(m) = max {
+            if m < min {
+                return Err(self.err(format!("bad repetition bounds {{{min},{m}}}")));
+            }
+        }
+        if matches!(atom, Ast::AnchorStart | Ast::AnchorEnd) {
+            return Err(self.err("cannot quantify an anchor"));
+        }
+        let lazy = self.eat('?');
+        Ok(Ast::Repeat { inner: Box::new(atom), min, max, lazy })
+    }
+
+    /// Parse `{m}`, `{m,}`, `{m,n}` after the opening brace; `None` if the
+    /// text is not a bound spec (caller treats `{` literally).
+    fn parse_bounds(&mut self) -> Option<(u32, Option<u32>)> {
+        let mut min_s = String::new();
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            min_s.push(self.bump().unwrap());
+        }
+        if min_s.is_empty() {
+            return None;
+        }
+        let min: u32 = min_s.parse().ok()?;
+        if self.eat('}') {
+            return Some((min, Some(min)));
+        }
+        if !self.eat(',') {
+            return None;
+        }
+        let mut max_s = String::new();
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            max_s.push(self.bump().unwrap());
+        }
+        if !self.eat('}') {
+            return None;
+        }
+        if max_s.is_empty() {
+            Some((min, None))
+        } else {
+            Some((min, Some(max_s.parse().ok()?)))
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, PatternError> {
+        match self.bump() {
+            None => Err(self.err("unexpected end of pattern")),
+            Some('(') => {
+                if self.eat('?') {
+                    if self.eat(':') {
+                        let inner = self.parse_alternate()?;
+                        if !self.eat(')') {
+                            return Err(self.err("unclosed group"));
+                        }
+                        return Ok(Ast::NonCapturing(Box::new(inner)));
+                    }
+                    if self.eat('P') {
+                        if !self.eat('<') {
+                            return Err(self.err("expected < after (?P"));
+                        }
+                        let mut name = String::new();
+                        while let Some(c) = self.peek() {
+                            if c == '>' {
+                                break;
+                            }
+                            if !(c.is_ascii_alphanumeric() || c == '_') {
+                                return Err(self.err(format!("bad group-name char {c:?}")));
+                            }
+                            name.push(self.bump().unwrap());
+                        }
+                        if name.is_empty() {
+                            return Err(self.err("empty group name"));
+                        }
+                        if !self.eat('>') {
+                            return Err(self.err("unclosed group name"));
+                        }
+                        if self.group_names.iter().any(|(n, _)| *n == name) {
+                            return Err(self.err(format!("duplicate group name {name}")));
+                        }
+                        self.next_group += 1;
+                        let index = self.next_group;
+                        self.group_names.push((name.clone(), index));
+                        let inner = self.parse_alternate()?;
+                        if !self.eat(')') {
+                            return Err(self.err("unclosed group"));
+                        }
+                        return Ok(Ast::Group {
+                            index,
+                            name: Some(name),
+                            inner: Box::new(inner),
+                        });
+                    }
+                    return Err(self.err("unsupported group flavour (?…"));
+                }
+                self.next_group += 1;
+                let index = self.next_group;
+                let inner = self.parse_alternate()?;
+                if !self.eat(')') {
+                    return Err(self.err("unclosed group"));
+                }
+                Ok(Ast::Group { index, name: None, inner: Box::new(inner) })
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Ast::Dot),
+            Some('^') => Ok(Ast::AnchorStart),
+            Some('$') => Ok(Ast::AnchorEnd),
+            Some('\\') => self.parse_escape(),
+            Some(c @ ('*' | '+' | '?')) => {
+                Err(self.err(format!("dangling quantifier {c:?}")))
+            }
+            Some(')') => Err(self.err("unmatched )")),
+            Some(c) => Ok(Ast::Literal(c)),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Ast, PatternError> {
+        let Some(c) = self.bump() else {
+            return Err(self.err("trailing backslash"));
+        };
+        Ok(match c {
+            'd' => class(false, vec![ClassItem::Range('0', '9')]),
+            'D' => class(true, vec![ClassItem::Range('0', '9')]),
+            'w' => class(
+                false,
+                vec![
+                    ClassItem::Range('a', 'z'),
+                    ClassItem::Range('A', 'Z'),
+                    ClassItem::Range('0', '9'),
+                    ClassItem::Single('_'),
+                ],
+            ),
+            'W' => class(
+                true,
+                vec![
+                    ClassItem::Range('a', 'z'),
+                    ClassItem::Range('A', 'Z'),
+                    ClassItem::Range('0', '9'),
+                    ClassItem::Single('_'),
+                ],
+            ),
+            's' => class(
+                false,
+                vec![
+                    ClassItem::Single(' '),
+                    ClassItem::Single('\t'),
+                    ClassItem::Single('\n'),
+                    ClassItem::Single('\r'),
+                ],
+            ),
+            'S' => class(
+                true,
+                vec![
+                    ClassItem::Single(' '),
+                    ClassItem::Single('\t'),
+                    ClassItem::Single('\n'),
+                    ClassItem::Single('\r'),
+                ],
+            ),
+            'n' => Ast::Literal('\n'),
+            't' => Ast::Literal('\t'),
+            'r' => Ast::Literal('\r'),
+            c if c.is_ascii_alphanumeric() => {
+                return Err(self.err(format!("unknown escape \\{c}")))
+            }
+            c => Ast::Literal(c),
+        })
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, PatternError> {
+        let negated = self.eat('^');
+        let mut items = Vec::new();
+        // A `]` directly after `[` or `[^` is a literal.
+        if self.eat(']') {
+            items.push(ClassItem::Single(']'));
+        }
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unclosed character class")),
+                Some(']') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    let lo = self.class_char()?;
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).is_some_and(|&c| c != ']')
+                    {
+                        self.bump();
+                        let hi = self.class_char()?;
+                        if hi < lo {
+                            return Err(self.err(format!("bad range {lo}-{hi}")));
+                        }
+                        items.push(ClassItem::Range(lo, hi));
+                    } else {
+                        items.push(ClassItem::Single(lo));
+                    }
+                }
+            }
+        }
+        if items.is_empty() {
+            return Err(self.err("empty character class"));
+        }
+        Ok(Ast::Class { negated, items })
+    }
+
+    fn class_char(&mut self) -> Result<char, PatternError> {
+        match self.bump() {
+            None => Err(self.err("unclosed character class")),
+            Some('\\') => match self.bump() {
+                None => Err(self.err("trailing backslash in class")),
+                Some('n') => Ok('\n'),
+                Some('t') => Ok('\t'),
+                Some('r') => Ok('\r'),
+                Some(c) => Ok(c),
+            },
+            Some(c) => Ok(c),
+        }
+    }
+}
+
+fn class(negated: bool, items: Vec<ClassItem>) -> Ast {
+    Ast::Class { negated, items }
+}
+
+pub(crate) fn parse(src: &str) -> Result<ParsedPattern, PatternError> {
+    let mut p = Parser {
+        chars: src.chars().collect(),
+        pos: 0,
+        next_group: 0,
+        group_names: Vec::new(),
+    };
+    let ast = p.parse_alternate()?;
+    if p.pos < p.chars.len() {
+        return Err(p.err(format!("unexpected {:?}", p.chars[p.pos])));
+    }
+    Ok(ParsedPattern { ast, group_count: p.next_group, group_names: p.group_names })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_concat() {
+        let p = parse("abc").unwrap();
+        assert_eq!(
+            p.ast,
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b'), Ast::Literal('c')])
+        );
+    }
+
+    #[test]
+    fn alternation_groups() {
+        let p = parse("a|b|c").unwrap();
+        match p.ast {
+            Ast::Alternate(bs) => assert_eq!(bs.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_numbering() {
+        let p = parse("(a)(?:b)((c))").unwrap();
+        assert_eq!(p.group_count, 3);
+    }
+
+    #[test]
+    fn named_groups_recorded() {
+        let p = parse(r"(?P<cur>[A-Z]{3}) (?P<rate>\d+)").unwrap();
+        assert_eq!(p.group_names, vec![("cur".into(), 1), ("rate".into(), 2)]);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        assert!(parse(r"(?P<x>a)(?P<x>b)").is_err());
+    }
+
+    #[test]
+    fn bounds_forms() {
+        assert!(matches!(
+            parse("a{3}").unwrap().ast,
+            Ast::Repeat { min: 3, max: Some(3), .. }
+        ));
+        assert!(matches!(
+            parse("a{2,}").unwrap().ast,
+            Ast::Repeat { min: 2, max: None, .. }
+        ));
+        assert!(matches!(
+            parse("a{2,5}").unwrap().ast,
+            Ast::Repeat { min: 2, max: Some(5), .. }
+        ));
+    }
+
+    #[test]
+    fn literal_brace_when_not_bound() {
+        let p = parse("a{x}").unwrap();
+        match p.ast {
+            Ast::Concat(parts) => assert_eq!(parts.len(), 4),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn lazy_quantifiers() {
+        assert!(matches!(parse("a*?").unwrap().ast, Ast::Repeat { lazy: true, .. }));
+        assert!(matches!(parse("a+?").unwrap().ast, Ast::Repeat { lazy: true, .. }));
+    }
+
+    #[test]
+    fn class_parsing() {
+        let p = parse("[a-z0_]").unwrap();
+        assert_eq!(
+            p.ast,
+            Ast::Class {
+                negated: false,
+                items: vec![
+                    ClassItem::Range('a', 'z'),
+                    ClassItem::Single('0'),
+                    ClassItem::Single('_')
+                ]
+            }
+        );
+    }
+
+    #[test]
+    fn negated_class_and_literal_bracket() {
+        assert!(matches!(parse("[^a]").unwrap().ast, Ast::Class { negated: true, .. }));
+        let p = parse("[]a]").unwrap();
+        match p.ast {
+            Ast::Class { items, .. } => assert_eq!(items.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_trailing_dash_literal() {
+        let p = parse("[a-]").unwrap();
+        match p.ast {
+            Ast::Class { items, .. } => {
+                assert_eq!(items, vec![ClassItem::Single('a'), ClassItem::Single('-')])
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("(a").is_err());
+        assert!(parse("a)").is_err());
+        assert!(parse("*a").is_err());
+        assert!(parse("[a").is_err());
+        assert!(parse("a{3,1}").is_err());
+        assert!(parse(r"\q").is_err());
+        assert!(parse("^*").is_err());
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(parse(r"\.").unwrap().ast, Ast::Literal('.'));
+        assert_eq!(parse(r"\\").unwrap().ast, Ast::Literal('\\'));
+        assert!(matches!(parse(r"\d").unwrap().ast, Ast::Class { negated: false, .. }));
+        assert!(matches!(parse(r"\W").unwrap().ast, Ast::Class { negated: true, .. }));
+    }
+}

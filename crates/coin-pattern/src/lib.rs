@@ -1,0 +1,296 @@
+//! # coin-pattern — the regular-expression engine of the web wrapper
+//!
+//! The COIN web wrapping technology \[Qu96\] specifies "regular expressions
+//! corresponding to what information is located on a page" (paper §2). This
+//! crate implements the pattern language those specifications use: a
+//! self-contained regex engine with capture groups (including named groups,
+//! which wrapper specs bind to exported relation columns), compiled to a
+//! Thompson NFA and executed by a Pike VM in linear time.
+//!
+//! ```
+//! use coin_pattern::Pattern;
+//!
+//! let p = Pattern::new(r"(?P<from>[A-Z]{3})->(?P<to>[A-Z]{3}):\s*(?P<rate>\d+\.\d+)").unwrap();
+//! let caps = p.captures("JPY->USD: 0.0096").unwrap();
+//! assert_eq!(caps.name("from"), Some("JPY"));
+//! assert_eq!(caps.name("rate"), Some("0.0096"));
+//! ```
+
+mod ast;
+mod vm;
+
+pub use ast::PatternError;
+
+use vm::{compile, pike_search, Inst};
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    source: String,
+    prog: Vec<Inst>,
+    nslots: usize,
+    names: Vec<(String, u32)>,
+    group_count: u32,
+}
+
+impl Pattern {
+    /// Compile a pattern.
+    pub fn new(source: &str) -> Result<Pattern, PatternError> {
+        let parsed = ast::parse(source)?;
+        let prog = compile(&parsed.ast, parsed.group_count);
+        Ok(Pattern {
+            source: source.to_owned(),
+            prog,
+            nslots: 2 * (parsed.group_count as usize + 1),
+            names: parsed.group_names,
+            group_count: parsed.group_count,
+        })
+    }
+
+    /// The pattern source text.
+    pub fn as_str(&self) -> &str {
+        &self.source
+    }
+
+    /// Number of capture groups (excluding group 0).
+    pub fn group_count(&self) -> u32 {
+        self.group_count
+    }
+
+    /// Names of the named groups, in declaration order.
+    pub fn group_names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Does the pattern match anywhere in `text`?
+    pub fn is_match(&self, text: &str) -> bool {
+        self.captures(text).is_some()
+    }
+
+    /// Leftmost-first match with capture groups.
+    pub fn captures<'t>(&self, text: &'t str) -> Option<Captures<'t>> {
+        self.captures_at(text, 0)
+    }
+
+    /// Like [`Pattern::captures`], starting the search at char index
+    /// `start`.
+    pub fn captures_at<'t>(&self, text: &'t str, start: usize) -> Option<Captures<'t>> {
+        let chars: Vec<char> = text.chars().collect();
+        if start > chars.len() {
+            return None;
+        }
+        // Byte offset of each char index (plus the end sentinel).
+        let mut byte_offsets: Vec<usize> = Vec::with_capacity(chars.len() + 1);
+        let mut off = 0;
+        for c in &chars {
+            byte_offsets.push(off);
+            off += c.len_utf8();
+        }
+        byte_offsets.push(off);
+        let slots = pike_search(&self.prog, self.nslots, &chars, start)?;
+        Some(Captures {
+            text,
+            byte_offsets,
+            slots,
+            names: self.names.clone(),
+        })
+    }
+
+    /// Iterate over non-overlapping matches, left to right.
+    pub fn find_iter<'p, 't>(&'p self, text: &'t str) -> Matches<'p, 't> {
+        Matches { pattern: self, text, next_start: 0, done: false }
+    }
+}
+
+/// The capture groups of one match.
+#[derive(Debug, Clone)]
+pub struct Captures<'t> {
+    text: &'t str,
+    byte_offsets: Vec<usize>,
+    slots: Vec<Option<usize>>,
+    names: Vec<(String, u32)>,
+}
+
+impl<'t> Captures<'t> {
+    /// The text of capture group `i` (0 is the whole match). `None` if the
+    /// group did not participate in the match.
+    pub fn get(&self, i: usize) -> Option<&'t str> {
+        let (s, e) = self.span(i)?;
+        Some(&self.text[self.byte_offsets[s]..self.byte_offsets[e]])
+    }
+
+    /// Char-index span of group `i`.
+    pub fn span(&self, i: usize) -> Option<(usize, usize)> {
+        let s = *self.slots.get(2 * i)?;
+        let e = *self.slots.get(2 * i + 1)?;
+        Some((s?, e?))
+    }
+
+    /// Text of a named group.
+    pub fn name(&self, name: &str) -> Option<&'t str> {
+        let (_, idx) = self.names.iter().find(|(n, _)| n == name)?;
+        self.get(*idx as usize)
+    }
+
+    /// The whole match text.
+    pub fn matched(&self) -> &'t str {
+        self.get(0).expect("group 0 always participates")
+    }
+
+    /// Number of groups (including group 0).
+    pub fn len(&self) -> usize {
+        self.slots.len() / 2
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Iterator over non-overlapping matches.
+pub struct Matches<'p, 't> {
+    pattern: &'p Pattern,
+    text: &'t str,
+    next_start: usize,
+    done: bool,
+}
+
+impl<'t> Iterator for Matches<'_, 't> {
+    type Item = Captures<'t>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let caps = self.pattern.captures_at(self.text, self.next_start)?;
+        let (start, end) = caps.span(0).unwrap();
+        if end == start {
+            // Empty match: advance one char to guarantee progress.
+            self.next_start = start + 1;
+        } else {
+            self.next_start = end;
+        }
+        if self.next_start > self.text.chars().count() {
+            self.done = true;
+        }
+        Some(caps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_match_and_groups() {
+        let p = Pattern::new(r"(\w+)@(\w+)").unwrap();
+        let c = p.captures("mail: context@mit edu").unwrap();
+        assert_eq!(c.matched(), "context@mit");
+        assert_eq!(c.get(1), Some("context"));
+        assert_eq!(c.get(2), Some("mit"));
+    }
+
+    #[test]
+    fn named_groups() {
+        let p = Pattern::new(r"(?P<k>\w+)=(?P<v>\d+)").unwrap();
+        let c = p.captures("x=42").unwrap();
+        assert_eq!(c.name("k"), Some("x"));
+        assert_eq!(c.name("v"), Some("42"));
+        assert_eq!(c.name("zzz"), None);
+    }
+
+    #[test]
+    fn alternation_priority() {
+        // Leftmost-first: the first alternative wins at the same position.
+        let p = Pattern::new("ab|abc").unwrap();
+        assert_eq!(p.captures("abc").unwrap().matched(), "ab");
+        let q = Pattern::new("abc|ab").unwrap();
+        assert_eq!(q.captures("abc").unwrap().matched(), "abc");
+    }
+
+    #[test]
+    fn optional_group_is_none() {
+        let p = Pattern::new(r"a(b)?c").unwrap();
+        let c = p.captures("ac").unwrap();
+        assert_eq!(c.get(1), None);
+        let c2 = p.captures("abc").unwrap();
+        assert_eq!(c2.get(1), Some("b"));
+    }
+
+    #[test]
+    fn find_iter_non_overlapping() {
+        let p = Pattern::new(r"\d+").unwrap();
+        let nums: Vec<&str> = p.find_iter("a1 bb22 ccc333").map(|c| c.matched()).collect();
+        assert_eq!(nums, vec!["1", "22", "333"]);
+    }
+
+    #[test]
+    fn find_iter_empty_matches_progress() {
+        let p = Pattern::new("x*").unwrap();
+        let n = p.find_iter("abc").count();
+        assert_eq!(n, 4); // empty match at each position incl. end
+    }
+
+    #[test]
+    fn unicode_text() {
+        let p = Pattern::new("通貨=(?P<c>[A-Z]+)").unwrap();
+        let c = p.captures("レート 通貨=JPY").unwrap();
+        assert_eq!(c.name("c"), Some("JPY"));
+    }
+
+    #[test]
+    fn html_extraction_pattern() {
+        // The wrapper-style pattern from a rates page.
+        let p = Pattern::new(
+            r"<td>(?P<from>[A-Z]{3})</td><td>(?P<to>[A-Z]{3})</td><td>(?P<rate>[0-9.]+)</td>",
+        )
+        .unwrap();
+        let html = "<tr><td>JPY</td><td>USD</td><td>0.0096</td></tr>";
+        let c = p.captures(html).unwrap();
+        assert_eq!(c.name("from"), Some("JPY"));
+        assert_eq!(c.name("to"), Some("USD"));
+        assert_eq!(c.name("rate"), Some("0.0096"));
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        let p = Pattern::new(r"^[A-Z]{3}$").unwrap();
+        assert!(p.is_match("USD"));
+        assert!(!p.is_match("US"));
+        assert!(!p.is_match("USDX"));
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        let p = Pattern::new("a.c").unwrap();
+        assert!(p.is_match("abc"));
+        assert!(!p.is_match("a\nc"));
+    }
+
+    #[test]
+    fn negated_class() {
+        let p = Pattern::new("<[^>]+>").unwrap();
+        assert_eq!(p.captures("<td>x</td>").unwrap().matched(), "<td>");
+    }
+
+    #[test]
+    fn start_of_search_not_string() {
+        let p = Pattern::new("^a").unwrap();
+        assert!(p.captures_at("ba", 1).is_none(), "^ anchors to string start");
+    }
+
+    #[test]
+    fn linear_on_pathological_input() {
+        // Would be exponential under a naive backtracker.
+        let p = Pattern::new("(a|aa)+$").unwrap();
+        let text = format!("{}b", "a".repeat(64));
+        assert!(!p.is_match(&text));
+    }
+
+    #[test]
+    fn group_names_listed() {
+        let p = Pattern::new(r"(?P<x>a)(?P<y>b)").unwrap();
+        let names: Vec<&str> = p.group_names().collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Differential testing of the Pike VM against a naive set-of-endpoints
+//! oracle over a structured pattern generator.
+
+use coin_pattern::Pattern;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A structured mini-pattern that renders to regex syntax and can be
+/// matched by an obviously-correct (if slow) closure computation.
+#[derive(Debug, Clone)]
+enum P {
+    Lit(char),
+    Dot,
+    Class(Vec<char>, bool),
+    Cat(Box<P>, Box<P>),
+    Alt(Box<P>, Box<P>),
+    Star(Box<P>),
+    Plus(Box<P>),
+    Opt(Box<P>),
+    Group(Box<P>),
+}
+
+impl P {
+    fn render(&self) -> String {
+        match self {
+            P::Lit(c) => c.to_string(),
+            P::Dot => ".".into(),
+            P::Class(cs, neg) => {
+                let body: String = cs.iter().collect();
+                format!("[{}{}]", if *neg { "^" } else { "" }, body)
+            }
+            P::Cat(a, b) => format!("{}{}", a.render(), b.render()),
+            P::Alt(a, b) => format!("(?:{}|{})", a.render(), b.render()),
+            P::Star(a) => format!("(?:{})*", a.render()),
+            P::Plus(a) => format!("(?:{})+", a.render()),
+            P::Opt(a) => format!("(?:{})?", a.render()),
+            P::Group(a) => format!("({})", a.render()),
+        }
+    }
+
+    /// All end positions of matches starting at `i`.
+    fn ends(&self, text: &[char], i: usize) -> BTreeSet<usize> {
+        match self {
+            P::Lit(c) => {
+                if text.get(i) == Some(c) {
+                    [i + 1].into()
+                } else {
+                    BTreeSet::new()
+                }
+            }
+            P::Dot => {
+                if i < text.len() && text[i] != '\n' {
+                    [i + 1].into()
+                } else {
+                    BTreeSet::new()
+                }
+            }
+            P::Class(cs, neg) => match text.get(i) {
+                Some(c) if cs.contains(c) != *neg => [i + 1].into(),
+                _ => BTreeSet::new(),
+            },
+            P::Cat(a, b) => a
+                .ends(text, i)
+                .into_iter()
+                .flat_map(|m| b.ends(text, m))
+                .collect(),
+            P::Alt(a, b) => {
+                let mut s = a.ends(text, i);
+                s.extend(b.ends(text, i));
+                s
+            }
+            P::Star(a) => {
+                let mut closed: BTreeSet<usize> = [i].into();
+                loop {
+                    let next: BTreeSet<usize> = closed
+                        .iter()
+                        .flat_map(|&m| a.ends(text, m))
+                        .collect();
+                    let before = closed.len();
+                    closed.extend(next);
+                    if closed.len() == before {
+                        return closed;
+                    }
+                }
+            }
+            P::Plus(a) => {
+                // a+ == a a*
+                a.ends(text, i)
+                    .into_iter()
+                    .flat_map(|m| P::Star(a.clone()).ends(text, m))
+                    .collect()
+            }
+            P::Opt(a) => {
+                let mut s = a.ends(text, i);
+                s.insert(i);
+                s
+            }
+            P::Group(a) => a.ends(text, i),
+        }
+    }
+
+    fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        (0..=chars.len()).any(|i| !self.ends(&chars, i).is_empty())
+    }
+}
+
+fn arb_pattern() -> impl Strategy<Value = P> {
+    let leaf = prop_oneof![
+        prop_oneof![Just('a'), Just('b'), Just('c')].prop_map(P::Lit),
+        Just(P::Dot),
+        (
+            prop::collection::vec(prop_oneof![Just('a'), Just('b'), Just('c')], 1..3),
+            any::<bool>()
+        )
+            .prop_map(|(cs, neg)| P::Class(cs, neg)),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| P::Cat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| P::Alt(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| P::Star(Box::new(a))),
+            inner.clone().prop_map(|a| P::Plus(Box::new(a))),
+            inner.clone().prop_map(|a| P::Opt(Box::new(a))),
+            inner.prop_map(|a| P::Group(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The Pike VM and the oracle agree on match/no-match.
+    #[test]
+    fn vm_agrees_with_oracle(p in arb_pattern(), text in "[abc]{0,8}") {
+        let rendered = p.render();
+        let compiled = Pattern::new(&rendered)
+            .unwrap_or_else(|e| panic!("generated pattern {rendered:?} failed to compile: {e}"));
+        prop_assert_eq!(
+            compiled.is_match(&text),
+            p.is_match(&text),
+            "pattern: {} text: {:?}",
+            rendered,
+            text
+        );
+    }
+
+    /// Whatever group 0 reports must be a real substring occurrence and an
+    /// oracle-accepted match.
+    #[test]
+    fn reported_span_is_valid(p in arb_pattern(), text in "[abc]{0,8}") {
+        let rendered = p.render();
+        let compiled = Pattern::new(&rendered).unwrap();
+        if let Some(caps) = compiled.captures(&text) {
+            let (s, e) = caps.span(0).unwrap();
+            let chars: Vec<char> = text.chars().collect();
+            prop_assert!(s <= e && e <= chars.len());
+            prop_assert!(p.ends(&chars, s).contains(&e),
+                "span ({s},{e}) not oracle-validated for {} on {:?}", rendered, text);
+        }
+    }
+}

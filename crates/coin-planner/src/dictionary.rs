@@ -1,0 +1,229 @@
+//! The schema dictionary.
+//!
+//! The multi-database access engine is "a front-end of dictionary and query
+//! services to the multiple wrapped sources", whose first function is
+//! "serving schema information such as names and attribute types of the
+//! table\[s\] located in the various sources" (paper §2). The [`Dictionary`]
+//! is that service: it registers sources, resolves table names (optionally
+//! source-qualified, `src1.r1`) and serves schemas to the normalizer, the
+//! mediator and clients.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use coin_rel::Schema;
+use coin_sql::normalize::SchemaLookup;
+use coin_wrapper::{Source, SourceRef};
+
+/// Dictionary errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DictError {
+    DuplicateSource(String),
+    AmbiguousTable(String),
+    UnknownTable(String),
+    UnknownSource(String),
+}
+
+impl std::fmt::Display for DictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DictError::DuplicateSource(s) => write!(f, "source {s} already registered"),
+            DictError::AmbiguousTable(t) => {
+                write!(f, "table {t} exists in multiple sources; qualify as source.table")
+            }
+            DictError::UnknownTable(t) => write!(f, "no source exports table {t}"),
+            DictError::UnknownSource(s) => write!(f, "unknown source {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DictError {}
+
+/// The registry of sources and their exported tables.
+#[derive(Clone, Default)]
+pub struct Dictionary {
+    sources: BTreeMap<String, SourceRef>,
+}
+
+impl Dictionary {
+    pub fn new() -> Dictionary {
+        Dictionary::default()
+    }
+
+    /// Register a source. Its name must be unique.
+    pub fn register(&mut self, source: SourceRef) -> Result<(), DictError> {
+        let name = source.name().to_owned();
+        if self.sources.contains_key(&name) {
+            return Err(DictError::DuplicateSource(name));
+        }
+        self.sources.insert(name, source);
+        Ok(())
+    }
+
+    /// Convenience: register a concrete source type.
+    pub fn register_source<S: Source + 'static>(&mut self, source: S) -> Result<(), DictError> {
+        self.register(Arc::new(source))
+    }
+
+    pub fn source(&self, name: &str) -> Result<&SourceRef, DictError> {
+        self.sources.get(name).ok_or_else(|| DictError::UnknownSource(name.to_owned()))
+    }
+
+    pub fn sources(&self) -> impl Iterator<Item = &SourceRef> {
+        self.sources.values()
+    }
+
+    pub fn source_names(&self) -> Vec<&str> {
+        self.sources.keys().map(String::as_str).collect()
+    }
+
+    /// Resolve a table to its owning source. If `source_hint` is given it
+    /// must match; otherwise the table name must be unambiguous across
+    /// sources.
+    pub fn resolve_table(
+        &self,
+        source_hint: Option<&str>,
+        table: &str,
+    ) -> Result<&SourceRef, DictError> {
+        if let Some(hint) = source_hint {
+            let src = self.source(hint)?;
+            if src.tables().iter().any(|(t, _)| t == table) {
+                return Ok(src);
+            }
+            return Err(DictError::UnknownTable(format!("{hint}.{table}")));
+        }
+        let mut owner = None;
+        for src in self.sources.values() {
+            if src.tables().iter().any(|(t, _)| t == table) {
+                if owner.is_some() {
+                    return Err(DictError::AmbiguousTable(table.to_owned()));
+                }
+                owner = Some(src);
+            }
+        }
+        owner.ok_or_else(|| DictError::UnknownTable(table.to_owned()))
+    }
+
+    /// Schema of a table (unambiguous or source-qualified).
+    pub fn schema_of(
+        &self,
+        source_hint: Option<&str>,
+        table: &str,
+    ) -> Result<Schema, DictError> {
+        let src = self.resolve_table(source_hint, table)?;
+        Ok(src
+            .tables()
+            .into_iter()
+            .find(|(t, _)| t == table)
+            .expect("resolve_table verified membership")
+            .1)
+    }
+
+    /// Every (source, table, schema) triple — the dictionary listing the
+    /// prototype's clients see.
+    pub fn listing(&self) -> Vec<(String, String, Schema)> {
+        let mut out = Vec::new();
+        for (name, src) in &self.sources {
+            for (table, schema) in src.tables() {
+                out.push((name.clone(), table, schema));
+            }
+        }
+        out
+    }
+}
+
+impl SchemaLookup for Dictionary {
+    fn columns_of(&self, table: &str) -> Option<Vec<String>> {
+        // Accept `source.table` qualified names too.
+        let (hint, bare) = match table.split_once('.') {
+            Some((s, t)) => (Some(s), t),
+            None => (None, table),
+        };
+        let schema = self.schema_of(hint, bare).ok()?;
+        Some(
+            schema
+                .columns
+                .iter()
+                .map(|c| {
+                    c.name
+                        .rsplit_once('.')
+                        .map_or(c.name.clone(), |(_, b)| b.to_owned())
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coin_rel::{Catalog, ColumnType, Table, Value};
+    use coin_wrapper::RelationalSource;
+
+    fn source_with(name: &str, table: &str) -> RelationalSource {
+        let t = Table::from_rows(
+            table,
+            Schema::of(&[("x", ColumnType::Int)]),
+            vec![vec![Value::Int(1)]],
+        );
+        RelationalSource::new(name, Catalog::new().with_table(t))
+    }
+
+    #[test]
+    fn register_and_resolve() {
+        let mut d = Dictionary::new();
+        d.register_source(source_with("s1", "t1")).unwrap();
+        d.register_source(source_with("s2", "t2")).unwrap();
+        assert_eq!(d.resolve_table(None, "t1").unwrap().name(), "s1");
+        assert_eq!(d.resolve_table(Some("s2"), "t2").unwrap().name(), "s2");
+        assert_eq!(d.source_names(), vec!["s1", "s2"]);
+    }
+
+    #[test]
+    fn duplicate_source_rejected() {
+        let mut d = Dictionary::new();
+        d.register_source(source_with("s1", "t1")).unwrap();
+        assert_eq!(
+            d.register_source(source_with("s1", "t9")).err().unwrap(),
+            DictError::DuplicateSource("s1".into())
+        );
+    }
+
+    #[test]
+    fn ambiguous_table_needs_qualifier() {
+        let mut d = Dictionary::new();
+        d.register_source(source_with("s1", "shared")).unwrap();
+        d.register_source(source_with("s2", "shared")).unwrap();
+        assert_eq!(
+            d.resolve_table(None, "shared").err().unwrap(),
+            DictError::AmbiguousTable("shared".into())
+        );
+        assert_eq!(d.resolve_table(Some("s2"), "shared").unwrap().name(), "s2");
+    }
+
+    #[test]
+    fn unknown_table_and_source() {
+        let d = Dictionary::new();
+        assert!(matches!(d.resolve_table(None, "zz"), Err(DictError::UnknownTable(_))));
+        assert!(matches!(d.source("zz"), Err(DictError::UnknownSource(_))));
+    }
+
+    #[test]
+    fn listing_enumerates_all() {
+        let mut d = Dictionary::new();
+        d.register_source(source_with("s1", "t1")).unwrap();
+        d.register_source(source_with("s2", "t2")).unwrap();
+        let l = d.listing();
+        assert_eq!(l.len(), 2);
+        assert_eq!(l[0].0, "s1");
+    }
+
+    #[test]
+    fn schema_lookup_for_normalizer() {
+        let mut d = Dictionary::new();
+        d.register_source(source_with("s1", "t1")).unwrap();
+        assert_eq!(d.columns_of("t1"), Some(vec!["x".to_owned()]));
+        assert_eq!(d.columns_of("s1.t1"), Some(vec!["x".to_owned()]));
+        assert_eq!(d.columns_of("zz"), None);
+    }
+}

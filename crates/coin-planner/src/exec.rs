@@ -1,0 +1,212 @@
+//! Plan execution.
+//!
+//! Runs the fetch steps against their sources, stages the results in a
+//! scratch [`Catalog`] (backed by the engine's local secondary storage for
+//! large intermediates), and evaluates the local query — joins across
+//! sources, residual predicates, aggregation, ordering — with `coin-rel`.
+
+use std::collections::BTreeSet;
+
+use coin_rel::{Catalog, Table, Value};
+use coin_sql::{BinOp, ColumnRef, Expr, Select};
+
+use crate::dictionary::Dictionary;
+use crate::plan::{FetchStep, Plan, PlanError};
+
+/// Execution statistics (communication accounting for EX-PLAN).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecStats {
+    /// Remote sub-queries issued.
+    pub remote_queries: usize,
+    /// Total rows shipped from sources.
+    pub rows_shipped: usize,
+    /// Simulated communication cost actually incurred
+    /// (Σ latency + per_tuple × rows per access).
+    pub comm_cost: f64,
+}
+
+/// Execute a plan, returning the result and execution statistics.
+pub fn execute_plan(plan: &Plan, dict: &Dictionary) -> Result<(Table, ExecStats), PlanError> {
+    let mut staging = Catalog::new();
+    let mut stats = ExecStats::default();
+
+    for step in &plan.steps {
+        match step {
+            FetchStep::Independent { source, binding, remote, .. } => {
+                let src = dict.source(source)?;
+                let mut t = src.execute_select(remote)?;
+                stats.remote_queries += 1;
+                stats.rows_shipped += t.rows.len();
+                let cost = src.capabilities().cost;
+                stats.comm_cost += cost.latency + cost.per_tuple * t.rows.len() as f64;
+                t.name = binding.clone();
+                staging.add_table(t);
+            }
+            FetchStep::Dependent { source, binding, remote_base, params, .. } => {
+                let src = dict.source(source)?;
+                // Distinct parameter combinations from the feeding staged
+                // table(s). All params must feed from the same binding for a
+                // single staged scan; mixed feeders use a cross of their
+                // distinct values.
+                let combos = parameter_combos(&staging, params)?;
+                let mut merged: Option<Table> = None;
+                let mut seen: BTreeSet<String> = BTreeSet::new();
+                for combo in combos {
+                    let key = format!("{combo:?}");
+                    if !seen.insert(key) {
+                        continue;
+                    }
+                    let mut remote = remote_base.clone();
+                    let mut preds: Vec<Expr> = remote
+                        .where_clause
+                        .take()
+                        .map(|w| w.conjuncts().into_iter().cloned().collect())
+                        .unwrap_or_default();
+                    for (p, v) in params.iter().zip(&combo) {
+                        preds.push(Expr::Bin(
+                            Box::new(Expr::Column(ColumnRef::bare(&p.column))),
+                            BinOp::Eq,
+                            Box::new(value_to_expr(v)),
+                        ));
+                    }
+                    remote.where_clause = Expr::conjoin(preds);
+                    let t = src.execute_select(&remote)?;
+                    stats.remote_queries += 1;
+                    stats.rows_shipped += t.rows.len();
+                    let cost = src.capabilities().cost;
+                    stats.comm_cost += cost.latency + cost.per_tuple * t.rows.len() as f64;
+                    merged = Some(match merged {
+                        None => t,
+                        Some(mut acc) => {
+                            acc.rows.extend(t.rows);
+                            acc
+                        }
+                    });
+                }
+                let mut table = merged.unwrap_or_else(|| {
+                    // No parameter values: empty staged relation with the
+                    // base schema from the dictionary.
+                    let schema = dict
+                        .schema_of(Some(source), &step_table(step))
+                        .unwrap_or_default();
+                    Table::new(binding, project_schema(&schema, remote_base))
+                });
+                table.name = binding.clone();
+                staging.add_table(table);
+            }
+        }
+    }
+
+    let result = coin_rel::execute_select(&plan.local, &staging)?;
+    Ok((result, stats))
+}
+
+fn step_table(step: &FetchStep) -> String {
+    match step {
+        FetchStep::Independent { table, .. } | FetchStep::Dependent { table, .. } => {
+            table.clone()
+        }
+    }
+}
+
+/// When a dependent fetch never ran, the staged table still needs the
+/// schema the remote query would have produced.
+fn project_schema(base: &coin_rel::Schema, remote: &Select) -> coin_rel::Schema {
+    use coin_sql::SelectItem;
+    let mut cols = Vec::new();
+    for item in &remote.items {
+        match item {
+            SelectItem::Wildcard => return base.clone(),
+            SelectItem::QualifiedWildcard(_) => return base.clone(),
+            SelectItem::Expr { expr: Expr::Column(c), .. } => {
+                if let Some(i) = base.resolve(None, &c.column) {
+                    cols.push(base.columns[i].clone());
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| expr.to_string());
+                cols.push(coin_rel::Column::new(&name, coin_rel::ColumnType::Any));
+            }
+        }
+    }
+    coin_rel::Schema::new(cols)
+}
+
+/// Enumerate distinct value combinations for the parameter columns.
+fn parameter_combos(
+    staging: &Catalog,
+    params: &[crate::plan::ParamBinding],
+) -> Result<Vec<Vec<Value>>, PlanError> {
+    // Group parameters by feeding binding: same-feeder params take value
+    // tuples row-wise; distinct feeders cross-product their value sets.
+    let mut per_feeder: Vec<(String, Vec<usize>)> = Vec::new();
+    for (i, p) in params.iter().enumerate() {
+        match per_feeder.iter_mut().find(|(b, _)| *b == p.from_binding) {
+            Some((_, idxs)) => idxs.push(i),
+            None => per_feeder.push((p.from_binding.clone(), vec![i])),
+        }
+    }
+    let mut combos: Vec<Vec<(usize, Value)>> = vec![Vec::new()];
+    for (feeder, idxs) in &per_feeder {
+        let table = staging.get(feeder).ok_or_else(|| {
+            PlanError::Unsupported(format!(
+                "dependent fetch feeder {feeder} not staged before use"
+            ))
+        })?;
+        // Row-wise tuples of this feeder's parameter columns.
+        let col_positions: Vec<usize> = idxs
+            .iter()
+            .map(|&i| {
+                table
+                    .schema
+                    .resolve(None, &params[i].from_column)
+                    .ok_or_else(|| {
+                        PlanError::Unsupported(format!(
+                            "column {} missing from staged {feeder}",
+                            params[i].from_column
+                        ))
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        let mut values: Vec<Vec<Value>> = Vec::new();
+        for row in &table.rows {
+            let tuple: Vec<Value> =
+                col_positions.iter().map(|&c| row[c].clone()).collect();
+            if tuple.iter().any(Value::is_null) {
+                continue; // NULL parameters can never produce matches
+            }
+            if !values.contains(&tuple) {
+                values.push(tuple);
+            }
+        }
+        let mut next = Vec::new();
+        for base in &combos {
+            for tuple in &values {
+                let mut c = base.clone();
+                for (&i, v) in idxs.iter().zip(tuple) {
+                    c.push((i, v.clone()));
+                }
+                next.push(c);
+            }
+        }
+        combos = next;
+    }
+    // Normalize each combo into parameter order.
+    Ok(combos
+        .into_iter()
+        .map(|mut c| {
+            c.sort_by_key(|(i, _)| *i);
+            c.into_iter().map(|(_, v)| v).collect()
+        })
+        .collect())
+}
+
+fn value_to_expr(v: &Value) -> Expr {
+    match v {
+        Value::Null => Expr::Null,
+        Value::Bool(b) => Expr::Bool(*b),
+        Value::Int(i) => Expr::Int(*i),
+        Value::Float(f) => Expr::Float(*f),
+        Value::Str(s) => Expr::Str(s.clone()),
+    }
+}

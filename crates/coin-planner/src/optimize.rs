@@ -1,0 +1,432 @@
+//! Query decomposition and cost-based optimization.
+//!
+//! "Planning and optimizing the multi-source queries taking into account
+//! the sources capabilities as well as the execution and communication
+//! costs" (paper §2). Concretely:
+//!
+//! * **decomposition** — each FROM binding becomes a remote sub-query
+//!   against its owning source;
+//! * **selection pushdown** — single-binding predicates are evaluated
+//!   remotely when the source's capability record allows it;
+//! * **projection pushdown** — only columns the query needs are fetched;
+//! * **binding patterns** — sources requiring bound columns (web wrappers)
+//!   are accessed *dependently*: per distinct value combination from
+//!   already-staged results;
+//! * **ordering** — steps run dependencies-first, cheapest-first, and the
+//!   local join order follows ascending estimated cardinality.
+//!
+//! Every decision is individually switchable through [`PlannerConfig`] for
+//! the ablation benchmarks (EX-PLAN).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use coin_sql::{BinOp, ColumnRef, Expr, Select, SelectItem, TableRef};
+
+use crate::dictionary::Dictionary;
+use crate::plan::{FetchStep, ParamBinding, Plan, PlanError};
+
+/// Optimizer switches (all on by default).
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerConfig {
+    /// Push single-binding predicates into capable sources.
+    pub pushdown_select: bool,
+    /// Fetch only referenced columns.
+    pub pushdown_project: bool,
+    /// Order fetches / local joins by estimated cardinality.
+    pub reorder: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig { pushdown_select: true, pushdown_project: true, reorder: true }
+    }
+}
+
+/// Per-binding information gathered during decomposition.
+struct BindingInfo {
+    binding: String,
+    source: String,
+    table: String,
+    /// Single-binding predicates.
+    local_preds: Vec<Expr>,
+    /// Columns of this binding referenced anywhere in the query.
+    used_columns: BTreeSet<String>,
+    /// Required-bound columns (from the source's capability record).
+    required_bound: Vec<String>,
+    /// Base cardinality estimate.
+    base_card: f64,
+    /// Source cost parameters.
+    cost: coin_wrapper::CostParams,
+    /// Can the source evaluate predicates?
+    can_push: bool,
+}
+
+/// Estimated selectivity of a predicate (classic System-R style constants).
+fn selectivity(e: &Expr) -> f64 {
+    match e {
+        Expr::Bin(_, BinOp::Eq, _) => 0.1,
+        Expr::Bin(_, BinOp::Neq, _) => 0.9,
+        Expr::Bin(_, op, _) if op.is_comparison() => 0.3,
+        Expr::Between { .. } => 0.25,
+        Expr::InList { list, .. } => (0.1 * list.len() as f64).min(1.0),
+        Expr::Like { .. } => 0.25,
+        Expr::IsNull { .. } => 0.05,
+        _ => 0.5,
+    }
+}
+
+/// Does this equality bind `col` of `binding` to a literal?
+fn literal_binding(e: &Expr, binding: &str) -> Option<(String, Expr)> {
+    let Expr::Bin(l, BinOp::Eq, r) = e else { return None };
+    let (col, lit) = match (l.as_ref(), r.as_ref()) {
+        (Expr::Column(c), lit) if is_literal(lit) => (c, lit),
+        (lit, Expr::Column(c)) if is_literal(lit) => (c, lit),
+        _ => return None,
+    };
+    if col.qualifier.as_deref() == Some(binding) {
+        Some((col.column.clone(), lit.clone()))
+    } else {
+        None
+    }
+}
+
+fn is_literal(e: &Expr) -> bool {
+    matches!(e, Expr::Int(_) | Expr::Float(_) | Expr::Str(_) | Expr::Bool(_))
+}
+
+/// Does this equality link `col` of `binding` to a column of another
+/// binding? Returns (this column, other binding, other column).
+fn cross_binding(e: &Expr, binding: &str) -> Option<(String, String, String)> {
+    let Expr::Bin(l, BinOp::Eq, r) = e else { return None };
+    let (Expr::Column(a), Expr::Column(b)) = (l.as_ref(), r.as_ref()) else {
+        return None;
+    };
+    let (qa, qb) = (a.qualifier.as_deref()?, b.qualifier.as_deref()?);
+    if qa == binding && qb != binding {
+        Some((a.column.clone(), qb.to_owned(), b.column.clone()))
+    } else if qb == binding && qa != binding {
+        Some((b.column.clone(), qa.to_owned(), a.column.clone()))
+    } else {
+        None
+    }
+}
+
+/// The planner: dictionary + configuration.
+pub struct Planner {
+    pub dictionary: Dictionary,
+    pub config: PlannerConfig,
+}
+
+impl Planner {
+    pub fn new(dictionary: Dictionary) -> Planner {
+        Planner { dictionary, config: PlannerConfig::default() }
+    }
+
+    pub fn with_config(dictionary: Dictionary, config: PlannerConfig) -> Planner {
+        Planner { dictionary, config }
+    }
+
+    /// Plan one SELECT block.
+    pub fn plan_select(&self, select: &Select) -> Result<Plan, PlanError> {
+        let s = coin_sql::normalize_select(select, &self.dictionary)?;
+        let conjuncts: Vec<Expr> = s
+            .where_clause
+            .as_ref()
+            .map(|w| w.conjuncts().into_iter().cloned().collect())
+            .unwrap_or_default();
+
+        // ---- gather per-binding info -----------------------------------
+        let mut infos: Vec<BindingInfo> = Vec::new();
+        for t in &s.from {
+            let src = self
+                .dictionary
+                .resolve_table(t.source.as_deref(), &t.table)?;
+            let caps = src.capabilities();
+            let binding = t.binding().to_owned();
+            let base_card =
+                src.estimated_cardinality(&t.table).map_or(1000.0, |n| n.max(1) as f64);
+            infos.push(BindingInfo {
+                binding,
+                source: src.name().to_owned(),
+                table: t.table.clone(),
+                local_preds: Vec::new(),
+                used_columns: BTreeSet::new(),
+                required_bound: caps
+                    .bound_columns
+                    .get(&t.table)
+                    .cloned()
+                    .unwrap_or_default(),
+                base_card,
+                cost: caps.cost,
+                can_push: caps.pushdown_select,
+            });
+        }
+
+        // Used columns per binding (projection pushdown).
+        let mut all_cols: Vec<&ColumnRef> = Vec::new();
+        for item in &s.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                expr.columns(&mut all_cols);
+            }
+        }
+        for c in &conjuncts {
+            c.columns(&mut all_cols);
+        }
+        for g in &s.group_by {
+            g.columns(&mut all_cols);
+        }
+        if let Some(h) = &s.having {
+            h.columns(&mut all_cols);
+        }
+        for o in &s.order_by {
+            o.expr.columns(&mut all_cols);
+        }
+        for c in all_cols {
+            if let Some(q) = &c.qualifier {
+                if let Some(info) = infos.iter_mut().find(|i| i.binding == *q) {
+                    info.used_columns.insert(c.column.clone());
+                }
+            }
+        }
+
+        // Single-binding predicates.
+        for c in &conjuncts {
+            let mut cols = Vec::new();
+            c.columns(&mut cols);
+            let quals: BTreeSet<&str> =
+                cols.iter().filter_map(|c| c.qualifier.as_deref()).collect();
+            if quals.len() == 1 {
+                let q = *quals.iter().next().unwrap();
+                if let Some(info) = infos.iter_mut().find(|i| i.binding == q) {
+                    info.local_preds.push(c.clone());
+                }
+            }
+        }
+
+        // ---- build steps ------------------------------------------------
+        let mut steps: Vec<FetchStep> = Vec::new();
+        for info in &infos {
+            // Literal bindings for required-bound columns.
+            let mut bound_by_literal: BTreeMap<String, Expr> = BTreeMap::new();
+            for p in &info.local_preds {
+                if let Some((col, lit)) = literal_binding(p, &info.binding) {
+                    bound_by_literal.insert(col, lit);
+                }
+            }
+            // Cross-binding parameters for the rest.
+            let mut params: Vec<ParamBinding> = Vec::new();
+            for col in &info.required_bound {
+                if bound_by_literal.contains_key(col) {
+                    continue;
+                }
+                let mut found = false;
+                for c in &conjuncts {
+                    if let Some((this_col, other_b, other_c)) = cross_binding(c, &info.binding)
+                    {
+                        if this_col == *col {
+                            params.push(ParamBinding {
+                                column: col.clone(),
+                                from_binding: other_b,
+                                from_column: other_c,
+                            });
+                            found = true;
+                            break;
+                        }
+                    }
+                }
+                if !found {
+                    return Err(PlanError::UnboundParameter {
+                        binding: info.binding.clone(),
+                        column: col.clone(),
+                    });
+                }
+            }
+
+            // Remote projection.
+            let items: Vec<SelectItem> = if self.config.pushdown_project
+                && !info.used_columns.is_empty()
+            {
+                let mut cols: Vec<String> = info.used_columns.iter().cloned().collect();
+                // Parameter columns must flow back for the local join.
+                for p in &params {
+                    if !cols.contains(&p.column) {
+                        cols.push(p.column.clone());
+                    }
+                }
+                cols.sort();
+                cols.iter()
+                    .map(|c| SelectItem::Expr {
+                        expr: Expr::Column(ColumnRef::bare(c)),
+                        alias: None,
+                    })
+                    .collect()
+            } else {
+                vec![SelectItem::Wildcard]
+            };
+
+            // Remote predicates: per capability (binding literals always go,
+            // the wrapper needs them as parameters).
+            let mut remote_preds: Vec<Expr> = Vec::new();
+            let mut pushed_selectivity = 1.0;
+            for p in &info.local_preds {
+                let is_binding_literal = literal_binding(p, &info.binding)
+                    .is_some_and(|(c, _)| info.required_bound.contains(&c));
+                let push = is_binding_literal
+                    || (self.config.pushdown_select && info.can_push);
+                if push {
+                    pushed_selectivity *= selectivity(p);
+                    remote_preds.push(strip_qualifier(p, &info.binding));
+                }
+            }
+
+            let remote = Select {
+                items: items.clone(),
+                from: vec![TableRef::new(&info.table)],
+                where_clause: Expr::conjoin(remote_preds),
+                ..Default::default()
+            };
+
+            if params.is_empty() {
+                let est_rows = (info.base_card * pushed_selectivity).max(1.0);
+                let est_cost = info.cost.latency + info.cost.per_tuple * est_rows;
+                steps.push(FetchStep::Independent {
+                    source: info.source.clone(),
+                    binding: info.binding.clone(),
+                    table: info.table.clone(),
+                    remote,
+                    est_rows,
+                    est_cost,
+                });
+            } else {
+                // Distinct parameter combinations estimated from the feeding
+                // binding's cardinality (capped: parameters often have few
+                // distinct values, e.g. currencies).
+                let feeder = params
+                    .first()
+                    .and_then(|p| infos.iter().find(|i| i.binding == p.from_binding));
+                let est_fetches = feeder
+                    .map(|f| {
+                        let sel: f64 =
+                            f.local_preds.iter().map(selectivity).product();
+                        (f.base_card * sel).clamp(1.0, 64.0)
+                    })
+                    .unwrap_or(8.0);
+                let est_cost =
+                    est_fetches * (info.cost.latency + info.cost.per_tuple * 2.0);
+                steps.push(FetchStep::Dependent {
+                    source: info.source.clone(),
+                    binding: info.binding.clone(),
+                    table: info.table.clone(),
+                    remote_base: remote,
+                    params,
+                    est_fetches,
+                    est_cost,
+                });
+            }
+        }
+
+        // ---- order steps: dependencies first, then cheapest-first --------
+        let ordered = order_steps(steps, self.config.reorder)?;
+
+        // ---- local query over staged tables ------------------------------
+        let mut local_from: Vec<TableRef> =
+            ordered.iter().map(|s| TableRef::new(s.binding())).collect();
+        if !self.config.reorder {
+            // Preserve the query's FROM order locally.
+            local_from = s.from.iter().map(|t| TableRef::new(t.binding())).collect();
+        }
+        let local = Select {
+            distinct: s.distinct,
+            items: s.items.clone(),
+            from: local_from,
+            where_clause: s.where_clause.clone(),
+            group_by: s.group_by.clone(),
+            having: s.having.clone(),
+            order_by: s.order_by.clone(),
+            limit: s.limit,
+        };
+
+        let est_cost: f64 = ordered.iter().map(FetchStep::est_cost).sum();
+        Ok(Plan { steps: ordered, local, est_cost })
+    }
+}
+
+/// Order steps so dependencies come first; among available steps pick the
+/// cheapest (when `reorder`) or keep query order.
+fn order_steps(steps: Vec<FetchStep>, reorder: bool) -> Result<Vec<FetchStep>, PlanError> {
+    let mut pending = steps;
+    let mut done: Vec<FetchStep> = Vec::new();
+    let mut staged: BTreeSet<String> = BTreeSet::new();
+    while !pending.is_empty() {
+        // Steps whose dependencies are all staged.
+        let mut candidates: Vec<usize> = pending
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.dependencies().iter().all(|d| staged.contains(*d)))
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            return Err(PlanError::CyclicDependency(
+                pending.iter().map(|s| s.binding().to_owned()).collect(),
+            ));
+        }
+        let pick = if reorder {
+            candidates
+                .drain(..)
+                .min_by(|&a, &b| {
+                    pending[a]
+                        .est_cost()
+                        .partial_cmp(&pending[b].est_cost())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap()
+        } else {
+            candidates[0]
+        };
+        let step = pending.remove(pick);
+        staged.insert(step.binding().to_owned());
+        done.push(step);
+    }
+    Ok(done)
+}
+
+/// Remove the binding qualifier from column references (remote queries see
+/// their own table unqualified).
+fn strip_qualifier(e: &Expr, binding: &str) -> Expr {
+    match e {
+        Expr::Column(c) if c.qualifier.as_deref() == Some(binding) => {
+            Expr::Column(ColumnRef::bare(&c.column))
+        }
+        Expr::Bin(l, op, r) => Expr::Bin(
+            Box::new(strip_qualifier(l, binding)),
+            *op,
+            Box::new(strip_qualifier(r, binding)),
+        ),
+        Expr::Un(op, inner) => Expr::Un(*op, Box::new(strip_qualifier(inner, binding))),
+        Expr::Func(f, args) => Expr::Func(
+            f.clone(),
+            args.iter().map(|a| strip_qualifier(a, binding)).collect(),
+        ),
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(strip_qualifier(expr, binding)),
+            low: Box::new(strip_qualifier(low, binding)),
+            high: Box::new(strip_qualifier(high, binding)),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(strip_qualifier(expr, binding)),
+            list: list.iter().map(|a| strip_qualifier(a, binding)).collect(),
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(strip_qualifier(expr, binding)),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(strip_qualifier(expr, binding)),
+            negated: *negated,
+        },
+        other => other.clone(),
+    }
+}

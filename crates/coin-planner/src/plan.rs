@@ -1,0 +1,203 @@
+//! Query plans for multi-source execution.
+//!
+//! A [`Plan`] is an ordered list of *fetch steps* (remote sub-queries sent
+//! to sources, independent or parameter-dependent) followed by a *local
+//! query* executed over the staged results — the "query execution plan"
+//! whose execution the multi-database access engine controls, "executing
+//! the necessary local operations (e.g. joins across sources)" (paper §2).
+
+use coin_sql::Select;
+
+/// A parameter of a dependent fetch: the remote column that must be bound,
+/// and where its values come from (a previously staged binding/column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamBinding {
+    pub column: String,
+    pub from_binding: String,
+    pub from_column: String,
+}
+
+/// One remote access.
+#[derive(Debug, Clone)]
+pub enum FetchStep {
+    /// A self-contained sub-query answered by one source.
+    Independent {
+        source: String,
+        binding: String,
+        table: String,
+        remote: Select,
+        est_rows: f64,
+        est_cost: f64,
+    },
+    /// A parameterized sub-query executed once per distinct combination of
+    /// values drawn from earlier staged results (index-nested-loop style
+    /// access honouring the source's binding pattern).
+    Dependent {
+        source: String,
+        binding: String,
+        table: String,
+        /// Remote query containing the literal predicates; parameter
+        /// equalities are appended per fetch.
+        remote_base: Select,
+        params: Vec<ParamBinding>,
+        est_fetches: f64,
+        est_cost: f64,
+    },
+}
+
+impl FetchStep {
+    pub fn binding(&self) -> &str {
+        match self {
+            FetchStep::Independent { binding, .. } | FetchStep::Dependent { binding, .. } => {
+                binding
+            }
+        }
+    }
+
+    pub fn source(&self) -> &str {
+        match self {
+            FetchStep::Independent { source, .. } | FetchStep::Dependent { source, .. } => {
+                source
+            }
+        }
+    }
+
+    pub fn est_cost(&self) -> f64 {
+        match self {
+            FetchStep::Independent { est_cost, .. } | FetchStep::Dependent { est_cost, .. } => {
+                *est_cost
+            }
+        }
+    }
+
+    /// Bindings this step depends on (must be staged earlier).
+    pub fn dependencies(&self) -> Vec<&str> {
+        match self {
+            FetchStep::Independent { .. } => Vec::new(),
+            FetchStep::Dependent { params, .. } => {
+                let mut deps: Vec<&str> =
+                    params.iter().map(|p| p.from_binding.as_str()).collect();
+                deps.sort_unstable();
+                deps.dedup();
+                deps
+            }
+        }
+    }
+}
+
+/// A complete single-block plan.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Remote fetches, in execution order (dependencies first).
+    pub steps: Vec<FetchStep>,
+    /// The local query over staged tables (named by binding).
+    pub local: Select,
+    /// Total estimated cost in abstract cost units.
+    pub est_cost: f64,
+}
+
+impl Plan {
+    /// Human-readable plan rendering (the prototype's EXPLAIN).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("PLAN (estimated cost {:.1})\n", self.est_cost));
+        for (i, s) in self.steps.iter().enumerate() {
+            match s {
+                FetchStep::Independent { source, binding, remote, est_rows, est_cost, .. } => {
+                    out.push_str(&format!(
+                        "  step {i}: fetch [{binding}] from source {source} \
+                         (est {est_rows:.0} rows, cost {est_cost:.1})\n    {remote}\n"
+                    ));
+                }
+                FetchStep::Dependent {
+                    source,
+                    binding,
+                    remote_base,
+                    params,
+                    est_fetches,
+                    est_cost,
+                    ..
+                } => {
+                    let plist: Vec<String> = params
+                        .iter()
+                        .map(|p| {
+                            format!("{} := {}.{}", p.column, p.from_binding, p.from_column)
+                        })
+                        .collect();
+                    out.push_str(&format!(
+                        "  step {i}: dependent fetch [{binding}] from source {source} \
+                         per ({}) (est {est_fetches:.0} fetches, cost {est_cost:.1})\n    {remote_base}\n",
+                        plist.join(", ")
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!("  local: {}\n", self.local));
+        out
+    }
+}
+
+/// Planner errors.
+#[derive(Debug)]
+pub enum PlanError {
+    Dict(crate::dictionary::DictError),
+    Sql(coin_sql::SqlError),
+    Normalize(coin_sql::NormalizeError),
+    Source(coin_wrapper::SourceError),
+    Engine(coin_rel::EngineError),
+    /// A binding-pattern column could not be bound by literals or by
+    /// cross-binding equalities.
+    UnboundParameter { binding: String, column: String },
+    /// Dependent fetches form a cycle (mutually parameter-dependent
+    /// sources).
+    CyclicDependency(Vec<String>),
+    Unsupported(String),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Dict(e) => write!(f, "{e}"),
+            PlanError::Sql(e) => write!(f, "{e}"),
+            PlanError::Normalize(e) => write!(f, "{e}"),
+            PlanError::Source(e) => write!(f, "{e}"),
+            PlanError::Engine(e) => write!(f, "{e}"),
+            PlanError::UnboundParameter { binding, column } => write!(
+                f,
+                "source of {binding} requires {column} to be bound by the query"
+            ),
+            PlanError::CyclicDependency(bs) => {
+                write!(f, "cyclic parameter dependencies among: {}", bs.join(", "))
+            }
+            PlanError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<crate::dictionary::DictError> for PlanError {
+    fn from(e: crate::dictionary::DictError) -> Self {
+        PlanError::Dict(e)
+    }
+}
+impl From<coin_sql::SqlError> for PlanError {
+    fn from(e: coin_sql::SqlError) -> Self {
+        PlanError::Sql(e)
+    }
+}
+impl From<coin_sql::NormalizeError> for PlanError {
+    fn from(e: coin_sql::NormalizeError) -> Self {
+        PlanError::Normalize(e)
+    }
+}
+impl From<coin_wrapper::SourceError> for PlanError {
+    fn from(e: coin_wrapper::SourceError) -> Self {
+        PlanError::Source(e)
+    }
+}
+impl From<coin_rel::EngineError> for PlanError {
+    fn from(e: coin_rel::EngineError) -> Self {
+        PlanError::Engine(e)
+    }
+}

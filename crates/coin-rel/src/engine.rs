@@ -1,0 +1,624 @@
+//! SQL execution engine over a catalog of in-memory tables.
+//!
+//! This is the per-source query processor: each wrapped source in the COIN
+//! architecture exposes "a SQL interface … and deliver\[s\] answers to the
+//! queries in a relational table format" (paper §2). The engine normalizes
+//! a parsed query against the catalog, builds an operator tree (scans,
+//! pushed-down filters, hash/nested-loop joins, aggregation, sort, limit)
+//! and drains it into a result [`Table`].
+
+use std::collections::HashMap;
+
+use coin_sql::normalize::SchemaLookup;
+use coin_sql::{BinOp, ColumnRef, Expr, OrderItem, Query, Select, SelectItem};
+
+use crate::exec::{
+    drain, Aggregate, AggFn, AggSpec, BoxOp, Distinct, Filter, HashJoin, Limit,
+    NestedLoopJoin, Project, Sort, UnionAll, ValuesScan,
+};
+use crate::expr::{compile, CompileError};
+use crate::schema::{Column, ColumnType, Schema, Table};
+
+/// A named collection of tables (one source's database).
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), table);
+    }
+
+    pub fn with_table(mut self, table: Table) -> Catalog {
+        self.add_table(table);
+        self
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+impl SchemaLookup for Catalog {
+    fn columns_of(&self, table: &str) -> Option<Vec<String>> {
+        self.tables.get(table).map(|t| {
+            t.schema
+                .columns
+                .iter()
+                .map(|c| {
+                    c.name
+                        .rsplit_once('.')
+                        .map_or(c.name.clone(), |(_, b)| b.to_owned())
+                })
+                .collect()
+        })
+    }
+}
+
+/// Engine errors.
+#[derive(Debug)]
+pub enum EngineError {
+    Sql(coin_sql::SqlError),
+    Normalize(coin_sql::NormalizeError),
+    Compile(CompileError),
+    Exec(crate::exec::ExecError),
+    UnknownTable(String),
+    Unsupported(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Sql(e) => write!(f, "{e}"),
+            EngineError::Normalize(e) => write!(f, "{e}"),
+            EngineError::Compile(e) => write!(f, "{e}"),
+            EngineError::Exec(e) => write!(f, "{e}"),
+            EngineError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<coin_sql::SqlError> for EngineError {
+    fn from(e: coin_sql::SqlError) -> Self {
+        EngineError::Sql(e)
+    }
+}
+impl From<coin_sql::NormalizeError> for EngineError {
+    fn from(e: coin_sql::NormalizeError) -> Self {
+        EngineError::Normalize(e)
+    }
+}
+impl From<CompileError> for EngineError {
+    fn from(e: CompileError) -> Self {
+        EngineError::Compile(e)
+    }
+}
+impl From<crate::exec::ExecError> for EngineError {
+    fn from(e: crate::exec::ExecError) -> Self {
+        EngineError::Exec(e)
+    }
+}
+
+/// Execute SQL text against a catalog.
+pub fn execute_sql(sql: &str, catalog: &Catalog) -> Result<Table, EngineError> {
+    let q = coin_sql::parse_query(sql)?;
+    execute_query(&q, catalog)
+}
+
+/// Execute a parsed query against a catalog.
+pub fn execute_query(q: &Query, catalog: &Catalog) -> Result<Table, EngineError> {
+    match q {
+        Query::Select(s) => execute_select(s, catalog),
+        Query::Union { .. } => {
+            let branches = q.branches();
+            let mut tables = Vec::new();
+            for b in &branches {
+                tables.push(execute_select(b, catalog)?);
+            }
+            let arity = tables[0].schema.len();
+            for t in &tables[1..] {
+                if t.schema.len() != arity {
+                    return Err(EngineError::Unsupported(
+                        "UNION branches with different arities".into(),
+                    ));
+                }
+            }
+            let all = match q {
+                Query::Union { all, .. } => *all,
+                _ => unreachable!(),
+            };
+            let schema = tables[0].schema.clone();
+            let ops: Vec<BoxOp> = tables
+                .into_iter()
+                .map(|t| {
+                    // Re-brand every branch with the first branch's schema so
+                    // column names line up.
+                    Box::new(ValuesScan::new(schema.clone(), t.rows)) as BoxOp
+                })
+                .collect();
+            let mut op: BoxOp = Box::new(UnionAll::new(ops));
+            if !all {
+                op = Box::new(Distinct::new(op));
+            }
+            let rows = drain(op)?;
+            Ok(Table { name: "union".into(), schema, rows })
+        }
+    }
+}
+
+/// Classification of one WHERE conjunct relative to the join state.
+fn qualifiers_of(e: &Expr) -> Vec<String> {
+    let mut cols = Vec::new();
+    e.columns(&mut cols);
+    let mut quals: Vec<String> = cols
+        .iter()
+        .filter_map(|c| c.qualifier.clone())
+        .collect();
+    quals.sort();
+    quals.dedup();
+    quals
+}
+
+/// Extract `a.x = b.y` equi-join pairs usable between `left` and `right`
+/// binding sets; returns (left column, right column) refs.
+fn equi_pairs<'a>(
+    conjuncts: &[&'a Expr],
+    left: &[String],
+    right: &str,
+) -> Vec<(&'a ColumnRef, &'a ColumnRef, usize)> {
+    let mut out = Vec::new();
+    for (i, e) in conjuncts.iter().enumerate() {
+        if let Expr::Bin(l, BinOp::Eq, r) = e {
+            if let (Expr::Column(cl), Expr::Column(cr)) = (l.as_ref(), r.as_ref()) {
+                let (ql, qr) = (cl.qualifier.as_deref(), cr.qualifier.as_deref());
+                let (Some(ql), Some(qr)) = (ql, qr) else { continue };
+                if left.iter().any(|b| b == ql) && qr == right {
+                    out.push((cl, cr, i));
+                } else if left.iter().any(|b| b == qr) && ql == right {
+                    out.push((cr, cl, i));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Execute one SELECT block.
+pub fn execute_select(s: &Select, catalog: &Catalog) -> Result<Table, EngineError> {
+    let s = coin_sql::normalize_select(s, catalog)?;
+
+    // ---- scans with per-table filter pushdown --------------------------
+    let conjuncts: Vec<Expr> = s
+        .where_clause
+        .as_ref()
+        .map(|w| w.conjuncts().into_iter().cloned().collect())
+        .unwrap_or_default();
+    let mut used = vec![false; conjuncts.len()];
+
+    let mut op: Option<BoxOp> = None;
+    let mut bound: Vec<String> = Vec::new();
+
+    for t in &s.from {
+        let table = catalog
+            .get(&t.table)
+            .ok_or_else(|| EngineError::UnknownTable(t.table.clone()))?;
+        let binding = t.binding().to_owned();
+        let schema = table.schema.qualified(&binding);
+        let mut scan: BoxOp = Box::new(ValuesScan::new(schema.clone(), table.rows.clone()));
+
+        // Push single-table predicates down onto the scan.
+        let mut pushed = Vec::new();
+        for (i, c) in conjuncts.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let quals = qualifiers_of(c);
+            if !quals.is_empty() && quals.iter().all(|q| *q == binding) {
+                pushed.push(c.clone());
+                used[i] = true;
+            }
+        }
+        if let Some(pred) = Expr::conjoin(pushed) {
+            let compiled = compile(&pred, scan.schema())?;
+            scan = Box::new(Filter::new(scan, compiled));
+        }
+
+        op = Some(match op {
+            None => scan,
+            Some(acc) => {
+                // Find equi-join conjuncts between what's bound and the new
+                // table; use a hash join when any exist.
+                let available: Vec<&Expr> = conjuncts
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !used[*i])
+                    .map(|(_, e)| e)
+                    .collect();
+                let avail_idx: Vec<usize> = conjuncts
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !used[*i])
+                    .map(|(i, _)| i)
+                    .collect();
+                let pairs = equi_pairs(&available, &bound, &binding);
+                if !pairs.is_empty() {
+                    let mut lkeys = Vec::new();
+                    let mut rkeys = Vec::new();
+                    for (lc, rc, ci) in &pairs {
+                        let li = acc
+                            .schema()
+                            .resolve(lc.qualifier.as_deref(), &lc.column)
+                            .ok_or_else(|| {
+                                EngineError::Unsupported(format!("join key {lc}"))
+                            })?;
+                        let ri = scan
+                            .schema()
+                            .resolve(rc.qualifier.as_deref(), &rc.column)
+                            .ok_or_else(|| {
+                                EngineError::Unsupported(format!("join key {rc}"))
+                            })?;
+                        lkeys.push(li);
+                        rkeys.push(ri);
+                        used[avail_idx[*ci]] = true;
+                    }
+                    Box::new(HashJoin::new(acc, scan, lkeys, rkeys, None))
+                } else {
+                    // Predicates joining exactly these two sides run inside
+                    // the nested loop.
+                    let combined_schema = acc.schema().join(scan.schema());
+                    let mut inner = Vec::new();
+                    for (i, c) in conjuncts.iter().enumerate() {
+                        if used[i] {
+                            continue;
+                        }
+                        let quals = qualifiers_of(c);
+                        if !quals.is_empty()
+                            && quals
+                                .iter()
+                                .all(|q| *q == binding || bound.iter().any(|b| b == q))
+                        {
+                            inner.push(c.clone());
+                            used[i] = true;
+                        }
+                    }
+                    let pred = Expr::conjoin(inner)
+                        .map(|p| compile(&p, &combined_schema))
+                        .transpose()?;
+                    Box::new(NestedLoopJoin::new(acc, scan, pred))
+                }
+            }
+        });
+        bound.push(binding);
+    }
+
+    let mut op = op.ok_or_else(|| EngineError::Unsupported("empty FROM".into()))?;
+
+    // ---- residual predicates -------------------------------------------
+    let leftovers: Vec<Expr> = conjuncts
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !used[*i])
+        .map(|(_, e)| e.clone())
+        .collect();
+    if let Some(pred) = Expr::conjoin(leftovers) {
+        let compiled = compile(&pred, op.schema())?;
+        op = Box::new(Filter::new(op, compiled));
+    }
+
+    // ---- aggregation or plain projection --------------------------------
+    let needs_agg = !s.group_by.is_empty()
+        || s.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => expr.has_aggregate(),
+            _ => false,
+        })
+        || s.having.as_ref().is_some_and(Expr::has_aggregate);
+
+    let mut out_schema;
+    if needs_agg {
+        let (agg_op, schema, having, order_keys) = build_aggregate(&s, op)?;
+        op = agg_op;
+        out_schema = schema;
+        if let Some(h) = having {
+            op = Box::new(Filter::new(op, h));
+        }
+        if !order_keys.is_empty() {
+            op = Box::new(Sort::new(op, order_keys));
+        }
+        // Final projection: keep only the select items (group/agg columns
+        // may include extra order/having columns).
+        let keep = s.items.len();
+        let exprs: Vec<crate::expr::CExpr> =
+            (0..keep).map(crate::expr::CExpr::Col).collect();
+        let schema = Schema::new(out_schema.columns[..keep].to_vec());
+        op = Box::new(Project::new(op, exprs, schema.clone()));
+        out_schema = schema;
+    } else {
+        // Plain projection. ORDER BY may reference non-projected source
+        // columns, so sort first (over the input schema) when possible;
+        // keys that only resolve against the output (aliases) sort after
+        // projection instead.
+        let mut pre_keys = Vec::new();
+        let mut deferred: Vec<&OrderItem> = Vec::new();
+        for o in &s.order_by {
+            match compile(&o.expr, op.schema()) {
+                Ok(crate::expr::CExpr::Col(i)) => pre_keys.push((i, o.desc)),
+                Ok(_) | Err(_) => deferred.push(o),
+            }
+        }
+        // Mixed pre/post sorting cannot preserve the combined key order;
+        // sort entirely on one side.
+        if !deferred.is_empty() {
+            pre_keys.clear();
+            deferred = s.order_by.iter().collect();
+        }
+        if !pre_keys.is_empty() {
+            op = Box::new(Sort::new(op, pre_keys));
+        }
+        let mut exprs = Vec::new();
+        let mut cols = Vec::new();
+        for item in &s.items {
+            match item {
+                SelectItem::Expr { expr, alias } => {
+                    let compiled = compile(expr, op.schema())?;
+                    let name = alias.clone().unwrap_or_else(|| expr.to_string());
+                    let ty = match &compiled {
+                        crate::expr::CExpr::Col(i) => op.schema().columns[*i].ty,
+                        _ => ColumnType::Any,
+                    };
+                    exprs.push(compiled);
+                    cols.push(Column::new(&name, ty));
+                }
+                _ => unreachable!("wildcards expanded by normalize"),
+            }
+        }
+        out_schema = Schema::new(cols);
+        op = Box::new(Project::new(op, exprs, out_schema.clone()));
+        if !deferred.is_empty() {
+            let mut post_keys = Vec::new();
+            for o in deferred {
+                match compile(&o.expr, &out_schema) {
+                    Ok(crate::expr::CExpr::Col(i)) => post_keys.push((i, o.desc)),
+                    _ => {
+                        return Err(EngineError::Unsupported(format!(
+                            "ORDER BY {} resolves against neither the sources \
+                             nor the projected columns",
+                            o.expr
+                        )))
+                    }
+                }
+            }
+            op = Box::new(Sort::new(op, post_keys));
+        }
+    }
+
+    if s.distinct {
+        op = Box::new(Distinct::new(op));
+    }
+    if let Some(n) = s.limit {
+        op = Box::new(Limit::new(op, n));
+    }
+
+    let rows = drain(op)?;
+    Ok(Table { name: "result".into(), schema: out_schema, rows })
+}
+
+/// Build the aggregation pipeline. Returns the operator (producing
+/// select-items ++ extra having/order columns), its schema, the compiled
+/// HAVING predicate and ORDER BY keys over that schema.
+#[allow(clippy::type_complexity)]
+fn build_aggregate(
+    s: &Select,
+    input: BoxOp,
+) -> Result<(BoxOp, Schema, Option<crate::expr::CExpr>, Vec<(usize, bool)>), EngineError> {
+    // Collect all aggregate calls appearing anywhere.
+    let mut agg_calls: Vec<Expr> = Vec::new();
+    let mut collect = |e: &Expr| collect_aggs(e, &mut agg_calls);
+    for item in &s.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect(expr);
+        }
+    }
+    if let Some(h) = &s.having {
+        collect_aggs(h, &mut agg_calls);
+    }
+    for o in &s.order_by {
+        collect_aggs(&o.expr, &mut agg_calls);
+    }
+
+    // Internal schema produced by the Aggregate operator:
+    // group exprs first, then aggregate results, named by printed text.
+    let mut internal_cols: Vec<Column> = Vec::new();
+    let mut group_compiled = Vec::new();
+    for g in &s.group_by {
+        group_compiled.push(compile(g, input.schema())?);
+        internal_cols.push(Column::new(&g.to_string(), ColumnType::Any));
+    }
+    let mut specs = Vec::new();
+    for a in &agg_calls {
+        let Expr::Func(name, args) = a else { unreachable!() };
+        let f = AggFn::parse(name, !args.is_empty()).ok_or_else(|| {
+            EngineError::Unsupported(format!("aggregate function {name}"))
+        })?;
+        let arg = args
+            .first()
+            .map(|e| compile(e, input.schema()))
+            .transpose()?;
+        specs.push(AggSpec { f, arg });
+        internal_cols.push(Column::new(&a.to_string(), ColumnType::Any));
+    }
+    let internal_schema = Schema::new(internal_cols);
+    let agg = Aggregate::new(input, group_compiled, specs, internal_schema.clone());
+
+    // Rewrite outer expressions over the internal schema.
+    let rewrite_ctx = RewriteCtx { group_by: &s.group_by, agg_calls: &agg_calls };
+
+    let mut out_exprs = Vec::new();
+    let mut out_cols = Vec::new();
+    for item in &s.items {
+        let SelectItem::Expr { expr, alias } = item else { unreachable!() };
+        let rewritten = rewrite_ctx.rewrite(expr)?;
+        let compiled = compile(&rewritten, &internal_schema)?;
+        let name = alias.clone().unwrap_or_else(|| expr.to_string());
+        out_exprs.push(compiled);
+        out_cols.push(Column::new(&name, ColumnType::Any));
+    }
+    // Extra columns needed by ORDER BY (appended after select items).
+    let mut order_keys = Vec::new();
+    for o in &s.order_by {
+        let rewritten = rewrite_ctx.rewrite(&o.expr)?;
+        let compiled = compile(&rewritten, &internal_schema)?;
+        // Reuse an identical select item column if present.
+        let pos = out_exprs.iter().position(|e| *e == compiled).unwrap_or_else(|| {
+            out_exprs.push(compiled.clone());
+            out_cols.push(Column::new(&format!("__order{}", out_exprs.len()), ColumnType::Any));
+            out_exprs.len() - 1
+        });
+        order_keys.push((pos, o.desc));
+    }
+    let having = s
+        .having
+        .as_ref()
+        .map(|h| {
+            let rewritten = rewrite_ctx.rewrite(h)?;
+            compile(&rewritten, &internal_schema).map_err(EngineError::from)
+        })
+        .transpose()?;
+
+    // Pipeline: Aggregate -> [Filter(having)] -> Project(items + order cols).
+    let mut inner: BoxOp = Box::new(agg);
+    if let Some(h) = having {
+        inner = Box::new(Filter::new(inner, h));
+    }
+    let out_schema = Schema::new(out_cols);
+    let project: BoxOp = Box::new(Project::new(inner, out_exprs, out_schema.clone()));
+    Ok((project, out_schema, None, order_keys))
+}
+
+struct RewriteCtx<'a> {
+    group_by: &'a [Expr],
+    agg_calls: &'a [Expr],
+}
+
+impl RewriteCtx<'_> {
+    /// Replace group-by expressions and aggregate calls with references to
+    /// the internal aggregate output columns (named by printed text).
+    fn rewrite(&self, e: &Expr) -> Result<Expr, EngineError> {
+        if let Some(_g) = self.group_by.iter().find(|g| *g == e) {
+            return Ok(Expr::Column(ColumnRef::bare(&e.to_string())));
+        }
+        if self.agg_calls.contains(e) {
+            return Ok(Expr::Column(ColumnRef::bare(&e.to_string())));
+        }
+        Ok(match e {
+            Expr::Column(c) => {
+                return Err(EngineError::Unsupported(format!(
+                    "column {c} must appear in GROUP BY or inside an aggregate"
+                )))
+            }
+            Expr::Bin(l, op, r) => {
+                Expr::Bin(Box::new(self.rewrite(l)?), *op, Box::new(self.rewrite(r)?))
+            }
+            Expr::Un(op, inner) => Expr::Un(*op, Box::new(self.rewrite(inner)?)),
+            Expr::Func(name, args) => Expr::Func(
+                name.clone(),
+                args.iter().map(|a| self.rewrite(a)).collect::<Result<_, _>>()?,
+            ),
+            Expr::Between { expr, low, high, negated } => Expr::Between {
+                expr: Box::new(self.rewrite(expr)?),
+                low: Box::new(self.rewrite(low)?),
+                high: Box::new(self.rewrite(high)?),
+                negated: *negated,
+            },
+            Expr::InList { expr, list, negated } => Expr::InList {
+                expr: Box::new(self.rewrite(expr)?),
+                list: list.iter().map(|a| self.rewrite(a)).collect::<Result<_, _>>()?,
+                negated: *negated,
+            },
+            Expr::Like { expr, pattern, negated } => Expr::Like {
+                expr: Box::new(self.rewrite(expr)?),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(self.rewrite(expr)?),
+                negated: *negated,
+            },
+            Expr::Case { operand, branches, else_branch } => Expr::Case {
+                operand: operand
+                    .as_ref()
+                    .map(|o| self.rewrite(o).map(Box::new))
+                    .transpose()?,
+                branches: branches
+                    .iter()
+                    .map(|(c, v)| Ok((self.rewrite(c)?, self.rewrite(v)?)))
+                    .collect::<Result<_, EngineError>>()?,
+                else_branch: else_branch
+                    .as_ref()
+                    .map(|o| self.rewrite(o).map(Box::new))
+                    .transpose()?,
+            },
+            leaf => leaf.clone(),
+        })
+    }
+}
+
+fn collect_aggs(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Func(name, args) if coin_sql::is_aggregate(name) => {
+            if !out.contains(e) {
+                out.push(e.clone());
+            }
+            // Aggregates cannot nest; arguments need no scan.
+            let _ = args;
+        }
+        Expr::Bin(l, _, r) => {
+            collect_aggs(l, out);
+            collect_aggs(r, out);
+        }
+        Expr::Un(_, inner) => collect_aggs(inner, out),
+        Expr::Func(_, args) => {
+            for a in args {
+                collect_aggs(a, out);
+            }
+        }
+        Expr::Between { expr, low, high, .. } => {
+            collect_aggs(expr, out);
+            collect_aggs(low, out);
+            collect_aggs(high, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_aggs(expr, out);
+            for e in list {
+                collect_aggs(e, out);
+            }
+        }
+        Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => collect_aggs(expr, out),
+        Expr::Case { operand, branches, else_branch } => {
+            if let Some(o) = operand {
+                collect_aggs(o, out);
+            }
+            for (c, v) in branches {
+                collect_aggs(c, out);
+                collect_aggs(v, out);
+            }
+            if let Some(e) = else_branch {
+                collect_aggs(e, out);
+            }
+        }
+        _ => {}
+    }
+}

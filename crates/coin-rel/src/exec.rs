@@ -1,0 +1,987 @@
+//! Volcano-style physical operators.
+//!
+//! Every operator implements [`Operator`]: a pull-based `next()` returning
+//! one row at a time. These are the "necessary local operations (e.g. joins
+//! across sources)" the multi-database access engine executes locally
+//! (paper §2); the planner composes them over remote sub-query results.
+
+use std::collections::HashMap;
+
+use crate::expr::CExpr;
+use crate::schema::{Row, Schema};
+use crate::tempstore::{cmp_rows, ExternalSorter, SortKey, TempStore};
+use crate::value::{Value, ValueError};
+
+/// Execution errors.
+#[derive(Debug)]
+pub enum ExecError {
+    Value(ValueError),
+    Io(std::io::Error),
+    Other(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Value(e) => write!(f, "{e}"),
+            ExecError::Io(e) => write!(f, "io error: {e}"),
+            ExecError::Other(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<ValueError> for ExecError {
+    fn from(e: ValueError) -> Self {
+        ExecError::Value(e)
+    }
+}
+
+impl From<std::io::Error> for ExecError {
+    fn from(e: std::io::Error) -> Self {
+        ExecError::Io(e)
+    }
+}
+
+/// A pull-based physical operator.
+pub trait Operator {
+    fn schema(&self) -> &Schema;
+    fn next(&mut self) -> Result<Option<Row>, ExecError>;
+}
+
+/// Boxed operator, the composition unit.
+pub type BoxOp = Box<dyn Operator>;
+
+/// Drain an operator into a row vector.
+pub fn drain(mut op: BoxOp) -> Result<Vec<Row>, ExecError> {
+    let mut out = Vec::new();
+    while let Some(row) = op.next()? {
+        out.push(row);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+
+/// Scan over materialized rows.
+pub struct ValuesScan {
+    schema: Schema,
+    rows: std::vec::IntoIter<Row>,
+}
+
+impl ValuesScan {
+    pub fn new(schema: Schema, rows: Vec<Row>) -> ValuesScan {
+        ValuesScan { schema, rows: rows.into_iter() }
+    }
+}
+
+impl Operator for ValuesScan {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        Ok(self.rows.next())
+    }
+}
+
+/// Filter by a compiled predicate.
+pub struct Filter {
+    input: BoxOp,
+    predicate: CExpr,
+}
+
+impl Filter {
+    pub fn new(input: BoxOp, predicate: CExpr) -> Filter {
+        Filter { input, predicate }
+    }
+}
+
+impl Operator for Filter {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        while let Some(row) = self.input.next()? {
+            if self.predicate.matches(&row)? {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Projection: compute a new row from compiled expressions.
+pub struct Project {
+    input: BoxOp,
+    exprs: Vec<CExpr>,
+    schema: Schema,
+}
+
+impl Project {
+    pub fn new(input: BoxOp, exprs: Vec<CExpr>, schema: Schema) -> Project {
+        assert_eq!(exprs.len(), schema.len());
+        Project { input, exprs, schema }
+    }
+}
+
+impl Operator for Project {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        match self.input.next()? {
+            Some(row) => {
+                let out = self
+                    .exprs
+                    .iter()
+                    .map(|e| e.eval(&row))
+                    .collect::<Result<Row, _>>()?;
+                Ok(Some(out))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Nested-loop join with an optional residual predicate (evaluated over the
+/// concatenated row). The right input is materialized on first use.
+pub struct NestedLoopJoin {
+    left: BoxOp,
+    right_rows: Vec<Row>,
+    right_loaded: bool,
+    right_src: Option<BoxOp>,
+    predicate: Option<CExpr>,
+    schema: Schema,
+    current_left: Option<Row>,
+    right_pos: usize,
+}
+
+impl NestedLoopJoin {
+    pub fn new(left: BoxOp, right: BoxOp, predicate: Option<CExpr>) -> NestedLoopJoin {
+        let schema = left.schema().join(right.schema());
+        NestedLoopJoin {
+            left,
+            right_rows: Vec::new(),
+            right_loaded: false,
+            right_src: Some(right),
+            predicate,
+            schema,
+            current_left: None,
+            right_pos: 0,
+        }
+    }
+}
+
+impl Operator for NestedLoopJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        if !self.right_loaded {
+            let src = self.right_src.take().expect("right source present");
+            self.right_rows = drain(src)?;
+            self.right_loaded = true;
+        }
+        loop {
+            if self.current_left.is_none() {
+                self.current_left = self.left.next()?;
+                self.right_pos = 0;
+                if self.current_left.is_none() {
+                    return Ok(None);
+                }
+            }
+            let l = self.current_left.as_ref().unwrap();
+            while self.right_pos < self.right_rows.len() {
+                let r = &self.right_rows[self.right_pos];
+                self.right_pos += 1;
+                let mut combined = l.clone();
+                combined.extend(r.iter().cloned());
+                match &self.predicate {
+                    Some(p) if !p.matches(&combined)? => continue,
+                    _ => return Ok(Some(combined)),
+                }
+            }
+            self.current_left = None;
+        }
+    }
+}
+
+/// Hash (equi-)join: `left.keyL = right.keyR` column pairs, with an optional
+/// residual predicate over the concatenated row. Builds a hash table over
+/// the right input.
+pub struct HashJoin {
+    left: BoxOp,
+    right_width: usize,
+    build: Option<BoxOp>,
+    table: HashMap<String, Vec<Row>>,
+    built: bool,
+    left_keys: Vec<usize>,
+    right_keys: Vec<usize>,
+    residual: Option<CExpr>,
+    schema: Schema,
+    current_left: Option<Row>,
+    matches: Vec<Row>,
+    match_pos: usize,
+}
+
+/// Hash key for a set of values: a canonical string encoding. Numeric values
+/// are widened so `Int(2)` and `Float(2.0)` hash identically (they compare
+/// equal in SQL).
+fn hash_key(row: &Row, keys: &[usize]) -> String {
+    let mut s = String::new();
+    for &i in keys {
+        match &row[i] {
+            Value::Null => s.push_str("\u{1}N"),
+            Value::Bool(b) => s.push_str(if *b { "\u{1}T" } else { "\u{1}F" }),
+            v if v.is_number() => {
+                s.push_str("\u{1}#");
+                s.push_str(&format!("{:?}", v.as_f64().unwrap()));
+            }
+            Value::Str(t) => {
+                s.push_str("\u{1}S");
+                s.push_str(t);
+            }
+            _ => unreachable!(),
+        }
+    }
+    s
+}
+
+impl HashJoin {
+    pub fn new(
+        left: BoxOp,
+        right: BoxOp,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        residual: Option<CExpr>,
+    ) -> HashJoin {
+        assert_eq!(left_keys.len(), right_keys.len());
+        assert!(!left_keys.is_empty());
+        let schema = left.schema().join(right.schema());
+        let right_width = right.schema().len();
+        HashJoin {
+            left,
+            right_width,
+            build: Some(right),
+            table: HashMap::new(),
+            built: false,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+            current_left: None,
+            matches: Vec::new(),
+            match_pos: 0,
+        }
+    }
+}
+
+impl Operator for HashJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        if !self.built {
+            let src = self.build.take().expect("build side present");
+            for row in drain(src)? {
+                // NULL keys never join.
+                if self.right_keys.iter().any(|&i| row[i].is_null()) {
+                    continue;
+                }
+                let k = hash_key(&row, &self.right_keys);
+                self.table.entry(k).or_default().push(row);
+            }
+            self.built = true;
+        }
+        loop {
+            if self.match_pos < self.matches.len() {
+                let l = self.current_left.as_ref().unwrap();
+                let r = &self.matches[self.match_pos];
+                self.match_pos += 1;
+                debug_assert_eq!(r.len(), self.right_width);
+                let mut combined = l.clone();
+                combined.extend(r.iter().cloned());
+                match &self.residual {
+                    Some(p) if !p.matches(&combined)? => continue,
+                    _ => return Ok(Some(combined)),
+                }
+            }
+            match self.left.next()? {
+                None => return Ok(None),
+                Some(l) => {
+                    if l.is_empty() || self.left_keys.iter().any(|&i| l[i].is_null()) {
+                        self.matches.clear();
+                        self.match_pos = 0;
+                        self.current_left = Some(l);
+                        continue;
+                    }
+                    let k = hash_key(&l, &self.left_keys);
+                    self.matches = self.table.get(&k).cloned().unwrap_or_default();
+                    self.match_pos = 0;
+                    self.current_left = Some(l);
+                }
+            }
+        }
+    }
+}
+
+/// Concatenation of several inputs with identical arity (UNION ALL).
+pub struct UnionAll {
+    inputs: Vec<BoxOp>,
+    pos: usize,
+    schema: Schema,
+}
+
+impl UnionAll {
+    pub fn new(inputs: Vec<BoxOp>) -> UnionAll {
+        assert!(!inputs.is_empty());
+        let schema = inputs[0].schema().clone();
+        for i in &inputs[1..] {
+            assert_eq!(
+                i.schema().len(),
+                schema.len(),
+                "UNION branches must have equal arity"
+            );
+        }
+        UnionAll { inputs, pos: 0, schema }
+    }
+}
+
+impl Operator for UnionAll {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        while self.pos < self.inputs.len() {
+            if let Some(row) = self.inputs[self.pos].next()? {
+                return Ok(Some(row));
+            }
+            self.pos += 1;
+        }
+        Ok(None)
+    }
+}
+
+/// Duplicate elimination via external sort over all columns.
+pub struct Distinct {
+    input: Option<BoxOp>,
+    schema: Schema,
+    sorted: Option<std::vec::IntoIter<Row>>,
+    last: Option<Row>,
+    store: TempStore,
+    run_capacity: usize,
+}
+
+impl Distinct {
+    pub fn new(input: BoxOp) -> Distinct {
+        let schema = input.schema().clone();
+        Distinct {
+            input: Some(input),
+            schema,
+            sorted: None,
+            last: None,
+            store: TempStore::new(),
+            run_capacity: 64 * 1024,
+        }
+    }
+}
+
+impl Operator for Distinct {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        if self.sorted.is_none() {
+            let src = self.input.take().expect("input present");
+            let key: SortKey = (0..self.schema.len()).map(|i| (i, false)).collect();
+            let mut sorter =
+                ExternalSorter::new(self.store.clone(), key, self.run_capacity);
+            let mut src = src;
+            while let Some(row) = src.next()? {
+                sorter.push(row)?;
+            }
+            self.sorted = Some(sorter.finish()?.into_iter());
+        }
+        let key: SortKey = (0..self.schema.len()).map(|i| (i, false)).collect();
+        let it = self.sorted.as_mut().unwrap();
+        for row in it.by_ref() {
+            let dup = self
+                .last
+                .as_ref()
+                .is_some_and(|l| cmp_rows(l, &row, &key) == std::cmp::Ordering::Equal);
+            if !dup {
+                self.last = Some(row.clone());
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// ORDER BY via the external sorter.
+pub struct Sort {
+    input: Option<BoxOp>,
+    schema: Schema,
+    key: SortKey,
+    sorted: Option<std::vec::IntoIter<Row>>,
+    store: TempStore,
+    run_capacity: usize,
+}
+
+impl Sort {
+    pub fn new(input: BoxOp, key: SortKey) -> Sort {
+        let schema = input.schema().clone();
+        Sort {
+            input: Some(input),
+            schema,
+            key,
+            sorted: None,
+            store: TempStore::new(),
+            run_capacity: 64 * 1024,
+        }
+    }
+
+    /// Lower the in-memory run size (exercises the spill path in tests and
+    /// the spill ablation bench).
+    pub fn with_run_capacity(mut self, cap: usize) -> Sort {
+        self.run_capacity = cap;
+        self
+    }
+}
+
+impl Operator for Sort {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        if self.sorted.is_none() {
+            let mut src = self.input.take().expect("input present");
+            let mut sorter = ExternalSorter::new(
+                self.store.clone(),
+                self.key.clone(),
+                self.run_capacity,
+            );
+            while let Some(row) = src.next()? {
+                sorter.push(row)?;
+            }
+            self.sorted = Some(sorter.finish()?.into_iter());
+        }
+        Ok(self.sorted.as_mut().unwrap().next())
+    }
+}
+
+/// LIMIT n.
+pub struct Limit {
+    input: BoxOp,
+    remaining: u64,
+}
+
+impl Limit {
+    pub fn new(input: BoxOp, n: u64) -> Limit {
+        Limit { input, remaining: n }
+    }
+}
+
+impl Operator for Limit {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        self.input.next()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    CountStar,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFn {
+    pub fn parse(name: &str, has_arg: bool) -> Option<AggFn> {
+        Some(match (name.to_ascii_uppercase().as_str(), has_arg) {
+            ("COUNT", false) => AggFn::CountStar,
+            ("COUNT", true) => AggFn::Count,
+            ("SUM", true) => AggFn::Sum,
+            ("AVG", true) => AggFn::Avg,
+            ("MIN", true) => AggFn::Min,
+            ("MAX", true) => AggFn::Max,
+            _ => return None,
+        })
+    }
+}
+
+/// Accumulator for one aggregate over one group.
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(i64),
+    Sum { sum: f64, all_int: bool, int_sum: i64, seen: bool },
+    Avg { sum: f64, n: i64 },
+    MinMax { best: Option<Value>, max: bool },
+}
+
+impl Acc {
+    fn new(f: AggFn) -> Acc {
+        match f {
+            AggFn::CountStar | AggFn::Count => Acc::Count(0),
+            AggFn::Sum => Acc::Sum { sum: 0.0, all_int: true, int_sum: 0, seen: false },
+            AggFn::Avg => Acc::Avg { sum: 0.0, n: 0 },
+            AggFn::Min => Acc::MinMax { best: None, max: false },
+            AggFn::Max => Acc::MinMax { best: None, max: true },
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<(), ExecError> {
+        match self {
+            Acc::Count(n) => match v {
+                // COUNT(*) gets None; COUNT(e) skips NULLs.
+                None => *n += 1,
+                Some(val) if !val.is_null() => *n += 1,
+                _ => {}
+            },
+            Acc::Sum { sum, all_int, int_sum, seen } => {
+                if let Some(val) = v {
+                    if val.is_null() {
+                        return Ok(());
+                    }
+                    let Some(x) = val.as_f64() else {
+                        return Err(ExecError::Value(ValueError::TypeMismatch(format!(
+                            "SUM over {}",
+                            val.type_name()
+                        ))));
+                    };
+                    *seen = true;
+                    *sum += x;
+                    match val {
+                        Value::Int(i) => {
+                            *int_sum = int_sum.wrapping_add(*i);
+                        }
+                        _ => *all_int = false,
+                    }
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if let Some(val) = v {
+                    if val.is_null() {
+                        return Ok(());
+                    }
+                    let Some(x) = val.as_f64() else {
+                        return Err(ExecError::Value(ValueError::TypeMismatch(format!(
+                            "AVG over {}",
+                            val.type_name()
+                        ))));
+                    };
+                    *sum += x;
+                    *n += 1;
+                }
+            }
+            Acc::MinMax { best, max } => {
+                if let Some(val) = v {
+                    if val.is_null() {
+                        return Ok(());
+                    }
+                    let replace = match best {
+                        None => true,
+                        Some(b) => {
+                            let ord = val.total_cmp(b);
+                            if *max {
+                                ord == std::cmp::Ordering::Greater
+                            } else {
+                                ord == std::cmp::Ordering::Less
+                            }
+                        }
+                    };
+                    if replace {
+                        *best = Some(val.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int(n),
+            Acc::Sum { sum, all_int, int_sum, seen } => {
+                if !seen {
+                    Value::Null
+                } else if all_int {
+                    Value::Int(int_sum)
+                } else {
+                    Value::Float(sum)
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            Acc::MinMax { best, .. } => best.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Wrapper giving `Vec<Value>` a total order for use as a BTreeMap group key.
+#[derive(Debug, Clone, PartialEq)]
+struct GroupKey(Vec<Value>);
+
+impl Eq for GroupKey {}
+
+impl PartialOrd for GroupKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for GroupKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        for (a, b) in self.0.iter().zip(&other.0) {
+            let ord = a.total_cmp(b);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        self.0.len().cmp(&other.0.len())
+    }
+}
+
+/// One aggregate specification: the function and its compiled argument
+/// (`None` for `COUNT(*)`).
+pub struct AggSpec {
+    pub f: AggFn,
+    pub arg: Option<CExpr>,
+}
+
+/// Hash/tree aggregation: groups by `group_exprs`, computes `aggs`; output
+/// row = group values ++ aggregate values.
+pub struct Aggregate {
+    input: Option<BoxOp>,
+    group_exprs: Vec<CExpr>,
+    aggs: Vec<AggSpec>,
+    schema: Schema,
+    out: Option<std::vec::IntoIter<Row>>,
+    /// With no GROUP BY and no input rows, SQL still produces one row of
+    /// aggregates over the empty set.
+    global: bool,
+}
+
+impl Aggregate {
+    pub fn new(
+        input: BoxOp,
+        group_exprs: Vec<CExpr>,
+        aggs: Vec<AggSpec>,
+        schema: Schema,
+    ) -> Aggregate {
+        let global = group_exprs.is_empty();
+        Aggregate { input: Some(input), group_exprs, aggs, schema, out: None, global }
+    }
+}
+
+impl Operator for Aggregate {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        if self.out.is_none() {
+            let mut src = self.input.take().expect("input present");
+            let mut groups: std::collections::BTreeMap<GroupKey, Vec<Acc>> =
+                std::collections::BTreeMap::new();
+            while let Some(row) = src.next()? {
+                let key = GroupKey(
+                    self.group_exprs
+                        .iter()
+                        .map(|e| e.eval(&row))
+                        .collect::<Result<_, _>>()?,
+                );
+                let accs = groups
+                    .entry(key)
+                    .or_insert_with(|| self.aggs.iter().map(|a| Acc::new(a.f)).collect());
+                for (acc, spec) in accs.iter_mut().zip(&self.aggs) {
+                    match &spec.arg {
+                        None => acc.update(None)?,
+                        Some(e) => {
+                            let v = e.eval(&row)?;
+                            acc.update(Some(&v))?;
+                        }
+                    }
+                }
+            }
+            if groups.is_empty() && self.global {
+                groups.insert(
+                    GroupKey(Vec::new()),
+                    self.aggs.iter().map(|a| Acc::new(a.f)).collect(),
+                );
+            }
+            let rows: Vec<Row> = groups
+                .into_iter()
+                .map(|(k, accs)| {
+                    let mut row = k.0;
+                    row.extend(accs.into_iter().map(Acc::finish));
+                    row
+                })
+                .collect();
+            self.out = Some(rows.into_iter());
+        }
+        Ok(self.out.as_mut().unwrap().next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+    use coin_sql::BinOp;
+
+    fn scan(rows: Vec<Row>) -> BoxOp {
+        let width = rows.first().map_or(2, Vec::len);
+        let cols: Vec<(String, ColumnType)> =
+            (0..width).map(|i| (format!("c{i}"), ColumnType::Any)).collect();
+        let schema = Schema::new(
+            cols.iter()
+                .map(|(n, t)| crate::schema::Column::new(n, *t))
+                .collect(),
+        );
+        Box::new(ValuesScan::new(schema, rows))
+    }
+
+    fn ints(ns: &[i64]) -> Vec<Row> {
+        ns.iter().map(|&n| vec![Value::Int(n), Value::Int(n * 10)]).collect()
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let pred = CExpr::Cmp(
+            Box::new(CExpr::Col(0)),
+            BinOp::Gt,
+            Box::new(CExpr::Const(Value::Int(2))),
+        );
+        let out = drain(Box::new(Filter::new(scan(ints(&[1, 2, 3, 4])), pred))).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn project_computes() {
+        let exprs = vec![CExpr::Arith(
+            Box::new(CExpr::Col(0)),
+            crate::value::ArithOp::Mul,
+            Box::new(CExpr::Const(Value::Int(1000))),
+        )];
+        let schema = Schema::of(&[("x", ColumnType::Int)]);
+        let out = drain(Box::new(Project::new(scan(ints(&[1, 2])), exprs, schema))).unwrap();
+        assert_eq!(out, vec![vec![Value::Int(1000)], vec![Value::Int(2000)]]);
+    }
+
+    #[test]
+    fn nested_loop_cross_product() {
+        let j = NestedLoopJoin::new(scan(ints(&[1, 2])), scan(ints(&[3, 4, 5])), None);
+        let out = drain(Box::new(j)).unwrap();
+        assert_eq!(out.len(), 6);
+        assert_eq!(out[0].len(), 4);
+    }
+
+    #[test]
+    fn nested_loop_with_predicate() {
+        // join on c0 (left) = c0 (right), i.e. columns 0 and 2 of combined.
+        let pred = CExpr::Cmp(Box::new(CExpr::Col(0)), BinOp::Eq, Box::new(CExpr::Col(2)));
+        let j = NestedLoopJoin::new(scan(ints(&[1, 2, 3])), scan(ints(&[2, 3, 4])), Some(pred));
+        let out = drain(Box::new(j)).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop() {
+        let l = ints(&[1, 2, 3, 2]);
+        let r = ints(&[2, 3, 4]);
+        let hj = HashJoin::new(scan(l.clone()), scan(r.clone()), vec![0], vec![0], None);
+        let mut got = drain(Box::new(hj)).unwrap();
+        let pred = CExpr::Cmp(Box::new(CExpr::Col(0)), BinOp::Eq, Box::new(CExpr::Col(2)));
+        let nl = NestedLoopJoin::new(scan(l), scan(r), Some(pred));
+        let mut want = drain(Box::new(nl)).unwrap();
+        let key: SortKey = (0..4).map(|i| (i, false)).collect();
+        got.sort_by(|a, b| cmp_rows(a, b, &key));
+        want.sort_by(|a, b| cmp_rows(a, b, &key));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn hash_join_null_keys_never_match() {
+        let l = vec![vec![Value::Null, Value::Int(1)]];
+        let r = vec![vec![Value::Null, Value::Int(2)]];
+        let hj = HashJoin::new(scan(l), scan(r), vec![0], vec![0], None);
+        assert!(drain(Box::new(hj)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn hash_join_int_float_key_equality() {
+        let l = vec![vec![Value::Int(2), Value::Int(0)]];
+        let r = vec![vec![Value::Float(2.0), Value::Int(0)]];
+        let hj = HashJoin::new(scan(l), scan(r), vec![0], vec![0], None);
+        assert_eq!(drain(Box::new(hj)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn union_all_concatenates() {
+        let u = UnionAll::new(vec![scan(ints(&[1])), scan(ints(&[2, 3]))]);
+        assert_eq!(drain(Box::new(u)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let d = Distinct::new(scan(ints(&[3, 1, 3, 2, 1])));
+        let out = drain(Box::new(d)).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn sort_orders() {
+        let s = Sort::new(scan(ints(&[3, 1, 2])), vec![(0, true)]);
+        let out = drain(Box::new(s)).unwrap();
+        assert_eq!(out[0][0], Value::Int(3));
+        assert_eq!(out[2][0], Value::Int(1));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let l = Limit::new(scan(ints(&[1, 2, 3, 4])), 2);
+        assert_eq!(drain(Box::new(l)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn limit_zero() {
+        let l = Limit::new(scan(ints(&[1, 2])), 0);
+        assert!(drain(Box::new(l)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        // Group by c0 % 2 … simplified: group by c0, count rows.
+        let rows = vec![
+            vec![Value::str("a"), Value::Int(1)],
+            vec![Value::str("b"), Value::Int(2)],
+            vec![Value::str("a"), Value::Int(3)],
+        ];
+        let agg = Aggregate::new(
+            scan(rows),
+            vec![CExpr::Col(0)],
+            vec![
+                AggSpec { f: AggFn::CountStar, arg: None },
+                AggSpec { f: AggFn::Sum, arg: Some(CExpr::Col(1)) },
+            ],
+            Schema::of(&[
+                ("k", ColumnType::Str),
+                ("n", ColumnType::Int),
+                ("s", ColumnType::Int),
+            ]),
+        );
+        let out = drain(Box::new(agg)).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], vec![Value::str("a"), Value::Int(2), Value::Int(4)]);
+        assert_eq!(out[1], vec![Value::str("b"), Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn aggregate_global_empty_input() {
+        let agg = Aggregate::new(
+            scan(Vec::new()),
+            vec![],
+            vec![
+                AggSpec { f: AggFn::CountStar, arg: None },
+                AggSpec { f: AggFn::Sum, arg: Some(CExpr::Col(0)) },
+                AggSpec { f: AggFn::Min, arg: Some(CExpr::Col(0)) },
+            ],
+            Schema::of(&[
+                ("n", ColumnType::Int),
+                ("s", ColumnType::Any),
+                ("m", ColumnType::Any),
+            ]),
+        );
+        let out = drain(Box::new(agg)).unwrap();
+        assert_eq!(out, vec![vec![Value::Int(0), Value::Null, Value::Null]]);
+    }
+
+    #[test]
+    fn aggregate_nulls_skipped() {
+        let rows = vec![
+            vec![Value::str("a"), Value::Int(1)],
+            vec![Value::str("a"), Value::Null],
+        ];
+        let agg = Aggregate::new(
+            scan(rows),
+            vec![CExpr::Col(0)],
+            vec![
+                AggSpec { f: AggFn::Count, arg: Some(CExpr::Col(1)) },
+                AggSpec { f: AggFn::Avg, arg: Some(CExpr::Col(1)) },
+            ],
+            Schema::of(&[
+                ("k", ColumnType::Str),
+                ("n", ColumnType::Int),
+                ("a", ColumnType::Float),
+            ]),
+        );
+        let out = drain(Box::new(agg)).unwrap();
+        assert_eq!(out[0][1], Value::Int(1));
+        assert_eq!(out[0][2], Value::Float(1.0));
+    }
+
+    #[test]
+    fn min_max_strings() {
+        let rows = vec![
+            vec![Value::str("IBM"), Value::Int(0)],
+            vec![Value::str("NTT"), Value::Int(0)],
+        ];
+        let agg = Aggregate::new(
+            scan(rows),
+            vec![],
+            vec![
+                AggSpec { f: AggFn::Min, arg: Some(CExpr::Col(0)) },
+                AggSpec { f: AggFn::Max, arg: Some(CExpr::Col(0)) },
+            ],
+            Schema::of(&[("lo", ColumnType::Str), ("hi", ColumnType::Str)]),
+        );
+        let out = drain(Box::new(agg)).unwrap();
+        assert_eq!(out[0], vec![Value::str("IBM"), Value::str("NTT")]);
+    }
+
+    #[test]
+    fn sum_int_stays_int_mixed_goes_float() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Int(0)],
+            vec![Value::Float(2.5), Value::Int(0)],
+        ];
+        let agg = Aggregate::new(
+            scan(rows),
+            vec![],
+            vec![AggSpec { f: AggFn::Sum, arg: Some(CExpr::Col(0)) }],
+            Schema::of(&[("s", ColumnType::Any)]),
+        );
+        let out = drain(Box::new(agg)).unwrap();
+        assert_eq!(out[0][0], Value::Float(3.5));
+    }
+}

@@ -1,0 +1,483 @@
+//! Compiled scalar expressions.
+//!
+//! `coin-sql` ASTs are compiled against a row [`Schema`] into [`CExpr`],
+//! with column references resolved to positional indices, then evaluated
+//! per row without further name lookups.
+
+use crate::schema::{Row, Schema};
+use crate::value::{sql_like, ArithOp, Value, ValueError};
+use coin_sql::{BinOp, Expr, UnOp};
+
+/// A compiled expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CExpr {
+    Const(Value),
+    Col(usize),
+    Arith(Box<CExpr>, ArithOp, Box<CExpr>),
+    Concat(Box<CExpr>, Box<CExpr>),
+    Cmp(Box<CExpr>, BinOp, Box<CExpr>),
+    And(Box<CExpr>, Box<CExpr>),
+    Or(Box<CExpr>, Box<CExpr>),
+    Not(Box<CExpr>),
+    Neg(Box<CExpr>),
+    Between { expr: Box<CExpr>, low: Box<CExpr>, high: Box<CExpr>, negated: bool },
+    InList { expr: Box<CExpr>, list: Vec<CExpr>, negated: bool },
+    Like { expr: Box<CExpr>, pattern: String, negated: bool },
+    IsNull { expr: Box<CExpr>, negated: bool },
+    Case {
+        operand: Option<Box<CExpr>>,
+        branches: Vec<(CExpr, CExpr)>,
+        else_branch: Option<Box<CExpr>>,
+    },
+    /// Scalar function (UPPER, LOWER, ABS, ROUND, LENGTH).
+    Scalar(ScalarFn, Vec<CExpr>),
+}
+
+/// Supported scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFn {
+    Upper,
+    Lower,
+    Abs,
+    Round,
+    Length,
+}
+
+/// Compilation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    UnknownColumn(String),
+    UnknownFunction(String),
+    AggregateNotAllowed(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            CompileError::UnknownFunction(n) => write!(f, "unknown function {n}"),
+            CompileError::AggregateNotAllowed(n) => {
+                write!(f, "aggregate {n} not allowed in this position")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compile `e` against `schema`. Aggregate calls are rejected — the
+/// aggregation operator compiles its inputs separately.
+pub fn compile(e: &Expr, schema: &Schema) -> Result<CExpr, CompileError> {
+    Ok(match e {
+        Expr::Column(c) => {
+            let idx = schema
+                .resolve(c.qualifier.as_deref(), &c.column)
+                .ok_or_else(|| CompileError::UnknownColumn(c.to_string()))?;
+            CExpr::Col(idx)
+        }
+        Expr::Int(i) => CExpr::Const(Value::Int(*i)),
+        Expr::Float(x) => CExpr::Const(Value::Float(*x)),
+        Expr::Str(s) => CExpr::Const(Value::str(s)),
+        Expr::Bool(b) => CExpr::Const(Value::Bool(*b)),
+        Expr::Null => CExpr::Const(Value::Null),
+        Expr::Bin(l, op, r) => {
+            let cl = Box::new(compile(l, schema)?);
+            let cr = Box::new(compile(r, schema)?);
+            match op {
+                BinOp::And => CExpr::And(cl, cr),
+                BinOp::Or => CExpr::Or(cl, cr),
+                BinOp::Add => CExpr::Arith(cl, ArithOp::Add, cr),
+                BinOp::Sub => CExpr::Arith(cl, ArithOp::Sub, cr),
+                BinOp::Mul => CExpr::Arith(cl, ArithOp::Mul, cr),
+                BinOp::Div => CExpr::Arith(cl, ArithOp::Div, cr),
+                BinOp::Concat => CExpr::Concat(cl, cr),
+                cmp => CExpr::Cmp(cl, *cmp, cr),
+            }
+        }
+        Expr::Un(UnOp::Not, inner) => CExpr::Not(Box::new(compile(inner, schema)?)),
+        Expr::Un(UnOp::Neg, inner) => CExpr::Neg(Box::new(compile(inner, schema)?)),
+        Expr::Between { expr, low, high, negated } => CExpr::Between {
+            expr: Box::new(compile(expr, schema)?),
+            low: Box::new(compile(low, schema)?),
+            high: Box::new(compile(high, schema)?),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => CExpr::InList {
+            expr: Box::new(compile(expr, schema)?),
+            list: list.iter().map(|e| compile(e, schema)).collect::<Result<_, _>>()?,
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated } => CExpr::Like {
+            expr: Box::new(compile(expr, schema)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => CExpr::IsNull {
+            expr: Box::new(compile(expr, schema)?),
+            negated: *negated,
+        },
+        Expr::Case { operand, branches, else_branch } => CExpr::Case {
+            operand: operand
+                .as_ref()
+                .map(|o| compile(o, schema).map(Box::new))
+                .transpose()?,
+            branches: branches
+                .iter()
+                .map(|(c, v)| Ok((compile(c, schema)?, compile(v, schema)?)))
+                .collect::<Result<_, CompileError>>()?,
+            else_branch: else_branch
+                .as_ref()
+                .map(|o| compile(o, schema).map(Box::new))
+                .transpose()?,
+        },
+        Expr::Func(name, args) => {
+            if coin_sql::is_aggregate(name) {
+                return Err(CompileError::AggregateNotAllowed(name.clone()));
+            }
+            let f = match name.to_ascii_uppercase().as_str() {
+                "UPPER" => ScalarFn::Upper,
+                "LOWER" => ScalarFn::Lower,
+                "ABS" => ScalarFn::Abs,
+                "ROUND" => ScalarFn::Round,
+                "LENGTH" => ScalarFn::Length,
+                _ => return Err(CompileError::UnknownFunction(name.clone())),
+            };
+            CExpr::Scalar(
+                f,
+                args.iter().map(|a| compile(a, schema)).collect::<Result<_, _>>()?,
+            )
+        }
+    })
+}
+
+impl CExpr {
+    /// Evaluate against a row. Comparison results are `Bool` or `Null`
+    /// (three-valued logic); filters accept only `Bool(true)`.
+    pub fn eval(&self, row: &Row) -> Result<Value, ValueError> {
+        Ok(match self {
+            CExpr::Const(v) => v.clone(),
+            CExpr::Col(i) => row[*i].clone(),
+            CExpr::Arith(l, op, r) => l.eval(row)?.arith(*op, &r.eval(row)?)?,
+            CExpr::Concat(l, r) => l.eval(row)?.concat(&r.eval(row)?),
+            CExpr::Cmp(l, op, r) => {
+                let (a, b) = (l.eval(row)?, r.eval(row)?);
+                if a.is_null() || b.is_null() {
+                    Value::Null
+                } else {
+                    match a.sql_cmp(&b) {
+                        Some(ord) => Value::Bool(match op {
+                            BinOp::Eq => ord == std::cmp::Ordering::Equal,
+                            BinOp::Neq => ord != std::cmp::Ordering::Equal,
+                            BinOp::Lt => ord == std::cmp::Ordering::Less,
+                            BinOp::Le => ord != std::cmp::Ordering::Greater,
+                            BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                            BinOp::Ge => ord != std::cmp::Ordering::Less,
+                            _ => unreachable!("non-comparison in Cmp"),
+                        }),
+                        // Incomparable classes: equality is false,
+                        // inequality true, ordering unknown.
+                        None => match op {
+                            BinOp::Eq => Value::Bool(false),
+                            BinOp::Neq => Value::Bool(true),
+                            _ => Value::Null,
+                        },
+                    }
+                }
+            }
+            CExpr::And(l, r) => {
+                // Three-valued AND.
+                let a = l.eval(row)?;
+                if a == Value::Bool(false) {
+                    return Ok(Value::Bool(false));
+                }
+                let b = r.eval(row)?;
+                match (a, b) {
+                    (Value::Bool(true), Value::Bool(true)) => Value::Bool(true),
+                    (_, Value::Bool(false)) => Value::Bool(false),
+                    _ => Value::Null,
+                }
+            }
+            CExpr::Or(l, r) => {
+                let a = l.eval(row)?;
+                if a == Value::Bool(true) {
+                    return Ok(Value::Bool(true));
+                }
+                let b = r.eval(row)?;
+                match (a, b) {
+                    (_, Value::Bool(true)) => Value::Bool(true),
+                    (Value::Bool(false), Value::Bool(false)) => Value::Bool(false),
+                    _ => Value::Null,
+                }
+            }
+            CExpr::Not(inner) => match inner.eval(row)? {
+                Value::Bool(b) => Value::Bool(!b),
+                Value::Null => Value::Null,
+                other => {
+                    return Err(ValueError::TypeMismatch(format!(
+                        "NOT on {}",
+                        other.type_name()
+                    )))
+                }
+            },
+            CExpr::Neg(inner) => match inner.eval(row)? {
+                Value::Int(i) => Value::Int(-i),
+                Value::Float(f) => Value::Float(-f),
+                Value::Null => Value::Null,
+                other => {
+                    return Err(ValueError::TypeMismatch(format!(
+                        "negation of {}",
+                        other.type_name()
+                    )))
+                }
+            },
+            CExpr::Between { expr, low, high, negated } => {
+                let v = expr.eval(row)?;
+                let lo = low.eval(row)?;
+                let hi = high.eval(row)?;
+                if v.is_null() || lo.is_null() || hi.is_null() {
+                    Value::Null
+                } else {
+                    match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
+                        (Some(a), Some(b)) => {
+                            let inside = a != std::cmp::Ordering::Less
+                                && b != std::cmp::Ordering::Greater;
+                            Value::Bool(inside != *negated)
+                        }
+                        _ => Value::Null,
+                    }
+                }
+            }
+            CExpr::InList { expr, list, negated } => {
+                let v = expr.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                let mut found = false;
+                for item in list {
+                    let w = item.eval(row)?;
+                    if w.is_null() {
+                        saw_null = true;
+                        continue;
+                    }
+                    if v.sql_cmp(&w) == Some(std::cmp::Ordering::Equal) {
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    Value::Bool(!*negated)
+                } else if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(*negated)
+                }
+            }
+            CExpr::Like { expr, pattern, negated } => match expr.eval(row)? {
+                Value::Null => Value::Null,
+                Value::Str(s) => Value::Bool(sql_like(&s, pattern) != *negated),
+                other => {
+                    return Err(ValueError::TypeMismatch(format!(
+                        "LIKE on {}",
+                        other.type_name()
+                    )))
+                }
+            },
+            CExpr::IsNull { expr, negated } => {
+                Value::Bool(expr.eval(row)?.is_null() != *negated)
+            }
+            CExpr::Case { operand, branches, else_branch } => {
+                match operand {
+                    Some(op) => {
+                        let v = op.eval(row)?;
+                        for (c, out) in branches {
+                            let w = c.eval(row)?;
+                            if v.sql_cmp(&w) == Some(std::cmp::Ordering::Equal) {
+                                return out.eval(row);
+                            }
+                        }
+                    }
+                    None => {
+                        for (c, out) in branches {
+                            if c.eval(row)?.is_true() {
+                                return out.eval(row);
+                            }
+                        }
+                    }
+                }
+                match else_branch {
+                    Some(e) => e.eval(row)?,
+                    None => Value::Null,
+                }
+            }
+            CExpr::Scalar(f, args) => {
+                let vals: Vec<Value> =
+                    args.iter().map(|a| a.eval(row)).collect::<Result<_, _>>()?;
+                if vals.iter().any(Value::is_null) {
+                    return Ok(Value::Null);
+                }
+                match (f, vals.as_slice()) {
+                    (ScalarFn::Upper, [Value::Str(s)]) => Value::Str(s.to_uppercase()),
+                    (ScalarFn::Lower, [Value::Str(s)]) => Value::Str(s.to_lowercase()),
+                    (ScalarFn::Abs, [Value::Int(i)]) => Value::Int(i.abs()),
+                    (ScalarFn::Abs, [Value::Float(x)]) => Value::Float(x.abs()),
+                    (ScalarFn::Round, [Value::Float(x)]) => Value::Int(x.round() as i64),
+                    (ScalarFn::Round, [Value::Int(i)]) => Value::Int(*i),
+                    (ScalarFn::Length, [Value::Str(s)]) => {
+                        Value::Int(s.chars().count() as i64)
+                    }
+                    (f, args) => {
+                        return Err(ValueError::TypeMismatch(format!("{f:?} on {args:?}")))
+                    }
+                }
+            }
+        })
+    }
+
+    /// Evaluate as a filter predicate (SQL semantics: NULL fails).
+    pub fn matches(&self, row: &Row) -> Result<bool, ValueError> {
+        Ok(self.eval(row)?.is_true())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+    use coin_sql::parse_expr;
+
+    fn schema() -> Schema {
+        Schema::of(&[
+            ("r1.cname", ColumnType::Str),
+            ("r1.revenue", ColumnType::Int),
+            ("r1.currency", ColumnType::Str),
+        ])
+    }
+
+    fn eval(src: &str, row: &[Value]) -> Value {
+        let e = parse_expr(src).unwrap();
+        let c = compile(&e, &schema()).unwrap();
+        c.eval(&row.to_vec()).unwrap()
+    }
+
+    fn row() -> Vec<Value> {
+        vec![Value::str("NTT"), Value::Int(1_000_000), Value::str("JPY")]
+    }
+
+    #[test]
+    fn column_lookup() {
+        assert_eq!(eval("r1.cname", &row()), Value::str("NTT"));
+        assert_eq!(eval("revenue", &row()), Value::Int(1_000_000));
+    }
+
+    #[test]
+    fn arithmetic_conversion_expr() {
+        // The paper's JPY conversion: revenue * 1000 * 0.0096
+        assert_eq!(
+            eval("r1.revenue * 1000 * 0.0096", &row()),
+            Value::Float(9_600_000.0)
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(eval("r1.revenue > 500", &row()), Value::Bool(true));
+        assert_eq!(eval("r1.currency = 'JPY'", &row()), Value::Bool(true));
+        assert_eq!(eval("r1.currency <> 'JPY'", &row()), Value::Bool(false));
+    }
+
+    #[test]
+    fn null_three_valued() {
+        let r = vec![Value::Null, Value::Null, Value::Null];
+        assert_eq!(eval("r1.revenue > 500", &r), Value::Null);
+        assert_eq!(eval("r1.revenue > 500 AND TRUE", &r), Value::Null);
+        assert_eq!(eval("r1.revenue > 500 OR TRUE", &r), Value::Bool(true));
+        assert_eq!(eval("r1.revenue > 500 AND FALSE", &r), Value::Bool(false));
+        assert_eq!(eval("r1.cname IS NULL", &r), Value::Bool(true));
+    }
+
+    #[test]
+    fn between_in_like() {
+        assert_eq!(
+            eval("r1.revenue BETWEEN 1 AND 2000000", &row()),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval("r1.currency IN ('USD', 'JPY')", &row()),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval("r1.currency NOT IN ('USD')", &row()),
+            Value::Bool(true)
+        );
+        assert_eq!(eval("r1.cname LIKE 'N%'", &row()), Value::Bool(true));
+    }
+
+    #[test]
+    fn in_list_null_semantics() {
+        // 5 IN (1, NULL) is NULL (unknown), not false.
+        assert_eq!(eval("5 IN (1, NULL)", &row()), Value::Null);
+        assert_eq!(eval("1 IN (1, NULL)", &row()), Value::Bool(true));
+    }
+
+    #[test]
+    fn case_expression() {
+        assert_eq!(
+            eval(
+                "CASE WHEN r1.currency = 'JPY' THEN r1.revenue * 1000 ELSE r1.revenue END",
+                &row()
+            ),
+            Value::Int(1_000_000_000)
+        );
+    }
+
+    #[test]
+    fn case_with_operand() {
+        assert_eq!(
+            eval("CASE r1.currency WHEN 'JPY' THEN 1000 ELSE 1 END", &row()),
+            Value::Int(1000)
+        );
+    }
+
+    #[test]
+    fn scalar_functions() {
+        assert_eq!(eval("UPPER('abc')", &row()), Value::str("ABC"));
+        assert_eq!(eval("LOWER(r1.cname)", &row()), Value::str("ntt"));
+        assert_eq!(eval("ABS(-5)", &row()), Value::Int(5));
+        assert_eq!(eval("ROUND(2.6)", &row()), Value::Int(3));
+        assert_eq!(eval("LENGTH(r1.cname)", &row()), Value::Int(3));
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let e = parse_expr("r9.bogus").unwrap();
+        assert!(matches!(
+            compile(&e, &schema()),
+            Err(CompileError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn aggregate_rejected_in_scalar_position() {
+        let e = parse_expr("SUM(r1.revenue)").unwrap();
+        assert!(matches!(
+            compile(&e, &schema()),
+            Err(CompileError::AggregateNotAllowed(_))
+        ));
+    }
+
+    #[test]
+    fn incomparable_equality_false() {
+        assert_eq!(eval("r1.cname = 5", &row()), Value::Bool(false));
+        assert_eq!(eval("r1.cname <> 5", &row()), Value::Bool(true));
+    }
+
+    #[test]
+    fn matches_collapses_null() {
+        let e = parse_expr("r1.revenue > 500").unwrap();
+        let c = compile(&e, &schema()).unwrap();
+        let null_row = vec![Value::Null, Value::Null, Value::Null];
+        assert!(!c.matches(&null_row).unwrap());
+        assert!(c.matches(&row()).unwrap());
+    }
+}

@@ -1,0 +1,407 @@
+//! Disk-backed temporary storage.
+//!
+//! The prototype's multi-database access engine "uses two local secondary
+//! storages" for dictionary information and "to handle large results or
+//! large sets of temporary data" (paper §2). This module is that substrate:
+//! a [`TempStore`] that spills runs of rows to temporary files with a
+//! compact binary encoding, and an [`ExternalSorter`] that sorts arbitrarily
+//! large row streams with bounded memory (sorted runs + k-way merge).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+use crate::schema::Row;
+use crate::value::Value;
+
+static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A handle to a directory for temporary run files; files are deleted when
+/// their readers/writers drop.
+#[derive(Debug, Clone)]
+pub struct TempStore {
+    dir: PathBuf,
+}
+
+impl Default for TempStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TempStore {
+    /// A temp store in the OS temp directory.
+    pub fn new() -> TempStore {
+        let dir = std::env::temp_dir().join("coin-tempstore");
+        let _ = std::fs::create_dir_all(&dir);
+        TempStore { dir }
+    }
+
+    pub fn in_dir(dir: impl Into<PathBuf>) -> io::Result<TempStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(TempStore { dir })
+    }
+
+    fn fresh_path(&self) -> PathBuf {
+        let id = NEXT_FILE_ID.fetch_add(1, AtomicOrdering::Relaxed);
+        self.dir.join(format!("run-{}-{id}.coin", std::process::id()))
+    }
+
+    /// Spill rows to a new run file; returns a reader-factory handle.
+    pub fn spill(&self, rows: &[Row]) -> io::Result<SpillFile> {
+        let path = self.fresh_path();
+        let mut w = BufWriter::new(File::create(&path)?);
+        for row in rows {
+            write_row(&mut w, row)?;
+        }
+        w.flush()?;
+        Ok(SpillFile { path })
+    }
+}
+
+/// A spilled run; deleted on drop.
+#[derive(Debug)]
+pub struct SpillFile {
+    path: PathBuf,
+}
+
+impl SpillFile {
+    pub fn reader(&self) -> io::Result<SpillReader> {
+        Ok(SpillReader { r: BufReader::new(File::open(&self.path)?) })
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Sequential reader over a spilled run.
+#[derive(Debug)]
+pub struct SpillReader {
+    r: BufReader<File>,
+}
+
+impl SpillReader {
+    /// Read the next row; `None` at end of run.
+    pub fn next_row(&mut self) -> io::Result<Option<Row>> {
+        read_row(&mut self.r)
+    }
+}
+
+// ---- row encoding ---------------------------------------------------------
+//
+// Row   := u32 column-count, then values
+// Value := tag u8 (0 null, 1 bool, 2 int, 3 float, 4 str)
+//          + payload (bool: u8; int: i64 LE; float: f64 bits LE;
+//            str: u32 length + bytes)
+
+fn write_row(w: &mut impl Write, row: &Row) -> io::Result<()> {
+    w.write_all(&(row.len() as u32).to_le_bytes())?;
+    for v in row {
+        match v {
+            Value::Null => w.write_all(&[0])?,
+            Value::Bool(b) => {
+                w.write_all(&[1, u8::from(*b)])?;
+            }
+            Value::Int(i) => {
+                w.write_all(&[2])?;
+                w.write_all(&i.to_le_bytes())?;
+            }
+            Value::Float(f) => {
+                w.write_all(&[3])?;
+                w.write_all(&f.to_bits().to_le_bytes())?;
+            }
+            Value::Str(s) => {
+                w.write_all(&[4])?;
+                w.write_all(&(s.len() as u32).to_le_bytes())?;
+                w.write_all(s.as_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_row(r: &mut impl Read) -> io::Result<Option<Row>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let n = u32::from_le_bytes(len_buf) as usize;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let v = match tag[0] {
+            0 => Value::Null,
+            1 => {
+                let mut b = [0u8; 1];
+                r.read_exact(&mut b)?;
+                Value::Bool(b[0] != 0)
+            }
+            2 => {
+                let mut b = [0u8; 8];
+                r.read_exact(&mut b)?;
+                Value::Int(i64::from_le_bytes(b))
+            }
+            3 => {
+                let mut b = [0u8; 8];
+                r.read_exact(&mut b)?;
+                Value::Float(f64::from_bits(u64::from_le_bytes(b)))
+            }
+            4 => {
+                let mut lb = [0u8; 4];
+                r.read_exact(&mut lb)?;
+                let mut s = vec![0u8; u32::from_le_bytes(lb) as usize];
+                r.read_exact(&mut s)?;
+                Value::Str(String::from_utf8(s).map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, e)
+                })?)
+            }
+            t => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad value tag {t}"),
+                ))
+            }
+        };
+        row.push(v);
+    }
+    Ok(Some(row))
+}
+
+/// Comparator over rows: (column index, descending?) pairs applied in order.
+pub type SortKey = Vec<(usize, bool)>;
+
+/// Compare rows by a sort key using the total value ordering.
+pub fn cmp_rows(a: &Row, b: &Row, key: &[(usize, bool)]) -> Ordering {
+    for &(i, desc) in key {
+        let ord = a[i].total_cmp(&b[i]);
+        let ord = if desc { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// External merge sorter with a bounded in-memory run size.
+pub struct ExternalSorter {
+    store: TempStore,
+    key: SortKey,
+    run_capacity: usize,
+    current: Vec<Row>,
+    runs: Vec<SpillFile>,
+    /// Count of rows that went through a disk run (spill ablation metric).
+    spilled_rows: usize,
+}
+
+impl ExternalSorter {
+    pub fn new(store: TempStore, key: SortKey, run_capacity: usize) -> ExternalSorter {
+        assert!(run_capacity > 0);
+        ExternalSorter {
+            store,
+            key,
+            run_capacity,
+            current: Vec::new(),
+            runs: Vec::new(),
+            spilled_rows: 0,
+        }
+    }
+
+    pub fn push(&mut self, row: Row) -> io::Result<()> {
+        self.current.push(row);
+        if self.current.len() >= self.run_capacity {
+            self.flush_run()?;
+        }
+        Ok(())
+    }
+
+    fn flush_run(&mut self) -> io::Result<()> {
+        if self.current.is_empty() {
+            return Ok(());
+        }
+        let key = self.key.clone();
+        self.current.sort_by(|a, b| cmp_rows(a, b, &key));
+        self.spilled_rows += self.current.len();
+        let run = self.store.spill(&self.current)?;
+        self.current.clear();
+        self.runs.push(run);
+        Ok(())
+    }
+
+    pub fn spilled_rows(&self) -> usize {
+        self.spilled_rows
+    }
+
+    /// Finish and return the fully sorted rows.
+    ///
+    /// If everything fit in one in-memory run, no disk I/O happens at all;
+    /// otherwise the in-memory tail is spilled too and all runs are k-way
+    /// merged through a heap.
+    pub fn finish(mut self) -> io::Result<Vec<Row>> {
+        let key = self.key.clone();
+        if self.runs.is_empty() {
+            self.current.sort_by(|a, b| cmp_rows(a, b, &key));
+            return Ok(std::mem::take(&mut self.current));
+        }
+        self.flush_run()?;
+
+        struct HeapItem {
+            row: Row,
+            source: usize,
+        }
+        // BinaryHeap is a max-heap; we wrap with reversed comparison.
+        struct Ctx(SortKey);
+        let ctx = Ctx(key);
+        let mut readers: Vec<SpillReader> = self
+            .runs
+            .iter()
+            .map(SpillFile::reader)
+            .collect::<io::Result<_>>()?;
+        // Rust's BinaryHeap needs Ord on the item itself; we emulate with a
+        // Vec-based loser-tree-ish approach via a keyed wrapper.
+        struct Keyed<'a>(HeapItem, &'a Ctx);
+        impl PartialEq for Keyed<'_> {
+            fn eq(&self, other: &Self) -> bool {
+                cmp_rows(&self.0.row, &other.0.row, &self.1 .0) == Ordering::Equal
+            }
+        }
+        impl Eq for Keyed<'_> {}
+        impl PartialOrd for Keyed<'_> {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Keyed<'_> {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Reversed: min-heap behaviour from the max-heap.
+                cmp_rows(&other.0.row, &self.0.row, &self.1 .0)
+            }
+        }
+
+        let mut heap: BinaryHeap<Keyed<'_>> = BinaryHeap::new();
+        for (i, r) in readers.iter_mut().enumerate() {
+            if let Some(row) = r.next_row()? {
+                heap.push(Keyed(HeapItem { row, source: i }, &ctx));
+            }
+        }
+        let mut out = Vec::new();
+        while let Some(Keyed(item, _)) = heap.pop() {
+            if let Some(next) = readers[item.source].next_row()? {
+                heap.push(Keyed(HeapItem { row: next, source: item.source }, &ctx));
+            }
+            out.push(item.row);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(i: i64, s: &str) -> Row {
+        vec![Value::Int(i), Value::str(s)]
+    }
+
+    #[test]
+    fn spill_roundtrip_all_value_kinds() {
+        let store = TempStore::new();
+        let rows = vec![vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::Float(2.5),
+            Value::str("文字 with spaces"),
+        ]];
+        let run = store.spill(&rows).unwrap();
+        let mut r = run.reader().unwrap();
+        assert_eq!(r.next_row().unwrap().unwrap(), rows[0]);
+        assert!(r.next_row().unwrap().is_none());
+    }
+
+    #[test]
+    fn spill_file_deleted_on_drop() {
+        let store = TempStore::new();
+        let run = store.spill(&[row(1, "a")]).unwrap();
+        let path = run.path.clone();
+        assert!(path.exists());
+        drop(run);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn in_memory_sort_no_spill() {
+        let store = TempStore::new();
+        let mut s = ExternalSorter::new(store, vec![(0, false)], 100);
+        for i in [5, 3, 9, 1] {
+            s.push(row(i, "x")).unwrap();
+        }
+        assert_eq!(s.spilled_rows(), 0);
+        let sorted = s.finish().unwrap();
+        let keys: Vec<i64> = sorted
+            .iter()
+            .map(|r| match r[0] {
+                Value::Int(i) => i,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(keys, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn external_sort_with_spills() {
+        let store = TempStore::new();
+        let mut s = ExternalSorter::new(store, vec![(0, false)], 16);
+        let n = 1000;
+        // Deterministic shuffle via multiplicative hashing.
+        for i in 0..n {
+            let k = (i * 7919) % n;
+            s.push(row(k, "x")).unwrap();
+        }
+        assert!(s.spilled_rows() > 0);
+        let sorted = s.finish().unwrap();
+        assert_eq!(sorted.len(), n as usize);
+        for (i, r) in sorted.iter().enumerate() {
+            assert_eq!(r[0], Value::Int(i as i64));
+        }
+    }
+
+    #[test]
+    fn descending_and_secondary_key() {
+        let store = TempStore::new();
+        let mut s = ExternalSorter::new(store, vec![(1, false), (0, true)], 2);
+        s.push(row(1, "b")).unwrap();
+        s.push(row(2, "a")).unwrap();
+        s.push(row(3, "a")).unwrap();
+        let sorted = s.finish().unwrap();
+        assert_eq!(sorted[0], row(3, "a"));
+        assert_eq!(sorted[1], row(2, "a"));
+        assert_eq!(sorted[2], row(1, "b"));
+    }
+
+    #[test]
+    fn nulls_sort_first() {
+        let store = TempStore::new();
+        let mut s = ExternalSorter::new(store, vec![(0, false)], 2);
+        s.push(vec![Value::Int(1), Value::str("x")]).unwrap();
+        s.push(vec![Value::Null, Value::str("y")]).unwrap();
+        s.push(vec![Value::Int(0), Value::str("z")]).unwrap();
+        let sorted = s.finish().unwrap();
+        assert_eq!(sorted[0][0], Value::Null);
+    }
+
+    #[test]
+    fn empty_sorter() {
+        let s = ExternalSorter::new(TempStore::new(), vec![(0, false)], 4);
+        assert!(s.finish().unwrap().is_empty());
+    }
+}

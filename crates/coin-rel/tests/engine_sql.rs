@@ -1,0 +1,343 @@
+//! End-to-end SQL tests for the per-source engine, including the paper's
+//! Figure 2 fixtures executed naively (which must return the "incorrect"
+//! empty answer — the motivation for mediation).
+
+use coin_rel::{execute_sql, Catalog, ColumnType, Schema, Table, Value};
+
+/// The Figure 2 fixtures: r1 (mixed currencies), r2 (USD), r3 (rates).
+fn figure2_catalog() -> Catalog {
+    let r1 = Table::from_rows(
+        "r1",
+        Schema::of(&[
+            ("cname", ColumnType::Str),
+            ("revenue", ColumnType::Int),
+            ("currency", ColumnType::Str),
+        ]),
+        vec![
+            vec![Value::str("IBM"), Value::Int(100_000_000), Value::str("USD")],
+            vec![Value::str("NTT"), Value::Int(1_000_000), Value::str("JPY")],
+        ],
+    );
+    let r2 = Table::from_rows(
+        "r2",
+        Schema::of(&[("cname", ColumnType::Str), ("expenses", ColumnType::Int)]),
+        vec![
+            vec![Value::str("IBM"), Value::Int(1_500_000_000)],
+            vec![Value::str("NTT"), Value::Int(5_000_000)],
+        ],
+    );
+    let r3 = Table::from_rows(
+        "r3",
+        Schema::of(&[
+            ("fromCur", ColumnType::Str),
+            ("toCur", ColumnType::Str),
+            ("rate", ColumnType::Float),
+        ]),
+        vec![
+            vec![Value::str("JPY"), Value::str("USD"), Value::Float(0.0096)],
+            vec![Value::str("USD"), Value::str("JPY"), Value::Float(104.0)],
+        ],
+    );
+    Catalog::new().with_table(r1).with_table(r2).with_table(r3)
+}
+
+#[test]
+fn naive_query_returns_empty_answer() {
+    // Paper §3: executing Q1 without mediation yields the empty answer,
+    // because NTT's revenue (1,000,000 in thousands of JPY) compares below
+    // its expenses (5,000,000 USD) numerically.
+    let cat = figure2_catalog();
+    let out = execute_sql(
+        "SELECT r1.cname, r1.revenue FROM r1, r2 \
+         WHERE r1.cname = r2.cname AND r1.revenue > r2.expenses",
+        &cat,
+    )
+    .unwrap();
+    assert!(out.rows.is_empty());
+}
+
+#[test]
+fn mediated_union_returns_correct_answer() {
+    // Executing the paper's hand-written mediated query yields <NTT, 9.6M>.
+    let cat = figure2_catalog();
+    let out = execute_sql(
+        "SELECT r1.cname, r1.revenue FROM r1, r2 \
+         WHERE r1.currency = 'USD' AND r1.cname = r2.cname AND r1.revenue > r2.expenses \
+         UNION \
+         SELECT r1.cname, r1.revenue * 1000 * r3.rate FROM r1, r2, r3 \
+         WHERE r1.currency = 'JPY' AND r1.cname = r2.cname \
+           AND r3.fromCur = r1.currency AND r3.toCur = 'USD' \
+           AND r1.revenue * 1000 * r3.rate > r2.expenses \
+         UNION \
+         SELECT r1.cname, r1.revenue * r3.rate FROM r1, r2, r3 \
+         WHERE r1.currency <> 'USD' AND r1.currency <> 'JPY' \
+           AND r3.fromCur = r1.currency AND r3.toCur = 'USD' \
+           AND r1.cname = r2.cname AND r1.revenue * r3.rate > r2.expenses",
+        &cat,
+    )
+    .unwrap();
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.rows[0][0], Value::str("NTT"));
+    assert_eq!(out.rows[0][1], Value::Float(9_600_000.0));
+}
+
+#[test]
+fn projection_and_alias() {
+    let cat = figure2_catalog();
+    let out = execute_sql("SELECT cname AS company FROM r2 ORDER BY cname", &cat).unwrap();
+    assert_eq!(out.schema.names(), vec!["company"]);
+    assert_eq!(out.rows[0][0], Value::str("IBM"));
+}
+
+#[test]
+fn wildcard_expansion() {
+    let cat = figure2_catalog();
+    let out = execute_sql("SELECT * FROM r3", &cat).unwrap();
+    assert_eq!(out.schema.len(), 3);
+    assert_eq!(out.rows.len(), 2);
+}
+
+#[test]
+fn hash_join_path() {
+    let cat = figure2_catalog();
+    let out = execute_sql(
+        "SELECT r1.cname, r2.expenses FROM r1, r2 WHERE r1.cname = r2.cname",
+        &cat,
+    )
+    .unwrap();
+    assert_eq!(out.rows.len(), 2);
+}
+
+#[test]
+fn cross_product_when_no_join_pred() {
+    let cat = figure2_catalog();
+    let out = execute_sql("SELECT r1.cname, r2.cname FROM r1, r2", &cat).unwrap();
+    assert_eq!(out.rows.len(), 4);
+}
+
+#[test]
+fn three_way_join_with_computed_predicate() {
+    let cat = figure2_catalog();
+    let out = execute_sql(
+        "SELECT r1.cname FROM r1, r2, r3 \
+         WHERE r1.cname = r2.cname AND r3.fromCur = r1.currency AND r3.toCur = 'USD'",
+        &cat,
+    )
+    .unwrap();
+    // Only NTT's JPY row has a JPY→USD rate; IBM's USD row has none
+    // (r3 has USD→JPY, not USD→USD).
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.rows[0][0], Value::str("NTT"));
+}
+
+#[test]
+fn group_by_aggregates() {
+    let mut cat = figure2_catalog();
+    let sales = Table::from_rows(
+        "sales",
+        Schema::of(&[
+            ("region", ColumnType::Str),
+            ("amount", ColumnType::Int),
+        ]),
+        vec![
+            vec![Value::str("east"), Value::Int(10)],
+            vec![Value::str("west"), Value::Int(5)],
+            vec![Value::str("east"), Value::Int(7)],
+        ],
+    );
+    cat.add_table(sales);
+    let out = execute_sql(
+        "SELECT region, COUNT(*), SUM(amount), AVG(amount), MIN(amount), MAX(amount) \
+         FROM sales GROUP BY region ORDER BY region",
+        &cat,
+    )
+    .unwrap();
+    assert_eq!(out.rows.len(), 2);
+    assert_eq!(
+        out.rows[0],
+        vec![
+            Value::str("east"),
+            Value::Int(2),
+            Value::Int(17),
+            Value::Float(8.5),
+            Value::Int(7),
+            Value::Int(10)
+        ]
+    );
+}
+
+#[test]
+fn having_filters_groups() {
+    let mut cat = Catalog::new();
+    cat.add_table(Table::from_rows(
+        "sales",
+        Schema::of(&[("region", ColumnType::Str), ("amount", ColumnType::Int)]),
+        vec![
+            vec![Value::str("east"), Value::Int(10)],
+            vec![Value::str("west"), Value::Int(5)],
+            vec![Value::str("east"), Value::Int(7)],
+        ],
+    ));
+    let out = execute_sql(
+        "SELECT region FROM sales GROUP BY region HAVING SUM(amount) > 10",
+        &cat,
+    )
+    .unwrap();
+    assert_eq!(out.rows, vec![vec![Value::str("east")]]);
+}
+
+#[test]
+fn expression_over_aggregate() {
+    let mut cat = Catalog::new();
+    cat.add_table(Table::from_rows(
+        "t",
+        Schema::of(&[("g", ColumnType::Str), ("x", ColumnType::Int)]),
+        vec![
+            vec![Value::str("a"), Value::Int(2)],
+            vec![Value::str("a"), Value::Int(4)],
+        ],
+    ));
+    let out = execute_sql("SELECT g, SUM(x) * 10 FROM t GROUP BY g", &cat).unwrap();
+    assert_eq!(out.rows[0][1], Value::Int(60));
+}
+
+#[test]
+fn global_aggregate_without_group() {
+    let cat = figure2_catalog();
+    let out = execute_sql("SELECT COUNT(*), MAX(expenses) FROM r2", &cat).unwrap();
+    assert_eq!(out.rows, vec![vec![Value::Int(2), Value::Int(1_500_000_000)]]);
+}
+
+#[test]
+fn non_grouped_column_rejected() {
+    let cat = figure2_catalog();
+    let err = execute_sql("SELECT cname, SUM(expenses) FROM r2", &cat);
+    assert!(err.is_err());
+}
+
+#[test]
+fn distinct_on_projection() {
+    let cat = figure2_catalog();
+    let out = execute_sql("SELECT DISTINCT toCur FROM r3 ORDER BY toCur", &cat).unwrap();
+    assert_eq!(out.rows.len(), 2);
+}
+
+#[test]
+fn union_dedups_union_all_keeps() {
+    let cat = figure2_catalog();
+    let dedup = execute_sql(
+        "SELECT cname FROM r2 UNION SELECT cname FROM r2",
+        &cat,
+    )
+    .unwrap();
+    assert_eq!(dedup.rows.len(), 2);
+    let all = execute_sql(
+        "SELECT cname FROM r2 UNION ALL SELECT cname FROM r2",
+        &cat,
+    )
+    .unwrap();
+    assert_eq!(all.rows.len(), 4);
+}
+
+#[test]
+fn order_by_desc_with_limit() {
+    let cat = figure2_catalog();
+    let out = execute_sql(
+        "SELECT cname, expenses FROM r2 ORDER BY expenses DESC LIMIT 1",
+        &cat,
+    )
+    .unwrap();
+    assert_eq!(out.rows, vec![vec![Value::str("IBM"), Value::Int(1_500_000_000)]]);
+}
+
+#[test]
+fn self_join_with_aliases() {
+    let cat = figure2_catalog();
+    let out = execute_sql(
+        "SELECT a.fromCur, b.fromCur FROM r3 a, r3 b WHERE a.toCur = b.fromCur",
+        &cat,
+    )
+    .unwrap();
+    // JPY→USD joins USD→JPY and vice versa.
+    assert_eq!(out.rows.len(), 2);
+}
+
+#[test]
+fn case_in_projection() {
+    let cat = figure2_catalog();
+    let out = execute_sql(
+        "SELECT cname, CASE WHEN currency = 'JPY' THEN revenue * 1000 ELSE revenue END \
+         FROM r1 ORDER BY cname",
+        &cat,
+    )
+    .unwrap();
+    assert_eq!(out.rows[0][1], Value::Int(100_000_000)); // IBM USD unscaled
+    assert_eq!(out.rows[1][1], Value::Int(1_000_000_000)); // NTT JPY scaled
+}
+
+#[test]
+fn unknown_table_is_error() {
+    let cat = figure2_catalog();
+    assert!(execute_sql("SELECT * FROM nothere", &cat).is_err());
+}
+
+#[test]
+fn division_by_zero_is_runtime_error() {
+    let cat = figure2_catalog();
+    assert!(execute_sql("SELECT revenue / 0 FROM r1", &cat).is_err());
+}
+
+#[test]
+fn in_and_between_filters() {
+    let cat = figure2_catalog();
+    let out = execute_sql(
+        "SELECT cname FROM r1 WHERE currency IN ('JPY', 'EUR') \
+         AND revenue BETWEEN 1 AND 2000000",
+        &cat,
+    )
+    .unwrap();
+    assert_eq!(out.rows, vec![vec![Value::str("NTT")]]);
+}
+
+#[test]
+fn like_filter() {
+    let cat = figure2_catalog();
+    let out = execute_sql("SELECT cname FROM r1 WHERE cname LIKE 'I%'", &cat).unwrap();
+    assert_eq!(out.rows, vec![vec![Value::str("IBM")]]);
+}
+
+#[test]
+fn join_on_syntax_equivalent_to_comma() {
+    let cat = figure2_catalog();
+    let a = execute_sql(
+        "SELECT r1.cname FROM r1 JOIN r2 ON r1.cname = r2.cname",
+        &cat,
+    )
+    .unwrap();
+    let b = execute_sql(
+        "SELECT r1.cname FROM r1, r2 WHERE r1.cname = r2.cname",
+        &cat,
+    )
+    .unwrap();
+    assert_eq!(a.rows, b.rows);
+}
+
+#[test]
+fn order_by_select_alias() {
+    // ORDER BY on a projected alias (including computed expressions) sorts
+    // after projection.
+    let cat = figure2_catalog();
+    let out = execute_sql(
+        "SELECT cname, expenses / 1000 AS k_usd FROM r2 ORDER BY k_usd DESC",
+        &cat,
+    )
+    .unwrap();
+    assert_eq!(out.rows[0][0], Value::str("IBM"));
+    assert_eq!(out.rows[1][0], Value::str("NTT"));
+}
+
+#[test]
+fn order_by_unknown_name_is_error() {
+    let cat = figure2_catalog();
+    assert!(execute_sql("SELECT cname FROM r2 ORDER BY nonexistent", &cat).is_err());
+}

@@ -1,0 +1,270 @@
+//! The ODBC-family client API.
+//!
+//! "On the receiver's side we have implemented an Application Programming
+//! Interface (API) of the family of the Object DataBase Connectivity (ODBC)
+//! protocol … we have developed … an ODBC driver which gives access to the
+//! mediation services to any … ODBC compliant applications" (paper §2).
+//!
+//! [`Connection`] plays the role of the ODBC data source (bound to a
+//! receiver context), [`Statement`] prepares and executes SQL, and
+//! [`ResultSet`] exposes columns/rows plus the mediation provenance.
+
+use std::net::SocketAddr;
+
+use coin_rel::{Column, ColumnType, Schema, Table, Value};
+
+use crate::http::{get, post, HttpError};
+use crate::json::{parse, Json, JsonError};
+use crate::protocol::json_to_value;
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    Http(HttpError),
+    Json(JsonError),
+    Server(String),
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Http(e) => write!(f, "{e}"),
+            ClientError::Json(e) => write!(f, "{e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<HttpError> for ClientError {
+    fn from(e: HttpError) -> Self {
+        ClientError::Http(e)
+    }
+}
+impl From<JsonError> for ClientError {
+    fn from(e: JsonError) -> Self {
+        ClientError::Json(e)
+    }
+}
+
+/// Table metadata from the dictionary endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableInfo {
+    pub source: String,
+    pub table: String,
+    pub columns: Vec<(String, String)>,
+}
+
+/// A connection to a mediation server, bound to a receiver context.
+#[derive(Debug, Clone)]
+pub struct Connection {
+    addr: SocketAddr,
+    context: String,
+}
+
+impl Connection {
+    /// Open a connection (no handshake needed; HTTP is stateless).
+    pub fn open(addr: SocketAddr, context: &str) -> Connection {
+        Connection { addr, context: context.to_owned() }
+    }
+
+    /// The receiver context this connection is bound to.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// Fetch the schema dictionary.
+    pub fn dictionary(&self) -> Result<Vec<TableInfo>, ClientError> {
+        let body = get(&self.addr, "/dictionary")?;
+        let doc = parse(&String::from_utf8_lossy(&body))?;
+        let tables = doc
+            .get("tables")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol("missing tables".into()))?;
+        tables
+            .iter()
+            .map(|t| {
+                let source = t
+                    .get("source")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ClientError::Protocol("missing source".into()))?
+                    .to_owned();
+                let table = t
+                    .get("table")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ClientError::Protocol("missing table".into()))?
+                    .to_owned();
+                let columns = t
+                    .get("columns")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| ClientError::Protocol("missing columns".into()))?
+                    .iter()
+                    .map(|c| {
+                        Ok((
+                            c.get("name")
+                                .and_then(Json::as_str)
+                                .ok_or_else(|| {
+                                    ClientError::Protocol("missing column name".into())
+                                })?
+                                .to_owned(),
+                            c.get("type")
+                                .and_then(Json::as_str)
+                                .unwrap_or("ANY")
+                                .to_owned(),
+                        ))
+                    })
+                    .collect::<Result<_, ClientError>>()?;
+                Ok(TableInfo { source, table, columns })
+            })
+            .collect()
+    }
+
+    /// Create a statement.
+    pub fn statement(&self) -> Statement<'_> {
+        Statement { conn: self, mediated: true }
+    }
+
+    /// A statement that bypasses mediation (the naive baseline).
+    pub fn naive_statement(&self) -> Statement<'_> {
+        Statement { conn: self, mediated: false }
+    }
+
+    /// Ask the mediator for the rewriting only.
+    pub fn explain(&self, sql: &str) -> Result<(String, String), ClientError> {
+        let payload = Json::obj([
+            ("sql", Json::str(sql)),
+            ("context", Json::str(&self.context)),
+            ("mode", Json::str("explain")),
+        ]);
+        let body = post(
+            &self.addr,
+            "/query",
+            "application/json",
+            payload.to_string().as_bytes(),
+        )?;
+        let doc = parse(&String::from_utf8_lossy(&body))?;
+        if let Some(err) = doc.get("error").and_then(Json::as_str) {
+            return Err(ClientError::Server(err.to_owned()));
+        }
+        Ok((
+            doc.get("mediated_sql")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+            doc.get("explanation")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+        ))
+    }
+}
+
+/// A prepared statement.
+#[derive(Debug)]
+pub struct Statement<'c> {
+    conn: &'c Connection,
+    mediated: bool,
+}
+
+impl Statement<'_> {
+    /// Execute SQL and fetch the full result set.
+    pub fn execute(&self, sql: &str) -> Result<ResultSet, ClientError> {
+        let mode = if self.mediated { "mediated" } else { "naive" };
+        let payload = Json::obj([
+            ("sql", Json::str(sql)),
+            ("context", Json::str(&self.conn.context)),
+            ("mode", Json::str(mode)),
+        ]);
+        let body = post(
+            &self.conn.addr,
+            "/query",
+            "application/json",
+            payload.to_string().as_bytes(),
+        )?;
+        let doc = parse(&String::from_utf8_lossy(&body))?;
+        if let Some(err) = doc.get("error").and_then(Json::as_str) {
+            return Err(ClientError::Server(err.to_owned()));
+        }
+        decode_result(&doc)
+    }
+}
+
+fn decode_result(doc: &Json) -> Result<ResultSet, ClientError> {
+    let columns = doc
+        .get("columns")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ClientError::Protocol("missing columns".into()))?
+        .iter()
+        .map(|c| {
+            let name = c
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ClientError::Protocol("missing column name".into()))?;
+            let ty = match c.get("type").and_then(Json::as_str).unwrap_or("ANY") {
+                "INT" => ColumnType::Int,
+                "FLOAT" => ColumnType::Float,
+                "STR" => ColumnType::Str,
+                "BOOL" => ColumnType::Bool,
+                _ => ColumnType::Any,
+            };
+            Ok(Column::new(name, ty))
+        })
+        .collect::<Result<Vec<_>, ClientError>>()?;
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ClientError::Protocol("missing rows".into()))?
+        .iter()
+        .map(|r| {
+            r.as_array()
+                .ok_or_else(|| ClientError::Protocol("row is not an array".into()))?
+                .iter()
+                .map(|v| {
+                    json_to_value(v)
+                        .ok_or_else(|| ClientError::Protocol(format!("bad value {v}")))
+                })
+                .collect::<Result<Vec<Value>, _>>()
+        })
+        .collect::<Result<Vec<_>, ClientError>>()?;
+    Ok(ResultSet {
+        schema: Schema::new(columns),
+        rows,
+        mediated_sql: doc
+            .get("mediated_sql")
+            .and_then(Json::as_str)
+            .map(str::to_owned),
+        explanation: doc
+            .get("explanation")
+            .and_then(Json::as_str)
+            .map(str::to_owned),
+    })
+}
+
+/// A fetched result set.
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    pub schema: Schema,
+    pub rows: Vec<Vec<Value>>,
+    /// The mediated SQL the server executed (mediated mode only).
+    pub mediated_sql: Option<String>,
+    /// The mediation explanation.
+    pub explanation: Option<String>,
+}
+
+impl ResultSet {
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Convert to an engine table (for local post-processing).
+    pub fn into_table(self, name: &str) -> Table {
+        Table { name: name.to_owned(), schema: self.schema, rows: self.rows }
+    }
+}

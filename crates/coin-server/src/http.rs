@@ -1,0 +1,431 @@
+//! Minimal HTTP/1.0 server and client over `std::net`.
+//!
+//! "The protocol supporting this API is currently tunneled in the HyperText
+//! Transfer Protocol (HTTP) of the World Wide Web. The API can be used
+//! within any application with basic capabilities for Internet socket based
+//! communication." (paper §2)
+//!
+//! The server runs a small worker pool fed by a crossbeam channel; requests
+//! are parsed with `Content-Length` bodies, responses carry status, content
+//! type and body. The client side offers blocking `get`/`post` helpers.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: BTreeMap<String, String>,
+    pub headers: BTreeMap<String, String>,
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub content_type: String,
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    pub fn ok(content_type: &str, body: impl Into<Vec<u8>>) -> HttpResponse {
+        HttpResponse { status: 200, content_type: content_type.into(), body: body.into() }
+    }
+
+    pub fn json(body: &crate::json::Json) -> HttpResponse {
+        HttpResponse::ok("application/json", body.to_string())
+    }
+
+    pub fn html(body: &str) -> HttpResponse {
+        HttpResponse::ok("text/html; charset=utf-8", body)
+    }
+
+    pub fn error(status: u16, message: &str) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "text/plain; charset=utf-8".into(),
+            body: message.as_bytes().to_vec(),
+        }
+    }
+
+    fn status_text(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// HTTP-layer errors.
+#[derive(Debug)]
+pub enum HttpError {
+    Io(std::io::Error),
+    Malformed(String),
+    Status(u16, String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "io: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed http: {m}"),
+            HttpError::Status(code, body) => write!(f, "http {code}: {body}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// The request handler type.
+pub type Handler = Arc<dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync>;
+
+/// A running HTTP server; dropping it (or calling [`ServerHandle::stop`])
+/// shuts the listener down.
+pub struct ServerHandle {
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Signal shutdown and join the accept loop.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Start a server on `addr` (use port 0 for an ephemeral port) with
+/// `workers` handler threads.
+pub fn serve(addr: &str, workers: usize, handler: Handler) -> Result<ServerHandle, HttpError> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+    for _ in 0..workers.max(1) {
+        let rx = rx.clone();
+        let handler = Arc::clone(&handler);
+        std::thread::spawn(move || {
+            while let Ok(stream) = rx.recv() {
+                let _ = handle_connection(stream, &handler);
+            }
+        });
+    }
+
+    let stop2 = Arc::clone(&stop);
+    let accept_thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if stop2.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(s) => {
+                    let _ = tx.send(s);
+                }
+                Err(_) => break,
+            }
+        }
+    });
+
+    Ok(ServerHandle { addr: local, stop, accept_thread: Some(accept_thread) })
+}
+
+fn handle_connection(stream: TcpStream, handler: &Handler) -> Result<(), HttpError> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let request = match read_request(&mut reader) {
+        Ok(r) => r,
+        Err(HttpError::Io(_)) => return Ok(()), // dummy shutdown connection
+        Err(e) => {
+            write_response(
+                &stream,
+                &HttpResponse::error(400, &format!("bad request: {e}")),
+            )?;
+            return Ok(());
+        }
+    };
+    let response = handler(&request);
+    write_response(&stream, &response)
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<HttpRequest, HttpError> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if line.trim().is_empty() {
+        return Err(HttpError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "empty request",
+        )));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?
+        .to_owned();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing path".into()))?
+        .to_owned();
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), Some(q.to_owned())),
+        None => (target, None),
+    };
+    let mut query = BTreeMap::new();
+    if let Some(q) = query_str {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            match pair.split_once('=') {
+                Some((k, v)) => {
+                    query.insert(
+                        coin_wrapper::web::url_decode(k),
+                        coin_wrapper::web::url_decode(v),
+                    );
+                }
+                None => {
+                    query.insert(coin_wrapper::web::url_decode(pair), String::new());
+                }
+            }
+        }
+    }
+
+    let mut headers = BTreeMap::new();
+    loop {
+        let mut hline = String::new();
+        reader.read_line(&mut hline)?;
+        let trimmed = hline.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = trimmed.split_once(':') {
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_owned());
+        }
+    }
+
+    let len: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; len];
+    if len > 0 {
+        reader.read_exact(&mut body)?;
+    }
+    Ok(HttpRequest { method, path, query, headers, body })
+}
+
+fn write_response(mut stream: &TcpStream, resp: &HttpResponse) -> Result<(), HttpError> {
+    let head = format!(
+        "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        resp.status_text(),
+        resp.content_type,
+        resp.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Issue a request to `addr` (e.g. `127.0.0.1:4321`). Returns status+body;
+/// a non-2xx status is an [`HttpError::Status`].
+pub fn request(
+    addr: &SocketAddr,
+    method: &str,
+    path: &str,
+    content_type: Option<&str>,
+    body: &[u8],
+) -> Result<Vec<u8>, HttpError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+    let mut head = format!("{method} {path} HTTP/1.0\r\nHost: {addr}\r\n");
+    if let Some(ct) = content_type {
+        head.push_str(&format!("Content-Type: {ct}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line {status_line:?}")))?;
+    // Headers.
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut hline = String::new();
+        reader.read_line(&mut hline)?;
+        let trimmed = hline.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = trimmed.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().ok();
+            }
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(n) => {
+            body.resize(n, 0);
+            reader.read_exact(&mut body)?;
+        }
+        None => {
+            reader.read_to_end(&mut body)?;
+        }
+    }
+    if !(200..300).contains(&status) {
+        return Err(HttpError::Status(status, String::from_utf8_lossy(&body).into_owned()));
+    }
+    Ok(body)
+}
+
+/// GET helper.
+pub fn get(addr: &SocketAddr, path: &str) -> Result<Vec<u8>, HttpError> {
+    request(addr, "GET", path, None, &[])
+}
+
+/// POST helper.
+pub fn post(
+    addr: &SocketAddr,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+) -> Result<Vec<u8>, HttpError> {
+    request(addr, "POST", path, Some(content_type), body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> ServerHandle {
+        serve(
+            "127.0.0.1:0",
+            2,
+            Arc::new(|req: &HttpRequest| {
+                match (req.method.as_str(), req.path.as_str()) {
+                    ("GET", "/hello") => HttpResponse::ok(
+                        "text/plain",
+                        format!("hi {}", req.query.get("name").map_or("?", String::as_str)),
+                    ),
+                    ("POST", "/echo") => {
+                        HttpResponse::ok("application/octet-stream", req.body.clone())
+                    }
+                    _ => HttpResponse::error(404, "nope"),
+                }
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn get_roundtrip() {
+        let server = echo_server();
+        let body = get(&server.addr, "/hello?name=coin").unwrap();
+        assert_eq!(body, b"hi coin");
+        server.stop();
+    }
+
+    #[test]
+    fn post_roundtrip_binary() {
+        let server = echo_server();
+        let payload: Vec<u8> = (0u8..100).collect();
+        let body = post(&server.addr, "/echo", "application/octet-stream", &payload).unwrap();
+        assert_eq!(body, payload);
+        server.stop();
+    }
+
+    #[test]
+    fn not_found_is_status_error() {
+        let server = echo_server();
+        match get(&server.addr, "/nope") {
+            Err(HttpError::Status(404, _)) => {}
+            other => panic!("{other:?}"),
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn concurrent_requests() {
+        let server = echo_server();
+        let addr = server.addr;
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let body =
+                        get(&addr, &format!("/hello?name=t{i}")).unwrap();
+                    assert_eq!(body, format!("hi t{i}").into_bytes());
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn query_decoding() {
+        let server = serve(
+            "127.0.0.1:0",
+            1,
+            Arc::new(|req: &HttpRequest| {
+                HttpResponse::ok("text/plain", req.query["q"].clone())
+            }),
+        )
+        .unwrap();
+        let body = get(&server.addr, "/x?q=a+b%3Dc").unwrap();
+        assert_eq!(body, b"a b=c");
+        server.stop();
+    }
+}

@@ -1,0 +1,24 @@
+//! # coin-server — the receiver-side access layer
+//!
+//! Figure 1's client/server slice: the mediation services exposed over
+//! HTTP, with two ready-to-use interfaces exactly as in the prototype —
+//! an ODBC-family client API and an HTML Query-By-Example form (paper §2).
+//!
+//! * [`json`] — self-contained JSON codec for the wire protocol;
+//! * [`http`] — HTTP/1.0 server (worker pool) and blocking client;
+//! * [`protocol`] — the mediation endpoints (`/dictionary`, `/query`,
+//!   `/qbe`) over a shared [`coin_core::CoinSystem`];
+//! * [`client`] — [`client::Connection`] / [`client::Statement`] /
+//!   [`client::ResultSet`], the ODBC-style API;
+//! * [`qbe`] — QBE form rendering and submission handling.
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod protocol;
+pub mod qbe;
+
+pub use client::{ClientError, Connection, ResultSet, Statement, TableInfo};
+pub use http::{HttpError, HttpRequest, HttpResponse, ServerHandle};
+pub use json::{parse as parse_json, Json, JsonError};
+pub use protocol::{start_server, table_to_json, value_to_json};

@@ -1,0 +1,239 @@
+//! The mediation service protocol.
+//!
+//! The receiver-side API of the prototype, tunneled in HTTP (paper §2,
+//! Figure 1). Endpoints:
+//!
+//! * `GET /dictionary` — schema information for all registered sources
+//!   (the dictionary service);
+//! * `POST /query` — `{"sql": …, "context": …, "mode": "mediated"|"naive"}`
+//!   → columns, rows, the mediated SQL, the mediation explanation and
+//!   execution statistics;
+//! * `GET /qbe`, `POST /qbe` — the HTML Query-By-Example interface
+//!   ([`crate::qbe`]).
+//!
+//! Values travel as tagged JSON arrays so 64-bit integers survive:
+//! `null`, `["b",true]`, `["i","42"]`, `["f",2.5]`, `["s","text"]`.
+
+use std::sync::Arc;
+
+use coin_core::CoinSystem;
+use coin_rel::{Table, Value};
+
+use crate::http::{serve, Handler, HttpError, HttpRequest, HttpResponse, ServerHandle};
+use crate::json::{parse, Json};
+
+/// Encode a value for the wire.
+pub fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Bool(b) => Json::Arr(vec![Json::str("b"), Json::Bool(*b)]),
+        Value::Int(i) => Json::Arr(vec![Json::str("i"), Json::Str(i.to_string())]),
+        Value::Float(f) => Json::Arr(vec![Json::str("f"), Json::Num(*f)]),
+        Value::Str(s) => Json::Arr(vec![Json::str("s"), Json::Str(s.clone())]),
+    }
+}
+
+/// Decode a wire value.
+pub fn json_to_value(j: &Json) -> Option<Value> {
+    match j {
+        Json::Null => Some(Value::Null),
+        Json::Arr(items) => {
+            let tag = items.first()?.as_str()?;
+            match tag {
+                "b" => Some(Value::Bool(items.get(1)?.as_bool()?)),
+                "i" => Some(Value::Int(items.get(1)?.as_str()?.parse().ok()?)),
+                "f" => Some(Value::Float(items.get(1)?.as_f64()?)),
+                "s" => Some(Value::Str(items.get(1)?.as_str()?.to_owned())),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Encode a result table.
+pub fn table_to_json(t: &Table) -> Json {
+    Json::obj([
+        (
+            "columns",
+            Json::Arr(
+                t.schema
+                    .columns
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("name", Json::str(&c.name)),
+                            ("type", Json::str(c.ty.name())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "rows",
+            Json::Arr(
+                t.rows
+                    .iter()
+                    .map(|r| Json::Arr(r.iter().map(value_to_json).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Build the protocol handler over a shared system.
+pub fn protocol_handler(system: Arc<CoinSystem>) -> Handler {
+    Arc::new(move |req: &HttpRequest| dispatch(&system, req))
+}
+
+/// Start the mediation server.
+pub fn start_server(system: Arc<CoinSystem>, addr: &str) -> Result<ServerHandle, HttpError> {
+    serve(addr, 4, protocol_handler(system))
+}
+
+fn dispatch(system: &CoinSystem, req: &HttpRequest) -> HttpResponse {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/dictionary") => dictionary_response(system),
+        ("POST", "/query") => match query_response(system, &req.body_str()) {
+            Ok(r) => r,
+            Err(msg) => HttpResponse::json(&Json::obj([("error", Json::Str(msg))])),
+        },
+        ("GET", "/qbe") => HttpResponse::html(&crate::qbe::render_form(system)),
+        ("POST", "/qbe") => crate::qbe::handle_submission(system, &req.body_str()),
+        _ => HttpResponse::error(404, "unknown endpoint"),
+    }
+}
+
+fn dictionary_response(system: &CoinSystem) -> HttpResponse {
+    let listing = system.dictionary().listing();
+    let entries: Vec<Json> = listing
+        .iter()
+        .map(|(source, table, schema)| {
+            Json::obj([
+                ("source", Json::str(source)),
+                ("table", Json::str(table)),
+                (
+                    "columns",
+                    Json::Arr(
+                        schema
+                            .columns
+                            .iter()
+                            .map(|c| {
+                                let base = c
+                                    .name
+                                    .rsplit_once('.')
+                                    .map_or(c.name.as_str(), |(_, b)| b);
+                                Json::obj([
+                                    ("name", Json::str(base)),
+                                    ("type", Json::str(c.ty.name())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    HttpResponse::json(&Json::obj([("tables", Json::Arr(entries))]))
+}
+
+fn query_response(system: &CoinSystem, body: &str) -> Result<HttpResponse, String> {
+    let doc = parse(body).map_err(|e| format!("bad request body: {e}"))?;
+    let sql = doc
+        .get("sql")
+        .and_then(Json::as_str)
+        .ok_or("missing \"sql\" field")?;
+    let mode = doc.get("mode").and_then(Json::as_str).unwrap_or("mediated");
+    match mode {
+        "naive" => {
+            let (table, stats) = system.query_naive(sql).map_err(|e| e.to_string())?;
+            let mut out = table_to_json(&table);
+            if let Json::Obj(pairs) = &mut out {
+                pairs.push(("remote_queries".into(), Json::Num(stats.remote_queries as f64)));
+            }
+            Ok(HttpResponse::json(&out))
+        }
+        "mediated" | "explain" => {
+            let context = doc
+                .get("context")
+                .and_then(Json::as_str)
+                .ok_or("missing \"context\" field")?;
+            if mode == "explain" {
+                let mediated =
+                    system.mediate(sql, context).map_err(|e| e.to_string())?;
+                return Ok(HttpResponse::json(&Json::obj([
+                    ("mediated_sql", Json::Str(mediated.query.to_string())),
+                    ("explanation", Json::Str(mediated.explain())),
+                    ("branches", Json::Num(mediated.branches.len() as f64)),
+                ])));
+            }
+            let answer = system.query(sql, context).map_err(|e| e.to_string())?;
+            let mut out = table_to_json(&answer.table);
+            if let Json::Obj(pairs) = &mut out {
+                pairs.push((
+                    "mediated_sql".into(),
+                    Json::Str(answer.mediated.query.to_string()),
+                ));
+                pairs.push((
+                    "explanation".into(),
+                    Json::Str(answer.mediated.explain()),
+                ));
+                pairs.push((
+                    "remote_queries".into(),
+                    Json::Num(answer.stats.remote_queries as f64),
+                ));
+            }
+            Ok(HttpResponse::json(&out))
+        }
+        other => Err(format!("unknown mode {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_wire_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(i64::MAX),
+            Value::Int(-7),
+            Value::Float(0.0096),
+            Value::str("NTT 日本"),
+        ] {
+            let j = value_to_json(&v);
+            let text = j.to_string();
+            let back = json_to_value(&parse(&text).unwrap()).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn large_int_survives() {
+        // 2^60 + 1 would lose precision as a JSON double.
+        let v = Value::Int((1 << 60) + 1);
+        let back = json_to_value(&parse(&value_to_json(&v).to_string()).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn table_encoding_shape() {
+        let t = Table::from_rows(
+            "x",
+            coin_rel::Schema::of(&[("a", coin_rel::ColumnType::Int)]),
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        );
+        let j = table_to_json(&t);
+        assert_eq!(j.get("rows").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(
+            j.get("columns").unwrap().as_array().unwrap()[0]
+                .get("name")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "a"
+        );
+    }
+}

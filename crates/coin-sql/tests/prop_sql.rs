@@ -1,0 +1,158 @@
+//! Property-based tests: printing a query/expression and re-parsing it must
+//! yield the identical AST (the printer is the mediator's output channel, so
+//! this roundtrip is load-bearing for EX-F2).
+
+use coin_sql::{parse_expr, parse_query, BinOp, ColumnRef, Expr, Query, Select, SelectItem, TableRef, UnOp};
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("r1".to_string()),
+        Just("r2".to_string()),
+        Just("rates".to_string()),
+        Just("cname".to_string()),
+        Just("revenue".to_string()),
+        Just("currency".to_string()),
+        Just("x".to_string()),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (arb_ident(), arb_ident()).prop_map(|(q, c)| Expr::Column(ColumnRef::new(&q, &c))),
+        arb_ident().prop_map(|c| Expr::Column(ColumnRef::bare(&c))),
+        (-1000i64..1000).prop_map(Expr::Int),
+        (-100i32..100).prop_map(|i| Expr::Float(f64::from(i) + 0.5)),
+        "[a-zA-Z' ]{0,8}".prop_map(Expr::Str),
+        Just(Expr::Null),
+        Just(Expr::Bool(true)),
+        Just(Expr::Bool(false)),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Or),
+                    Just(BinOp::And),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Neq),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                ],
+                inner.clone()
+            )
+                .prop_map(|(l, op, r)| Expr::bin(l, op, r)),
+            inner.clone().prop_map(|e| Expr::Un(UnOp::Not, Box::new(e))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(e, lo, hi)| {
+                Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated: false,
+                }
+            }),
+            (inner.clone(), prop::collection::vec(inner.clone(), 1..3), any::<bool>())
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated
+                }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated
+            }),
+            (arb_ident(), prop::collection::vec(inner, 0..3)).prop_map(|(f, args)| {
+                // Function names must not collide with aggregates-with-0-args
+                // printing as COUNT(*).
+                if args.is_empty() {
+                    Expr::Func("COUNT".into(), args)
+                } else {
+                    Expr::Func(format!("fn_{f}"), args)
+                }
+            }),
+        ]
+    })
+}
+
+fn arb_select() -> impl Strategy<Value = Select> {
+    (
+        prop::collection::vec(arb_expr(), 1..4),
+        prop::collection::vec(arb_ident(), 1..3),
+        prop::option::of(arb_expr()),
+        any::<bool>(),
+    )
+        .prop_map(|(exprs, tables, where_clause, distinct)| Select {
+            distinct,
+            items: exprs
+                .into_iter()
+                .map(|e| SelectItem::Expr { expr: e, alias: None })
+                .collect(),
+            // Deduplicate table names and give each a unique alias so the
+            // query is well-formed.
+            from: {
+                let mut seen = std::collections::BTreeSet::new();
+                tables
+                    .into_iter()
+                    .filter(|t| seen.insert(t.clone()))
+                    .enumerate()
+                    .map(|(i, t)| TableRef {
+                        source: None,
+                        table: t,
+                        alias: Some(format!("b{i}")),
+                    })
+                    .collect()
+            },
+            where_clause,
+            ..Default::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn expr_print_parse_roundtrip(e in arb_expr()) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("failed to reparse {printed:?}: {err}"));
+        prop_assert_eq!(reparsed, e, "printed form: {}", printed);
+    }
+
+    #[test]
+    fn query_print_parse_roundtrip(s in arb_select()) {
+        let q = Query::Select(Box::new(s));
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|err| panic!("failed to reparse {printed:?}: {err}"));
+        prop_assert_eq!(reparsed, q, "printed form: {}", printed);
+    }
+
+    #[test]
+    fn union_roundtrip(branches in prop::collection::vec(arb_select(), 2..4), all in any::<bool>()) {
+        let q = Query::union_of(branches, all);
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed).unwrap();
+        prop_assert_eq!(reparsed, q);
+    }
+
+    /// conjuncts/conjoin are mutually inverse for AND-trees.
+    #[test]
+    fn conjuncts_conjoin_inverse(parts in prop::collection::vec(arb_expr(), 1..5)) {
+        // Remove top-level ANDs from parts so splitting is unambiguous.
+        let parts: Vec<Expr> = parts
+            .into_iter()
+            .filter(|e| !matches!(e, Expr::Bin(_, BinOp::And, _)))
+            .collect();
+        prop_assume!(!parts.is_empty());
+        let joined = Expr::conjoin(parts.clone()).unwrap();
+        let split: Vec<Expr> = joined.conjuncts().into_iter().cloned().collect();
+        prop_assert_eq!(split, parts);
+    }
+}

@@ -1,0 +1,428 @@
+//! Wrapper execution: walking the transition network.
+//!
+//! Given a compiled [`WrapperSpec`], a [`SimWeb`] and bindings for the
+//! spec's bound columns, the executor navigates pages along the transition
+//! network, applies the extraction rules, and returns tuples in "relational
+//! table format" (paper §2). Navigation is bounded by a page budget and a
+//! visited set so that cyclic link structures terminate.
+
+use std::collections::BTreeMap;
+
+use coin_rel::{ColumnType, Table, Value};
+
+use crate::spec::{instantiate_template, MatchMode, Transition, WrapperSpec};
+use crate::web::{SimWeb, WebError};
+
+/// Errors during wrapper execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WrapError {
+    /// The query failed to supply required bound columns.
+    MissingBindings(Vec<String>),
+    /// A URL template referenced a name with no value at navigation time.
+    UnresolvedTemplate { state: String, names: Vec<String> },
+    /// A page matched, but a non-optional column never received a value —
+    /// usually markup drift between spec and site.
+    IncompleteTuple { state: String, column: String },
+    /// A captured string failed to convert to the column type.
+    BadValue { column: String, text: String },
+    /// Underlying web failure (other than 404, which yields zero tuples).
+    Web(WebError),
+    /// The page budget was exhausted (cyclic or runaway navigation).
+    PageBudgetExhausted(usize),
+}
+
+impl std::fmt::Display for WrapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WrapError::MissingBindings(cols) => {
+                write!(f, "query must bind columns: {}", cols.join(", "))
+            }
+            WrapError::UnresolvedTemplate { state, names } => {
+                write!(f, "state {state}: unresolved template params {}", names.join(", "))
+            }
+            WrapError::IncompleteTuple { state, column } => {
+                write!(f, "state {state}: no value extracted for column {column}")
+            }
+            WrapError::BadValue { column, text } => {
+                write!(f, "cannot convert {text:?} for column {column}")
+            }
+            WrapError::Web(e) => write!(f, "{e}"),
+            WrapError::PageBudgetExhausted(n) => {
+                write!(f, "page budget of {n} exhausted during navigation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WrapError {}
+
+/// The wrapper executor.
+pub struct WrapperExec<'a> {
+    spec: &'a WrapperSpec,
+    web: &'a SimWeb,
+    /// Maximum number of pages fetched per query (default 512).
+    pub max_pages: usize,
+}
+
+impl<'a> WrapperExec<'a> {
+    pub fn new(spec: &'a WrapperSpec, web: &'a SimWeb) -> WrapperExec<'a> {
+        WrapperExec { spec, web, max_pages: 512 }
+    }
+
+    /// Run the wrapper with the given bound-column values, producing the
+    /// exported relation (restricted to tuples consistent with `bindings`).
+    pub fn run(&self, bindings: &BTreeMap<String, String>) -> Result<Table, WrapError> {
+        let missing: Vec<String> = self
+            .spec
+            .bound_columns()
+            .iter()
+            .filter(|c| !bindings.contains_key(**c))
+            .map(|c| (*c).to_owned())
+            .collect();
+        if !missing.is_empty() {
+            return Err(WrapError::MissingBindings(missing));
+        }
+
+        let url = instantiate_template(&self.spec.start_template, bindings).map_err(
+            |names| WrapError::UnresolvedTemplate {
+                state: self.spec.start_state.clone(),
+                names,
+            },
+        )?;
+
+        let mut out = Table::new(&self.spec.relation, self.spec.schema());
+        let mut budget = self.max_pages;
+        let mut visited = std::collections::BTreeSet::new();
+        self.visit(
+            &self.spec.start_state,
+            &url,
+            bindings.clone(),
+            &mut out,
+            &mut budget,
+            &mut visited,
+        )?;
+        Ok(out)
+    }
+
+    fn visit(
+        &self,
+        state: &str,
+        url: &str,
+        mut bindings: BTreeMap<String, String>,
+        out: &mut Table,
+        budget: &mut usize,
+        visited: &mut std::collections::BTreeSet<(String, String)>,
+    ) -> Result<(), WrapError> {
+        if !visited.insert((state.to_owned(), url.to_owned())) {
+            return Ok(()); // already crawled this page in this state
+        }
+        if *budget == 0 {
+            return Err(WrapError::PageBudgetExhausted(self.max_pages));
+        }
+        *budget -= 1;
+
+        let page = match self.web.fetch(url) {
+            Ok(p) => p,
+            // A missing page yields no tuples (e.g. no quote for this
+            // currency pair) — that is data absence, not failure.
+            Err(WebError::NotFound(_)) => return Ok(()),
+            Err(e) => return Err(WrapError::Web(e)),
+        };
+
+        let def = match self.spec.states.get(state) {
+            Some(d) => d,
+            None => return Ok(()),
+        };
+
+        // Constants and single-match extractions extend the bindings.
+        for (col, val) in &def.consts {
+            bindings.insert(col.clone(), val.clone());
+        }
+        let mut many_rules = Vec::new();
+        for rule in &def.extracts {
+            match rule.mode {
+                MatchMode::One => {
+                    if let Some(caps) = rule.pattern.captures(&page) {
+                        for name in rule.pattern.group_names() {
+                            if let Some(text) = caps.name(name) {
+                                bindings.insert(name.to_owned(), text.to_owned());
+                            }
+                        }
+                    }
+                }
+                MatchMode::Many => many_rules.push(rule),
+            }
+        }
+
+        // Tuple emission.
+        if many_rules.is_empty() {
+            // Terminal extraction state: emit one tuple when this state has
+            // extraction rules (ONE) and every column is known.
+            if !def.extracts.is_empty() {
+                self.emit(state, &bindings, out)?;
+            }
+        } else {
+            for rule in many_rules {
+                for caps in rule.pattern.find_iter(&page) {
+                    let mut tuple = bindings.clone();
+                    for name in rule.pattern.group_names() {
+                        if let Some(text) = caps.name(name) {
+                            tuple.insert(name.to_owned(), text.to_owned());
+                        }
+                    }
+                    self.emit(state, &tuple, out)?;
+                }
+            }
+        }
+
+        // Transitions.
+        for t in &def.transitions {
+            match t {
+                Transition::Url { target, template } => {
+                    let next_url = instantiate_template(template, &bindings).map_err(
+                        |names| WrapError::UnresolvedTemplate {
+                            state: state.to_owned(),
+                            names,
+                        },
+                    )?;
+                    self.visit(target, &next_url, bindings.clone(), out, budget, visited)?;
+                }
+                Transition::Links { target, pattern } => {
+                    let links: Vec<String> = pattern
+                        .find_iter(&page)
+                        .filter_map(|c| c.name("url").map(str::to_owned))
+                        .collect();
+                    for link in links {
+                        self.visit(target, &link, bindings.clone(), out, budget, visited)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn emit(
+        &self,
+        state: &str,
+        tuple: &BTreeMap<String, String>,
+        out: &mut Table,
+    ) -> Result<(), WrapError> {
+        let mut row = Vec::with_capacity(self.spec.columns.len());
+        for col in &self.spec.columns {
+            let Some(text) = tuple.get(&col.name) else {
+                return Err(WrapError::IncompleteTuple {
+                    state: state.to_owned(),
+                    column: col.name.clone(),
+                });
+            };
+            row.push(convert(text, col.ty).ok_or_else(|| WrapError::BadValue {
+                column: col.name.clone(),
+                text: text.clone(),
+            })?);
+        }
+        out.push(row).expect("schema-conforming row");
+        Ok(())
+    }
+}
+
+/// Convert extracted text to a typed value.
+fn convert(text: &str, ty: ColumnType) -> Option<Value> {
+    Some(match ty {
+        ColumnType::Str | ColumnType::Any => Value::str(text),
+        ColumnType::Int => Value::Int(text.replace(',', "").trim().parse().ok()?),
+        ColumnType::Float => Value::Float(text.replace(',', "").trim().parse().ok()?),
+        ColumnType::Bool => match text.trim().to_ascii_lowercase().as_str() {
+            "true" | "yes" | "1" => Value::Bool(true),
+            "false" | "no" | "0" => Value::Bool(false),
+            _ => return None,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::web::mount_exchange_service;
+
+    fn rates_setup() -> (WrapperSpec, SimWeb) {
+        let spec = WrapperSpec::parse(
+            r#"
+EXPORT rates(fromCur STR BOUND, toCur STR BOUND, rate FLOAT)
+START quote "http://forex.example/rate?from=$fromCur&to=$toCur"
+PAGE quote MATCH ONE "<td class=\"rate\">(?P<rate>[0-9.eE+-]+)</td>"
+"#,
+        )
+        .unwrap();
+        let web = SimWeb::new();
+        mount_exchange_service(
+            &web,
+            "http://forex.example/rate",
+            &[("JPY", "USD", 0.0096), ("USD", "JPY", 104.0)],
+        );
+        (spec, web)
+    }
+
+    fn bind(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect()
+    }
+
+    #[test]
+    fn rate_lookup_single_tuple() {
+        let (spec, web) = rates_setup();
+        let exec = WrapperExec::new(&spec, &web);
+        let t = exec.run(&bind(&[("fromCur", "JPY"), ("toCur", "USD")])).unwrap();
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(
+            t.rows[0],
+            vec![Value::str("JPY"), Value::str("USD"), Value::Float(0.0096)]
+        );
+    }
+
+    #[test]
+    fn missing_bindings_rejected() {
+        let (spec, web) = rates_setup();
+        let exec = WrapperExec::new(&spec, &web);
+        let e = exec.run(&bind(&[("fromCur", "JPY")])).unwrap_err();
+        assert_eq!(e, WrapError::MissingBindings(vec!["toCur".into()]));
+    }
+
+    #[test]
+    fn unknown_pair_yields_empty() {
+        let (spec, web) = rates_setup();
+        let exec = WrapperExec::new(&spec, &web);
+        let t = exec.run(&bind(&[("fromCur", "XXX"), ("toCur", "USD")])).unwrap();
+        assert!(t.rows.is_empty());
+    }
+
+    #[test]
+    fn transition_network_crawl() {
+        // An index page linking to two exchange pages, each with MANY rows.
+        let web = SimWeb::new();
+        web.mount_static(
+            "http://stocks.example/index",
+            r#"<html><a href="http://stocks.example/nyse">NYSE</a>
+               <a href="http://stocks.example/tse">TSE</a></html>"#,
+        );
+        web.mount_static(
+            "http://stocks.example/nyse",
+            "<h1>NYSE</h1><tr><td>IBM</td><td>120.5</td></tr><tr><td>GE</td><td>60.25</td></tr>",
+        );
+        web.mount_static(
+            "http://stocks.example/tse",
+            "<h1>TSE</h1><tr><td>NTT</td><td>8800</td></tr>",
+        );
+        let spec = WrapperSpec::parse(
+            r#"
+EXPORT quotes(exchange STR, symbol STR, price FLOAT)
+START index "http://stocks.example/index"
+PAGE index FOLLOW listing LINKS "<a href=\"(?P<url>[^\"]+)\">"
+PAGE listing MATCH ONE "<h1>(?P<exchange>\w+)</h1>"
+PAGE listing MATCH MANY "<tr><td>(?P<symbol>[A-Z]+)</td><td>(?P<price>[0-9.]+)</td></tr>"
+"#,
+        )
+        .unwrap();
+        let exec = WrapperExec::new(&spec, &web);
+        let t = exec.run(&BTreeMap::new()).unwrap();
+        assert_eq!(t.rows.len(), 3);
+        assert!(t.rows.iter().any(|r| r[0] == Value::str("TSE")
+            && r[1] == Value::str("NTT")
+            && r[2] == Value::Float(8800.0)));
+        // index + 2 listings fetched.
+        assert_eq!(web.fetch_count(), 3);
+    }
+
+    #[test]
+    fn cyclic_links_terminate() {
+        let web = SimWeb::new();
+        web.mount_static(
+            "http://loop.example/a",
+            r#"<a href="http://loop.example/b">b</a><p>A=(1)</p>"#,
+        );
+        web.mount_static(
+            "http://loop.example/b",
+            r#"<a href="http://loop.example/a">a</a><p>B=(2)</p>"#,
+        );
+        let spec = WrapperSpec::parse(
+            r#"
+EXPORT vals(v INT)
+START p "http://loop.example/a"
+PAGE p FOLLOW p LINKS "<a href=\"(?P<url>[^\"]+)\">"
+PAGE p MATCH MANY "=\((?P<v>\d+)\)"
+"#,
+        )
+        .unwrap();
+        let exec = WrapperExec::new(&spec, &web);
+        let t = exec.run(&BTreeMap::new()).unwrap();
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn page_budget_enforced() {
+        let web = SimWeb::new();
+        // A chain of pages a0 -> a1 -> a2 … each generated dynamically.
+        for i in 0..100 {
+            let next = format!("http://chain.example/p{}", i + 1);
+            web.mount(
+                &format!("http://chain.example/p{i}"),
+                move |_| Some(format!("<a href=\"{next}\">n</a><p>=(7)</p>")),
+            );
+        }
+        let spec = WrapperSpec::parse(
+            r#"
+EXPORT vals(v INT)
+START p "http://chain.example/p0"
+PAGE p FOLLOW p LINKS "<a href=\"(?P<url>[^\"]+)\">"
+PAGE p MATCH MANY "=\((?P<v>\d+)\)"
+"#,
+        )
+        .unwrap();
+        let mut exec = WrapperExec::new(&spec, &web);
+        exec.max_pages = 10;
+        assert!(matches!(
+            exec.run(&BTreeMap::new()),
+            Err(WrapError::PageBudgetExhausted(10))
+        ));
+    }
+
+    #[test]
+    fn markup_drift_detected() {
+        // Site changed its markup: the ONE rule no longer matches, so the
+        // tuple is incomplete — the wrapper must report it, not fabricate.
+        let (spec, web) = rates_setup();
+        web.mount_static(
+            "http://forex.example/rate",
+            "<html>NEW LAYOUT no rate cell</html>",
+        );
+        let exec = WrapperExec::new(&spec, &web);
+        let e = exec.run(&bind(&[("fromCur", "JPY"), ("toCur", "USD")])).unwrap_err();
+        assert!(matches!(e, WrapError::IncompleteTuple { ref column, .. } if column == "rate"));
+    }
+
+    #[test]
+    fn bad_numeric_value_detected() {
+        let web = SimWeb::new();
+        web.mount_static(
+            "http://x.example/p",
+            "<td class=\"rate\">not-a-number</td>",
+        );
+        let spec = WrapperSpec::parse(
+            r#"
+EXPORT rates(rate FLOAT)
+START p "http://x.example/p"
+PAGE p MATCH ONE "<td class=\"rate\">(?P<rate>[a-z-]+)</td>"
+"#,
+        )
+        .unwrap();
+        let exec = WrapperExec::new(&spec, &web);
+        assert!(matches!(
+            exec.run(&BTreeMap::new()),
+            Err(WrapError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn numeric_with_thousands_separators() {
+        assert_eq!(convert("1,500,000", ColumnType::Int), Some(Value::Int(1_500_000)));
+        assert_eq!(convert(" 2.5 ", ColumnType::Float), Some(Value::Float(2.5)));
+    }
+}

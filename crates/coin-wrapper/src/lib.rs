@@ -1,0 +1,34 @@
+//! # coin-wrapper — web wrapping for the COIN mediator
+//!
+//! "Wrappers provide a uniform protocol for accessing corresponding sources
+//! and constitute the interface between the mediator processes and the
+//! sources. The wrappers are not merely communication gateways … they also
+//! provide a SQL interface to any source including the Web-sites and
+//! deliver answers to the queries in a relational table format." (paper §2)
+//!
+//! This crate implements that layer, including the web-wrapping technology
+//! of \[Qu96\]:
+//!
+//! * [`web`] — a deterministic simulated web (URL-routed page handlers),
+//!   substituting for the live sites the prototype wrapped (see DESIGN.md);
+//! * [`spec`] — the **declarative wrapper specification language**: an
+//!   exported relation with binding-pattern annotations, a *transition
+//!   network* over page classes, and regex extraction rules with named
+//!   captures;
+//! * [`exec`] — the navigation/extraction engine interpreting a spec;
+//! * [`source`] — the uniform [`source::Source`] trait consumed by the
+//!   multi-database access engine, with [`source::RelationalSource`]
+//!   (wrapped databases) and [`source::WebSource`] (wrapped web services).
+
+pub mod exec;
+pub mod source;
+pub mod spec;
+pub mod web;
+
+pub use exec::{WrapError, WrapperExec};
+pub use source::{
+    figure2_rates_source, Capabilities, CostParams, RelationalSource, Source, SourceError,
+    SourceRef, WebSource,
+};
+pub use spec::{MatchMode, SpecColumn, SpecError, Transition, WrapperSpec};
+pub use web::{mount_exchange_service, Request, SimWeb, WebError};

@@ -1,0 +1,536 @@
+//! The wrapper specification language.
+//!
+//! "The Web wrapping technology we have developed \[Qu96\] is based on a high
+//! level declarative language for the specification of what information can
+//! be extracted. A program in this specification language defines a
+//! transition network corresponding to the possible transitions from one
+//! Web-page to another, and regular expressions corresponding to what
+//! information is located on a page." (paper §2)
+//!
+//! This module implements that language. A spec is line-oriented:
+//!
+//! ```text
+//! # The exported relation; BOUND columns must be supplied by the query.
+//! EXPORT rates(fromCur STR BOUND, toCur STR BOUND, rate FLOAT)
+//!
+//! # Entry state and its URL template ($name substitutes bindings).
+//! START quote "http://forex.example/rate?from=$fromCur&to=$toCur"
+//!
+//! # Extraction rule at a state: named captures bind columns.
+//! PAGE quote MATCH ONE "<td class=\"rate\">(?P<rate>[0-9.eE+-]+)</td>"
+//! ```
+//!
+//! States may also declare transitions, forming the transition network:
+//!
+//! ```text
+//! PAGE index FOLLOW detail LINKS "<a href=\"(?P<url>[^\"]+)\">"
+//! PAGE index FOLLOW quote URL "http://site.example/q?sym=$symbol"
+//! PAGE detail MATCH MANY "<tr><td>(?P<symbol>\w+)</td><td>(?P<price>[0-9.]+)</td></tr>"
+//! PAGE detail CONST exchange "NYSE"
+//! ```
+
+use coin_pattern::Pattern;
+use coin_rel::ColumnType;
+
+/// One exported column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecColumn {
+    pub name: String,
+    pub ty: ColumnType,
+    /// A bound column must be supplied (as an equality) by the caller; it
+    /// parameterizes navigation. This is the classic *binding pattern*
+    /// restriction of web sources.
+    pub bound: bool,
+}
+
+/// How many tuples an extraction rule produces per page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchMode {
+    /// At most one match; its captures extend the current partial tuple.
+    One,
+    /// Every match yields a tuple.
+    Many,
+}
+
+/// An extraction rule attached to a state.
+#[derive(Debug, Clone)]
+pub struct ExtractRule {
+    pub mode: MatchMode,
+    pub pattern: Pattern,
+}
+
+/// A navigation edge of the transition network.
+#[derive(Debug, Clone)]
+pub enum Transition {
+    /// Jump to `target` by instantiating a URL template with the current
+    /// bindings (`$name` placeholders).
+    Url { target: String, template: String },
+    /// Extract link URLs (named capture `url`) from the current page and
+    /// visit each in state `target`.
+    Links { target: String, pattern: Pattern },
+}
+
+/// A state (page class) of the transition network.
+#[derive(Debug, Clone, Default)]
+pub struct StateDef {
+    pub transitions: Vec<Transition>,
+    pub extracts: Vec<ExtractRule>,
+    /// Constant column assignments at this state.
+    pub consts: Vec<(String, String)>,
+}
+
+/// A compiled wrapper specification.
+#[derive(Debug, Clone)]
+pub struct WrapperSpec {
+    pub relation: String,
+    pub columns: Vec<SpecColumn>,
+    pub start_state: String,
+    pub start_template: String,
+    pub states: std::collections::BTreeMap<String, StateDef>,
+}
+
+/// Errors while parsing/validating a spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    pub message: String,
+    pub line: usize,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wrapper spec error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl WrapperSpec {
+    /// Parse and validate spec text.
+    pub fn parse(src: &str) -> Result<WrapperSpec, SpecError> {
+        let mut relation: Option<(String, Vec<SpecColumn>)> = None;
+        let mut start: Option<(String, String)> = None;
+        let mut states: std::collections::BTreeMap<String, StateDef> = Default::default();
+
+        for (idx, raw) in src.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |m: String| SpecError { message: m, line: lineno };
+            let toks = tokenize_line(line).map_err(&err)?;
+            let kw = toks[0].to_ascii_uppercase();
+            match kw.as_str() {
+                "EXPORT" => {
+                    if relation.is_some() {
+                        return Err(err("duplicate EXPORT".into()));
+                    }
+                    let rest = line[6..].trim();
+                    relation = Some(parse_export(rest).map_err(&err)?);
+                }
+                "START" => {
+                    if start.is_some() {
+                        return Err(err("duplicate START".into()));
+                    }
+                    if toks.len() != 3 {
+                        return Err(err("START <state> \"<url template>\"".into()));
+                    }
+                    start = Some((toks[1].clone(), toks[2].clone()));
+                }
+                "PAGE" => {
+                    if toks.len() < 3 {
+                        return Err(err("PAGE <state> <clause…>".into()));
+                    }
+                    let state = toks[1].clone();
+                    let def = states.entry(state).or_default();
+                    match toks[2].to_ascii_uppercase().as_str() {
+                        "MATCH" => {
+                            if toks.len() != 5 {
+                                return Err(err("PAGE <s> MATCH ONE|MANY \"<pattern>\"".into()));
+                            }
+                            let mode = match toks[3].to_ascii_uppercase().as_str() {
+                                "ONE" => MatchMode::One,
+                                "MANY" => MatchMode::Many,
+                                other => {
+                                    return Err(err(format!("bad match mode {other}")))
+                                }
+                            };
+                            let pattern = Pattern::new(&toks[4])
+                                .map_err(|e| err(format!("bad pattern: {e}")))?;
+                            def.extracts.push(ExtractRule { mode, pattern });
+                        }
+                        "FOLLOW" => {
+                            if toks.len() != 6 {
+                                return Err(err(
+                                    "PAGE <s> FOLLOW <target> URL|LINKS \"<arg>\"".into(),
+                                ));
+                            }
+                            let target = toks[3].clone();
+                            match toks[4].to_ascii_uppercase().as_str() {
+                                "URL" => def.transitions.push(Transition::Url {
+                                    target,
+                                    template: toks[5].clone(),
+                                }),
+                                "LINKS" => {
+                                    let pattern = Pattern::new(&toks[5])
+                                        .map_err(|e| err(format!("bad pattern: {e}")))?;
+                                    if !pattern.group_names().any(|n| n == "url") {
+                                        return Err(err(
+                                            "LINKS pattern needs a (?P<url>…) group".into(),
+                                        ));
+                                    }
+                                    def.transitions
+                                        .push(Transition::Links { target, pattern });
+                                }
+                                other => {
+                                    return Err(err(format!("bad follow kind {other}")))
+                                }
+                            }
+                        }
+                        "CONST" => {
+                            if toks.len() != 5 {
+                                return Err(err("PAGE <s> CONST <col> \"<value>\"".into()));
+                            }
+                            def.consts.push((toks[3].clone(), toks[4].clone()));
+                        }
+                        other => return Err(err(format!("unknown PAGE clause {other}"))),
+                    }
+                }
+                other => return Err(err(format!("unknown keyword {other}"))),
+            }
+        }
+
+        let (relation, columns) = relation.ok_or(SpecError {
+            message: "missing EXPORT".into(),
+            line: 0,
+        })?;
+        let (start_state, start_template) = start.ok_or(SpecError {
+            message: "missing START".into(),
+            line: 0,
+        })?;
+
+        let spec = WrapperSpec { relation, columns, start_state, start_template, states };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn validate(&self) -> Result<(), SpecError> {
+        let err = |m: String| SpecError { message: m, line: 0 };
+        // Every transition target must exist as a state (or have rules).
+        for (name, def) in &self.states {
+            for t in &def.transitions {
+                let target = match t {
+                    Transition::Url { target, .. } | Transition::Links { target, .. } => target,
+                };
+                if !self.states.contains_key(target) {
+                    return Err(err(format!(
+                        "state {name} transitions to undefined state {target}"
+                    )));
+                }
+            }
+            // Every capture name / const column must be an exported column.
+            for e in &def.extracts {
+                for g in e.pattern.group_names() {
+                    if !self.columns.iter().any(|c| c.name == g) {
+                        return Err(err(format!(
+                            "capture {g} in state {name} is not an exported column"
+                        )));
+                    }
+                }
+            }
+            for (c, _) in &def.consts {
+                if !self.columns.iter().any(|col| col.name == *c) {
+                    return Err(err(format!(
+                        "CONST column {c} in state {name} is not exported"
+                    )));
+                }
+            }
+        }
+        if !self.states.contains_key(&self.start_state) {
+            return Err(err(format!("start state {} undefined", self.start_state)));
+        }
+        Ok(())
+    }
+
+    /// Names of the bound (input) columns — the source's binding pattern.
+    pub fn bound_columns(&self) -> Vec<&str> {
+        self.columns.iter().filter(|c| c.bound).map(|c| c.name.as_str()).collect()
+    }
+
+    /// The exported schema (unqualified column names).
+    pub fn schema(&self) -> coin_rel::Schema {
+        coin_rel::Schema::new(
+            self.columns
+                .iter()
+                .map(|c| coin_rel::Column::new(&c.name, c.ty))
+                .collect(),
+        )
+    }
+}
+
+/// Parse `name(col TYPE [BOUND], …)`.
+fn parse_export(s: &str) -> Result<(String, Vec<SpecColumn>), String> {
+    let open = s.find('(').ok_or("EXPORT needs (columns)")?;
+    if !s.ends_with(')') {
+        return Err("EXPORT must end with )".into());
+    }
+    let name = s[..open].trim().to_owned();
+    if name.is_empty() {
+        return Err("missing relation name".into());
+    }
+    let body = &s[open + 1..s.len() - 1];
+    let mut cols = Vec::new();
+    for part in body.split(',') {
+        let words: Vec<&str> = part.split_whitespace().collect();
+        if words.len() < 2 || words.len() > 3 {
+            return Err(format!("bad column spec {part:?}"));
+        }
+        let ty = match words[1].to_ascii_uppercase().as_str() {
+            "STR" | "STRING" => ColumnType::Str,
+            "INT" => ColumnType::Int,
+            "FLOAT" => ColumnType::Float,
+            "BOOL" => ColumnType::Bool,
+            other => return Err(format!("unknown type {other}")),
+        };
+        let bound = match words.get(2) {
+            None => false,
+            Some(w) if w.eq_ignore_ascii_case("bound") => true,
+            Some(w) => return Err(format!("unknown column flag {w}")),
+        };
+        cols.push(SpecColumn { name: words[0].to_owned(), ty, bound });
+    }
+    if cols.is_empty() {
+        return Err("relation needs at least one column".into());
+    }
+    Ok((name, cols))
+}
+
+/// Split a spec line into words, treating double-quoted segments (with `\"`
+/// escapes) as single tokens.
+fn tokenize_line(line: &str) -> Result<Vec<String>, String> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            c if c.is_whitespace() => i += 1,
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        None => return Err("unterminated quoted string".into()),
+                        Some('\\') if chars.get(i + 1) == Some(&'"') => {
+                            s.push('"');
+                            i += 2;
+                        }
+                        Some('\\') if chars.get(i + 1) == Some(&'\\') => {
+                            s.push('\\');
+                            i += 2;
+                        }
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(c) => {
+                            s.push(*c);
+                            i += 1;
+                        }
+                    }
+                }
+                toks.push(s);
+            }
+            _ => {
+                let start = i;
+                while i < chars.len() && !chars[i].is_whitespace() {
+                    i += 1;
+                }
+                toks.push(chars[start..i].iter().collect());
+            }
+        }
+    }
+    if toks.is_empty() {
+        return Err("empty line".into());
+    }
+    Ok(toks)
+}
+
+/// Substitute `$name` placeholders in a URL template from bindings,
+/// percent-encoding the values. Returns the names that were missing.
+pub fn instantiate_template(
+    template: &str,
+    bindings: &std::collections::BTreeMap<String, String>,
+) -> Result<String, Vec<String>> {
+    let mut out = String::with_capacity(template.len());
+    let chars: Vec<char> = template.chars().collect();
+    let mut missing = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '$' {
+            let start = i + 1;
+            let mut j = start;
+            while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            let name: String = chars[start..j].iter().collect();
+            if name.is_empty() {
+                out.push('$');
+                i += 1;
+                continue;
+            }
+            match bindings.get(&name) {
+                Some(v) => out.push_str(&crate::web::url_encode(v)),
+                None => missing.push(name),
+            }
+            i = j;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    if missing.is_empty() {
+        Ok(out)
+    } else {
+        Err(missing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RATES_SPEC: &str = r#"
+# Currency converter wrapper (the paper's r3).
+EXPORT rates(fromCur STR BOUND, toCur STR BOUND, rate FLOAT)
+START quote "http://forex.example/rate?from=$fromCur&to=$toCur"
+PAGE quote MATCH ONE "<td class=\"rate\">(?P<rate>[0-9.eE+-]+)</td>"
+"#;
+
+    #[test]
+    fn parses_rates_spec() {
+        let spec = WrapperSpec::parse(RATES_SPEC).unwrap();
+        assert_eq!(spec.relation, "rates");
+        assert_eq!(spec.columns.len(), 3);
+        assert_eq!(spec.bound_columns(), vec!["fromCur", "toCur"]);
+        assert_eq!(spec.states.len(), 1);
+        assert_eq!(spec.states["quote"].extracts.len(), 1);
+    }
+
+    #[test]
+    fn parses_transition_network() {
+        let spec = WrapperSpec::parse(
+            r#"
+EXPORT quotes(exchange STR, symbol STR, price FLOAT)
+START index "http://stocks.example/index"
+PAGE index FOLLOW listing LINKS "<a href=\"(?P<url>[^\"]+)\">"
+PAGE listing MATCH MANY "<tr><td>(?P<symbol>[A-Z]+)</td><td>(?P<price>[0-9.]+)</td></tr>"
+PAGE listing MATCH ONE "<h1>(?P<exchange>\w+)</h1>"
+"#,
+        )
+        .unwrap();
+        assert_eq!(spec.states["index"].transitions.len(), 1);
+        assert_eq!(spec.states["listing"].extracts.len(), 2);
+    }
+
+    #[test]
+    fn const_columns() {
+        let spec = WrapperSpec::parse(
+            r#"
+EXPORT q(exchange STR, symbol STR)
+START p "http://x.example/p"
+PAGE p MATCH MANY "(?P<symbol>[A-Z]+)"
+PAGE p CONST exchange "NYSE"
+"#,
+        )
+        .unwrap();
+        assert_eq!(spec.states["p"].consts, vec![("exchange".into(), "NYSE".into())]);
+    }
+
+    #[test]
+    fn rejects_unknown_capture() {
+        let e = WrapperSpec::parse(
+            r#"
+EXPORT q(a STR)
+START p "http://x.example/p"
+PAGE p MATCH ONE "(?P<zzz>x)"
+"#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("zzz"));
+    }
+
+    #[test]
+    fn rejects_undefined_transition_target() {
+        let e = WrapperSpec::parse(
+            r#"
+EXPORT q(a STR)
+START p "http://x.example/p"
+PAGE p FOLLOW nowhere URL "http://x.example/other"
+PAGE p MATCH ONE "(?P<a>x)"
+"#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn rejects_missing_export_or_start() {
+        assert!(WrapperSpec::parse("START p \"http://x/y\"").is_err());
+        assert!(WrapperSpec::parse("EXPORT q(a STR)").is_err());
+    }
+
+    #[test]
+    fn rejects_links_without_url_group() {
+        let e = WrapperSpec::parse(
+            r#"
+EXPORT q(a STR)
+START p "http://x.example/p"
+PAGE p FOLLOW p LINKS "<a>(?P<a>x)</a>"
+"#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("url"));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = WrapperSpec::parse(
+            "EXPORT q(a STR)\nSTART p \"http://x/y\"\nPAGE p FROBNICATE",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn template_instantiation() {
+        let mut b = std::collections::BTreeMap::new();
+        b.insert("fromCur".to_owned(), "JPY".to_owned());
+        b.insert("toCur".to_owned(), "US D".to_owned());
+        let url = instantiate_template(
+            "http://forex.example/rate?from=$fromCur&to=$toCur",
+            &b,
+        )
+        .unwrap();
+        assert_eq!(url, "http://forex.example/rate?from=JPY&to=US+D");
+    }
+
+    #[test]
+    fn template_missing_binding() {
+        let b = std::collections::BTreeMap::new();
+        let missing = instantiate_template("http://x/r?f=$from", &b).unwrap_err();
+        assert_eq!(missing, vec!["from".to_owned()]);
+    }
+
+    #[test]
+    fn tokenizer_quoted_escapes() {
+        let toks = tokenize_line(r#"PAGE p MATCH ONE "<td class=\"x\">(?P<a>.)""#).unwrap();
+        assert_eq!(toks[4], r#"<td class="x">(?P<a>.)"#);
+    }
+
+    #[test]
+    fn schema_export() {
+        let spec = WrapperSpec::parse(RATES_SPEC).unwrap();
+        let schema = spec.schema();
+        assert_eq!(schema.names(), vec!["fromCur", "toCur", "rate"]);
+    }
+}

@@ -1,0 +1,282 @@
+//! The simulated web.
+//!
+//! The prototype demonstrated wrapping of live web sites (currency
+//! converters, stock-quote services). Live sites are neither reproducible
+//! nor reachable from a test environment, so this module provides a
+//! deterministic in-process web: URL-routed page handlers producing HTML,
+//! with per-site request accounting (used by the planner's cost model and
+//! the wrapper throughput benchmarks — see DESIGN.md §2 substitutions).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A parsed request: the route (scheme+host+path) and query parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub route: String,
+    pub params: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// Parse `http://host/path?k=v&k2=v2` into route + params.
+    pub fn parse(url: &str) -> Result<Request, WebError> {
+        let (route, query) = match url.split_once('?') {
+            Some((r, q)) => (r, Some(q)),
+            None => (url, None),
+        };
+        if route.is_empty() {
+            return Err(WebError::BadUrl(url.to_owned()));
+        }
+        let mut params = BTreeMap::new();
+        if let Some(q) = query {
+            for pair in q.split('&').filter(|p| !p.is_empty()) {
+                match pair.split_once('=') {
+                    Some((k, v)) => {
+                        params.insert(url_decode(k), url_decode(v));
+                    }
+                    None => {
+                        params.insert(url_decode(pair), String::new());
+                    }
+                }
+            }
+        }
+        Ok(Request { route: route.to_owned(), params })
+    }
+
+    /// A required parameter.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params.get(name).map(String::as_str)
+    }
+}
+
+/// Percent-decoding for query components (`%XX` and `+`).
+pub fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() + 1 && i + 2 <= bytes.len() - 1 + 1 => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| {
+                    std::str::from_utf8(h).ok().and_then(|h| u8::from_str_radix(h, 16).ok())
+                }) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encoding for query components.
+pub fn url_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+/// Errors from the simulated web.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WebError {
+    BadUrl(String),
+    NotFound(String),
+    ServerError(String),
+}
+
+impl std::fmt::Display for WebError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WebError::BadUrl(u) => write!(f, "bad url: {u}"),
+            WebError::NotFound(u) => write!(f, "404: {u}"),
+            WebError::ServerError(m) => write!(f, "500: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WebError {}
+
+/// A page handler: given a request, produce HTML (or `None` → 404).
+pub type Handler = Arc<dyn Fn(&Request) -> Option<String> + Send + Sync>;
+
+/// The simulated web: a routing table from route strings to handlers.
+#[derive(Clone, Default)]
+pub struct SimWeb {
+    inner: Arc<RwLock<BTreeMap<String, Handler>>>,
+    fetches: Arc<AtomicUsize>,
+}
+
+impl SimWeb {
+    pub fn new() -> SimWeb {
+        SimWeb::default()
+    }
+
+    /// Mount a handler at an exact route (scheme+host+path).
+    pub fn mount<F>(&self, route: &str, handler: F)
+    where
+        F: Fn(&Request) -> Option<String> + Send + Sync + 'static,
+    {
+        self.inner.write().insert(route.to_owned(), Arc::new(handler));
+    }
+
+    /// Mount a static page.
+    pub fn mount_static(&self, route: &str, body: &str) {
+        let body = body.to_owned();
+        self.mount(route, move |_| Some(body.clone()));
+    }
+
+    /// Fetch a URL, returning the page body.
+    pub fn fetch(&self, url: &str) -> Result<String, WebError> {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        let req = Request::parse(url)?;
+        let handler = {
+            let routes = self.inner.read();
+            routes.get(&req.route).cloned()
+        };
+        match handler {
+            None => Err(WebError::NotFound(url.to_owned())),
+            Some(h) => h(&req).ok_or_else(|| WebError::NotFound(url.to_owned())),
+        }
+    }
+
+    /// Total number of fetches issued (communication-cost metric).
+    pub fn fetch_count(&self) -> usize {
+        self.fetches.load(Ordering::Relaxed)
+    }
+
+    /// List mounted routes.
+    pub fn routes(&self) -> Vec<String> {
+        self.inner.read().keys().cloned().collect()
+    }
+}
+
+/// A currency-exchange web service matching the paper's ancillary source
+/// `r3`: `GET <route>?from=JPY&to=USD` returns a page with the rate.
+/// The rate table is fixed at mount time.
+pub fn mount_exchange_service(web: &SimWeb, route: &str, rates: &[(&str, &str, f64)]) {
+    let table: Vec<(String, String, f64)> = rates
+        .iter()
+        .map(|(f, t, r)| ((*f).to_owned(), (*t).to_owned(), *r))
+        .collect();
+    let route_owned = route.to_owned();
+    web.mount(route, move |req| {
+        let from = req.param("from")?;
+        let to = req.param("to")?;
+        let rate = table.iter().find(|(f, t, _)| f == from && t == to)?;
+        Some(format!(
+            "<html><head><title>Exchange</title></head><body>\
+             <h1>Currency Converter</h1>\
+             <p>Source: {route_owned}</p>\
+             <table><tr><td>{from}</td><td>{to}</td>\
+             <td class=\"rate\">{}</td></tr></table>\
+             </body></html>",
+            rate.2
+        ))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_url_with_params() {
+        let r = Request::parse("http://x.example/rate?from=JPY&to=USD").unwrap();
+        assert_eq!(r.route, "http://x.example/rate");
+        assert_eq!(r.param("from"), Some("JPY"));
+        assert_eq!(r.param("to"), Some("USD"));
+    }
+
+    #[test]
+    fn parse_url_without_params() {
+        let r = Request::parse("http://x.example/home").unwrap();
+        assert!(r.params.is_empty());
+    }
+
+    #[test]
+    fn url_codec_roundtrip() {
+        let orig = "a b&c=d/100%";
+        assert_eq!(url_decode(&url_encode(orig)), orig);
+    }
+
+    #[test]
+    fn decode_plus_and_percent() {
+        assert_eq!(url_decode("a+b%26c"), "a b&c");
+        assert_eq!(url_decode("100%"), "100%"); // malformed escape left as-is
+    }
+
+    #[test]
+    fn fetch_routes_and_counts() {
+        let web = SimWeb::new();
+        web.mount_static("http://a.example/p", "<html>hello</html>");
+        assert_eq!(web.fetch("http://a.example/p").unwrap(), "<html>hello</html>");
+        assert!(matches!(
+            web.fetch("http://a.example/nope"),
+            Err(WebError::NotFound(_))
+        ));
+        assert_eq!(web.fetch_count(), 2);
+    }
+
+    #[test]
+    fn handler_sees_params() {
+        let web = SimWeb::new();
+        web.mount("http://a.example/echo", |req| {
+            Some(format!("you sent {}", req.param("q").unwrap_or("-")))
+        });
+        assert_eq!(
+            web.fetch("http://a.example/echo?q=hi").unwrap(),
+            "you sent hi"
+        );
+    }
+
+    #[test]
+    fn exchange_service_pages() {
+        let web = SimWeb::new();
+        mount_exchange_service(
+            &web,
+            "http://forex.example/rate",
+            &[("JPY", "USD", 0.0096), ("USD", "JPY", 104.0)],
+        );
+        let page = web.fetch("http://forex.example/rate?from=JPY&to=USD").unwrap();
+        assert!(page.contains("0.0096"));
+        assert!(matches!(
+            web.fetch("http://forex.example/rate?from=XXX&to=USD"),
+            Err(WebError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn shared_clone_sees_same_routes() {
+        let web = SimWeb::new();
+        let web2 = web.clone();
+        web.mount_static("http://a.example/x", "body");
+        assert!(web2.fetch("http://a.example/x").is_ok());
+        assert_eq!(web.fetch_count(), 1);
+    }
+}

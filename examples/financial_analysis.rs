@@ -1,0 +1,203 @@
+//! Financial-analysis decision support (paper §4).
+//!
+//! "Together with our industry partners, we are currently deploying our
+//! technology in several experimental applications, an example of which is
+//! the area of financial analysis decision support (profit and loss
+//! analysis, and marketing intelligence)."
+//!
+//! Scenario: an analyst in New York (USD, units) runs profit & loss
+//! analysis over three autonomous filings databases — a US one (USD,
+//! units), a Tokyo one (JPY, thousands), and a Frankfurt one (EUR,
+//! millions) — plus the exchange-rate service. The analyst's SQL never
+//! mentions currencies or scale factors; mediation inserts all conversions.
+//!
+//! Run with: `cargo run --example financial_analysis`
+
+use coin::core::{
+    Conversion, ContextTheory, Elevation, ModifierSpec,
+};
+use coin::core::system::CoinSystem;
+use coin::rel::{Catalog, ColumnType, Schema, Table, Value};
+use coin::wrapper::RelationalSource;
+
+fn build_system() -> CoinSystem {
+    let (domain, _) = coin::core::model::figure2_domain();
+    let mut sys = CoinSystem::new(domain);
+    sys.add_conversion("scaleFactor", Conversion::Ratio);
+    sys.add_conversion(
+        "currency",
+        Conversion::Lookup {
+            relation: "rates".into(),
+            from_col: "fromCur".into(),
+            to_col: "toCur".into(),
+            factor_col: "rate".into(),
+        },
+    );
+
+    // ---- three filings databases in three contexts ----------------------
+    let us = Table::from_rows(
+        "us_filings",
+        Schema::of(&[
+            ("company", ColumnType::Str),
+            ("sector", ColumnType::Str),
+            ("revenue", ColumnType::Int),
+            ("costs", ColumnType::Int),
+        ]),
+        vec![
+            vec!["IBM".into(), "tech".into(), Value::Int(81_700_000_000i64), Value::Int(73_400_000_000i64)],
+            vec!["GE".into(), "industrial".into(), Value::Int(90_800_000_000i64), Value::Int(82_000_000_000i64)],
+            vec!["Ford".into(), "auto".into(), Value::Int(146_900_000_000i64), Value::Int(140_100_000_000i64)],
+        ],
+    );
+    let tokyo = Table::from_rows(
+        "tokyo_filings",
+        Schema::of(&[
+            ("company", ColumnType::Str),
+            ("sector", ColumnType::Str),
+            ("revenue", ColumnType::Int),
+            ("costs", ColumnType::Int),
+        ]),
+        // JPY, thousands.
+        vec![
+            vec!["NTT".into(), "tech".into(), Value::Int(9_700_000_000i64), Value::Int(8_900_000_000i64)],
+            vec!["Toyota".into(), "auto".into(), Value::Int(12_700_000_000i64), Value::Int(11_600_000_000i64)],
+            vec!["Sony".into(), "tech".into(), Value::Int(5_700_000_000i64), Value::Int(5_500_000_000i64)],
+        ],
+    );
+    let frankfurt = Table::from_rows(
+        "frankfurt_filings",
+        Schema::of(&[
+            ("company", ColumnType::Str),
+            ("sector", ColumnType::Str),
+            ("revenue", ColumnType::Int),
+            ("costs", ColumnType::Int),
+        ]),
+        // EUR, millions.
+        vec![
+            vec!["Siemens".into(), "industrial".into(), Value::Int(60_000i64), Value::Int(56_500i64)],
+            vec!["VW".into(), "auto".into(), Value::Int(113_000i64), Value::Int(110_000i64)],
+        ],
+    );
+    let rates = Table::from_rows(
+        "rates",
+        Schema::of(&[
+            ("fromCur", ColumnType::Str),
+            ("toCur", ColumnType::Str),
+            ("rate", ColumnType::Float),
+        ]),
+        vec![
+            vec!["JPY".into(), "USD".into(), Value::Float(0.0096)],
+            vec!["EUR".into(), "USD".into(), Value::Float(1.18)],
+            vec!["USD".into(), "JPY".into(), Value::Float(104.0)],
+            vec!["USD".into(), "EUR".into(), Value::Float(0.85)],
+        ],
+    );
+
+    sys.add_source(RelationalSource::new("sec", Catalog::new().with_table(us))).unwrap();
+    sys.add_source(RelationalSource::new("tse", Catalog::new().with_table(tokyo))).unwrap();
+    sys.add_source(RelationalSource::new("dax", Catalog::new().with_table(frankfurt))).unwrap();
+    sys.add_source(RelationalSource::new("forex", Catalog::new().with_table(rates))).unwrap();
+
+    // ---- contexts -------------------------------------------------------
+    for (name, cur, scale) in [
+        ("c_us", "USD", 1i64),
+        ("c_tokyo", "JPY", 1000),
+        ("c_frankfurt", "EUR", 1_000_000),
+        ("c_analyst", "USD", 1),
+    ] {
+        sys.add_context(
+            ContextTheory::new(name)
+                .set("companyFinancials", "currency", ModifierSpec::constant(cur))
+                .set("companyFinancials", "scaleFactor", ModifierSpec::constant(scale)),
+        )
+        .unwrap();
+    }
+
+    // ---- elevation axioms ------------------------------------------------
+    for (table, ctx) in [
+        ("us_filings", "c_us"),
+        ("tokyo_filings", "c_tokyo"),
+        ("frankfurt_filings", "c_frankfurt"),
+    ] {
+        sys.add_elevation(
+            Elevation::new(table, ctx)
+                .column("company", "companyName")
+                .column("revenue", "companyFinancials")
+                .column("costs", "companyFinancials"),
+        )
+        .unwrap();
+    }
+    sys.add_elevation(
+        Elevation::new("rates", "c_analyst")
+            .column("fromCur", "currencyType")
+            .column("toCur", "currencyType")
+            .column("rate", "exchangeRate"),
+    )
+    .unwrap();
+    sys
+}
+
+fn main() {
+    let sys = build_system();
+    println!("=== Profit & loss analysis across three filing systems ===\n");
+
+    // 1. Per-exchange profit in the analyst's context.
+    for table in ["us_filings", "tokyo_filings", "frankfurt_filings"] {
+        let sql = format!(
+            "SELECT f.company, f.revenue - f.costs AS profit_usd FROM {table} f"
+        );
+        let answer = sys.query(&sql, "c_analyst").unwrap();
+        println!("-- {table} (converted to USD, units) --\n{}", answer.table.render());
+    }
+
+    // 2. Profitable Tokyo companies by US standards: P&L > $50M.
+    let answer = sys
+        .query(
+            "SELECT f.company, f.revenue - f.costs AS profit FROM tokyo_filings f \
+             WHERE f.revenue - f.costs > 50000000",
+            "c_analyst",
+        )
+        .unwrap();
+    println!("-- Tokyo companies with P&L > $50M --\n{}", answer.table.render());
+    assert!(answer
+        .table
+        .rows
+        .iter()
+        .any(|r| r[0] == Value::str("Toyota")), "Toyota clears $50M: 1.1e9 kJPY × 0.0096");
+
+    // 3. Cross-market comparison: auto makers, Frankfurt vs Tokyo revenues.
+    let answer = sys
+        .query(
+            "SELECT a.company, b.company FROM frankfurt_filings a, tokyo_filings b \
+             WHERE a.sector = 'auto' AND b.sector = 'auto' AND a.revenue > b.revenue",
+            "c_analyst",
+        )
+        .unwrap();
+    println!("-- Frankfurt auto maker out-earning a Tokyo auto maker --\n{}", answer.table.render());
+    // VW (113,000 M€ ≈ $133.3B) out-earns Toyota (12.7B kJPY ≈ $121.9B).
+    assert_eq!(answer.table.rows.len(), 1);
+
+    // 4. Sector aggregation over one market, in analyst units.
+    let answer = sys
+        .query(
+            "SELECT f.sector, SUM(f.revenue) AS total, COUNT(*) AS n \
+             FROM tokyo_filings f GROUP BY f.sector ORDER BY f.sector",
+            "c_analyst",
+        )
+        .unwrap();
+    println!("-- Tokyo revenue by sector (USD) --\n{}", answer.table.render());
+    assert_eq!(answer.table.rows.len(), 2);
+
+    // The tech sector total: (9.7e9 + 5.7e9) kJPY × 0.0096 = 147.84e9 ×
+    // 0.0096 … in USD units.
+    let tech = answer
+        .table
+        .rows
+        .iter()
+        .find(|r| r[0] == Value::str("tech"))
+        .unwrap();
+    let expected = (9_700_000_000f64 + 5_700_000_000f64) * 1000.0 * 0.0096;
+    assert!((tech[1].as_f64().unwrap() - expected).abs() < 1.0);
+
+    println!("OK: all P&L analyses verified.");
+}

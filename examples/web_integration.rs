@@ -1,0 +1,165 @@
+//! Web-source integration (paper §2 and §4).
+//!
+//! "The sources we consider range from on-line databases (e.g. an Oracle
+//! database) to semi-structured Web-sites … sites reporting security prices
+//! on the various stock exchanges at regular intervals [serve] as a primary
+//! source of information … sites reporting currency exchange rates are used
+//! to support conversion between monetary amounts."
+//!
+//! This example builds a simulated stock-quote web site (an index page
+//! linking to per-exchange listings), writes a wrapper specification in the
+//! declarative language of [Qu96] — a transition network plus extraction
+//! patterns — registers it next to the exchange-rate service, and runs
+//! mediated queries over prices quoted in different currencies.
+//!
+//! Run with: `cargo run --example web_integration`
+
+use coin::core::system::CoinSystem;
+use coin::core::{Conversion, ContextTheory, Elevation, ModifierSpec};
+use coin::wrapper::{figure2_rates_source, SimWeb, WebSource, WrapperSpec};
+
+fn main() {
+    // ---- the simulated web -------------------------------------------------
+    let web = SimWeb::new();
+    web.mount_static(
+        "http://quotes.example/index",
+        r#"<html><h1>World Markets</h1>
+           <ul>
+             <li><a href="http://quotes.example/nyse">New York</a></li>
+             <li><a href="http://quotes.example/tse">Tokyo</a></li>
+           </ul></html>"#,
+    );
+    web.mount_static(
+        "http://quotes.example/nyse",
+        r#"<html><h1>NYSE</h1><table>
+           <tr><td>IBM</td><td>120.50</td></tr>
+           <tr><td>GE</td><td>60.25</td></tr>
+           <tr><td>F</td><td>32.75</td></tr>
+           </table></html>"#,
+    );
+    web.mount_static(
+        "http://quotes.example/tse",
+        r#"<html><h1>TSE</h1><table>
+           <tr><td>NTT</td><td>8800</td></tr>
+           <tr><td>SONY</td><td>11200</td></tr>
+           </table></html>"#,
+    );
+
+    // ---- the wrapper specification [Qu96] ----------------------------------
+    let spec_text = r#"
+# Stock quotes wrapper: index page -> per-exchange listing pages.
+EXPORT quotes(exchange STR, symbol STR, price FLOAT)
+START index "http://quotes.example/index"
+PAGE index FOLLOW listing LINKS "<a href=\"(?P<url>[^\"]+)\">"
+PAGE listing MATCH ONE "<h1>(?P<exchange>\w+)</h1>"
+PAGE listing MATCH MANY "<tr><td>(?P<symbol>[A-Z]+)</td><td>(?P<price>[0-9.]+)</td></tr>"
+"#;
+    println!("Wrapper specification (transition network + patterns):{spec_text}");
+    let spec = WrapperSpec::parse(spec_text).unwrap();
+
+    // ---- assemble the COIN system -------------------------------------------
+    let (domain, _) = coin::core::model::figure2_domain();
+    let mut sys = CoinSystem::new(domain);
+    sys.add_conversion("scaleFactor", Conversion::Ratio);
+    sys.add_conversion(
+        "currency",
+        Conversion::Lookup {
+            relation: "r3".into(),
+            from_col: "fromCur".into(),
+            to_col: "toCur".into(),
+            factor_col: "rate".into(),
+        },
+    );
+    sys.add_source(WebSource::new("quotes_site", spec, web.clone())).unwrap();
+    sys.add_source(figure2_rates_source(&web)).unwrap();
+
+    // Quotes context: prices are quoted in the exchange's local currency —
+    // a data-dependent context ("JPY when the exchange is TSE, else USD").
+    sys.add_context(
+        ContextTheory::new("c_quotes")
+            .set(
+                "companyFinancials",
+                "currency",
+                ModifierSpec::if_attr_eq(
+                    "exchange",
+                    "TSE",
+                    ModifierSpec::constant("JPY"),
+                    ModifierSpec::constant("USD"),
+                ),
+            )
+            .set("companyFinancials", "scaleFactor", ModifierSpec::constant(1i64)),
+    )
+    .unwrap();
+    sys.add_context(
+        ContextTheory::new("c_recv")
+            .set("companyFinancials", "currency", ModifierSpec::constant("USD"))
+            .set("companyFinancials", "scaleFactor", ModifierSpec::constant(1i64)),
+    )
+    .unwrap();
+    sys.add_elevation(
+        Elevation::new("quotes", "c_quotes")
+            .column("symbol", "companyName")
+            .column("price", "companyFinancials"),
+    )
+    .unwrap();
+    sys.add_elevation(
+        Elevation::new("r3", "c_recv")
+            .column("fromCur", "currencyType")
+            .column("toCur", "currencyType")
+            .column("rate", "exchangeRate"),
+    )
+    .unwrap();
+
+    // ---- mediated queries over the wrapped site ------------------------------
+    println!("All quotes in the receiver's context (USD):");
+    let answer = sys
+        .query("SELECT q.exchange, q.symbol, q.price FROM quotes q", "c_recv")
+        .unwrap();
+    println!("{}", answer.table.render());
+    println!("Mediated SQL:\n  {}\n", answer.mediated.query);
+
+    // NTT at 8800 JPY ≈ $84.48 must appear converted.
+    let ntt = answer
+        .table
+        .rows
+        .iter()
+        .find(|r| r[1] == coin::rel::Value::str("NTT"))
+        .expect("NTT quote present");
+    let price = ntt[2].as_f64().unwrap();
+    assert!((price - 8800.0 * 0.0096).abs() < 1e-9, "NTT at ${price}");
+
+    println!("Stocks above $50 in receiver terms:");
+    let answer = sys
+        .query(
+            "SELECT q.symbol, q.price FROM quotes q WHERE q.price > 50",
+            "c_recv",
+        )
+        .unwrap();
+    println!("{}", answer.table.render());
+    // IBM 120.5, GE 60.25, NTT 84.48, SONY 107.52 — F (32.75) excluded.
+    assert_eq!(answer.table.rows.len(), 4);
+
+    println!(
+        "Web pages fetched so far: {} (index + 2 listings per wrapper run)",
+        web.fetch_count()
+    );
+
+    // ---- the QBE front end over the same system -----------------------------
+    let form: std::collections::BTreeMap<String, String> = [
+        ("table", "quotes"),
+        ("context", "c_recv"),
+        ("show_symbol", "on"),
+        ("show_price", "on"),
+        ("cond_exchange", "=TSE"),
+    ]
+    .iter()
+    .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+    .collect();
+    let (sql, ctx) = coin::server::qbe::form_to_sql(&form).unwrap();
+    println!("QBE form submission translates to: {sql}  [context {ctx}]");
+    let answer = sys.query(&sql, &ctx).unwrap();
+    println!("{}", answer.table.render());
+    assert_eq!(answer.table.rows.len(), 2);
+
+    println!("OK: web integration verified.");
+}

@@ -1,0 +1,49 @@
+//! # coin — The COntext INterchange Mediator Prototype, in Rust
+//!
+//! A full reproduction of *"The COntext INterchange Mediator Prototype"*
+//! (Bressan, Goh, Fynn, Jakobisiak, Hussein, Kon, Lee, Madnick, Pena, Qu,
+//! Shum, Siegel — SIGMOD 1997): context mediation for heterogeneous,
+//! autonomous data sources, where semantic conflicts are *not* reconciled a
+//! priori but detected and resolved at query time by an abductive context
+//! mediator.
+//!
+//! The workspace mirrors the prototype's architecture (paper Figure 1):
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`logic`] | abductive logic engine (the ECLiPSe substrate's stand-in) |
+//! | [`sql`] | SQL parser / printer / normalizer |
+//! | [`rel`] | relational engine: values, tables, operators, external sort |
+//! | [`pattern`] | regex engine with named captures for wrapper extraction |
+//! | [`wrapper`] | simulated web, wrapper spec language, uniform sources |
+//! | [`planner`] | multi-database access engine (dictionary, optimizer) |
+//! | [`core`] | **the contribution**: domain model, contexts, elevation axioms, abductive mediation |
+//! | [`server`] | HTTP-tunneled access: ODBC-style API + HTML QBE |
+//!
+//! ## Quickstart — the paper's §3 example
+//!
+//! ```
+//! use coin::core::fixtures::figure2_system;
+//!
+//! let sys = figure2_system();
+//! let q1 = "SELECT r1.cname, r1.revenue FROM r1, r2 \
+//!           WHERE r1.cname = r2.cname AND r1.revenue > r2.expenses";
+//!
+//! // Without mediation the answer is empty (and wrong).
+//! assert!(sys.query_naive(q1).unwrap().0.rows.is_empty());
+//!
+//! // With mediation: a 3-way union resolving the currency and
+//! // scale-factor conflicts, answering <'NTT', 9_600_000>.
+//! let answer = sys.query(q1, "c_recv").unwrap();
+//! assert_eq!(answer.mediated.query.branches().len(), 3);
+//! assert_eq!(answer.table.rows[0][1], coin::rel::Value::Float(9_600_000.0));
+//! ```
+
+pub use coin_core as core;
+pub use coin_logic as logic;
+pub use coin_pattern as pattern;
+pub use coin_planner as planner;
+pub use coin_rel as rel;
+pub use coin_server as server;
+pub use coin_sql as sql;
+pub use coin_wrapper as wrapper;

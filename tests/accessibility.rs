@@ -1,0 +1,102 @@
+//! EX-ACC: the accessibility claim (paper §1) — "it allows different kinds
+//! of queries to be supported while leveraging on the common knowledge
+//! structures in the system."
+//!
+//! Three access paths over the same deployment — the in-process API, the
+//! ODBC-style HTTP client, and the HTML QBE form — must agree; and
+//! different receivers in different contexts get answers in *their* terms
+//! from the same sources.
+
+use std::sync::Arc;
+
+use coin::core::fixtures::figure2_system;
+use coin::core::{ContextTheory, ModifierSpec};
+use coin::rel::Value;
+use coin::server::{http, start_server, Connection};
+
+#[test]
+fn three_access_paths_one_answer() {
+    let system = Arc::new(figure2_system());
+    let sql = "SELECT r1.cname, r1.revenue FROM r1 WHERE r1.currency = 'JPY'";
+
+    // (a) in-process.
+    let direct = system.query(sql, "c_recv").unwrap();
+
+    // (b) ODBC-style over HTTP.
+    let server = start_server(Arc::clone(&system), "127.0.0.1:0").unwrap();
+    let conn = Connection::open(server.addr, "c_recv");
+    let remote = conn.statement().execute(sql).unwrap();
+
+    // (c) QBE form.
+    let qbe = http::post(
+        &server.addr,
+        "/qbe",
+        "application/x-www-form-urlencoded",
+        b"table=r1&context=c_recv&show_cname=on&show_revenue=on&cond_currency=%3DJPY",
+    )
+    .unwrap();
+    let qbe_html = String::from_utf8_lossy(&qbe);
+
+    assert_eq!(direct.table.rows, remote.rows);
+    assert_eq!(direct.table.rows[0][0], Value::str("NTT"));
+    assert_eq!(direct.table.rows[0][1], Value::Float(9_600_000.0));
+    assert!(qbe_html.contains("NTT") && qbe_html.contains("9600000"));
+    server.stop();
+}
+
+#[test]
+fn different_receivers_different_contexts_same_sources() {
+    let mut system = figure2_system();
+    system
+        .add_context(
+            ContextTheory::new("c_tokyo_analyst")
+                .set("companyFinancials", "currency", ModifierSpec::constant("JPY"))
+                .set(
+                    "companyFinancials",
+                    "scaleFactor",
+                    ModifierSpec::constant(1000i64),
+                ),
+        )
+        .unwrap();
+    let system = Arc::new(system);
+    let server = start_server(Arc::clone(&system), "127.0.0.1:0").unwrap();
+
+    let ny = Connection::open(server.addr, "c_recv");
+    let tokyo = Connection::open(server.addr, "c_tokyo_analyst");
+    let sql = "SELECT r2.cname, r2.expenses FROM r2";
+
+    let ny_rs = ny.statement().execute(sql).unwrap();
+    let tokyo_rs = tokyo.statement().execute(sql).unwrap();
+
+    // r2 reports USD/1. The NY receiver sees them unchanged; the Tokyo
+    // receiver sees thousands of JPY: amount × rate(USD→JPY) / 1000.
+    let find = |rs: &coin::server::ResultSet, name: &str| -> f64 {
+        rs.rows
+            .iter()
+            .find(|r| r[0] == Value::str(name))
+            .unwrap()[1]
+            .as_f64()
+            .unwrap()
+    };
+    assert_eq!(find(&ny_rs, "IBM"), 1_500_000_000.0);
+    let expected_tokyo = 1_500_000_000.0 * 104.0 / 1000.0;
+    let got_tokyo = find(&tokyo_rs, "IBM");
+    assert!(
+        (got_tokyo - expected_tokyo).abs() < 1e-6 * expected_tokyo,
+        "tokyo view: {got_tokyo} vs {expected_tokyo}"
+    );
+    server.stop();
+}
+
+#[test]
+fn explanation_accessible_from_every_client() {
+    let system = Arc::new(figure2_system());
+    let server = start_server(Arc::clone(&system), "127.0.0.1:0").unwrap();
+    let conn = Connection::open(server.addr, "c_recv");
+    let (mediated_sql, explanation) = conn
+        .explain("SELECT r1.cname, r1.revenue FROM r1")
+        .unwrap();
+    assert!(mediated_sql.contains("UNION"));
+    assert!(explanation.contains("assume"));
+    server.stop();
+}

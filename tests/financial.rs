@@ -1,0 +1,182 @@
+//! EX-FIN: the §4 deployment scenario — profit & loss analysis across
+//! autonomous filings databases in different reporting conventions.
+
+use coin::core::system::CoinSystem;
+use coin::core::{Conversion, ContextTheory, Elevation, ModifierSpec};
+use coin::rel::{Catalog, ColumnType, Schema, Table, Value};
+use coin::wrapper::RelationalSource;
+
+/// Two filings databases: US (USD, units) and Tokyo (JPY, thousands), plus
+/// rates. NTT: revenue 9.7e9 kJPY, costs 8.9e9 kJPY → P&L = 0.8e9 × 1000 ×
+/// 0.0096 = $7.68e9.
+fn pl_system() -> CoinSystem {
+    let (domain, _) = coin::core::model::figure2_domain();
+    let mut sys = CoinSystem::new(domain);
+    sys.add_conversion("scaleFactor", Conversion::Ratio);
+    sys.add_conversion(
+        "currency",
+        Conversion::Lookup {
+            relation: "rates".into(),
+            from_col: "fromCur".into(),
+            to_col: "toCur".into(),
+            factor_col: "rate".into(),
+        },
+    );
+
+    let us = Table::from_rows(
+        "us_filings",
+        Schema::of(&[
+            ("company", ColumnType::Str),
+            ("revenue", ColumnType::Int),
+            ("costs", ColumnType::Int),
+        ]),
+        vec![
+            vec!["IBM".into(), Value::Int(81_700_000_000), Value::Int(73_400_000_000)],
+            vec!["GE".into(), Value::Int(90_800_000_000), Value::Int(82_000_000_000)],
+        ],
+    );
+    let tokyo = Table::from_rows(
+        "tokyo_filings",
+        Schema::of(&[
+            ("company", ColumnType::Str),
+            ("revenue", ColumnType::Int),
+            ("costs", ColumnType::Int),
+        ]),
+        vec![
+            vec!["NTT".into(), Value::Int(9_700_000_000), Value::Int(8_900_000_000)],
+            vec!["Toyota".into(), Value::Int(12_700_000_000), Value::Int(11_600_000_000)],
+        ],
+    );
+    let rates = Table::from_rows(
+        "rates",
+        Schema::of(&[
+            ("fromCur", ColumnType::Str),
+            ("toCur", ColumnType::Str),
+            ("rate", ColumnType::Float),
+        ]),
+        vec![
+            vec!["JPY".into(), "USD".into(), Value::Float(0.0096)],
+            vec!["USD".into(), "JPY".into(), Value::Float(104.0)],
+        ],
+    );
+    sys.add_source(RelationalSource::new("sec", Catalog::new().with_table(us))).unwrap();
+    sys.add_source(RelationalSource::new("tse", Catalog::new().with_table(tokyo))).unwrap();
+    sys.add_source(RelationalSource::new("forex", Catalog::new().with_table(rates))).unwrap();
+
+    for (name, cur, scale) in
+        [("c_us", "USD", 1i64), ("c_tokyo", "JPY", 1000), ("c_analyst", "USD", 1)]
+    {
+        sys.add_context(
+            ContextTheory::new(name)
+                .set("companyFinancials", "currency", ModifierSpec::constant(cur))
+                .set("companyFinancials", "scaleFactor", ModifierSpec::constant(scale)),
+        )
+        .unwrap();
+    }
+    for (table, ctx) in [("us_filings", "c_us"), ("tokyo_filings", "c_tokyo")] {
+        sys.add_elevation(
+            Elevation::new(table, ctx)
+                .column("company", "companyName")
+                .column("revenue", "companyFinancials")
+                .column("costs", "companyFinancials"),
+        )
+        .unwrap();
+    }
+    sys.add_elevation(
+        Elevation::new("rates", "c_analyst")
+            .column("fromCur", "currencyType")
+            .column("toCur", "currencyType")
+            .column("rate", "exchangeRate"),
+    )
+    .unwrap();
+    sys
+}
+
+#[test]
+fn profit_and_loss_in_analyst_terms() {
+    let sys = pl_system();
+    let answer = sys
+        .query(
+            "SELECT f.company, f.revenue - f.costs AS pl FROM tokyo_filings f",
+            "c_analyst",
+        )
+        .unwrap();
+    let ntt = answer
+        .table
+        .rows
+        .iter()
+        .find(|r| r[0] == Value::str("NTT"))
+        .unwrap();
+    let expected = (9_700_000_000f64 - 8_900_000_000f64) * 1000.0 * 0.0096;
+    assert!((ntt[1].as_f64().unwrap() - expected).abs() < 1.0);
+}
+
+#[test]
+fn both_operands_of_subtraction_converted() {
+    // revenue - costs must convert *each* operand (they share modifiers but
+    // the mediator treats each column occurrence).
+    let sys = pl_system();
+    let mediated = sys
+        .mediate(
+            "SELECT f.revenue - f.costs FROM tokyo_filings f",
+            "c_analyst",
+        )
+        .unwrap();
+    let sql = mediated.query.to_string();
+    assert!(sql.contains("f.revenue * 1000"), "{sql}");
+    assert!(sql.contains("f.costs * 1000"), "{sql}");
+}
+
+#[test]
+fn cross_market_profit_comparison() {
+    // Companies whose P&L beats IBM's: GE ($8.8B) and Toyota (1.1e9 kJPY ×
+    // 0.0096 = $10.56B) vs IBM ($8.3B).
+    let sys = pl_system();
+    let answer = sys
+        .query(
+            "SELECT t.company FROM tokyo_filings t, us_filings u \
+             WHERE u.company = 'IBM' \
+             AND t.revenue - t.costs > u.revenue - u.costs",
+            "c_analyst",
+        )
+        .unwrap();
+    assert_eq!(answer.table.rows, vec![vec![Value::str("Toyota")]]);
+}
+
+#[test]
+fn threshold_filter_in_receiver_units() {
+    // "P&L above $8 billion" means $8e9 regardless of how sources report.
+    // IBM: $8.3B, GE: $8.8B — both qualify.
+    let sys = pl_system();
+    let answer = sys
+        .query(
+            "SELECT u.company FROM us_filings u WHERE u.revenue - u.costs > 8000000000",
+            "c_analyst",
+        )
+        .unwrap();
+    assert_eq!(answer.table.rows.len(), 2);
+    // But above $8.5B only GE qualifies.
+    let answer = sys
+        .query(
+            "SELECT u.company FROM us_filings u WHERE u.revenue - u.costs > 8500000000",
+            "c_analyst",
+        )
+        .unwrap();
+    assert_eq!(answer.table.rows, vec![vec![Value::str("GE")]]);
+}
+
+#[test]
+fn aggregate_total_market_pl() {
+    let sys = pl_system();
+    let answer = sys
+        .query(
+            "SELECT SUM(f.revenue - f.costs) FROM tokyo_filings f",
+            "c_analyst",
+        )
+        .unwrap();
+    let expected = ((9_700_000_000f64 - 8_900_000_000f64)
+        + (12_700_000_000f64 - 11_600_000_000f64))
+        * 1000.0
+        * 0.0096;
+    assert!((answer.table.rows[0][0].as_f64().unwrap() - expected).abs() < 1.0);
+}
