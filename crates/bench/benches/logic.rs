@@ -9,7 +9,11 @@ use std::hint::black_box;
 use coin_logic::{Bindings, Program, Solver, Term};
 
 fn deep_term(depth: usize, var_at_leaf: bool) -> Term {
-    let mut t = if var_at_leaf { Term::var(0) } else { Term::int(1) };
+    let mut t = if var_at_leaf {
+        Term::var(0)
+    } else {
+        Term::int(1)
+    };
     for i in 0..depth {
         t = Term::compound("f", vec![t, Term::int(i as i64)]);
     }
@@ -43,14 +47,7 @@ fn bench_solve(c: &mut Criterion) {
             b.iter(|| black_box(solver.query("p(X)").unwrap().len()))
         });
         g.bench_with_input(BenchmarkId::new("filtered_join", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(
-                    solver
-                        .query(&format!("p(X), X > {}", n - 5))
-                        .unwrap()
-                        .len(),
-                )
-            })
+            b.iter(|| black_box(solver.query(&format!("p(X), X > {}", n - 5)).unwrap().len()))
         });
     }
     g.finish();

@@ -12,7 +12,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use coin_core::system::CoinSystem;
-use coin_core::{Conversion, ContextTheory, Elevation, ModifierSpec};
+use coin_core::{ContextTheory, Conversion, Elevation, ModifierSpec};
 use coin_rel::{Catalog, ColumnType, Schema, Table, Value};
 use coin_wrapper::RelationalSource;
 
@@ -57,12 +57,19 @@ fn system_with_k_cases(k: usize) -> CoinSystem {
             ("toCur", ColumnType::Str),
             ("rate", ColumnType::Float),
         ]),
-        vec![vec![Value::str("JPY"), Value::str("USD"), Value::Float(0.0096)]],
+        vec![vec![
+            Value::str("JPY"),
+            Value::str("USD"),
+            Value::Float(0.0096),
+        ]],
     );
     sys.add_source(RelationalSource::new("db", Catalog::new().with_table(fin)))
         .unwrap();
-    sys.add_source(RelationalSource::new("forex", Catalog::new().with_table(rates)))
-        .unwrap();
+    sys.add_source(RelationalSource::new(
+        "forex",
+        Catalog::new().with_table(rates),
+    ))
+    .unwrap();
 
     // k conditional cases on region + default (flat case list).
     let spec = if k == 0 {
@@ -84,13 +91,25 @@ fn system_with_k_cases(k: usize) -> CoinSystem {
     sys.add_context(
         ContextTheory::new("c_src")
             .set("companyFinancials", "scaleFactor", spec)
-            .set("companyFinancials", "currency", ModifierSpec::constant("JPY")),
+            .set(
+                "companyFinancials",
+                "currency",
+                ModifierSpec::constant("JPY"),
+            ),
     )
     .unwrap();
     sys.add_context(
         ContextTheory::new("c_recv")
-            .set("companyFinancials", "currency", ModifierSpec::constant("USD"))
-            .set("companyFinancials", "scaleFactor", ModifierSpec::constant(1i64)),
+            .set(
+                "companyFinancials",
+                "currency",
+                ModifierSpec::constant("USD"),
+            )
+            .set(
+                "companyFinancials",
+                "scaleFactor",
+                ModifierSpec::constant(1i64),
+            ),
     )
     .unwrap();
     sys.add_elevation(

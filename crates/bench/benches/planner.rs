@@ -134,7 +134,10 @@ fn bench_reorder(c: &mut Criterion) {
     for (label, reorder) in [("on", true), ("off", false)] {
         let planner = Planner::with_config(
             dict.clone(),
-            PlannerConfig { reorder, ..Default::default() },
+            PlannerConfig {
+                reorder,
+                ..Default::default()
+            },
         );
         g.bench_function(format!("reorder_{label}"), |b| {
             b.iter(|| {

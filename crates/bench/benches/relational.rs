@@ -56,11 +56,7 @@ fn bench_joins(c: &mut Criterion) {
         // Nested loop only at the small size (quadratic).
         if n <= 1_000 {
             g.bench_with_input(BenchmarkId::new("nested_loop", n), &n, |b, _| {
-                let pred = CExpr::Cmp(
-                    Box::new(CExpr::Col(0)),
-                    BinOp::Eq,
-                    Box::new(CExpr::Col(2)),
-                );
+                let pred = CExpr::Cmp(Box::new(CExpr::Col(0)), BinOp::Eq, Box::new(CExpr::Col(2)));
                 b.iter(|| {
                     let nl = NestedLoopJoin::new(
                         scan(left.clone()),
@@ -94,8 +90,7 @@ fn bench_sort_spill_ablation(c: &mut Criterion) {
     });
     g.bench_function("external_sorter_direct", |b| {
         b.iter(|| {
-            let mut sorter =
-                ExternalSorter::new(TempStore::new(), vec![(0, false)], 4096);
+            let mut sorter = ExternalSorter::new(TempStore::new(), vec![(0, false)], 4096);
             for r in data.clone() {
                 sorter.push(r).unwrap();
             }
@@ -117,11 +112,7 @@ fn bench_sql_pipeline(c: &mut Criterion) {
     g.throughput(Throughput::Elements(n as u64));
     g.bench_function("filter_project", |b| {
         b.iter(|| {
-            let t = execute_sql(
-                black_box("SELECT v FROM t WHERE v > 500000"),
-                &catalog,
-            )
-            .unwrap();
+            let t = execute_sql(black_box("SELECT v FROM t WHERE v > 500000"), &catalog).unwrap();
             black_box(t.rows.len())
         })
     });

@@ -80,10 +80,9 @@ impl PairwiseIntegration {
                                     scale_ratio =
                                         scale_ratio.map(|r| r * (*x as f64) / (*y as f64));
                                 }
-                                (Value::Str(x), Value::Str(y)) if m == "currency"
-                                    && x != y => {
-                                        currency_pair = Some((x.clone(), y.clone()));
-                                    }
+                                (Value::Str(x), Value::Str(y)) if m == "currency" && x != y => {
+                                    currency_pair = Some((x.clone(), y.clone()));
+                                }
                                 _ => {}
                             }
                         }
@@ -153,12 +152,8 @@ mod tests {
     fn pair_count_is_quadratic() {
         for n in [2usize, 4, 8] {
             let sys = synthetic_system(n, 1, 1);
-            let pw = PairwiseIntegration::derive(
-                &sys.domain,
-                &sys.contexts,
-                "companyFinancials",
-            )
-            .unwrap();
+            let pw = PairwiseIntegration::derive(&sys.domain, &sys.contexts, "companyFinancials")
+                .unwrap();
             // n source contexts + 1 receiver context.
             let total = n + 1;
             assert_eq!(pw.pair_count(), total * (total - 1));
@@ -189,8 +184,8 @@ mod tests {
     #[test]
     fn constant_contexts_get_ratio_rules() {
         let sys = synthetic_system(3, 1, 1);
-        let pw = PairwiseIntegration::derive(&sys.domain, &sys.contexts, "companyFinancials")
-            .unwrap();
+        let pw =
+            PairwiseIntegration::derive(&sys.domain, &sys.contexts, "companyFinancials").unwrap();
         // Context 1 uses scale 1000 (index 1), receiver uses 1.
         let rule = pw.rule("c_src1", "c_recv").unwrap();
         assert_eq!(rule.scale_ratio, Some(1000.0));
@@ -199,8 +194,8 @@ mod tests {
     #[test]
     fn data_dependent_context_breaks_constant_rules() {
         let sys = crate::fixtures::figure2_system();
-        let pw = PairwiseIntegration::derive(&sys.domain, &sys.contexts, "companyFinancials")
-            .unwrap();
+        let pw =
+            PairwiseIntegration::derive(&sys.domain, &sys.contexts, "companyFinancials").unwrap();
         let rule = pw.rule("c_src1", "c_recv").unwrap();
         assert_eq!(rule.scale_ratio, None, "src1's scale depends on data");
         assert!(rule.statements >= 2);

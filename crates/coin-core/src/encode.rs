@@ -22,8 +22,7 @@ use std::fmt::Write as _;
 use coin_rel::Value;
 
 use crate::model::{
-    Conversion, ConversionRegistry, ContextTheory, DomainModel, Elevation, ModelError,
-    ModifierSpec,
+    ContextTheory, Conversion, ConversionRegistry, DomainModel, Elevation, ModelError, ModifierSpec,
 };
 
 /// Render a data constant as a logic-program term. Strings become logic
@@ -94,8 +93,11 @@ impl Encoder {
             writeln!(self.text, "{cvt}(V, F, T, V) :- eqc(F, T).").unwrap();
             match conv {
                 Conversion::Ratio => {
-                    writeln!(self.text, "{cvt}(V, F, T, W) :- neqc(F, T), W is V * F / T.")
-                        .unwrap();
+                    writeln!(
+                        self.text,
+                        "{cvt}(V, F, T, W) :- neqc(F, T), W is V * F / T."
+                    )
+                    .unwrap();
                 }
                 Conversion::Lookup { .. } => {
                     let anc = quote_atom(&format!("anc_{modifier}"));
@@ -288,8 +290,16 @@ mod tests {
 
     fn receiver_context() -> ContextTheory {
         ContextTheory::new("c_recv")
-            .set("companyFinancials", "currency", ModifierSpec::constant("USD"))
-            .set("companyFinancials", "scaleFactor", ModifierSpec::constant(1i64))
+            .set(
+                "companyFinancials",
+                "currency",
+                ModifierSpec::constant("USD"),
+            )
+            .set(
+                "companyFinancials",
+                "scaleFactor",
+                ModifierSpec::constant(1i64),
+            )
     }
 
     fn encode_figure2_column() -> Encoder {
@@ -316,9 +326,8 @@ mod tests {
     #[test]
     fn generated_program_parses() {
         let enc = encode_figure2_column();
-        Program::from_source(enc.text()).unwrap_or_else(|e| {
-            panic!("generated program failed to parse: {e}\n{}", enc.text())
-        });
+        Program::from_source(enc.text())
+            .unwrap_or_else(|e| panic!("generated program failed to parse: {e}\n{}", enc.text()));
     }
 
     #[test]
@@ -332,8 +341,7 @@ mod tests {
             Value::Bool(true),
         ] {
             let text = value_term(&v);
-            coin_logic::parse_term_str(&text)
-                .unwrap_or_else(|e| panic!("{text}: {e}"));
+            coin_logic::parse_term_str(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
         }
     }
 
@@ -347,8 +355,7 @@ mod tests {
         let solver = Solver::new(&program);
         let answers = solver.query("rcv(col('r1', 'revenue'), W)").unwrap();
         assert_eq!(answers.len(), 3, "program:\n{}", enc.text());
-        let rendered: Vec<String> =
-            answers.iter().map(|a| a.vars["W"].to_string()).collect();
+        let rendered: Vec<String> = answers.iter().map(|a| a.vars["W"].to_string()).collect();
         // JPY case: revenue * 1000 * rate (rate abduced, still a variable).
         assert!(rendered[0].contains("1000"), "{rendered:?}");
         // USD case: identity.
@@ -362,15 +369,30 @@ mod tests {
         // Source 2 reports USD/1: no case analysis, identity conversion.
         let (dm, conv) = figure2_domain();
         let src2 = ContextTheory::new("c_src2")
-            .set("companyFinancials", "currency", ModifierSpec::constant("USD"))
-            .set("companyFinancials", "scaleFactor", ModifierSpec::constant(1i64));
-        let elevation =
-            Elevation::new("r2", "c_src2").column("expenses", "companyFinancials");
+            .set(
+                "companyFinancials",
+                "currency",
+                ModifierSpec::constant("USD"),
+            )
+            .set(
+                "companyFinancials",
+                "scaleFactor",
+                ModifierSpec::constant(1i64),
+            );
+        let elevation = Elevation::new("r2", "c_src2").column("expenses", "companyFinancials");
         let mut enc = Encoder::new();
         enc.preamble();
         enc.conversions(&conv);
-        enc.elevated_column(&dm, &conv, &src2, &receiver_context(), &elevation, "r2", "expenses")
-            .unwrap();
+        enc.elevated_column(
+            &dm,
+            &conv,
+            &src2,
+            &receiver_context(),
+            &elevation,
+            "r2",
+            "expenses",
+        )
+        .unwrap();
         let program = Program::from_source(enc.text()).unwrap();
         let solver = Solver::new(&program);
         let answers = solver.query("rcv(col('r2', 'expenses'), W)").unwrap();
@@ -395,7 +417,9 @@ mod tests {
             "cname",
         )
         .unwrap();
-        assert!(enc.text().contains("rcv(col('r1', 'cname'), col('r1', 'cname'))."));
+        assert!(enc
+            .text()
+            .contains("rcv(col('r1', 'cname'), col('r1', 'cname'))."));
     }
 
     #[test]
@@ -427,7 +451,11 @@ mod tests {
                 "currency",
                 ModifierSpec::from_attribute("currency"),
             )
-            .set("companyFinancials", "scaleFactor", ModifierSpec::constant(1i64));
+            .set(
+                "companyFinancials",
+                "scaleFactor",
+                ModifierSpec::constant(1i64),
+            );
         let elevation = Elevation::new("r1", "c_src1").column("revenue", "companyFinancials");
         let mut enc = Encoder::new();
         let e = enc

@@ -7,9 +7,7 @@
 use coin_rel::{Catalog, ColumnType, Schema, Table, Value};
 use coin_wrapper::{figure2_rates_source, RelationalSource, SimWeb};
 
-use crate::model::{
-    Conversion, ContextTheory, Elevation, ModifierSpec,
-};
+use crate::model::{ContextTheory, Conversion, Elevation, ModifierSpec};
 use crate::system::CoinSystem;
 
 /// The Figure 2 deployment: two company-financials databases with
@@ -37,7 +35,11 @@ pub fn figure2_system() -> CoinSystem {
             ("currency", ColumnType::Str),
         ]),
         vec![
-            vec![Value::str("IBM"), Value::Int(100_000_000), Value::str("USD")],
+            vec![
+                Value::str("IBM"),
+                Value::Int(100_000_000),
+                Value::str("USD"),
+            ],
             vec![Value::str("NTT"), Value::Int(1_000_000), Value::str("JPY")],
         ],
     );
@@ -49,10 +51,16 @@ pub fn figure2_system() -> CoinSystem {
             vec![Value::str("NTT"), Value::Int(5_000_000)],
         ],
     );
-    sys.add_source(RelationalSource::new("worldscope", Catalog::new().with_table(r1)))
-        .unwrap();
-    sys.add_source(RelationalSource::new("disclosure", Catalog::new().with_table(r2)))
-        .unwrap();
+    sys.add_source(RelationalSource::new(
+        "worldscope",
+        Catalog::new().with_table(r1),
+    ))
+    .unwrap();
+    sys.add_source(RelationalSource::new(
+        "disclosure",
+        Catalog::new().with_table(r2),
+    ))
+    .unwrap();
     let web = SimWeb::new();
     sys.add_source(figure2_rates_source(&web)).unwrap();
 
@@ -78,14 +86,30 @@ pub fn figure2_system() -> CoinSystem {
     .unwrap();
     sys.add_context(
         ContextTheory::new("c_src2")
-            .set("companyFinancials", "currency", ModifierSpec::constant("USD"))
-            .set("companyFinancials", "scaleFactor", ModifierSpec::constant(1i64)),
+            .set(
+                "companyFinancials",
+                "currency",
+                ModifierSpec::constant("USD"),
+            )
+            .set(
+                "companyFinancials",
+                "scaleFactor",
+                ModifierSpec::constant(1i64),
+            ),
     )
     .unwrap();
     sys.add_context(
         ContextTheory::new("c_recv")
-            .set("companyFinancials", "currency", ModifierSpec::constant("USD"))
-            .set("companyFinancials", "scaleFactor", ModifierSpec::constant(1i64)),
+            .set(
+                "companyFinancials",
+                "currency",
+                ModifierSpec::constant("USD"),
+            )
+            .set(
+                "companyFinancials",
+                "scaleFactor",
+                ModifierSpec::constant(1i64),
+            ),
     )
     .unwrap();
 
@@ -151,7 +175,12 @@ pub fn synthetic_system(n_sources: usize, rows_per: usize, seed: u64) -> CoinSys
     let mut sys = CoinSystem::new(domain);
     for (m, c) in conversions.iter() {
         match c {
-            Conversion::Lookup { from_col, to_col, factor_col, .. } => sys.add_conversion(
+            Conversion::Lookup {
+                from_col,
+                to_col,
+                factor_col,
+                ..
+            } => sys.add_conversion(
                 m,
                 Conversion::Lookup {
                     relation: "rates".into(),
@@ -168,8 +197,16 @@ pub fn synthetic_system(n_sources: usize, rows_per: usize, seed: u64) -> CoinSys
     // Receiver context.
     sys.add_context(
         ContextTheory::new("c_recv")
-            .set("companyFinancials", "currency", ModifierSpec::constant("USD"))
-            .set("companyFinancials", "scaleFactor", ModifierSpec::constant(1i64)),
+            .set(
+                "companyFinancials",
+                "currency",
+                ModifierSpec::constant("USD"),
+            )
+            .set(
+                "companyFinancials",
+                "scaleFactor",
+                ModifierSpec::constant(1i64),
+            ),
     )
     .unwrap();
 
@@ -187,7 +224,11 @@ pub fn synthetic_system(n_sources: usize, rows_per: usize, seed: u64) -> CoinSys
     for (i, c) in CURRENCIES.iter().enumerate() {
         if *c != "USD" {
             rates
-                .push(vec![Value::str(c), Value::str("USD"), Value::Float(usd_rates[i])])
+                .push(vec![
+                    Value::str(c),
+                    Value::str("USD"),
+                    Value::Float(usd_rates[i]),
+                ])
                 .unwrap();
             rates
                 .push(vec![
@@ -198,8 +239,11 @@ pub fn synthetic_system(n_sources: usize, rows_per: usize, seed: u64) -> CoinSys
                 .unwrap();
         }
     }
-    sys.add_source(RelationalSource::new("forex", Catalog::new().with_table(rates)))
-        .unwrap();
+    sys.add_source(RelationalSource::new(
+        "forex",
+        Catalog::new().with_table(rates),
+    ))
+    .unwrap();
     sys.add_elevation(
         Elevation::new("rates", "c_recv")
             .column("fromCur", "currencyType")
@@ -216,12 +260,7 @@ pub fn synthetic_system(n_sources: usize, rows_per: usize, seed: u64) -> CoinSys
 
 /// Add one more synthetic source to an existing deployment (EX-EXT measures
 /// exactly the administration this function performs).
-pub fn add_synthetic_source(
-    sys: &mut CoinSystem,
-    index: usize,
-    rows_per: usize,
-    rng: &mut Rng,
-) {
+pub fn add_synthetic_source(sys: &mut CoinSystem, index: usize, rows_per: usize, rng: &mut Rng) {
     let scale_choices: [i64; 3] = [1, 1000, 1_000_000];
     let currency = CURRENCIES[index % CURRENCIES.len()];
     let scale = scale_choices[index % scale_choices.len()];
@@ -239,14 +278,25 @@ pub fn add_synthetic_source(
         .unwrap();
     }
     let src_name = format!("src{index}");
-    sys.add_source(RelationalSource::new(&src_name, Catalog::new().with_table(t)))
-        .unwrap();
+    sys.add_source(RelationalSource::new(
+        &src_name,
+        Catalog::new().with_table(t),
+    ))
+    .unwrap();
 
     let ctx_name = format!("c_src{index}");
     sys.add_context(
         ContextTheory::new(&ctx_name)
-            .set("companyFinancials", "currency", ModifierSpec::constant(currency))
-            .set("companyFinancials", "scaleFactor", ModifierSpec::constant(scale)),
+            .set(
+                "companyFinancials",
+                "currency",
+                ModifierSpec::constant(currency),
+            )
+            .set(
+                "companyFinancials",
+                "scaleFactor",
+                ModifierSpec::constant(scale),
+            ),
     )
     .unwrap();
     sys.add_elevation(
@@ -278,8 +328,7 @@ mod tests {
         // Axioms grow linearly: each source adds a constant-size context
         // (2 assignments) + elevation (1 + 2 columns).
         let sys10 = synthetic_system(10, 10, 42);
-        let per_source =
-            (sys10.axiom_count() - sys.axiom_count()) as f64 / 5.0;
+        let per_source = (sys10.axiom_count() - sys.axiom_count()) as f64 / 5.0;
         assert!(per_source > 0.0 && per_source < 10.0, "{per_source}");
     }
 

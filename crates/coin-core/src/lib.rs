@@ -51,7 +51,7 @@ pub mod system;
 
 pub use mediate::{BranchReport, Mediated, MediationError, Mediator};
 pub use model::{
-    Conversion, ContextTheory, ConversionRegistry, DomainModel, Elevation,
-    ElevationRegistry, ModelError, ModifierSpec, SemanticType,
+    ContextTheory, Conversion, ConversionRegistry, DomainModel, Elevation, ElevationRegistry,
+    ModelError, ModifierSpec, SemanticType,
 };
 pub use system::{CoinError, CoinSystem, MediatedAnswer};

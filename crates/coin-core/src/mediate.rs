@@ -34,7 +34,7 @@ use coin_sql::{BinOp, ColumnRef, Expr, Query, Select, SelectItem, TableRef};
 
 use crate::encode::{col_term, value_term, Encoder};
 use crate::model::{
-    Conversion, ContextTheory, ConversionRegistry, DomainModel, ElevationRegistry, ModelError,
+    ContextTheory, Conversion, ConversionRegistry, DomainModel, ElevationRegistry, ModelError,
 };
 
 /// Mediation errors.
@@ -163,7 +163,10 @@ impl<'a> Mediator<'a> {
             conversions,
             contexts,
             elevations,
-            solver_config: SolverConfig { max_answers: 512, ..SolverConfig::default() },
+            solver_config: SolverConfig {
+                max_answers: 512,
+                ..SolverConfig::default()
+            },
         }
     }
 
@@ -209,10 +212,10 @@ impl<'a> Mediator<'a> {
         enc.conversions(self.conversions);
         for t in &s.from {
             let elevation = self.elevations.get(&t.table)?;
-            let source_ctx =
-                self.contexts.get(&elevation.context).ok_or_else(|| {
-                    ModelError::UnknownContext(elevation.context.clone())
-                })?;
+            let source_ctx = self
+                .contexts
+                .get(&elevation.context)
+                .ok_or_else(|| ModelError::UnknownContext(elevation.context.clone()))?;
             let binding = t.binding();
             for (b, c) in &referenced {
                 if b == binding {
@@ -274,10 +277,9 @@ impl<'a> Mediator<'a> {
         // ---- solve --------------------------------------------------------
         let program = Program::from_source(&program_text)?;
         let solver = Solver::with_config(&program, self.solver_config);
-        let (parsed_goals, nvars, names) =
-            coin_logic::parse_goals(&goals).map_err(|e| {
-                MediationError::Decode(format!("goal construction: {e}\ngoals: {goals}"))
-            })?;
+        let (parsed_goals, nvars, names) = coin_logic::parse_goals(&goals).map_err(|e| {
+            MediationError::Decode(format!("goal construction: {e}\ngoals: {goals}"))
+        })?;
         let answers = solver.all_answers(&parsed_goals, nvars);
         if answers.is_empty() {
             // No consistent case exists — the query is provably empty
@@ -292,11 +294,9 @@ impl<'a> Mediator<'a> {
             return Ok(Mediated {
                 query: Query::Select(Box::new(empty.clone())),
                 branches: vec![BranchReport {
-                    assumptions: vec![
-                        "no consistent conflict-resolution case exists; \
+                    assumptions: vec!["no consistent conflict-resolution case exists; \
                          the answer is provably empty"
-                            .into(),
-                    ],
+                        .into()],
                     residuals: Vec::new(),
                     select: empty,
                 }],
@@ -324,9 +324,13 @@ impl<'a> Mediator<'a> {
             }
         }
 
-        let query =
-            Query::union_of(branches.iter().map(|b| b.select.clone()).collect(), false);
-        Ok(Mediated { query, branches, program_text, statements })
+        let query = Query::union_of(branches.iter().map(|b| b.select.clone()).collect(), false);
+        Ok(Mediated {
+            query,
+            branches,
+            program_text,
+            statements,
+        })
     }
 }
 
@@ -356,9 +360,7 @@ fn check_conjunctive(s: &Select) -> Result<(), MediationError> {
                 // Non-negated BETWEEN desugars to two comparisons.
                 Expr::Between { negated: false, .. } => {}
                 Expr::Bin(_, BinOp::Or, _) => {
-                    return Err(MediationError::Unsupported(
-                        "disjunction in WHERE".into(),
-                    ))
+                    return Err(MediationError::Unsupported("disjunction in WHERE".into()))
                 }
                 other => {
                     return Err(MediationError::Unsupported(format!(
@@ -375,7 +377,12 @@ fn check_conjunctive(s: &Select) -> Result<(), MediationError> {
 /// (`x BETWEEN lo AND hi` → `x >= lo, x <= hi`).
 fn desugar_conjunct(e: &Expr) -> Vec<Expr> {
     match e {
-        Expr::Between { expr, low, high, negated: false } => vec![
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } => vec![
             Expr::Bin(expr.clone(), BinOp::Ge, low.clone()),
             Expr::Bin(expr.clone(), BinOp::Le, high.clone()),
         ],
@@ -408,9 +415,7 @@ fn expr_to_goal_term(
         Expr::Float(f) => value_term(&Value::Float(*f)),
         Expr::Str(s) => value_term(&Value::str(s)),
         Expr::Bool(b) => value_term(&Value::Bool(*b)),
-        Expr::Bin(l, op, r)
-            if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div) =>
-        {
+        Expr::Bin(l, op, r) if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div) => {
             let ls = expr_to_goal_term(l, col_vars)?;
             let rs = expr_to_goal_term(r, col_vars)?;
             let sym = match op {
@@ -471,20 +476,28 @@ fn decode_answer(
     let _ = conversions;
     // 1. Ancillary atoms introduce FROM aliases and map their rate variable.
     let mut from = original.from.clone();
-    let mut used_bindings: Vec<String> =
-        from.iter().map(|t| t.binding().to_owned()).collect();
+    let mut used_bindings: Vec<String> = from.iter().map(|t| t.binding().to_owned()).collect();
     let mut var_columns: BTreeMap<u32, ColumnRef> = BTreeMap::new();
     let mut join_preds: Vec<Expr> = Vec::new();
     let mut assumptions: Vec<String> = Vec::new();
 
     for atom in &ans.delta {
         let Term::Compound(f, args) = atom else {
-            return Err(MediationError::Decode(format!("non-compound Δ atom {atom}")));
+            return Err(MediationError::Decode(format!(
+                "non-compound Δ atom {atom}"
+            )));
         };
         let fname = f.as_str();
         if let Some(modifier) = fname.strip_prefix("anc_") {
-            let Some((_, Conversion::Lookup { relation, from_col, to_col, factor_col })) =
-                ancillaries.iter().find(|(m, _)| m == modifier)
+            let Some((
+                _,
+                Conversion::Lookup {
+                    relation,
+                    from_col,
+                    to_col,
+                    factor_col,
+                },
+            )) = ancillaries.iter().find(|(m, _)| m == modifier)
             else {
                 return Err(MediationError::Decode(format!(
                     "no ancillary registered for modifier {modifier}"
@@ -501,7 +514,11 @@ fn decode_answer(
             from.push(TableRef {
                 source: None,
                 table: relation.clone(),
-                alias: if alias == *relation { None } else { Some(alias.clone()) },
+                alias: if alias == *relation {
+                    None
+                } else {
+                    Some(alias.clone())
+                },
             });
             // Join predicates from/to; factor variable maps to the column.
             let [fterm, tterm, rterm] = args.as_slice() else {
@@ -529,10 +546,16 @@ fn decode_answer(
     // 2. Case predicates become WHERE conjuncts.
     let mut case_preds: Vec<Expr> = Vec::new();
     for atom in &ans.delta {
-        let Term::Compound(f, args) = atom else { continue };
+        let Term::Compound(f, args) = atom else {
+            continue;
+        };
         match f.as_str() {
             "eqc" | "neqc" => {
-                let op = if f.as_str() == "eqc" { BinOp::Eq } else { BinOp::Neq };
+                let op = if f.as_str() == "eqc" {
+                    BinOp::Eq
+                } else {
+                    BinOp::Neq
+                };
                 let l = term_to_expr(&args[0], &var_columns)?;
                 let r = term_to_expr(&args[1], &var_columns)?;
                 case_preds.push(Expr::bin(l, op, r));
@@ -563,10 +586,12 @@ fn decode_answer(
     // 4. SELECT list from the output variables.
     let mut items = Vec::new();
     for (j, item) in original.items.iter().enumerate() {
-        let SelectItem::Expr { alias, .. } = item else { unreachable!() };
-        let var_idx = *names.get(&out_vars[j]).ok_or_else(|| {
-            MediationError::Decode(format!("missing output var {}", out_vars[j]))
-        })?;
+        let SelectItem::Expr { alias, .. } = item else {
+            unreachable!()
+        };
+        let var_idx = *names
+            .get(&out_vars[j])
+            .ok_or_else(|| MediationError::Decode(format!("missing output var {}", out_vars[j])))?;
         let term = &ans.bindings[var_idx as usize];
         items.push(SelectItem::Expr {
             expr: term_to_expr(term, &var_columns)?,
@@ -587,14 +612,15 @@ fn decode_answer(
         where_clause: Expr::conjoin(preds),
         ..Default::default()
     };
-    Ok(BranchReport { assumptions, residuals, select })
+    Ok(BranchReport {
+        assumptions,
+        residuals,
+        select,
+    })
 }
 
 /// Convert a logic term back into a SQL expression.
-fn term_to_expr(
-    t: &Term,
-    var_columns: &BTreeMap<u32, ColumnRef>,
-) -> Result<Expr, MediationError> {
+fn term_to_expr(t: &Term, var_columns: &BTreeMap<u32, ColumnRef>) -> Result<Expr, MediationError> {
     Ok(match t {
         Term::Int(i) => Expr::Int(*i),
         Term::Float(f) => Expr::Float(f.0),
@@ -661,9 +687,9 @@ fn simplify_conjuncts(preds: Vec<Expr>) -> Vec<Expr> {
         }
         if let Expr::Bin(l, BinOp::Neq, r) = &p {
             if is_const(r) {
-                let implied = equalities.iter().any(|(el, er)| {
-                    el == l.as_ref() && er != r.as_ref() && is_const(er)
-                });
+                let implied = equalities
+                    .iter()
+                    .any(|(el, er)| el == l.as_ref() && er != r.as_ref() && is_const(er));
                 if implied {
                     continue;
                 }
@@ -675,5 +701,8 @@ fn simplify_conjuncts(preds: Vec<Expr>) -> Vec<Expr> {
 }
 
 fn is_const(e: &Expr) -> bool {
-    matches!(e, Expr::Int(_) | Expr::Float(_) | Expr::Str(_) | Expr::Bool(_))
+    matches!(
+        e,
+        Expr::Int(_) | Expr::Float(_) | Expr::Str(_) | Expr::Bool(_)
+    )
 }

@@ -25,7 +25,10 @@ use coin_rel::Value;
 pub enum ModelError {
     DuplicateType(String),
     UnknownType(String),
-    UnknownModifier { semantic_type: String, modifier: String },
+    UnknownModifier {
+        semantic_type: String,
+        modifier: String,
+    },
     DuplicateContext(String),
     UnknownContext(String),
     DuplicateElevation(String),
@@ -39,8 +42,14 @@ impl std::fmt::Display for ModelError {
         match self {
             ModelError::DuplicateType(t) => write!(f, "semantic type {t} already defined"),
             ModelError::UnknownType(t) => write!(f, "unknown semantic type {t}"),
-            ModelError::UnknownModifier { semantic_type, modifier } => {
-                write!(f, "semantic type {semantic_type} has no modifier {modifier}")
+            ModelError::UnknownModifier {
+                semantic_type,
+                modifier,
+            } => {
+                write!(
+                    f,
+                    "semantic type {semantic_type} has no modifier {modifier}"
+                )
             }
             ModelError::DuplicateContext(c) => write!(f, "context {c} already defined"),
             ModelError::UnknownContext(c) => write!(f, "unknown context {c}"),
@@ -115,7 +124,9 @@ impl DomainModel {
     }
 
     pub fn get(&self, name: &str) -> Result<&SemanticType, ModelError> {
-        self.types.get(name).ok_or_else(|| ModelError::UnknownType(name.to_owned()))
+        self.types
+            .get(name)
+            .ok_or_else(|| ModelError::UnknownType(name.to_owned()))
     }
 
     pub fn contains(&self, name: &str) -> bool {
@@ -166,7 +177,10 @@ pub enum ModifierSpec {
     FromAttribute(String),
     /// Data-dependent rules: "scale-factor is 1000 when currency = 'JPY',
     /// else 1". Cases are tested in order; `default` applies when none do.
-    Conditional { cases: Vec<CondCase>, default: Box<ModifierSpec> },
+    Conditional {
+        cases: Vec<CondCase>,
+        default: Box<ModifierSpec>,
+    },
 }
 
 /// One conditional case: `if attribute = value then spec`.
@@ -206,10 +220,7 @@ impl ModifierSpec {
     /// A flat multi-case conditional: `(attribute, equals, then)` triples
     /// tried in order, with a default. Cases and default must be leaves
     /// (constants or attribute references) — conditionals do not nest.
-    pub fn cases(
-        cases: Vec<(&str, Value, ModifierSpec)>,
-        default: ModifierSpec,
-    ) -> ModifierSpec {
+    pub fn cases(cases: Vec<(&str, Value, ModifierSpec)>, default: ModifierSpec) -> ModifierSpec {
         ModifierSpec::Conditional {
             cases: cases
                 .into_iter()
@@ -248,7 +259,10 @@ pub struct ContextTheory {
 
 impl ContextTheory {
     pub fn new(name: &str) -> ContextTheory {
-        ContextTheory { name: name.to_owned(), assignments: BTreeMap::new() }
+        ContextTheory {
+            name: name.to_owned(),
+            assignments: BTreeMap::new(),
+        }
     }
 
     /// Assign a modifier value for a semantic type in this context.
@@ -269,7 +283,10 @@ impl ContextTheory {
 
     /// Total number of axioms in this theory (EX-SCALE metric).
     pub fn axiom_count(&self) -> usize {
-        self.assignments.values().map(ModifierSpec::axiom_count).sum()
+        self.assignments
+            .values()
+            .map(ModifierSpec::axiom_count)
+            .sum()
     }
 
     /// Validate against a domain model: every assignment must reference a
@@ -323,7 +340,8 @@ impl Elevation {
 
     /// Elevate a column to a semantic type.
     pub fn column(mut self, column: &str, semantic_type: &str) -> Self {
-        self.columns.insert(column.to_owned(), semantic_type.to_owned());
+        self.columns
+            .insert(column.to_owned(), semantic_type.to_owned());
         self
     }
 
@@ -428,7 +446,8 @@ impl ConversionRegistry {
 pub fn figure2_domain() -> (DomainModel, ConversionRegistry) {
     let mut dm = DomainModel::new();
     dm.add_type("companyName", &[]).unwrap();
-    dm.add_type("companyFinancials", &["scaleFactor", "currency"]).unwrap();
+    dm.add_type("companyFinancials", &["scaleFactor", "currency"])
+        .unwrap();
     dm.add_type("currencyType", &[]).unwrap();
     dm.add_type("exchangeRate", &[]).unwrap();
     let mut conv = ConversionRegistry::new();
@@ -464,15 +483,22 @@ mod tests {
     fn subtype_inherits_modifiers() {
         let mut dm = DomainModel::new();
         dm.add_type("moneyAmount", &["currency"]).unwrap();
-        dm.add_subtype("stockPrice", &["lotSize"], Some("moneyAmount")).unwrap();
-        assert_eq!(dm.modifiers_of("stockPrice").unwrap(), vec!["currency", "lotSize"]);
+        dm.add_subtype("stockPrice", &["lotSize"], Some("moneyAmount"))
+            .unwrap();
+        assert_eq!(
+            dm.modifiers_of("stockPrice").unwrap(),
+            vec!["currency", "lotSize"]
+        );
     }
 
     #[test]
     fn duplicate_type_rejected() {
         let mut dm = DomainModel::new();
         dm.add_type("t", &[]).unwrap();
-        assert_eq!(dm.add_type("t", &[]), Err(ModelError::DuplicateType("t".into())));
+        assert_eq!(
+            dm.add_type("t", &[]),
+            Err(ModelError::DuplicateType("t".into()))
+        );
     }
 
     #[test]
@@ -551,7 +577,10 @@ mod tests {
     fn conversion_registry() {
         let (_, conv) = figure2_domain();
         assert_eq!(conv.get("scaleFactor").unwrap(), &Conversion::Ratio);
-        assert!(matches!(conv.get("currency").unwrap(), Conversion::Lookup { .. }));
+        assert!(matches!(
+            conv.get("currency").unwrap(),
+            Conversion::Lookup { .. }
+        ));
         assert!(conv.get("nope").is_err());
     }
 }

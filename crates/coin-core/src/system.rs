@@ -15,8 +15,8 @@ use coin_sql::{ColumnRef, Expr, OrderItem, Query, Select, SelectItem, TableRef};
 
 use crate::mediate::{Mediated, MediationError, Mediator};
 use crate::model::{
-    ContextTheory, Conversion, ConversionRegistry, DomainModel, Elevation,
-    ElevationRegistry, ModelError,
+    ContextTheory, Conversion, ConversionRegistry, DomainModel, Elevation, ElevationRegistry,
+    ModelError,
 };
 
 /// Unified error type for the system façade.
@@ -163,12 +163,24 @@ impl CoinSystem {
     /// — the scalability metric (EX-SCALE): grows O(n) in the number of
     /// sources, vs O(n²) for pairwise a-priori integration.
     pub fn axiom_count(&self) -> usize {
-        self.contexts.values().map(ContextTheory::axiom_count).sum::<usize>()
-            + self.elevations.iter().map(Elevation::axiom_count).sum::<usize>()
+        self.contexts
+            .values()
+            .map(ContextTheory::axiom_count)
+            .sum::<usize>()
+            + self
+                .elevations
+                .iter()
+                .map(Elevation::axiom_count)
+                .sum::<usize>()
     }
 
     fn mediator(&self) -> Mediator<'_> {
-        Mediator::new(&self.domain, &self.conversions, &self.contexts, &self.elevations)
+        Mediator::new(
+            &self.domain,
+            &self.conversions,
+            &self.contexts,
+            &self.elevations,
+        )
     }
 
     /// Mediate SQL posed in `receiver` context without executing it.
@@ -180,7 +192,9 @@ impl CoinSystem {
             ));
         };
         let (core, _outer) = split_outer(&s, self.dictionary())?;
-        Ok(self.mediator().mediate_select(&core, receiver, self.dictionary())?)
+        Ok(self
+            .mediator()
+            .mediate_select(&core, receiver, self.dictionary())?)
     }
 
     /// The full pipeline: mediate, plan, execute, and (if the receiver's
@@ -194,7 +208,9 @@ impl CoinSystem {
             ));
         };
         let (core, outer) = split_outer(&s, self.dictionary())?;
-        let mediated = self.mediator().mediate_select(&core, receiver, self.dictionary())?;
+        let mediated = self
+            .mediator()
+            .mediate_select(&core, receiver, self.dictionary())?;
         let (table, stats) = self.planner.execute_query(&mediated.query)?;
         let table = match outer {
             None => table,
@@ -209,15 +225,16 @@ impl CoinSystem {
                 coin_rel::execute_select(&outer, &catalog)?
             }
         };
-        Ok(MediatedAnswer { table, mediated, stats })
+        Ok(MediatedAnswer {
+            table,
+            mediated,
+            stats,
+        })
     }
 
     /// Execute without mediation (the naive baseline of §3 that returns the
     /// "incorrect" answer).
-    pub fn query_naive(
-        &self,
-        sql: &str,
-    ) -> Result<(Table, coin_planner::ExecStats), CoinError> {
+    pub fn query_naive(&self, sql: &str) -> Result<(Table, coin_planner::ExecStats), CoinError> {
         Ok(self.planner.run_sql(sql)?)
     }
 }
@@ -314,19 +331,29 @@ fn split_outer(
                         Expr::Column(c) => Some(c.column.clone()),
                         _ => None,
                     });
-                    SelectItem::Expr { expr: rename_columns(expr, &rename), alias }
+                    SelectItem::Expr {
+                        expr: rename_columns(expr, &rename),
+                        alias,
+                    }
                 }
                 other => other.clone(),
             })
             .collect(),
         from: vec![TableRef::new("mediated")],
         where_clause: None,
-        group_by: s.group_by.iter().map(|g| rename_columns(g, &rename)).collect(),
+        group_by: s
+            .group_by
+            .iter()
+            .map(|g| rename_columns(g, &rename))
+            .collect(),
         having: s.having.as_ref().map(|h| rename_columns(h, &rename)),
         order_by: s
             .order_by
             .iter()
-            .map(|o| OrderItem { expr: rename_columns(&o.expr, &rename), desc: o.desc })
+            .map(|o| OrderItem {
+                expr: rename_columns(&o.expr, &rename),
+                desc: o.desc,
+            })
             .collect(),
         limit: s.limit,
     };
@@ -347,18 +374,31 @@ fn rename_columns(e: &Expr, map: &BTreeMap<ColumnRef, ColumnRef>) -> Expr {
             f.clone(),
             args.iter().map(|a| rename_columns(a, map)).collect(),
         ),
-        Expr::Between { expr, low, high, negated } => Expr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
             expr: Box::new(rename_columns(expr, map)),
             low: Box::new(rename_columns(low, map)),
             high: Box::new(rename_columns(high, map)),
             negated: *negated,
         },
-        Expr::InList { expr, list, negated } => Expr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(rename_columns(expr, map)),
             list: list.iter().map(|a| rename_columns(a, map)).collect(),
             negated: *negated,
         },
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(rename_columns(expr, map)),
             pattern: pattern.clone(),
             negated: *negated,
@@ -367,13 +407,19 @@ fn rename_columns(e: &Expr, map: &BTreeMap<ColumnRef, ColumnRef>) -> Expr {
             expr: Box::new(rename_columns(expr, map)),
             negated: *negated,
         },
-        Expr::Case { operand, branches, else_branch } => Expr::Case {
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => Expr::Case {
             operand: operand.as_ref().map(|o| Box::new(rename_columns(o, map))),
             branches: branches
                 .iter()
                 .map(|(c, v)| (rename_columns(c, map), rename_columns(v, map)))
                 .collect(),
-            else_branch: else_branch.as_ref().map(|o| Box::new(rename_columns(o, map))),
+            else_branch: else_branch
+                .as_ref()
+                .map(|o| Box::new(rename_columns(o, map))),
         },
         leaf => leaf.clone(),
     }

@@ -14,7 +14,10 @@ const Q1: &str = "SELECT rl.cname, rl.revenue FROM r1 rl, r2 \
 fn naive_answer_is_empty() {
     let sys = figure2_system();
     let (t, _) = sys.query_naive(Q1).unwrap();
-    assert!(t.rows.is_empty(), "paper §3: the unmediated answer is empty");
+    assert!(
+        t.rows.is_empty(),
+        "paper §3: the unmediated answer is empty"
+    );
 }
 
 #[test]
@@ -62,8 +65,14 @@ fn usd_branch_has_no_spurious_conversion() {
         .find(|b| b.select.to_string().contains("rl.currency = 'USD'"))
         .expect("USD branch present");
     let printed = usd_branch.select.to_string();
-    assert!(!printed.contains("r3"), "no rate join in the identity case: {printed}");
-    assert!(!printed.contains("* 1000"), "no scaling in the identity case: {printed}");
+    assert!(
+        !printed.contains("r3"),
+        "no rate join in the identity case: {printed}"
+    );
+    assert!(
+        !printed.contains("* 1000"),
+        "no scaling in the identity case: {printed}"
+    );
     // Implied disequality was simplified away (paper branch 1 shows only
     // currency = 'USD').
     assert!(
@@ -143,7 +152,9 @@ fn selecting_r1_revenue_alone_yields_three_way_union() {
         .mediate("SELECT r1.cname, r1.revenue FROM r1", "c_recv")
         .unwrap();
     assert_eq!(mediated.query.branches().len(), 3);
-    let answer = sys.query("SELECT r1.cname, r1.revenue FROM r1", "c_recv").unwrap();
+    let answer = sys
+        .query("SELECT r1.cname, r1.revenue FROM r1", "c_recv")
+        .unwrap();
     // IBM 100M USD (identity) + NTT 9.6M (converted).
     assert_eq!(answer.table.rows.len(), 2);
     let mut values: Vec<(String, f64)> = answer
@@ -173,8 +184,16 @@ fn receiver_wanting_jpy_converts_the_other_way() {
     let mut sys = figure2_system();
     sys.add_context(
         coin_core::ContextTheory::new("c_recv_jpy")
-            .set("companyFinancials", "currency", coin_core::ModifierSpec::constant("JPY"))
-            .set("companyFinancials", "scaleFactor", coin_core::ModifierSpec::constant(1i64)),
+            .set(
+                "companyFinancials",
+                "currency",
+                coin_core::ModifierSpec::constant("JPY"),
+            )
+            .set(
+                "companyFinancials",
+                "scaleFactor",
+                coin_core::ModifierSpec::constant(1i64),
+            ),
     )
     .unwrap();
     let answer = sys
@@ -246,6 +265,10 @@ fn disjunction_is_rejected_with_clear_error() {
 fn statements_counted() {
     let sys = figure2_system();
     let mediated = sys.mediate(Q1, "c_recv").unwrap();
-    assert!(mediated.statements > 5, "program statements: {}", mediated.statements);
+    assert!(
+        mediated.statements > 5,
+        "program statements: {}",
+        mediated.statements
+    );
     assert!(mediated.program_text.contains("mod_val"));
 }

@@ -3,7 +3,7 @@
 
 use coin_core::fixtures::figure2_system;
 use coin_core::system::CoinSystem;
-use coin_core::{Conversion, ContextTheory, Elevation, ModifierSpec};
+use coin_core::{ContextTheory, Conversion, Elevation, ModifierSpec};
 use coin_rel::{Catalog, ColumnType, Schema, Table, Value};
 use coin_wrapper::RelationalSource;
 
@@ -48,8 +48,14 @@ fn between_desugars_and_converts() {
         .unwrap();
     let sql = mediated.query.to_string();
     // The JPY branch must apply the conversion to both bound comparisons.
-    assert!(sql.contains("r1.revenue * 1000 * r3.rate >= 1000000"), "{sql}");
-    assert!(sql.contains("r1.revenue * 1000 * r3.rate <= 200000000"), "{sql}");
+    assert!(
+        sql.contains("r1.revenue * 1000 * r3.rate >= 1000000"),
+        "{sql}"
+    );
+    assert!(
+        sql.contains("r1.revenue * 1000 * r3.rate <= 200000000"),
+        "{sql}"
+    );
 
     let answer = sys
         .query(
@@ -104,17 +110,25 @@ fn missing_conversion_function_is_model_error() {
         Schema::of(&[("pid", ColumnType::Int), ("w", ColumnType::Int)]),
         vec![vec![Value::Int(1), Value::Int(10)]],
     );
-    sys.add_source(RelationalSource::new("db", Catalog::new().with_table(t))).unwrap();
-    sys.add_context(
-        ContextTheory::new("c_src").set("weight", "unit", ModifierSpec::constant("kg")),
-    )
+    sys.add_source(RelationalSource::new("db", Catalog::new().with_table(t)))
+        .unwrap();
+    sys.add_context(ContextTheory::new("c_src").set(
+        "weight",
+        "unit",
+        ModifierSpec::constant("kg"),
+    ))
     .unwrap();
-    sys.add_context(
-        ContextTheory::new("c_recv").set("weight", "unit", ModifierSpec::constant("lb")),
-    )
+    sys.add_context(ContextTheory::new("c_recv").set(
+        "weight",
+        "unit",
+        ModifierSpec::constant("lb"),
+    ))
     .unwrap();
-    sys.add_elevation(Elevation::new("parts", "c_src").column("w", "weight")).unwrap();
-    let err = sys.mediate("SELECT p.w FROM parts p", "c_recv").unwrap_err();
+    sys.add_elevation(Elevation::new("parts", "c_src").column("w", "weight"))
+        .unwrap();
+    let err = sys
+        .mediate("SELECT p.w FROM parts p", "c_recv")
+        .unwrap_err();
     assert!(err.to_string().contains("conversion"), "{err}");
 }
 
@@ -131,19 +145,24 @@ fn ratio_conversion_between_constant_units() {
         Schema::of(&[("pid", ColumnType::Int), ("w", ColumnType::Int)]),
         vec![vec![Value::Int(1), Value::Int(10)]],
     );
-    sys.add_source(RelationalSource::new("db", Catalog::new().with_table(t))).unwrap();
+    sys.add_source(RelationalSource::new("db", Catalog::new().with_table(t)))
+        .unwrap();
     // Source reports in grams (factor 1), receiver wants kilograms
     // (factor 1000): value × 1/1000.
-    sys.add_context(
-        ContextTheory::new("c_src").set("weight", "unitFactor", ModifierSpec::constant(1i64)),
-    )
+    sys.add_context(ContextTheory::new("c_src").set(
+        "weight",
+        "unitFactor",
+        ModifierSpec::constant(1i64),
+    ))
     .unwrap();
-    sys.add_context(
-        ContextTheory::new("c_recv")
-            .set("weight", "unitFactor", ModifierSpec::constant(1000i64)),
-    )
+    sys.add_context(ContextTheory::new("c_recv").set(
+        "weight",
+        "unitFactor",
+        ModifierSpec::constant(1000i64),
+    ))
     .unwrap();
-    sys.add_elevation(Elevation::new("parts", "c_src").column("w", "weight")).unwrap();
+    sys.add_elevation(Elevation::new("parts", "c_src").column("w", "weight"))
+        .unwrap();
     let answer = sys.query("SELECT p.w FROM parts p", "c_recv").unwrap();
     assert_eq!(answer.table.rows[0][0], Value::Float(0.01));
 }
@@ -166,9 +185,7 @@ fn projection_of_plain_columns_is_identity_single_branch() {
 #[test]
 fn constants_in_select_list() {
     let sys = figure2_system();
-    let answer = sys
-        .query("SELECT r2.cname, 42 FROM r2", "c_recv")
-        .unwrap();
+    let answer = sys.query("SELECT r2.cname, 42 FROM r2", "c_recv").unwrap();
     assert_eq!(answer.table.rows.len(), 2);
     assert!(answer.table.rows.iter().all(|r| r[1] == Value::Int(42)));
 }
@@ -223,10 +240,7 @@ fn negated_between_rejected() {
 fn like_in_where_rejected_with_clear_error() {
     let sys = figure2_system();
     let err = sys
-        .mediate(
-            "SELECT r1.cname FROM r1 WHERE r1.cname LIKE 'N%'",
-            "c_recv",
-        )
+        .mediate("SELECT r1.cname FROM r1 WHERE r1.cname LIKE 'N%'", "c_recv")
         .unwrap_err();
     assert!(err.to_string().contains("LIKE"), "{err}");
 }

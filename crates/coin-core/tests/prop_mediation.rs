@@ -21,7 +21,12 @@ fn context_of(i: usize) -> (&'static str, i64) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        // CI determinism: never read or write regression files.
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
 
     /// Selection with a threshold over one synthetic source, any of the
     /// first six source contexts.

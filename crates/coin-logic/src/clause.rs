@@ -61,7 +61,11 @@ pub struct Clause {
 impl Clause {
     pub fn fact(head: Term) -> Clause {
         let nvars = head.max_var().map_or(0, |m| m + 1);
-        Clause { head, body: Vec::new(), nvars }
+        Clause {
+            head,
+            body: Vec::new(),
+            nvars,
+        }
     }
 
     pub fn rule(head: Term, body: Vec<Literal>) -> Clause {

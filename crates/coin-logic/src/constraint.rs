@@ -126,7 +126,10 @@ pub fn ground_cmp(a: &Term, b: &Term) -> Option<std::cmp::Ordering> {
 
 /// Is the term a data constant (not symbolic, not a variable)?
 pub fn is_data_constant(t: &Term) -> bool {
-    matches!(t, Term::Atom(_) | Term::Int(_) | Term::Float(_) | Term::Str(_))
+    matches!(
+        t,
+        Term::Atom(_) | Term::Int(_) | Term::Float(_) | Term::Str(_)
+    )
 }
 
 impl ConstraintStore {
@@ -164,13 +167,7 @@ impl ConstraintStore {
     }
 
     /// Try to add `lhs op rhs` under `bindings`.
-    pub fn add(
-        &mut self,
-        op: CmpOp,
-        lhs: &Term,
-        rhs: &Term,
-        bindings: &Bindings,
-    ) -> AddOutcome {
+    pub fn add(&mut self, op: CmpOp, lhs: &Term, rhs: &Term, bindings: &Bindings) -> AddOutcome {
         let l = bindings.resolve(lhs);
         let r = bindings.resolve(rhs);
         // Ground decision.
@@ -248,12 +245,18 @@ fn direct_conflict(a: CmpOp, b: CmpOp) -> bool {
     use CmpOp::*;
     matches!(
         (a, b),
-        (Lt, Gt) | (Gt, Lt)
-            | (Lt, Ge) | (Ge, Lt)
-            | (Le, Gt) | (Gt, Le)
-            | (Lt, Eq) | (Eq, Lt)
-            | (Gt, Eq) | (Eq, Gt)
-            | (Neq, Eq) | (Eq, Neq)
+        (Lt, Gt)
+            | (Gt, Lt)
+            | (Lt, Ge)
+            | (Ge, Lt)
+            | (Le, Gt)
+            | (Gt, Le)
+            | (Lt, Eq)
+            | (Eq, Lt)
+            | (Gt, Eq)
+            | (Eq, Gt)
+            | (Neq, Eq)
+            | (Eq, Neq)
     )
 }
 

@@ -223,8 +223,14 @@ mod tests {
 
     #[test]
     fn multiply_by_one_simplifies() {
-        assert_eq!(eval("col(t1, revenue) * 1").term().to_string(), "col(t1, revenue)");
-        assert_eq!(eval("1 * col(t1, revenue)").term().to_string(), "col(t1, revenue)");
+        assert_eq!(
+            eval("col(t1, revenue) * 1").term().to_string(),
+            "col(t1, revenue)"
+        );
+        assert_eq!(
+            eval("1 * col(t1, revenue)").term().to_string(),
+            "col(t1, revenue)"
+        );
     }
 
     #[test]

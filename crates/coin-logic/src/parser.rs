@@ -37,7 +37,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -78,11 +82,20 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { message: msg.into(), line: self.line, col: self.col }
+        ParseError {
+            message: msg.into(),
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -126,7 +139,9 @@ impl<'a> Lexer<'a> {
     fn next_tok(&mut self) -> Result<Option<(Tok, u32, u32)>, ParseError> {
         self.skip_ws();
         let (line, col) = (self.line, self.col);
-        let Some(c) = self.peek() else { return Ok(None) };
+        let Some(c) = self.peek() else {
+            return Ok(None);
+        };
         let tok = match c {
             b'(' => {
                 self.bump();
@@ -224,11 +239,7 @@ impl<'a> Lexer<'a> {
                             Some(b'\\') => s.push('\\'),
                             Some(b'n') => s.push('\n'),
                             Some(b't') => s.push('\t'),
-                            other => {
-                                return Err(self.err(format!(
-                                    "bad escape in atom: {other:?}"
-                                )))
-                            }
+                            other => return Err(self.err(format!("bad escape in atom: {other:?}"))),
                         },
                         Some(b'\'') => break,
                         Some(c) => s.push(c as char),
@@ -248,9 +259,7 @@ impl<'a> Lexer<'a> {
                             Some(b'n') => s.push('\n'),
                             Some(b't') => s.push('\t'),
                             other => {
-                                return Err(self.err(format!(
-                                    "bad escape in string: {other:?}"
-                                )))
+                                return Err(self.err(format!("bad escape in string: {other:?}")))
                             }
                         },
                         Some(b'"') => break,
@@ -265,8 +274,7 @@ impl<'a> Lexer<'a> {
                     self.bump();
                 }
                 let mut is_float = false;
-                if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit())
-                {
+                if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
                     is_float = true;
                     self.bump();
                     while self.peek().is_some_and(|c| c.is_ascii_digit()) {
@@ -358,7 +366,11 @@ impl Parser {
             .map(|&(_, l, c)| (l, c))
             .or_else(|| self.toks.last().map(|&(_, l, c)| (l, c)))
             .unwrap_or((1, 1));
-        ParseError { message: msg.into(), line, col }
+        ParseError {
+            message: msg.into(),
+            line,
+            col,
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -551,7 +563,12 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, u32, u32)>, ParseError> {
 /// Parse a whole program (clauses and directives).
 pub fn parse_program(src: &str) -> Result<Vec<Item>, ParseError> {
     let toks = tokenize(src)?;
-    let mut p = Parser { toks, pos: 0, vars: HashMap::new(), next_var: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        vars: HashMap::new(),
+        next_var: 0,
+    };
     let mut items = Vec::new();
     while p.peek().is_some() {
         items.push(p.parse_item()?);
@@ -559,11 +576,21 @@ pub fn parse_program(src: &str) -> Result<Vec<Item>, ParseError> {
     Ok(items)
 }
 
+/// A parse result carrying the variable bookkeeping: the parsed item,
+/// the number of distinct variables, and the name→index map for the
+/// named variables.
+pub type ParsedWithVars<T> = (T, u32, HashMap<String, u32>);
+
 /// Parse a single term (no trailing dot). Returns the term, the number of
 /// distinct variables, and the name→index map for the named variables.
-pub fn parse_term_str(src: &str) -> Result<(Term, u32, HashMap<String, u32>), ParseError> {
+pub fn parse_term_str(src: &str) -> Result<ParsedWithVars<Term>, ParseError> {
     let toks = tokenize(src)?;
-    let mut p = Parser { toks, pos: 0, vars: HashMap::new(), next_var: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        vars: HashMap::new(),
+        next_var: 0,
+    };
     let t = p.parse_term(1200)?;
     if p.peek().is_some() {
         return Err(p.err_at("trailing tokens after term"));
@@ -572,9 +599,14 @@ pub fn parse_term_str(src: &str) -> Result<(Term, u32, HashMap<String, u32>), Pa
 }
 
 /// Parse a comma-separated goal list (no trailing dot), e.g. a query body.
-pub fn parse_goals(src: &str) -> Result<(Vec<Literal>, u32, HashMap<String, u32>), ParseError> {
+pub fn parse_goals(src: &str) -> Result<ParsedWithVars<Vec<Literal>>, ParseError> {
     let toks = tokenize(src)?;
-    let mut p = Parser { toks, pos: 0, vars: HashMap::new(), next_var: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        vars: HashMap::new(),
+        next_var: 0,
+    };
     let body = p.parse_body()?;
     if p.peek().is_some() {
         return Err(p.err_at("trailing tokens after goals"));
@@ -611,7 +643,9 @@ mod tests {
     fn anonymous_vars_are_fresh() {
         let c = one_clause("p(_, _).");
         assert_eq!(c.nvars, 2);
-        let Term::Compound(_, args) = &c.head else { panic!() };
+        let Term::Compound(_, args) = &c.head else {
+            panic!()
+        };
         assert_ne!(args[0], args[1]);
     }
 
@@ -619,7 +653,9 @@ mod tests {
     fn named_vars_are_shared() {
         let c = one_clause("p(X, X).");
         assert_eq!(c.nvars, 1);
-        let Term::Compound(_, args) = &c.head else { panic!() };
+        let Term::Compound(_, args) = &c.head else {
+            panic!()
+        };
         assert_eq!(args[0], args[1]);
     }
 
@@ -676,7 +712,9 @@ mod tests {
     #[test]
     fn strings_vs_atoms() {
         let c = one_clause("p(\"NTT\", ntt).");
-        let Term::Compound(_, args) = &c.head else { panic!() };
+        let Term::Compound(_, args) = &c.head else {
+            panic!()
+        };
         assert!(matches!(args[0], Term::Str(_)));
         assert!(matches!(args[1], Term::Atom(_)));
     }
@@ -709,7 +747,9 @@ mod tests {
     #[test]
     fn escaped_quotes() {
         let c = one_clause("p('it\\'s', \"a \\\"b\\\"\").");
-        let Term::Compound(_, args) = &c.head else { panic!() };
+        let Term::Compound(_, args) = &c.head else {
+            panic!()
+        };
         assert_eq!(args[0], Term::atom("it's"));
         assert_eq!(args[1], Term::string("a \"b\""));
     }

@@ -167,9 +167,7 @@ fn parse_functor_spec(t: &Term) -> Option<(&'static str, usize)> {
     match t {
         Term::Compound(slash, args) if slash.as_str() == "/" && args.len() == 2 => {
             match (&args[0], &args[1]) {
-                (Term::Atom(name), Term::Int(a)) if *a >= 0 => {
-                    Some((name.as_str(), *a as usize))
-                }
+                (Term::Atom(name), Term::Int(a)) if *a >= 0 => Some((name.as_str(), *a as usize)),
                 _ => None,
             }
         }

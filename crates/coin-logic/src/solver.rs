@@ -43,7 +43,11 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        SolverConfig { max_depth: 512, max_answers: 10_000, max_abductions: 64 }
+        SolverConfig {
+            max_depth: 512,
+            max_answers: 10_000,
+            max_abductions: 64,
+        }
     }
 }
 
@@ -108,9 +112,17 @@ impl Answer {
         let constraints = self
             .constraints
             .iter()
-            .map(|c| Constraint { op: c.op, lhs: rename(&c.lhs), rhs: rename(&c.rhs) })
+            .map(|c| Constraint {
+                op: c.op,
+                lhs: rename(&c.lhs),
+                rhs: rename(&c.rhs),
+            })
             .collect();
-        Answer { bindings, delta, constraints }
+        Answer {
+            bindings,
+            delta,
+            constraints,
+        }
     }
 }
 
@@ -173,11 +185,19 @@ pub struct Solver<'p> {
 
 impl<'p> Solver<'p> {
     pub fn new(program: &'p Program) -> Self {
-        Solver { program, config: SolverConfig::default(), truncated: Cell::new(false) }
+        Solver {
+            program,
+            config: SolverConfig::default(),
+            truncated: Cell::new(false),
+        }
     }
 
     pub fn with_config(program: &'p Program, config: SolverConfig) -> Self {
-        Solver { program, config, truncated: Cell::new(false) }
+        Solver {
+            program,
+            config,
+            truncated: Cell::new(false),
+        }
     }
 
     /// Did any branch hit the depth or abduction limit?
@@ -193,25 +213,31 @@ impl<'p> Solver<'p> {
         let mut seen: Vec<Answer> = Vec::new();
         let mut out: Vec<Answer> = Vec::new();
         let max = self.config.max_answers;
-        self.solve(goals, &mut state, 0, Mode { allow_abduce: true }, &mut |st| {
-            let ans = Answer {
-                bindings: (0..nvars)
-                    .map(|i| st.bindings.resolve(&Term::var(i)))
-                    .collect(),
-                delta: st.delta.iter().map(|d| st.bindings.resolve(d)).collect(),
-                constraints: st.constraints.resolved(&st.bindings),
-            };
-            let canon = ans.canonical();
-            if !seen.contains(&canon) {
-                seen.push(canon);
-                out.push(ans);
-            }
-            if out.len() >= max {
-                Ctl::Stop
-            } else {
-                Ctl::Continue
-            }
-        });
+        self.solve(
+            goals,
+            &mut state,
+            0,
+            Mode { allow_abduce: true },
+            &mut |st| {
+                let ans = Answer {
+                    bindings: (0..nvars)
+                        .map(|i| st.bindings.resolve(&Term::var(i)))
+                        .collect(),
+                    delta: st.delta.iter().map(|d| st.bindings.resolve(d)).collect(),
+                    constraints: st.constraints.resolved(&st.bindings),
+                };
+                let canon = ans.canonical();
+                if !seen.contains(&canon) {
+                    seen.push(canon);
+                    out.push(ans);
+                }
+                if out.len() >= max {
+                    Ctl::Stop
+                } else {
+                    Ctl::Continue
+                }
+            },
+        );
         out
     }
 
@@ -220,16 +246,22 @@ impl<'p> Solver<'p> {
         let mut state = State::default();
         state.bindings.fresh(nvars);
         let mut out = None;
-        self.solve(goals, &mut state, 0, Mode { allow_abduce: true }, &mut |st| {
-            out = Some(Answer {
-                bindings: (0..nvars)
-                    .map(|i| st.bindings.resolve(&Term::var(i)))
-                    .collect(),
-                delta: st.delta.iter().map(|d| st.bindings.resolve(d)).collect(),
-                constraints: st.constraints.resolved(&st.bindings),
-            });
-            Ctl::Stop
-        });
+        self.solve(
+            goals,
+            &mut state,
+            0,
+            Mode { allow_abduce: true },
+            &mut |st| {
+                out = Some(Answer {
+                    bindings: (0..nvars)
+                        .map(|i| st.bindings.resolve(&Term::var(i)))
+                        .collect(),
+                    delta: st.delta.iter().map(|d| st.bindings.resolve(d)).collect(),
+                    constraints: st.constraints.resolved(&st.bindings),
+                });
+                Ctl::Stop
+            },
+        );
         out
     }
 
@@ -294,7 +326,9 @@ impl<'p> Solver<'p> {
                     &[Literal::Pos(goal.clone())],
                     state,
                     depth + 1,
-                    Mode { allow_abduce: false },
+                    Mode {
+                        allow_abduce: false,
+                    },
                     &mut |_| {
                         found = true;
                         Ctl::Stop
@@ -386,8 +420,8 @@ impl<'p> Solver<'p> {
                 let a = state.bindings.resolve(&args[0]);
                 let b = state.bindings.resolve(&args[1]);
                 if is_data_constant(&a) && is_data_constant(&b) {
-                    let eq = crate::constraint::ground_cmp(&a, &b)
-                        == Some(std::cmp::Ordering::Equal);
+                    let eq =
+                        crate::constraint::ground_cmp(&a, &b) == Some(std::cmp::Ordering::Equal);
                     let holds = match ground {
                         GroundSemantics::Eq => eq,
                         GroundSemantics::Neq => !eq,
@@ -440,9 +474,10 @@ impl<'p> Solver<'p> {
         }
         state.delta.push(resolved);
         if self.integrity_ok(state, depth)
-            && self.solve(rest, state, depth + 1, mode, emit) == Ctl::Stop {
-                return Ctl::Stop;
-            }
+            && self.solve(rest, state, depth + 1, mode, emit) == Ctl::Stop
+        {
+            return Ctl::Stop;
+        }
         state.rollback(cp);
         Ctl::Continue
     }
@@ -457,10 +492,18 @@ impl<'p> Solver<'p> {
             let base = state.bindings.fresh(ic.nvars);
             let body: Vec<Literal> = ic.body.iter().map(|l| l.offset_vars(base)).collect();
             let mut violated = false;
-            self.solve(&body, state, depth + 1, Mode { allow_abduce: false }, &mut |_| {
-                violated = true;
-                Ctl::Stop
-            });
+            self.solve(
+                &body,
+                state,
+                depth + 1,
+                Mode {
+                    allow_abduce: false,
+                },
+                &mut |_| {
+                    violated = true;
+                    Ctl::Stop
+                },
+            );
             state.rollback(cp);
             if violated {
                 return false;
@@ -484,10 +527,9 @@ impl<'p> Solver<'p> {
         emit: &mut dyn FnMut(&mut State) -> Ctl,
     ) -> Option<Ctl> {
         let name = key.0.as_str();
-        let cont =
-            |state: &mut State, emit: &mut dyn FnMut(&mut State) -> Ctl| -> Ctl {
-                self.solve(rest, state, depth + 1, mode, emit)
-            };
+        let cont = |state: &mut State, emit: &mut dyn FnMut(&mut State) -> Ctl| -> Ctl {
+            self.solve(rest, state, depth + 1, mode, emit)
+        };
         let args = match goal {
             Term::Compound(_, a) => a.as_slice(),
             _ => &[],
@@ -775,7 +817,13 @@ mod tests {
         assert_eq!(a.len(), 2);
         let deltas: Vec<String> = a
             .iter()
-            .map(|x| x.delta.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(", "))
+            .map(|x| {
+                x.delta
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            })
             .collect();
         assert_eq!(deltas[0], "eqc(col(t1, currency), 'JPY')");
         assert_eq!(deltas[1], "neqc(col(t1, currency), 'JPY')");
@@ -803,11 +851,7 @@ mod tests {
         );
         assert_eq!(a.len(), 1);
         assert!(a[0].delta.is_empty(), "ground equality must not be abduced");
-        assert!(solve_all(
-            ":- abducible(eqc/2, eq).\n q :- eqc('USD', 'JPY').",
-            "q"
-        )
-        .is_empty());
+        assert!(solve_all(":- abducible(eqc/2, eq).\n q :- eqc('USD', 'JPY').", "q").is_empty());
     }
 
     #[test]
@@ -825,7 +869,10 @@ mod tests {
         let p = Program::from_source("loop(X) :- loop(X).").unwrap();
         let s = Solver::with_config(
             &p,
-            SolverConfig { max_depth: 50, ..SolverConfig::default() },
+            SolverConfig {
+                max_depth: 50,
+                ..SolverConfig::default()
+            },
         );
         assert!(s.query("loop(1)").unwrap().is_empty());
         assert!(s.was_truncated());
@@ -887,7 +934,10 @@ mod tests {
         let p = Program::from_source("nat(0). nat(1). nat(2). nat(3). nat(4).").unwrap();
         let s = Solver::with_config(
             &p,
-            SolverConfig { max_answers: 2, ..SolverConfig::default() },
+            SolverConfig {
+                max_answers: 2,
+                ..SolverConfig::default()
+            },
         );
         assert_eq!(s.query("nat(X)").unwrap().len(), 2);
     }

@@ -88,7 +88,10 @@ impl Term {
 
     /// Convenience: a compound term.
     pub fn compound(f: &str, args: Vec<Term>) -> Term {
-        assert!(!args.is_empty(), "compound terms need at least one argument");
+        assert!(
+            !args.is_empty(),
+            "compound terms need at least one argument"
+        );
         Term::Compound(Sym::intern(f), args)
     }
 
@@ -133,10 +136,9 @@ impl Term {
     /// Collect all variables in the term (in first-occurrence order).
     pub fn variables(&self, out: &mut Vec<Var>) {
         match self {
-            Term::Var(v)
-                if !out.contains(v) => {
-                    out.push(*v);
-                }
+            Term::Var(v) if !out.contains(v) => {
+                out.push(*v);
+            }
             Term::Compound(_, args) => {
                 for a in args {
                     a.variables(out);
@@ -218,17 +220,27 @@ fn needs_quotes(name: &str) -> bool {
     // mediation traces and the parser accepts both.
     if matches!(
         name,
-        "+" | "-" | "*" | "/" | "=" | "\\=" | "==" | "\\==" | "<" | ">" | "=<" | ">=" | "is"
-            | "dif" | "\\+"
+        "+" | "-"
+            | "*"
+            | "/"
+            | "="
+            | "\\="
+            | "=="
+            | "\\=="
+            | "<"
+            | ">"
+            | "=<"
+            | ">="
+            | "is"
+            | "dif"
+            | "\\+"
     ) {
         return false;
     }
     let mut chars = name.chars();
     match chars.next() {
         None => true,
-        Some(c) if c.is_ascii_lowercase() => {
-            !chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
-        }
+        Some(c) if c.is_ascii_lowercase() => !chars.all(|c| c.is_ascii_alphanumeric() || c == '_'),
         Some(_) => true,
     }
 }
@@ -262,7 +274,10 @@ mod tests {
     fn variables_collected_in_order() {
         let t = Term::compound(
             "f",
-            vec![Term::var(3), Term::compound("g", vec![Term::var(1), Term::var(3)])],
+            vec![
+                Term::var(3),
+                Term::compound("g", vec![Term::var(1), Term::var(3)]),
+            ],
         );
         let mut vars = Vec::new();
         t.variables(&mut vars);
@@ -286,10 +301,7 @@ mod tests {
 
     #[test]
     fn functor_of_atom_and_compound() {
-        assert_eq!(
-            Term::atom("p").functor(),
-            Some((Sym::intern("p"), 0))
-        );
+        assert_eq!(Term::atom("p").functor(), Some((Sym::intern("p"), 0)));
         assert_eq!(
             Term::compound("f", vec![Term::int(1)]).functor(),
             Some((Sym::intern("f"), 1))
@@ -299,7 +311,10 @@ mod tests {
 
     #[test]
     fn term_size() {
-        let t = Term::compound("f", vec![Term::int(1), Term::compound("g", vec![Term::int(2)])]);
+        let t = Term::compound(
+            "f",
+            vec![Term::int(1), Term::compound("g", vec![Term::int(2)])],
+        );
         assert_eq!(t.size(), 4);
     }
 }

@@ -22,6 +22,13 @@ fn arb_term() -> impl Strategy<Value = Term> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        // CI determinism: never read or write regression files.
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
+
     /// Successful unification makes both terms resolve identically.
     #[test]
     fn unify_makes_terms_equal(a in arb_term(), b in arb_term()) {
@@ -96,7 +103,12 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        // CI determinism: never read or write regression files.
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
 
     /// Solver facts: querying p(X) over n distinct facts yields n answers.
     #[test]

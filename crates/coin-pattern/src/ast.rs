@@ -25,13 +25,25 @@ pub enum Ast {
     Literal(char),
     /// `.` — any char except newline.
     Dot,
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     Concat(Vec<Ast>),
     Alternate(Vec<Ast>),
     /// Quantified sub-pattern; `lazy` flips match priority.
-    Repeat { inner: Box<Ast>, min: u32, max: Option<u32>, lazy: bool },
+    Repeat {
+        inner: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+        lazy: bool,
+    },
     /// Capturing group with 1-based index and optional name.
-    Group { index: u32, name: Option<String>, inner: Box<Ast> },
+    Group {
+        index: u32,
+        name: Option<String>,
+        inner: Box<Ast>,
+    },
     /// Non-capturing group.
     NonCapturing(Box<Ast>),
     AnchorStart,
@@ -47,7 +59,11 @@ pub struct PatternError {
 
 impl std::fmt::Display for PatternError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "pattern error at offset {}: {}", self.position, self.message)
+        write!(
+            f,
+            "pattern error at offset {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -68,7 +84,10 @@ struct Parser {
 
 impl Parser {
     fn err(&self, msg: impl Into<String>) -> PatternError {
-        PatternError { message: msg.into(), position: self.pos }
+        PatternError {
+            message: msg.into(),
+            position: self.pos,
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -156,7 +175,12 @@ impl Parser {
             return Err(self.err("cannot quantify an anchor"));
         }
         let lazy = self.eat('?');
-        Ok(Ast::Repeat { inner: Box::new(atom), min, max, lazy })
+        Ok(Ast::Repeat {
+            inner: Box::new(atom),
+            min,
+            max,
+            lazy,
+        })
     }
 
     /// Parse `{m}`, `{m,}`, `{m,n}` after the opening brace; `None` if the
@@ -246,16 +270,18 @@ impl Parser {
                 if !self.eat(')') {
                     return Err(self.err("unclosed group"));
                 }
-                Ok(Ast::Group { index, name: None, inner: Box::new(inner) })
+                Ok(Ast::Group {
+                    index,
+                    name: None,
+                    inner: Box::new(inner),
+                })
             }
             Some('[') => self.parse_class(),
             Some('.') => Ok(Ast::Dot),
             Some('^') => Ok(Ast::AnchorStart),
             Some('$') => Ok(Ast::AnchorEnd),
             Some('\\') => self.parse_escape(),
-            Some(c @ ('*' | '+' | '?')) => {
-                Err(self.err(format!("dangling quantifier {c:?}")))
-            }
+            Some(c @ ('*' | '+' | '?')) => Err(self.err(format!("dangling quantifier {c:?}"))),
             Some(')') => Err(self.err("unmatched )")),
             Some(c) => Ok(Ast::Literal(c)),
         }
@@ -307,9 +333,7 @@ impl Parser {
             'n' => Ast::Literal('\n'),
             't' => Ast::Literal('\t'),
             'r' => Ast::Literal('\r'),
-            c if c.is_ascii_alphanumeric() => {
-                return Err(self.err(format!("unknown escape \\{c}")))
-            }
+            c if c.is_ascii_alphanumeric() => return Err(self.err(format!("unknown escape \\{c}"))),
             c => Ast::Literal(c),
         })
     }
@@ -381,7 +405,11 @@ pub(crate) fn parse(src: &str) -> Result<ParsedPattern, PatternError> {
     if p.pos < p.chars.len() {
         return Err(p.err(format!("unexpected {:?}", p.chars[p.pos])));
     }
-    Ok(ParsedPattern { ast, group_count: p.next_group, group_names: p.group_names })
+    Ok(ParsedPattern {
+        ast,
+        group_count: p.next_group,
+        group_names: p.group_names,
+    })
 }
 
 #[cfg(test)]
@@ -393,7 +421,11 @@ mod tests {
         let p = parse("abc").unwrap();
         assert_eq!(
             p.ast,
-            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b'), Ast::Literal('c')])
+            Ast::Concat(vec![
+                Ast::Literal('a'),
+                Ast::Literal('b'),
+                Ast::Literal('c')
+            ])
         );
     }
 
@@ -427,15 +459,27 @@ mod tests {
     fn bounds_forms() {
         assert!(matches!(
             parse("a{3}").unwrap().ast,
-            Ast::Repeat { min: 3, max: Some(3), .. }
+            Ast::Repeat {
+                min: 3,
+                max: Some(3),
+                ..
+            }
         ));
         assert!(matches!(
             parse("a{2,}").unwrap().ast,
-            Ast::Repeat { min: 2, max: None, .. }
+            Ast::Repeat {
+                min: 2,
+                max: None,
+                ..
+            }
         ));
         assert!(matches!(
             parse("a{2,5}").unwrap().ast,
-            Ast::Repeat { min: 2, max: Some(5), .. }
+            Ast::Repeat {
+                min: 2,
+                max: Some(5),
+                ..
+            }
         ));
     }
 
@@ -450,8 +494,14 @@ mod tests {
 
     #[test]
     fn lazy_quantifiers() {
-        assert!(matches!(parse("a*?").unwrap().ast, Ast::Repeat { lazy: true, .. }));
-        assert!(matches!(parse("a+?").unwrap().ast, Ast::Repeat { lazy: true, .. }));
+        assert!(matches!(
+            parse("a*?").unwrap().ast,
+            Ast::Repeat { lazy: true, .. }
+        ));
+        assert!(matches!(
+            parse("a+?").unwrap().ast,
+            Ast::Repeat { lazy: true, .. }
+        ));
     }
 
     #[test]
@@ -472,7 +522,10 @@ mod tests {
 
     #[test]
     fn negated_class_and_literal_bracket() {
-        assert!(matches!(parse("[^a]").unwrap().ast, Ast::Class { negated: true, .. }));
+        assert!(matches!(
+            parse("[^a]").unwrap().ast,
+            Ast::Class { negated: true, .. }
+        ));
         let p = parse("[]a]").unwrap();
         match p.ast {
             Ast::Class { items, .. } => assert_eq!(items.len(), 2),
@@ -506,7 +559,13 @@ mod tests {
     fn escapes() {
         assert_eq!(parse(r"\.").unwrap().ast, Ast::Literal('.'));
         assert_eq!(parse(r"\\").unwrap().ast, Ast::Literal('\\'));
-        assert!(matches!(parse(r"\d").unwrap().ast, Ast::Class { negated: false, .. }));
-        assert!(matches!(parse(r"\W").unwrap().ast, Ast::Class { negated: true, .. }));
+        assert!(matches!(
+            parse(r"\d").unwrap().ast,
+            Ast::Class { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse(r"\W").unwrap().ast,
+            Ast::Class { negated: true, .. }
+        ));
     }
 }

@@ -98,7 +98,12 @@ impl Pattern {
 
     /// Iterate over non-overlapping matches, left to right.
     pub fn find_iter<'p, 't>(&'p self, text: &'t str) -> Matches<'p, 't> {
-        Matches { pattern: self, text, next_start: 0, done: false }
+        Matches {
+            pattern: self,
+            text,
+            next_start: 0,
+            done: false,
+        }
     }
 }
 
@@ -276,7 +281,10 @@ mod tests {
     #[test]
     fn start_of_search_not_string() {
         let p = Pattern::new("^a").unwrap();
-        assert!(p.captures_at("ba", 1).is_none(), "^ anchors to string start");
+        assert!(
+            p.captures_at("ba", 1).is_none(),
+            "^ anchors to string start"
+        );
     }
 
     #[test]

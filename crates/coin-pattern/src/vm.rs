@@ -28,7 +28,10 @@ pub(crate) enum Inst {
 pub(crate) enum CharPred {
     Literal(char),
     Dot,
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
 }
 
 impl CharPred {
@@ -95,7 +98,12 @@ fn emit(ast: &Ast, prog: &mut Vec<Inst>) {
                 prog[j] = Inst::Jmp(end);
             }
         }
-        Ast::Repeat { inner, min, max, lazy } => {
+        Ast::Repeat {
+            inner,
+            min,
+            max,
+            lazy,
+        } => {
             // Mandatory copies.
             for _ in 0..*min {
                 emit(inner, prog);
@@ -281,8 +289,7 @@ mod tests {
         let prog = compile(&p.ast, p.group_count);
         let chars: Vec<char> = text.chars().collect();
         let nslots = 2 * (p.group_count as usize + 1);
-        pike_search(&prog, nslots, &chars, 0)
-            .map(|s| (s[0].unwrap(), s[1].unwrap()))
+        pike_search(&prog, nslots, &chars, 0).map(|s| (s[0].unwrap(), s[1].unwrap()))
     }
 
     #[test]

@@ -72,10 +72,8 @@ impl P {
             P::Star(a) => {
                 let mut closed: BTreeSet<usize> = [i].into();
                 loop {
-                    let next: BTreeSet<usize> = closed
-                        .iter()
-                        .flat_map(|&m| a.ends(text, m))
-                        .collect();
+                    let next: BTreeSet<usize> =
+                        closed.iter().flat_map(|&m| a.ends(text, m)).collect();
                     let before = closed.len();
                     closed.extend(next);
                     if closed.len() == before {
@@ -117,10 +115,8 @@ fn arb_pattern() -> impl Strategy<Value = P> {
     ];
     leaf.prop_recursive(4, 24, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| P::Cat(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| P::Alt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| P::Cat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| P::Alt(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| P::Star(Box::new(a))),
             inner.clone().prop_map(|a| P::Plus(Box::new(a))),
             inner.clone().prop_map(|a| P::Opt(Box::new(a))),
@@ -130,7 +126,12 @@ fn arb_pattern() -> impl Strategy<Value = P> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+    #![proptest_config(ProptestConfig {
+        cases: 512,
+        // CI determinism: never read or write regression files.
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
 
     /// The Pike VM and the oracle agree on match/no-match.
     #[test]

@@ -29,7 +29,10 @@ impl std::fmt::Display for DictError {
         match self {
             DictError::DuplicateSource(s) => write!(f, "source {s} already registered"),
             DictError::AmbiguousTable(t) => {
-                write!(f, "table {t} exists in multiple sources; qualify as source.table")
+                write!(
+                    f,
+                    "table {t} exists in multiple sources; qualify as source.table"
+                )
             }
             DictError::UnknownTable(t) => write!(f, "no source exports table {t}"),
             DictError::UnknownSource(s) => write!(f, "unknown source {s}"),
@@ -66,7 +69,9 @@ impl Dictionary {
     }
 
     pub fn source(&self, name: &str) -> Result<&SourceRef, DictError> {
-        self.sources.get(name).ok_or_else(|| DictError::UnknownSource(name.to_owned()))
+        self.sources
+            .get(name)
+            .ok_or_else(|| DictError::UnknownSource(name.to_owned()))
     }
 
     pub fn sources(&self) -> impl Iterator<Item = &SourceRef> {
@@ -105,11 +110,7 @@ impl Dictionary {
     }
 
     /// Schema of a table (unambiguous or source-qualified).
-    pub fn schema_of(
-        &self,
-        source_hint: Option<&str>,
-        table: &str,
-    ) -> Result<Schema, DictError> {
+    pub fn schema_of(&self, source_hint: Option<&str>, table: &str) -> Result<Schema, DictError> {
         let src = self.resolve_table(source_hint, table)?;
         Ok(src
             .tables()
@@ -204,7 +205,10 @@ mod tests {
     #[test]
     fn unknown_table_and_source() {
         let d = Dictionary::new();
-        assert!(matches!(d.resolve_table(None, "zz"), Err(DictError::UnknownTable(_))));
+        assert!(matches!(
+            d.resolve_table(None, "zz"),
+            Err(DictError::UnknownTable(_))
+        ));
         assert!(matches!(d.source("zz"), Err(DictError::UnknownSource(_))));
     }
 

@@ -32,7 +32,12 @@ pub fn execute_plan(plan: &Plan, dict: &Dictionary) -> Result<(Table, ExecStats)
 
     for step in &plan.steps {
         match step {
-            FetchStep::Independent { source, binding, remote, .. } => {
+            FetchStep::Independent {
+                source,
+                binding,
+                remote,
+                ..
+            } => {
                 let src = dict.source(source)?;
                 let mut t = src.execute_select(remote)?;
                 stats.remote_queries += 1;
@@ -42,7 +47,13 @@ pub fn execute_plan(plan: &Plan, dict: &Dictionary) -> Result<(Table, ExecStats)
                 t.name = binding.clone();
                 staging.add_table(t);
             }
-            FetchStep::Dependent { source, binding, remote_base, params, .. } => {
+            FetchStep::Dependent {
+                source,
+                binding,
+                remote_base,
+                params,
+                ..
+            } => {
                 let src = dict.source(source)?;
                 // Distinct parameter combinations from the feeding staged
                 // table(s). All params must feed from the same binding for a
@@ -103,9 +114,7 @@ pub fn execute_plan(plan: &Plan, dict: &Dictionary) -> Result<(Table, ExecStats)
 
 fn step_table(step: &FetchStep) -> String {
     match step {
-        FetchStep::Independent { table, .. } | FetchStep::Dependent { table, .. } => {
-            table.clone()
-        }
+        FetchStep::Independent { table, .. } | FetchStep::Dependent { table, .. } => table.clone(),
     }
 }
 
@@ -118,7 +127,10 @@ fn project_schema(base: &coin_rel::Schema, remote: &Select) -> coin_rel::Schema 
         match item {
             SelectItem::Wildcard => return base.clone(),
             SelectItem::QualifiedWildcard(_) => return base.clone(),
-            SelectItem::Expr { expr: Expr::Column(c), .. } => {
+            SelectItem::Expr {
+                expr: Expr::Column(c),
+                ..
+            } => {
                 if let Some(i) = base.resolve(None, &c.column) {
                     cols.push(base.columns[i].clone());
                 }
@@ -170,8 +182,7 @@ fn parameter_combos(
             .collect::<Result<_, _>>()?;
         let mut values: Vec<Vec<Value>> = Vec::new();
         for row in &table.rows {
-            let tuple: Vec<Value> =
-                col_positions.iter().map(|&c| row[c].clone()).collect();
+            let tuple: Vec<Value> = col_positions.iter().map(|&c| row[c].clone()).collect();
             if tuple.iter().any(Value::is_null) {
                 continue; // NULL parameters can never produce matches
             }

@@ -60,16 +60,17 @@ impl Planner {
                         }
                     });
                 }
-                let mut table = merged
-                    .ok_or_else(|| PlanError::Unsupported("empty union".into()))?;
+                let mut table =
+                    merged.ok_or_else(|| PlanError::Unsupported("empty union".into()))?;
                 if !*all {
                     // Set semantics: sort + dedup on all columns.
                     let key: Vec<(usize, bool)> =
                         (0..table.schema.len()).map(|i| (i, false)).collect();
-                    table.rows.sort_by(|a, b| coin_rel::tempstore::cmp_rows(a, b, &key));
+                    table
+                        .rows
+                        .sort_by(|a, b| coin_rel::tempstore::cmp_rows(a, b, &key));
                     table.rows.dedup_by(|a, b| {
-                        coin_rel::tempstore::cmp_rows(a, b, &key)
-                            == std::cmp::Ordering::Equal
+                        coin_rel::tempstore::cmp_rows(a, b, &key) == std::cmp::Ordering::Equal
                     });
                 }
                 Ok((table, stats))
@@ -101,7 +102,11 @@ mod tests {
                 ("currency", ColumnType::Str),
             ]),
             vec![
-                vec![Value::str("IBM"), Value::Int(100_000_000), Value::str("USD")],
+                vec![
+                    Value::str("IBM"),
+                    Value::Int(100_000_000),
+                    Value::str("USD"),
+                ],
                 vec![Value::str("NTT"), Value::Int(1_000_000), Value::str("JPY")],
             ],
         );
@@ -120,8 +125,12 @@ mod tests {
         ))
         .unwrap();
         dict.register_source(
-            RelationalSource::new("disclosure", Catalog::new().with_table(r2))
-                .with_cost(CostParams { latency: 20.0, per_tuple: 0.2 }),
+            RelationalSource::new("disclosure", Catalog::new().with_table(r2)).with_cost(
+                CostParams {
+                    latency: 20.0,
+                    per_tuple: 0.2,
+                },
+            ),
         )
         .unwrap();
         let web = SimWeb::new();
@@ -133,9 +142,7 @@ mod tests {
     fn cross_source_join() {
         let p = Planner::new(figure2_dictionary());
         let (t, stats) = p
-            .run_sql(
-                "SELECT r1.cname, r2.expenses FROM r1, r2 WHERE r1.cname = r2.cname",
-            )
+            .run_sql("SELECT r1.cname, r2.expenses FROM r1, r2 WHERE r1.cname = r2.cname")
             .unwrap();
         assert_eq!(t.rows.len(), 2);
         assert_eq!(stats.remote_queries, 2);
@@ -220,7 +227,10 @@ mod tests {
         let (_, s1) = with.run_sql(sql).unwrap();
         let without = Planner::with_config(
             dict,
-            PlannerConfig { pushdown_select: false, ..Default::default() },
+            PlannerConfig {
+                pushdown_select: false,
+                ..Default::default()
+            },
         );
         let (_, s2) = without.run_sql(sql).unwrap();
         assert!(s1.rows_shipped < s2.rows_shipped, "{s1:?} vs {s2:?}");
@@ -229,10 +239,8 @@ mod tests {
     #[test]
     fn reorder_puts_cheap_source_first() {
         let p = Planner::new(figure2_dictionary());
-        let q = coin_sql::parse_query(
-            "SELECT r2.cname FROM r2, r1 WHERE r1.cname = r2.cname",
-        )
-        .unwrap();
+        let q =
+            coin_sql::parse_query("SELECT r2.cname FROM r2, r1 WHERE r1.cname = r2.cname").unwrap();
         let plan = p.plan_select(q.branches()[0]).unwrap();
         // worldscope (latency 10) is cheaper than disclosure (latency 20):
         // the optimizer fetches r1 first even though the query lists r2.
@@ -240,7 +248,10 @@ mod tests {
         // And without reordering, query order is preserved.
         let p2 = Planner::with_config(
             figure2_dictionary(),
-            PlannerConfig { reorder: false, ..Default::default() },
+            PlannerConfig {
+                reorder: false,
+                ..Default::default()
+            },
         );
         let plan2 = p2.plan_select(q.branches()[0]).unwrap();
         assert_eq!(plan2.steps[0].source(), "disclosure");
@@ -250,9 +261,7 @@ mod tests {
     fn aggregation_over_multi_source_join() {
         let p = Planner::new(figure2_dictionary());
         let (t, _) = p
-            .run_sql(
-                "SELECT COUNT(*), MAX(r2.expenses) FROM r1, r2 WHERE r1.cname = r2.cname",
-            )
+            .run_sql("SELECT COUNT(*), MAX(r2.expenses) FROM r1, r2 WHERE r1.cname = r2.cname")
             .unwrap();
         assert_eq!(t.rows, vec![vec![Value::Int(2), Value::Int(1_500_000_000)]]);
     }

@@ -38,7 +38,11 @@ pub struct PlannerConfig {
 
 impl Default for PlannerConfig {
     fn default() -> Self {
-        PlannerConfig { pushdown_select: true, pushdown_project: true, reorder: true }
+        PlannerConfig {
+            pushdown_select: true,
+            pushdown_project: true,
+            reorder: true,
+        }
     }
 }
 
@@ -77,7 +81,9 @@ fn selectivity(e: &Expr) -> f64 {
 
 /// Does this equality bind `col` of `binding` to a literal?
 fn literal_binding(e: &Expr, binding: &str) -> Option<(String, Expr)> {
-    let Expr::Bin(l, BinOp::Eq, r) = e else { return None };
+    let Expr::Bin(l, BinOp::Eq, r) = e else {
+        return None;
+    };
     let (col, lit) = match (l.as_ref(), r.as_ref()) {
         (Expr::Column(c), lit) if is_literal(lit) => (c, lit),
         (lit, Expr::Column(c)) if is_literal(lit) => (c, lit),
@@ -91,13 +97,18 @@ fn literal_binding(e: &Expr, binding: &str) -> Option<(String, Expr)> {
 }
 
 fn is_literal(e: &Expr) -> bool {
-    matches!(e, Expr::Int(_) | Expr::Float(_) | Expr::Str(_) | Expr::Bool(_))
+    matches!(
+        e,
+        Expr::Int(_) | Expr::Float(_) | Expr::Str(_) | Expr::Bool(_)
+    )
 }
 
 /// Does this equality link `col` of `binding` to a column of another
 /// binding? Returns (this column, other binding, other column).
 fn cross_binding(e: &Expr, binding: &str) -> Option<(String, String, String)> {
-    let Expr::Bin(l, BinOp::Eq, r) = e else { return None };
+    let Expr::Bin(l, BinOp::Eq, r) = e else {
+        return None;
+    };
     let (Expr::Column(a), Expr::Column(b)) = (l.as_ref(), r.as_ref()) else {
         return None;
     };
@@ -119,7 +130,10 @@ pub struct Planner {
 
 impl Planner {
     pub fn new(dictionary: Dictionary) -> Planner {
-        Planner { dictionary, config: PlannerConfig::default() }
+        Planner {
+            dictionary,
+            config: PlannerConfig::default(),
+        }
     }
 
     pub fn with_config(dictionary: Dictionary, config: PlannerConfig) -> Planner {
@@ -143,8 +157,9 @@ impl Planner {
                 .resolve_table(t.source.as_deref(), &t.table)?;
             let caps = src.capabilities();
             let binding = t.binding().to_owned();
-            let base_card =
-                src.estimated_cardinality(&t.table).map_or(1000.0, |n| n.max(1) as f64);
+            let base_card = src
+                .estimated_cardinality(&t.table)
+                .map_or(1000.0, |n| n.max(1) as f64);
             infos.push(BindingInfo {
                 binding,
                 source: src.name().to_owned(),
@@ -221,8 +236,7 @@ impl Planner {
                 }
                 let mut found = false;
                 for c in &conjuncts {
-                    if let Some((this_col, other_b, other_c)) = cross_binding(c, &info.binding)
-                    {
+                    if let Some((this_col, other_b, other_c)) = cross_binding(c, &info.binding) {
                         if this_col == *col {
                             params.push(ParamBinding {
                                 column: col.clone(),
@@ -243,26 +257,25 @@ impl Planner {
             }
 
             // Remote projection.
-            let items: Vec<SelectItem> = if self.config.pushdown_project
-                && !info.used_columns.is_empty()
-            {
-                let mut cols: Vec<String> = info.used_columns.iter().cloned().collect();
-                // Parameter columns must flow back for the local join.
-                for p in &params {
-                    if !cols.contains(&p.column) {
-                        cols.push(p.column.clone());
+            let items: Vec<SelectItem> =
+                if self.config.pushdown_project && !info.used_columns.is_empty() {
+                    let mut cols: Vec<String> = info.used_columns.iter().cloned().collect();
+                    // Parameter columns must flow back for the local join.
+                    for p in &params {
+                        if !cols.contains(&p.column) {
+                            cols.push(p.column.clone());
+                        }
                     }
-                }
-                cols.sort();
-                cols.iter()
-                    .map(|c| SelectItem::Expr {
-                        expr: Expr::Column(ColumnRef::bare(c)),
-                        alias: None,
-                    })
-                    .collect()
-            } else {
-                vec![SelectItem::Wildcard]
-            };
+                    cols.sort();
+                    cols.iter()
+                        .map(|c| SelectItem::Expr {
+                            expr: Expr::Column(ColumnRef::bare(c)),
+                            alias: None,
+                        })
+                        .collect()
+                } else {
+                    vec![SelectItem::Wildcard]
+                };
 
             // Remote predicates: per capability (binding literals always go,
             // the wrapper needs them as parameters).
@@ -271,8 +284,7 @@ impl Planner {
             for p in &info.local_preds {
                 let is_binding_literal = literal_binding(p, &info.binding)
                     .is_some_and(|(c, _)| info.required_bound.contains(&c));
-                let push = is_binding_literal
-                    || (self.config.pushdown_select && info.can_push);
+                let push = is_binding_literal || (self.config.pushdown_select && info.can_push);
                 if push {
                     pushed_selectivity *= selectivity(p);
                     remote_preds.push(strip_qualifier(p, &info.binding));
@@ -306,13 +318,11 @@ impl Planner {
                     .and_then(|p| infos.iter().find(|i| i.binding == p.from_binding));
                 let est_fetches = feeder
                     .map(|f| {
-                        let sel: f64 =
-                            f.local_preds.iter().map(selectivity).product();
+                        let sel: f64 = f.local_preds.iter().map(selectivity).product();
                         (f.base_card * sel).clamp(1.0, 64.0)
                     })
                     .unwrap_or(8.0);
-                let est_cost =
-                    est_fetches * (info.cost.latency + info.cost.per_tuple * 2.0);
+                let est_cost = est_fetches * (info.cost.latency + info.cost.per_tuple * 2.0);
                 steps.push(FetchStep::Dependent {
                     source: info.source.clone(),
                     binding: info.binding.clone(),
@@ -347,7 +357,11 @@ impl Planner {
         };
 
         let est_cost: f64 = ordered.iter().map(FetchStep::est_cost).sum();
-        Ok(Plan { steps: ordered, local, est_cost })
+        Ok(Plan {
+            steps: ordered,
+            local,
+            est_cost,
+        })
     }
 }
 
@@ -407,18 +421,31 @@ fn strip_qualifier(e: &Expr, binding: &str) -> Expr {
             f.clone(),
             args.iter().map(|a| strip_qualifier(a, binding)).collect(),
         ),
-        Expr::Between { expr, low, high, negated } => Expr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
             expr: Box::new(strip_qualifier(expr, binding)),
             low: Box::new(strip_qualifier(low, binding)),
             high: Box::new(strip_qualifier(high, binding)),
             negated: *negated,
         },
-        Expr::InList { expr, list, negated } => Expr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(strip_qualifier(expr, binding)),
             list: list.iter().map(|a| strip_qualifier(a, binding)).collect(),
             negated: *negated,
         },
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(strip_qualifier(expr, binding)),
             pattern: pattern.clone(),
             negated: *negated,

@@ -56,9 +56,7 @@ impl FetchStep {
 
     pub fn source(&self) -> &str {
         match self {
-            FetchStep::Independent { source, .. } | FetchStep::Dependent { source, .. } => {
-                source
-            }
+            FetchStep::Independent { source, .. } | FetchStep::Dependent { source, .. } => source,
         }
     }
 
@@ -75,8 +73,7 @@ impl FetchStep {
         match self {
             FetchStep::Independent { .. } => Vec::new(),
             FetchStep::Dependent { params, .. } => {
-                let mut deps: Vec<&str> =
-                    params.iter().map(|p| p.from_binding.as_str()).collect();
+                let mut deps: Vec<&str> = params.iter().map(|p| p.from_binding.as_str()).collect();
                 deps.sort_unstable();
                 deps.dedup();
                 deps
@@ -103,7 +100,14 @@ impl Plan {
         out.push_str(&format!("PLAN (estimated cost {:.1})\n", self.est_cost));
         for (i, s) in self.steps.iter().enumerate() {
             match s {
-                FetchStep::Independent { source, binding, remote, est_rows, est_cost, .. } => {
+                FetchStep::Independent {
+                    source,
+                    binding,
+                    remote,
+                    est_rows,
+                    est_cost,
+                    ..
+                } => {
                     out.push_str(&format!(
                         "  step {i}: fetch [{binding}] from source {source} \
                          (est {est_rows:.0} rows, cost {est_cost:.1})\n    {remote}\n"
@@ -120,9 +124,7 @@ impl Plan {
                 } => {
                     let plist: Vec<String> = params
                         .iter()
-                        .map(|p| {
-                            format!("{} := {}.{}", p.column, p.from_binding, p.from_column)
-                        })
+                        .map(|p| format!("{} := {}.{}", p.column, p.from_binding, p.from_column))
                         .collect();
                     out.push_str(&format!(
                         "  step {i}: dependent fetch [{binding}] from source {source} \
@@ -147,7 +149,10 @@ pub enum PlanError {
     Engine(coin_rel::EngineError),
     /// A binding-pattern column could not be bound by literals or by
     /// cross-binding equalities.
-    UnboundParameter { binding: String, column: String },
+    UnboundParameter {
+        binding: String,
+        column: String,
+    },
     /// Dependent fetches form a cycle (mutually parameter-dependent
     /// sources).
     CyclicDependency(Vec<String>),

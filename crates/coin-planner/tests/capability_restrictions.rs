@@ -9,20 +9,26 @@ fn orders_table(n: i64) -> Table {
     Table::from_rows(
         "orders",
         Schema::of(&[("oid", ColumnType::Int), ("amount", ColumnType::Int)]),
-        (0..n).map(|i| vec![Value::Int(i), Value::Int(i * 10)]).collect(),
+        (0..n)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 10)])
+            .collect(),
     )
 }
 
 /// A source modelled as unable to evaluate WHERE clauses (a bare file
 /// dump, say): the planner must fetch everything and filter locally.
 fn no_pushdown_source(n: i64) -> RelationalSource {
-    RelationalSource::new("dump", Catalog::new().with_table(orders_table(n)))
-        .with_capabilities(Capabilities {
+    RelationalSource::new("dump", Catalog::new().with_table(orders_table(n))).with_capabilities(
+        Capabilities {
             pushdown_select: false,
             pushdown_join: false,
             bound_columns: Default::default(),
-            cost: CostParams { latency: 5.0, per_tuple: 1.0 },
-        })
+            cost: CostParams {
+                latency: 5.0,
+                per_tuple: 1.0,
+            },
+        },
+    )
 }
 
 #[test]
@@ -42,7 +48,9 @@ fn non_pushdown_source_gets_bare_fetch() {
         other => panic!("{other:?}"),
     }
     // The filter still applies — locally.
-    let (t, stats) = planner.run_sql("SELECT o.oid FROM orders o WHERE o.amount > 400").unwrap();
+    let (t, stats) = planner
+        .run_sql("SELECT o.oid FROM orders o WHERE o.amount > 400")
+        .unwrap();
     assert_eq!(t.rows.len(), 9); // amounts 410..490
     assert_eq!(stats.rows_shipped, 50, "all rows shipped, filtered locally");
 }
@@ -56,7 +64,9 @@ fn capable_source_receives_predicate() {
     ))
     .unwrap();
     let planner = Planner::new(dict);
-    let (t, stats) = planner.run_sql("SELECT o.oid FROM orders o WHERE o.amount > 400").unwrap();
+    let (t, stats) = planner
+        .run_sql("SELECT o.oid FROM orders o WHERE o.amount > 400")
+        .unwrap();
     assert_eq!(t.rows.len(), 9);
     assert_eq!(stats.rows_shipped, 9, "only matching rows shipped");
 }
@@ -75,10 +85,9 @@ fn plan_explain_names_every_step() {
     ))
     .unwrap();
     let planner = Planner::new(dict);
-    let q = coin_sql::parse_query(
-        "SELECT o.oid, l.tag FROM orders o, lookup l WHERE o.oid = l.oid",
-    )
-    .unwrap();
+    let q =
+        coin_sql::parse_query("SELECT o.oid, l.tag FROM orders o, lookup l WHERE o.oid = l.oid")
+            .unwrap();
     let plan = planner.plan_select(q.branches()[0]).unwrap();
     let text = plan.explain();
     assert!(text.contains("dump"), "{text}");
@@ -100,7 +109,11 @@ fn planner_config_off_still_correct() {
     let on = Planner::new(dict.clone()).run_sql(sql).unwrap().0;
     let off = Planner::with_config(
         dict,
-        PlannerConfig { pushdown_select: false, pushdown_project: false, reorder: false },
+        PlannerConfig {
+            pushdown_select: false,
+            pushdown_project: false,
+            reorder: false,
+        },
     )
     .run_sql(sql)
     .unwrap()

@@ -14,7 +14,9 @@ fn table(name: &str, rows: &[(i64, i64)]) -> Table {
     Table::from_rows(
         name,
         Schema::of(&[("k", ColumnType::Int), ("v", ColumnType::Int)]),
-        rows.iter().map(|(k, v)| vec![Value::Int(*k), Value::Int(*v)]).collect(),
+        rows.iter()
+            .map(|(k, v)| vec![Value::Int(*k), Value::Int(*v)])
+            .collect(),
     )
 }
 
@@ -26,7 +28,12 @@ fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        // CI determinism: never read or write regression files.
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
 
     /// Cross-source equi-join + filters == local execution.
     #[test]

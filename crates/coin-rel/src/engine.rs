@@ -13,8 +13,8 @@ use coin_sql::normalize::SchemaLookup;
 use coin_sql::{BinOp, ColumnRef, Expr, OrderItem, Query, Select, SelectItem};
 
 use crate::exec::{
-    drain, Aggregate, AggFn, AggSpec, BoxOp, Distinct, Filter, HashJoin, Limit,
-    NestedLoopJoin, Project, Sort, UnionAll, ValuesScan,
+    drain, AggFn, AggSpec, Aggregate, BoxOp, Distinct, Filter, HashJoin, Limit, NestedLoopJoin,
+    Project, Sort, UnionAll, ValuesScan,
 };
 use crate::expr::{compile, CompileError};
 use crate::schema::{Column, ColumnType, Schema, Table};
@@ -155,7 +155,11 @@ pub fn execute_query(q: &Query, catalog: &Catalog) -> Result<Table, EngineError>
                 op = Box::new(Distinct::new(op));
             }
             let rows = drain(op)?;
-            Ok(Table { name: "union".into(), schema, rows })
+            Ok(Table {
+                name: "union".into(),
+                schema,
+                rows,
+            })
         }
     }
 }
@@ -164,10 +168,7 @@ pub fn execute_query(q: &Query, catalog: &Catalog) -> Result<Table, EngineError>
 fn qualifiers_of(e: &Expr) -> Vec<String> {
     let mut cols = Vec::new();
     e.columns(&mut cols);
-    let mut quals: Vec<String> = cols
-        .iter()
-        .filter_map(|c| c.qualifier.clone())
-        .collect();
+    let mut quals: Vec<String> = cols.iter().filter_map(|c| c.qualifier.clone()).collect();
     quals.sort();
     quals.dedup();
     quals
@@ -185,7 +186,9 @@ fn equi_pairs<'a>(
         if let Expr::Bin(l, BinOp::Eq, r) = e {
             if let (Expr::Column(cl), Expr::Column(cr)) = (l.as_ref(), r.as_ref()) {
                 let (ql, qr) = (cl.qualifier.as_deref(), cr.qualifier.as_deref());
-                let (Some(ql), Some(qr)) = (ql, qr) else { continue };
+                let (Some(ql), Some(qr)) = (ql, qr) else {
+                    continue;
+                };
                 if left.iter().any(|b| b == ql) && qr == right {
                     out.push((cl, cr, i));
                 } else if left.iter().any(|b| b == qr) && ql == right {
@@ -262,15 +265,11 @@ pub fn execute_select(s: &Select, catalog: &Catalog) -> Result<Table, EngineErro
                         let li = acc
                             .schema()
                             .resolve(lc.qualifier.as_deref(), &lc.column)
-                            .ok_or_else(|| {
-                                EngineError::Unsupported(format!("join key {lc}"))
-                            })?;
+                            .ok_or_else(|| EngineError::Unsupported(format!("join key {lc}")))?;
                         let ri = scan
                             .schema()
                             .resolve(rc.qualifier.as_deref(), &rc.column)
-                            .ok_or_else(|| {
-                                EngineError::Unsupported(format!("join key {rc}"))
-                            })?;
+                            .ok_or_else(|| EngineError::Unsupported(format!("join key {rc}")))?;
                         lkeys.push(li);
                         rkeys.push(ri);
                         used[avail_idx[*ci]] = true;
@@ -341,8 +340,7 @@ pub fn execute_select(s: &Select, catalog: &Catalog) -> Result<Table, EngineErro
         // Final projection: keep only the select items (group/agg columns
         // may include extra order/having columns).
         let keep = s.items.len();
-        let exprs: Vec<crate::expr::CExpr> =
-            (0..keep).map(crate::expr::CExpr::Col).collect();
+        let exprs: Vec<crate::expr::CExpr> = (0..keep).map(crate::expr::CExpr::Col).collect();
         let schema = Schema::new(out_schema.columns[..keep].to_vec());
         op = Box::new(Project::new(op, exprs, schema.clone()));
         out_schema = schema;
@@ -413,7 +411,11 @@ pub fn execute_select(s: &Select, catalog: &Catalog) -> Result<Table, EngineErro
     }
 
     let rows = drain(op)?;
-    Ok(Table { name: "result".into(), schema: out_schema, rows })
+    Ok(Table {
+        name: "result".into(),
+        schema: out_schema,
+        rows,
+    })
 }
 
 /// Build the aggregation pipeline. Returns the operator (producing
@@ -423,7 +425,15 @@ pub fn execute_select(s: &Select, catalog: &Catalog) -> Result<Table, EngineErro
 fn build_aggregate(
     s: &Select,
     input: BoxOp,
-) -> Result<(BoxOp, Schema, Option<crate::expr::CExpr>, Vec<(usize, bool)>), EngineError> {
+) -> Result<
+    (
+        BoxOp,
+        Schema,
+        Option<crate::expr::CExpr>,
+        Vec<(usize, bool)>,
+    ),
+    EngineError,
+> {
     // Collect all aggregate calls appearing anywhere.
     let mut agg_calls: Vec<Expr> = Vec::new();
     let mut collect = |e: &Expr| collect_aggs(e, &mut agg_calls);
@@ -449,10 +459,11 @@ fn build_aggregate(
     }
     let mut specs = Vec::new();
     for a in &agg_calls {
-        let Expr::Func(name, args) = a else { unreachable!() };
-        let f = AggFn::parse(name, !args.is_empty()).ok_or_else(|| {
-            EngineError::Unsupported(format!("aggregate function {name}"))
-        })?;
+        let Expr::Func(name, args) = a else {
+            unreachable!()
+        };
+        let f = AggFn::parse(name, !args.is_empty())
+            .ok_or_else(|| EngineError::Unsupported(format!("aggregate function {name}")))?;
         let arg = args
             .first()
             .map(|e| compile(e, input.schema()))
@@ -464,12 +475,17 @@ fn build_aggregate(
     let agg = Aggregate::new(input, group_compiled, specs, internal_schema.clone());
 
     // Rewrite outer expressions over the internal schema.
-    let rewrite_ctx = RewriteCtx { group_by: &s.group_by, agg_calls: &agg_calls };
+    let rewrite_ctx = RewriteCtx {
+        group_by: &s.group_by,
+        agg_calls: &agg_calls,
+    };
 
     let mut out_exprs = Vec::new();
     let mut out_cols = Vec::new();
     for item in &s.items {
-        let SelectItem::Expr { expr, alias } = item else { unreachable!() };
+        let SelectItem::Expr { expr, alias } = item else {
+            unreachable!()
+        };
         let rewritten = rewrite_ctx.rewrite(expr)?;
         let compiled = compile(&rewritten, &internal_schema)?;
         let name = alias.clone().unwrap_or_else(|| expr.to_string());
@@ -482,11 +498,17 @@ fn build_aggregate(
         let rewritten = rewrite_ctx.rewrite(&o.expr)?;
         let compiled = compile(&rewritten, &internal_schema)?;
         // Reuse an identical select item column if present.
-        let pos = out_exprs.iter().position(|e| *e == compiled).unwrap_or_else(|| {
-            out_exprs.push(compiled.clone());
-            out_cols.push(Column::new(&format!("__order{}", out_exprs.len()), ColumnType::Any));
-            out_exprs.len() - 1
-        });
+        let pos = out_exprs
+            .iter()
+            .position(|e| *e == compiled)
+            .unwrap_or_else(|| {
+                out_exprs.push(compiled.clone());
+                out_cols.push(Column::new(
+                    &format!("__order{}", out_exprs.len()),
+                    ColumnType::Any,
+                ));
+                out_exprs.len() - 1
+            });
         order_keys.push((pos, o.desc));
     }
     let having = s
@@ -535,20 +557,38 @@ impl RewriteCtx<'_> {
             Expr::Un(op, inner) => Expr::Un(*op, Box::new(self.rewrite(inner)?)),
             Expr::Func(name, args) => Expr::Func(
                 name.clone(),
-                args.iter().map(|a| self.rewrite(a)).collect::<Result<_, _>>()?,
+                args.iter()
+                    .map(|a| self.rewrite(a))
+                    .collect::<Result<_, _>>()?,
             ),
-            Expr::Between { expr, low, high, negated } => Expr::Between {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
                 expr: Box::new(self.rewrite(expr)?),
                 low: Box::new(self.rewrite(low)?),
                 high: Box::new(self.rewrite(high)?),
                 negated: *negated,
             },
-            Expr::InList { expr, list, negated } => Expr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
                 expr: Box::new(self.rewrite(expr)?),
-                list: list.iter().map(|a| self.rewrite(a)).collect::<Result<_, _>>()?,
+                list: list
+                    .iter()
+                    .map(|a| self.rewrite(a))
+                    .collect::<Result<_, _>>()?,
                 negated: *negated,
             },
-            Expr::Like { expr, pattern, negated } => Expr::Like {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
                 expr: Box::new(self.rewrite(expr)?),
                 pattern: pattern.clone(),
                 negated: *negated,
@@ -557,7 +597,11 @@ impl RewriteCtx<'_> {
                 expr: Box::new(self.rewrite(expr)?),
                 negated: *negated,
             },
-            Expr::Case { operand, branches, else_branch } => Expr::Case {
+            Expr::Case {
+                operand,
+                branches,
+                else_branch,
+            } => Expr::Case {
                 operand: operand
                     .as_ref()
                     .map(|o| self.rewrite(o).map(Box::new))
@@ -595,7 +639,9 @@ fn collect_aggs(e: &Expr, out: &mut Vec<Expr>) {
                 collect_aggs(a, out);
             }
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             collect_aggs(expr, out);
             collect_aggs(low, out);
             collect_aggs(high, out);
@@ -607,7 +653,11 @@ fn collect_aggs(e: &Expr, out: &mut Vec<Expr>) {
             }
         }
         Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => collect_aggs(expr, out),
-        Expr::Case { operand, branches, else_branch } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
             if let Some(o) = operand {
                 collect_aggs(o, out);
             }

@@ -72,7 +72,10 @@ pub struct ValuesScan {
 
 impl ValuesScan {
     pub fn new(schema: Schema, rows: Vec<Row>) -> ValuesScan {
-        ValuesScan { schema, rows: rows.into_iter() }
+        ValuesScan {
+            schema,
+            rows: rows.into_iter(),
+        }
     }
 }
 
@@ -123,7 +126,11 @@ pub struct Project {
 impl Project {
     pub fn new(input: BoxOp, exprs: Vec<CExpr>, schema: Schema) -> Project {
         assert_eq!(exprs.len(), schema.len());
-        Project { input, exprs, schema }
+        Project {
+            input,
+            exprs,
+            schema,
+        }
     }
 }
 
@@ -349,7 +356,11 @@ impl UnionAll {
                 "UNION branches must have equal arity"
             );
         }
-        UnionAll { inputs, pos: 0, schema }
+        UnionAll {
+            inputs,
+            pos: 0,
+            schema,
+        }
     }
 }
 
@@ -402,8 +413,7 @@ impl Operator for Distinct {
         if self.sorted.is_none() {
             let src = self.input.take().expect("input present");
             let key: SortKey = (0..self.schema.len()).map(|i| (i, false)).collect();
-            let mut sorter =
-                ExternalSorter::new(self.store.clone(), key, self.run_capacity);
+            let mut sorter = ExternalSorter::new(self.store.clone(), key, self.run_capacity);
             let mut src = src;
             while let Some(row) = src.next()? {
                 sorter.push(row)?;
@@ -465,11 +475,8 @@ impl Operator for Sort {
     fn next(&mut self) -> Result<Option<Row>, ExecError> {
         if self.sorted.is_none() {
             let mut src = self.input.take().expect("input present");
-            let mut sorter = ExternalSorter::new(
-                self.store.clone(),
-                self.key.clone(),
-                self.run_capacity,
-            );
+            let mut sorter =
+                ExternalSorter::new(self.store.clone(), self.key.clone(), self.run_capacity);
             while let Some(row) = src.next()? {
                 sorter.push(row)?;
             }
@@ -487,7 +494,10 @@ pub struct Limit {
 
 impl Limit {
     pub fn new(input: BoxOp, n: u64) -> Limit {
-        Limit { input, remaining: n }
+        Limit {
+            input,
+            remaining: n,
+        }
     }
 }
 
@@ -538,19 +548,41 @@ impl AggFn {
 #[derive(Debug, Clone)]
 enum Acc {
     Count(i64),
-    Sum { sum: f64, all_int: bool, int_sum: i64, seen: bool },
-    Avg { sum: f64, n: i64 },
-    MinMax { best: Option<Value>, max: bool },
+    Sum {
+        sum: f64,
+        all_int: bool,
+        int_sum: i64,
+        seen: bool,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
+    MinMax {
+        best: Option<Value>,
+        max: bool,
+    },
 }
 
 impl Acc {
     fn new(f: AggFn) -> Acc {
         match f {
             AggFn::CountStar | AggFn::Count => Acc::Count(0),
-            AggFn::Sum => Acc::Sum { sum: 0.0, all_int: true, int_sum: 0, seen: false },
+            AggFn::Sum => Acc::Sum {
+                sum: 0.0,
+                all_int: true,
+                int_sum: 0,
+                seen: false,
+            },
             AggFn::Avg => Acc::Avg { sum: 0.0, n: 0 },
-            AggFn::Min => Acc::MinMax { best: None, max: false },
-            AggFn::Max => Acc::MinMax { best: None, max: true },
+            AggFn::Min => Acc::MinMax {
+                best: None,
+                max: false,
+            },
+            AggFn::Max => Acc::MinMax {
+                best: None,
+                max: true,
+            },
         }
     }
 
@@ -562,7 +594,12 @@ impl Acc {
                 Some(val) if !val.is_null() => *n += 1,
                 _ => {}
             },
-            Acc::Sum { sum, all_int, int_sum, seen } => {
+            Acc::Sum {
+                sum,
+                all_int,
+                int_sum,
+                seen,
+            } => {
                 if let Some(val) = v {
                     if val.is_null() {
                         return Ok(());
@@ -626,7 +663,12 @@ impl Acc {
     fn finish(self) -> Value {
         match self {
             Acc::Count(n) => Value::Int(n),
-            Acc::Sum { sum, all_int, int_sum, seen } => {
+            Acc::Sum {
+                sum,
+                all_int,
+                int_sum,
+                seen,
+            } => {
                 if !seen {
                     Value::Null
                 } else if all_int {
@@ -699,7 +741,14 @@ impl Aggregate {
         schema: Schema,
     ) -> Aggregate {
         let global = group_exprs.is_empty();
-        Aggregate { input: Some(input), group_exprs, aggs, schema, out: None, global }
+        Aggregate {
+            input: Some(input),
+            group_exprs,
+            aggs,
+            schema,
+            out: None,
+            global,
+        }
     }
 }
 
@@ -761,8 +810,9 @@ mod tests {
 
     fn scan(rows: Vec<Row>) -> BoxOp {
         let width = rows.first().map_or(2, Vec::len);
-        let cols: Vec<(String, ColumnType)> =
-            (0..width).map(|i| (format!("c{i}"), ColumnType::Any)).collect();
+        let cols: Vec<(String, ColumnType)> = (0..width)
+            .map(|i| (format!("c{i}"), ColumnType::Any))
+            .collect();
         let schema = Schema::new(
             cols.iter()
                 .map(|(n, t)| crate::schema::Column::new(n, *t))
@@ -772,7 +822,9 @@ mod tests {
     }
 
     fn ints(ns: &[i64]) -> Vec<Row> {
-        ns.iter().map(|&n| vec![Value::Int(n), Value::Int(n * 10)]).collect()
+        ns.iter()
+            .map(|&n| vec![Value::Int(n), Value::Int(n * 10)])
+            .collect()
     }
 
     #[test]
@@ -891,8 +943,14 @@ mod tests {
             scan(rows),
             vec![CExpr::Col(0)],
             vec![
-                AggSpec { f: AggFn::CountStar, arg: None },
-                AggSpec { f: AggFn::Sum, arg: Some(CExpr::Col(1)) },
+                AggSpec {
+                    f: AggFn::CountStar,
+                    arg: None,
+                },
+                AggSpec {
+                    f: AggFn::Sum,
+                    arg: Some(CExpr::Col(1)),
+                },
             ],
             Schema::of(&[
                 ("k", ColumnType::Str),
@@ -912,9 +970,18 @@ mod tests {
             scan(Vec::new()),
             vec![],
             vec![
-                AggSpec { f: AggFn::CountStar, arg: None },
-                AggSpec { f: AggFn::Sum, arg: Some(CExpr::Col(0)) },
-                AggSpec { f: AggFn::Min, arg: Some(CExpr::Col(0)) },
+                AggSpec {
+                    f: AggFn::CountStar,
+                    arg: None,
+                },
+                AggSpec {
+                    f: AggFn::Sum,
+                    arg: Some(CExpr::Col(0)),
+                },
+                AggSpec {
+                    f: AggFn::Min,
+                    arg: Some(CExpr::Col(0)),
+                },
             ],
             Schema::of(&[
                 ("n", ColumnType::Int),
@@ -936,8 +1003,14 @@ mod tests {
             scan(rows),
             vec![CExpr::Col(0)],
             vec![
-                AggSpec { f: AggFn::Count, arg: Some(CExpr::Col(1)) },
-                AggSpec { f: AggFn::Avg, arg: Some(CExpr::Col(1)) },
+                AggSpec {
+                    f: AggFn::Count,
+                    arg: Some(CExpr::Col(1)),
+                },
+                AggSpec {
+                    f: AggFn::Avg,
+                    arg: Some(CExpr::Col(1)),
+                },
             ],
             Schema::of(&[
                 ("k", ColumnType::Str),
@@ -960,8 +1033,14 @@ mod tests {
             scan(rows),
             vec![],
             vec![
-                AggSpec { f: AggFn::Min, arg: Some(CExpr::Col(0)) },
-                AggSpec { f: AggFn::Max, arg: Some(CExpr::Col(0)) },
+                AggSpec {
+                    f: AggFn::Min,
+                    arg: Some(CExpr::Col(0)),
+                },
+                AggSpec {
+                    f: AggFn::Max,
+                    arg: Some(CExpr::Col(0)),
+                },
             ],
             Schema::of(&[("lo", ColumnType::Str), ("hi", ColumnType::Str)]),
         );
@@ -978,7 +1057,10 @@ mod tests {
         let agg = Aggregate::new(
             scan(rows),
             vec![],
-            vec![AggSpec { f: AggFn::Sum, arg: Some(CExpr::Col(0)) }],
+            vec![AggSpec {
+                f: AggFn::Sum,
+                arg: Some(CExpr::Col(0)),
+            }],
             Schema::of(&[("s", ColumnType::Any)]),
         );
         let out = drain(Box::new(agg)).unwrap();

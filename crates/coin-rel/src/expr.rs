@@ -20,10 +20,26 @@ pub enum CExpr {
     Or(Box<CExpr>, Box<CExpr>),
     Not(Box<CExpr>),
     Neg(Box<CExpr>),
-    Between { expr: Box<CExpr>, low: Box<CExpr>, high: Box<CExpr>, negated: bool },
-    InList { expr: Box<CExpr>, list: Vec<CExpr>, negated: bool },
-    Like { expr: Box<CExpr>, pattern: String, negated: bool },
-    IsNull { expr: Box<CExpr>, negated: bool },
+    Between {
+        expr: Box<CExpr>,
+        low: Box<CExpr>,
+        high: Box<CExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<CExpr>,
+        list: Vec<CExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<CExpr>,
+        pattern: String,
+        negated: bool,
+    },
+    IsNull {
+        expr: Box<CExpr>,
+        negated: bool,
+    },
     Case {
         operand: Option<Box<CExpr>>,
         branches: Vec<(CExpr, CExpr)>,
@@ -96,18 +112,34 @@ pub fn compile(e: &Expr, schema: &Schema) -> Result<CExpr, CompileError> {
         }
         Expr::Un(UnOp::Not, inner) => CExpr::Not(Box::new(compile(inner, schema)?)),
         Expr::Un(UnOp::Neg, inner) => CExpr::Neg(Box::new(compile(inner, schema)?)),
-        Expr::Between { expr, low, high, negated } => CExpr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => CExpr::Between {
             expr: Box::new(compile(expr, schema)?),
             low: Box::new(compile(low, schema)?),
             high: Box::new(compile(high, schema)?),
             negated: *negated,
         },
-        Expr::InList { expr, list, negated } => CExpr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => CExpr::InList {
             expr: Box::new(compile(expr, schema)?),
-            list: list.iter().map(|e| compile(e, schema)).collect::<Result<_, _>>()?,
+            list: list
+                .iter()
+                .map(|e| compile(e, schema))
+                .collect::<Result<_, _>>()?,
             negated: *negated,
         },
-        Expr::Like { expr, pattern, negated } => CExpr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => CExpr::Like {
             expr: Box::new(compile(expr, schema)?),
             pattern: pattern.clone(),
             negated: *negated,
@@ -116,7 +148,11 @@ pub fn compile(e: &Expr, schema: &Schema) -> Result<CExpr, CompileError> {
             expr: Box::new(compile(expr, schema)?),
             negated: *negated,
         },
-        Expr::Case { operand, branches, else_branch } => CExpr::Case {
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => CExpr::Case {
             operand: operand
                 .as_ref()
                 .map(|o| compile(o, schema).map(Box::new))
@@ -144,7 +180,9 @@ pub fn compile(e: &Expr, schema: &Schema) -> Result<CExpr, CompileError> {
             };
             CExpr::Scalar(
                 f,
-                args.iter().map(|a| compile(a, schema)).collect::<Result<_, _>>()?,
+                args.iter()
+                    .map(|a| compile(a, schema))
+                    .collect::<Result<_, _>>()?,
             )
         }
     })
@@ -230,7 +268,12 @@ impl CExpr {
                     )))
                 }
             },
-            CExpr::Between { expr, low, high, negated } => {
+            CExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 let v = expr.eval(row)?;
                 let lo = low.eval(row)?;
                 let hi = high.eval(row)?;
@@ -239,15 +282,19 @@ impl CExpr {
                 } else {
                     match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
                         (Some(a), Some(b)) => {
-                            let inside = a != std::cmp::Ordering::Less
-                                && b != std::cmp::Ordering::Greater;
+                            let inside =
+                                a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater;
                             Value::Bool(inside != *negated)
                         }
                         _ => Value::Null,
                     }
                 }
             }
-            CExpr::InList { expr, list, negated } => {
+            CExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let v = expr.eval(row)?;
                 if v.is_null() {
                     return Ok(Value::Null);
@@ -273,7 +320,11 @@ impl CExpr {
                     Value::Bool(*negated)
                 }
             }
-            CExpr::Like { expr, pattern, negated } => match expr.eval(row)? {
+            CExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => match expr.eval(row)? {
                 Value::Null => Value::Null,
                 Value::Str(s) => Value::Bool(sql_like(&s, pattern) != *negated),
                 other => {
@@ -283,10 +334,12 @@ impl CExpr {
                     )))
                 }
             },
-            CExpr::IsNull { expr, negated } => {
-                Value::Bool(expr.eval(row)?.is_null() != *negated)
-            }
-            CExpr::Case { operand, branches, else_branch } => {
+            CExpr::IsNull { expr, negated } => Value::Bool(expr.eval(row)?.is_null() != *negated),
+            CExpr::Case {
+                operand,
+                branches,
+                else_branch,
+            } => {
                 match operand {
                     Some(op) => {
                         let v = op.eval(row)?;
@@ -323,9 +376,7 @@ impl CExpr {
                     (ScalarFn::Abs, [Value::Float(x)]) => Value::Float(x.abs()),
                     (ScalarFn::Round, [Value::Float(x)]) => Value::Int(x.round() as i64),
                     (ScalarFn::Round, [Value::Int(i)]) => Value::Int(*i),
-                    (ScalarFn::Length, [Value::Str(s)]) => {
-                        Value::Int(s.chars().count() as i64)
-                    }
+                    (ScalarFn::Length, [Value::Str(s)]) => Value::Int(s.chars().count() as i64),
                     (f, args) => {
                         return Err(ValueError::TypeMismatch(format!("{f:?} on {args:?}")))
                     }

@@ -47,7 +47,10 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: &str, ty: ColumnType) -> Column {
-        Column { name: name.to_owned(), ty }
+        Column {
+            name: name.to_owned(),
+            ty,
+        }
     }
 }
 
@@ -173,7 +176,11 @@ pub struct Table {
 
 impl Table {
     pub fn new(name: &str, schema: Schema) -> Table {
-        Table { name: name.to_owned(), schema, rows: Vec::new() }
+        Table {
+            name: name.to_owned(),
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row, validating arity and types.

@@ -48,7 +48,8 @@ impl TempStore {
 
     fn fresh_path(&self) -> PathBuf {
         let id = NEXT_FILE_ID.fetch_add(1, AtomicOrdering::Relaxed);
-        self.dir.join(format!("run-{}-{id}.coin", std::process::id()))
+        self.dir
+            .join(format!("run-{}-{id}.coin", std::process::id()))
     }
 
     /// Spill rows to a new run file; returns a reader-factory handle.
@@ -71,7 +72,9 @@ pub struct SpillFile {
 
 impl SpillFile {
     pub fn reader(&self) -> io::Result<SpillReader> {
-        Ok(SpillReader { r: BufReader::new(File::open(&self.path)?) })
+        Ok(SpillReader {
+            r: BufReader::new(File::open(&self.path)?),
+        })
     }
 }
 
@@ -161,9 +164,10 @@ fn read_row(r: &mut impl Read) -> io::Result<Option<Row>> {
                 r.read_exact(&mut lb)?;
                 let mut s = vec![0u8; u32::from_le_bytes(lb) as usize];
                 r.read_exact(&mut s)?;
-                Value::Str(String::from_utf8(s).map_err(|e| {
-                    io::Error::new(io::ErrorKind::InvalidData, e)
-                })?)
+                Value::Str(
+                    String::from_utf8(s)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+                )
             }
             t => {
                 return Err(io::Error::new(
@@ -296,7 +300,13 @@ impl ExternalSorter {
         let mut out = Vec::new();
         while let Some(Keyed(item, _)) = heap.pop() {
             if let Some(next) = readers[item.source].next_row()? {
-                heap.push(Keyed(HeapItem { row: next, source: item.source }, &ctx));
+                heap.push(Keyed(
+                    HeapItem {
+                        row: next,
+                        source: item.source,
+                    },
+                    &ctx,
+                ));
             }
             out.push(item.row);
         }

@@ -332,7 +332,12 @@ mod tests {
 
     #[test]
     fn total_order_null_first() {
-        let mut vals = [Value::str("a"), Value::Int(3), Value::Null, Value::Float(1.5)];
+        let mut vals = [
+            Value::str("a"),
+            Value::Int(3),
+            Value::Null,
+            Value::Float(1.5),
+        ];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Float(1.5));
@@ -361,10 +366,7 @@ mod tests {
 
     #[test]
     fn concat_renders() {
-        assert_eq!(
-            Value::str("a").concat(&Value::Int(1)),
-            Value::str("a1")
-        );
+        assert_eq!(Value::str("a").concat(&Value::Int(1)), Value::str("a1"));
         assert_eq!(Value::Null.concat(&Value::str("x")), Value::Null);
     }
 

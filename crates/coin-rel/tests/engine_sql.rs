@@ -14,7 +14,11 @@ fn figure2_catalog() -> Catalog {
             ("currency", ColumnType::Str),
         ]),
         vec![
-            vec![Value::str("IBM"), Value::Int(100_000_000), Value::str("USD")],
+            vec![
+                Value::str("IBM"),
+                Value::Int(100_000_000),
+                Value::str("USD"),
+            ],
             vec![Value::str("NTT"), Value::Int(1_000_000), Value::str("JPY")],
         ],
     );
@@ -135,10 +139,7 @@ fn group_by_aggregates() {
     let mut cat = figure2_catalog();
     let sales = Table::from_rows(
         "sales",
-        Schema::of(&[
-            ("region", ColumnType::Str),
-            ("amount", ColumnType::Int),
-        ]),
+        Schema::of(&[("region", ColumnType::Str), ("amount", ColumnType::Int)]),
         vec![
             vec![Value::str("east"), Value::Int(10)],
             vec![Value::str("west"), Value::Int(5)],
@@ -205,7 +206,10 @@ fn expression_over_aggregate() {
 fn global_aggregate_without_group() {
     let cat = figure2_catalog();
     let out = execute_sql("SELECT COUNT(*), MAX(expenses) FROM r2", &cat).unwrap();
-    assert_eq!(out.rows, vec![vec![Value::Int(2), Value::Int(1_500_000_000)]]);
+    assert_eq!(
+        out.rows,
+        vec![vec![Value::Int(2), Value::Int(1_500_000_000)]]
+    );
 }
 
 #[test]
@@ -225,17 +229,9 @@ fn distinct_on_projection() {
 #[test]
 fn union_dedups_union_all_keeps() {
     let cat = figure2_catalog();
-    let dedup = execute_sql(
-        "SELECT cname FROM r2 UNION SELECT cname FROM r2",
-        &cat,
-    )
-    .unwrap();
+    let dedup = execute_sql("SELECT cname FROM r2 UNION SELECT cname FROM r2", &cat).unwrap();
     assert_eq!(dedup.rows.len(), 2);
-    let all = execute_sql(
-        "SELECT cname FROM r2 UNION ALL SELECT cname FROM r2",
-        &cat,
-    )
-    .unwrap();
+    let all = execute_sql("SELECT cname FROM r2 UNION ALL SELECT cname FROM r2", &cat).unwrap();
     assert_eq!(all.rows.len(), 4);
 }
 
@@ -247,7 +243,10 @@ fn order_by_desc_with_limit() {
         &cat,
     )
     .unwrap();
-    assert_eq!(out.rows, vec![vec![Value::str("IBM"), Value::Int(1_500_000_000)]]);
+    assert_eq!(
+        out.rows,
+        vec![vec![Value::str("IBM"), Value::Int(1_500_000_000)]]
+    );
 }
 
 #[test]

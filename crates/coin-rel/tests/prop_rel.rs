@@ -26,7 +26,12 @@ fn scan(rows: Vec<Row>) -> coin_rel::BoxOp {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig {
+        cases: 128,
+        // CI determinism: never read or write regression files.
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
 
     /// Hash join and nested-loop join agree on equi-joins.
     #[test]

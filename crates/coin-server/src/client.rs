@@ -68,7 +68,10 @@ pub struct Connection {
 impl Connection {
     /// Open a connection (no handshake needed; HTTP is stateless).
     pub fn open(addr: SocketAddr, context: &str) -> Connection {
-        Connection { addr, context: context.to_owned() }
+        Connection {
+            addr,
+            context: context.to_owned(),
+        }
     }
 
     /// The receiver context this connection is bound to.
@@ -106,9 +109,7 @@ impl Connection {
                         Ok((
                             c.get("name")
                                 .and_then(Json::as_str)
-                                .ok_or_else(|| {
-                                    ClientError::Protocol("missing column name".into())
-                                })?
+                                .ok_or_else(|| ClientError::Protocol("missing column name".into()))?
                                 .to_owned(),
                             c.get("type")
                                 .and_then(Json::as_str)
@@ -117,19 +118,29 @@ impl Connection {
                         ))
                     })
                     .collect::<Result<_, ClientError>>()?;
-                Ok(TableInfo { source, table, columns })
+                Ok(TableInfo {
+                    source,
+                    table,
+                    columns,
+                })
             })
             .collect()
     }
 
     /// Create a statement.
     pub fn statement(&self) -> Statement<'_> {
-        Statement { conn: self, mediated: true }
+        Statement {
+            conn: self,
+            mediated: true,
+        }
     }
 
     /// A statement that bypasses mediation (the naive baseline).
     pub fn naive_statement(&self) -> Statement<'_> {
-        Statement { conn: self, mediated: false }
+        Statement {
+            conn: self,
+            mediated: false,
+        }
     }
 
     /// Ask the mediator for the rewriting only.
@@ -223,8 +234,7 @@ fn decode_result(doc: &Json) -> Result<ResultSet, ClientError> {
                 .ok_or_else(|| ClientError::Protocol("row is not an array".into()))?
                 .iter()
                 .map(|v| {
-                    json_to_value(v)
-                        .ok_or_else(|| ClientError::Protocol(format!("bad value {v}")))
+                    json_to_value(v).ok_or_else(|| ClientError::Protocol(format!("bad value {v}")))
                 })
                 .collect::<Result<Vec<Value>, _>>()
         })
@@ -265,6 +275,10 @@ impl ResultSet {
 
     /// Convert to an engine table (for local post-processing).
     pub fn into_table(self, name: &str) -> Table {
-        Table { name: name.to_owned(), schema: self.schema, rows: self.rows }
+        Table {
+            name: name.to_owned(),
+            schema: self.schema,
+            rows: self.rows,
+        }
     }
 }

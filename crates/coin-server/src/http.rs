@@ -5,7 +5,7 @@
 //! within any application with basic capabilities for Internet socket based
 //! communication." (paper §2)
 //!
-//! The server runs a small worker pool fed by a crossbeam channel; requests
+//! The server runs a small worker pool fed by an mpsc channel; requests
 //! are parsed with `Content-Length` bodies, responses carry status, content
 //! type and body. The client side offers blocking `get`/`post` helpers.
 
@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex};
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -43,7 +43,11 @@ pub struct HttpResponse {
 
 impl HttpResponse {
     pub fn ok(content_type: &str, body: impl Into<Vec<u8>>) -> HttpResponse {
-        HttpResponse { status: 200, content_type: content_type.into(), body: body.into() }
+        HttpResponse {
+            status: 200,
+            content_type: content_type.into(),
+            body: body.into(),
+        }
     }
 
     pub fn json(body: &crate::json::Json) -> HttpResponse {
@@ -142,13 +146,18 @@ pub fn serve(addr: &str, workers: usize, handler: Handler) -> Result<ServerHandl
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
 
-    let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
     for _ in 0..workers.max(1) {
-        let rx = rx.clone();
+        let rx = Arc::clone(&rx);
         let handler = Arc::clone(&handler);
-        std::thread::spawn(move || {
-            while let Ok(stream) = rx.recv() {
-                let _ = handle_connection(stream, &handler);
+        std::thread::spawn(move || loop {
+            let next = rx.lock().expect("worker queue poisoned").recv();
+            match next {
+                Ok(stream) => {
+                    let _ = handle_connection(stream, &handler);
+                }
+                Err(_) => break,
             }
         });
     }
@@ -168,7 +177,11 @@ pub fn serve(addr: &str, workers: usize, handler: Handler) -> Result<ServerHandl
         }
     });
 
-    Ok(ServerHandle { addr: local, stop, accept_thread: Some(accept_thread) })
+    Ok(ServerHandle {
+        addr: local,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
 }
 
 fn handle_connection(stream: TcpStream, handler: &Handler) -> Result<(), HttpError> {
@@ -249,7 +262,13 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<HttpRequest, HttpEr
     if len > 0 {
         reader.read_exact(&mut body)?;
     }
-    Ok(HttpRequest { method, path, query, headers, body })
+    Ok(HttpRequest {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
 }
 
 fn write_response(mut stream: &TcpStream, resp: &HttpResponse) -> Result<(), HttpError> {
@@ -324,7 +343,10 @@ pub fn request(
         }
     }
     if !(200..300).contains(&status) {
-        return Err(HttpError::Status(status, String::from_utf8_lossy(&body).into_owned()));
+        return Err(HttpError::Status(
+            status,
+            String::from_utf8_lossy(&body).into_owned(),
+        ));
     }
     Ok(body)
 }
@@ -352,8 +374,8 @@ mod tests {
         serve(
             "127.0.0.1:0",
             2,
-            Arc::new(|req: &HttpRequest| {
-                match (req.method.as_str(), req.path.as_str()) {
+            Arc::new(
+                |req: &HttpRequest| match (req.method.as_str(), req.path.as_str()) {
                     ("GET", "/hello") => HttpResponse::ok(
                         "text/plain",
                         format!("hi {}", req.query.get("name").map_or("?", String::as_str)),
@@ -362,8 +384,8 @@ mod tests {
                         HttpResponse::ok("application/octet-stream", req.body.clone())
                     }
                     _ => HttpResponse::error(404, "nope"),
-                }
-            }),
+                },
+            ),
         )
         .unwrap()
     }
@@ -402,8 +424,7 @@ mod tests {
         let threads: Vec<_> = (0..8)
             .map(|i| {
                 std::thread::spawn(move || {
-                    let body =
-                        get(&addr, &format!("/hello?name=t{i}")).unwrap();
+                    let body = get(&addr, &format!("/hello?name=t{i}")).unwrap();
                     assert_eq!(body, format!("hi t{i}").into_bytes());
                 })
             })
@@ -419,9 +440,7 @@ mod tests {
         let server = serve(
             "127.0.0.1:0",
             1,
-            Arc::new(|req: &HttpRequest| {
-                HttpResponse::ok("text/plain", req.query["q"].clone())
-            }),
+            Arc::new(|req: &HttpRequest| HttpResponse::ok("text/plain", req.query["q"].clone())),
         )
         .unwrap();
         let body = get(&server.addr, "/x?q=a+b%3Dc").unwrap();

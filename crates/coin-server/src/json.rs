@@ -88,7 +88,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, m: impl Into<String>) -> JsonError {
-        JsonError { message: m.into(), offset: self.pos }
+        JsonError {
+            message: m.into(),
+            offset: self.pos,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -213,8 +216,7 @@ impl<'a> Parser<'a> {
                                 .get(self.pos + 1..self.pos + 5)
                                 .ok_or_else(|| self.err("bad \\u escape"))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex)
-                                    .map_err(|_| self.err("bad \\u escape"))?,
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
                                 16,
                             )
                             .map_err(|_| self.err("bad \\u escape"))?;
@@ -231,8 +233,7 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     // Consume one UTF-8 scalar.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
                     let c = s.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -276,7 +277,10 @@ impl<'a> Parser<'a> {
 
 /// Parse a JSON document.
 pub fn parse(src: &str) -> Result<Json, JsonError> {
-    let mut p = Parser { bytes: src.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
     let v = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
@@ -354,7 +358,10 @@ pub fn parse_form(body: &str) -> BTreeMap<String, String> {
     for pair in body.split('&').filter(|p| !p.is_empty()) {
         match pair.split_once('=') {
             Some((k, v)) => {
-                out.insert(coin_wrapper::web::url_decode(k), coin_wrapper::web::url_decode(v));
+                out.insert(
+                    coin_wrapper::web::url_decode(k),
+                    coin_wrapper::web::url_decode(v),
+                );
             }
             None => {
                 out.insert(coin_wrapper::web::url_decode(pair), String::new());

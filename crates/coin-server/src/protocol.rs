@@ -119,10 +119,8 @@ fn dictionary_response(system: &CoinSystem) -> HttpResponse {
                             .columns
                             .iter()
                             .map(|c| {
-                                let base = c
-                                    .name
-                                    .rsplit_once('.')
-                                    .map_or(c.name.as_str(), |(_, b)| b);
+                                let base =
+                                    c.name.rsplit_once('.').map_or(c.name.as_str(), |(_, b)| b);
                                 Json::obj([
                                     ("name", Json::str(base)),
                                     ("type", Json::str(c.ty.name())),
@@ -149,7 +147,10 @@ fn query_response(system: &CoinSystem, body: &str) -> Result<HttpResponse, Strin
             let (table, stats) = system.query_naive(sql).map_err(|e| e.to_string())?;
             let mut out = table_to_json(&table);
             if let Json::Obj(pairs) = &mut out {
-                pairs.push(("remote_queries".into(), Json::Num(stats.remote_queries as f64)));
+                pairs.push((
+                    "remote_queries".into(),
+                    Json::Num(stats.remote_queries as f64),
+                ));
             }
             Ok(HttpResponse::json(&out))
         }
@@ -159,8 +160,7 @@ fn query_response(system: &CoinSystem, body: &str) -> Result<HttpResponse, Strin
                 .and_then(Json::as_str)
                 .ok_or("missing \"context\" field")?;
             if mode == "explain" {
-                let mediated =
-                    system.mediate(sql, context).map_err(|e| e.to_string())?;
+                let mediated = system.mediate(sql, context).map_err(|e| e.to_string())?;
                 return Ok(HttpResponse::json(&Json::obj([
                     ("mediated_sql", Json::Str(mediated.query.to_string())),
                     ("explanation", Json::Str(mediated.explain())),
@@ -174,10 +174,7 @@ fn query_response(system: &CoinSystem, body: &str) -> Result<HttpResponse, Strin
                     "mediated_sql".into(),
                     Json::Str(answer.mediated.query.to_string()),
                 ));
-                pairs.push((
-                    "explanation".into(),
-                    Json::Str(answer.mediated.explain()),
-                ));
+                pairs.push(("explanation".into(), Json::Str(answer.mediated.explain())));
                 pairs.push((
                     "remote_queries".into(),
                     Json::Num(answer.stats.remote_queries as f64),

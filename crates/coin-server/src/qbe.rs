@@ -48,7 +48,10 @@ pub fn render_form(system: &CoinSystem) -> String {
         out.push_str("</select></label><table>\n");
         out.push_str("<tr><th>column</th><th>show</th><th>condition</th></tr>\n");
         for col in &schema.columns {
-            let base = col.name.rsplit_once('.').map_or(col.name.as_str(), |(_, b)| b);
+            let base = col
+                .name
+                .rsplit_once('.')
+                .map_or(col.name.as_str(), |(_, b)| b);
             out.push_str(&format!(
                 "<tr><td>{0} ({1})</td>\
                  <td><input type=\"checkbox\" name=\"show_{0}\"/></td>\
@@ -57,9 +60,7 @@ pub fn render_form(system: &CoinSystem) -> String {
                 col.ty.name(),
             ));
         }
-        out.push_str(
-            "</table><input type=\"submit\" value=\"Run\"/></form>\n<hr/>\n",
-        );
+        out.push_str("</table><input type=\"submit\" value=\"Run\"/></form>\n<hr/>\n");
     }
     out.push_str("</body></html>");
     out
@@ -68,8 +69,13 @@ pub fn render_form(system: &CoinSystem) -> String {
 /// Translate a QBE form submission into SQL.
 ///
 /// Returns the SQL and the chosen receiver context.
-pub fn form_to_sql(form: &std::collections::BTreeMap<String, String>) -> Result<(String, String), String> {
-    let table = form.get("table").filter(|t| !t.is_empty()).ok_or("no table selected")?;
+pub fn form_to_sql(
+    form: &std::collections::BTreeMap<String, String>,
+) -> Result<(String, String), String> {
+    let table = form
+        .get("table")
+        .filter(|t| !t.is_empty())
+        .ok_or("no table selected")?;
     if !table.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
         return Err(format!("bad table name {table:?}"));
     }
@@ -93,7 +99,9 @@ pub fn form_to_sql(form: &std::collections::BTreeMap<String, String>) -> Result<
 
     let mut conditions = Vec::new();
     for (k, v) in form {
-        let Some(col) = k.strip_prefix("cond_") else { continue };
+        let Some(col) = k.strip_prefix("cond_") else {
+            continue;
+        };
         let v = v.trim();
         if v.is_empty() {
             continue;
@@ -171,7 +179,10 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn form(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
-        pairs.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect()
     }
 
     #[test]
@@ -221,11 +232,7 @@ mod tests {
 
     #[test]
     fn hostile_table_name_rejected() {
-        assert!(form_to_sql(&form(&[
-            ("table", "r1; DROP"),
-            ("context", "c_recv")
-        ]))
-        .is_err());
+        assert!(form_to_sql(&form(&[("table", "r1; DROP"), ("context", "c_recv")])).is_err());
     }
 
     #[test]

@@ -94,7 +94,9 @@ fn accessibility_three_paths_agree() {
     // ODBC-style HTTP API, and (c) QBE yields the same mediated SQL and
     // answer.
     let system = Arc::new(figure2_system());
-    let in_process = system.query("SELECT r1.cname, r1.revenue FROM r1", "c_recv").unwrap();
+    let in_process = system
+        .query("SELECT r1.cname, r1.revenue FROM r1", "c_recv")
+        .unwrap();
 
     let server = start_server(Arc::clone(&system), "127.0.0.1:0").unwrap();
     let conn = Connection::open(server.addr, "c_recv");

@@ -14,7 +14,11 @@
 pub enum Query {
     Select(Box<Select>),
     /// `left UNION [ALL] right`
-    Union { left: Box<Query>, right: Box<Query>, all: bool },
+    Union {
+        left: Box<Query>,
+        right: Box<Query>,
+        all: bool,
+    },
 }
 
 impl Query {
@@ -82,11 +86,19 @@ pub struct TableRef {
 
 impl TableRef {
     pub fn new(table: &str) -> TableRef {
-        TableRef { source: None, table: table.to_owned(), alias: None }
+        TableRef {
+            source: None,
+            table: table.to_owned(),
+            alias: None,
+        }
     }
 
     pub fn aliased(table: &str, alias: &str) -> TableRef {
-        TableRef { source: None, table: table.to_owned(), alias: Some(alias.to_owned()) }
+        TableRef {
+            source: None,
+            table: table.to_owned(),
+            alias: Some(alias.to_owned()),
+        }
     }
 
     /// The name this table binds in the query scope (alias if present).
@@ -111,11 +123,17 @@ pub struct ColumnRef {
 
 impl ColumnRef {
     pub fn new(qualifier: &str, column: &str) -> ColumnRef {
-        ColumnRef { qualifier: Some(qualifier.to_owned()), column: column.to_owned() }
+        ColumnRef {
+            qualifier: Some(qualifier.to_owned()),
+            column: column.to_owned(),
+        }
     }
 
     pub fn bare(column: &str) -> ColumnRef {
-        ColumnRef { qualifier: None, column: column.to_owned() }
+        ColumnRef {
+            qualifier: None,
+            column: column.to_owned(),
+        }
     }
 }
 
@@ -140,7 +158,10 @@ pub enum BinOp {
 
 impl BinOp {
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     pub fn sql(self) -> &'static str {
@@ -218,10 +239,26 @@ pub enum Expr {
     /// Function call (scalar or aggregate): `COUNT(*)` is
     /// `Func("COUNT", [Wildcard…])` represented as `Func("COUNT", [])`.
     Func(String, Vec<Expr>),
-    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
-    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
-    Like { expr: Box<Expr>, pattern: String, negated: bool },
-    IsNull { expr: Box<Expr>, negated: bool },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<Expr>,
+        pattern: String,
+        negated: bool,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
     Case {
         operand: Option<Box<Expr>>,
         branches: Vec<(Expr, Expr)>,
@@ -279,7 +316,9 @@ impl Expr {
                     a.columns(out);
                 }
             }
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.columns(out);
                 low.columns(out);
                 high.columns(out);
@@ -290,7 +329,11 @@ impl Expr {
                     e.columns(out);
                 }
             }
-            Expr::Case { operand, branches, else_branch } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_branch,
+            } => {
                 if let Some(o) = operand {
                     o.columns(out);
                 }
@@ -309,21 +352,25 @@ impl Expr {
     /// Does the expression contain any aggregate function call?
     pub fn has_aggregate(&self) -> bool {
         match self {
-            Expr::Func(name, args) => {
-                is_aggregate(name) || args.iter().any(Expr::has_aggregate)
-            }
+            Expr::Func(name, args) => is_aggregate(name) || args.iter().any(Expr::has_aggregate),
             Expr::Bin(l, _, r) => l.has_aggregate() || r.has_aggregate(),
             Expr::Un(_, e) => e.has_aggregate(),
-            Expr::Between { expr, low, high, .. } => {
-                expr.has_aggregate() || low.has_aggregate() || high.has_aggregate()
-            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.has_aggregate() || low.has_aggregate() || high.has_aggregate(),
             Expr::InList { expr, list, .. } => {
                 expr.has_aggregate() || list.iter().any(Expr::has_aggregate)
             }
             Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => expr.has_aggregate(),
-            Expr::Case { operand, branches, else_branch } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_branch,
+            } => {
                 operand.as_deref().is_some_and(Expr::has_aggregate)
-                    || branches.iter().any(|(c, v)| c.has_aggregate() || v.has_aggregate())
+                    || branches
+                        .iter()
+                        .any(|(c, v)| c.has_aggregate() || v.has_aggregate())
                     || else_branch.as_deref().is_some_and(Expr::has_aggregate)
             }
             _ => false,
@@ -406,7 +453,12 @@ fn fmt_expr(e: &Expr, parent_prec: u8, f: &mut std::fmt::Formatter<'_>) -> std::
             }
             f.write_str(")")
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             // Predicate forms are non-associative like comparisons: they
             // parenthesize themselves under any tighter context, and print
             // their operands at comparison-operand level.
@@ -424,7 +476,11 @@ fn fmt_expr(e: &Expr, parent_prec: u8, f: &mut std::fmt::Formatter<'_>) -> std::
             }
             Ok(())
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let need_parens = parent_prec > 4;
             if need_parens {
                 f.write_str("(")?;
@@ -443,7 +499,11 @@ fn fmt_expr(e: &Expr, parent_prec: u8, f: &mut std::fmt::Formatter<'_>) -> std::
             }
             Ok(())
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let need_parens = parent_prec > 4;
             if need_parens {
                 f.write_str("(")?;
@@ -472,7 +532,11 @@ fn fmt_expr(e: &Expr, parent_prec: u8, f: &mut std::fmt::Formatter<'_>) -> std::
             }
             Ok(())
         }
-        Expr::Case { operand, branches, else_branch } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
             f.write_str("CASE")?;
             if let Some(o) = operand {
                 f.write_str(" ")?;
@@ -659,12 +723,27 @@ mod tests {
 
     #[test]
     fn union_branches_roundtrip() {
-        let s1 = Select { items: vec![SelectItem::Wildcard], from: vec![TableRef::new("a")], ..Default::default() };
-        let s2 = Select { items: vec![SelectItem::Wildcard], from: vec![TableRef::new("b")], ..Default::default() };
-        let s3 = Select { items: vec![SelectItem::Wildcard], from: vec![TableRef::new("c")], ..Default::default() };
+        let s1 = Select {
+            items: vec![SelectItem::Wildcard],
+            from: vec![TableRef::new("a")],
+            ..Default::default()
+        };
+        let s2 = Select {
+            items: vec![SelectItem::Wildcard],
+            from: vec![TableRef::new("b")],
+            ..Default::default()
+        };
+        let s3 = Select {
+            items: vec![SelectItem::Wildcard],
+            from: vec![TableRef::new("c")],
+            ..Default::default()
+        };
         let q = Query::union_of(vec![s1, s2, s3], false);
         assert_eq!(q.branches().len(), 3);
-        assert_eq!(q.to_string(), "SELECT * FROM a UNION SELECT * FROM b UNION SELECT * FROM c");
+        assert_eq!(
+            q.to_string(),
+            "SELECT * FROM a UNION SELECT * FROM b UNION SELECT * FROM c"
+        );
     }
 
     #[test]

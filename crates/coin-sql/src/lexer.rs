@@ -55,7 +55,11 @@ pub struct LexError {
 
 impl std::fmt::Display for LexError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SQL lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "SQL lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -93,48 +97,92 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             b'(' => {
                 bump!();
-                out.push(Spanned { tok: Tok::LParen, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    line: tline,
+                    col: tcol,
+                });
             }
             b')' => {
                 bump!();
-                out.push(Spanned { tok: Tok::RParen, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    line: tline,
+                    col: tcol,
+                });
             }
             b',' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Comma, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    line: tline,
+                    col: tcol,
+                });
             }
             b'.' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Dot, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::Dot,
+                    line: tline,
+                    col: tcol,
+                });
             }
             b'*' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Star, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::Star,
+                    line: tline,
+                    col: tcol,
+                });
             }
             b'+' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Plus, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::Plus,
+                    line: tline,
+                    col: tcol,
+                });
             }
             b'-' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Minus, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::Minus,
+                    line: tline,
+                    col: tcol,
+                });
             }
             b'/' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Slash, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::Slash,
+                    line: tline,
+                    col: tcol,
+                });
             }
             b';' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Semi, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::Semi,
+                    line: tline,
+                    col: tcol,
+                });
             }
             b'|' if bytes.get(i + 1) == Some(&b'|') => {
                 bump!();
                 bump!();
-                out.push(Spanned { tok: Tok::Concat, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::Concat,
+                    line: tline,
+                    col: tcol,
+                });
             }
             b'=' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Eq, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::Eq,
+                    line: tline,
+                    col: tcol,
+                });
             }
             b'<' => {
                 bump!();
@@ -149,7 +197,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     }
                     _ => Tok::Lt,
                 };
-                out.push(Spanned { tok, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
             }
             b'>' => {
                 bump!();
@@ -159,12 +211,20 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 } else {
                     Tok::Gt
                 };
-                out.push(Spanned { tok, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
             }
             b'!' if bytes.get(i + 1) == Some(&b'=') => {
                 bump!();
                 bump!();
-                out.push(Spanned { tok: Tok::Neq, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::Neq,
+                    line: tline,
+                    col: tcol,
+                });
             }
             b'\'' => {
                 bump!();
@@ -191,7 +251,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     s.push(bytes[i] as char);
                     bump!();
                 }
-                out.push(Spanned { tok: Tok::Str(s), line: tline, col: tcol });
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line: tline,
+                    col: tcol,
+                });
             }
             b'0'..=b'9' => {
                 let start = i;
@@ -238,13 +302,15 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         col: tcol,
                     })?)
                 };
-                out.push(Spanned { tok, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     bump!();
                 }
                 let text = std::str::from_utf8(&bytes[start..i]).unwrap();
@@ -254,7 +320,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 } else {
                     Tok::Ident(text.to_owned())
                 };
-                out.push(Spanned { tok, line: tline, col: tcol });
+                out.push(Spanned {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
             }
             other => {
                 return Err(LexError {
@@ -278,33 +348,39 @@ mod tests {
 
     #[test]
     fn keywords_case_insensitive() {
-        assert_eq!(toks("select SELECT SeLeCt"), vec![
-            Tok::Kw("SELECT".into()),
-            Tok::Kw("SELECT".into()),
-            Tok::Kw("SELECT".into())
-        ]);
+        assert_eq!(
+            toks("select SELECT SeLeCt"),
+            vec![
+                Tok::Kw("SELECT".into()),
+                Tok::Kw("SELECT".into()),
+                Tok::Kw("SELECT".into())
+            ]
+        );
     }
 
     #[test]
     fn identifiers_preserve_case() {
-        assert_eq!(toks("cname Revenue"), vec![
-            Tok::Ident("cname".into()),
-            Tok::Ident("Revenue".into())
-        ]);
+        assert_eq!(
+            toks("cname Revenue"),
+            vec![Tok::Ident("cname".into()), Tok::Ident("Revenue".into())]
+        );
     }
 
     #[test]
     fn operators() {
-        assert_eq!(toks("= <> != < <= > >= ||"), vec![
-            Tok::Eq,
-            Tok::Neq,
-            Tok::Neq,
-            Tok::Lt,
-            Tok::Le,
-            Tok::Gt,
-            Tok::Ge,
-            Tok::Concat
-        ]);
+        assert_eq!(
+            toks("= <> != < <= > >= ||"),
+            vec![
+                Tok::Eq,
+                Tok::Neq,
+                Tok::Neq,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Concat
+            ]
+        );
     }
 
     #[test]
@@ -314,21 +390,27 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("42 3.14 1e3 2.5e-2"), vec![
-            Tok::Int(42),
-            Tok::Float(3.14),
-            Tok::Float(1000.0),
-            Tok::Float(0.025)
-        ]);
+        assert_eq!(
+            toks("42 3.75 1e3 2.5e-2"),
+            vec![
+                Tok::Int(42),
+                Tok::Float(3.75),
+                Tok::Float(1000.0),
+                Tok::Float(0.025)
+            ]
+        );
     }
 
     #[test]
     fn qualified_column_tokens() {
-        assert_eq!(toks("r1.cname"), vec![
-            Tok::Ident("r1".into()),
-            Tok::Dot,
-            Tok::Ident("cname".into())
-        ]);
+        assert_eq!(
+            toks("r1.cname"),
+            vec![
+                Tok::Ident("r1".into()),
+                Tok::Dot,
+                Tok::Ident("cname".into())
+            ]
+        );
     }
 
     #[test]

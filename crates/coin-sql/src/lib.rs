@@ -24,7 +24,5 @@ pub use ast::{
     is_aggregate, BinOp, ColumnRef, Expr, OrderItem, Query, Select, SelectItem, TableRef, UnOp,
 };
 pub use lexer::{lex, LexError, Tok};
-pub use normalize::{
-    normalize_query, normalize_select, MapSchema, NormalizeError, SchemaLookup,
-};
+pub use normalize::{normalize_query, normalize_select, MapSchema, NormalizeError, SchemaLookup};
 pub use parser::{parse_expr, parse_query, SqlError};

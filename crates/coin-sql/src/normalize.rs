@@ -57,8 +57,10 @@ impl MapSchema {
     }
 
     pub fn add_table(&mut self, name: &str, columns: &[&str]) {
-        self.tables
-            .insert(name.to_owned(), columns.iter().map(|s| (*s).to_owned()).collect());
+        self.tables.insert(
+            name.to_owned(),
+            columns.iter().map(|s| (*s).to_owned()).collect(),
+        );
     }
 }
 
@@ -92,8 +94,7 @@ impl Scope {
     /// Resolve a column reference to its binding qualifier.
     fn resolve(&self, c: &ColumnRef) -> Result<ColumnRef, NormalizeError> {
         if let Some(q) = &c.qualifier {
-            let Some((b, _, cols)) = self.bindings.iter().find(|(name, _, _)| name == q)
-            else {
+            let Some((b, _, cols)) = self.bindings.iter().find(|(name, _, _)| name == q) else {
                 return Err(NormalizeError::UnknownTable(q.clone()));
             };
             if !cols.contains(&c.column) {
@@ -128,20 +129,38 @@ fn normalize_expr(e: &Expr, scope: &Scope) -> Result<Expr, NormalizeError> {
         Expr::Un(op, inner) => Expr::Un(*op, Box::new(normalize_expr(inner, scope)?)),
         Expr::Func(name, args) => Expr::Func(
             name.clone(),
-            args.iter().map(|a| normalize_expr(a, scope)).collect::<Result<_, _>>()?,
+            args.iter()
+                .map(|a| normalize_expr(a, scope))
+                .collect::<Result<_, _>>()?,
         ),
-        Expr::Between { expr, low, high, negated } => Expr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
             expr: Box::new(normalize_expr(expr, scope)?),
             low: Box::new(normalize_expr(low, scope)?),
             high: Box::new(normalize_expr(high, scope)?),
             negated: *negated,
         },
-        Expr::InList { expr, list, negated } => Expr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(normalize_expr(expr, scope)?),
-            list: list.iter().map(|a| normalize_expr(a, scope)).collect::<Result<_, _>>()?,
+            list: list
+                .iter()
+                .map(|a| normalize_expr(a, scope))
+                .collect::<Result<_, _>>()?,
             negated: *negated,
         },
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(normalize_expr(expr, scope)?),
             pattern: pattern.clone(),
             negated: *negated,
@@ -150,7 +169,11 @@ fn normalize_expr(e: &Expr, scope: &Scope) -> Result<Expr, NormalizeError> {
             expr: Box::new(normalize_expr(expr, scope)?),
             negated: *negated,
         },
-        Expr::Case { operand, branches, else_branch } => Expr::Case {
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => Expr::Case {
             operand: operand
                 .as_ref()
                 .map(|o| normalize_expr(o, scope).map(Box::new))
@@ -169,10 +192,7 @@ fn normalize_expr(e: &Expr, scope: &Scope) -> Result<Expr, NormalizeError> {
 }
 
 /// Normalize one SELECT: qualify all column references, expand wildcards.
-pub fn normalize_select(
-    s: &Select,
-    schema: &dyn SchemaLookup,
-) -> Result<Select, NormalizeError> {
+pub fn normalize_select(s: &Select, schema: &dyn SchemaLookup) -> Result<Select, NormalizeError> {
     let scope = Scope::build(&s.from, schema)?;
     let item_aliases: Vec<String> = s
         .items
@@ -196,8 +216,7 @@ pub fn normalize_select(
                 }
             }
             SelectItem::QualifiedWildcard(q) => {
-                let Some((b, _, cols)) =
-                    scope.bindings.iter().find(|(name, _, _)| name == q)
+                let Some((b, _, cols)) = scope.bindings.iter().find(|(name, _, _)| name == q)
                 else {
                     return Err(NormalizeError::UnknownTable(q.clone()));
                 };
@@ -228,7 +247,11 @@ pub fn normalize_select(
             .iter()
             .map(|g| normalize_expr(g, &scope))
             .collect::<Result<_, _>>()?,
-        having: s.having.as_ref().map(|h| normalize_expr(h, &scope)).transpose()?,
+        having: s
+            .having
+            .as_ref()
+            .map(|h| normalize_expr(h, &scope))
+            .transpose()?,
         order_by: s
             .order_by
             .iter()
@@ -237,13 +260,18 @@ pub fn normalize_select(
                 // source column — leave it bare for the engine to resolve
                 // against the output schema.
                 if let Expr::Column(c) = &o.expr {
-                    let is_alias = c.qualifier.is_none()
-                        && item_aliases.iter().any(|a| *a == c.column);
+                    let is_alias = c.qualifier.is_none() && item_aliases.contains(&c.column);
                     if is_alias {
-                        return Ok(OrderItem { expr: o.expr.clone(), desc: o.desc });
+                        return Ok(OrderItem {
+                            expr: o.expr.clone(),
+                            desc: o.desc,
+                        });
                     }
                 }
-                Ok(OrderItem { expr: normalize_expr(&o.expr, &scope)?, desc: o.desc })
+                Ok(OrderItem {
+                    expr: normalize_expr(&o.expr, &scope)?,
+                    desc: o.desc,
+                })
             })
             .collect::<Result<_, NormalizeError>>()?,
         limit: s.limit,
@@ -251,10 +279,7 @@ pub fn normalize_select(
 }
 
 /// Normalize every branch of a query.
-pub fn normalize_query(
-    q: &Query,
-    schema: &dyn SchemaLookup,
-) -> Result<Query, NormalizeError> {
+pub fn normalize_query(q: &Query, schema: &dyn SchemaLookup) -> Result<Query, NormalizeError> {
     Ok(match q {
         Query::Select(s) => Query::Select(Box::new(normalize_select(s, schema)?)),
         Query::Union { left, right, all } => Query::Union {

@@ -18,7 +18,11 @@ pub struct SqlError {
 
 impl std::fmt::Display for SqlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SQL parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "SQL parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -26,7 +30,11 @@ impl std::error::Error for SqlError {}
 
 impl From<LexError> for SqlError {
     fn from(e: LexError) -> Self {
-        SqlError { message: e.message, line: e.line, col: e.col }
+        SqlError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
     }
 }
 
@@ -66,7 +74,11 @@ impl Parser {
             .or_else(|| self.toks.last())
             .map(|s| (s.line, s.col))
             .unwrap_or((1, 1));
-        SqlError { message: message.into(), line, col }
+        SqlError {
+            message: message.into(),
+            line,
+            col,
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -207,7 +219,16 @@ impl Parser {
         } else {
             None
         };
-        Ok(Select { distinct, items, from, where_clause, group_by, having, order_by, limit })
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn parse_select_item(&mut self) -> Result<SelectItem, SqlError> {
@@ -243,10 +264,7 @@ impl Parser {
             if self.peek() == Some(&Tok::Comma) {
                 self.pos += 1;
                 tables.push(self.parse_table_ref()?);
-            } else if self.at_kw("JOIN")
-                || self.at_kw("INNER")
-                || self.at_kw("CROSS")
-            {
+            } else if self.at_kw("JOIN") || self.at_kw("INNER") || self.at_kw("CROSS") {
                 let cross = self.eat_kw("CROSS");
                 self.eat_kw("INNER");
                 self.expect_kw("JOIN")?;
@@ -278,7 +296,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(TableRef { source, table, alias })
+        Ok(TableRef {
+            source,
+            table,
+            alias,
+        })
     }
 
     // ---- expressions ------------------------------------------------------
@@ -358,12 +380,20 @@ impl Parser {
                 list.push(self.parse_expr()?);
             }
             self.expect(Tok::RParen, ")")?;
-            return Ok(Expr::InList { expr: Box::new(e), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(e),
+                list,
+                negated,
+            });
         }
         if self.eat_kw("LIKE") {
             match self.bump() {
                 Some(Tok::Str(pattern)) => {
-                    return Ok(Expr::Like { expr: Box::new(e), pattern, negated })
+                    return Ok(Expr::Like {
+                        expr: Box::new(e),
+                        pattern,
+                        negated,
+                    })
                 }
                 other => {
                     return Err(self.err(format!("expected LIKE pattern string, found {other:?}")))
@@ -373,7 +403,10 @@ impl Parser {
         if self.eat_kw("IS") {
             let negated = self.eat_kw("NOT");
             self.expect_kw("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(e), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(e),
+                negated,
+            });
         }
         Ok(e)
     }
@@ -499,7 +532,11 @@ impl Parser {
             None
         };
         self.expect_kw("END")?;
-        Ok(Expr::Case { operand, branches, else_branch })
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        })
     }
 }
 
@@ -549,10 +586,7 @@ mod tests {
 
     #[test]
     fn join_on_desugars() {
-        let q = parse_query(
-            "SELECT a.x FROM t1 a JOIN t2 b ON a.id = b.id WHERE a.x > 3",
-        )
-        .unwrap();
+        let q = parse_query("SELECT a.x FROM t1 a JOIN t2 b ON a.id = b.id WHERE a.x > 3").unwrap();
         let s = &q.branches()[0];
         assert_eq!(s.from.len(), 2);
         let w = s.where_clause.as_ref().unwrap();
@@ -608,7 +642,10 @@ mod tests {
     fn count_star() {
         let q = parse_query("SELECT COUNT(*) FROM t").unwrap();
         match &q.branches()[0].items[0] {
-            SelectItem::Expr { expr: Expr::Func(name, args), .. } => {
+            SelectItem::Expr {
+                expr: Expr::Func(name, args),
+                ..
+            } => {
                 assert_eq!(name, "COUNT");
                 assert!(args.is_empty());
             }
@@ -630,10 +667,7 @@ mod tests {
     #[test]
     fn operator_precedence() {
         let e = parse_expr("1 + 2 * 3 = 7 AND NOT 2 > 3 OR FALSE").unwrap();
-        assert_eq!(
-            e.to_string(),
-            "1 + 2 * 3 = 7 AND NOT 2 > 3 OR FALSE"
-        );
+        assert_eq!(e.to_string(), "1 + 2 * 3 = 7 AND NOT 2 > 3 OR FALSE");
         // Structure: OR(AND(=(+(1,*(2,3)),7), NOT(>(2,3))), FALSE)
         match e {
             Expr::Bin(_, BinOp::Or, _) => {}
@@ -645,15 +679,15 @@ mod tests {
     fn unary_minus_folds_literals() {
         assert_eq!(parse_expr("-3").unwrap(), Expr::Int(-3));
         assert_eq!(parse_expr("-3.5").unwrap(), Expr::Float(-3.5));
-        assert!(matches!(parse_expr("-t.x").unwrap(), Expr::Un(UnOp::Neg, _)));
+        assert!(matches!(
+            parse_expr("-t.x").unwrap(),
+            Expr::Un(UnOp::Neg, _)
+        ));
     }
 
     #[test]
     fn case_expression() {
-        let e = parse_expr(
-            "CASE WHEN t.cur = 'JPY' THEN t.v * 1000 ELSE t.v END",
-        )
-        .unwrap();
+        let e = parse_expr("CASE WHEN t.cur = 'JPY' THEN t.v * 1000 ELSE t.v END").unwrap();
         assert!(matches!(e, Expr::Case { .. }));
     }
 

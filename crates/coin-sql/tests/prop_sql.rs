@@ -2,7 +2,9 @@
 //! yield the identical AST (the printer is the mediator's output channel, so
 //! this roundtrip is load-bearing for EX-F2).
 
-use coin_sql::{parse_expr, parse_query, BinOp, ColumnRef, Expr, Query, Select, SelectItem, TableRef, UnOp};
+use coin_sql::{
+    parse_expr, parse_query, BinOp, ColumnRef, Expr, Query, Select, SelectItem, TableRef, UnOp,
+};
 use proptest::prelude::*;
 
 fn arb_ident() -> impl Strategy<Value = String> {
@@ -58,7 +60,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                     negated: false,
                 }
             }),
-            (inner.clone(), prop::collection::vec(inner.clone(), 1..3), any::<bool>())
+            (
+                inner.clone(),
+                prop::collection::vec(inner.clone(), 1..3),
+                any::<bool>()
+            )
                 .prop_map(|(e, list, negated)| Expr::InList {
                     expr: Box::new(e),
                     list,
@@ -92,7 +98,10 @@ fn arb_select() -> impl Strategy<Value = Select> {
             distinct,
             items: exprs
                 .into_iter()
-                .map(|e| SelectItem::Expr { expr: e, alias: None })
+                .map(|e| SelectItem::Expr {
+                    expr: e,
+                    alias: None,
+                })
                 .collect(),
             // Deduplicate table names and give each a unique alias so the
             // query is well-formed.
@@ -115,7 +124,12 @@ fn arb_select() -> impl Strategy<Value = Select> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        // CI determinism: never read or write regression files.
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
 
     #[test]
     fn expr_print_parse_roundtrip(e in arb_expr()) {

@@ -38,7 +38,11 @@ impl std::fmt::Display for WrapError {
                 write!(f, "query must bind columns: {}", cols.join(", "))
             }
             WrapError::UnresolvedTemplate { state, names } => {
-                write!(f, "state {state}: unresolved template params {}", names.join(", "))
+                write!(
+                    f,
+                    "state {state}: unresolved template params {}",
+                    names.join(", ")
+                )
             }
             WrapError::IncompleteTuple { state, column } => {
                 write!(f, "state {state}: no value extracted for column {column}")
@@ -66,7 +70,11 @@ pub struct WrapperExec<'a> {
 
 impl<'a> WrapperExec<'a> {
     pub fn new(spec: &'a WrapperSpec, web: &'a SimWeb) -> WrapperExec<'a> {
-        WrapperExec { spec, web, max_pages: 512 }
+        WrapperExec {
+            spec,
+            web,
+            max_pages: 512,
+        }
     }
 
     /// Run the wrapper with the given bound-column values, producing the
@@ -83,12 +91,12 @@ impl<'a> WrapperExec<'a> {
             return Err(WrapError::MissingBindings(missing));
         }
 
-        let url = instantiate_template(&self.spec.start_template, bindings).map_err(
-            |names| WrapError::UnresolvedTemplate {
+        let url = instantiate_template(&self.spec.start_template, bindings).map_err(|names| {
+            WrapError::UnresolvedTemplate {
                 state: self.spec.start_state.clone(),
                 names,
-            },
-        )?;
+            }
+        })?;
 
         let mut out = Table::new(&self.spec.relation, self.spec.schema());
         let mut budget = self.max_pages;
@@ -179,12 +187,12 @@ impl<'a> WrapperExec<'a> {
         for t in &def.transitions {
             match t {
                 Transition::Url { target, template } => {
-                    let next_url = instantiate_template(template, &bindings).map_err(
-                        |names| WrapError::UnresolvedTemplate {
+                    let next_url = instantiate_template(template, &bindings).map_err(|names| {
+                        WrapError::UnresolvedTemplate {
                             state: state.to_owned(),
                             names,
-                        },
-                    )?;
+                        }
+                    })?;
                     self.visit(target, &next_url, bindings.clone(), out, budget, visited)?;
                 }
                 Transition::Links { target, pattern } => {
@@ -263,14 +271,19 @@ PAGE quote MATCH ONE "<td class=\"rate\">(?P<rate>[0-9.eE+-]+)</td>"
     }
 
     fn bind(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
-        pairs.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect()
     }
 
     #[test]
     fn rate_lookup_single_tuple() {
         let (spec, web) = rates_setup();
         let exec = WrapperExec::new(&spec, &web);
-        let t = exec.run(&bind(&[("fromCur", "JPY"), ("toCur", "USD")])).unwrap();
+        let t = exec
+            .run(&bind(&[("fromCur", "JPY"), ("toCur", "USD")]))
+            .unwrap();
         assert_eq!(t.rows.len(), 1);
         assert_eq!(
             t.rows[0],
@@ -290,7 +303,9 @@ PAGE quote MATCH ONE "<td class=\"rate\">(?P<rate>[0-9.eE+-]+)</td>"
     fn unknown_pair_yields_empty() {
         let (spec, web) = rates_setup();
         let exec = WrapperExec::new(&spec, &web);
-        let t = exec.run(&bind(&[("fromCur", "XXX"), ("toCur", "USD")])).unwrap();
+        let t = exec
+            .run(&bind(&[("fromCur", "XXX"), ("toCur", "USD")]))
+            .unwrap();
         assert!(t.rows.is_empty());
     }
 
@@ -362,10 +377,9 @@ PAGE p MATCH MANY "=\((?P<v>\d+)\)"
         // A chain of pages a0 -> a1 -> a2 … each generated dynamically.
         for i in 0..100 {
             let next = format!("http://chain.example/p{}", i + 1);
-            web.mount(
-                &format!("http://chain.example/p{i}"),
-                move |_| Some(format!("<a href=\"{next}\">n</a><p>=(7)</p>")),
-            );
+            web.mount(&format!("http://chain.example/p{i}"), move |_| {
+                Some(format!("<a href=\"{next}\">n</a><p>=(7)</p>"))
+            });
         }
         let spec = WrapperSpec::parse(
             r#"
@@ -394,17 +408,16 @@ PAGE p MATCH MANY "=\((?P<v>\d+)\)"
             "<html>NEW LAYOUT no rate cell</html>",
         );
         let exec = WrapperExec::new(&spec, &web);
-        let e = exec.run(&bind(&[("fromCur", "JPY"), ("toCur", "USD")])).unwrap_err();
+        let e = exec
+            .run(&bind(&[("fromCur", "JPY"), ("toCur", "USD")]))
+            .unwrap_err();
         assert!(matches!(e, WrapError::IncompleteTuple { ref column, .. } if column == "rate"));
     }
 
     #[test]
     fn bad_numeric_value_detected() {
         let web = SimWeb::new();
-        web.mount_static(
-            "http://x.example/p",
-            "<td class=\"rate\">not-a-number</td>",
-        );
+        web.mount_static("http://x.example/p", "<td class=\"rate\">not-a-number</td>");
         let spec = WrapperSpec::parse(
             r#"
 EXPORT rates(rate FLOAT)
@@ -422,7 +435,10 @@ PAGE p MATCH ONE "<td class=\"rate\">(?P<rate>[a-z-]+)</td>"
 
     #[test]
     fn numeric_with_thousands_separators() {
-        assert_eq!(convert("1,500,000", ColumnType::Int), Some(Value::Int(1_500_000)));
+        assert_eq!(
+            convert("1,500,000", ColumnType::Int),
+            Some(Value::Int(1_500_000))
+        );
         assert_eq!(convert(" 2.5 ", ColumnType::Float), Some(Value::Float(2.5)));
     }
 }

@@ -30,7 +30,10 @@ pub struct CostParams {
 
 impl Default for CostParams {
     fn default() -> Self {
-        CostParams { latency: 10.0, per_tuple: 0.1 }
+        CostParams {
+            latency: 10.0,
+            per_tuple: 0.1,
+        }
     }
 }
 
@@ -181,7 +184,8 @@ impl Source for RelationalSource {
     }
 
     fn execute_select(&self, select: &Select) -> Result<Table, SourceError> {
-        self.queries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.queries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(coin_rel::execute_select(select, &self.catalog)?)
     }
 
@@ -210,7 +214,10 @@ impl WebSource {
         let mut bound = BTreeMap::new();
         bound.insert(
             spec.relation.clone(),
-            spec.bound_columns().iter().map(|s| (*s).to_owned()).collect(),
+            spec.bound_columns()
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect(),
         );
         WebSource {
             name: name.to_owned(),
@@ -223,7 +230,10 @@ impl WebSource {
                 pushdown_join: false,
                 bound_columns: bound,
                 // Web access is slow: order-of-magnitude above a database.
-                cost: CostParams { latency: 100.0, per_tuple: 1.0 },
+                cost: CostParams {
+                    latency: 100.0,
+                    per_tuple: 1.0,
+                },
             },
             queries: std::sync::atomic::AtomicUsize::new(0),
         }
@@ -244,7 +254,9 @@ impl WebSource {
 /// Accepts both bare and table-qualified column references.
 fn extract_bindings(select: &Select) -> BTreeMap<String, String> {
     let mut out = BTreeMap::new();
-    let Some(w) = &select.where_clause else { return out };
+    let Some(w) = &select.where_clause else {
+        return out;
+    };
     for c in w.conjuncts() {
         if let Expr::Bin(l, BinOp::Eq, r) = c {
             let (col, lit) = match (l.as_ref(), r.as_ref()) {
@@ -279,7 +291,8 @@ impl Source for WebSource {
     }
 
     fn execute_select(&self, select: &Select) -> Result<Table, SourceError> {
-        self.queries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.queries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         // The FROM must reference exactly our relation.
         let [table_ref] = select.from.as_slice() else {
             return Err(SourceError::Unsupported(
@@ -373,7 +386,9 @@ mod tests {
     fn relational_source_executes() {
         let src = r2_source();
         let t = src
-            .execute_select(&parse_select("SELECT cname FROM r2 WHERE expenses > 1000000000"))
+            .execute_select(&parse_select(
+                "SELECT cname FROM r2 WHERE expenses > 1000000000",
+            ))
             .unwrap();
         assert_eq!(t.rows, vec![vec![Value::str("IBM")]]);
         assert_eq!(src.query_count(), 1);
@@ -424,7 +439,10 @@ mod tests {
                 "SELECT rate FROM r3 WHERE fromCur = 'JPY' AND toCur = 'USD' AND rate > 1",
             ))
             .unwrap();
-        assert!(t.rows.is_empty(), "rate 0.0096 fails the residual predicate");
+        assert!(
+            t.rows.is_empty(),
+            "rate 0.0096 fails the residual predicate"
+        );
     }
 
     #[test]

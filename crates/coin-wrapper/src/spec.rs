@@ -98,7 +98,11 @@ pub struct SpecError {
 
 impl std::fmt::Display for SpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "wrapper spec error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "wrapper spec error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -117,7 +121,10 @@ impl WrapperSpec {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let err = |m: String| SpecError { message: m, line: lineno };
+            let err = |m: String| SpecError {
+                message: m,
+                line: lineno,
+            };
             let toks = tokenize_line(line).map_err(&err)?;
             let kw = toks[0].to_ascii_uppercase();
             match kw.as_str() {
@@ -151,9 +158,7 @@ impl WrapperSpec {
                             let mode = match toks[3].to_ascii_uppercase().as_str() {
                                 "ONE" => MatchMode::One,
                                 "MANY" => MatchMode::Many,
-                                other => {
-                                    return Err(err(format!("bad match mode {other}")))
-                                }
+                                other => return Err(err(format!("bad match mode {other}"))),
                             };
                             let pattern = Pattern::new(&toks[4])
                                 .map_err(|e| err(format!("bad pattern: {e}")))?;
@@ -162,7 +167,7 @@ impl WrapperSpec {
                         "FOLLOW" => {
                             if toks.len() != 6 {
                                 return Err(err(
-                                    "PAGE <s> FOLLOW <target> URL|LINKS \"<arg>\"".into(),
+                                    "PAGE <s> FOLLOW <target> URL|LINKS \"<arg>\"".into()
                                 ));
                             }
                             let target = toks[3].clone();
@@ -176,15 +181,12 @@ impl WrapperSpec {
                                         .map_err(|e| err(format!("bad pattern: {e}")))?;
                                     if !pattern.group_names().any(|n| n == "url") {
                                         return Err(err(
-                                            "LINKS pattern needs a (?P<url>…) group".into(),
+                                            "LINKS pattern needs a (?P<url>…) group".into()
                                         ));
                                     }
-                                    def.transitions
-                                        .push(Transition::Links { target, pattern });
+                                    def.transitions.push(Transition::Links { target, pattern });
                                 }
-                                other => {
-                                    return Err(err(format!("bad follow kind {other}")))
-                                }
+                                other => return Err(err(format!("bad follow kind {other}"))),
                             }
                         }
                         "CONST" => {
@@ -209,13 +211,22 @@ impl WrapperSpec {
             line: 0,
         })?;
 
-        let spec = WrapperSpec { relation, columns, start_state, start_template, states };
+        let spec = WrapperSpec {
+            relation,
+            columns,
+            start_state,
+            start_template,
+            states,
+        };
         spec.validate()?;
         Ok(spec)
     }
 
     fn validate(&self) -> Result<(), SpecError> {
-        let err = |m: String| SpecError { message: m, line: 0 };
+        let err = |m: String| SpecError {
+            message: m,
+            line: 0,
+        };
         // Every transition target must exist as a state (or have rules).
         for (name, def) in &self.states {
             for t in &def.transitions {
@@ -254,7 +265,11 @@ impl WrapperSpec {
 
     /// Names of the bound (input) columns — the source's binding pattern.
     pub fn bound_columns(&self) -> Vec<&str> {
-        self.columns.iter().filter(|c| c.bound).map(|c| c.name.as_str()).collect()
+        self.columns
+            .iter()
+            .filter(|c| c.bound)
+            .map(|c| c.name.as_str())
+            .collect()
     }
 
     /// The exported schema (unqualified column names).
@@ -297,7 +312,11 @@ fn parse_export(s: &str) -> Result<(String, Vec<SpecColumn>), String> {
             Some(w) if w.eq_ignore_ascii_case("bound") => true,
             Some(w) => return Err(format!("unknown column flag {w}")),
         };
-        cols.push(SpecColumn { name: words[0].to_owned(), ty, bound });
+        cols.push(SpecColumn {
+            name: words[0].to_owned(),
+            ty,
+            bound,
+        });
     }
     if cols.is_empty() {
         return Err("relation needs at least one column".into());
@@ -443,7 +462,10 @@ PAGE p CONST exchange "NYSE"
 "#,
         )
         .unwrap();
-        assert_eq!(spec.states["p"].consts, vec![("exchange".into(), "NYSE".into())]);
+        assert_eq!(
+            spec.states["p"].consts,
+            vec![("exchange".into(), "NYSE".into())]
+        );
     }
 
     #[test]
@@ -494,10 +516,8 @@ PAGE p FOLLOW p LINKS "<a>(?P<a>x)</a>"
 
     #[test]
     fn error_reports_line() {
-        let e = WrapperSpec::parse(
-            "EXPORT q(a STR)\nSTART p \"http://x/y\"\nPAGE p FROBNICATE",
-        )
-        .unwrap_err();
+        let e = WrapperSpec::parse("EXPORT q(a STR)\nSTART p \"http://x/y\"\nPAGE p FROBNICATE")
+            .unwrap_err();
         assert_eq!(e.line, 3);
     }
 
@@ -506,11 +526,8 @@ PAGE p FOLLOW p LINKS "<a>(?P<a>x)</a>"
         let mut b = std::collections::BTreeMap::new();
         b.insert("fromCur".to_owned(), "JPY".to_owned());
         b.insert("toCur".to_owned(), "US D".to_owned());
-        let url = instantiate_template(
-            "http://forex.example/rate?from=$fromCur&to=$toCur",
-            &b,
-        )
-        .unwrap();
+        let url =
+            instantiate_template("http://forex.example/rate?from=$fromCur&to=$toCur", &b).unwrap();
         assert_eq!(url, "http://forex.example/rate?from=JPY&to=US+D");
     }
 

@@ -9,9 +9,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock};
 
 /// A parsed request: the route (scheme+host+path) and query parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,7 +41,10 @@ impl Request {
                 }
             }
         }
-        Ok(Request { route: route.to_owned(), params })
+        Ok(Request {
+            route: route.to_owned(),
+            params,
+        })
     }
 
     /// A required parameter.
@@ -66,7 +67,9 @@ pub fn url_decode(s: &str) -> String {
             b'%' if i + 2 < bytes.len() + 1 && i + 2 <= bytes.len() - 1 + 1 => {
                 let hex = bytes.get(i + 1..i + 3);
                 match hex.and_then(|h| {
-                    std::str::from_utf8(h).ok().and_then(|h| u8::from_str_radix(h, 16).ok())
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
                 }) {
                     Some(b) => {
                         out.push(b);
@@ -142,7 +145,10 @@ impl SimWeb {
     where
         F: Fn(&Request) -> Option<String> + Send + Sync + 'static,
     {
-        self.inner.write().insert(route.to_owned(), Arc::new(handler));
+        self.inner
+            .write()
+            .expect("SimWeb routes poisoned")
+            .insert(route.to_owned(), Arc::new(handler));
     }
 
     /// Mount a static page.
@@ -156,7 +162,7 @@ impl SimWeb {
         self.fetches.fetch_add(1, Ordering::Relaxed);
         let req = Request::parse(url)?;
         let handler = {
-            let routes = self.inner.read();
+            let routes = self.inner.read().expect("SimWeb routes poisoned");
             routes.get(&req.route).cloned()
         };
         match handler {
@@ -172,7 +178,12 @@ impl SimWeb {
 
     /// List mounted routes.
     pub fn routes(&self) -> Vec<String> {
-        self.inner.read().keys().cloned().collect()
+        self.inner
+            .read()
+            .expect("SimWeb routes poisoned")
+            .keys()
+            .cloned()
+            .collect()
     }
 }
 
@@ -235,7 +246,10 @@ mod tests {
     fn fetch_routes_and_counts() {
         let web = SimWeb::new();
         web.mount_static("http://a.example/p", "<html>hello</html>");
-        assert_eq!(web.fetch("http://a.example/p").unwrap(), "<html>hello</html>");
+        assert_eq!(
+            web.fetch("http://a.example/p").unwrap(),
+            "<html>hello</html>"
+        );
         assert!(matches!(
             web.fetch("http://a.example/nope"),
             Err(WebError::NotFound(_))
@@ -263,7 +277,9 @@ mod tests {
             "http://forex.example/rate",
             &[("JPY", "USD", 0.0096), ("USD", "JPY", 104.0)],
         );
-        let page = web.fetch("http://forex.example/rate?from=JPY&to=USD").unwrap();
+        let page = web
+            .fetch("http://forex.example/rate?from=JPY&to=USD")
+            .unwrap();
         assert!(page.contains("0.0096"));
         assert!(matches!(
             web.fetch("http://forex.example/rate?from=XXX&to=USD"),

@@ -1,0 +1,241 @@
+//! Integration tests for the wrapper layer: spec-language parsing, wrapper
+//! execution against the simulated web (navigation + pattern extraction),
+//! and error paths for malformed specs and bad queries.
+
+use std::collections::BTreeMap;
+
+use coin_rel::{ColumnType, Value};
+use coin_wrapper::{
+    mount_exchange_service, MatchMode, SimWeb, Transition, WrapError, WrapperExec, WrapperSpec,
+};
+
+const EXCHANGE_SPEC: &str = r#"
+# The paper's ancillary currency source r3.
+EXPORT rates(fromCur STR BOUND, toCur STR BOUND, rate FLOAT)
+START quote "http://forex.example/rate?from=$fromCur&to=$toCur"
+PAGE quote MATCH ONE "<td class=\"rate\">(?P<rate>[0-9.eE+-]+)</td>"
+"#;
+
+/// A two-level site: an index page of links, detail pages with many rows.
+const CATALOG_SPEC: &str = r#"
+EXPORT quotes(symbol STR, price FLOAT, exchange STR)
+START index "http://quotes.example/index"
+PAGE index FOLLOW detail LINKS "<a href=\"(?P<url>[^\"]+)\">"
+PAGE detail MATCH MANY "<tr><td>(?P<symbol>[A-Z]+)</td><td>(?P<price>[0-9.]+)</td></tr>"
+PAGE detail CONST exchange "NYSE"
+"#;
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------------
+
+#[test]
+fn parse_exchange_spec_structure() {
+    let spec = WrapperSpec::parse(EXCHANGE_SPEC).unwrap();
+    assert_eq!(spec.relation, "rates");
+    assert_eq!(spec.start_state, "quote");
+    assert_eq!(spec.bound_columns(), vec!["fromCur", "toCur"]);
+    let cols = &spec.columns;
+    assert_eq!(cols.len(), 3);
+    assert_eq!(cols[2].name, "rate");
+    assert_eq!(cols[2].ty, ColumnType::Float);
+    assert!(!cols[2].bound);
+    let quote = &spec.states["quote"];
+    assert_eq!(quote.extracts.len(), 1);
+    assert_eq!(quote.extracts[0].mode, MatchMode::One);
+}
+
+#[test]
+fn parse_transition_network_spec() {
+    let spec = WrapperSpec::parse(CATALOG_SPEC).unwrap();
+    assert!(spec.bound_columns().is_empty());
+    let index = &spec.states["index"];
+    assert_eq!(index.transitions.len(), 1);
+    match &index.transitions[0] {
+        Transition::Links { target, .. } => assert_eq!(target, "detail"),
+        other => panic!("expected LINKS transition, got {other:?}"),
+    }
+    let detail = &spec.states["detail"];
+    assert_eq!(detail.extracts[0].mode, MatchMode::Many);
+    assert_eq!(
+        detail.consts,
+        vec![("exchange".to_owned(), "NYSE".to_owned())]
+    );
+}
+
+#[test]
+fn spec_schema_matches_export() {
+    let spec = WrapperSpec::parse(EXCHANGE_SPEC).unwrap();
+    let schema = spec.schema();
+    let names: Vec<&str> = schema.columns.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names, vec!["fromCur", "toCur", "rate"]);
+}
+
+// ---------------------------------------------------------------------------
+// Simulated-web fetch + extraction
+// ---------------------------------------------------------------------------
+
+fn exchange_web() -> SimWeb {
+    let web = SimWeb::new();
+    mount_exchange_service(
+        &web,
+        "http://forex.example/rate",
+        &[
+            ("JPY", "USD", 0.0096),
+            ("USD", "JPY", 104.0),
+            ("DEM", "USD", 0.59),
+        ],
+    );
+    web
+}
+
+fn bindings(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+    pairs
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect()
+}
+
+#[test]
+fn exchange_wrapper_extracts_rate() {
+    let web = exchange_web();
+    let spec = WrapperSpec::parse(EXCHANGE_SPEC).unwrap();
+    let exec = WrapperExec::new(&spec, &web);
+    let table = exec
+        .run(&bindings(&[("fromCur", "JPY"), ("toCur", "USD")]))
+        .unwrap();
+    assert_eq!(table.rows.len(), 1);
+    assert_eq!(
+        table.rows[0],
+        vec![Value::str("JPY"), Value::str("USD"), Value::Float(0.0096)]
+    );
+    // Exactly one page fetched for a ONE-match start state.
+    assert_eq!(web.fetch_count(), 1);
+}
+
+#[test]
+fn unknown_currency_pair_yields_zero_tuples() {
+    let web = exchange_web();
+    let spec = WrapperSpec::parse(EXCHANGE_SPEC).unwrap();
+    let exec = WrapperExec::new(&spec, &web);
+    // The service 404s on unknown pairs; the wrapper reports an empty
+    // relation rather than an error.
+    let table = exec
+        .run(&bindings(&[("fromCur", "XXX"), ("toCur", "USD")]))
+        .unwrap();
+    assert!(table.rows.is_empty());
+}
+
+#[test]
+fn link_navigation_collects_all_detail_pages() {
+    let web = SimWeb::new();
+    web.mount_static(
+        "http://quotes.example/index",
+        "<html><a href=\"http://quotes.example/d1\">tech</a>\
+         <a href=\"http://quotes.example/d2\">telecom</a></html>",
+    );
+    web.mount_static(
+        "http://quotes.example/d1",
+        "<table><tr><td>IBM</td><td>104.5</td></tr>\
+         <tr><td>AAPL</td><td>23.25</td></tr></table>",
+    );
+    web.mount_static(
+        "http://quotes.example/d2",
+        "<table><tr><td>NTT</td><td>8810.0</td></tr></table>",
+    );
+    let spec = WrapperSpec::parse(CATALOG_SPEC).unwrap();
+    let exec = WrapperExec::new(&spec, &web);
+    let table = exec.run(&BTreeMap::new()).unwrap();
+
+    let mut rows = table.rows.clone();
+    rows.sort_by(|a, b| a[0].render().cmp(&b[0].render()));
+    assert_eq!(
+        rows,
+        vec![
+            vec![Value::str("AAPL"), Value::Float(23.25), Value::str("NYSE")],
+            vec![Value::str("IBM"), Value::Float(104.5), Value::str("NYSE")],
+            vec![Value::str("NTT"), Value::Float(8810.0), Value::str("NYSE")],
+        ]
+    );
+    // Index + two detail pages.
+    assert_eq!(web.fetch_count(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Error paths
+// ---------------------------------------------------------------------------
+
+#[test]
+fn malformed_specs_are_rejected_with_line_numbers() {
+    // Unknown keyword.
+    let err = WrapperSpec::parse("EXPLODE x(y INT)").unwrap_err();
+    assert!(err.message.contains("unknown keyword"), "{err}");
+    assert_eq!(err.line, 1);
+
+    // Missing START.
+    let err = WrapperSpec::parse("EXPORT r(a INT)").unwrap_err();
+    assert!(err.message.contains("missing START"), "{err}");
+
+    // Missing EXPORT.
+    let err = WrapperSpec::parse("START s \"http://x/\"").unwrap_err();
+    assert!(err.message.contains("missing EXPORT"), "{err}");
+
+    // Bad column type; the error carries the offending line.
+    let err = WrapperSpec::parse("# comment\nEXPORT r(a BLOB)\nSTART s \"http://x/\"").unwrap_err();
+    assert!(err.message.contains("unknown type"), "{err}");
+    assert_eq!(err.line, 2);
+
+    // A capture that is not an exported column fails validation.
+    let src = "EXPORT r(a STR)\nSTART s \"http://x/\"\nPAGE s MATCH ONE \"(?P<b>x)\"";
+    let err = WrapperSpec::parse(src).unwrap_err();
+    assert!(err.message.contains("not an exported column"), "{err}");
+
+    // A transition to an undefined state fails validation.
+    let src = "EXPORT r(a STR)\nSTART s \"http://x/\"\n\
+               PAGE s FOLLOW nowhere URL \"http://x/next\"\n\
+               PAGE s MATCH ONE \"(?P<a>x)\"";
+    let err = WrapperSpec::parse(src).unwrap_err();
+    assert!(err.message.contains("undefined state"), "{err}");
+
+    // LINKS without a (?P<url>…) group.
+    let src = "EXPORT r(a STR)\nSTART s \"http://x/\"\n\
+               PAGE s FOLLOW s LINKS \"<a>(?P<a>x)</a>\"";
+    let err = WrapperSpec::parse(src).unwrap_err();
+    assert!(err.message.contains("url"), "{err}");
+    assert_eq!(err.line, 3);
+}
+
+#[test]
+fn missing_bindings_is_a_query_error() {
+    let web = exchange_web();
+    let spec = WrapperSpec::parse(EXCHANGE_SPEC).unwrap();
+    let exec = WrapperExec::new(&spec, &web);
+    let err = exec.run(&bindings(&[("fromCur", "JPY")])).unwrap_err();
+    assert_eq!(err, WrapError::MissingBindings(vec!["toCur".to_owned()]));
+    // Nothing was fetched.
+    assert_eq!(web.fetch_count(), 0);
+}
+
+#[test]
+fn markup_drift_surfaces_as_incomplete_tuple() {
+    // The site changed its markup: the rate cell class is different, so the
+    // ONE-match rule never fires and the non-optional column stays empty.
+    let web = SimWeb::new();
+    web.mount_static(
+        "http://forex.example/rate",
+        "<html><td class=\"price\">0.0096</td></html>",
+    );
+    let spec = WrapperSpec::parse(
+        "EXPORT rates(rate FLOAT)\nSTART quote \"http://forex.example/rate\"\n\
+         PAGE quote MATCH ONE \"<td class=\\\"rate\\\">(?P<rate>[0-9.]+)</td>\"",
+    )
+    .unwrap();
+    let exec = WrapperExec::new(&spec, &web);
+    match exec.run(&BTreeMap::new()) {
+        Err(WrapError::IncompleteTuple { state, column }) => {
+            assert_eq!(state, "quote");
+            assert_eq!(column, "rate");
+        }
+        other => panic!("expected IncompleteTuple, got {other:?}"),
+    }
+}

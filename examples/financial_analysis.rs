@@ -13,10 +13,8 @@
 //!
 //! Run with: `cargo run --example financial_analysis`
 
-use coin::core::{
-    Conversion, ContextTheory, Elevation, ModifierSpec,
-};
 use coin::core::system::CoinSystem;
+use coin::core::{ContextTheory, Conversion, Elevation, ModifierSpec};
 use coin::rel::{Catalog, ColumnType, Schema, Table, Value};
 use coin::wrapper::RelationalSource;
 
@@ -44,9 +42,24 @@ fn build_system() -> CoinSystem {
             ("costs", ColumnType::Int),
         ]),
         vec![
-            vec!["IBM".into(), "tech".into(), Value::Int(81_700_000_000i64), Value::Int(73_400_000_000i64)],
-            vec!["GE".into(), "industrial".into(), Value::Int(90_800_000_000i64), Value::Int(82_000_000_000i64)],
-            vec!["Ford".into(), "auto".into(), Value::Int(146_900_000_000i64), Value::Int(140_100_000_000i64)],
+            vec![
+                "IBM".into(),
+                "tech".into(),
+                Value::Int(81_700_000_000i64),
+                Value::Int(73_400_000_000i64),
+            ],
+            vec![
+                "GE".into(),
+                "industrial".into(),
+                Value::Int(90_800_000_000i64),
+                Value::Int(82_000_000_000i64),
+            ],
+            vec![
+                "Ford".into(),
+                "auto".into(),
+                Value::Int(146_900_000_000i64),
+                Value::Int(140_100_000_000i64),
+            ],
         ],
     );
     let tokyo = Table::from_rows(
@@ -59,9 +72,24 @@ fn build_system() -> CoinSystem {
         ]),
         // JPY, thousands.
         vec![
-            vec!["NTT".into(), "tech".into(), Value::Int(9_700_000_000i64), Value::Int(8_900_000_000i64)],
-            vec!["Toyota".into(), "auto".into(), Value::Int(12_700_000_000i64), Value::Int(11_600_000_000i64)],
-            vec!["Sony".into(), "tech".into(), Value::Int(5_700_000_000i64), Value::Int(5_500_000_000i64)],
+            vec![
+                "NTT".into(),
+                "tech".into(),
+                Value::Int(9_700_000_000i64),
+                Value::Int(8_900_000_000i64),
+            ],
+            vec![
+                "Toyota".into(),
+                "auto".into(),
+                Value::Int(12_700_000_000i64),
+                Value::Int(11_600_000_000i64),
+            ],
+            vec![
+                "Sony".into(),
+                "tech".into(),
+                Value::Int(5_700_000_000i64),
+                Value::Int(5_500_000_000i64),
+            ],
         ],
     );
     let frankfurt = Table::from_rows(
@@ -74,8 +102,18 @@ fn build_system() -> CoinSystem {
         ]),
         // EUR, millions.
         vec![
-            vec!["Siemens".into(), "industrial".into(), Value::Int(60_000i64), Value::Int(56_500i64)],
-            vec!["VW".into(), "auto".into(), Value::Int(113_000i64), Value::Int(110_000i64)],
+            vec![
+                "Siemens".into(),
+                "industrial".into(),
+                Value::Int(60_000i64),
+                Value::Int(56_500i64),
+            ],
+            vec![
+                "VW".into(),
+                "auto".into(),
+                Value::Int(113_000i64),
+                Value::Int(110_000i64),
+            ],
         ],
     );
     let rates = Table::from_rows(
@@ -93,10 +131,23 @@ fn build_system() -> CoinSystem {
         ],
     );
 
-    sys.add_source(RelationalSource::new("sec", Catalog::new().with_table(us))).unwrap();
-    sys.add_source(RelationalSource::new("tse", Catalog::new().with_table(tokyo))).unwrap();
-    sys.add_source(RelationalSource::new("dax", Catalog::new().with_table(frankfurt))).unwrap();
-    sys.add_source(RelationalSource::new("forex", Catalog::new().with_table(rates))).unwrap();
+    sys.add_source(RelationalSource::new("sec", Catalog::new().with_table(us)))
+        .unwrap();
+    sys.add_source(RelationalSource::new(
+        "tse",
+        Catalog::new().with_table(tokyo),
+    ))
+    .unwrap();
+    sys.add_source(RelationalSource::new(
+        "dax",
+        Catalog::new().with_table(frankfurt),
+    ))
+    .unwrap();
+    sys.add_source(RelationalSource::new(
+        "forex",
+        Catalog::new().with_table(rates),
+    ))
+    .unwrap();
 
     // ---- contexts -------------------------------------------------------
     for (name, cur, scale) in [
@@ -108,7 +159,11 @@ fn build_system() -> CoinSystem {
         sys.add_context(
             ContextTheory::new(name)
                 .set("companyFinancials", "currency", ModifierSpec::constant(cur))
-                .set("companyFinancials", "scaleFactor", ModifierSpec::constant(scale)),
+                .set(
+                    "companyFinancials",
+                    "scaleFactor",
+                    ModifierSpec::constant(scale),
+                ),
         )
         .unwrap();
     }
@@ -143,11 +198,12 @@ fn main() {
 
     // 1. Per-exchange profit in the analyst's context.
     for table in ["us_filings", "tokyo_filings", "frankfurt_filings"] {
-        let sql = format!(
-            "SELECT f.company, f.revenue - f.costs AS profit_usd FROM {table} f"
-        );
+        let sql = format!("SELECT f.company, f.revenue - f.costs AS profit_usd FROM {table} f");
         let answer = sys.query(&sql, "c_analyst").unwrap();
-        println!("-- {table} (converted to USD, units) --\n{}", answer.table.render());
+        println!(
+            "-- {table} (converted to USD, units) --\n{}",
+            answer.table.render()
+        );
     }
 
     // 2. Profitable Tokyo companies by US standards: P&L > $50M.
@@ -158,12 +214,18 @@ fn main() {
             "c_analyst",
         )
         .unwrap();
-    println!("-- Tokyo companies with P&L > $50M --\n{}", answer.table.render());
-    assert!(answer
-        .table
-        .rows
-        .iter()
-        .any(|r| r[0] == Value::str("Toyota")), "Toyota clears $50M: 1.1e9 kJPY × 0.0096");
+    println!(
+        "-- Tokyo companies with P&L > $50M --\n{}",
+        answer.table.render()
+    );
+    assert!(
+        answer
+            .table
+            .rows
+            .iter()
+            .any(|r| r[0] == Value::str("Toyota")),
+        "Toyota clears $50M: 1.1e9 kJPY × 0.0096"
+    );
 
     // 3. Cross-market comparison: auto makers, Frankfurt vs Tokyo revenues.
     let answer = sys
@@ -173,7 +235,10 @@ fn main() {
             "c_analyst",
         )
         .unwrap();
-    println!("-- Frankfurt auto maker out-earning a Tokyo auto maker --\n{}", answer.table.render());
+    println!(
+        "-- Frankfurt auto maker out-earning a Tokyo auto maker --\n{}",
+        answer.table.render()
+    );
     // VW (113,000 M€ ≈ $133.3B) out-earns Toyota (12.7B kJPY ≈ $121.9B).
     assert_eq!(answer.table.rows.len(), 1);
 
@@ -185,7 +250,10 @@ fn main() {
             "c_analyst",
         )
         .unwrap();
-    println!("-- Tokyo revenue by sector (USD) --\n{}", answer.table.render());
+    println!(
+        "-- Tokyo revenue by sector (USD) --\n{}",
+        answer.table.render()
+    );
     assert_eq!(answer.table.rows.len(), 2);
 
     // The tech sector total: (9.7e9 + 5.7e9) kJPY × 0.0096 = 147.84e9 ×

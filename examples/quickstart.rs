@@ -67,6 +67,9 @@ fn main() {
 
     assert_eq!(answer.table.rows.len(), 1);
     assert_eq!(answer.table.rows[0][0], coin::rel::Value::str("NTT"));
-    assert_eq!(answer.table.rows[0][1], coin::rel::Value::Float(9_600_000.0));
+    assert_eq!(
+        answer.table.rows[0][1],
+        coin::rel::Value::Float(9_600_000.0)
+    );
     println!("\nOK: answer matches the paper.");
 }

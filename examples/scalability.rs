@@ -27,8 +27,7 @@ fn main() {
         let sys = synthetic_system(n, 1, 7);
         let coin_axioms = sys.axiom_count();
         let pairwise =
-            PairwiseIntegration::derive(&sys.domain, &sys.contexts, "companyFinancials")
-                .unwrap();
+            PairwiseIntegration::derive(&sys.domain, &sys.contexts, "companyFinancials").unwrap();
         let pw = pairwise.statement_count();
         println!(
             "{:>8} {:>14} {:>16} {:>9.1}x",
@@ -51,10 +50,17 @@ fn main() {
     let after_sql = sys.mediate(q, "c_recv").unwrap().query.to_string();
 
     println!("axioms before: {before_axioms}");
-    println!("axioms after : {after_axioms}  (+{} for the new source)", after_axioms - before_axioms);
+    println!(
+        "axioms after : {after_axioms}  (+{} for the new source)",
+        after_axioms - before_axioms
+    );
     println!(
         "existing mediation unchanged: {}",
-        if before_sql == after_sql { "yes (byte-identical)" } else { "NO — regression!" }
+        if before_sql == after_sql {
+            "yes (byte-identical)"
+        } else {
+            "NO — regression!"
+        }
     );
     assert_eq!(before_sql, after_sql);
 

@@ -25,8 +25,11 @@ fn main() {
     let conn = Connection::open(server.addr, "c_recv");
     println!("\nDictionary service:");
     for t in conn.dictionary().unwrap() {
-        let cols: Vec<String> =
-            t.columns.iter().map(|(n, ty)| format!("{n} {ty}")).collect();
+        let cols: Vec<String> = t
+            .columns
+            .iter()
+            .map(|(n, ty)| format!("{n} {ty}"))
+            .collect();
         println!("  {}.{}({})", t.source, t.table, cols.join(", "));
     }
 
@@ -40,7 +43,10 @@ fn main() {
         let cells: Vec<String> = row.iter().map(|v| v.render()).collect();
         println!("  {}", cells.join(" | "));
     }
-    println!("\nmediated SQL (server-reported):\n  {}", rs.mediated_sql.as_deref().unwrap());
+    println!(
+        "\nmediated SQL (server-reported):\n  {}",
+        rs.mediated_sql.as_deref().unwrap()
+    );
 
     println!("\nExplain mode:");
     let (_sql, explanation) = conn.explain(Q1).unwrap();
@@ -65,7 +71,11 @@ fn main() {
     println!(
         "POST /qbe (currency = JPY) returns an HTML answer table ({} bytes){}",
         answer.len(),
-        if html.contains("9600000") { " containing NTT at 9,600,000 USD." } else { "." }
+        if html.contains("9600000") {
+            " containing NTT at 9,600,000 USD."
+        } else {
+            "."
+        }
     );
 
     assert_eq!(rs.len(), 1);

@@ -15,7 +15,7 @@
 //! Run with: `cargo run --example web_integration`
 
 use coin::core::system::CoinSystem;
-use coin::core::{Conversion, ContextTheory, Elevation, ModifierSpec};
+use coin::core::{ContextTheory, Conversion, Elevation, ModifierSpec};
 use coin::wrapper::{figure2_rates_source, SimWeb, WebSource, WrapperSpec};
 
 fn main() {
@@ -70,7 +70,8 @@ PAGE listing MATCH MANY "<tr><td>(?P<symbol>[A-Z]+)</td><td>(?P<price>[0-9.]+)</
             factor_col: "rate".into(),
         },
     );
-    sys.add_source(WebSource::new("quotes_site", spec, web.clone())).unwrap();
+    sys.add_source(WebSource::new("quotes_site", spec, web.clone()))
+        .unwrap();
     sys.add_source(figure2_rates_source(&web)).unwrap();
 
     // Quotes context: prices are quoted in the exchange's local currency —
@@ -87,13 +88,25 @@ PAGE listing MATCH MANY "<tr><td>(?P<symbol>[A-Z]+)</td><td>(?P<price>[0-9.]+)</
                     ModifierSpec::constant("USD"),
                 ),
             )
-            .set("companyFinancials", "scaleFactor", ModifierSpec::constant(1i64)),
+            .set(
+                "companyFinancials",
+                "scaleFactor",
+                ModifierSpec::constant(1i64),
+            ),
     )
     .unwrap();
     sys.add_context(
         ContextTheory::new("c_recv")
-            .set("companyFinancials", "currency", ModifierSpec::constant("USD"))
-            .set("companyFinancials", "scaleFactor", ModifierSpec::constant(1i64)),
+            .set(
+                "companyFinancials",
+                "currency",
+                ModifierSpec::constant("USD"),
+            )
+            .set(
+                "companyFinancials",
+                "scaleFactor",
+                ModifierSpec::constant(1i64),
+            ),
     )
     .unwrap();
     sys.add_elevation(
@@ -113,7 +126,10 @@ PAGE listing MATCH MANY "<tr><td>(?P<symbol>[A-Z]+)</td><td>(?P<price>[0-9.]+)</
     // ---- mediated queries over the wrapped site ------------------------------
     println!("All quotes in the receiver's context (USD):");
     let answer = sys
-        .query("SELECT q.exchange, q.symbol, q.price FROM quotes q", "c_recv")
+        .query(
+            "SELECT q.exchange, q.symbol, q.price FROM quotes q",
+            "c_recv",
+        )
         .unwrap();
     println!("{}", answer.table.render());
     println!("Mediated SQL:\n  {}\n", answer.mediated.query);

@@ -50,7 +50,11 @@ fn different_receivers_different_contexts_same_sources() {
     system
         .add_context(
             ContextTheory::new("c_tokyo_analyst")
-                .set("companyFinancials", "currency", ModifierSpec::constant("JPY"))
+                .set(
+                    "companyFinancials",
+                    "currency",
+                    ModifierSpec::constant("JPY"),
+                )
                 .set(
                     "companyFinancials",
                     "scaleFactor",
@@ -71,10 +75,7 @@ fn different_receivers_different_contexts_same_sources() {
     // r2 reports USD/1. The NY receiver sees them unchanged; the Tokyo
     // receiver sees thousands of JPY: amount × rate(USD→JPY) / 1000.
     let find = |rs: &coin::server::ResultSet, name: &str| -> f64 {
-        rs.rows
-            .iter()
-            .find(|r| r[0] == Value::str(name))
-            .unwrap()[1]
+        rs.rows.iter().find(|r| r[0] == Value::str(name)).unwrap()[1]
             .as_f64()
             .unwrap()
     };
@@ -93,9 +94,7 @@ fn explanation_accessible_from_every_client() {
     let system = Arc::new(figure2_system());
     let server = start_server(Arc::clone(&system), "127.0.0.1:0").unwrap();
     let conn = Connection::open(server.addr, "c_recv");
-    let (mediated_sql, explanation) = conn
-        .explain("SELECT r1.cname, r1.revenue FROM r1")
-        .unwrap();
+    let (mediated_sql, explanation) = conn.explain("SELECT r1.cname, r1.revenue FROM r1").unwrap();
     assert!(mediated_sql.contains("UNION"));
     assert!(explanation.contains("assume"));
     server.stop();

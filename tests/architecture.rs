@@ -16,11 +16,15 @@ fn all_layers_cooperate_on_q1() {
     // Mediation produced the union; the planner decomposed each branch and
     // issued remote sub-queries; the web wrapper served the rate lookups.
     assert_eq!(answer.mediated.query.branches().len(), 3);
-    assert!(answer.stats.remote_queries >= 6, "stats: {:?}", answer.stats);
-    assert_eq!(answer.table.rows, vec![vec![
-        Value::str("NTT"),
-        Value::Float(9_600_000.0)
-    ]]);
+    assert!(
+        answer.stats.remote_queries >= 6,
+        "stats: {:?}",
+        answer.stats
+    );
+    assert_eq!(
+        answer.table.rows,
+        vec![vec![Value::str("NTT"), Value::Float(9_600_000.0)]]
+    );
 }
 
 #[test]

@@ -20,8 +20,14 @@ fn adding_a_source_is_constant_administration() {
     add_synthetic_source(&mut sys, 5, 3, &mut rng);
     let second_delta = sys.axiom_count() - mid;
 
-    assert_eq!(first_delta, second_delta, "per-source administration is constant");
-    assert!(first_delta <= 6, "a handful of axioms per source, got {first_delta}");
+    assert_eq!(
+        first_delta, second_delta,
+        "per-source administration is constant"
+    );
+    assert!(
+        first_delta <= 6,
+        "a handful of axioms per source, got {first_delta}"
+    );
 }
 
 #[test]
@@ -45,7 +51,10 @@ fn existing_mediations_unaffected_by_new_sources() {
         .iter()
         .map(|q| sys.mediate(q, "c_recv").unwrap().query.to_string())
         .collect();
-    assert_eq!(before, after, "mediations over old sources are byte-identical");
+    assert_eq!(
+        before, after,
+        "mediations over old sources are byte-identical"
+    );
 }
 
 #[test]
@@ -72,19 +81,31 @@ fn changing_one_context_only_affects_that_source() {
     // A source revises its reporting convention (EUR → GBP): only its own
     // context theory changes; queries over other sources are unaffected.
     let mut sys = synthetic_system(4, 3, 11);
-    let other_before = sys.mediate("SELECT f.amount FROM fin0 f", "c_recv").unwrap();
+    let other_before = sys
+        .mediate("SELECT f.amount FROM fin0 f", "c_recv")
+        .unwrap();
 
     // Source 2's context is replaced (simulate by registering a revised
     // context under a new name and re-elevating a fresh relation — contexts
     // are immutable once registered, as in the prototype).
     sys.add_context(
         ContextTheory::new("c_src2_revised")
-            .set("companyFinancials", "currency", ModifierSpec::constant("GBP"))
-            .set("companyFinancials", "scaleFactor", ModifierSpec::constant(1i64)),
+            .set(
+                "companyFinancials",
+                "currency",
+                ModifierSpec::constant("GBP"),
+            )
+            .set(
+                "companyFinancials",
+                "scaleFactor",
+                ModifierSpec::constant(1i64),
+            ),
     )
     .unwrap();
 
-    let other_after = sys.mediate("SELECT f.amount FROM fin0 f", "c_recv").unwrap();
+    let other_after = sys
+        .mediate("SELECT f.amount FROM fin0 f", "c_recv")
+        .unwrap();
     assert_eq!(
         other_before.query.to_string(),
         other_after.query.to_string(),
@@ -100,23 +121,34 @@ fn new_receiver_context_needs_no_source_changes() {
     let before = sys.axiom_count();
     sys.add_context(
         ContextTheory::new("c_recv_tokyo")
-            .set("companyFinancials", "currency", ModifierSpec::constant("JPY"))
-            .set("companyFinancials", "scaleFactor", ModifierSpec::constant(1000i64)),
+            .set(
+                "companyFinancials",
+                "currency",
+                ModifierSpec::constant("JPY"),
+            )
+            .set(
+                "companyFinancials",
+                "scaleFactor",
+                ModifierSpec::constant(1000i64),
+            ),
     )
     .unwrap();
     assert!(sys.axiom_count() - before <= 2);
 
     let usd = sys.query("SELECT f.amount FROM fin0 f", "c_recv").unwrap();
-    let jpy = sys.query("SELECT f.amount FROM fin0 f", "c_recv_tokyo").unwrap();
+    let jpy = sys
+        .query("SELECT f.amount FROM fin0 f", "c_recv_tokyo")
+        .unwrap();
     assert_eq!(usd.table.rows.len(), jpy.table.rows.len());
     // fin0 reports in USD (index 0 → currency USD, scale 1): the Tokyo
     // receiver sees amount × rate(USD→JPY) / 1000, where the synthetic rate
     // table defines rate(USD→JPY) = 1 / rate(JPY→USD) = 1 / 0.0096.
     // Compare sums: branch execution order may permute rows.
-    let sum = |t: &coin::rel::Table| -> f64 {
-        t.rows.iter().map(|r| r[0].as_f64().unwrap()).sum()
-    };
+    let sum = |t: &coin::rel::Table| -> f64 { t.rows.iter().map(|r| r[0].as_f64().unwrap()).sum() };
     let (u, j) = (sum(&usd.table), sum(&jpy.table));
     let expected = u * (1.0 / 0.0096) / 1000.0;
-    assert!((j - expected).abs() < 1e-6 * expected, "usd={u} jpy={j} expected={expected}");
+    assert!(
+        (j - expected).abs() < 1e-6 * expected,
+        "usd={u} jpy={j} expected={expected}"
+    );
 }

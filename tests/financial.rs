@@ -2,7 +2,7 @@
 //! autonomous filings databases in different reporting conventions.
 
 use coin::core::system::CoinSystem;
-use coin::core::{Conversion, ContextTheory, Elevation, ModifierSpec};
+use coin::core::{ContextTheory, Conversion, Elevation, ModifierSpec};
 use coin::rel::{Catalog, ColumnType, Schema, Table, Value};
 use coin::wrapper::RelationalSource;
 
@@ -31,8 +31,16 @@ fn pl_system() -> CoinSystem {
             ("costs", ColumnType::Int),
         ]),
         vec![
-            vec!["IBM".into(), Value::Int(81_700_000_000), Value::Int(73_400_000_000)],
-            vec!["GE".into(), Value::Int(90_800_000_000), Value::Int(82_000_000_000)],
+            vec![
+                "IBM".into(),
+                Value::Int(81_700_000_000),
+                Value::Int(73_400_000_000),
+            ],
+            vec![
+                "GE".into(),
+                Value::Int(90_800_000_000),
+                Value::Int(82_000_000_000),
+            ],
         ],
     );
     let tokyo = Table::from_rows(
@@ -43,8 +51,16 @@ fn pl_system() -> CoinSystem {
             ("costs", ColumnType::Int),
         ]),
         vec![
-            vec!["NTT".into(), Value::Int(9_700_000_000), Value::Int(8_900_000_000)],
-            vec!["Toyota".into(), Value::Int(12_700_000_000), Value::Int(11_600_000_000)],
+            vec![
+                "NTT".into(),
+                Value::Int(9_700_000_000),
+                Value::Int(8_900_000_000),
+            ],
+            vec![
+                "Toyota".into(),
+                Value::Int(12_700_000_000),
+                Value::Int(11_600_000_000),
+            ],
         ],
     );
     let rates = Table::from_rows(
@@ -59,17 +75,32 @@ fn pl_system() -> CoinSystem {
             vec!["USD".into(), "JPY".into(), Value::Float(104.0)],
         ],
     );
-    sys.add_source(RelationalSource::new("sec", Catalog::new().with_table(us))).unwrap();
-    sys.add_source(RelationalSource::new("tse", Catalog::new().with_table(tokyo))).unwrap();
-    sys.add_source(RelationalSource::new("forex", Catalog::new().with_table(rates))).unwrap();
+    sys.add_source(RelationalSource::new("sec", Catalog::new().with_table(us)))
+        .unwrap();
+    sys.add_source(RelationalSource::new(
+        "tse",
+        Catalog::new().with_table(tokyo),
+    ))
+    .unwrap();
+    sys.add_source(RelationalSource::new(
+        "forex",
+        Catalog::new().with_table(rates),
+    ))
+    .unwrap();
 
-    for (name, cur, scale) in
-        [("c_us", "USD", 1i64), ("c_tokyo", "JPY", 1000), ("c_analyst", "USD", 1)]
-    {
+    for (name, cur, scale) in [
+        ("c_us", "USD", 1i64),
+        ("c_tokyo", "JPY", 1000),
+        ("c_analyst", "USD", 1),
+    ] {
         sys.add_context(
             ContextTheory::new(name)
                 .set("companyFinancials", "currency", ModifierSpec::constant(cur))
-                .set("companyFinancials", "scaleFactor", ModifierSpec::constant(scale)),
+                .set(
+                    "companyFinancials",
+                    "scaleFactor",
+                    ModifierSpec::constant(scale),
+                ),
         )
         .unwrap();
     }

@@ -1,0 +1,292 @@
+//! Offline subset of the `criterion` 0.5 API.
+//!
+//! The workspace builds in environments with no crates.io access, so this
+//! vendored crate provides the surface the benches use: `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Statistics are intentionally simple — warm-up, then `sample_size`
+//! timed samples, reporting min/mean/max per benchmark. Under
+//! `cargo test` (cargo passes `--test` to `harness = false` bench
+//! binaries) each benchmark body runs exactly once, as a smoke test, so
+//! tier-1 stays fast while `cargo bench` still measures.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group (reported, not analyzed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// A benchmark identifier: function name + parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as the name argument of `bench_function`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_owned(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    cfg: &'a MeasurementConfig,
+    group: String,
+    id: String,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.cfg.test_mode {
+            black_box(routine());
+            println!("test {}/{} ... ok", self.group, self.id);
+            return;
+        }
+        // Warm-up: run until warm_up_time elapses (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_iters == 0 || warm_start.elapsed() < self.cfg.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        // Choose iterations per sample so the whole measurement fits in
+        // roughly measurement_time.
+        let budget = self.cfg.measurement_time.as_nanos().max(1);
+        let per = per_iter.as_nanos().max(1);
+        let total_iters = (budget / per).clamp(1, u64::MAX as u128) as u64;
+        let iters_per_sample = (total_iters / self.cfg.sample_size as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.cfg.sample_size);
+        for _ in 0..self.cfg.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{}/{:<40} [min {} .. mean {} .. max {}] ({} samples x {} iters)",
+            self.group,
+            self.id,
+            fmt_secs(samples[0]),
+            fmt_secs(mean),
+            fmt_secs(*samples.last().unwrap()),
+            samples.len(),
+            iters_per_sample,
+        );
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+#[derive(Debug, Clone)]
+struct MeasurementConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for MeasurementConfig {
+    fn default() -> MeasurementConfig {
+        MeasurementConfig {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            // Cargo passes `--bench` only when invoked as `cargo bench`;
+            // under `cargo test --benches` (no flag) or an explicit
+            // `--test`, run each body exactly once as a smoke test.
+            test_mode: !std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+/// The benchmark manager.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    cfg: MeasurementConfig,
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.cfg.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            cfg: self.cfg.clone(),
+            name: name.into(),
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let cfg = self.cfg.clone();
+        run_one(&cfg, "criterion", &id.into_benchmark_id().id, f);
+        self
+    }
+
+    /// Entry point used by `criterion_main!`: honor `--bench`/`--test`
+    /// flags that cargo passes to `harness = false` binaries.
+    pub fn final_summary(&self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(cfg: &MeasurementConfig, group: &str, id: &str, mut f: F) {
+    let mut b = Bencher {
+        cfg,
+        group: group.to_owned(),
+        id: id.to_owned(),
+    };
+    f(&mut b);
+}
+
+/// A named group of related benchmarks. Holds its own copy of the
+/// measurement config so per-group overrides actually take effect.
+pub struct BenchmarkGroup<'a> {
+    cfg: MeasurementConfig,
+    name: String,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.cfg.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(&self.cfg, &self.name, &id.into_benchmark_id().id, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        run_one(&self.cfg, &self.name, &id.id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions, optionally with a configured
+/// `Criterion` (`name = …; config = …; targets = …` form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

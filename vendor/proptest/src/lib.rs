@@ -1,0 +1,903 @@
+//! Offline subset of the `proptest` 1.x API.
+//!
+//! The workspace builds in environments with no crates.io access, so this
+//! vendored crate implements the subset of proptest the test suites use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_filter`,
+//!   `prop_recursive`, and `boxed`;
+//! * strategies for integer ranges, `Just`, tuples (arity 2–6), regex-like
+//!   string literals, [`collection::vec`], [`collection::btree_set`],
+//!   [`option::of`], and [`arbitrary::any`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`], and [`prop_assume!`] macros;
+//! * [`test_runner::Config`] (exported as `ProptestConfig`).
+//!
+//! Generation is deterministic: every test function derives its RNG seed
+//! from its own name, so a given binary always replays the identical case
+//! sequence — CI runs are reproducible by construction. Shrinking is not
+//! implemented; failures report the concrete generated inputs via the
+//! panic message inside the failing assertion instead.
+
+pub mod test_runner {
+    /// Hash a test name into a stable 64-bit seed (FNV-1a).
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Deterministic RNG used for all value generation (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+
+        pub fn bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` — it does not count
+        /// toward the configured number of cases.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail<S: Into<String>>(msg: S) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject<S: Into<String>>(msg: S) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Marker trait mirroring proptest's failure-persistence plug-in
+    /// point. The offline runner never persists failures (seeds are
+    /// derived from test names, so replay is automatic).
+    pub trait FailurePersistence: std::fmt::Debug {}
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug)]
+    pub struct Config {
+        /// Number of successful (non-rejected) cases required.
+        pub cases: u32,
+        /// Accepted for API compatibility; the offline runner is
+        /// deterministic and never persists failures.
+        pub failure_persistence: Option<Box<dyn FailurePersistence>>,
+        /// Accepted for API compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+        /// Give up after this many consecutive `prop_assume!` rejections.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config {
+                cases: 256,
+                failure_persistence: None,
+                max_shrink_iters: 0,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking; a
+    /// strategy is just a cloneable generator.
+    pub trait Strategy: Clone {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U + Clone,
+        {
+            Map {
+                source: self,
+                map: f,
+            }
+        }
+
+        fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool + Clone,
+        {
+            Filter {
+                source: self,
+                whence: whence.into(),
+                pred,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let this = self;
+            BoxedStrategy {
+                gen: Rc::new(move |rng| this.generate(rng)),
+            }
+        }
+
+        /// Build a recursive strategy: `self` is the leaf case, `recurse`
+        /// wraps an inner strategy into composite cases. `depth` bounds
+        /// nesting; `_desired_size`/`_expected_branch_size` are accepted
+        /// for API compatibility.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            // Layer the recursive case `depth` times over the leaf,
+            // mixing the leaf back in at every level so generated sizes
+            // vary instead of always reaching full depth.
+            for _ in 0..depth {
+                let composite = recurse(strat).boxed();
+                strat = Union::new_weighted(vec![(1, leaf.clone()), (2, composite)]).boxed();
+            }
+            strat
+        }
+    }
+
+    /// Type-erased strategy; cheap to clone.
+    pub struct BoxedStrategy<T> {
+        gen: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> BoxedStrategy<T> {
+            BoxedStrategy {
+                gen: Rc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `.prop_map` adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U + Clone,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// `.prop_filter` adapter: regenerates until the predicate passes.
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        source: S,
+        whence: String,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool + Clone,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.source.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter({:?}): predicate rejected 10000 candidates",
+                self.whence
+            )
+        }
+    }
+
+    /// Weighted choice between strategies of a common value type
+    /// (the engine behind `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u32,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Union<T> {
+            Union {
+                arms: self.arms.clone(),
+                total_weight: self.total_weight,
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            Union::new_weighted(arms.into_iter().map(|s| (1, s)).collect())
+        }
+
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+            assert!(!arms.is_empty(), "Union requires at least one arm");
+            let total_weight = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total_weight > 0, "Union weights must not all be zero");
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total_weight as usize) as u32;
+            for (w, s) in &self.arms {
+                if pick < *w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.abs_diff(self.start) as u128;
+                    let r = (rng.next_u64() as u128 % span) as i128;
+                    ((self.start as i128) + r) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    /// String literals act as regex-subset strategies, e.g.
+    /// `"[a-z]{0,8}"`. Supported syntax: literal characters, `.`,
+    /// character classes with ranges and leading `^` negation, and the
+    /// quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (starred forms capped at
+    /// 8 repetitions).
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            super::string::generate_from_regex(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+ );)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+    }
+
+    /// Strategy for `Option<T>` produced by [`crate::option::of`].
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        pub(crate) inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.bool() {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Phantom-typed strategy for `any::<T>()` over primitives.
+    pub struct AnyStrategy<T> {
+        pub(crate) _marker: PhantomData<T>,
+    }
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> AnyStrategy<T> {
+            AnyStrategy {
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl Strategy for AnyStrategy<bool> {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.bool()
+        }
+    }
+
+    macro_rules! impl_any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for AnyStrategy<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_any_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+}
+
+pub mod arbitrary {
+    use super::strategy::AnyStrategy;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy, reachable via [`any`].
+    pub trait Arbitrary: Sized {
+        fn arbitrary() -> AnyStrategy<Self>;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary() -> AnyStrategy<$t> {
+                    AnyStrategy { _marker: PhantomData }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary!(bool, i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    /// The canonical strategy for `T` — `any::<bool>()` etc.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size specification for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let span = self.max_exclusive - self.min;
+            self.min + rng.below(span.max(1))
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with a length in `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy producing `BTreeSet<S::Value>` with a size in `size`
+    /// (best-effort: bounded by the cardinality of the element domain).
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 50 + 100 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::{OptionStrategy, Strategy};
+
+    /// Strategy for `Option<T>`: `None` and `Some` with equal weight.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+mod string {
+    use super::test_runner::TestRng;
+
+    /// Generate a string matching a small regex subset (see the
+    /// `impl Strategy for &str` docs). Panics on unsupported syntax so
+    /// misuse fails loudly instead of producing skewed data.
+    pub fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let (emit, next): (Emitter, usize) = match chars[i] {
+                '[' => parse_class(&chars, i),
+                '.' => (Emitter::Dot, i + 1),
+                '\\' => {
+                    let c = *chars.get(i + 1).unwrap_or_else(|| {
+                        panic!("regex strategy {pattern:?}: dangling backslash")
+                    });
+                    (Emitter::Lit(c), i + 2)
+                }
+                '(' | ')' | '|' => {
+                    panic!("regex strategy {pattern:?}: groups/alternation not supported")
+                }
+                c => (Emitter::Lit(c), i + 1),
+            };
+            // Optional quantifier.
+            let (lo, hi, after) = match chars.get(next) {
+                Some('{') => parse_counts(&chars, next, pattern),
+                Some('?') => (0, 1, next + 1),
+                Some('*') => (0, 8, next + 1),
+                Some('+') => (1, 8, next + 1),
+                _ => (1, 1, next),
+            };
+            let n = lo + (rng.next_u64() as usize) % (hi - lo + 1);
+            for _ in 0..n {
+                out.push(emit.pick(rng));
+            }
+            i = after;
+        }
+        out
+    }
+
+    enum Emitter {
+        Lit(char),
+        Dot,
+        Class(Vec<char>),
+    }
+
+    impl Emitter {
+        fn pick(&self, rng: &mut TestRng) -> char {
+            match self {
+                Emitter::Lit(c) => *c,
+                Emitter::Dot => {
+                    // Printable ASCII minus newline.
+                    char::from_u32(0x20 + (rng.next_u64() % 95) as u32).unwrap()
+                }
+                Emitter::Class(cs) => cs[rng.below(cs.len())],
+            }
+        }
+    }
+
+    fn parse_class(chars: &[char], start: usize) -> (Emitter, usize) {
+        let mut i = start + 1;
+        let negated = chars.get(i) == Some(&'^');
+        if negated {
+            i += 1;
+        }
+        let mut members = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let c = if chars[i] == '\\' {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&e| e != ']') {
+                let end = chars[i + 2];
+                for code in (c as u32)..=(end as u32) {
+                    members.push(char::from_u32(code).unwrap());
+                }
+                i += 3;
+            } else {
+                members.push(c);
+                i += 1;
+            }
+        }
+        assert!(chars.get(i) == Some(&']'), "unterminated character class");
+        if negated {
+            let complement: Vec<char> = (0x20u32..0x7F)
+                .filter_map(char::from_u32)
+                .filter(|c| !members.contains(c))
+                .collect();
+            members = complement;
+        }
+        assert!(!members.is_empty(), "empty character class");
+        (Emitter::Class(members), i + 1)
+    }
+
+    fn parse_counts(chars: &[char], open: usize, pattern: &str) -> (usize, usize, usize) {
+        let close = (open..chars.len())
+            .find(|&j| chars[j] == '}')
+            .unwrap_or_else(|| panic!("regex strategy {pattern:?}: unterminated {{}}"));
+        let body: String = chars[open + 1..close].iter().collect();
+        let (lo, hi) = match body.split_once(',') {
+            Some((l, h)) => (
+                l.parse().expect("bad lower repetition bound"),
+                h.parse().expect("bad upper repetition bound"),
+            ),
+            None => {
+                let n = body.parse().expect("bad repetition count");
+                (n, n)
+            }
+        };
+        assert!(lo <= hi, "inverted repetition bounds in regex strategy");
+        (lo, hi, close + 1)
+    }
+}
+
+/// `prop::…` namespace as re-exported by the prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Choose between several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}\n{}",
+            stringify!($left), stringify!($right), l, format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Define property tests. Each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` that runs `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::TestRng::from_seed(
+                $crate::test_runner::seed_from_name(concat!(module_path!(), "::", stringify!($name))),
+            );
+            let mut passed: u32 = 0;
+            let mut rejects: u32 = 0;
+            while passed < config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => passed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejects += 1;
+                        if rejects > config.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many prop_assume! rejections ({})",
+                                stringify!($name), rejects
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed after {} passing case(s):\n{}",
+                            stringify!($name), passed, msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod self_tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_strategies_respect_class_and_counts() {
+        let mut rng = crate::test_runner::TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[abc]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| "abc".contains(c)));
+        }
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-zA-Z' ]{0,8}", &mut rng);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphabetic() || c == '\'' || c == ' '));
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_values() {
+        let strat = prop::collection::vec(0i64..100, 0..10);
+        let mut r1 = crate::test_runner::TestRng::from_seed(99);
+        let mut r2 = crate::test_runner::TestRng::from_seed(99);
+        for _ in 0..50 {
+            assert_eq!(
+                Strategy::generate(&strat, &mut r1),
+                Strategy::generate(&strat, &mut r2)
+            );
+        }
+    }
+
+    #[test]
+    fn union_covers_all_arms() {
+        let strat = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut rng = crate::test_runner::TestRng::from_seed(5);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(Strategy::generate(&strat, &mut rng));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_generates_and_asserts(v in prop::collection::btree_set(-20i64..20, 1..6), b in any::<bool>()) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.len() < 6);
+            let _ = b;
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0usize..4, b in 0usize..4) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        #[should_panic(expected = "proptest failures_propagate failed")]
+        fn failures_propagate(v in 0i64..10) {
+            prop_assert!(v < 0, "deliberately failing on {}", v);
+        }
+    }
+}
