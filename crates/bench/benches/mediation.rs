@@ -142,6 +142,15 @@ fn bench_case_growth(c: &mut Criterion) {
                 black_box(m.query.branches().len())
             })
         });
+        // The cached compile path is flat in k: the case growth is paid
+        // once per model epoch, then amortized across every execution.
+        g.bench_with_input(BenchmarkId::new("cases_cached", k), &k, |b, _| {
+            sys.prepare(sql, "c_recv").unwrap(); // warm the cache
+            b.iter(|| {
+                let p = sys.prepare(black_box(sql), "c_recv").unwrap();
+                black_box(p.mediated().query.branches().len())
+            })
+        });
     }
     g.finish();
 }

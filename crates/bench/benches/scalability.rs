@@ -20,7 +20,7 @@ fn bench_scalability(c: &mut Criterion) {
     for n in [2usize, 8, 32, 128] {
         let sys = synthetic_system(n, 4, 7);
         let pairwise =
-            PairwiseIntegration::derive(&sys.domain, &sys.contexts, "companyFinancials").unwrap();
+            PairwiseIntegration::derive(sys.domain(), sys.contexts(), "companyFinancials").unwrap();
         eprintln!(
             "[scalability] n={n}: COIN axioms = {}, pairwise rules = {}",
             sys.axiom_count(),
@@ -45,7 +45,7 @@ fn bench_scalability(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("pairwise_derive", n), &n, |b, _| {
             b.iter(|| {
                 let pw =
-                    PairwiseIntegration::derive(&sys.domain, &sys.contexts, "companyFinancials")
+                    PairwiseIntegration::derive(sys.domain(), sys.contexts(), "companyFinancials")
                         .unwrap();
                 black_box(pw.statement_count())
             })

@@ -1,0 +1,249 @@
+//! Bounded LRU cache of prepared queries, keyed by `(receiver, SQL)` and
+//! guarded by the system's model epoch.
+//!
+//! The mediation procedure is expensive relative to execution (the
+//! abductive rewrite dominates the hot path), so [`crate::CoinSystem`]
+//! caches the compile side — the [`crate::prepared::PreparedQuery`]
+//! artifact — and reuses it across calls. Correctness is enforced by an
+//! **epoch** counter: every model/planner mutation (`add_context`,
+//! `add_elevation`, `add_conversion`, `add_source`,
+//! `with_planner_config`) bumps the system epoch and purges the cache,
+//! and a lookup only returns an entry whose compile-time epoch matches
+//! the current one. A cached plan is therefore
+//! served exactly as long as re-mediating would produce the same result,
+//! and never after the shared model changes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::prepared::PreparedQuery;
+
+/// Default maximum number of cached prepared queries.
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// Cumulative cache counters plus a point-in-time occupancy snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile (absent, stale, or cache disabled).
+    pub misses: u64,
+    /// Entries dropped because the model epoch advanced.
+    pub invalidations: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Current number of cached entries.
+    pub entries: usize,
+    /// Capacity bound (0 disables caching).
+    pub capacity: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// receiver → sql → (prepared artifact, last-use tick). Two nested
+    /// string maps (rather than one keyed by a `(String, String)` pair)
+    /// so lookups borrow `&str` at both levels and the warm hot path
+    /// never allocates; the tick orders entries for least-recently-used
+    /// eviction.
+    map: HashMap<String, HashMap<String, (Arc<PreparedQuery>, u64)>>,
+    /// Total entries across all receivers (maintained so capacity checks
+    /// don't rescan the nested maps).
+    len: usize,
+    tick: u64,
+    invalidations: u64,
+    evictions: u64,
+    capacity: usize,
+}
+
+impl Inner {
+    fn remove(&mut self, receiver: &str, sql: &str) {
+        if let Some(per_receiver) = self.map.get_mut(receiver) {
+            if per_receiver.remove(sql).is_some() {
+                self.len -= 1;
+            }
+            if per_receiver.is_empty() {
+                self.map.remove(receiver);
+            }
+        }
+    }
+}
+
+/// A bounded, epoch-validated LRU cache of [`PreparedQuery`] artifacts.
+///
+/// Interior mutability (a mutex plus atomics for the counters) lets a
+/// shared `&CoinSystem` serve cached lookups from many threads at once.
+pub struct QueryCache {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for QueryCache {
+    fn default() -> QueryCache {
+        QueryCache::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl QueryCache {
+    pub fn with_capacity(capacity: usize) -> QueryCache {
+        QueryCache {
+            inner: Mutex::new(Inner {
+                capacity,
+                ..Inner::default()
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic while holding the lock cannot leave the map in an
+        // inconsistent state (all updates are single operations), so
+        // recover from poisoning instead of propagating it.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Look up a prepared query compiled at exactly `epoch`. A present but
+    /// stale entry is removed and counted as an invalidation; any
+    /// non-returning outcome counts as a miss.
+    pub fn get(&self, receiver: &str, sql: &str, epoch: u64) -> Option<Arc<PreparedQuery>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(receiver).and_then(|m| m.get_mut(sql)) {
+            Some((prepared, last_used)) if prepared.epoch() == epoch => {
+                *last_used = tick;
+                let out = Arc::clone(prepared);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(out)
+            }
+            Some(_) => {
+                inner.remove(receiver, sql);
+                inner.invalidations += 1;
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly compiled artifact, evicting the least-recently-used
+    /// entry if the cache is full. With capacity 0 the cache is disabled
+    /// and the insert is dropped.
+    pub fn insert(&self, receiver: &str, sql: &str, prepared: Arc<PreparedQuery>) {
+        let mut inner = self.lock();
+        if inner.capacity == 0 {
+            return;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        let replaced = inner
+            .map
+            .entry(receiver.to_owned())
+            .or_default()
+            .insert(sql.to_owned(), (prepared, tick))
+            .is_some();
+        if !replaced {
+            inner.len += 1;
+        }
+        evict_down_to_capacity(&mut inner);
+    }
+
+    /// Drop every entry (called when the model epoch advances, so stale
+    /// plans never linger even unread).
+    pub fn purge(&self) {
+        let mut inner = self.lock();
+        inner.invalidations += inner.len as u64;
+        inner.len = 0;
+        inner.map.clear();
+    }
+
+    /// Change the capacity bound, evicting LRU entries down to the new
+    /// bound if necessary. Capacity 0 disables caching.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.lock();
+        inner.capacity = capacity;
+        evict_down_to_capacity(&mut inner);
+    }
+
+    /// Lock-free snapshot of the cumulative `(hits, misses)` counters —
+    /// safe on the execute-many hot path (no mutex, just two atomic
+    /// loads).
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Cumulative counters plus a point-in-time occupancy snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: inner.invalidations,
+            evictions: inner.evictions,
+            entries: inner.len,
+            capacity: inner.capacity,
+        }
+    }
+}
+
+/// Evict least-recently-used entries until the map fits the capacity
+/// bound (shared by insert and capacity changes). One selection pass
+/// finds the k oldest entries, so bulk shrinks (`set_capacity` far below
+/// the current occupancy) stay O(n) instead of O(n²).
+fn evict_down_to_capacity(inner: &mut Inner) {
+    if inner.len <= inner.capacity {
+        return;
+    }
+    let excess = inner.len - inner.capacity;
+    if excess == 1 {
+        // Hot path (one insert past full): min-scan by tick, cloning only
+        // the single victim's keys instead of the whole key set.
+        let victim = inner
+            .map
+            .iter()
+            .flat_map(|(r, per)| per.iter().map(move |(s, (_, tick))| (*tick, r, s)))
+            .min_by_key(|(tick, _, _)| *tick)
+            .map(|(_, r, s)| (r.clone(), s.clone()));
+        if let Some((receiver, sql)) = victim {
+            inner.remove(&receiver, &sql);
+            inner.evictions += 1;
+        }
+        return;
+    }
+    let mut entries: Vec<(u64, String, String)> = inner
+        .map
+        .iter()
+        .flat_map(|(r, per)| {
+            per.iter()
+                .map(move |(s, (_, tick))| (*tick, r.clone(), s.clone()))
+        })
+        .collect();
+    entries.select_nth_unstable_by_key(excess - 1, |(tick, _, _)| *tick);
+    for (_, receiver, sql) in entries.into_iter().take(excess) {
+        inner.remove(&receiver, &sql);
+    }
+    inner.evictions += excess as u64;
+}
+
+impl std::fmt::Debug for QueryCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("QueryCache")
+            .field("entries", &s.entries)
+            .field("capacity", &s.capacity)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .finish()
+    }
+}

@@ -16,6 +16,10 @@
 //!   ancillary conversion sources;
 //! * [`system`] — [`system::CoinSystem`]: sources + contexts + mediator +
 //!   multi-database access engine, the deployment unit of Figure 1;
+//! * [`prepared`] — compile-once / execute-many [`prepared::PreparedQuery`]
+//!   artifacts (parsed SQL + mediated UNION + optimized plan);
+//! * [`cache`] — the bounded, model-epoch-invalidated LRU cache of
+//!   prepared queries behind [`system::CoinSystem::prepare`];
 //! * [`fixtures`] — the Figure 2 scenario and synthetic n-source
 //!   deployments;
 //! * [`baseline`] — the tightly-coupled pairwise-integration baseline
@@ -43,15 +47,19 @@
 //! ```
 
 pub mod baseline;
+pub mod cache;
 pub mod encode;
 pub mod fixtures;
 pub mod mediate;
 pub mod model;
+pub mod prepared;
 pub mod system;
 
+pub use cache::{CacheStats, QueryCache};
 pub use mediate::{BranchReport, Mediated, MediationError, Mediator};
 pub use model::{
     ContextTheory, Conversion, ConversionRegistry, DomainModel, Elevation, ElevationRegistry,
     ModelError, ModifierSpec, SemanticType,
 };
+pub use prepared::{CacheStatus, PreparedQuery};
 pub use system::{CoinError, CoinSystem, MediatedAnswer};

@@ -172,6 +172,14 @@ impl<'a> Mediator<'a> {
 
     /// Mediate a conjunctive SELECT posed in `receiver` context.
     /// `schema` resolves bare column references (the dictionary).
+    ///
+    /// This is the compile phase of the prepare/execute split: the whole
+    /// procedure is a pure function of the query and the registered model,
+    /// so its result can be captured in a
+    /// [`crate::prepared::PreparedQuery`] and reused until the model
+    /// changes. It runs as a pipeline of staged helpers: analyze
+    /// ([`referenced_columns`]) → [`Mediator::compile_program`] →
+    /// [`build_goals`] → solve → [`decode_branches`].
     pub fn mediate_select(
         &self,
         select: &Select,
@@ -180,99 +188,13 @@ impl<'a> Mediator<'a> {
     ) -> Result<Mediated, MediationError> {
         let s = coin_sql::normalize_select(select, schema)?;
         check_conjunctive(&s)?;
-        let receiver_ctx = self
-            .contexts
-            .get(receiver)
-            .ok_or_else(|| ModelError::UnknownContext(receiver.to_owned()))?;
+        let referenced = referenced_columns(&s)?;
 
-        // ---- referenced columns ----------------------------------------
-        let mut cols: Vec<&ColumnRef> = Vec::new();
-        for item in &s.items {
-            if let SelectItem::Expr { expr, .. } = item {
-                expr.columns(&mut cols);
-            }
-        }
-        if let Some(w) = &s.where_clause {
-            w.columns(&mut cols);
-        }
-        let mut referenced: Vec<(String, String)> = Vec::new();
-        for c in cols {
-            let q = c.qualifier.clone().ok_or_else(|| {
-                MediationError::Decode(format!("unqualified column {c} after normalize"))
-            })?;
-            let pair = (q, c.column.clone());
-            if !referenced.contains(&pair) {
-                referenced.push(pair);
-            }
-        }
-
-        // ---- compile the program ----------------------------------------
-        let mut enc = Encoder::new();
-        enc.preamble();
-        enc.conversions(self.conversions);
-        for t in &s.from {
-            let elevation = self.elevations.get(&t.table)?;
-            let source_ctx = self
-                .contexts
-                .get(&elevation.context)
-                .ok_or_else(|| ModelError::UnknownContext(elevation.context.clone()))?;
-            let binding = t.binding();
-            for (b, c) in &referenced {
-                if b == binding {
-                    enc.elevated_column(
-                        self.domain,
-                        self.conversions,
-                        source_ctx,
-                        receiver_ctx,
-                        elevation,
-                        binding,
-                        c,
-                    )?;
-                }
-            }
-        }
+        let enc = self.compile_program(&s, receiver, &referenced)?;
         let program_text = enc.text().to_owned();
         let statements = enc.statement_count();
 
-        // ---- goal construction -------------------------------------------
-        let mut col_vars: BTreeMap<(String, String), String> = BTreeMap::new();
-        let mut goals = String::new();
-        for (i, (b, c)) in referenced.iter().enumerate() {
-            let var = format!("C{i}");
-            if !goals.is_empty() {
-                goals.push_str(", ");
-            }
-            write!(goals, "rcv({}, {var})", col_term(b, c)).unwrap();
-            col_vars.insert((b.clone(), c.clone()), var);
-        }
-        if let Some(w) = &s.where_clause {
-            for raw in w.conjuncts() {
-                for conjunct in desugar_conjunct(raw) {
-                    let goal = where_goal(&conjunct, &col_vars)?;
-                    if !goals.is_empty() {
-                        goals.push_str(", ");
-                    }
-                    goals.push_str(&goal);
-                }
-            }
-        }
-        let mut out_vars = Vec::new();
-        for (j, item) in s.items.iter().enumerate() {
-            let SelectItem::Expr { expr, .. } = item else {
-                return Err(MediationError::Unsupported("wildcard select item".into()));
-            };
-            let term = expr_to_goal_term(expr, &col_vars)?;
-            let var = format!("O{j}");
-            if !goals.is_empty() {
-                goals.push_str(", ");
-            }
-            if is_arith_expr(expr) {
-                write!(goals, "{var} is {term}").unwrap();
-            } else {
-                write!(goals, "{var} = {term}").unwrap();
-            }
-            out_vars.push(var);
-        }
+        let (goals, out_vars) = build_goals(&s, &referenced)?;
 
         // ---- solve --------------------------------------------------------
         let program = Program::from_source(&program_text)?;
@@ -305,24 +227,14 @@ impl<'a> Mediator<'a> {
             });
         }
 
-        // ---- decode answers into branches ---------------------------------
-        let mut branches: Vec<BranchReport> = Vec::new();
-        let mut seen_sql: Vec<String> = Vec::new();
-        for ans in &answers {
-            let branch = decode_answer(
-                ans,
-                &s,
-                &out_vars,
-                &names,
-                &enc.ancillaries,
-                self.conversions,
-            )?;
-            let printed = branch.select.to_string();
-            if !seen_sql.contains(&printed) {
-                seen_sql.push(printed);
-                branches.push(branch);
-            }
-        }
+        let branches = decode_branches(
+            &answers,
+            &s,
+            &out_vars,
+            &names,
+            &enc.ancillaries,
+            self.conversions,
+        )?;
 
         let query = Query::union_of(branches.iter().map(|b| b.select.clone()).collect(), false);
         Ok(Mediated {
@@ -332,6 +244,142 @@ impl<'a> Mediator<'a> {
             statements,
         })
     }
+
+    /// Compile phase 2: codify the domain model, the contexts relevant to
+    /// the referenced columns, the elevation axioms and the conversion
+    /// functions into an abductive logic program.
+    fn compile_program(
+        &self,
+        s: &Select,
+        receiver: &str,
+        referenced: &[(String, String)],
+    ) -> Result<Encoder, MediationError> {
+        let receiver_ctx = self
+            .contexts
+            .get(receiver)
+            .ok_or_else(|| ModelError::UnknownContext(receiver.to_owned()))?;
+        let mut enc = Encoder::new();
+        enc.preamble();
+        enc.conversions(self.conversions);
+        for t in &s.from {
+            let elevation = self.elevations.get(&t.table)?;
+            let source_ctx = self
+                .contexts
+                .get(&elevation.context)
+                .ok_or_else(|| ModelError::UnknownContext(elevation.context.clone()))?;
+            let binding = t.binding();
+            for (b, c) in referenced {
+                if b == binding {
+                    enc.elevated_column(
+                        self.domain,
+                        self.conversions,
+                        source_ctx,
+                        receiver_ctx,
+                        elevation,
+                        binding,
+                        c,
+                    )?;
+                }
+            }
+        }
+        Ok(enc)
+    }
+}
+
+/// Compile phase 1: the distinct `(binding, column)` pairs referenced
+/// anywhere in the normalized query, in first-reference order.
+fn referenced_columns(s: &Select) -> Result<Vec<(String, String)>, MediationError> {
+    let mut cols: Vec<&ColumnRef> = Vec::new();
+    for item in &s.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            expr.columns(&mut cols);
+        }
+    }
+    if let Some(w) = &s.where_clause {
+        w.columns(&mut cols);
+    }
+    let mut referenced: Vec<(String, String)> = Vec::new();
+    for c in cols {
+        let q = c.qualifier.clone().ok_or_else(|| {
+            MediationError::Decode(format!("unqualified column {c} after normalize"))
+        })?;
+        let pair = (q, c.column.clone());
+        if !referenced.contains(&pair) {
+            referenced.push(pair);
+        }
+    }
+    Ok(referenced)
+}
+
+/// Compile phase 3: translate the query into goals over `rcv/2` plus the
+/// abducible case predicates, returning the goal conjunction and the
+/// output variable names.
+fn build_goals(
+    s: &Select,
+    referenced: &[(String, String)],
+) -> Result<(String, Vec<String>), MediationError> {
+    let mut col_vars: BTreeMap<(String, String), String> = BTreeMap::new();
+    let mut goals = String::new();
+    for (i, (b, c)) in referenced.iter().enumerate() {
+        let var = format!("C{i}");
+        if !goals.is_empty() {
+            goals.push_str(", ");
+        }
+        write!(goals, "rcv({}, {var})", col_term(b, c)).unwrap();
+        col_vars.insert((b.clone(), c.clone()), var);
+    }
+    if let Some(w) = &s.where_clause {
+        for raw in w.conjuncts() {
+            for conjunct in desugar_conjunct(raw) {
+                let goal = where_goal(&conjunct, &col_vars)?;
+                if !goals.is_empty() {
+                    goals.push_str(", ");
+                }
+                goals.push_str(&goal);
+            }
+        }
+    }
+    let mut out_vars = Vec::new();
+    for (j, item) in s.items.iter().enumerate() {
+        let SelectItem::Expr { expr, .. } = item else {
+            return Err(MediationError::Unsupported("wildcard select item".into()));
+        };
+        let term = expr_to_goal_term(expr, &col_vars)?;
+        let var = format!("O{j}");
+        if !goals.is_empty() {
+            goals.push_str(", ");
+        }
+        if is_arith_expr(expr) {
+            write!(goals, "{var} is {term}").unwrap();
+        } else {
+            write!(goals, "{var} = {term}").unwrap();
+        }
+        out_vars.push(var);
+    }
+    Ok((goals, out_vars))
+}
+
+/// Compile phase 4: decode every abductive answer into one SQL sub-query,
+/// dropping branches whose rendered SQL duplicates an earlier one.
+fn decode_branches(
+    answers: &[coin_logic::Answer],
+    s: &Select,
+    out_vars: &[String],
+    names: &std::collections::HashMap<String, u32>,
+    ancillaries: &[(String, Conversion)],
+    conversions: &ConversionRegistry,
+) -> Result<Vec<BranchReport>, MediationError> {
+    let mut branches: Vec<BranchReport> = Vec::new();
+    let mut seen_sql: Vec<String> = Vec::new();
+    for ans in answers {
+        let branch = decode_answer(ans, s, out_vars, names, ancillaries, conversions)?;
+        let printed = branch.select.to_string();
+        if !seen_sql.contains(&printed) {
+            seen_sql.push(printed);
+            branches.push(branch);
+        }
+    }
+    Ok(branches)
 }
 
 /// Reject constructs outside the conjunctive SPJ fragment.

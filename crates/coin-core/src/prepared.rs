@@ -1,0 +1,191 @@
+//! Compile-once / execute-many prepared queries.
+//!
+//! [`PreparedQuery`] captures the entire compile side of the mediation
+//! pipeline as one immutable, shareable artifact:
+//!
+//! 1. the parsed receiver SQL, split into its conjunctive core and an
+//!    optional outer aggregation/ordering block;
+//! 2. the mediated UNION produced by the abductive rewriting
+//!    ([`crate::mediate::Mediator::mediate_select`]);
+//! 3. the optimized multi-source execution plan for every union branch
+//!    ([`coin_planner::QueryPlan`]).
+//!
+//! Executing a prepared query therefore skips parsing, normalization, the
+//! abductive solve and planning entirely — only the fetch/join/residual
+//! work remains, which is the cheap part of the pipeline.
+//!
+//! # The epoch-invalidation contract
+//!
+//! A prepared query is only valid against the model it was compiled from.
+//! [`crate::CoinSystem`] maintains a monotonically increasing **model
+//! epoch**, bumped by every model/planner mutation (`add_context`,
+//! `add_elevation`, `add_conversion`, `add_source`,
+//! `with_planner_config`). Each artifact records the epoch it was
+//! compiled at ([`PreparedQuery::epoch`]):
+//!
+//! * the system's [`crate::cache::QueryCache`] never serves an entry whose
+//!   epoch differs from the current one — a model mutation invalidates all
+//!   cached plans exactly once, and the next lookup re-mediates;
+//! * [`PreparedQuery::execute`] re-checks the epoch at execution time and
+//!   fails with [`crate::CoinError::StalePlan`] rather than silently
+//!   returning answers mediated against an outdated model. Call
+//!   [`crate::CoinSystem::prepare`] again to recompile.
+
+use std::sync::Arc;
+
+use coin_planner::QueryPlan;
+use coin_rel::{Catalog, Table};
+use coin_sql::{Query, Select};
+
+use crate::mediate::Mediated;
+use crate::system::{split_outer, CoinError, CoinSystem, MediatedAnswer};
+
+/// How a query's compile artifact was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from the system's prepared-query cache.
+    Hit,
+    /// Compiled on demand (and cached for the next caller).
+    Miss,
+    /// Executed directly from a caller-held [`PreparedQuery`], bypassing
+    /// the cache lookup.
+    Prepared,
+}
+
+impl CacheStatus {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Prepared => "prepared",
+        }
+    }
+}
+
+/// An immutable compile-side artifact: parsed SQL, mediated UNION, and
+/// optimized plan, bound to the model epoch it was compiled at.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    sql: String,
+    receiver: String,
+    /// The instance id of the system this artifact was compiled on — a
+    /// plan must never execute against a *different* system whose epoch
+    /// coincidentally matches.
+    system_id: u64,
+    epoch: u64,
+    mediated: Arc<Mediated>,
+    plan: QueryPlan,
+    /// Outer aggregation/ordering block applied over the mediated result
+    /// (None when the receiver query was already a conjunctive core).
+    outer: Option<Select>,
+}
+
+impl PreparedQuery {
+    /// Compile `sql` posed in `receiver` context against the system's
+    /// current model. This is the full compile pipeline —
+    /// parse → split → mediate → plan — with nothing executed.
+    pub fn compile(
+        system: &CoinSystem,
+        sql: &str,
+        receiver: &str,
+    ) -> Result<PreparedQuery, CoinError> {
+        let q = coin_sql::parse_query(sql)?;
+        let Query::Select(s) = q else {
+            return Err(CoinError::Unsupported(
+                "receiver queries are single SELECT blocks".into(),
+            ));
+        };
+        let (core, outer) = split_outer(&s, system.dictionary())?;
+        let mediated = system
+            .mediator()
+            .mediate_select(&core, receiver, system.dictionary())?;
+        let plan = system.planner.plan_query(&mediated.query)?;
+        Ok(PreparedQuery {
+            sql: sql.to_owned(),
+            receiver: receiver.to_owned(),
+            system_id: system.instance_id(),
+            epoch: system.epoch(),
+            mediated: Arc::new(mediated),
+            plan,
+            outer,
+        })
+    }
+
+    /// The receiver SQL this artifact was compiled from.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The receiver context this artifact was compiled for.
+    pub fn receiver(&self) -> &str {
+        &self.receiver
+    }
+
+    /// The model epoch this artifact was compiled at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The mediated UNION (compile-side provenance).
+    pub fn mediated(&self) -> &Arc<Mediated> {
+        &self.mediated
+    }
+
+    /// The optimized execution plan.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// Is this artifact still valid against this system's current model?
+    /// `false` for a different [`CoinSystem`] instance (regardless of its
+    /// epoch) and after any model mutation on the owning one.
+    pub fn is_current(&self, system: &CoinSystem) -> bool {
+        self.system_id == system.instance_id() && self.epoch == system.epoch()
+    }
+
+    /// Execute the captured plan against the system's sources.
+    ///
+    /// Fails with [`CoinError::StalePlan`] if the model changed since
+    /// compilation (see the module docs for the epoch contract) — a stale
+    /// plan could silently resolve conflicts against axioms that no longer
+    /// hold, so execution refuses rather than guessing. Handing the plan
+    /// to a *different* [`CoinSystem`] instance fails with
+    /// [`CoinError::ForeignPlan`], even when the epochs coincide.
+    pub fn execute(&self, system: &CoinSystem) -> Result<MediatedAnswer, CoinError> {
+        if self.system_id != system.instance_id() {
+            return Err(CoinError::ForeignPlan);
+        }
+        if self.epoch != system.epoch() {
+            return Err(CoinError::StalePlan {
+                prepared: self.epoch,
+                current: system.epoch(),
+            });
+        }
+        let (table, mut stats) = system.planner.execute_planned(&self.plan)?;
+        let table = match &self.outer {
+            None => table,
+            Some(outer) => {
+                // Execute the outer block over the staged mediated result.
+                let staged = Table {
+                    name: "mediated".into(),
+                    schema: table.schema.clone(),
+                    rows: table.rows,
+                };
+                let catalog = Catalog::new().with_table(staged);
+                coin_rel::execute_select(outer, &catalog)?
+            }
+        };
+        stats.plan_epoch = self.epoch;
+        // Lock-free counter read: executions must not contend on the
+        // cache mutex just to report statistics.
+        let (hits, misses) = system.cache_counters();
+        stats.cache_hits = hits;
+        stats.cache_misses = misses;
+        Ok(MediatedAnswer {
+            table,
+            mediated: Arc::clone(&self.mediated),
+            stats,
+            cache: CacheStatus::Prepared,
+        })
+    }
+}

@@ -7,17 +7,20 @@
 //! context name; it returns mediated, executed answers.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use coin_planner::{Dictionary, Planner, PlannerConfig};
-use coin_rel::{Catalog, Table};
+use coin_rel::Table;
 use coin_sql::normalize::SchemaLookup;
 use coin_sql::{ColumnRef, Expr, OrderItem, Query, Select, SelectItem, TableRef};
 
+use crate::cache::{CacheStats, QueryCache};
 use crate::mediate::{Mediated, MediationError, Mediator};
 use crate::model::{
     ContextTheory, Conversion, ConversionRegistry, DomainModel, Elevation, ElevationRegistry,
     ModelError,
 };
+use crate::prepared::{CacheStatus, PreparedQuery};
 
 /// Unified error type for the system façade.
 #[derive(Debug)]
@@ -29,6 +32,17 @@ pub enum CoinError {
     Dict(coin_planner::DictError),
     Sql(coin_sql::SqlError),
     Unsupported(String),
+    /// A [`PreparedQuery`] compiled at an older model epoch was executed
+    /// after the shared model changed; recompile with
+    /// [`CoinSystem::prepare`].
+    StalePlan {
+        prepared: u64,
+        current: u64,
+    },
+    /// A [`PreparedQuery`] compiled on a *different* [`CoinSystem`]
+    /// instance was executed here; plans are bound to the system that
+    /// compiled them.
+    ForeignPlan,
 }
 
 impl std::fmt::Display for CoinError {
@@ -41,6 +55,16 @@ impl std::fmt::Display for CoinError {
             CoinError::Dict(e) => write!(f, "{e}"),
             CoinError::Sql(e) => write!(f, "{e}"),
             CoinError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            CoinError::StalePlan { prepared, current } => write!(
+                f,
+                "prepared query compiled at model epoch {prepared} is stale \
+                 (current epoch {current}); re-prepare it"
+            ),
+            CoinError::ForeignPlan => write!(
+                f,
+                "prepared query was compiled on a different CoinSystem \
+                 instance; prepare it on this system"
+            ),
         }
     }
 }
@@ -87,18 +111,40 @@ impl From<coin_sql::NormalizeError> for CoinError {
 #[derive(Debug)]
 pub struct MediatedAnswer {
     pub table: Table,
-    pub mediated: Mediated,
+    /// Compile-side provenance, shared with the cached [`PreparedQuery`]
+    /// so the execute-many hot path never re-clones the mediation report.
+    pub mediated: Arc<Mediated>,
     pub stats: coin_planner::ExecStats,
+    /// Whether this answer's compile artifact came from the cache.
+    pub cache: CacheStatus,
 }
 
 /// The assembled system.
+///
+/// The model state is deliberately not `pub`: every mutation must go
+/// through the `add_*` methods so the model epoch advances in lockstep
+/// and cached prepared queries can never be served stale. Read access is
+/// available through the accessor methods ([`CoinSystem::domain`],
+/// [`CoinSystem::contexts`], …).
 pub struct CoinSystem {
-    pub domain: DomainModel,
-    pub conversions: ConversionRegistry,
-    pub contexts: BTreeMap<String, ContextTheory>,
-    pub elevations: ElevationRegistry,
-    pub planner: Planner,
+    pub(crate) domain: DomainModel,
+    pub(crate) conversions: ConversionRegistry,
+    pub(crate) contexts: BTreeMap<String, ContextTheory>,
+    pub(crate) elevations: ElevationRegistry,
+    pub(crate) planner: Planner,
+    /// Model epoch: bumped by every mutating administration call; guards
+    /// the prepared-query cache (see [`crate::prepared`]).
+    epoch: u64,
+    /// Process-unique instance id, so a [`PreparedQuery`] compiled on one
+    /// system can never execute against a *different* system whose epoch
+    /// happens to match.
+    id: u64,
+    /// Prepared-query cache keyed by `(receiver, sql)`.
+    cache: QueryCache,
 }
+
+/// Source of process-unique [`CoinSystem`] instance ids.
+static SYSTEM_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl CoinSystem {
     /// An empty system over a domain model.
@@ -109,12 +155,30 @@ impl CoinSystem {
             contexts: BTreeMap::new(),
             elevations: ElevationRegistry::new(),
             planner: Planner::new(Dictionary::new()),
+            epoch: 0,
+            id: SYSTEM_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            cache: QueryCache::default(),
         }
     }
 
     pub fn with_planner_config(mut self, config: PlannerConfig) -> CoinSystem {
         self.planner.config = config;
+        self.bump_epoch();
         self
+    }
+
+    /// The current model epoch. Every model/planner mutation —
+    /// `add_source`, `add_context`, `add_elevation`, `add_conversion`,
+    /// and `with_planner_config` — advances it; prepared queries compiled
+    /// at an older epoch are stale.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advance the model epoch and drop every cached plan.
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
+        self.cache.purge();
     }
 
     /// Register a source (its tables become queryable).
@@ -123,6 +187,7 @@ impl CoinSystem {
         source: S,
     ) -> Result<(), CoinError> {
         self.planner.dictionary.register_source(source)?;
+        self.bump_epoch();
         Ok(())
     }
 
@@ -134,6 +199,7 @@ impl CoinSystem {
             return Err(ModelError::DuplicateContext(ctx.name).into());
         }
         self.contexts.insert(ctx.name.clone(), ctx);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -146,17 +212,43 @@ impl CoinSystem {
             self.domain.get(ty)?;
         }
         self.elevations.add(e)?;
+        self.bump_epoch();
         Ok(())
     }
 
     /// Register a conversion function for a modifier.
     pub fn add_conversion(&mut self, modifier: &str, conversion: Conversion) {
         self.conversions.set(modifier, conversion);
+        self.bump_epoch();
     }
 
     /// The schema dictionary (receiver-visible).
     pub fn dictionary(&self) -> &Dictionary {
         &self.planner.dictionary
+    }
+
+    /// The shared domain model (read-only; the model is fixed at
+    /// construction).
+    pub fn domain(&self) -> &DomainModel {
+        &self.domain
+    }
+
+    /// The registered context theories, by name (read-only; use
+    /// [`CoinSystem::add_context`] to register).
+    pub fn contexts(&self) -> &BTreeMap<String, ContextTheory> {
+        &self.contexts
+    }
+
+    /// The registered conversion functions (read-only; use
+    /// [`CoinSystem::add_conversion`] to register).
+    pub fn conversions(&self) -> &ConversionRegistry {
+        &self.conversions
+    }
+
+    /// The registered elevation axioms (read-only; use
+    /// [`CoinSystem::add_elevation`] to register).
+    pub fn elevations(&self) -> &ElevationRegistry {
+        &self.elevations
     }
 
     /// Total number of context/elevation axioms administered in the system
@@ -174,7 +266,7 @@ impl CoinSystem {
                 .sum::<usize>()
     }
 
-    fn mediator(&self) -> Mediator<'_> {
+    pub(crate) fn mediator(&self) -> Mediator<'_> {
         Mediator::new(
             &self.domain,
             &self.conversions,
@@ -197,39 +289,67 @@ impl CoinSystem {
             .mediate_select(&core, receiver, self.dictionary())?)
     }
 
+    /// Compile `sql` posed in `receiver` context into a shareable
+    /// [`PreparedQuery`], consulting the prepared-query cache first. On a
+    /// miss the freshly compiled artifact is cached for later callers.
+    pub fn prepare(&self, sql: &str, receiver: &str) -> Result<Arc<PreparedQuery>, CoinError> {
+        self.prepare_with_status(sql, receiver).map(|(p, _)| p)
+    }
+
+    /// [`CoinSystem::prepare`], also reporting whether the artifact came
+    /// from the cache.
+    pub fn prepare_with_status(
+        &self,
+        sql: &str,
+        receiver: &str,
+    ) -> Result<(Arc<PreparedQuery>, CacheStatus), CoinError> {
+        if let Some(hit) = self.cache.get(receiver, sql, self.epoch) {
+            return Ok((hit, CacheStatus::Hit));
+        }
+        let prepared = Arc::new(self.prepare_uncached(sql, receiver)?);
+        self.cache.insert(receiver, sql, Arc::clone(&prepared));
+        Ok((prepared, CacheStatus::Miss))
+    }
+
+    /// Compile without touching the cache (the compile pipeline itself).
+    pub fn prepare_uncached(&self, sql: &str, receiver: &str) -> Result<PreparedQuery, CoinError> {
+        PreparedQuery::compile(self, sql, receiver)
+    }
+
+    /// Cumulative prepared-query cache counters and occupancy.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Lock-free `(hits, misses)` counter snapshot for hot-path reporting.
+    pub(crate) fn cache_counters(&self) -> (u64, u64) {
+        self.cache.counters()
+    }
+
+    /// Process-unique instance id (see the `id` field).
+    pub(crate) fn instance_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Bound the prepared-query cache (entries beyond the bound are
+    /// evicted least-recently-used first; 0 disables caching).
+    pub fn set_cache_capacity(&self, capacity: usize) {
+        self.cache.set_capacity(capacity);
+    }
+
     /// The full pipeline: mediate, plan, execute, and (if the receiver's
     /// query had aggregation/ordering above the conjunctive core) apply the
     /// outer operations over the mediated result.
+    ///
+    /// This is now a thin wrapper over [`CoinSystem::prepare`] +
+    /// [`PreparedQuery::execute`]: repeated calls with the same `(sql,
+    /// receiver)` pay the abductive rewrite and planning only once per
+    /// model epoch.
     pub fn query(&self, sql: &str, receiver: &str) -> Result<MediatedAnswer, CoinError> {
-        let q = coin_sql::parse_query(sql)?;
-        let Query::Select(s) = q else {
-            return Err(CoinError::Unsupported(
-                "receiver queries are single SELECT blocks".into(),
-            ));
-        };
-        let (core, outer) = split_outer(&s, self.dictionary())?;
-        let mediated = self
-            .mediator()
-            .mediate_select(&core, receiver, self.dictionary())?;
-        let (table, stats) = self.planner.execute_query(&mediated.query)?;
-        let table = match outer {
-            None => table,
-            Some(outer) => {
-                // Execute the outer block over the staged mediated result.
-                let staged = Table {
-                    name: "mediated".into(),
-                    schema: table.schema.clone(),
-                    rows: table.rows,
-                };
-                let catalog = Catalog::new().with_table(staged);
-                coin_rel::execute_select(&outer, &catalog)?
-            }
-        };
-        Ok(MediatedAnswer {
-            table,
-            mediated,
-            stats,
-        })
+        let (prepared, status) = self.prepare_with_status(sql, receiver)?;
+        let mut answer = prepared.execute(self)?;
+        answer.cache = status;
+        Ok(answer)
     }
 
     /// Execute without mediation (the naive baseline of §3 that returns the
@@ -246,7 +366,7 @@ impl CoinSystem {
 /// The core projects every column referenced anywhere in the query, aliased
 /// `m0, m1, …`; the outer block re-expresses the original items over those
 /// aliases against the staged table `mediated`.
-fn split_outer(
+pub(crate) fn split_outer(
     s: &Select,
     schema: &dyn SchemaLookup,
 ) -> Result<(Select, Option<Select>), CoinError> {

@@ -1,0 +1,294 @@
+//! Correctness of the prepared-query pipeline and its epoch-invalidated
+//! plan cache: cached answers must be indistinguishable from freshly
+//! mediated ones, every model mutation must invalidate, eviction must be
+//! LRU at the capacity bound, and no interleaving of prepares and
+//! mutations may ever serve a stale plan.
+
+use coin_core::fixtures::figure2_system;
+use coin_core::{CacheStatus, CoinError, ContextTheory, Conversion, Elevation, ModifierSpec};
+use coin_rel::Value;
+use proptest::prelude::*;
+
+const Q1: &str = "SELECT r1.cname, r1.revenue FROM r1, r2 \
+                  WHERE r1.cname = r2.cname AND r1.revenue > r2.expenses";
+
+/// The figure-2 query variants exercised throughout this suite.
+const QUERIES: &[&str] = &[
+    Q1,
+    "SELECT r1.cname, r1.revenue FROM r1",
+    "SELECT r1.cname FROM r1 WHERE r1.revenue > 50",
+    "SELECT r2.cname, r2.expenses FROM r2",
+    "SELECT MAX(r2.expenses) FROM r1, r2 WHERE r1.cname = r2.cname",
+];
+
+#[test]
+fn cached_answers_match_uncached_across_figure2_fixtures() {
+    let cached = figure2_system();
+    let uncached = figure2_system();
+    uncached.set_cache_capacity(0); // cache disabled: every call recompiles
+    for sql in QUERIES {
+        // Twice each, so the second cached round is a genuine warm hit.
+        for round in 0..2 {
+            let a = cached.query(sql, "c_recv").unwrap();
+            let b = uncached.query(sql, "c_recv").unwrap();
+            assert_eq!(a.table.rows, b.table.rows, "{sql} (round {round})");
+            assert_eq!(a.table.schema.len(), b.table.schema.len(), "{sql}");
+            assert_eq!(
+                a.mediated.query.to_string(),
+                b.mediated.query.to_string(),
+                "{sql}"
+            );
+            assert_eq!(b.cache, CacheStatus::Miss, "disabled cache never hits");
+        }
+    }
+    // Warm rounds hit; the disabled cache recorded misses only.
+    assert_eq!(cached.cache_stats().hits, QUERIES.len() as u64);
+    assert_eq!(uncached.cache_stats().hits, 0);
+    assert_eq!(uncached.cache_stats().entries, 0);
+}
+
+#[test]
+fn query_reports_hit_and_miss_status() {
+    let sys = figure2_system();
+    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Miss);
+    let warm = sys.query(Q1, "c_recv").unwrap();
+    assert_eq!(warm.cache, CacheStatus::Hit);
+    assert_eq!(warm.stats.plan_epoch, sys.epoch());
+    assert_eq!(warm.stats.cache_hits, 1);
+    assert_eq!(warm.stats.cache_misses, 1);
+    // The answer itself is still the paper's corrected answer.
+    assert_eq!(warm.table.rows.len(), 1);
+    assert_eq!(warm.table.rows[0][0], Value::str("NTT"));
+}
+
+/// Each mutating `add_*` call must bump the epoch and force re-mediation.
+#[test]
+fn every_mutation_invalidates_cached_plans() {
+    let mut sys = figure2_system();
+
+    // add_conversion
+    sys.query(Q1, "c_recv").unwrap();
+    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Hit);
+    let before = sys.epoch();
+    sys.add_conversion("scaleFactor", Conversion::Ratio);
+    assert_eq!(sys.epoch(), before + 1);
+    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Miss);
+
+    // add_context
+    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Hit);
+    sys.add_context(ContextTheory::new("c_other").set(
+        "companyFinancials",
+        "currency",
+        ModifierSpec::constant("EUR"),
+    ))
+    .unwrap();
+    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Miss);
+
+    // add_elevation (a second relation elevated into the new context)
+    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Hit);
+    sys.add_elevation(Elevation::new("r2", "c_other").column("cname", "companyName"))
+        .unwrap_err(); // duplicate elevation is rejected…
+                       // …and a rejected mutation must NOT invalidate (no model change).
+    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Hit);
+
+    // add_source
+    let t = coin_rel::Table::from_rows(
+        "extra",
+        coin_rel::Schema::of(&[("x", coin_rel::ColumnType::Int)]),
+        vec![vec![Value::Int(1)]],
+    );
+    sys.add_source(coin_wrapper::RelationalSource::new(
+        "extra_src",
+        coin_rel::Catalog::new().with_table(t),
+    ))
+    .unwrap();
+    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Miss);
+
+    // add_elevation, successful this time: elevate the new relation into
+    // the previously added context — must bump the epoch and invalidate.
+    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Hit);
+    let before = sys.epoch();
+    sys.add_elevation(Elevation::new("extra", "c_other").column("x", "companyFinancials"))
+        .unwrap();
+    assert_eq!(sys.epoch(), before + 1);
+    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Miss);
+}
+
+/// A caller-held `PreparedQuery` refuses to execute after the model
+/// changes rather than serving answers mediated against outdated axioms.
+#[test]
+fn stale_prepared_query_refuses_to_execute() {
+    let mut sys = figure2_system();
+    let prepared = sys.prepare(Q1, "c_recv").unwrap();
+    assert!(prepared.is_current(&sys));
+    assert_eq!(prepared.execute(&sys).unwrap().table.rows.len(), 1);
+
+    sys.add_conversion("scaleFactor", Conversion::Ratio);
+    assert!(!prepared.is_current(&sys));
+    match prepared.execute(&sys) {
+        Err(CoinError::StalePlan {
+            prepared: p,
+            current,
+        }) => {
+            assert!(p < current);
+        }
+        other => panic!("expected StalePlan, got {other:?}"),
+    }
+    // Re-preparing recovers.
+    let fresh = sys.prepare(Q1, "c_recv").unwrap();
+    assert_eq!(fresh.execute(&sys).unwrap().table.rows.len(), 1);
+}
+
+/// A plan compiled on one system must not execute against a *different*
+/// system, even when the two epochs coincide (same administration count).
+#[test]
+fn prepared_query_is_bound_to_its_system_instance() {
+    let sys_a = figure2_system();
+    let sys_b = figure2_system();
+    assert_eq!(sys_a.epoch(), sys_b.epoch(), "identically administered");
+    let prepared = sys_a.prepare(Q1, "c_recv").unwrap();
+    assert!(prepared.is_current(&sys_a));
+    assert!(!prepared.is_current(&sys_b));
+    assert!(matches!(
+        prepared.execute(&sys_b),
+        Err(CoinError::ForeignPlan)
+    ));
+}
+
+#[test]
+fn lru_eviction_at_capacity() {
+    let sys = figure2_system();
+    sys.set_cache_capacity(2);
+    let (a, b, c) = (QUERIES[0], QUERIES[1], QUERIES[2]);
+
+    sys.prepare(a, "c_recv").unwrap(); // miss {a}
+    sys.prepare(b, "c_recv").unwrap(); // miss {a,b}
+    sys.prepare(a, "c_recv").unwrap(); // hit — a is now most recent
+    sys.prepare(c, "c_recv").unwrap(); // miss — evicts LRU = b
+    assert_eq!(sys.cache_stats().entries, 2);
+    assert_eq!(sys.cache_stats().evictions, 1);
+
+    // a survived (recently used), b was evicted, c is resident.
+    assert_eq!(
+        sys.query(a, "c_recv").unwrap().cache,
+        CacheStatus::Hit,
+        "recently-used entry must survive eviction"
+    );
+    assert_eq!(sys.query(c, "c_recv").unwrap().cache, CacheStatus::Hit);
+    assert_eq!(
+        sys.query(b, "c_recv").unwrap().cache,
+        CacheStatus::Miss,
+        "LRU entry must have been evicted"
+    );
+}
+
+#[test]
+fn shrinking_capacity_evicts_down() {
+    let sys = figure2_system();
+    for sql in QUERIES {
+        sys.prepare(sql, "c_recv").unwrap();
+    }
+    assert_eq!(sys.cache_stats().entries, QUERIES.len());
+    sys.set_cache_capacity(1);
+    assert_eq!(sys.cache_stats().entries, 1);
+    // The survivor is the most recently used: the last prepared query.
+    assert_eq!(
+        sys.query(QUERIES[QUERIES.len() - 1], "c_recv")
+            .unwrap()
+            .cache,
+        CacheStatus::Hit
+    );
+}
+
+/// Mutations that target a receiver context the cached query *uses* must
+/// change the mediated SQL, not just the epoch — end-to-end proof that
+/// invalidation forces a genuine re-mediation.
+#[test]
+fn invalidation_remediates_against_new_axioms() {
+    let mut sys = figure2_system();
+    let before = sys.query(Q1, "c_recv").unwrap();
+    // Replace the currency conversion with a blunt Ratio conversion: the
+    // re-mediated query must no longer join the rates relation.
+    assert!(before.mediated.query.to_string().contains("r3"));
+    sys.add_conversion("currency", Conversion::Ratio);
+    let (prepared, status) = sys.prepare_with_status(Q1, "c_recv").unwrap();
+    assert_eq!(status, CacheStatus::Miss);
+    assert_ne!(
+        before.mediated.query.to_string(),
+        prepared.mediated().query.to_string(),
+        "mutation must force a different rewriting"
+    );
+    assert!(
+        !prepared.mediated().query.to_string().contains("r3"),
+        "re-mediation must reflect the new conversion axioms"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
+
+    /// Interleave prepares, queries and model mutations arbitrarily: a
+    /// prepared artifact served by the cache must always carry the current
+    /// epoch, and its answer must equal a freshly compiled, uncached one.
+    #[test]
+    fn interleaved_prepares_and_mutations_never_serve_stale_plans(
+        ops in prop::collection::vec((0usize..QUERIES.len(), 0usize..4), 1..12),
+        capacity in 1usize..4,
+    ) {
+        let mut sys = figure2_system();
+        sys.set_cache_capacity(capacity);
+        let mut mutation_round = 0usize;
+        for (qi, action) in ops {
+            match action {
+                // Mutate: register a fresh (unused) context — cheap, valid,
+                // and repeatable any number of times.
+                0 => {
+                    mutation_round += 1;
+                    sys.add_context(ContextTheory::new(&format!("c_mut{mutation_round}")).set(
+                        "companyFinancials",
+                        "currency",
+                        ModifierSpec::constant("EUR"),
+                    ))
+                    .unwrap();
+                }
+                // Mutate: re-register the currency conversion. The value is
+                // unchanged (so every query stays executable) but a write is
+                // a write: the epoch must advance and the cache must flush.
+                1 => {
+                    mutation_round += 1;
+                    sys.add_conversion(
+                        "currency",
+                        Conversion::Lookup {
+                            relation: "r3".into(),
+                            from_col: "fromCur".into(),
+                            to_col: "toCur".into(),
+                            factor_col: "rate".into(),
+                        },
+                    );
+                }
+                // Prepare/query through the cache and cross-check.
+                _ => {
+                    let sql = QUERIES[qi];
+                    let prepared = sys.prepare(sql, "c_recv").unwrap();
+                    prop_assert_eq!(
+                        prepared.epoch(),
+                        sys.epoch(),
+                        "cache served a plan from a stale epoch"
+                    );
+                    let via_cache = sys.query(sql, "c_recv").unwrap();
+                    let fresh = sys.prepare_uncached(sql, "c_recv").unwrap();
+                    let direct = fresh.execute(&sys).unwrap();
+                    prop_assert_eq!(&via_cache.table.rows, &direct.table.rows, "{}", sql);
+                    prop_assert_eq!(
+                        via_cache.mediated.query.to_string(),
+                        direct.mediated.query.to_string()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -23,6 +23,14 @@ pub struct ExecStats {
     /// Simulated communication cost actually incurred
     /// (Σ latency + per_tuple × rows per access).
     pub comm_cost: f64,
+    /// Cumulative prepared-query cache hits on the serving system at the
+    /// time this query completed (0 when executed outside a cache-aware
+    /// pipeline).
+    pub cache_hits: u64,
+    /// Cumulative prepared-query cache misses (see [`ExecStats::cache_hits`]).
+    pub cache_misses: u64,
+    /// Model epoch the executed plan was compiled against.
+    pub plan_epoch: u64,
 }
 
 /// Execute a plan, returning the result and execution statistics.

@@ -24,58 +24,72 @@ pub mod plan;
 pub use dictionary::{DictError, Dictionary};
 pub use exec::{execute_plan, ExecStats};
 pub use optimize::{Planner, PlannerConfig};
-pub use plan::{FetchStep, ParamBinding, Plan, PlanError};
+pub use plan::{FetchStep, ParamBinding, Plan, PlanError, QueryPlan};
 
 use coin_rel::Table;
 use coin_sql::Query;
 
 impl Planner {
-    /// Plan and execute a full query (each UNION branch planned
-    /// independently, results combined with set semantics unless ALL).
-    pub fn execute_query(&self, q: &Query) -> Result<(Table, ExecStats), PlanError> {
-        match q {
-            Query::Select(s) => {
-                let plan = self.plan_select(s)?;
-                execute_plan(&plan, &self.dictionary)
-            }
-            Query::Union { all, .. } => {
-                let mut stats = ExecStats::default();
-                let mut merged: Option<Table> = None;
-                for branch in q.branches() {
-                    let plan = self.plan_select(branch)?;
-                    let (t, st) = execute_plan(&plan, &self.dictionary)?;
-                    stats.remote_queries += st.remote_queries;
-                    stats.rows_shipped += st.rows_shipped;
-                    stats.comm_cost += st.comm_cost;
-                    merged = Some(match merged {
-                        None => t,
-                        Some(mut acc) => {
-                            if t.schema.len() != acc.schema.len() {
-                                return Err(PlanError::Unsupported(
-                                    "UNION branches with different arities".into(),
-                                ));
-                            }
-                            acc.rows.extend(t.rows);
-                            acc
-                        }
-                    });
+    /// Compile a full query into a clonable [`QueryPlan`] artifact: each
+    /// UNION branch is planned independently. The result captures every
+    /// optimizer decision and can be executed many times with
+    /// [`Planner::execute_planned`].
+    pub fn plan_query(&self, q: &Query) -> Result<QueryPlan, PlanError> {
+        let branches = q
+            .branches()
+            .iter()
+            .map(|s| self.plan_select(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let all = match q {
+            // A single SELECT has nothing to deduplicate across branches.
+            Query::Select(_) => true,
+            Query::Union { all, .. } => *all,
+        };
+        Ok(QueryPlan { branches, all })
+    }
+
+    /// Execute a previously compiled [`QueryPlan`] (results combined with
+    /// set semantics unless the plan came from UNION ALL or a single
+    /// SELECT).
+    pub fn execute_planned(&self, plan: &QueryPlan) -> Result<(Table, ExecStats), PlanError> {
+        let mut stats = ExecStats::default();
+        let mut merged: Option<Table> = None;
+        for branch in &plan.branches {
+            let (t, st) = execute_plan(branch, &self.dictionary)?;
+            stats.remote_queries += st.remote_queries;
+            stats.rows_shipped += st.rows_shipped;
+            stats.comm_cost += st.comm_cost;
+            merged = Some(match merged {
+                None => t,
+                Some(mut acc) => {
+                    if t.schema.len() != acc.schema.len() {
+                        return Err(PlanError::Unsupported(
+                            "UNION branches with different arities".into(),
+                        ));
+                    }
+                    acc.rows.extend(t.rows);
+                    acc
                 }
-                let mut table =
-                    merged.ok_or_else(|| PlanError::Unsupported("empty union".into()))?;
-                if !*all {
-                    // Set semantics: sort + dedup on all columns.
-                    let key: Vec<(usize, bool)> =
-                        (0..table.schema.len()).map(|i| (i, false)).collect();
-                    table
-                        .rows
-                        .sort_by(|a, b| coin_rel::tempstore::cmp_rows(a, b, &key));
-                    table.rows.dedup_by(|a, b| {
-                        coin_rel::tempstore::cmp_rows(a, b, &key) == std::cmp::Ordering::Equal
-                    });
-                }
-                Ok((table, stats))
-            }
+            });
         }
+        let mut table = merged.ok_or_else(|| PlanError::Unsupported("empty union".into()))?;
+        if !plan.all {
+            // Set semantics: sort + dedup on all columns.
+            let key: Vec<(usize, bool)> = (0..table.schema.len()).map(|i| (i, false)).collect();
+            table
+                .rows
+                .sort_by(|a, b| coin_rel::tempstore::cmp_rows(a, b, &key));
+            table.rows.dedup_by(|a, b| {
+                coin_rel::tempstore::cmp_rows(a, b, &key) == std::cmp::Ordering::Equal
+            });
+        }
+        Ok((table, stats))
+    }
+
+    /// Plan and execute a full query — the compile-and-run convenience
+    /// wrapper over [`Planner::plan_query`] + [`Planner::execute_planned`].
+    pub fn execute_query(&self, q: &Query) -> Result<(Table, ExecStats), PlanError> {
+        self.execute_planned(&self.plan_query(q)?)
     }
 
     /// Parse, plan and execute SQL text.

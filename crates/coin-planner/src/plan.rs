@@ -139,6 +139,38 @@ impl Plan {
     }
 }
 
+/// A full-query plan: one [`Plan`] per UNION branch plus the combination
+/// semantics. This is the immutable compile-side artifact of the
+/// prepare/execute split — it can be cloned, cached and executed many
+/// times via [`crate::Planner::execute_planned`] without re-planning.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// One plan per UNION branch (a single SELECT has exactly one).
+    pub branches: Vec<Plan>,
+    /// `true` for UNION ALL (and for single SELECTs, which have nothing to
+    /// deduplicate); `false` requests set semantics over the merged rows.
+    pub all: bool,
+}
+
+impl QueryPlan {
+    /// Total estimated cost across all branches.
+    pub fn est_cost(&self) -> f64 {
+        self.branches.iter().map(|p| p.est_cost).sum()
+    }
+
+    /// Human-readable rendering of every branch plan.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        for (i, p) in self.branches.iter().enumerate() {
+            if self.branches.len() > 1 {
+                out.push_str(&format!("branch {}:\n", i + 1));
+            }
+            out.push_str(&p.explain());
+        }
+        out
+    }
+}
+
 /// Planner errors.
 #[derive(Debug)]
 pub enum PlanError {

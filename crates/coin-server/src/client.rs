@@ -143,6 +143,23 @@ impl Connection {
         }
     }
 
+    /// Fetch the server's cumulative mediation statistics (`GET /stats`).
+    pub fn server_stats(&self) -> Result<ServerStats, ClientError> {
+        let body = get(&self.addr, "/stats")?;
+        let doc = parse(&String::from_utf8_lossy(&body))?;
+        let num = |k: &str| doc.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        Ok(ServerStats {
+            epoch: num("epoch"),
+            cache_hits: num("cache_hits"),
+            cache_misses: num("cache_misses"),
+            cache_invalidations: num("cache_invalidations"),
+            cache_evictions: num("cache_evictions"),
+            cache_entries: num("cache_entries"),
+            cache_capacity: num("cache_capacity"),
+            axioms: num("axioms"),
+        })
+    }
+
     /// Ask the mediator for the rewriting only.
     pub fn explain(&self, sql: &str) -> Result<(String, String), ClientError> {
         let payload = Json::obj([
@@ -250,7 +267,23 @@ fn decode_result(doc: &Json) -> Result<ResultSet, ClientError> {
             .get("explanation")
             .and_then(Json::as_str)
             .map(str::to_owned),
+        cache: doc.get("cache").and_then(Json::as_str).map(str::to_owned),
     })
+}
+
+/// Cumulative server-side mediation statistics (`GET /stats`). Servers
+/// that predate the endpoint simply fail the request; all fields decode
+/// leniently to 0 when absent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    pub epoch: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_invalidations: u64,
+    pub cache_evictions: u64,
+    pub cache_entries: u64,
+    pub cache_capacity: u64,
+    pub axioms: u64,
 }
 
 /// A fetched result set.
@@ -262,6 +295,11 @@ pub struct ResultSet {
     pub mediated_sql: Option<String>,
     /// The mediation explanation.
     pub explanation: Option<String>,
+    /// `"hit"` or `"miss"`: whether the server's prepared-query cache
+    /// served the compile side. `None` when talking to an older server
+    /// that does not send the field (old clients likewise simply ignore
+    /// it).
+    pub cache: Option<String>,
 }
 
 impl ResultSet {

@@ -18,7 +18,7 @@ pub mod json;
 pub mod protocol;
 pub mod qbe;
 
-pub use client::{ClientError, Connection, ResultSet, Statement, TableInfo};
+pub use client::{ClientError, Connection, ResultSet, ServerStats, Statement, TableInfo};
 pub use http::{HttpError, HttpRequest, HttpResponse, ServerHandle};
 pub use json::{parse as parse_json, Json, JsonError};
 pub use protocol::{start_server, table_to_json, value_to_json};

@@ -7,7 +7,12 @@
 //!   (the dictionary service);
 //! * `POST /query` — `{"sql": …, "context": …, "mode": "mediated"|"naive"}`
 //!   → columns, rows, the mediated SQL, the mediation explanation and
-//!   execution statistics;
+//!   execution statistics; mediated responses also report whether the
+//!   prepared-query cache served the compile side (`"cache":
+//!   "hit"|"miss"`), the model `"epoch"`, and the cumulative
+//!   `"cache_hits"`/`"cache_misses"` counters;
+//! * `GET /stats` — cumulative prepared-query cache counters and the
+//!   current model epoch;
 //! * `GET /qbe`, `POST /qbe` — the HTML Query-By-Example interface
 //!   ([`crate::qbe`]).
 //!
@@ -94,6 +99,7 @@ pub fn start_server(system: Arc<CoinSystem>, addr: &str) -> Result<ServerHandle,
 fn dispatch(system: &CoinSystem, req: &HttpRequest) -> HttpResponse {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/dictionary") => dictionary_response(system),
+        ("GET", "/stats") => stats_response(system),
         ("POST", "/query") => match query_response(system, &req.body_str()) {
             Ok(r) => r,
             Err(msg) => HttpResponse::json(&Json::obj([("error", Json::Str(msg))])),
@@ -133,6 +139,20 @@ fn dictionary_response(system: &CoinSystem) -> HttpResponse {
         })
         .collect();
     HttpResponse::json(&Json::obj([("tables", Json::Arr(entries))]))
+}
+
+fn stats_response(system: &CoinSystem) -> HttpResponse {
+    let cache = system.cache_stats();
+    HttpResponse::json(&Json::obj([
+        ("epoch", Json::Num(system.epoch() as f64)),
+        ("cache_hits", Json::Num(cache.hits as f64)),
+        ("cache_misses", Json::Num(cache.misses as f64)),
+        ("cache_invalidations", Json::Num(cache.invalidations as f64)),
+        ("cache_evictions", Json::Num(cache.evictions as f64)),
+        ("cache_entries", Json::Num(cache.entries as f64)),
+        ("cache_capacity", Json::Num(cache.capacity as f64)),
+        ("axioms", Json::Num(system.axiom_count() as f64)),
+    ]))
 }
 
 fn query_response(system: &CoinSystem, body: &str) -> Result<HttpResponse, String> {
@@ -178,6 +198,16 @@ fn query_response(system: &CoinSystem, body: &str) -> Result<HttpResponse, Strin
                 pairs.push((
                     "remote_queries".into(),
                     Json::Num(answer.stats.remote_queries as f64),
+                ));
+                pairs.push(("cache".into(), Json::str(answer.cache.as_str())));
+                pairs.push(("epoch".into(), Json::Num(answer.stats.plan_epoch as f64)));
+                pairs.push((
+                    "cache_hits".into(),
+                    Json::Num(answer.stats.cache_hits as f64),
+                ));
+                pairs.push((
+                    "cache_misses".into(),
+                    Json::Num(answer.stats.cache_misses as f64),
                 ));
             }
             Ok(HttpResponse::json(&out))

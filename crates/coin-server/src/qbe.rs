@@ -28,7 +28,7 @@ pub fn render_form(system: &CoinSystem) -> String {
         "<html><head><title>COIN Query-By-Example</title></head><body>\
          <h1>Context Interchange Prototype — QBE</h1>\n",
     );
-    let contexts: Vec<&String> = system.contexts.keys().collect();
+    let contexts: Vec<&String> = system.contexts().keys().collect();
     for (source, table, schema) in system.dictionary().listing() {
         out.push_str(&format!(
             "<form method=\"POST\" action=\"/qbe\">\

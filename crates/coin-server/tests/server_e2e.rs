@@ -144,3 +144,41 @@ fn concurrent_clients() {
     }
     server.stop();
 }
+
+#[test]
+fn query_cache_status_travels_over_http() {
+    let (server, conn) = start();
+    let cold = conn.statement().execute(Q1).unwrap();
+    assert_eq!(cold.cache.as_deref(), Some("miss"));
+    let warm = conn.statement().execute(Q1).unwrap();
+    assert_eq!(warm.cache.as_deref(), Some("hit"));
+    assert_eq!(warm.rows, cold.rows, "cache must not change answers");
+    // Naive mode bypasses mediation entirely — no cache field.
+    let naive = conn.naive_statement().execute(Q1).unwrap();
+    assert_eq!(naive.cache, None);
+    server.stop();
+}
+
+#[test]
+fn stats_endpoint_reports_cumulative_counters() {
+    let (server, conn) = start();
+    let before = conn.server_stats().unwrap();
+    assert_eq!(before.cache_hits, 0);
+    assert_eq!(before.cache_misses, 0);
+    assert!(before.cache_capacity > 0);
+    assert!(before.epoch > 0, "figure-2 administration bumped the epoch");
+
+    conn.statement().execute(Q1).unwrap(); // miss
+    conn.statement().execute(Q1).unwrap(); // hit
+    conn.statement().execute(Q1).unwrap(); // hit
+
+    let after = conn.server_stats().unwrap();
+    assert_eq!(after.cache_misses, 1);
+    assert_eq!(after.cache_hits, 2);
+    assert_eq!(after.cache_entries, 1);
+    assert_eq!(
+        after.epoch, before.epoch,
+        "queries must not mutate the model"
+    );
+    server.stop();
+}

@@ -27,7 +27,7 @@ fn main() {
         let sys = synthetic_system(n, 1, 7);
         let coin_axioms = sys.axiom_count();
         let pairwise =
-            PairwiseIntegration::derive(&sys.domain, &sys.contexts, "companyFinancials").unwrap();
+            PairwiseIntegration::derive(sys.domain(), sys.contexts(), "companyFinancials").unwrap();
         let pw = pairwise.statement_count();
         println!(
             "{:>8} {:>14} {:>16} {:>9.1}x",

@@ -10,6 +10,12 @@
 //! `cargo test` (cargo passes `--test` to `harness = false` bench
 //! binaries) each benchmark body runs exactly once, as a smoke test, so
 //! tier-1 stays fast while `cargo bench` still measures.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! measured benchmark also appends one JSON object per line to it
+//! (`{"group","id","min_s","mean_s","max_s","samples","iters_per_sample"}`),
+//! so CI can archive bench results as machine-readable artifacts and
+//! later perf work has a trajectory to compare against.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -118,6 +124,56 @@ impl Bencher<'_> {
             samples.len(),
             iters_per_sample,
         );
+        append_json_record(
+            &self.group,
+            &self.id,
+            samples[0],
+            mean,
+            *samples.last().unwrap(),
+            samples.len(),
+            iters_per_sample,
+        );
+    }
+}
+
+/// Append one JSON-lines record to the file named by `CRITERION_JSON`
+/// (no-op when unset). Failures to write are reported but never fail the
+/// bench run.
+fn append_json_record(
+    group: &str,
+    id: &str,
+    min: f64,
+    mean: f64,
+    max: f64,
+    samples: usize,
+    iters_per_sample: u64,
+) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let line = format!(
+        "{{\"group\":\"{}\",\"id\":\"{}\",\"min_s\":{:e},\"mean_s\":{:e},\"max_s\":{:e},\
+         \"samples\":{},\"iters_per_sample\":{}}}\n",
+        esc(group),
+        esc(id),
+        min,
+        mean,
+        max,
+        samples,
+        iters_per_sample
+    );
+    use std::io::Write as _;
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("criterion: cannot append to CRITERION_JSON={path}: {e}");
     }
 }
 

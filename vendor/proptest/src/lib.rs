@@ -14,9 +14,17 @@
 //!
 //! Generation is deterministic: every test function derives its RNG seed
 //! from its own name, so a given binary always replays the identical case
-//! sequence — CI runs are reproducible by construction. Shrinking is not
-//! implemented; failures report the concrete generated inputs via the
-//! panic message inside the failing assertion instead.
+//! sequence — CI runs are reproducible by construction.
+//!
+//! Shrinking is greedy and strategy-directed (no value trees): on a
+//! failure, [`strategy::Strategy::shrink`] proposes simpler candidates —
+//! integers halve toward the range's lower bound, vectors truncate toward
+//! their minimum length and shrink element-wise, tuples shrink
+//! component-wise — and the first candidate that still fails becomes the
+//! new case, until no candidate fails or
+//! [`test_runner::Config::max_shrink_iters`] is exhausted. Combinator
+//! strategies (`prop_map`, `prop_oneof!`, `boxed`) do not shrink; their
+//! failures report the originally generated inputs.
 
 pub mod test_runner {
     /// Hash a test name into a stable 64-bit seed (FNV-1a).
@@ -93,7 +101,7 @@ pub mod test_runner {
         /// Accepted for API compatibility; the offline runner is
         /// deterministic and never persists failures.
         pub failure_persistence: Option<Box<dyn FailurePersistence>>,
-        /// Accepted for API compatibility; shrinking is not implemented.
+        /// Bound on candidate re-runs while shrinking a failing case.
         pub max_shrink_iters: u32,
         /// Give up after this many consecutive `prop_assume!` rejections.
         pub max_global_rejects: u32,
@@ -113,7 +121,7 @@ pub mod test_runner {
             Config {
                 cases: 256,
                 failure_persistence: None,
-                max_shrink_iters: 0,
+                max_shrink_iters: 1024,
                 max_global_rejects: 65_536,
             }
         }
@@ -128,12 +136,22 @@ pub mod strategy {
 
     /// A recipe for generating values of `Self::Value`.
     ///
-    /// Unlike real proptest there is no value tree and no shrinking; a
-    /// strategy is just a cloneable generator.
+    /// Unlike real proptest there is no value tree; a strategy is a
+    /// cloneable generator plus an optional [`Strategy::shrink`] hook
+    /// proposing simpler variants of a failing value.
     pub trait Strategy: Clone {
         type Value;
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Candidate simplifications of `value`, most aggressive first.
+        /// The runner re-runs the failing property on each candidate and
+        /// greedily keeps the first one that still fails. The default (no
+        /// candidates) makes a strategy opaque to shrinking.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
 
         fn prop_map<U, F>(self, f: F) -> Map<Self, F>
         where
@@ -334,6 +352,32 @@ pub mod strategy {
                     let r = (rng.next_u64() as u128 % span) as i128;
                     ((self.start as i128) + r) as $t
                 }
+
+                /// Halving shrinker: the lower bound first, then a
+                /// geometric ladder approaching the failing value from
+                /// below (`v - span/2, v - span/4, …, v - 1`). Whichever
+                /// candidate is the most aggressive jump that still fails
+                /// halves the remaining distance to the true failure
+                /// boundary, so the greedy driver bisects to the minimal
+                /// failing value in O(log² span) candidate runs wherever
+                /// the boundary lies in the range.
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let mut out: Vec<$t> = Vec::new();
+                    if *value == self.start {
+                        return out;
+                    }
+                    let span = value.abs_diff(self.start) as u128;
+                    out.push(self.start);
+                    let mut distance = span / 2;
+                    while distance > 0 {
+                        let c = ((*value as i128) - (distance as i128)) as $t;
+                        if c != self.start && !out.contains(&c) {
+                            out.push(c);
+                        }
+                        distance /= 2;
+                    }
+                    out
+                }
             }
         )*};
     }
@@ -355,17 +399,35 @@ pub mod strategy {
 
     macro_rules! impl_tuple_strategy {
         ($(($($s:ident . $idx:tt),+ );)*) => {$(
-            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+)
+            where
+                $($s::Value: Clone),+
+            {
                 type Value = ($($s::Value,)+);
 
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$idx.generate(rng),)+)
+                }
+
+                /// Component-wise shrink: each candidate simplifies one
+                /// component and keeps the others fixed.
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out: Vec<Self::Value> = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut v = value.clone();
+                            v.$idx = cand;
+                            out.push(v);
+                        }
+                    )+
+                    out
                 }
             }
         )*};
     }
 
     impl_tuple_strategy! {
+        (A.0);
         (A.0, B.1);
         (A.0, B.1, C.2);
         (A.0, B.1, C.2, D.3);
@@ -387,6 +449,16 @@ pub mod strategy {
                 Some(self.inner.generate(rng))
             } else {
                 None
+            }
+        }
+
+        /// `None` first (the simplest option), then inner shrinks.
+        fn shrink(&self, value: &Option<S::Value>) -> Vec<Option<S::Value>> {
+            match value {
+                None => Vec::new(),
+                Some(v) => std::iter::once(None)
+                    .chain(self.inner.shrink(v).into_iter().map(Some))
+                    .collect(),
             }
         }
     }
@@ -425,6 +497,124 @@ pub mod strategy {
     }
 
     impl_any_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    /// The `proptest!` runner: generates `config.cases` passing cases from
+    /// `strategy` and checks each with `run`. On a failure the case is
+    /// shrunk via [`shrink_failure`] before panicking, so the reported
+    /// inputs are near-minimal. Taking the strategy and the checker
+    /// through one generic signature pins the closure's argument type for
+    /// inference inside the macro expansion.
+    pub fn run_cases<S, F>(
+        seed_name: &str,
+        test_name: &str,
+        config: super::test_runner::Config,
+        strategy: S,
+        run: F,
+    ) where
+        S: Strategy,
+        F: Fn(&S::Value) -> Result<(), super::test_runner::TestCaseError>,
+    {
+        use super::test_runner::{seed_from_name, TestCaseError, TestRng};
+        let mut rng = TestRng::from_seed(seed_from_name(seed_name));
+        let mut passed: u32 = 0;
+        let mut rejects: u32 = 0;
+        while passed < config.cases {
+            let case = strategy.generate(&mut rng);
+            // Contain plain panics (assert!/unwrap in the body) the same
+            // way prop_assert! failures are handled, so panicking cases
+            // are shrunk and reported through the proptest wrapper too.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&case)))
+                .unwrap_or_else(|payload| {
+                    Err(TestCaseError::Fail(panic_message(payload.as_ref())))
+                });
+            match outcome {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    if rejects > config.max_global_rejects {
+                        panic!(
+                            "proptest {test_name}: too many prop_assume! rejections ({rejects})"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    let (_minimal, msg, iters) =
+                        shrink_failure(&strategy, case, msg, config.max_shrink_iters, &run);
+                    panic!(
+                        "proptest {test_name} failed after {passed} passing case(s) \
+                         (shrunk with {iters} candidate run(s)):\n{msg}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Greedy shrink driver used by the `proptest!` runner: repeatedly ask
+    /// the strategy for candidates and keep the first one that still fails
+    /// (rejected candidates — `prop_assume!` — count as passing). A
+    /// candidate whose run *panics* (a plain `assert!`/`unwrap` rather
+    /// than `prop_assert!`) counts as failing too: the panic is caught so
+    /// it cannot escape the driver and clobber the original failure
+    /// report. Returns the most-shrunk failing case, its failure message,
+    /// and how many candidate re-runs were spent.
+    ///
+    /// Caught candidate panics still print through the default panic hook
+    /// (noisy, but confined to the failing test's captured output). We
+    /// deliberately do NOT swap in a silent hook like upstream proptest:
+    /// `std::panic::set_hook` is process-global, and the default test
+    /// harness runs other tests concurrently on sibling threads — a
+    /// silent window here would swallow *their* panic locations too.
+    pub fn shrink_failure<S, F>(
+        strategy: &S,
+        mut case: S::Value,
+        mut message: String,
+        max_iters: u32,
+        run: &F,
+    ) -> (S::Value, String, u32)
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> Result<(), super::test_runner::TestCaseError>,
+    {
+        use super::test_runner::TestCaseError;
+        let mut iters: u32 = 0;
+        loop {
+            let mut improved = false;
+            for candidate in strategy.shrink(&case) {
+                if iters >= max_iters {
+                    return (case, message, iters);
+                }
+                iters += 1;
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&candidate)));
+                let failure = match outcome {
+                    Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => None,
+                    Ok(Err(TestCaseError::Fail(msg))) => Some(msg),
+                    Err(payload) => Some(panic_message(payload.as_ref())),
+                };
+                if let Some(msg) = failure {
+                    case = candidate;
+                    message = msg;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                return (case, message, iters);
+            }
+        }
+    }
+
+    /// Render a caught panic payload (`panic!`/`assert!` carry a `String`
+    /// or `&str`).
+    fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<String>() {
+            format!("panicked: {s}")
+        } else if let Some(s) = payload.downcast_ref::<&str>() {
+            format!("panicked: {s}")
+        } else {
+            "panicked with a non-string payload".to_owned()
+        }
+    }
 }
 
 pub mod arbitrary {
@@ -509,12 +699,42 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = self.size.pick(rng);
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+
+        /// Truncation shrinker (never below the configured minimum
+        /// length): straight to the minimum, halfway there, drop-last —
+        /// then element-wise shrinks at each position.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            let min = self.size.min;
+            let n = value.len();
+            if n > min {
+                out.push(value[..min].to_vec());
+                let half = min + (n - min) / 2;
+                if half != min && half != n {
+                    out.push(value[..half].to_vec());
+                }
+                if n - 1 != min && n - 1 != half {
+                    out.push(value[..n - 1].to_vec());
+                }
+            }
+            for i in 0..n {
+                for cand in self.element.shrink(&value[i]) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 
@@ -786,7 +1006,9 @@ macro_rules! prop_assume {
 }
 
 /// Define property tests. Each `fn name(arg in strategy, …) { body }`
-/// becomes a `#[test]` that runs `config.cases` generated cases.
+/// becomes a `#[test]` that runs `config.cases` generated cases. A failing
+/// case is shrunk (see [`strategy::Strategy::shrink`]) before the panic,
+/// so the reported inputs are near-minimal.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -798,35 +1020,20 @@ macro_rules! proptest {
     )*) => {$(
         $(#[$meta])*
         fn $name() {
-            let config: $crate::test_runner::Config = $config;
-            let mut rng = $crate::test_runner::TestRng::from_seed(
-                $crate::test_runner::seed_from_name(concat!(module_path!(), "::", stringify!($name))),
+            // All argument strategies combine into one tuple strategy so
+            // the shrink driver can simplify any argument of a failing
+            // case while holding the others fixed.
+            $crate::strategy::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                stringify!($name),
+                $config,
+                ($($strat,)+),
+                |case| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(case);
+                    $body
+                    ::std::result::Result::Ok(())
+                },
             );
-            let mut passed: u32 = 0;
-            let mut rejects: u32 = 0;
-            while passed < config.cases {
-                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
-                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                    (move || { $body ::std::result::Result::Ok(()) })();
-                match outcome {
-                    ::std::result::Result::Ok(()) => passed += 1,
-                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
-                        rejects += 1;
-                        if rejects > config.max_global_rejects {
-                            panic!(
-                                "proptest {}: too many prop_assume! rejections ({})",
-                                stringify!($name), rejects
-                            );
-                        }
-                    }
-                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
-                        panic!(
-                            "proptest {} failed after {} passing case(s):\n{}",
-                            stringify!($name), passed, msg
-                        );
-                    }
-                }
-            }
         }
     )*};
     ($($rest:tt)*) => {
@@ -898,6 +1105,81 @@ mod self_tests {
         #[should_panic(expected = "proptest failures_propagate failed")]
         fn failures_propagate(v in 0i64..10) {
             prop_assert!(v < 0, "deliberately failing on {}", v);
+        }
+
+        // Shrinking: whatever integer first fails, the halving shrinker
+        // must walk it down to the boundary value 10 exactly.
+        #[test]
+        #[should_panic(expected = "minimal failing value 10")]
+        fn integer_failures_shrink_to_boundary(v in 0i64..100_000) {
+            prop_assert!(v < 10, "minimal failing value {}", v);
+        }
+
+        // Shrinking bisects: a failure boundary far above the range
+        // midpoint is still reached exactly within the iteration budget
+        // (a naive decrement-by-one tail would run out long before).
+        #[test]
+        #[should_panic(expected = "minimal failing value 60000")]
+        fn integer_shrink_bisects_to_high_boundary(v in 0i64..100_000) {
+            prop_assert!(v < 60_000, "minimal failing value {}", v);
+        }
+
+        // Shrinking: an overlong vector truncates to the shortest length
+        // that still fails, and its elements shrink to the range minimum.
+        #[test]
+        #[should_panic(expected = "minimal failing vec [0, 0, 0]")]
+        fn vec_failures_shrink_to_minimal_length(
+            v in prop::collection::vec(0i64..100, 0..10)
+        ) {
+            prop_assert!(v.len() < 3, "minimal failing vec {:?}", v);
+        }
+
+        // Shrinking: candidates that panic outright (plain assert! on a
+        // code path only simpler inputs reach) are contained by the
+        // driver — the test still reports through the proptest wrapper
+        // instead of escaping with the candidate's raw panic.
+        #[test]
+        #[should_panic(expected = "proptest panicking_candidates_are_contained failed")]
+        fn panicking_candidates_are_contained(v in 0i64..100_000) {
+            assert!(!(v > 0 && v < 10), "plain panic at {}", v);
+            prop_assert!(v < 10, "prop failure at {}", v);
+        }
+
+        // A property that fails only via plain assert! (no prop_assert!)
+        // is still wrapped in the proptest report and shrunk to the
+        // boundary, instead of escaping with the raw panic of the first
+        // (large) failing case.
+        #[test]
+        #[should_panic(expected = "panicked: plain panic at 10")]
+        fn plain_panics_are_wrapped_and_shrunk(v in 0i64..100_000) {
+            assert!(v < 10, "plain panic at {}", v);
+        }
+    }
+
+    #[test]
+    fn integer_shrink_candidates_stay_in_range() {
+        let strat = -50i64..50;
+        let mut rng = crate::test_runner::TestRng::from_seed(11);
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            for c in strat.shrink(&v) {
+                assert!((-50..50).contains(&c), "candidate {c} out of range");
+                assert_ne!(c, v, "candidate must differ from the value");
+            }
+        }
+        assert!(strat.shrink(&-50).is_empty(), "lower bound is minimal");
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_length() {
+        let strat = prop::collection::vec(0i64..10, 2..8);
+        let mut rng = crate::test_runner::TestRng::from_seed(12);
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            for c in strat.shrink(&v) {
+                assert!(c.len() >= 2, "candidate {c:?} below minimum length");
+                assert!(c.len() <= v.len());
+            }
         }
     }
 }
