@@ -1,0 +1,109 @@
+//! Server throughput under concurrent load: keep-alive (persistent
+//! connections) vs a fresh TCP connection per request, over the same
+//! deterministic load harness the integration tests use.
+//!
+//! Each iteration drives `LOAD_CLIENTS` concurrent clients issuing
+//! `LOAD_REQUESTS` requests each (defaults 8 × 50; override via those
+//! environment variables — CI runs the small default as the
+//! `server-load` smoke job). The headline acceptance number is the
+//! keep-alive vs per-request requests/sec ratio on the `/stats`
+//! workload, where transport cost dominates; the `query_*` pair measures
+//! the same ratio under real mediated `/query` traffic. A summary with
+//! the measured ratio is printed after the criterion runs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use coin_core::fixtures::figure2_system;
+use coin_server::{start_server_with, ServerConfig, ServerHandle};
+
+#[path = "../../coin-server/tests/support/load.rs"]
+mod load;
+
+use load::{run_load, LoadConfig, Workload};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn scale() -> (usize, usize) {
+    (env_usize("LOAD_CLIENTS", 8), env_usize("LOAD_REQUESTS", 50))
+}
+
+fn start_server(clients: usize) -> ServerHandle {
+    // One worker per client: keep-alive clients hold their connection for
+    // the whole run, so the worker pool must cover the fleet.
+    start_server_with(
+        Arc::new(figure2_system()),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: clients,
+            queue_depth: clients * 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn config(keep_alive: bool, workload: Workload) -> LoadConfig {
+    let (clients, requests_per_client) = scale();
+    LoadConfig {
+        clients,
+        requests_per_client,
+        keep_alive,
+        workload,
+        seed: 42,
+        time_limit: Duration::from_secs(60),
+    }
+}
+
+fn bench_server_load(c: &mut Criterion) {
+    let (clients, requests_per_client) = scale();
+    let server = start_server(clients);
+    let addr = server.addr;
+
+    let mut g = c.benchmark_group("server_load");
+    g.throughput(Throughput::Elements((clients * requests_per_client) as u64));
+    g.sample_size(10);
+
+    for (name, keep_alive, workload) in [
+        ("stats_keepalive", true, Workload::Stats),
+        ("stats_per_request", false, Workload::Stats),
+        ("query_keepalive", true, Workload::QueryMix),
+        ("query_per_request", false, Workload::QueryMix),
+    ] {
+        let cfg = config(keep_alive, workload);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let report = run_load(addr, &cfg);
+                assert_eq!(report.errors, 0, "{name}: {report:?}");
+                assert_eq!(report.shed, 0, "{name}: {report:?}");
+                black_box(report.ok)
+            })
+        });
+    }
+    g.finish();
+
+    // Direct requests/sec comparison (the ≥2× keep-alive acceptance
+    // headline), printed alongside the criterion timings.
+    for workload in [Workload::Stats, Workload::QueryMix] {
+        let ka = run_load(addr, &config(true, workload));
+        let pr = run_load(addr, &config(false, workload));
+        println!(
+            "server_load/{workload:?}: keep-alive {:.0} req/s vs per-request {:.0} req/s \
+             ({:.2}x, {clients} clients x {requests_per_client} requests)",
+            ka.requests_per_sec(),
+            pr.requests_per_sec(),
+            ka.requests_per_sec() / pr.requests_per_sec().max(1e-9),
+        );
+    }
+    server.stop();
+}
+
+criterion_group!(benches, bench_server_load);
+criterion_main!(benches);

@@ -12,10 +12,22 @@
 //! the current one. A cached plan is therefore
 //! served exactly as long as re-mediating would produce the same result,
 //! and never after the shared model changes.
+//!
+//! # Single-flight compilation
+//!
+//! N threads cold-missing the same key at once must not each pay the
+//! ~280 µs compile: [`QueryCache::begin`] elects exactly one **leader**
+//! per in-flight `(receiver, sql)` key (the returned
+//! [`PrepareSlot::Leader`] permit) and parks every other caller on the
+//! flight's condvar. When the leader [`FlightPermit::complete`]s, the
+//! waiters receive the shared artifact directly — even when the cache is
+//! disabled (capacity 0) a stampede performs exactly one compile. A
+//! leader that fails (compile error or panic) aborts the flight on drop;
+//! waiters then retry, so an error never strands them.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 use crate::prepared::PreparedQuery;
 
@@ -25,10 +37,15 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 256;
 /// Cumulative cache counters plus a point-in-time occupancy snapshot.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the cache (including stampede waiters served
+    /// the in-flight leader's artifact).
     pub hits: u64,
     /// Lookups that had to compile (absent, stale, or cache disabled).
     pub misses: u64,
+    /// Fresh compiles actually performed through the cache path — with the
+    /// single-flight guard this stays at 1 for any number of concurrent
+    /// cold misses on one key.
+    pub compiles: u64,
     /// Entries dropped because the model epoch advanced.
     pub invalidations: u64,
     /// Entries dropped to respect the capacity bound.
@@ -69,14 +86,85 @@ impl Inner {
     }
 }
 
-/// A bounded, epoch-validated LRU cache of [`PreparedQuery`] artifacts.
+/// One in-flight compilation: waiters park on the condvar until the
+/// leader lands a state other than `Pending`.
+enum FlightState {
+    Pending,
+    Done(Arc<PreparedQuery>),
+    Aborted,
+}
+
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Outcome of [`QueryCache::begin`]: either a ready artifact or the duty
+/// (and exclusive right, per key) to compile one.
+pub enum PrepareSlot<'a> {
+    /// A current-epoch artifact was already cached, or an in-flight leader
+    /// finished compiling one while we waited.
+    Cached(Arc<PreparedQuery>),
+    /// This caller is the single-flight leader for the key: compile, then
+    /// [`FlightPermit::complete`]. Dropping the permit without completing
+    /// (compile error, panic) aborts the flight and wakes the waiters so
+    /// they can retry.
+    Leader(FlightPermit<'a>),
+}
+
+/// The leader's obligation token for one in-flight key (see
+/// [`PrepareSlot::Leader`]).
+pub struct FlightPermit<'a> {
+    cache: &'a QueryCache,
+    /// `Some` until the flight lands; taken by `complete`/`Drop`.
+    key: Option<(String, String)>,
+    flight: Arc<Flight>,
+}
+
+impl FlightPermit<'_> {
+    /// Publish the freshly compiled artifact: insert it into the cache,
+    /// count the compile, and hand it to every parked waiter.
+    pub fn complete(mut self, prepared: Arc<PreparedQuery>) {
+        let key = self.key.take().expect("flight already landed");
+        self.cache.compiles.fetch_add(1, Ordering::Relaxed);
+        // Cache first, then retire the flight: a caller arriving in
+        // between finds the entry via the cache, never a gap.
+        self.cache.insert(&key.0, &key.1, Arc::clone(&prepared));
+        self.cache
+            .land(&key, &self.flight, FlightState::Done(prepared));
+    }
+}
+
+impl Drop for FlightPermit<'_> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            self.cache.land(&key, &self.flight, FlightState::Aborted);
+        }
+    }
+}
+
+/// A bounded, epoch-validated LRU cache of [`PreparedQuery`] artifacts
+/// with a per-key single-flight guard for cold misses.
 ///
-/// Interior mutability (a mutex plus atomics for the counters) lets a
+/// Interior mutability (mutexes plus atomics for the counters) lets a
 /// shared `&CoinSystem` serve cached lookups from many threads at once.
 pub struct QueryCache {
     inner: Mutex<Inner>,
+    /// In-flight compilations by `(receiver, sql)`. Lock order: `inflight`
+    /// before `inner`; nothing acquires `inflight` while holding `inner`.
+    inflight: Mutex<HashMap<(String, String), Arc<Flight>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    compiles: AtomicU64,
 }
 
 impl Default for QueryCache {
@@ -92,8 +180,10 @@ impl QueryCache {
                 capacity,
                 ..Inner::default()
             }),
+            inflight: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
         }
     }
 
@@ -104,34 +194,109 @@ impl QueryCache {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Look up a prepared query compiled at exactly `epoch`. A present but
-    /// stale entry is removed and counted as an invalidation; any
-    /// non-returning outcome counts as a miss.
-    pub fn get(&self, receiver: &str, sql: &str, epoch: u64) -> Option<Arc<PreparedQuery>> {
+    /// Counter-free lookup: a present but stale entry is removed and
+    /// counted as an invalidation; hit/miss attribution is the caller's.
+    fn lookup(&self, receiver: &str, sql: &str, epoch: u64) -> Option<Arc<PreparedQuery>> {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(receiver).and_then(|m| m.get_mut(sql)) {
             Some((prepared, last_used)) if prepared.epoch() == epoch => {
                 *last_used = tick;
-                let out = Arc::clone(prepared);
-                drop(inner);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(out)
+                Some(Arc::clone(prepared))
             }
             Some(_) => {
                 inner.remove(receiver, sql);
                 inner.invalidations += 1;
-                drop(inner);
-                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
+            None => None,
+        }
+    }
+
+    /// Look up a prepared query compiled at exactly `epoch`. A present but
+    /// stale entry is removed and counted as an invalidation; any
+    /// non-returning outcome counts as a miss.
+    pub fn get(&self, receiver: &str, sql: &str, epoch: u64) -> Option<Arc<PreparedQuery>> {
+        match self.lookup(receiver, sql, epoch) {
+            Some(hit) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(hit)
+            }
             None => {
-                drop(inner);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
+    }
+
+    /// Single-flight entry point: return a cached artifact, or elect this
+    /// caller leader for the key, or park until the current leader lands
+    /// and serve its artifact. Only a leader election counts as a miss;
+    /// both cache hits and coalesced waits count as hits.
+    pub fn begin(&self, receiver: &str, sql: &str, epoch: u64) -> PrepareSlot<'_> {
+        loop {
+            let flight = {
+                // `inflight` is held across the cache lookup so a leader
+                // completing in between cannot slip past both checks.
+                let mut inflight = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Some(hit) = self.lookup(receiver, sql, epoch) {
+                    drop(inflight);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return PrepareSlot::Cached(hit);
+                }
+                let key = (receiver.to_owned(), sql.to_owned());
+                match inflight.get(&key) {
+                    Some(flight) => Arc::clone(flight),
+                    None => {
+                        let flight = Arc::new(Flight::new());
+                        inflight.insert(key.clone(), Arc::clone(&flight));
+                        drop(inflight);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        return PrepareSlot::Leader(FlightPermit {
+                            cache: self,
+                            key: Some(key),
+                            flight,
+                        });
+                    }
+                }
+            };
+            // Park outside the map lock until the leader lands.
+            let mut state = flight.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                match &*state {
+                    FlightState::Pending => {
+                        state = flight
+                            .cv
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    FlightState::Done(prepared) if prepared.epoch() == epoch => {
+                        let out = Arc::clone(prepared);
+                        drop(state);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return PrepareSlot::Cached(out);
+                    }
+                    // Leader failed, or compiled at a different epoch than
+                    // we need: go around (possibly becoming leader).
+                    FlightState::Done(_) | FlightState::Aborted => break,
+                }
+            }
+        }
+    }
+
+    /// Retire a flight: remove it from the in-flight map (only if it is
+    /// still the registered one for the key) and wake every waiter with
+    /// the final state.
+    fn land(&self, key: &(String, String), flight: &Arc<Flight>, state: FlightState) {
+        {
+            let mut inflight = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+            if inflight.get(key).is_some_and(|f| Arc::ptr_eq(f, flight)) {
+                inflight.remove(key);
+            }
+        }
+        *flight.state.lock().unwrap_or_else(PoisonError::into_inner) = state;
+        flight.cv.notify_all();
     }
 
     /// Insert a freshly compiled artifact, evicting the least-recently-used
@@ -189,6 +354,7 @@ impl QueryCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
             invalidations: inner.invalidations,
             evictions: inner.evictions,
             entries: inner.len,

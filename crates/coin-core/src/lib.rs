@@ -55,7 +55,7 @@ pub mod model;
 pub mod prepared;
 pub mod system;
 
-pub use cache::{CacheStats, QueryCache};
+pub use cache::{CacheStats, FlightPermit, PrepareSlot, QueryCache};
 pub use mediate::{BranchReport, Mediated, MediationError, Mediator};
 pub use model::{
     ContextTheory, Conversion, ConversionRegistry, DomainModel, Elevation, ElevationRegistry,

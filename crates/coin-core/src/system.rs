@@ -298,17 +298,28 @@ impl CoinSystem {
 
     /// [`CoinSystem::prepare`], also reporting whether the artifact came
     /// from the cache.
+    ///
+    /// Cold misses are **single-flight**: when N threads miss the same
+    /// `(receiver, sql)` key at once, exactly one (the leader, reported as
+    /// [`CacheStatus::Miss`]) runs the compile pipeline; the others park
+    /// until it lands and share its artifact (reported as
+    /// [`CacheStatus::Hit`]). A leader whose compile fails wakes the
+    /// waiters so one of them can retry — an error never strands a
+    /// stampede.
     pub fn prepare_with_status(
         &self,
         sql: &str,
         receiver: &str,
     ) -> Result<(Arc<PreparedQuery>, CacheStatus), CoinError> {
-        if let Some(hit) = self.cache.get(receiver, sql, self.epoch) {
-            return Ok((hit, CacheStatus::Hit));
+        match self.cache.begin(receiver, sql, self.epoch) {
+            crate::cache::PrepareSlot::Cached(hit) => Ok((hit, CacheStatus::Hit)),
+            crate::cache::PrepareSlot::Leader(permit) => {
+                // On Err the permit drops here, aborting the flight.
+                let prepared = Arc::new(self.prepare_uncached(sql, receiver)?);
+                permit.complete(Arc::clone(&prepared));
+                Ok((prepared, CacheStatus::Miss))
+            }
         }
-        let prepared = Arc::new(self.prepare_uncached(sql, receiver)?);
-        self.cache.insert(receiver, sql, Arc::clone(&prepared));
-        Ok((prepared, CacheStatus::Miss))
     }
 
     /// Compile without touching the cache (the compile pipeline itself).

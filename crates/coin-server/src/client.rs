@@ -10,10 +10,11 @@
 //! [`ResultSet`] exposes columns/rows plus the mediation provenance.
 
 use std::net::SocketAddr;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use coin_rel::{Column, ColumnType, Schema, Table, Value};
 
-use crate::http::{get, post, HttpError};
+use crate::http::{HttpClient, HttpError};
 use crate::json::{parse, Json, JsonError};
 use crate::protocol::json_to_value;
 
@@ -59,18 +60,26 @@ pub struct TableInfo {
 }
 
 /// A connection to a mediation server, bound to a receiver context.
+///
+/// The connection holds one pooled keep-alive socket ([`HttpClient`]):
+/// sequential requests reuse it instead of opening a TCP connection per
+/// call, and a socket the server idle-timed-out is transparently
+/// re-opened. Clones share the pooled socket (requests serialize over
+/// it, as in ODBC connections).
 #[derive(Debug, Clone)]
 pub struct Connection {
     addr: SocketAddr,
     context: String,
+    http: Arc<Mutex<HttpClient>>,
 }
 
 impl Connection {
-    /// Open a connection (no handshake needed; HTTP is stateless).
+    /// Open a connection (lazy: the socket is opened on first use).
     pub fn open(addr: SocketAddr, context: &str) -> Connection {
         Connection {
             addr,
             context: context.to_owned(),
+            http: Arc::new(Mutex::new(HttpClient::new(addr))),
         }
     }
 
@@ -79,9 +88,36 @@ impl Connection {
         &self.context
     }
 
+    /// The server address this connection targets.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// TCP connections opened so far (1 for an all-keep-alive exchange).
+    pub fn transport_connects(&self) -> u64 {
+        self.http().connects()
+    }
+
+    fn http(&self) -> std::sync::MutexGuard<'_, HttpClient> {
+        self.http.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn get(&self, path: &str) -> Result<Vec<u8>, HttpError> {
+        self.http().request("GET", path, None, &[])
+    }
+
+    fn post_json(&self, path: &str, payload: &Json) -> Result<Vec<u8>, HttpError> {
+        self.http().request(
+            "POST",
+            path,
+            Some("application/json"),
+            payload.to_string().as_bytes(),
+        )
+    }
+
     /// Fetch the schema dictionary.
     pub fn dictionary(&self) -> Result<Vec<TableInfo>, ClientError> {
-        let body = get(&self.addr, "/dictionary")?;
+        let body = self.get("/dictionary")?;
         let doc = parse(&String::from_utf8_lossy(&body))?;
         let tables = doc
             .get("tables")
@@ -145,13 +181,14 @@ impl Connection {
 
     /// Fetch the server's cumulative mediation statistics (`GET /stats`).
     pub fn server_stats(&self) -> Result<ServerStats, ClientError> {
-        let body = get(&self.addr, "/stats")?;
+        let body = self.get("/stats")?;
         let doc = parse(&String::from_utf8_lossy(&body))?;
         let num = |k: &str| doc.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
         Ok(ServerStats {
             epoch: num("epoch"),
             cache_hits: num("cache_hits"),
             cache_misses: num("cache_misses"),
+            cache_compiles: num("cache_compiles"),
             cache_invalidations: num("cache_invalidations"),
             cache_evictions: num("cache_evictions"),
             cache_entries: num("cache_entries"),
@@ -167,12 +204,7 @@ impl Connection {
             ("context", Json::str(&self.context)),
             ("mode", Json::str("explain")),
         ]);
-        let body = post(
-            &self.addr,
-            "/query",
-            "application/json",
-            payload.to_string().as_bytes(),
-        )?;
+        let body = self.post_json("/query", &payload)?;
         let doc = parse(&String::from_utf8_lossy(&body))?;
         if let Some(err) = doc.get("error").and_then(Json::as_str) {
             return Err(ClientError::Server(err.to_owned()));
@@ -206,12 +238,7 @@ impl Statement<'_> {
             ("context", Json::str(&self.conn.context)),
             ("mode", Json::str(mode)),
         ]);
-        let body = post(
-            &self.conn.addr,
-            "/query",
-            "application/json",
-            payload.to_string().as_bytes(),
-        )?;
+        let body = self.conn.post_json("/query", &payload)?;
         let doc = parse(&String::from_utf8_lossy(&body))?;
         if let Some(err) = doc.get("error").and_then(Json::as_str) {
             return Err(ClientError::Server(err.to_owned()));
@@ -268,6 +295,7 @@ fn decode_result(doc: &Json) -> Result<ResultSet, ClientError> {
             .and_then(Json::as_str)
             .map(str::to_owned),
         cache: doc.get("cache").and_then(Json::as_str).map(str::to_owned),
+        plan_epoch: doc.get("epoch").and_then(Json::as_f64).map(|e| e as u64),
     })
 }
 
@@ -279,6 +307,9 @@ pub struct ServerStats {
     pub epoch: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Fresh compiles performed through the cache path; under the
+    /// single-flight guard a stampede on one key adds exactly 1.
+    pub cache_compiles: u64,
     pub cache_invalidations: u64,
     pub cache_evictions: u64,
     pub cache_entries: u64,
@@ -300,6 +331,10 @@ pub struct ResultSet {
     /// that does not send the field (old clients likewise simply ignore
     /// it).
     pub cache: Option<String>,
+    /// The model epoch the server's plan was compiled at (mediated mode;
+    /// `None` from older servers). Together with the epoch-guarded cache
+    /// this certifies which model state produced the rows.
+    pub plan_epoch: Option<u64>,
 }
 
 impl ResultSet {

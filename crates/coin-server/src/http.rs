@@ -1,19 +1,47 @@
-//! Minimal HTTP/1.0 server and client over `std::net`.
+//! HTTP/1.1 server and client over `std::net`.
 //!
 //! "The protocol supporting this API is currently tunneled in the HyperText
 //! Transfer Protocol (HTTP) of the World Wide Web. The API can be used
 //! within any application with basic capabilities for Internet socket based
 //! communication." (paper §2)
 //!
-//! The server runs a small worker pool fed by an mpsc channel; requests
-//! are parsed with `Content-Length` bodies, responses carry status, content
-//! type and body. The client side offers blocking `get`/`post` helpers.
+//! The transport is built for sustained multi-client traffic rather than
+//! one connection per request:
+//!
+//! * **Keep-alive**: connections are persistent by default (HTTP/1.1
+//!   semantics; `Connection: close` and HTTP/1.0 are honored), serving
+//!   pipelined sequential requests until the peer closes, an idle timeout
+//!   elapses, or the per-connection request cap is reached.
+//! * **Nonblocking accept loop**: the listener never blocks, so shutdown
+//!   is prompt (no dummy wake-up connection) and admission decisions are
+//!   made before a connection ever touches a worker.
+//! * **Bounded backpressure**: accepted connections enter a bounded work
+//!   queue; when the queue or the connection budget is full the server
+//!   sheds load immediately with `503 Service Unavailable` +
+//!   `Retry-After` instead of queueing unboundedly.
+//! * **Fault isolation**: malformed requests get a `400`, oversized bodies
+//!   a `413`, and the worker lives on to serve the next connection.
+//!
+//! The client side offers the blocking one-shot `get`/`post` helpers plus
+//! [`HttpClient`], a persistent connection that reuses one socket across
+//! requests and transparently reconnects when the pooled socket went
+//! stale.
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// How often parked workers re-check the stop flag and idle budget.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// Longest back-off sleep of the idle accept loop.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(2);
+/// Cap on one request head line (request line or a single header).
+const MAX_HEAD_LINE: usize = 8 * 1024;
+/// Cap on the whole request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -25,6 +53,8 @@ pub struct HttpRequest {
     pub query: BTreeMap<String, String>,
     pub headers: BTreeMap<String, String>,
     pub body: Vec<u8>,
+    /// Protocol version from the request line (`HTTP/1.1`, `HTTP/1.0`).
+    pub version: String,
 }
 
 impl HttpRequest {
@@ -39,6 +69,9 @@ pub struct HttpResponse {
     pub status: u16,
     pub content_type: String,
     pub body: Vec<u8>,
+    /// Emitted as a `Retry-After` header (seconds) when set — load-shed
+    /// responses tell well-behaved clients when to come back.
+    pub retry_after: Option<u64>,
 }
 
 impl HttpResponse {
@@ -47,6 +80,7 @@ impl HttpResponse {
             status: 200,
             content_type: content_type.into(),
             body: body.into(),
+            retry_after: None,
         }
     }
 
@@ -63,6 +97,15 @@ impl HttpResponse {
             status,
             content_type: "text/plain; charset=utf-8".into(),
             body: message.as_bytes().to_vec(),
+            retry_after: None,
+        }
+    }
+
+    /// The load-shedding response: `503` with a `Retry-After` hint.
+    pub fn unavailable(retry_after_secs: u64) -> HttpResponse {
+        HttpResponse {
+            retry_after: Some(retry_after_secs),
+            ..HttpResponse::error(503, "server overloaded; retry later")
         }
     }
 
@@ -72,7 +115,11 @@ impl HttpResponse {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
@@ -107,25 +154,130 @@ impl From<std::io::Error> for HttpError {
 /// The request handler type.
 pub type Handler = Arc<dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync>;
 
+/// Transport tuning knobs for [`serve_with`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Handler threads; each owns at most one connection at a time, so
+    /// this bounds concurrent in-service connections.
+    pub workers: usize,
+    /// Bounded queue of accepted-but-unserved connections. Overflow is
+    /// shed with `503 + Retry-After`.
+    pub queue_depth: usize,
+    /// Budget on connections admitted (queued + in service). `0` derives
+    /// `workers + queue_depth`. Excess connections are shed with `503`.
+    pub max_connections: usize,
+    /// Persistent connections (`false` forces `Connection: close` on
+    /// every response).
+    pub keep_alive: bool,
+    /// Close a keep-alive connection after this long with no new request.
+    pub idle_timeout: Duration,
+    /// Close a connection after serving this many requests (0 = no cap).
+    pub max_requests_per_connection: usize,
+    /// Largest accepted request body; larger gets `413` and a close.
+    pub max_body_bytes: usize,
+    /// `Retry-After` seconds advertised on shed responses.
+    pub retry_after_secs: u64,
+    /// Deadline for reading one request once its first byte arrived.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            max_connections: 0,
+            keep_alive: true,
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 0,
+            max_body_bytes: 1024 * 1024,
+            retry_after_secs: 1,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The connection budget actually enforced.
+    fn budget(&self) -> usize {
+        if self.max_connections == 0 {
+            self.workers.max(1) + self.queue_depth.max(1)
+        } else {
+            self.max_connections
+        }
+    }
+}
+
+/// Cumulative transport counters, readable while the server runs.
+#[derive(Default)]
+pub struct ServerMetrics {
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    requests: AtomicU64,
+    keepalive_reuses: AtomicU64,
+    malformed: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl ServerMetrics {
+    fn snapshot(&self) -> ServerMetricsSnapshot {
+        ServerMetricsSnapshot {
+            connections_accepted: self.accepted.load(Ordering::Relaxed),
+            connections_shed: self.shed.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            keepalive_reuses: self.keepalive_reuses.load(Ordering::Relaxed),
+            malformed_requests: self.malformed.load(Ordering::Relaxed),
+            request_timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`ServerMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerMetricsSnapshot {
+    /// Connections the accept loop took off the listener.
+    pub connections_accepted: u64,
+    /// Connections refused with `503` (queue full or budget exceeded).
+    pub connections_shed: u64,
+    /// Requests answered by handlers.
+    pub requests: u64,
+    /// Requests served on an already-used connection (keep-alive wins).
+    pub keepalive_reuses: u64,
+    /// Requests rejected as malformed or oversized (4xx, connection
+    /// closed, worker survives).
+    pub malformed_requests: u64,
+    /// Requests that started but did not finish arriving within
+    /// `read_timeout` (answered `408`, connection closed).
+    pub request_timeouts: u64,
+}
+
 /// A running HTTP server; dropping it (or calling [`ServerHandle::stop`])
 /// shuts the listener down.
 pub struct ServerHandle {
     pub addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    metrics: Arc<ServerMetrics>,
 }
 
 impl ServerHandle {
-    /// Signal shutdown and join the accept loop.
+    /// Signal shutdown and join the accept loop and workers.
     pub fn stop(mut self) {
         self.shutdown();
     }
 
+    /// Cumulative transport counters so far.
+    pub fn metrics(&self) -> ServerMetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
     fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a dummy connection.
-        let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
             let _ = t.join();
         }
     }
@@ -140,86 +292,403 @@ impl Drop for ServerHandle {
 }
 
 /// Start a server on `addr` (use port 0 for an ephemeral port) with
-/// `workers` handler threads.
+/// `workers` handler threads and default transport settings.
 pub fn serve(addr: &str, workers: usize, handler: Handler) -> Result<ServerHandle, HttpError> {
+    serve_with(
+        addr,
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        },
+        handler,
+    )
+}
+
+/// Start a server with explicit transport settings.
+pub fn serve_with(
+    addr: &str,
+    cfg: ServerConfig,
+    handler: Handler,
+) -> Result<ServerHandle, HttpError> {
     let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    let metrics = Arc::new(ServerMetrics::default());
+    // `active` counts admitted connections (queued + in service) against
+    // the budget; workers decrement when a connection is fully closed.
+    let active = Arc::new(AtomicUsize::new(0));
 
-    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(cfg.queue_depth.max(1));
     let rx = Arc::new(Mutex::new(rx));
-    for _ in 0..workers.max(1) {
+    let mut workers = Vec::with_capacity(cfg.workers.max(1));
+    for _ in 0..cfg.workers.max(1) {
         let rx = Arc::clone(&rx);
         let handler = Arc::clone(&handler);
-        std::thread::spawn(move || loop {
-            let next = rx.lock().expect("worker queue poisoned").recv();
-            match next {
-                Ok(stream) => {
-                    let _ = handle_connection(stream, &handler);
+        let cfg = cfg.clone();
+        let stop = Arc::clone(&stop);
+        let metrics = Arc::clone(&metrics);
+        let active = Arc::clone(&active);
+        workers.push(std::thread::spawn(move || {
+            /// Returns the admission-budget slot when the connection ends —
+            /// via `Drop`, so even a panic unwinding out of the connection
+            /// loop can never leak budget (a leaked slot would eventually
+            /// wedge the accept loop into shedding everything).
+            struct Slot<'a>(&'a AtomicUsize);
+            impl Drop for Slot<'_> {
+                fn drop(&mut self) {
+                    self.0.fetch_sub(1, Ordering::SeqCst);
                 }
-                Err(_) => break,
             }
-        });
+            loop {
+                let next = rx
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .recv();
+                match next {
+                    Ok(stream) => {
+                        let _slot = Slot(&active);
+                        serve_connection(stream, &cfg, &handler, &metrics, &stop);
+                    }
+                    Err(_) => break,
+                }
+            }
+        }));
     }
 
     let stop2 = Arc::clone(&stop);
+    let metrics2 = Arc::clone(&metrics);
+    let budget = cfg.budget();
+    let retry_after = cfg.retry_after_secs;
     let accept_thread = std::thread::spawn(move || {
-        for stream in listener.incoming() {
+        let mut backoff = Duration::from_micros(50);
+        loop {
             if stop2.load(Ordering::SeqCst) {
                 break;
             }
-            match stream {
-                Ok(s) => {
-                    let _ = tx.send(s);
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    backoff = Duration::from_micros(50);
+                    metrics2.accepted.fetch_add(1, Ordering::Relaxed);
+                    // Accepted sockets may inherit O_NONBLOCK on some
+                    // platforms; workers want blocking reads.
+                    let _ = stream.set_nonblocking(false);
+                    if active.load(Ordering::SeqCst) >= budget {
+                        shed(stream, retry_after, &metrics2);
+                        continue;
+                    }
+                    active.fetch_add(1, Ordering::SeqCst);
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(mpsc::TrySendError::Full(stream)) => {
+                            active.fetch_sub(1, Ordering::SeqCst);
+                            shed(stream, retry_after, &metrics2);
+                        }
+                        Err(mpsc::TrySendError::Disconnected(_)) => break,
+                    }
                 }
-                Err(_) => break,
+                Err(_) => {
+                    // WouldBlock (idle) and transient accept failures
+                    // (ECONNABORTED from a peer RST mid-handshake, EMFILE
+                    // under FD exhaustion) take the same path: back off
+                    // and keep accepting — the loop only exits on the
+                    // stop flag, never on a transient error. Exponential
+                    // back-off keeps the loop cheap when quiet and snappy
+                    // under bursts.
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                }
             }
         }
+        // Dropping `tx` wakes every idle worker out of `recv`.
     });
 
     Ok(ServerHandle {
         addr: local,
         stop,
         accept_thread: Some(accept_thread),
+        workers,
+        metrics,
     })
 }
 
-fn handle_connection(stream: TcpStream, handler: &Handler) -> Result<(), HttpError> {
-    stream.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let request = match read_request(&mut reader) {
-        Ok(r) => r,
-        Err(HttpError::Io(_)) => return Ok(()), // dummy shutdown connection
-        Err(e) => {
-            write_response(
-                &stream,
-                &HttpResponse::error(400, &format!("bad request: {e}")),
-            )?;
-            return Ok(());
-        }
-    };
-    let response = handler(&request);
-    write_response(&stream, &response)
+/// Refuse a connection with the load-shedding response.
+fn shed(stream: TcpStream, retry_after_secs: u64, metrics: &ServerMetrics) {
+    metrics.shed.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = write_response(&stream, &HttpResponse::unavailable(retry_after_secs), false);
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<HttpRequest, HttpError> {
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
-    if line.trim().is_empty() {
-        return Err(HttpError::Io(std::io::Error::new(
-            std::io::ErrorKind::UnexpectedEof,
-            "empty request",
-        )));
+/// Why reading the next request off a connection stopped.
+enum RequestError {
+    /// Framing violation: `400`, close, keep the worker.
+    Malformed(String),
+    /// Request line or headers larger than the caps: `431`, close.
+    HeadTooLarge(String),
+    /// Body larger than the configured cap: `413`, close.
+    TooLarge(String),
+    /// The peer started a request but did not finish it within
+    /// `read_timeout` (slow-loris defense): `408`, close.
+    Timeout,
+    /// Hard I/O error, mid-request EOF, or server shutdown: close
+    /// silently.
+    Io,
+}
+
+/// Serve one connection until it closes, idles out, errors, or the server
+/// stops. Requests are read sequentially off the socket, so pipelined
+/// requests are answered in order.
+fn serve_connection(
+    stream: TcpStream,
+    cfg: &ServerConfig,
+    handler: &Handler,
+    metrics: &ServerMetrics,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    // The socket reads on a short poll timeout for the connection's whole
+    // life: every blocking read re-checks the stop flag and the relevant
+    // deadline (idle or per-request) within one tick.
+    let poll = POLL_INTERVAL
+        .min(cfg.idle_timeout)
+        .max(Duration::from_millis(1));
+    let _ = stream.set_read_timeout(Some(poll));
+    let mut served = 0usize;
+    let mut idle = Duration::ZERO;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        // Peek for the next request.
+        match reader.fill_buf() {
+            Ok([]) => break, // peer closed cleanly
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => {
+                idle += poll;
+                if idle >= cfg.idle_timeout {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+        idle = Duration::ZERO;
+        // The whole request must arrive within `read_timeout` regardless
+        // of how slowly bytes drip in (read_request re-polls on timeout).
+        let deadline = std::time::Instant::now() + cfg.read_timeout;
+        match read_request(&mut reader, cfg.max_body_bytes, stop, deadline) {
+            Ok(request) => {
+                served += 1;
+                let keep = connection_persists(&request, cfg, served);
+                // Contain handler panics: the worker and its budget slot
+                // survive; the peer gets a 500 and a clean close.
+                let response =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request)));
+                metrics.requests.fetch_add(1, Ordering::Relaxed);
+                if served > 1 {
+                    metrics.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+                }
+                let Ok(response) = response else {
+                    let _ = write_response(
+                        &stream,
+                        &HttpResponse::error(500, "handler panicked"),
+                        false,
+                    );
+                    break;
+                };
+                if write_response(&stream, &response, keep).is_err() || !keep {
+                    break;
+                }
+            }
+            Err(RequestError::Malformed(m)) => {
+                metrics.malformed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &stream,
+                    &HttpResponse::error(400, &format!("bad request: {m}")),
+                    false,
+                );
+                break;
+            }
+            Err(RequestError::HeadTooLarge(m)) => {
+                metrics.malformed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(&stream, &HttpResponse::error(431, &m), false);
+                break;
+            }
+            Err(RequestError::TooLarge(m)) => {
+                metrics.malformed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(&stream, &HttpResponse::error(413, &m), false);
+                break;
+            }
+            Err(RequestError::Timeout) => {
+                metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &stream,
+                    &HttpResponse::error(408, "request not completed in time"),
+                    false,
+                );
+                break;
+            }
+            Err(RequestError::Io) => break,
+        }
     }
-    let mut parts = line.split_whitespace();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Does this connection survive past the current request?
+fn connection_persists(request: &HttpRequest, cfg: &ServerConfig, served: usize) -> bool {
+    if !cfg.keep_alive {
+        return false;
+    }
+    if cfg.max_requests_per_connection != 0 && served >= cfg.max_requests_per_connection {
+        return false;
+    }
+    match request.headers.get("connection") {
+        Some(c) if c.eq_ignore_ascii_case("close") => false,
+        Some(c) if c.eq_ignore_ascii_case("keep-alive") => true,
+        _ => request.version == "HTTP/1.1",
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// The peer dropped the connection (as opposed to timing out or failing
+/// some other way) — the only error a pooled client socket may retry on.
+fn is_disconnect(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        ErrorKind::UnexpectedEof
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+    )
+}
+
+/// Map a failed socket read during request parsing: timeouts re-poll
+/// until the request deadline (or shutdown), anything else is fatal.
+fn parse_read_error(
+    e: &std::io::Error,
+    stop: &AtomicBool,
+    deadline: std::time::Instant,
+) -> Result<(), RequestError> {
+    if !is_timeout(e) {
+        return Err(RequestError::Io);
+    }
+    if stop.load(Ordering::SeqCst) {
+        return Err(RequestError::Io);
+    }
+    if std::time::Instant::now() >= deadline {
+        return Err(RequestError::Timeout);
+    }
+    Ok(()) // still within budget: poll again
+}
+
+/// Read one head line (request line or header), bounded by
+/// [`MAX_HEAD_LINE`] and the request deadline. EOF mid-line is a hard
+/// error; a byte-dripping peer runs out of `deadline`, not of patience.
+fn read_head_line(
+    reader: &mut BufReader<TcpStream>,
+    stop: &AtomicBool,
+    deadline: std::time::Instant,
+) -> Result<String, RequestError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let (found, used) = {
+            let buf = match reader.fill_buf() {
+                Ok([]) => return Err(RequestError::Io),
+                Ok(buf) => buf,
+                Err(e) => {
+                    parse_read_error(&e, stop, deadline)?;
+                    continue;
+                }
+            };
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    line.extend_from_slice(&buf[..=i]);
+                    (true, i + 1)
+                }
+                None => {
+                    line.extend_from_slice(buf);
+                    (false, buf.len())
+                }
+            }
+        };
+        reader.consume(used);
+        if line.len() > MAX_HEAD_LINE {
+            return Err(RequestError::HeadTooLarge("head line too long".into()));
+        }
+        if found {
+            break;
+        }
+    }
+    let mut text = String::from_utf8_lossy(&line).into_owned();
+    while text.ends_with('\n') || text.ends_with('\r') {
+        text.pop();
+    }
+    Ok(text)
+}
+
+/// `read_exact` honoring the request deadline and the stop flag.
+fn read_body(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    deadline: std::time::Instant,
+) -> Result<(), RequestError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Err(RequestError::Io),
+            Ok(n) => filled += n,
+            Err(e) => parse_read_error(&e, stop, deadline)?,
+        }
+    }
+    Ok(())
+}
+
+/// Parse one request off the connection (request line, headers,
+/// `Content-Length` body), enforcing framing and size limits plus an
+/// overall read deadline.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body_bytes: usize,
+    stop: &AtomicBool,
+    deadline: std::time::Instant,
+) -> Result<HttpRequest, RequestError> {
+    // Tolerate blank line(s) between pipelined requests (RFC 9112 §2.2).
+    let mut request_line = read_head_line(reader, stop, deadline)?;
+    let mut skipped = 0;
+    while request_line.is_empty() {
+        skipped += 1;
+        if skipped > 4 {
+            return Err(RequestError::Malformed("blank request".into()));
+        }
+        request_line = read_head_line(reader, stop, deadline)?;
+    }
+
+    let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
-        .ok_or_else(|| HttpError::Malformed("missing method".into()))?
+        .ok_or_else(|| RequestError::Malformed("missing method".into()))?
         .to_owned();
     let target = parts
         .next()
-        .ok_or_else(|| HttpError::Malformed("missing path".into()))?
+        .ok_or_else(|| RequestError::Malformed("missing path".into()))?
         .to_owned();
+    let version = match parts.next() {
+        None => "HTTP/1.0".to_owned(), // HTTP/0.9-style simple request
+        Some(v) if v.starts_with("HTTP/") => v.to_owned(),
+        Some(v) => {
+            return Err(RequestError::Malformed(format!("bad version {v:?}")));
+        }
+    };
     let (path, query_str) = match target.split_once('?') {
         Some((p, q)) => (p.to_owned(), Some(q.to_owned())),
         None => (target, None),
@@ -242,6 +711,116 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<HttpRequest, HttpEr
     }
 
     let mut headers = BTreeMap::new();
+    let mut head_bytes = request_line.len();
+    loop {
+        let hline = read_head_line(reader, stop, deadline)?;
+        if hline.is_empty() {
+            break;
+        }
+        head_bytes += hline.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(RequestError::HeadTooLarge("request head too large".into()));
+        }
+        if let Some((k, v)) = hline.split_once(':') {
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_owned());
+        }
+    }
+
+    let len: usize = match headers.get("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| RequestError::Malformed(format!("bad content-length {v:?}")))?,
+    };
+    if len > max_body_bytes {
+        return Err(RequestError::TooLarge(format!(
+            "body of {len} bytes exceeds the {max_body_bytes}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    if len > 0 {
+        read_body(reader, &mut body, stop, deadline)?;
+    }
+    Ok(HttpRequest {
+        method,
+        path,
+        query,
+        headers,
+        body,
+        version,
+    })
+}
+
+fn write_response(
+    mut stream: &TcpStream,
+    resp: &HttpResponse,
+    keep_alive: bool,
+) -> Result<(), HttpError> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        resp.status,
+        resp.status_text(),
+        resp.content_type,
+        resp.body.len()
+    );
+    if let Some(secs) = resp.retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str(if keep_alive {
+        "Connection: keep-alive\r\n\r\n"
+    } else {
+        "Connection: close\r\n\r\n"
+    });
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// A decoded response: status, headers (lower-cased names), body.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    pub status: u16,
+    pub headers: BTreeMap<String, String>,
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body, mapping any non-2xx status to [`HttpError::Status`].
+    pub fn into_body(self) -> Result<Vec<u8>, HttpError> {
+        if (200..300).contains(&self.status) {
+            Ok(self.body)
+        } else {
+            Err(HttpError::Status(
+                self.status,
+                String::from_utf8_lossy(&self.body).into_owned(),
+            ))
+        }
+    }
+}
+
+/// Read one response off `reader`. Returns the response plus whether the
+/// connection must be treated as closed afterwards.
+fn read_response(reader: &mut BufReader<TcpStream>) -> Result<(ClientResponse, bool), HttpError> {
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(HttpError::Io(std::io::Error::new(
+            ErrorKind::UnexpectedEof,
+            "connection closed before status line",
+        )));
+    }
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next().unwrap_or_default().to_owned();
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line {status_line:?}")))?;
+
+    let mut headers = BTreeMap::new();
     loop {
         let mut hline = String::new();
         reader.read_line(&mut hline)?;
@@ -254,43 +833,160 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<HttpRequest, HttpEr
         }
     }
 
-    let len: usize = headers
-        .get("content-length")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
-    let mut body = vec![0u8; len];
-    if len > 0 {
-        reader.read_exact(&mut body)?;
+    let content_length: Option<usize> = headers.get("content-length").and_then(|v| v.parse().ok());
+    let mut body = Vec::new();
+    let mut close = match headers.get("connection") {
+        Some(c) if c.eq_ignore_ascii_case("close") => true,
+        Some(c) if c.eq_ignore_ascii_case("keep-alive") => false,
+        _ => version != "HTTP/1.1",
+    };
+    match content_length {
+        Some(n) => {
+            body.resize(n, 0);
+            reader.read_exact(&mut body)?;
+        }
+        None => {
+            // No framing: the body runs to EOF and the socket is spent.
+            reader.read_to_end(&mut body)?;
+            close = true;
+        }
     }
-    Ok(HttpRequest {
-        method,
-        path,
-        query,
-        headers,
-        body,
-    })
+    Ok((
+        ClientResponse {
+            status,
+            headers,
+            body,
+        },
+        close,
+    ))
 }
 
-fn write_response(mut stream: &TcpStream, resp: &HttpResponse) -> Result<(), HttpError> {
-    let head = format!(
-        "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        resp.status,
-        resp.status_text(),
-        resp.content_type,
-        resp.body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&resp.body)?;
-    stream.flush()?;
-    Ok(())
+/// A persistent HTTP/1.1 client: one socket reused across requests, with
+/// a transparent one-shot reconnect when the pooled socket went stale
+/// (e.g. the server's idle timeout closed it between requests).
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    read_timeout: Duration,
+    stream: Option<BufReader<TcpStream>>,
+    connects: u64,
+    requests: u64,
 }
 
-// ---------------------------------------------------------------------------
-// Client
-// ---------------------------------------------------------------------------
+impl HttpClient {
+    pub fn new(addr: SocketAddr) -> HttpClient {
+        HttpClient {
+            addr,
+            read_timeout: Duration::from_secs(30),
+            stream: None,
+            connects: 0,
+            requests: 0,
+        }
+    }
 
-/// Issue a request to `addr` (e.g. `127.0.0.1:4321`). Returns status+body;
-/// a non-2xx status is an [`HttpError::Status`].
+    pub fn with_read_timeout(mut self, read_timeout: Duration) -> HttpClient {
+        self.read_timeout = read_timeout;
+        self
+    }
+
+    /// TCP connections opened so far (1 for an all-keep-alive exchange).
+    pub fn connects(&self) -> u64 {
+        self.connects
+    }
+
+    /// Requests sent so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Drop the pooled socket (the next request reconnects).
+    pub fn disconnect(&mut self) {
+        self.stream = None;
+    }
+
+    /// Issue a request and decode the full response. Non-2xx statuses are
+    /// returned as responses, not errors — use [`ClientResponse::into_body`]
+    /// or [`HttpClient::request`] for status-checked calls.
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: Option<&str>,
+        body: &[u8],
+    ) -> Result<ClientResponse, HttpError> {
+        let mut retried = false;
+        loop {
+            let reused = self.stream.is_some();
+            match self.try_send(method, path, content_type, body) {
+                Ok(response) => return Ok(response),
+                // Retry only the stale-pooled-socket signature: the peer
+                // closed the connection (e.g. its idle timeout fired)
+                // before any response bytes arrived. A read *timeout* is
+                // explicitly not retried — the server has the request and
+                // may still be executing it; re-sending would double the
+                // work.
+                Err(HttpError::Io(e)) if reused && !retried && is_disconnect(&e) => {
+                    self.stream = None;
+                    retried = true;
+                }
+                Err(e) => {
+                    self.stream = None;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// [`HttpClient::send`] with non-2xx statuses mapped to
+    /// [`HttpError::Status`].
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: Option<&str>,
+        body: &[u8],
+    ) -> Result<Vec<u8>, HttpError> {
+        self.send(method, path, content_type, body)?.into_body()
+    }
+
+    fn try_send(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: Option<&str>,
+        body: &[u8],
+    ) -> Result<ClientResponse, HttpError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(self.read_timeout))?;
+            let _ = stream.set_nodelay(true);
+            self.connects += 1;
+            self.stream = Some(BufReader::new(stream));
+        }
+        let reader = self.stream.as_mut().expect("just connected");
+        {
+            let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.addr);
+            if let Some(ct) = content_type {
+                head.push_str(&format!("Content-Type: {ct}\r\n"));
+            }
+            head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+            let mut stream = reader.get_ref();
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(body)?;
+            stream.flush()?;
+        }
+        self.requests += 1;
+        let (response, close) = read_response(reader)?;
+        if close {
+            self.stream = None;
+        }
+        Ok(response)
+    }
+}
+
+/// Issue a one-shot request to `addr` (e.g. `127.0.0.1:4321`) on a fresh
+/// connection with `Connection: close`. Returns status+body; a non-2xx
+/// status is an [`HttpError::Status`].
 pub fn request(
     addr: &SocketAddr,
     method: &str,
@@ -299,8 +995,8 @@ pub fn request(
     body: &[u8],
 ) -> Result<Vec<u8>, HttpError> {
     let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
-    let mut head = format!("{method} {path} HTTP/1.0\r\nHost: {addr}\r\n");
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
     if let Some(ct) = content_type {
         head.push_str(&format!("Content-Type: {ct}\r\n"));
     }
@@ -310,45 +1006,8 @@ pub fn request(
     stream.flush()?;
 
     let mut reader = BufReader::new(stream);
-    let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| HttpError::Malformed(format!("bad status line {status_line:?}")))?;
-    // Headers.
-    let mut content_length: Option<usize> = None;
-    loop {
-        let mut hline = String::new();
-        reader.read_line(&mut hline)?;
-        let trimmed = hline.trim_end();
-        if trimmed.is_empty() {
-            break;
-        }
-        if let Some((k, v)) = trimmed.split_once(':') {
-            if k.trim().eq_ignore_ascii_case("content-length") {
-                content_length = v.trim().parse().ok();
-            }
-        }
-    }
-    let mut body = Vec::new();
-    match content_length {
-        Some(n) => {
-            body.resize(n, 0);
-            reader.read_exact(&mut body)?;
-        }
-        None => {
-            reader.read_to_end(&mut body)?;
-        }
-    }
-    if !(200..300).contains(&status) {
-        return Err(HttpError::Status(
-            status,
-            String::from_utf8_lossy(&body).into_owned(),
-        ));
-    }
-    Ok(body)
+    let (response, _close) = read_response(&mut reader)?;
+    response.into_body()
 }
 
 /// GET helper.
@@ -370,24 +1029,21 @@ pub fn post(
 mod tests {
     use super::*;
 
-    fn echo_server() -> ServerHandle {
-        serve(
-            "127.0.0.1:0",
-            2,
-            Arc::new(
-                |req: &HttpRequest| match (req.method.as_str(), req.path.as_str()) {
-                    ("GET", "/hello") => HttpResponse::ok(
-                        "text/plain",
-                        format!("hi {}", req.query.get("name").map_or("?", String::as_str)),
-                    ),
-                    ("POST", "/echo") => {
-                        HttpResponse::ok("application/octet-stream", req.body.clone())
-                    }
-                    _ => HttpResponse::error(404, "nope"),
-                },
-            ),
+    fn echo_handler() -> Handler {
+        Arc::new(
+            |req: &HttpRequest| match (req.method.as_str(), req.path.as_str()) {
+                ("GET", "/hello") => HttpResponse::ok(
+                    "text/plain",
+                    format!("hi {}", req.query.get("name").map_or("?", String::as_str)),
+                ),
+                ("POST", "/echo") => HttpResponse::ok("application/octet-stream", req.body.clone()),
+                _ => HttpResponse::error(404, "nope"),
+            },
         )
-        .unwrap()
+    }
+
+    fn echo_server() -> ServerHandle {
+        serve("127.0.0.1:0", 2, echo_handler()).unwrap()
     }
 
     #[test]
@@ -445,6 +1101,112 @@ mod tests {
         .unwrap();
         let body = get(&server.addr, "/x?q=a+b%3Dc").unwrap();
         assert_eq!(body, b"a b=c");
+        server.stop();
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_socket() {
+        let server = echo_server();
+        let mut client = HttpClient::new(server.addr);
+        for i in 0..10 {
+            let body = client
+                .request("GET", &format!("/hello?name=k{i}"), None, &[])
+                .unwrap();
+            assert_eq!(body, format!("hi k{i}").into_bytes());
+        }
+        assert_eq!(client.connects(), 1, "all requests on one connection");
+        assert_eq!(client.requests(), 10);
+        let m = server.metrics();
+        assert_eq!(m.requests, 10);
+        assert!(m.keepalive_reuses >= 9, "{m:?}");
+        server.stop();
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let server = echo_server();
+        // The one-shot helpers send `Connection: close`; each request must
+        // land on a fresh accepted connection.
+        get(&server.addr, "/hello?name=a").unwrap();
+        get(&server.addr, "/hello?name=b").unwrap();
+        let m = server.metrics();
+        assert_eq!(m.connections_accepted, 2);
+        assert_eq!(m.keepalive_reuses, 0);
+        server.stop();
+    }
+
+    #[test]
+    fn overload_sheds_with_503() {
+        // One worker, queue of one: a slow in-service request + a queued
+        // connection exhaust the budget; the third connection is shed.
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Mutex::new(release_rx);
+        let server = serve_with(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                queue_depth: 1,
+                max_connections: 2,
+                ..ServerConfig::default()
+            },
+            Arc::new(move |_req: &HttpRequest| {
+                let _ = entered_tx.send(());
+                let _ = release_rx.lock().unwrap().recv();
+                HttpResponse::ok("text/plain", "slow")
+            }),
+        )
+        .unwrap();
+        let addr = server.addr;
+        let t1 = std::thread::spawn(move || get(&addr, "/a"));
+        entered_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("first request reaches the worker");
+        let t2 = std::thread::spawn(move || get(&addr, "/b"));
+        // Wait until the second connection is admitted (it parks in the
+        // queue: the only worker is blocked inside the handler).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.metrics().connections_accepted < 2 {
+            assert!(std::time::Instant::now() < deadline, "admissions stalled");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        let mut probe = HttpClient::new(addr);
+        let resp = probe.send("GET", "/c", None, &[]).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(
+            resp.headers.get("retry-after").map(String::as_str),
+            Some("1")
+        );
+        assert!(server.metrics().connections_shed >= 1);
+        // Release both slow requests; the server drains and recovers.
+        release_tx.send(()).unwrap();
+        release_tx.send(()).unwrap();
+        t1.join().unwrap().unwrap();
+        t2.join().unwrap().unwrap();
+        // A fresh request (with its own release) succeeds: recovered.
+        release_tx.send(()).unwrap();
+        let body = get(&addr, "/done");
+        assert!(body.is_ok(), "{body:?}");
+        server.stop();
+    }
+
+    #[test]
+    fn malformed_request_gets_400_and_worker_survives() {
+        let server = serve("127.0.0.1:0", 1, echo_handler()).unwrap();
+        let mut raw = TcpStream::connect(server.addr).unwrap();
+        raw.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        raw.flush().unwrap();
+        let mut resp = String::new();
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut reader = BufReader::new(raw);
+        reader.read_line(&mut resp).unwrap();
+        assert!(resp.contains("400"), "{resp}");
+        drop(reader);
+        // The single worker must still serve the next connection.
+        let body = get(&server.addr, "/hello?name=alive").unwrap();
+        assert_eq!(body, b"hi alive");
+        assert_eq!(server.metrics().malformed_requests, 1);
         server.stop();
     }
 }

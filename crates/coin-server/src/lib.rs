@@ -5,11 +5,15 @@
 //! an ODBC-family client API and an HTML Query-By-Example form (paper §2).
 //!
 //! * [`json`] — self-contained JSON codec for the wire protocol;
-//! * [`http`] — HTTP/1.0 server (worker pool) and blocking client;
+//! * [`http`] — HTTP/1.1 keep-alive server (bounded worker pool +
+//!   load-shedding accept loop) and blocking clients (one-shot helpers
+//!   plus the persistent [`http::HttpClient`]);
 //! * [`protocol`] — the mediation endpoints (`/dictionary`, `/query`,
-//!   `/qbe`) over a shared [`coin_core::CoinSystem`];
+//!   `/stats`, `/qbe`) over a shared [`coin_core::CoinSystem`] (or a
+//!   [`protocol::SharedSystem`] when administration interleaves with
+//!   traffic);
 //! * [`client`] — [`client::Connection`] / [`client::Statement`] /
-//!   [`client::ResultSet`], the ODBC-style API;
+//!   [`client::ResultSet`], the ODBC-style API (connection-reusing);
 //! * [`qbe`] — QBE form rendering and submission handling.
 
 pub mod client;
@@ -19,6 +23,12 @@ pub mod protocol;
 pub mod qbe;
 
 pub use client::{ClientError, Connection, ResultSet, ServerStats, Statement, TableInfo};
-pub use http::{HttpError, HttpRequest, HttpResponse, ServerHandle};
+pub use http::{
+    HttpClient, HttpError, HttpRequest, HttpResponse, ServerConfig, ServerHandle,
+    ServerMetricsSnapshot,
+};
 pub use json::{parse as parse_json, Json, JsonError};
-pub use protocol::{start_server, table_to_json, value_to_json};
+pub use protocol::{
+    start_server, start_server_shared, start_server_with, table_to_json, value_to_json,
+    SharedSystem,
+};

@@ -19,13 +19,21 @@
 //! Values travel as tagged JSON arrays so 64-bit integers survive:
 //! `null`, `["b",true]`, `["i","42"]`, `["f",2.5]`, `["s","text"]`.
 
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use coin_core::CoinSystem;
 use coin_rel::{Table, Value};
 
-use crate::http::{serve, Handler, HttpError, HttpRequest, HttpResponse, ServerHandle};
+use crate::http::{
+    serve_with, Handler, HttpError, HttpRequest, HttpResponse, ServerConfig, ServerHandle,
+};
 use crate::json::{parse, Json};
+
+/// A mediation system shared between the server and administrative
+/// writers: queries take the read lock for the whole request, `add_*`
+/// mutations take the write lock, so a response is always computed — and
+/// its `plan_epoch` reported — against one coherent model state.
+pub type SharedSystem = Arc<RwLock<CoinSystem>>;
 
 /// Encode a value for the wire.
 pub fn value_to_json(v: &Value) -> Json {
@@ -91,9 +99,40 @@ pub fn protocol_handler(system: Arc<CoinSystem>) -> Handler {
     Arc::new(move |req: &HttpRequest| dispatch(&system, req))
 }
 
-/// Start the mediation server.
+/// Build the protocol handler over a [`SharedSystem`]: each request runs
+/// under the read lock, serializing against administrative writes.
+pub fn protocol_handler_shared(system: SharedSystem) -> Handler {
+    Arc::new(move |req: &HttpRequest| {
+        let guard = system.read().unwrap_or_else(|e| e.into_inner());
+        dispatch(&guard, req)
+    })
+}
+
+/// Start the mediation server with default transport settings.
 pub fn start_server(system: Arc<CoinSystem>, addr: &str) -> Result<ServerHandle, HttpError> {
-    serve(addr, 4, protocol_handler(system))
+    start_server_with(system, addr, ServerConfig::default())
+}
+
+/// Start the mediation server with explicit transport settings
+/// (keep-alive, worker pool, queue bound, shedding — see
+/// [`ServerConfig`]).
+pub fn start_server_with(
+    system: Arc<CoinSystem>,
+    addr: &str,
+    config: ServerConfig,
+) -> Result<ServerHandle, HttpError> {
+    serve_with(addr, config, protocol_handler(system))
+}
+
+/// Start the mediation server over a mutable [`SharedSystem`], so
+/// administration (`add_source`, `add_context`, …) can interleave with
+/// live query traffic through the write lock.
+pub fn start_server_shared(
+    system: SharedSystem,
+    addr: &str,
+    config: ServerConfig,
+) -> Result<ServerHandle, HttpError> {
+    serve_with(addr, config, protocol_handler_shared(system))
 }
 
 fn dispatch(system: &CoinSystem, req: &HttpRequest) -> HttpResponse {
@@ -147,6 +186,7 @@ fn stats_response(system: &CoinSystem) -> HttpResponse {
         ("epoch", Json::Num(system.epoch() as f64)),
         ("cache_hits", Json::Num(cache.hits as f64)),
         ("cache_misses", Json::Num(cache.misses as f64)),
+        ("cache_compiles", Json::Num(cache.compiles as f64)),
         ("cache_invalidations", Json::Num(cache.invalidations as f64)),
         ("cache_evictions", Json::Num(cache.evictions as f64)),
         ("cache_entries", Json::Num(cache.entries as f64)),

@@ -1,0 +1,146 @@
+//! Backpressure e2e: a full bounded queue sheds overflow with `503 +
+//! Retry-After`, the server drains and recovers once handlers unblock,
+//! and shutdown is never lost — even while requests are in flight.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use coin_server::http::{serve_with, Handler, HttpClient, HttpRequest, HttpResponse, ServerConfig};
+
+/// A handler that signals entry and then blocks until released.
+fn gated_handler(
+    entered_tx: mpsc::Sender<()>,
+    release_rx: mpsc::Receiver<()>,
+) -> (Handler, Arc<AtomicUsize>) {
+    let served = Arc::new(AtomicUsize::new(0));
+    let served2 = Arc::clone(&served);
+    let release_rx = Mutex::new(release_rx);
+    let handler: Handler = Arc::new(move |_req: &HttpRequest| {
+        let _ = entered_tx.send(());
+        let _ = release_rx.lock().unwrap().recv();
+        served2.fetch_add(1, Ordering::SeqCst);
+        HttpResponse::ok("text/plain", "done")
+    });
+    (handler, served)
+}
+
+#[test]
+fn full_queue_sheds_503_with_retry_after_then_drains_and_recovers() {
+    let (entered_tx, entered_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel();
+    let (handler, served) = gated_handler(entered_tx, release_rx);
+    let server = serve_with(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            queue_depth: 2,
+            max_connections: 4,
+            retry_after_secs: 3,
+            ..ServerConfig::default()
+        },
+        handler,
+    )
+    .unwrap();
+    let addr = server.addr;
+
+    // Two requests occupy both workers…
+    let busy: Vec<_> = (0..2)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = HttpClient::new(addr);
+                c.request("GET", &format!("/busy{i}"), None, &[]).unwrap()
+            })
+        })
+        .collect();
+    for _ in 0..2 {
+        entered_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("both workers enter the slow handler");
+    }
+    // …two more fill the bounded queue (admitted, not yet served)…
+    let queued: Vec<_> = (0..2)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = HttpClient::new(addr);
+                c.request("GET", &format!("/queued{i}"), None, &[]).unwrap()
+            })
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.metrics().connections_accepted < 4 {
+        assert!(Instant::now() < deadline, "queued connections not admitted");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+
+    // …and overflow is shed immediately with 503 + Retry-After.
+    for i in 0..3 {
+        let mut probe = HttpClient::new(addr);
+        let resp = probe
+            .send("GET", &format!("/overflow{i}"), None, &[])
+            .unwrap();
+        assert_eq!(resp.status, 503, "overflow request {i} must be shed");
+        assert_eq!(
+            resp.headers.get("retry-after").map(String::as_str),
+            Some("3"),
+            "shed responses advertise Retry-After"
+        );
+    }
+    assert!(server.metrics().connections_shed >= 3);
+    assert_eq!(served.load(Ordering::SeqCst), 0, "nothing finished yet");
+
+    // Release all four in-flight requests: the queue drains…
+    for _ in 0..4 {
+        release_tx.send(()).unwrap();
+    }
+    for t in busy.into_iter().chain(queued) {
+        assert_eq!(t.join().unwrap(), b"done");
+    }
+    assert_eq!(served.load(Ordering::SeqCst), 4, "admitted work all served");
+
+    // …and the server accepts fresh work again (recovered, no deadlock).
+    release_tx.send(()).unwrap();
+    let mut after = HttpClient::new(addr);
+    assert_eq!(after.request("GET", "/after", None, &[]).unwrap(), b"done");
+
+    // Shutdown completes promptly even after an overload episode.
+    let t0 = Instant::now();
+    server.stop();
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "shutdown signal was lost"
+    );
+}
+
+#[test]
+fn shutdown_is_not_lost_while_handlers_are_busy() {
+    let (entered_tx, entered_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel();
+    let (handler, _served) = gated_handler(entered_tx, release_rx);
+    let server = serve_with(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..ServerConfig::default()
+        },
+        handler,
+    )
+    .unwrap();
+    let addr = server.addr;
+    let busy = std::thread::spawn(move || {
+        let mut c = HttpClient::new(addr);
+        c.request("GET", "/busy", None, &[])
+    });
+    entered_rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("request reached the handler");
+    // Release concurrently with stop: the in-flight request finishes and
+    // the server still joins all threads.
+    release_tx.send(()).unwrap();
+    let t0 = Instant::now();
+    server.stop();
+    assert!(t0.elapsed() < Duration::from_secs(5), "stop() hung");
+    let _ = busy.join().unwrap(); // the busy request completed or got a clean close
+}

@@ -1,0 +1,118 @@
+//! The load-generator harness itself, exercised at small scale: bounded,
+//! deterministic, and correct in both connection modes. (Throughput is
+//! measured by `crates/bench/benches/server_load.rs` over the same
+//! harness.)
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use coin_core::fixtures::figure2_system;
+use coin_server::{start_server_with, ServerConfig};
+
+#[path = "support/load.rs"]
+mod load;
+
+use load::{run_load, LoadConfig, Workload};
+
+fn server(workers: usize) -> coin_server::ServerHandle {
+    start_server_with(
+        Arc::new(figure2_system()),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn keep_alive_load_completes_without_errors() {
+    let server = server(8);
+    let cfg = LoadConfig {
+        clients: 8,
+        requests_per_client: 25,
+        keep_alive: true,
+        workload: Workload::QueryMix,
+        seed: 42,
+        time_limit: Duration::from_secs(30),
+    };
+    let report = run_load(server.addr, &cfg);
+    assert_eq!(report.ok, 200, "{report:?}");
+    assert_eq!(report.errors, 0, "{report:?}");
+    assert_eq!(report.shed, 0, "{report:?}");
+    assert_eq!(report.timed_out, 0, "{report:?}");
+    assert_eq!(report.connects, 8, "one connection per keep-alive client");
+    let m = server.metrics();
+    assert!(m.requests >= 200, "{m:?}");
+    assert!(m.keepalive_reuses >= 192, "{m:?}");
+    server.stop();
+}
+
+#[test]
+fn per_request_mode_opens_a_connection_per_request() {
+    let server = server(8);
+    let cfg = LoadConfig {
+        clients: 4,
+        requests_per_client: 10,
+        keep_alive: false,
+        workload: Workload::QueryMix,
+        seed: 42,
+        time_limit: Duration::from_secs(30),
+    };
+    let report = run_load(server.addr, &cfg);
+    assert_eq!(report.ok, 40, "{report:?}");
+    assert_eq!(report.errors, 0, "{report:?}");
+    assert_eq!(report.connects, 40, "fresh TCP connection per request");
+    assert_eq!(server.metrics().connections_accepted, 40);
+    assert_eq!(server.metrics().keepalive_reuses, 0);
+    server.stop();
+}
+
+#[test]
+fn identical_configs_issue_identical_request_sequences() {
+    let server = server(8);
+    let cfg = LoadConfig {
+        clients: 4,
+        requests_per_client: 12,
+        keep_alive: true,
+        workload: Workload::QueryMix,
+        seed: 7,
+        time_limit: Duration::from_secs(30),
+    };
+    let a = run_load(server.addr, &cfg);
+    let b = run_load(server.addr, &cfg);
+    assert_eq!(a.ops_checksum, b.ops_checksum, "same seed, same requests");
+    assert_eq!(a.ok, b.ok);
+    let other = run_load(
+        server.addr,
+        &LoadConfig {
+            seed: 8,
+            ..cfg.clone()
+        },
+    );
+    assert_ne!(
+        a.ops_checksum, other.ops_checksum,
+        "different seed, different requests"
+    );
+    server.stop();
+}
+
+#[test]
+fn time_limit_bounds_the_run() {
+    // A zero time budget: every request is counted as timed out, nothing
+    // hangs, and the report stays consistent.
+    let server = server(2);
+    let cfg = LoadConfig {
+        clients: 3,
+        requests_per_client: 5,
+        keep_alive: true,
+        workload: Workload::Stats,
+        seed: 1,
+        time_limit: Duration::ZERO,
+    };
+    let report = run_load(server.addr, &cfg);
+    assert_eq!(report.timed_out, 15, "{report:?}");
+    assert_eq!(report.requests_issued(), 0);
+    server.stop();
+}

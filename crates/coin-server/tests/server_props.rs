@@ -1,0 +1,166 @@
+//! Property test: interleaved concurrent queries and `add_*` mutations
+//! through the server never yield a stale-epoch answer.
+//!
+//! A mutator thread keeps administering new sources (each `add_source` +
+//! `add_context` + `add_elevation` bumps the model epoch) while client
+//! threads hammer `/query` over keep-alive connections. Every response
+//! reports the `plan_epoch` its plan was compiled at; the invariant is
+//! that the epoch is consistent with the data the response returns:
+//!
+//! * `plan_epoch` ≥ the epoch at which the queried table finished
+//!   registration (a plan from before the table existed could only be
+//!   stale garbage);
+//! * `plan_epoch` ≤ the model epoch observed after the response;
+//! * the rows equal the deterministic oracle answer for that table — a
+//!   torn read against a half-registered model would break this.
+
+use std::sync::{Arc, Mutex, RwLock};
+
+use coin_core::fixtures::{add_synthetic_source, synthetic_system, Rng, CURRENCIES};
+use coin_core::CoinSystem;
+use coin_server::{start_server_shared, Connection, ServerConfig};
+use proptest::prelude::*;
+
+/// Oracle conversion: (amount, source currency, source scale) → USD units
+/// (the synthetic fixture's receiver context is USD with scale 1).
+fn to_usd(amount: i64, currency: &str, scale: i64) -> f64 {
+    let usd_rates = [1.0, 0.0096, 1.18, 1.64, 0.70];
+    let idx = CURRENCIES.iter().position(|c| *c == currency).unwrap();
+    amount as f64 * scale as f64 * usd_rates[idx]
+}
+
+/// The synthetic fixture assigns source `i` currency `CURRENCIES[i % 5]`
+/// and scale `[1, 1000, 1_000_000][i % 3]`.
+fn context_of(i: usize) -> (&'static str, i64) {
+    let scales = [1i64, 1000, 1_000_000];
+    (CURRENCIES[i % CURRENCIES.len()], scales[i % scales.len()])
+}
+
+/// A table visible to query threads: index, the epoch its registration
+/// completed at, and the oracle `SUM(amount)` in receiver units.
+#[derive(Clone, Copy)]
+struct Registered {
+    index: usize,
+    epoch: u64,
+    expected_sum: f64,
+}
+
+/// Oracle sum for `fin<index>` read back through the naive (unmediated)
+/// path, converted with the fixture's context parameters.
+fn oracle_sum(sys: &CoinSystem, index: usize) -> f64 {
+    let (naive, _) = sys
+        .query_naive(&format!("SELECT f.amount FROM fin{index} f"))
+        .unwrap();
+    let (cur, scale) = context_of(index);
+    naive
+        .rows
+        .iter()
+        .map(|r| match r[0] {
+            coin_rel::Value::Int(i) => to_usd(i, cur, scale),
+            _ => unreachable!(),
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        // CI determinism: never read or write regression files.
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn concurrent_queries_and_mutations_never_yield_stale_epochs(
+        seed in 1u64..1000,
+        mutations in 2usize..5,
+        queries_per_client in 4usize..10,
+    ) {
+        let sys = synthetic_system(1, 4, seed);
+        let first = Registered {
+            index: 0,
+            epoch: sys.epoch(),
+            expected_sum: oracle_sum(&sys, 0),
+        };
+        let shared = Arc::new(RwLock::new(sys));
+        let server = start_server_shared(
+            Arc::clone(&shared),
+            "127.0.0.1:0",
+            ServerConfig { workers: 4, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let registry = Arc::new(Mutex::new(vec![first]));
+
+        // Mutator: administer new sources while queries are in flight.
+        let mutator = {
+            let shared = Arc::clone(&shared);
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                let mut rng = Rng::new(seed ^ 0x6d75_7461);
+                for i in 1..=mutations {
+                    let entry = {
+                        let mut guard = shared.write().unwrap();
+                        add_synthetic_source(&mut guard, i, 4, &mut rng);
+                        Registered {
+                            index: i,
+                            epoch: guard.epoch(),
+                            expected_sum: oracle_sum(&guard, i),
+                        }
+                    };
+                    registry.lock().unwrap().push(entry);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            })
+        };
+
+        // Clients: query whatever tables are registered so far.
+        let clients: Vec<_> = (0..2u64)
+            .map(|c| {
+                let registry = Arc::clone(&registry);
+                let shared = Arc::clone(&shared);
+                let addr = server.addr;
+                std::thread::spawn(move || -> Result<(), TestCaseError> {
+                    let conn = Connection::open(addr, "c_recv");
+                    let mut rng = Rng::new(seed.wrapping_mul(31).wrapping_add(c + 1));
+                    for _ in 0..queries_per_client {
+                        let target = {
+                            let reg = registry.lock().unwrap();
+                            reg[rng.below(reg.len() as u64) as usize]
+                        };
+                        let rs = conn
+                            .statement()
+                            .execute(&format!("SELECT SUM(f.amount) FROM fin{} f", target.index))
+                            .unwrap();
+                        let plan_epoch =
+                            rs.plan_epoch.expect("mediated responses report their epoch");
+                        prop_assert!(
+                            plan_epoch >= target.epoch,
+                            "fin{} answered by a plan from epoch {} but the table \
+                             finished registering at epoch {}",
+                            target.index, plan_epoch, target.epoch
+                        );
+                        let now = shared.read().unwrap().epoch();
+                        prop_assert!(
+                            plan_epoch <= now,
+                            "plan epoch {plan_epoch} is from the future (current {now})"
+                        );
+                        let got = rs.rows[0][0].as_f64().unwrap();
+                        let want = target.expected_sum;
+                        prop_assert!(
+                            (got - want).abs() <= 1e-6 * want.abs().max(1.0),
+                            "fin{}: got {got}, oracle {want} (epoch {plan_epoch})",
+                            target.index
+                        );
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+
+        mutator.join().unwrap();
+        for c in clients {
+            c.join().unwrap()?;
+        }
+        server.stop();
+    }
+}

@@ -1,0 +1,230 @@
+//! Deterministic multi-client load generator for the mediation server.
+//!
+//! Drives `clients` concurrent client threads, each issuing
+//! `requests_per_client` requests drawn from a seeded workload mix, in
+//! either keep-alive mode (one persistent [`HttpClient`] per client) or
+//! per-request-connection mode (a fresh TCP connection per request — the
+//! HTTP/1.0-era baseline). Request choice is a pure function of the
+//! configured seed and the client index, so two runs with the same
+//! config issue byte-identical request sequences (`ops_checksum` proves
+//! it), and every run is bounded by `time_limit`.
+//!
+//! Shared (via `#[path]`) by the `coin-server` integration tests and the
+//! `server_load` criterion bench, so throughput numbers and correctness
+//! tests exercise the same traffic shape.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use coin_server::http::{self, HttpClient};
+
+/// Queries of the figure-2 deployment, from cheap to join-heavy.
+const QUERY_MIX: &[&str] = &[
+    "SELECT r1.cname, r1.revenue FROM r1",
+    "SELECT r2.cname, r2.expenses FROM r2",
+    "SELECT r1.cname FROM r1 WHERE r1.revenue > 50",
+    "SELECT r1.cname, r1.revenue FROM r1, r2 \
+     WHERE r1.cname = r2.cname AND r1.revenue > r2.expenses",
+];
+
+/// What each generated request does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// `GET /stats` only — minimal handler work, so the measurement
+    /// isolates transport cost (connection setup vs reuse).
+    Stats,
+    /// Seeded mix of mediated `POST /query` (against the figure-2
+    /// deployment, context `c_recv`) and `GET /stats`.
+    QueryMix,
+}
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    pub clients: usize,
+    pub requests_per_client: usize,
+    /// `true`: one persistent connection per client; `false`: a fresh TCP
+    /// connection per request.
+    pub keep_alive: bool,
+    pub workload: Workload,
+    /// Base seed; client `i` derives its own stream from `seed` and `i`.
+    pub seed: u64,
+    /// Hard wall-clock bound; requests not issued by then count as
+    /// `timed_out` instead of running forever.
+    pub time_limit: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            clients: 8,
+            requests_per_client: 50,
+            keep_alive: true,
+            workload: Workload::QueryMix,
+            seed: 42,
+            time_limit: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Aggregate outcome of one load run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests answered 2xx.
+    pub ok: u64,
+    /// Requests answered `503` (load shed by the server).
+    pub shed: u64,
+    /// Requests that failed any other way.
+    pub errors: u64,
+    /// Requests skipped because the time limit expired.
+    pub timed_out: u64,
+    /// TCP connections the clients opened in total.
+    pub connects: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Order-insensitive digest of every (client, op) issued — equal
+    /// across runs with equal configs, proving determinism.
+    pub ops_checksum: u64,
+}
+
+impl LoadReport {
+    // Included via `#[path]` from several roots; not every consumer calls
+    // every accessor.
+    #[allow(dead_code)]
+    pub fn requests_issued(&self) -> u64 {
+        self.ok + self.shed + self.errors
+    }
+
+    /// Successful requests per second of wall-clock time.
+    #[allow(dead_code)]
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.ok as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// xorshift64 — deterministic, dependency-free request-choice stream.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+fn fold_checksum(acc: u64, client: usize, op: u64) -> u64 {
+    // Commutative over clients (join order must not matter), sensitive to
+    // per-client op order via the multiplier.
+    acc ^ (op
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(client as u64))
+}
+
+fn query_payload(sql: &str) -> String {
+    format!("{{\"sql\":\"{sql}\",\"context\":\"c_recv\",\"mode\":\"mediated\"}}")
+}
+
+/// Drive the configured load against `addr` and aggregate the outcome.
+pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
+    let started = Instant::now();
+    let deadline = started + cfg.time_limit;
+    let handles: Vec<_> = (0..cfg.clients)
+        .map(|client| {
+            let cfg = cfg.clone();
+            std::thread::spawn(move || run_client(addr, &cfg, client, deadline))
+        })
+        .collect();
+    let mut report = LoadReport::default();
+    for h in handles {
+        let part = h.join().expect("load client panicked");
+        report.ok += part.ok;
+        report.shed += part.shed;
+        report.errors += part.errors;
+        report.timed_out += part.timed_out;
+        report.connects += part.connects;
+        report.ops_checksum ^= part.ops_checksum;
+    }
+    report.elapsed = started.elapsed();
+    report
+}
+
+fn run_client(addr: SocketAddr, cfg: &LoadConfig, client: usize, deadline: Instant) -> LoadReport {
+    let mut rng = Rng::new(
+        cfg.seed
+            .wrapping_mul(0x1000_0001)
+            .wrapping_add(client as u64),
+    );
+    let mut keep = cfg.keep_alive.then(|| HttpClient::new(addr));
+    let mut report = LoadReport::default();
+    for seq in 0..cfg.requests_per_client {
+        if Instant::now() >= deadline {
+            report.timed_out += (cfg.requests_per_client - seq) as u64;
+            break;
+        }
+        let op = rng.next_u64();
+        // Folded only for requests actually issued, so the checksum is
+        // the documented digest of issued traffic.
+        report.ops_checksum = fold_checksum(report.ops_checksum, client, op ^ seq as u64);
+        let outcome = match chosen_op(cfg.workload, op) {
+            Op::Stats => match &mut keep {
+                Some(c) => c.send("GET", "/stats", None, &[]).map(|r| r.status),
+                None => {
+                    report.connects += 1;
+                    http::get(&addr, "/stats").map(|_| 200)
+                }
+            },
+            Op::Query(sql) => {
+                let body = query_payload(sql);
+                match &mut keep {
+                    Some(c) => c
+                        .send("POST", "/query", Some("application/json"), body.as_bytes())
+                        .map(|r| r.status),
+                    None => {
+                        report.connects += 1;
+                        http::post(&addr, "/query", "application/json", body.as_bytes())
+                            .map(|_| 200)
+                    }
+                }
+            }
+        };
+        match outcome {
+            Ok(status) if (200..300).contains(&status) => report.ok += 1,
+            Ok(503) | Err(http::HttpError::Status(503, _)) => report.shed += 1,
+            Ok(_) | Err(_) => report.errors += 1,
+        }
+    }
+    if let Some(c) = keep {
+        report.connects += c.connects();
+    }
+    report
+}
+
+enum Op {
+    Stats,
+    Query(&'static str),
+}
+
+fn chosen_op(workload: Workload, op: u64) -> Op {
+    match workload {
+        Workload::Stats => Op::Stats,
+        Workload::QueryMix => {
+            // 1 in 4 requests polls /stats; the rest run mediated queries.
+            if op.is_multiple_of(4) {
+                Op::Stats
+            } else {
+                Op::Query(QUERY_MIX[(op as usize / 4) % QUERY_MIX.len()])
+            }
+        }
+    }
+}
