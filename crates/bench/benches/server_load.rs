@@ -9,7 +9,17 @@
 //! keep-alive vs per-request requests/sec ratio on the `/stats`
 //! workload, where transport cost dominates; the `query_*` pair measures
 //! the same ratio under real mediated `/query` traffic. A summary with
-//! the measured ratio is printed after the criterion runs.
+//! the measured ratio is printed after the criterion runs, and setting
+//! `LOAD_GATE_MIN_RATIO` (CI: `2.0`) turns the `/stats` ratio into a
+//! hard failure when it regresses.
+//!
+//! `stats_idle_fleet` is the reactor scenario: `LOAD_IDLE_CONNS`
+//! (default `8 × LOAD_CLIENTS`) keep-alive connections held open and
+//! idle — far more connections than worker threads — while the active
+//! clients run the `/stats` workload. Under a thread-per-connection
+//! transport the idle fleet would pin every worker; under the reactor
+//! it only holds buffer state, so the run must complete with zero
+//! errors and zero shed requests.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
@@ -22,7 +32,7 @@ use coin_server::{start_server_with, ServerConfig, ServerHandle};
 #[path = "../../coin-server/tests/support/load.rs"]
 mod load;
 
-use load::{run_load, LoadConfig, Workload};
+use load::{run_load, IdleFleet, LoadConfig, Workload};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -44,6 +54,22 @@ fn start_server(clients: usize) -> ServerHandle {
         ServerConfig {
             workers: clients,
             queue_depth: clients * 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Server for the idle-fleet scenario: the idle connections must outlive
+/// the whole criterion run, so the idle timeout is effectively off.
+fn start_idle_fleet_server(clients: usize) -> ServerHandle {
+    start_server_with(
+        Arc::new(figure2_system()),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: clients,
+            queue_depth: clients * 2,
+            idle_timeout: Duration::from_secs(300),
             ..ServerConfig::default()
         },
     )
@@ -87,20 +113,64 @@ fn bench_server_load(c: &mut Criterion) {
             })
         });
     }
+
+    // The many-idle-connections scenario: a fleet of idle keep-alive
+    // connections 8× the worker pool stays open while the active clients
+    // run the /stats workload. Connection count ≫ thread count, yet
+    // every active request completes unshed.
+    let idle_conns = env_usize("LOAD_IDLE_CONNS", clients * 8);
+    let idle_server = start_idle_fleet_server(clients);
+    let idle_addr = idle_server.addr;
+    let fleet = IdleFleet::open(idle_addr, idle_conns);
+    let active_cfg = config(true, Workload::Stats);
+    g.bench_function("stats_idle_fleet", |b| {
+        b.iter(|| {
+            let report = run_load(idle_addr, &active_cfg);
+            assert_eq!(report.errors, 0, "stats_idle_fleet: {report:?}");
+            assert_eq!(report.shed, 0, "stats_idle_fleet: {report:?}");
+            black_box(report.ok)
+        })
+    });
+    let open = idle_server.metrics().open_connections;
+    assert!(
+        open >= idle_conns as u64,
+        "idle fleet must stay open through the run: {open} < {idle_conns}"
+    );
+    println!(
+        "server_load/idle_fleet: {open} connections open over {clients} workers \
+         ({:.0}x) with the active load completing unshed",
+        open as f64 / clients as f64
+    );
+    drop(fleet);
+    idle_server.stop();
     g.finish();
 
     // Direct requests/sec comparison (the ≥2× keep-alive acceptance
-    // headline), printed alongside the criterion timings.
+    // headline), printed alongside the criterion timings. With
+    // LOAD_GATE_MIN_RATIO set (the CI server-load job sets 2.0), a
+    // /stats ratio below the floor fails the run.
+    let gate: Option<f64> = std::env::var("LOAD_GATE_MIN_RATIO")
+        .ok()
+        .and_then(|v| v.parse().ok());
     for workload in [Workload::Stats, Workload::QueryMix] {
         let ka = run_load(addr, &config(true, workload));
         let pr = run_load(addr, &config(false, workload));
+        let ratio = ka.requests_per_sec() / pr.requests_per_sec().max(1e-9);
         println!(
             "server_load/{workload:?}: keep-alive {:.0} req/s vs per-request {:.0} req/s \
-             ({:.2}x, {clients} clients x {requests_per_client} requests)",
+             ({ratio:.2}x, {clients} clients x {requests_per_client} requests)",
             ka.requests_per_sec(),
             pr.requests_per_sec(),
-            ka.requests_per_sec() / pr.requests_per_sec().max(1e-9),
         );
+        if workload == Workload::Stats {
+            if let Some(min) = gate {
+                assert!(
+                    ratio >= min,
+                    "keep-alive/per-request throughput ratio {ratio:.2}x fell below \
+                     the gated {min}x floor on the /stats workload"
+                );
+            }
+        }
     }
     server.stop();
 }

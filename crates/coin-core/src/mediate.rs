@@ -178,8 +178,8 @@ impl<'a> Mediator<'a> {
     /// so its result can be captured in a
     /// [`crate::prepared::PreparedQuery`] and reused until the model
     /// changes. It runs as a pipeline of staged helpers: analyze
-    /// ([`referenced_columns`]) → [`Mediator::compile_program`] →
-    /// [`build_goals`] → solve → [`decode_branches`].
+    /// (`referenced_columns`) → `Mediator::compile_program` →
+    /// `build_goals` → solve → `decode_branches`.
     pub fn mediate_select(
         &self,
         select: &Select,

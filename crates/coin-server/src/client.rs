@@ -64,8 +64,33 @@ pub struct TableInfo {
 /// The connection holds one pooled keep-alive socket ([`HttpClient`]):
 /// sequential requests reuse it instead of opening a TCP connection per
 /// call, and a socket the server idle-timed-out is transparently
-/// re-opened. Clones share the pooled socket (requests serialize over
-/// it, as in ODBC connections).
+/// re-opened — under [`HttpClient`]'s retry policy, which reconnects
+/// only on disconnect-before-response and never on a timeout (safe
+/// while every endpoint is read-only; must become method-aware if
+/// mutating endpoints appear). Clones share the pooled socket (requests
+/// serialize over it, as in ODBC connections).
+///
+/// ```
+/// use coin_core::fixtures::figure2_system;
+/// use coin_server::{start_server, Connection};
+/// use std::sync::Arc;
+///
+/// let server = start_server(Arc::new(figure2_system()), "127.0.0.1:0").unwrap();
+/// let conn = Connection::open(server.addr, "c_recv");
+///
+/// let rs = conn
+///     .statement()
+///     .execute(
+///         "SELECT r1.cname, r1.revenue FROM r1, r2 \
+///          WHERE r1.cname = r2.cname AND r1.revenue > r2.expenses",
+///     )
+///     .unwrap();
+/// assert_eq!(rs.len(), 1); // <'NTT', 9_600_000> in the receiver context
+///
+/// let stats = conn.server_stats().unwrap();
+/// assert_eq!(stats.cache_misses, 1); // first compile was a cold miss
+/// server.stop();
+/// ```
 #[derive(Debug, Clone)]
 pub struct Connection {
     addr: SocketAddr,

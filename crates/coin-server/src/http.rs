@@ -12,15 +12,18 @@
 //!   semantics; `Connection: close` and HTTP/1.0 are honored), serving
 //!   pipelined sequential requests until the peer closes, an idle timeout
 //!   elapses, or the per-connection request cap is reached.
-//! * **Nonblocking accept loop**: the listener never blocks, so shutdown
-//!   is prompt (no dummy wake-up connection) and admission decisions are
-//!   made before a connection ever touches a worker.
-//! * **Bounded backpressure**: accepted connections enter a bounded work
-//!   queue; when the queue or the connection budget is full the server
-//!   sheds load immediately with `503 Service Unavailable` +
-//!   `Retry-After` instead of queueing unboundedly.
-//! * **Fault isolation**: malformed requests get a `400`, oversized bodies
-//!   a `413`, and the worker lives on to serve the next connection.
+//! * **Two transports** ([`Transport`]): the default event-driven
+//!   *reactor* multiplexes every nonblocking connection on one
+//!   `poll(2)`-based readiness loop and hands only *complete* requests
+//!   to the worker pool, so idle or slow connections cost no thread; the
+//!   legacy *threaded* transport pins one worker per in-service
+//!   connection.
+//! * **Bounded backpressure**: admitted work enters a bounded queue under
+//!   a connection budget; overflow is shed immediately with `503 Service
+//!   Unavailable` + `Retry-After` instead of queueing unboundedly.
+//! * **Fault isolation**: malformed requests get a `400`, oversized heads
+//!   a `431`, oversized bodies a `413`, stalled requests a `408` — and
+//!   the server lives on to serve the next connection.
 //!
 //! The client side offers the blocking one-shot `get`/`post` helpers plus
 //! [`HttpClient`], a persistent connection that reuses one socket across
@@ -39,9 +42,9 @@ const POLL_INTERVAL: Duration = Duration::from_millis(25);
 /// Longest back-off sleep of the idle accept loop.
 const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(2);
 /// Cap on one request head line (request line or a single header).
-const MAX_HEAD_LINE: usize = 8 * 1024;
+pub(crate) const MAX_HEAD_LINE: usize = 8 * 1024;
 /// Cap on the whole request head (request line + headers).
-const MAX_HEAD_BYTES: usize = 16 * 1024;
+pub(crate) const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -154,17 +157,60 @@ impl From<std::io::Error> for HttpError {
 /// The request handler type.
 pub type Handler = Arc<dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync>;
 
+/// How the server maps connections onto threads.
+///
+/// Either transport speaks the same HTTP/1.1 dialect (keep-alive,
+/// pipelining, the `400`/`408`/`413`/`431`/`503 + Retry-After` error
+/// contract) and feeds the same bounded worker pool — they differ only in
+/// who owns a connection *between* requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// One worker thread per in-service connection. A keep-alive client
+    /// pins its worker for the connection's whole lifetime, so the
+    /// concurrent client fleet is capped by [`ServerConfig::workers`].
+    Threaded,
+    /// An event-driven readiness loop (`poll(2)`) owns every connection
+    /// and drives the per-connection framing/keep-alive/timeout state
+    /// machines; workers only ever see *complete* requests. N idle or
+    /// slow connections cost zero worker threads, so the open-connection
+    /// count is decoupled from the pool size. Falls back to
+    /// [`Transport::Threaded`] on non-Unix hosts.
+    #[default]
+    Reactor,
+}
+
 /// Transport tuning knobs for [`serve_with`].
+///
+/// ```
+/// use coin_server::http::{ServerConfig, Transport};
+/// use std::time::Duration;
+///
+/// let cfg = ServerConfig {
+///     workers: 8,
+///     idle_timeout: Duration::from_secs(30),
+///     transport: Transport::Reactor,
+///     ..ServerConfig::default()
+/// };
+/// assert!(cfg.keep_alive);
+/// ```
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Handler threads; each owns at most one connection at a time, so
-    /// this bounds concurrent in-service connections.
+    /// Handler threads. Under [`Transport::Threaded`] each owns at most
+    /// one connection at a time, so this also bounds concurrent
+    /// in-service connections; under [`Transport::Reactor`] it bounds
+    /// only concurrently *executing* requests — open connections can far
+    /// exceed it.
     pub workers: usize,
-    /// Bounded queue of accepted-but-unserved connections. Overflow is
-    /// shed with `503 + Retry-After`.
+    /// Bounded queue of admitted-but-unserved work (whole connections
+    /// under [`Transport::Threaded`], parsed requests under
+    /// [`Transport::Reactor`]). Overflow is shed with `503 +
+    /// Retry-After`.
     pub queue_depth: usize,
-    /// Budget on connections admitted (queued + in service). `0` derives
-    /// `workers + queue_depth`. Excess connections are shed with `503`.
+    /// Budget on open connections. `0` derives `workers + queue_depth`
+    /// under [`Transport::Threaded`] and
+    /// `max(workers + queue_depth, 1024)` under [`Transport::Reactor`]
+    /// (where idle connections are cheap). Excess connections are shed
+    /// with `503`.
     pub max_connections: usize,
     /// Persistent connections (`false` forces `Connection: close` on
     /// every response).
@@ -177,8 +223,11 @@ pub struct ServerConfig {
     pub max_body_bytes: usize,
     /// `Retry-After` seconds advertised on shed responses.
     pub retry_after_secs: u64,
-    /// Deadline for reading one request once its first byte arrived.
+    /// Deadline for reading one request once its first byte arrived
+    /// (slow-loris defense: overrunning it gets `408` and a close).
     pub read_timeout: Duration,
+    /// Connection-to-thread mapping; see [`Transport`].
+    pub transport: Transport,
 }
 
 impl Default for ServerConfig {
@@ -193,30 +242,40 @@ impl Default for ServerConfig {
             max_body_bytes: 1024 * 1024,
             retry_after_secs: 1,
             read_timeout: Duration::from_secs(10),
+            transport: Transport::default(),
         }
     }
 }
 
 impl ServerConfig {
     /// The connection budget actually enforced.
-    fn budget(&self) -> usize {
-        if self.max_connections == 0 {
-            self.workers.max(1) + self.queue_depth.max(1)
-        } else {
-            self.max_connections
+    pub(crate) fn budget(&self) -> usize {
+        if self.max_connections != 0 {
+            return self.max_connections;
+        }
+        let derived = self.workers.max(1) + self.queue_depth.max(1);
+        match self.transport {
+            Transport::Threaded => derived,
+            // Idle connections cost no thread under the reactor, so the
+            // derived default should not tie fleet size to pool size.
+            Transport::Reactor => derived.max(1024),
         }
     }
 }
 
 /// Cumulative transport counters, readable while the server runs.
 #[derive(Default)]
-pub struct ServerMetrics {
-    accepted: AtomicU64,
-    shed: AtomicU64,
-    requests: AtomicU64,
-    keepalive_reuses: AtomicU64,
-    malformed: AtomicU64,
-    timeouts: AtomicU64,
+pub(crate) struct ServerMetrics {
+    pub(crate) accepted: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) keepalive_reuses: AtomicU64,
+    pub(crate) malformed: AtomicU64,
+    pub(crate) timeouts: AtomicU64,
+    /// Gauge: connections currently admitted (queued + in service).
+    pub(crate) open: AtomicU64,
+    /// Reactor readiness-loop iterations (0 under [`Transport::Threaded`]).
+    pub(crate) wakeups: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -228,18 +287,24 @@ impl ServerMetrics {
             keepalive_reuses: self.keepalive_reuses.load(Ordering::Relaxed),
             malformed_requests: self.malformed.load(Ordering::Relaxed),
             request_timeouts: self.timeouts.load(Ordering::Relaxed),
+            open_connections: self.open.load(Ordering::SeqCst),
+            reactor_wakeups: self.wakeups.load(Ordering::Relaxed),
         }
     }
 }
 
-/// Point-in-time copy of [`ServerMetrics`].
+/// Point-in-time copy of the server's transport counters (see
+/// [`ServerHandle::metrics`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerMetricsSnapshot {
     /// Connections the accept loop took off the listener.
     pub connections_accepted: u64,
-    /// Connections refused with `503` (queue full or budget exceeded).
+    /// Admissions refused with `503 + Retry-After`: whole connections
+    /// (budget exceeded, or — under [`Transport::Threaded`] — queue
+    /// full), plus individual requests shed off open connections when the
+    /// reactor's work queue is full.
     pub connections_shed: u64,
-    /// Requests answered by handlers.
+    /// Requests handed to handlers.
     pub requests: u64,
     /// Requests served on an already-used connection (keep-alive wins).
     pub keepalive_reuses: u64,
@@ -249,6 +314,13 @@ pub struct ServerMetricsSnapshot {
     /// Requests that started but did not finish arriving within
     /// `read_timeout` (answered `408`, connection closed).
     pub request_timeouts: u64,
+    /// Gauge: connections currently open (admitted and not yet closed).
+    /// Under [`Transport::Reactor`] this can far exceed `workers` — the
+    /// point of the readiness loop.
+    pub open_connections: u64,
+    /// Gauge of reactor activity: readiness-loop iterations so far
+    /// (`poll(2)` returns). Always 0 under [`Transport::Threaded`].
+    pub reactor_wakeups: u64,
 }
 
 /// A running HTTP server; dropping it (or calling [`ServerHandle::stop`])
@@ -259,26 +331,55 @@ pub struct ServerHandle {
     accept_thread: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     metrics: Arc<ServerMetrics>,
+    /// Kicks the reactor out of `poll(2)` so it notices the stop flag
+    /// promptly. `None` under [`Transport::Threaded`].
+    waker: Option<Box<dyn Fn() + Send + Sync>>,
 }
 
 impl ServerHandle {
-    /// Signal shutdown and join the accept loop and workers.
+    /// Signal shutdown and join the event loop and workers.
     pub fn stop(mut self) {
         self.shutdown();
     }
 
     /// Cumulative transport counters so far.
+    ///
+    /// Counters are updated with relaxed atomics while the server runs;
+    /// a snapshot taken during live traffic is internally consistent
+    /// enough for monitoring, and exact once traffic quiesces.
     pub fn metrics(&self) -> ServerMetricsSnapshot {
         self.metrics.snapshot()
     }
 
     fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        if let Some(wake) = &self.waker {
+            wake();
+        }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
         for t in self.workers.drain(..) {
             let _ = t.join();
+        }
+    }
+
+    /// Assemble a handle from transport parts (used by both transports).
+    pub(crate) fn from_parts(
+        addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        accept_thread: std::thread::JoinHandle<()>,
+        workers: Vec<std::thread::JoinHandle<()>>,
+        metrics: Arc<ServerMetrics>,
+        waker: Option<Box<dyn Fn() + Send + Sync>>,
+    ) -> ServerHandle {
+        ServerHandle {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            workers,
+            metrics,
+            waker,
         }
     }
 }
@@ -305,6 +406,24 @@ pub fn serve(addr: &str, workers: usize, handler: Handler) -> Result<ServerHandl
 }
 
 /// Start a server with explicit transport settings.
+///
+/// The listener binds immediately (use port `0` for an ephemeral port,
+/// read back from [`ServerHandle::addr`]); the returned handle owns the
+/// transport threads and shuts them down on [`ServerHandle::stop`] or
+/// drop.
+///
+/// # Load-shedding contract
+///
+/// Admission is bounded, never queued unboundedly. A connection beyond
+/// [`ServerConfig::max_connections`] — or, under
+/// [`Transport::Threaded`], one that finds the work queue full — is
+/// answered `503 Service Unavailable` with a `Retry-After:
+/// {retry_after_secs}` header and closed. Under [`Transport::Reactor`]
+/// a *request* arriving while the work queue is full gets the same
+/// `503 + Retry-After`, but on a keep-alive connection the socket
+/// stays open — a well-behaved client backs off and retries without
+/// reconnecting. Shed admissions are counted in
+/// [`ServerMetricsSnapshot::connections_shed`].
 pub fn serve_with(
     addr: &str,
     cfg: ServerConfig,
@@ -312,6 +431,25 @@ pub fn serve_with(
 ) -> Result<ServerHandle, HttpError> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
+    match cfg.transport {
+        #[cfg(unix)]
+        Transport::Reactor => crate::reactor::serve(listener, cfg, handler),
+        // Without poll(2) the reactor has no readiness primitive; the
+        // threaded transport speaks the identical protocol.
+        #[cfg(not(unix))]
+        Transport::Reactor => serve_threaded(listener, cfg, handler),
+        Transport::Threaded => serve_threaded(listener, cfg, handler),
+    }
+}
+
+/// The thread-per-connection transport: a nonblocking accept loop admits
+/// whole connections into a bounded queue; each worker owns one
+/// connection at a time for its entire keep-alive lifetime.
+fn serve_threaded(
+    listener: TcpListener,
+    cfg: ServerConfig,
+    handler: Handler,
+) -> Result<ServerHandle, HttpError> {
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let metrics = Arc::new(ServerMetrics::default());
@@ -334,10 +472,11 @@ pub fn serve_with(
             /// via `Drop`, so even a panic unwinding out of the connection
             /// loop can never leak budget (a leaked slot would eventually
             /// wedge the accept loop into shedding everything).
-            struct Slot<'a>(&'a AtomicUsize);
+            struct Slot<'a>(&'a AtomicUsize, &'a ServerMetrics);
             impl Drop for Slot<'_> {
                 fn drop(&mut self) {
                     self.0.fetch_sub(1, Ordering::SeqCst);
+                    self.1.open.fetch_sub(1, Ordering::SeqCst);
                 }
             }
             loop {
@@ -347,7 +486,7 @@ pub fn serve_with(
                     .recv();
                 match next {
                     Ok(stream) => {
-                        let _slot = Slot(&active);
+                        let _slot = Slot(&active, &metrics);
                         serve_connection(stream, &cfg, &handler, &metrics, &stop);
                     }
                     Err(_) => break,
@@ -378,10 +517,12 @@ pub fn serve_with(
                         continue;
                     }
                     active.fetch_add(1, Ordering::SeqCst);
+                    metrics2.open.fetch_add(1, Ordering::SeqCst);
                     match tx.try_send(stream) {
                         Ok(()) => {}
                         Err(mpsc::TrySendError::Full(stream)) => {
                             active.fetch_sub(1, Ordering::SeqCst);
+                            metrics2.open.fetch_sub(1, Ordering::SeqCst);
                             shed(stream, retry_after, &metrics2);
                         }
                         Err(mpsc::TrySendError::Disconnected(_)) => break,
@@ -403,17 +544,18 @@ pub fn serve_with(
         // Dropping `tx` wakes every idle worker out of `recv`.
     });
 
-    Ok(ServerHandle {
-        addr: local,
+    Ok(ServerHandle::from_parts(
+        local,
         stop,
-        accept_thread: Some(accept_thread),
+        accept_thread,
         workers,
         metrics,
-    })
+        None,
+    ))
 }
 
 /// Refuse a connection with the load-shedding response.
-fn shed(stream: TcpStream, retry_after_secs: u64, metrics: &ServerMetrics) {
+pub(crate) fn shed(stream: TcpStream, retry_after_secs: u64, metrics: &ServerMetrics) {
     metrics.shed.fetch_add(1, Ordering::Relaxed);
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let _ = write_response(&stream, &HttpResponse::unavailable(retry_after_secs), false);
@@ -421,7 +563,8 @@ fn shed(stream: TcpStream, retry_after_secs: u64, metrics: &ServerMetrics) {
 }
 
 /// Why reading the next request off a connection stopped.
-enum RequestError {
+#[derive(Debug)]
+pub(crate) enum RequestError {
     /// Framing violation: `400`, close, keep the worker.
     Malformed(String),
     /// Request line or headers larger than the caps: `431`, close.
@@ -541,7 +684,11 @@ fn serve_connection(
 }
 
 /// Does this connection survive past the current request?
-fn connection_persists(request: &HttpRequest, cfg: &ServerConfig, served: usize) -> bool {
+pub(crate) fn connection_persists(
+    request: &HttpRequest,
+    cfg: &ServerConfig,
+    served: usize,
+) -> bool {
     if !cfg.keep_alive {
         return false;
     }
@@ -673,6 +820,43 @@ fn read_request(
         request_line = read_head_line(reader, stop, deadline)?;
     }
 
+    let (method, path, query, version) = parse_request_line(&request_line)?;
+
+    let mut headers = BTreeMap::new();
+    let mut head_bytes = request_line.len();
+    loop {
+        let hline = read_head_line(reader, stop, deadline)?;
+        if hline.is_empty() {
+            break;
+        }
+        head_bytes += hline.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(RequestError::HeadTooLarge("request head too large".into()));
+        }
+        insert_header_line(&mut headers, &hline);
+    }
+
+    let len = content_length(&headers, max_body_bytes)?;
+    let mut body = vec![0u8; len];
+    if len > 0 {
+        read_body(reader, &mut body, stop, deadline)?;
+    }
+    Ok(HttpRequest {
+        method,
+        path,
+        query,
+        headers,
+        body,
+        version,
+    })
+}
+
+/// Parse a request line into (method, path, decoded query, version).
+/// Shared by the blocking reader and the reactor's incremental parser so
+/// both transports accept exactly the same dialect.
+pub(crate) fn parse_request_line(
+    request_line: &str,
+) -> Result<(String, String, BTreeMap<String, String>, String), RequestError> {
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
@@ -709,23 +893,21 @@ fn read_request(
             }
         }
     }
+    Ok((method, path, query, version))
+}
 
-    let mut headers = BTreeMap::new();
-    let mut head_bytes = request_line.len();
-    loop {
-        let hline = read_head_line(reader, stop, deadline)?;
-        if hline.is_empty() {
-            break;
-        }
-        head_bytes += hline.len();
-        if head_bytes > MAX_HEAD_BYTES {
-            return Err(RequestError::HeadTooLarge("request head too large".into()));
-        }
-        if let Some((k, v)) = hline.split_once(':') {
-            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_owned());
-        }
+/// Fold one `Name: value` line into the (lower-cased) header map.
+pub(crate) fn insert_header_line(headers: &mut BTreeMap<String, String>, line: &str) {
+    if let Some((k, v)) = line.split_once(':') {
+        headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_owned());
     }
+}
 
+/// Decode and bound the `Content-Length` header.
+pub(crate) fn content_length(
+    headers: &BTreeMap<String, String>,
+    max_body_bytes: usize,
+) -> Result<usize, RequestError> {
     let len: usize = match headers.get("content-length") {
         None => 0,
         Some(v) => v
@@ -737,25 +919,12 @@ fn read_request(
             "body of {len} bytes exceeds the {max_body_bytes}-byte limit"
         )));
     }
-    let mut body = vec![0u8; len];
-    if len > 0 {
-        read_body(reader, &mut body, stop, deadline)?;
-    }
-    Ok(HttpRequest {
-        method,
-        path,
-        query,
-        headers,
-        body,
-        version,
-    })
+    Ok(len)
 }
 
-fn write_response(
-    mut stream: &TcpStream,
-    resp: &HttpResponse,
-    keep_alive: bool,
-) -> Result<(), HttpError> {
+/// Serialize a response (head + body) into wire bytes. Responses are
+/// always length-framed so keep-alive peers can find the next response.
+pub(crate) fn encode_response(resp: &HttpResponse, keep_alive: bool) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         resp.status,
@@ -771,8 +940,17 @@ fn write_response(
     } else {
         "Connection: close\r\n\r\n"
     });
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&resp.body)?;
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(&resp.body);
+    bytes
+}
+
+fn write_response(
+    mut stream: &TcpStream,
+    resp: &HttpResponse,
+    keep_alive: bool,
+) -> Result<(), HttpError> {
+    stream.write_all(&encode_response(resp, keep_alive))?;
     stream.flush()?;
     Ok(())
 }
@@ -864,6 +1042,34 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> Result<(ClientResponse, b
 /// A persistent HTTP/1.1 client: one socket reused across requests, with
 /// a transparent one-shot reconnect when the pooled socket went stale
 /// (e.g. the server's idle timeout closed it between requests).
+///
+/// # Retry policy
+///
+/// [`HttpClient::send`] retries **exactly once**, and **only** on the
+/// stale-pooled-socket signature: a *reused* connection that the peer
+/// closed before any response bytes arrived. It never retries on a read
+/// timeout — the server may still be executing the request, and
+/// re-sending would double the work. This is safe today because every
+/// mediation endpoint (including `POST /query`) is read-only; if
+/// mutating endpoints ever appear, this policy must become
+/// method-aware (retry `GET`, never blindly retry `POST`).
+///
+/// ```
+/// use coin_server::http::{serve, HttpClient, HttpResponse};
+/// use std::sync::Arc;
+///
+/// let server = serve("127.0.0.1:0", 2, Arc::new(|_req| {
+///     HttpResponse::ok("text/plain", "pong")
+/// })).unwrap();
+///
+/// let mut client = HttpClient::new(server.addr);
+/// for _ in 0..3 {
+///     assert_eq!(client.request("GET", "/ping", None, &[]).unwrap(), b"pong");
+/// }
+/// // All three requests reused one TCP connection.
+/// assert_eq!(client.connects(), 1);
+/// server.stop();
+/// ```
 #[derive(Debug)]
 pub struct HttpClient {
     addr: SocketAddr,
@@ -907,6 +1113,11 @@ impl HttpClient {
     /// Issue a request and decode the full response. Non-2xx statuses are
     /// returned as responses, not errors — use [`ClientResponse::into_body`]
     /// or [`HttpClient::request`] for status-checked calls.
+    ///
+    /// Reconnects transparently (once) when a *reused* pooled socket
+    /// turns out to be disconnected before any response bytes arrive;
+    /// see the [type-level retry policy](HttpClient#retry-policy) for
+    /// exactly when that is safe.
     pub fn send(
         &mut self,
         method: &str,

@@ -5,9 +5,10 @@
 //! an ODBC-family client API and an HTML Query-By-Example form (paper §2).
 //!
 //! * [`json`] — self-contained JSON codec for the wire protocol;
-//! * [`http`] — HTTP/1.1 keep-alive server (bounded worker pool +
-//!   load-shedding accept loop) and blocking clients (one-shot helpers
-//!   plus the persistent [`http::HttpClient`]);
+//! * [`http`] — HTTP/1.1 keep-alive server (event-driven reactor or
+//!   thread-per-connection transport over a bounded worker pool, with
+//!   load shedding) and blocking clients (one-shot helpers plus the
+//!   persistent [`http::HttpClient`]);
 //! * [`protocol`] — the mediation endpoints (`/dictionary`, `/query`,
 //!   `/stats`, `/qbe`) over a shared [`coin_core::CoinSystem`] (or a
 //!   [`protocol::SharedSystem`] when administration interleaves with
@@ -17,15 +18,19 @@
 //! * [`qbe`] — QBE form rendering and submission handling.
 
 pub mod client;
+#[cfg(unix)]
+mod conn;
 pub mod http;
 pub mod json;
 pub mod protocol;
 pub mod qbe;
+#[cfg(unix)]
+mod reactor;
 
 pub use client::{ClientError, Connection, ResultSet, ServerStats, Statement, TableInfo};
 pub use http::{
     HttpClient, HttpError, HttpRequest, HttpResponse, ServerConfig, ServerHandle,
-    ServerMetricsSnapshot,
+    ServerMetricsSnapshot, Transport,
 };
 pub use json::{parse as parse_json, Json, JsonError};
 pub use protocol::{

@@ -1,0 +1,580 @@
+//! The event-driven reactor transport (Unix only).
+//!
+//! One reactor thread owns the listener and every open connection, all
+//! nonblocking, multiplexed with `poll(2)` — bound directly from libc
+//! (no external crate, consistent with the workspace's offline-vendoring
+//! policy). The loop:
+//!
+//! 1. **accepts** new connections (shedding over-budget ones with
+//!    `503 + Retry-After`),
+//! 2. **reads** whatever bytes are ready and runs the incremental parser
+//!    ([`crate::conn`]) until a *complete* request emerges,
+//! 3. **dispatches** complete requests to the bounded worker queue
+//!    (shedding overflow with `503` — the connection stays open),
+//! 4. **writes** finished responses back as sockets accept them, and
+//! 5. **reaps** deadline violations: stalled requests (`408`), idle
+//!    keep-alive connections (silent close), and peers that stop reading
+//!    their responses.
+//!
+//! Workers never see a socket: they take `(connection id, request)`
+//! pairs, run the handler (panics contained to a `500`), and hand the
+//! encoded response back through a completion queue, waking the reactor
+//! through a self-wake socket pair. Idle or slow connections therefore
+//! cost no thread, which is what decouples the open-connection count from
+//! the pool size — the scaling property measured by the
+//! `server_load/stats_idle_fleet` bench scenario.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpListener;
+use std::os::raw::{c_int, c_short, c_ulong};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+use crate::conn::{try_parse_request, Conn, ConnState, ParseStatus};
+use crate::http::{
+    connection_persists, shed, Handler, HttpError, HttpRequest, HttpResponse, RequestError,
+    ServerConfig, ServerHandle, ServerMetrics,
+};
+
+// --- a thin poll(2) binding -------------------------------------------------
+
+const POLLIN: c_short = 0x001;
+const POLLOUT: c_short = 0x004;
+const POLLERR: c_short = 0x008;
+const POLLHUP: c_short = 0x010;
+const POLLNVAL: c_short = 0x020;
+
+/// `struct pollfd` (POSIX): identical layout on every Unix we target.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: RawFd,
+    events: c_short,
+    revents: c_short,
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Block until any registered fd is ready or `timeout_ms` elapses
+/// (`None` = wait indefinitely). Returns how many fds have events.
+fn poll_wait(fds: &mut [PollFd], timeout_ms: Option<i32>) -> std::io::Result<usize> {
+    let timeout = timeout_ms.unwrap_or(-1);
+    // SAFETY: `fds` is a valid, exclusively-borrowed slice of pollfd
+    // structs for the whole call; poll only writes `revents` in place.
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout) };
+    if rc < 0 {
+        let e = std::io::Error::last_os_error();
+        if e.kind() == ErrorKind::Interrupted {
+            return Ok(0); // EINTR: just re-run the loop
+        }
+        return Err(e);
+    }
+    Ok(rc as usize)
+}
+
+// --- the reactor ------------------------------------------------------------
+
+/// What a worker hands back: the connection the response belongs to, and
+/// the handler's response (`None` = the handler panicked).
+type Completion = (u64, Option<HttpResponse>);
+
+/// Start the reactor transport on an already-bound nonblocking listener.
+pub(crate) fn serve(
+    listener: TcpListener,
+    cfg: ServerConfig,
+    handler: Handler,
+) -> Result<ServerHandle, HttpError> {
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let metrics = Arc::new(ServerMetrics::default());
+
+    // Self-wake channel: workers (and the handle) write one byte to kick
+    // the reactor out of poll(2).
+    let (wake_rx, wake_tx) = UnixStream::pair()?;
+    wake_rx.set_nonblocking(true)?;
+    wake_tx.set_nonblocking(true)?;
+
+    let (job_tx, job_rx) = mpsc::sync_channel::<(u64, HttpRequest)>(cfg.queue_depth.max(1));
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut workers = Vec::with_capacity(cfg.workers.max(1));
+    for _ in 0..cfg.workers.max(1) {
+        let job_rx = Arc::clone(&job_rx);
+        let handler = Arc::clone(&handler);
+        let completions = Arc::clone(&completions);
+        let wake = wake_tx.try_clone()?;
+        workers.push(std::thread::spawn(move || loop {
+            let next = job_rx
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .recv();
+            let Ok((conn_id, request)) = next else {
+                break; // reactor gone: queue drained, pool winds down
+            };
+            let response =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request))).ok();
+            completions
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push((conn_id, response));
+            // A full (or closed) wake pipe is fine: the reactor drains it
+            // whole and checks the completion queue on every wakeup.
+            let _ = (&wake).write(&[1]);
+        }));
+    }
+
+    let reactor = Reactor {
+        listener,
+        cfg,
+        metrics: Arc::clone(&metrics),
+        stop: Arc::clone(&stop),
+        wake_rx,
+        job_tx,
+        completions,
+        conns: HashMap::new(),
+        next_id: 1,
+    };
+    let reactor_thread = std::thread::spawn(move || reactor.run());
+
+    let waker = wake_tx;
+    Ok(ServerHandle::from_parts(
+        local,
+        stop,
+        reactor_thread,
+        workers,
+        metrics,
+        Some(Box::new(move || {
+            let _ = (&waker).write(&[1]);
+        })),
+    ))
+}
+
+struct Reactor {
+    listener: TcpListener,
+    cfg: ServerConfig,
+    metrics: Arc<ServerMetrics>,
+    stop: Arc<AtomicBool>,
+    wake_rx: UnixStream,
+    job_tx: mpsc::SyncSender<(u64, HttpRequest)>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    conns: HashMap<u64, Conn>,
+    next_id: u64,
+}
+
+/// What a poll slot refers to.
+enum Token {
+    Wake,
+    Listener,
+    Conn(u64),
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut tokens: Vec<Token> = Vec::new();
+        while !self.stop.load(Ordering::SeqCst) {
+            fds.clear();
+            tokens.clear();
+            fds.push(PollFd {
+                fd: self.wake_rx.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+            tokens.push(Token::Wake);
+            fds.push(PollFd {
+                fd: self.listener.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+            tokens.push(Token::Listener);
+            for (&id, conn) in &self.conns {
+                let mut events = 0;
+                if conn.wants_read() {
+                    events |= POLLIN;
+                }
+                if conn.wants_write() {
+                    events |= POLLOUT;
+                }
+                // events == 0 (request in flight, nothing to write) still
+                // reports POLLERR/POLLHUP, so a vanished peer is noticed.
+                fds.push(PollFd {
+                    fd: conn.stream.as_raw_fd(),
+                    events,
+                    revents: 0,
+                });
+                tokens.push(Token::Conn(id));
+            }
+
+            let timeout = self.next_deadline_ms();
+            if poll_wait(&mut fds, timeout).is_err() {
+                break; // unrecoverable poll failure; shut the transport
+            }
+            self.metrics.wakeups.fetch_add(1, Ordering::Relaxed);
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+
+            let now = Instant::now();
+            // Connection events (including peers that just closed) are
+            // processed before the listener, so budget freed by a FIN in
+            // this same readiness batch is available to admissions.
+            let mut accept_pending = false;
+            for (slot, token) in fds.iter().zip(&tokens) {
+                match token {
+                    Token::Wake => {
+                        if slot.revents & POLLIN != 0 {
+                            self.drain_wake_pipe();
+                        }
+                    }
+                    Token::Listener => accept_pending = slot.revents & POLLIN != 0,
+                    Token::Conn(id) => self.service_conn(*id, slot.revents, now),
+                }
+            }
+            // Completions are drained every wakeup, whatever woke us:
+            // a missed wake byte can never strand a finished response.
+            self.apply_completions(now);
+            if accept_pending {
+                self.accept_ready(now);
+            }
+            self.expire_deadlines(now);
+        }
+        for (_, conn) in self.conns.drain() {
+            conn.shutdown();
+        }
+        self.metrics.open.store(0, Ordering::SeqCst);
+        // Dropping `job_tx` lets the workers drain the queue and exit.
+    }
+
+    /// Milliseconds until the soonest connection deadline (`None` = no
+    /// deadline pending; sleep until an fd is ready or a wake byte).
+    fn next_deadline_ms(&self) -> Option<i32> {
+        let now = Instant::now();
+        let mut soonest: Option<Instant> = None;
+        let mut fold = |d: Option<Instant>| {
+            if let Some(d) = d {
+                soonest = Some(soonest.map_or(d, |s| s.min(d)));
+            }
+        };
+        for conn in self.conns.values() {
+            fold(conn.write_deadline);
+            match conn.state {
+                ConnState::Reading => {
+                    if conn.buf.is_empty() && conn.read_deadline.is_none() {
+                        fold(Some(conn.idle_since + self.cfg.idle_timeout));
+                    } else {
+                        fold(conn.read_deadline);
+                    }
+                }
+                ConnState::InFlight { .. } | ConnState::Closing => {}
+            }
+        }
+        soonest.map(|s| {
+            let ms = s.saturating_duration_since(now).as_millis() as i64;
+            // +1 rounds up so we never spin on a not-quite-due deadline.
+            (ms + 1).min(i32::MAX as i64) as i32
+        })
+    }
+
+    fn drain_wake_pipe(&mut self) {
+        let mut sink = [0u8; 64];
+        while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+    }
+
+    fn accept_ready(&mut self, now: Instant) {
+        let budget = self.cfg.budget();
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                    if self.conns.len() >= budget {
+                        // Shedding writes a tiny fixed response; do it
+                        // blocking (with a short timeout) for simplicity.
+                        let _ = stream.set_nonblocking(false);
+                        shed(stream, self.cfg.retry_after_secs, &self.metrics);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.conns.insert(id, Conn::new(stream, now));
+                    self.metrics.open.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                // Transient accept failures (ECONNABORTED, EMFILE):
+                // leave the listener registered and retry next wakeup.
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// React to poll events on one connection.
+    fn service_conn(&mut self, id: u64, revents: c_short, now: Instant) {
+        if revents == 0 {
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        if revents & (POLLERR | POLLNVAL) != 0 {
+            self.close(id);
+            return;
+        }
+        if revents & POLLOUT != 0 && conn.wants_write() {
+            match conn.try_write() {
+                Ok(true) => {
+                    if conn.state == ConnState::Closing {
+                        self.close(id);
+                        return;
+                    }
+                    // Response flushed on a persistent connection: a
+                    // pipelined successor may already be buffered.
+                    self.process_input(id, now);
+                    return;
+                }
+                Ok(false) => {}
+                Err(_) => {
+                    self.close(id);
+                    return;
+                }
+            }
+        }
+        if revents & POLLIN != 0 && conn.wants_read() {
+            match conn.read_available() {
+                Ok(peer_closed) => {
+                    if peer_closed {
+                        conn.peer_eof = true;
+                    }
+                    // A half-closing peer may still be owed response
+                    // bytes (`wants_write`); only a FIN with nothing
+                    // buffered in either direction is a clean close.
+                    if peer_closed && conn.buf.is_empty() && !conn.wants_write() {
+                        self.close(id);
+                        return;
+                    }
+                    self.process_input(id, now);
+                }
+                Err(_) => self.close(id),
+            }
+        } else if revents & POLLHUP != 0 && !conn.wants_write() {
+            // Peer hung up while we owe it nothing (e.g. mid-handler):
+            // drop now; the eventual completion is discarded harmlessly.
+            self.close(id);
+        }
+    }
+
+    /// Parse and dispatch as many buffered requests as the connection's
+    /// state allows, then push any queued response bytes.
+    fn process_input(&mut self, id: u64, now: Instant) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if conn.state != ConnState::Reading {
+                break;
+            }
+            match try_parse_request(&conn.buf, self.cfg.max_body_bytes) {
+                Ok(ParseStatus::Incomplete) => {
+                    if conn.peer_eof {
+                        // No more bytes will ever arrive: whatever did
+                        // not parse into a request never will. Flush
+                        // anything still owed, then close.
+                        conn.state = ConnState::Closing;
+                        break;
+                    }
+                    if conn.buf.is_empty() {
+                        conn.read_deadline = None;
+                        conn.idle_since = now;
+                    } else if conn.read_deadline.is_none() {
+                        conn.read_deadline = Some(now + self.cfg.read_timeout);
+                    }
+                    break;
+                }
+                Ok(ParseStatus::Complete(request, consumed)) => {
+                    conn.buf.drain(..consumed);
+                    conn.read_deadline = None;
+                    // Persistence if this request is served (it consumes
+                    // a cap slot) vs shed (it does not).
+                    let keep_served = connection_persists(&request, &self.cfg, conn.served + 1);
+                    let keep_shed = connection_persists(&request, &self.cfg, conn.served);
+                    match self.job_tx.try_send((id, *request)) {
+                        Ok(()) => {
+                            conn.served += 1;
+                            conn.state = ConnState::InFlight { keep: keep_served };
+                            self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                            if conn.served > 1 {
+                                self.metrics
+                                    .keepalive_reuses
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            break; // parked until the response lands
+                        }
+                        Err(mpsc::TrySendError::Full(_)) => {
+                            // Work queue saturated: shed *this request*,
+                            // keep the connection when the peer would.
+                            // Shed work is counted in `shed` only — not
+                            // in `requests`, not against the
+                            // per-connection request cap.
+                            self.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                            conn.state = if keep_shed {
+                                ConnState::Reading
+                            } else {
+                                ConnState::Closing
+                            };
+                            conn.queue_response(
+                                &HttpResponse::unavailable(self.cfg.retry_after_secs),
+                                keep_shed,
+                                now,
+                            );
+                            if !keep_shed {
+                                break;
+                            }
+                        }
+                        Err(mpsc::TrySendError::Disconnected(_)) => {
+                            conn.state = ConnState::Closing;
+                            break;
+                        }
+                    }
+                }
+                Err(e) => {
+                    let (response, counter) = match e {
+                        RequestError::Malformed(m) => (
+                            HttpResponse::error(400, &format!("bad request: {m}")),
+                            &self.metrics.malformed,
+                        ),
+                        RequestError::HeadTooLarge(m) => {
+                            (HttpResponse::error(431, &m), &self.metrics.malformed)
+                        }
+                        RequestError::TooLarge(m) => {
+                            (HttpResponse::error(413, &m), &self.metrics.malformed)
+                        }
+                        RequestError::Timeout | RequestError::Io => {
+                            // Not produced by the pure parser; treat as a
+                            // framing failure if it ever appears.
+                            (
+                                HttpResponse::error(400, "bad request"),
+                                &self.metrics.malformed,
+                            )
+                        }
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    conn.state = ConnState::Closing;
+                    conn.queue_response(&response, false, now);
+                    break;
+                }
+            }
+        }
+        self.flush(id);
+    }
+
+    /// Hand finished responses back to their connections.
+    fn apply_completions(&mut self, now: Instant) {
+        let done: Vec<Completion> = std::mem::take(
+            &mut *self
+                .completions
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for (id, response) in done {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                continue; // connection died while the handler ran
+            };
+            let ConnState::InFlight { keep } = conn.state else {
+                continue;
+            };
+            match response {
+                Some(resp) => {
+                    conn.state = if keep {
+                        ConnState::Reading
+                    } else {
+                        ConnState::Closing
+                    };
+                    conn.idle_since = now;
+                    conn.queue_response(&resp, keep, now);
+                    if keep {
+                        // Write, then look for a pipelined successor.
+                        self.process_input(id, now);
+                        continue;
+                    }
+                }
+                None => {
+                    // Handler panicked: contained to this connection.
+                    conn.state = ConnState::Closing;
+                    conn.queue_response(&HttpResponse::error(500, "handler panicked"), false, now);
+                }
+            }
+            self.flush(id);
+        }
+    }
+
+    /// Enforce read/idle/write deadlines.
+    fn expire_deadlines(&mut self, now: Instant) {
+        let mut stalled = Vec::new();
+        let mut dead = Vec::new();
+        for (&id, conn) in &self.conns {
+            if conn.write_deadline.is_some_and(|d| now >= d) {
+                dead.push(id); // peer stopped reading its response
+            } else if conn.state == ConnState::Reading {
+                if conn.read_deadline.is_some_and(|d| now >= d) {
+                    stalled.push(id); // mid-request overrun: 408
+                } else if conn.buf.is_empty()
+                    && conn.read_deadline.is_none()
+                    && !conn.wants_write()
+                    && now >= conn.idle_since + self.cfg.idle_timeout
+                {
+                    dead.push(id); // idle keep-alive: silent close
+                }
+            }
+        }
+        for id in dead {
+            self.close(id);
+        }
+        for id in stalled {
+            self.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+            if let Some(conn) = self.conns.get_mut(&id) {
+                conn.state = ConnState::Closing;
+                conn.read_deadline = None;
+                conn.queue_response(
+                    &HttpResponse::error(408, "request not completed in time"),
+                    false,
+                    now,
+                );
+                self.flush(id);
+            }
+        }
+    }
+
+    /// Opportunistically drain a connection's output; close when done if
+    /// the state machine says so.
+    fn flush(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        if !conn.wants_write() {
+            if conn.state == ConnState::Closing {
+                self.close(id);
+            }
+            return;
+        }
+        match conn.try_write() {
+            Ok(true) if conn.state == ConnState::Closing => self.close(id),
+            Ok(_) => {} // drained or would-block; poll handles the rest
+            Err(_) => self.close(id),
+        }
+    }
+
+    fn close(&mut self, id: u64) {
+        if let Some(conn) = self.conns.remove(&id) {
+            conn.shutdown();
+            self.metrics.open.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}

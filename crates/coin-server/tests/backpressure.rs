@@ -6,7 +6,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use coin_server::http::{serve_with, Handler, HttpClient, HttpRequest, HttpResponse, ServerConfig};
+use coin_server::http::{
+    serve_with, Handler, HttpClient, HttpRequest, HttpResponse, ServerConfig, Transport,
+};
 
 /// A handler that signals entry and then blocks until released.
 fn gated_handler(
@@ -111,6 +113,62 @@ fn full_queue_sheds_503_with_retry_after_then_drains_and_recovers() {
         t0.elapsed() < Duration::from_secs(5),
         "shutdown signal was lost"
     );
+}
+
+#[test]
+fn threaded_transport_sheds_over_budget_connections_identically() {
+    // The 503 + Retry-After shedding contract holds on the legacy
+    // transport too: one worker busy, one connection queued, budget 2 —
+    // the third connection is refused.
+    let (entered_tx, entered_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel();
+    let (handler, served) = gated_handler(entered_tx, release_rx);
+    let server = serve_with(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            max_connections: 2,
+            retry_after_secs: 5,
+            transport: Transport::Threaded,
+            ..ServerConfig::default()
+        },
+        handler,
+    )
+    .unwrap();
+    let addr = server.addr;
+    let busy = std::thread::spawn(move || {
+        let mut c = HttpClient::new(addr);
+        c.request("GET", "/busy", None, &[]).unwrap()
+    });
+    entered_rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("request reaches the worker");
+    let queued = std::thread::spawn(move || {
+        let mut c = HttpClient::new(addr);
+        c.request("GET", "/queued", None, &[]).unwrap()
+    });
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.metrics().connections_accepted < 2 {
+        assert!(Instant::now() < deadline, "queued connection not admitted");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(30));
+
+    let mut probe = HttpClient::new(addr);
+    let resp = probe.send("GET", "/overflow", None, &[]).unwrap();
+    assert_eq!(resp.status, 503);
+    assert_eq!(
+        resp.headers.get("retry-after").map(String::as_str),
+        Some("5")
+    );
+    assert!(served.load(Ordering::SeqCst) == 0, "nothing finished yet");
+
+    release_tx.send(()).unwrap();
+    release_tx.send(()).unwrap();
+    assert_eq!(busy.join().unwrap(), b"done");
+    assert_eq!(queued.join().unwrap(), b"done");
+    server.stop();
 }
 
 #[test]

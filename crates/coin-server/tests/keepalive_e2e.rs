@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use coin_core::fixtures::figure2_system;
 use coin_server::http::HttpClient;
-use coin_server::{start_server_with, Connection, ServerConfig, ServerHandle};
+use coin_server::{start_server_with, Connection, ServerConfig, ServerHandle, Transport};
 
 const Q1: &str = "SELECT r1.cname, r1.revenue FROM r1, r2 \
                   WHERE r1.cname = r2.cname AND r1.revenue > r2.expenses";
@@ -288,6 +288,38 @@ fn oversized_body_gets_413_and_connection_close() {
     // Worker lives on.
     let conn = Connection::open(server.addr, "c_recv");
     assert_eq!(conn.statement().execute(Q1).unwrap().len(), 1);
+    server.stop();
+}
+
+#[test]
+fn threaded_transport_speaks_the_same_keepalive_dialect() {
+    // The legacy thread-per-connection transport stays available behind
+    // `ServerConfig::transport` and must behave identically for a
+    // fleet that fits its worker pool.
+    let server = start(ServerConfig {
+        transport: Transport::Threaded,
+        ..ServerConfig::default()
+    });
+    let mut client = HttpClient::new(server.addr);
+    for _ in 0..5 {
+        let body = client
+            .request(
+                "POST",
+                "/query",
+                Some("application/json"),
+                query_body(Q1).as_bytes(),
+            )
+            .unwrap();
+        assert!(String::from_utf8_lossy(&body).contains("NTT"));
+    }
+    assert_eq!(client.connects(), 1);
+    let m = server.metrics();
+    assert_eq!(m.connections_accepted, 1);
+    assert_eq!(m.requests, 5);
+    assert_eq!(m.keepalive_reuses, 4);
+    assert_eq!(m.open_connections, 1, "gauge works under threaded too");
+    assert_eq!(m.reactor_wakeups, 0, "no readiness loop in threaded mode");
+    drop(client);
     server.stop();
 }
 

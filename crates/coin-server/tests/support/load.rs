@@ -215,6 +215,58 @@ enum Op {
     Query(&'static str),
 }
 
+/// A fleet of established keep-alive connections held open and idle —
+/// the workload shape that breaks thread-per-connection transports: the
+/// connections consume server-side state but demand no work.
+///
+/// Included via `#[path]` from several roots; not every consumer uses it.
+#[allow(dead_code)]
+pub struct IdleFleet {
+    clients: Vec<HttpClient>,
+}
+
+#[allow(dead_code)]
+impl IdleFleet {
+    /// Open `size` connections, each established server-side by one
+    /// completed `GET /stats` round-trip, then left idle.
+    pub fn open(addr: SocketAddr, size: usize) -> IdleFleet {
+        let mut clients = Vec::with_capacity(size);
+        for i in 0..size {
+            let mut c = HttpClient::new(addr);
+            let resp = c
+                .send("GET", "/stats", None, &[])
+                .unwrap_or_else(|e| panic!("idle connection {i} failed to establish: {e}"));
+            assert_eq!(resp.status, 200, "idle connection {i} shed or refused");
+            clients.push(c);
+        }
+        IdleFleet { clients }
+    }
+
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// One more request on every held connection, proving each socket is
+    /// still alive server-side. Returns how many had to reconnect (0
+    /// when no idle timeout fired in between).
+    pub fn ping_all(&mut self) -> u64 {
+        let mut reconnects = 0;
+        for (i, c) in self.clients.iter_mut().enumerate() {
+            let before = c.connects();
+            let resp = c
+                .send("GET", "/stats", None, &[])
+                .unwrap_or_else(|e| panic!("idle connection {i} died: {e}"));
+            assert_eq!(resp.status, 200, "idle connection {i} refused on reuse");
+            reconnects += c.connects() - before;
+        }
+        reconnects
+    }
+}
+
 fn chosen_op(workload: Workload, op: u64) -> Op {
     match workload {
         Workload::Stats => Op::Stats,
