@@ -2,14 +2,37 @@
 //! multi-database access engine (joins across sources, temporaries on the
 //! "local secondary storage").
 //!
-//! Includes the spill ablation called out in DESIGN.md §5: external sort
-//! with forced disk runs vs the in-memory path.
+//! The `relational_join` / `relational_group_by` / `relational_distinct`
+//! groups measure the allocation-lean hot-path operators against their
+//! pre-optimization baselines from [`coin_rel::reference`]:
+//!
+//! * `hash_join` (direct `u64` key hashing) vs `string_key` (a fresh key
+//!   `String` per build and probe row);
+//! * `Aggregate` (hash groups + one finish-time key sort) vs
+//!   `BTreeAggregate` (O(log n) full-key-vector comparisons per row);
+//! * hash `Distinct` vs the forced external-sort path
+//!   (`with_spill_threshold(0)` — the pre-PR strategy).
+//!
+//! `relational_serialize` measures the `/query` result-set encoding:
+//! direct [`coin_server::JsonBuf`] serialization vs building the
+//! intermediate `Json` tree.
+//!
+//! A summary with the measured new/old ratios is printed after the
+//! criterion runs; setting `REL_GATE_MIN_RATIO` (CI: `2.0`) turns the
+//! 100k-row grouped-aggregation and distinct ratios into hard failures
+//! when they regress. Also includes the spill ablation called out in
+//! DESIGN.md §5: external sort with forced disk runs vs the in-memory
+//! path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 
-use coin_rel::exec::{drain, HashJoin, NestedLoopJoin, Sort, ValuesScan};
+use coin_rel::exec::{
+    drain, AggFn, AggSpec, Aggregate, Distinct, HashJoin, NestedLoopJoin, Sort, ValuesScan,
+};
 use coin_rel::expr::CExpr;
+use coin_rel::reference::{BTreeAggregate, StringKeyHashJoin};
 use coin_rel::tempstore::{ExternalSorter, TempStore};
 use coin_rel::{execute_sql, Catalog, ColumnType, Row, Schema, Table, Value};
 use coin_sql::BinOp;
@@ -28,16 +51,32 @@ fn rows(n: usize, key_range: i64, seed: u64) -> Vec<Row> {
         .collect()
 }
 
+/// Rows keyed by short strings (the wrapper-shaped workload: company
+/// names, currencies) — the case where key-string materialization hurt
+/// most.
+fn str_rows(n: usize, key_range: i64, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let k = rng.random_range(0..key_range);
+            vec![
+                Value::str(&format!("company-{k}")),
+                Value::Int(rng.random_range(0..1_000_000)),
+            ]
+        })
+        .collect()
+}
+
 fn scan(data: Vec<Row>) -> coin_rel::BoxOp {
     Box::new(ValuesScan::new(
-        Schema::of(&[("k", ColumnType::Int), ("v", ColumnType::Int)]),
+        Schema::of(&[("k", ColumnType::Any), ("v", ColumnType::Int)]),
         data,
     ))
 }
 
 fn bench_joins(c: &mut Criterion) {
     let mut g = c.benchmark_group("relational_join");
-    for n in [1_000usize, 10_000] {
+    for n in [10_000usize, 100_000] {
         let left = rows(n, (n / 10) as i64, 1);
         let right = rows(n / 10, (n / 10) as i64, 2);
         g.throughput(Throughput::Elements(n as u64));
@@ -53,21 +92,212 @@ fn bench_joins(c: &mut Criterion) {
                 black_box(drain(Box::new(hj)).unwrap().len())
             })
         });
-        // Nested loop only at the small size (quadratic).
-        if n <= 1_000 {
-            g.bench_with_input(BenchmarkId::new("nested_loop", n), &n, |b, _| {
-                let pred = CExpr::Cmp(Box::new(CExpr::Col(0)), BinOp::Eq, Box::new(CExpr::Col(2)));
-                b.iter(|| {
-                    let nl = NestedLoopJoin::new(
-                        scan(left.clone()),
-                        scan(right.clone()),
-                        Some(pred.clone()),
-                    );
-                    black_box(drain(Box::new(nl)).unwrap().len())
-                })
-            });
-        }
+        // The pre-PR implementation: a key String per build + probe row.
+        g.bench_with_input(BenchmarkId::new("string_key", n), &n, |b, _| {
+            b.iter(|| {
+                let hj = StringKeyHashJoin::new(
+                    scan(left.clone()),
+                    scan(right.clone()),
+                    vec![0],
+                    vec![0],
+                    None,
+                );
+                black_box(drain(Box::new(hj)).unwrap().len())
+            })
+        });
     }
+    // String-keyed join at 100k (shared-Arc<str> rows + direct hashing vs
+    // string keys built from string columns).
+    {
+        let n = 100_000usize;
+        let left = str_rows(n, (n / 10) as i64, 5);
+        let right = str_rows(n / 10, (n / 10) as i64, 6);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("hash_join_strkeys", n), &n, |b, _| {
+            b.iter(|| {
+                let hj = HashJoin::new(
+                    scan(left.clone()),
+                    scan(right.clone()),
+                    vec![0],
+                    vec![0],
+                    None,
+                );
+                black_box(drain(Box::new(hj)).unwrap().len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("string_key_strkeys", n), &n, |b, _| {
+            b.iter(|| {
+                let hj = StringKeyHashJoin::new(
+                    scan(left.clone()),
+                    scan(right.clone()),
+                    vec![0],
+                    vec![0],
+                    None,
+                );
+                black_box(drain(Box::new(hj)).unwrap().len())
+            })
+        });
+    }
+    // Nested loop only at a small size (quadratic).
+    {
+        let n = 1_000usize;
+        let left = rows(n, (n / 10) as i64, 1);
+        let right = rows(n / 10, (n / 10) as i64, 2);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("nested_loop", n), &n, |b, _| {
+            let pred = CExpr::Cmp(Box::new(CExpr::Col(0)), BinOp::Eq, Box::new(CExpr::Col(2)));
+            b.iter(|| {
+                let nl = NestedLoopJoin::new(
+                    scan(left.clone()),
+                    scan(right.clone()),
+                    Some(pred.clone()),
+                );
+                black_box(drain(Box::new(nl)).unwrap().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn count_sum_specs() -> Vec<AggSpec> {
+    vec![
+        AggSpec {
+            f: AggFn::CountStar,
+            arg: None,
+        },
+        AggSpec {
+            f: AggFn::Sum,
+            arg: Some(CExpr::Col(1)),
+        },
+    ]
+}
+
+fn agg_schema() -> Schema {
+    Schema::of(&[
+        ("k", ColumnType::Any),
+        ("n", ColumnType::Int),
+        ("s", ColumnType::Int),
+    ])
+}
+
+fn run_hash_aggregate(data: &[Row]) -> usize {
+    let agg = Aggregate::new(
+        scan(data.to_vec()),
+        vec![CExpr::Col(0)],
+        count_sum_specs(),
+        agg_schema(),
+    );
+    drain(Box::new(agg)).unwrap().len()
+}
+
+fn run_btree_aggregate(data: &[Row]) -> usize {
+    let agg = BTreeAggregate::new(
+        scan(data.to_vec()),
+        vec![CExpr::Col(0)],
+        count_sum_specs(),
+        agg_schema(),
+    );
+    drain(Box::new(agg)).unwrap().len()
+}
+
+fn bench_group_by(c: &mut Criterion) {
+    let mut g = c.benchmark_group("relational_group_by");
+    for n in [10_000usize, 100_000] {
+        let data = rows(n, (n / 10) as i64, 7);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("hash", n), &n, |b, _| {
+            b.iter(|| black_box(run_hash_aggregate(&data)))
+        });
+        g.bench_with_input(BenchmarkId::new("btree", n), &n, |b, _| {
+            b.iter(|| black_box(run_btree_aggregate(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn run_hash_distinct(data: &[Row]) -> usize {
+    let d = Distinct::new(scan(data.to_vec()));
+    drain(Box::new(d)).unwrap().len()
+}
+
+fn run_sort_distinct(data: &[Row]) -> usize {
+    let d = Distinct::new(scan(data.to_vec())).with_spill_threshold(0);
+    drain(Box::new(d)).unwrap().len()
+}
+
+/// Duplicate-heavy rows for DISTINCT (the UNION-dedup workload: the same
+/// entities arriving from several sources) — ~n/100 × 16 distinct
+/// combinations, so the distinct set fits the in-memory hash set while
+/// the sort baseline still external-sorts all `n` input rows.
+fn dup_rows(n: usize, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys = (n as i64 / 100).max(16);
+    (0..n)
+        .map(|_| {
+            vec![
+                Value::Int(rng.random_range(0..keys)),
+                Value::Int(rng.random_range(0..16)),
+            ]
+        })
+        .collect()
+}
+
+fn bench_distinct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("relational_distinct");
+    for n in [10_000usize, 100_000] {
+        let data = dup_rows(n, 8);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("hash", n), &n, |b, _| {
+            b.iter(|| black_box(run_hash_distinct(&data)))
+        });
+        // The pre-PR path: external-sort everything, dedup adjacent.
+        g.bench_with_input(BenchmarkId::new("sort", n), &n, |b, _| {
+            b.iter(|| black_box(run_sort_distinct(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    use coin_server::protocol::{table_to_json, write_table};
+    use coin_server::JsonBuf;
+
+    let n = 10_000usize;
+    let mut rng = StdRng::seed_from_u64(9);
+    let table = Table::from_rows(
+        "t",
+        Schema::of(&[
+            ("name", ColumnType::Str),
+            ("rev", ColumnType::Int),
+            ("rate", ColumnType::Float),
+        ]),
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::str(&format!("company-{}", i % 500)),
+                    Value::Int(rng.random_range(0..1_000_000_000)),
+                    Value::Float(f64::from(rng.random_range(1..10_000)) / 1e4),
+                ]
+            })
+            .collect(),
+    );
+
+    let mut g = c.benchmark_group("relational_serialize");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("json_tree", |b| {
+        b.iter(|| black_box(table_to_json(&table).to_string().len()))
+    });
+    g.bench_function("direct_buffer", |b| {
+        // The reusable-buffer path: one JsonBuf cleared between rounds.
+        let mut buf = JsonBuf::with_capacity(1 << 20);
+        b.iter(|| {
+            buf.clear();
+            buf.begin_obj();
+            write_table(&table, &mut buf);
+            buf.end_obj();
+            black_box(buf.as_str().len())
+        })
+    });
     g.finish();
 }
 
@@ -129,12 +359,62 @@ fn bench_sql_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
+/// Direct new/old wall-clock comparison at 100k rows — the acceptance
+/// headline, printed alongside the criterion timings. With
+/// `REL_GATE_MIN_RATIO` set (the CI bench job sets 2.0), a
+/// grouped-aggregation or distinct ratio below the floor fails the run.
+fn ratio_gate() {
+    fn measure(mut f: impl FnMut() -> usize) -> f64 {
+        // One warm-up, then best-of-3 (robust to scheduler noise).
+        black_box(f());
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(f());
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    let gate: Option<f64> = std::env::var("REL_GATE_MIN_RATIO")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let n = 100_000usize;
+    let agg_data = rows(n, (n / 10) as i64, 7);
+    let dst_data = dup_rows(n, 8);
+
+    let checks = [
+        (
+            "relational_group_by",
+            measure(|| run_btree_aggregate(&agg_data)) / measure(|| run_hash_aggregate(&agg_data)),
+        ),
+        (
+            "relational_distinct",
+            measure(|| run_sort_distinct(&dst_data)) / measure(|| run_hash_distinct(&dst_data)),
+        ),
+    ];
+    for (name, ratio) in checks {
+        println!("{name}: new operator {ratio:.2}x the pre-PR baseline at {n} rows");
+        if let Some(min) = gate {
+            assert!(
+                ratio >= min,
+                "{name} ratio {ratio:.2}x below the REL_GATE_MIN_RATIO={min} floor"
+            );
+        }
+    }
+}
+
+fn bench_ratio_gate(_c: &mut Criterion) {
+    ratio_gate();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_joins, bench_sort_spill_ablation, bench_sql_pipeline
+    targets = bench_joins, bench_group_by, bench_distinct, bench_serialize,
+        bench_sort_spill_ablation, bench_sql_pipeline, bench_ratio_gate
 }
 criterion_main!(benches);

@@ -1,0 +1,217 @@
+//! Bench-trajectory regression gate.
+//!
+//! Compares a criterion JSON-lines results file (what `CRITERION_JSON`
+//! produces, or the `"results"` array of an assembled `BENCH_<sha>.json`
+//! artifact) against the checked-in `crates/bench/baseline.json` and fails
+//! — exit code 1 — when a gated benchmark regresses.
+//!
+//! Two kinds of gate:
+//!
+//! * **absolute**: `{"group","id","mean_s"}` — fails when the measured
+//!   `mean_s` exceeds `baseline mean_s × factor` (default 1.25, i.e. a
+//!   regression of more than 25%; override per-run with
+//!   `BENCH_GATE_FACTOR`). Absolute baselines assume comparable
+//!   hardware; refresh them from a trusted run with
+//!   `bench_gate --update <results.jsonl>`.
+//! * **ratio**: `{"group","id_new","id_old","min_ratio"}` — fails when
+//!   `mean_s(id_old) / mean_s(id_new)` drops below `min_ratio`. Ratios
+//!   compare two measurements from the *same* run, so they are
+//!   machine-independent — the primary CI gate.
+//!
+//! Gated benchmarks missing from the results file fail the run (silently
+//! dropping coverage must be loud); set `BENCH_GATE_ALLOW_MISSING=1` for
+//! partial runs (e.g. gating a single bench binary locally).
+//!
+//! Usage:
+//!   bench_gate <baseline.json> <results.jsonl|BENCH_x.json>...
+//!   bench_gate --update <results.jsonl>... > baseline.json
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use coin_server::{parse_json, Json};
+
+fn die(msg: &str) -> ExitCode {
+    eprintln!("bench_gate: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Mean seconds per `(group, id)` from criterion records.
+fn load_results(paths: &[String]) -> Result<HashMap<(String, String), f64>, String> {
+    let mut out = HashMap::new();
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        // One whole-file parse succeeds for an assembled BENCH_<sha>.json
+        // artifact ({"results":[...]}) or a single-record file; a
+        // multi-line .jsonl fails it (trailing input) and falls back to
+        // per-line parsing.
+        let records: Vec<Json> = match parse_json(text.trim()) {
+            Ok(doc) => match doc.get("results").and_then(Json::as_array) {
+                Some(rs) => rs.to_vec(),
+                None => vec![doc],
+            },
+            Err(_) => text
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .map(|l| parse_json(l).map_err(|e| format!("{path}: bad record: {e}")))
+                .collect::<Result<_, _>>()?,
+        };
+        for r in records {
+            let (Some(group), Some(id), Some(mean)) = (
+                r.get("group").and_then(Json::as_str),
+                r.get("id").and_then(Json::as_str),
+                r.get("mean_s").and_then(Json::as_f64),
+            ) else {
+                return Err(format!("{path}: record missing group/id/mean_s: {r}"));
+            };
+            // Last record wins when a benchmark appears twice.
+            out.insert((group.to_owned(), id.to_owned()), mean);
+        }
+    }
+    Ok(out)
+}
+
+fn update_mode(paths: &[String]) -> ExitCode {
+    let results = match load_results(paths) {
+        Ok(r) => r,
+        Err(e) => return die(&e),
+    };
+    let mut keys: Vec<&(String, String)> = results.keys().collect();
+    keys.sort();
+    println!("{{");
+    println!("  \"comment\": \"regenerate with: cargo run -p coin-bench --bin bench_gate -- --update <results.jsonl> (keep the ratio gates!)\",");
+    println!("  \"factor\": 1.25,");
+    println!("  \"ratios\": [],");
+    println!("  \"entries\": [");
+    for (i, k) in keys.iter().enumerate() {
+        let comma = if i + 1 < keys.len() { "," } else { "" };
+        println!(
+            "    {{\"group\": \"{}\", \"id\": \"{}\", \"mean_s\": {:e}}}{comma}",
+            k.0, k.1, results[*k]
+        );
+    }
+    println!("  ]");
+    println!("}}");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--update") {
+        return update_mode(&args[1..]);
+    }
+    let [baseline_path, result_paths @ ..] = args.as_slice() else {
+        return die("usage: bench_gate <baseline.json> <results.jsonl>...");
+    };
+    if result_paths.is_empty() {
+        return die("usage: bench_gate <baseline.json> <results.jsonl>...");
+    }
+
+    let baseline_text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => return die(&format!("cannot read {baseline_path}: {e}")),
+    };
+    let baseline = match parse_json(baseline_text.trim()) {
+        Ok(b) => b,
+        Err(e) => return die(&format!("{baseline_path}: {e}")),
+    };
+    let results = match load_results(result_paths) {
+        Ok(r) => r,
+        Err(e) => return die(&e),
+    };
+    let allow_missing = std::env::var("BENCH_GATE_ALLOW_MISSING").is_ok_and(|v| v == "1");
+    let factor = std::env::var("BENCH_GATE_FACTOR")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .or_else(|| baseline.get("factor").and_then(Json::as_f64))
+        .unwrap_or(1.25);
+
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+    let lookup = |group: &str, id: &str| results.get(&(group.to_owned(), id.to_owned())).copied();
+
+    for e in baseline
+        .get("entries")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+    {
+        let (Some(group), Some(id), Some(base)) = (
+            e.get("group").and_then(Json::as_str),
+            e.get("id").and_then(Json::as_str),
+            e.get("mean_s").and_then(Json::as_f64),
+        ) else {
+            return die(&format!("bad baseline entry: {e}"));
+        };
+        match lookup(group, id) {
+            None if allow_missing => {
+                eprintln!("bench_gate: SKIP {group}/{id} (not in results)");
+            }
+            None => failures.push(format!(
+                "{group}/{id}: gated benchmark missing from results"
+            )),
+            Some(mean) => {
+                checked += 1;
+                let limit = base * factor;
+                let verdict = if mean > limit { "FAIL" } else { "ok" };
+                println!(
+                    "bench_gate: {verdict} {group}/{id}: mean {mean:.3e}s vs baseline \
+                     {base:.3e}s (limit {limit:.3e}s = x{factor})"
+                );
+                if mean > limit {
+                    failures.push(format!(
+                        "{group}/{id}: {mean:.3e}s exceeds {base:.3e}s x{factor} \
+                         ({:+.0}% vs baseline)",
+                        (mean / base - 1.0) * 100.0
+                    ));
+                }
+            }
+        }
+    }
+
+    for e in baseline
+        .get("ratios")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+    {
+        let (Some(group), Some(id_new), Some(id_old), Some(min_ratio)) = (
+            e.get("group").and_then(Json::as_str),
+            e.get("id_new").and_then(Json::as_str),
+            e.get("id_old").and_then(Json::as_str),
+            e.get("min_ratio").and_then(Json::as_f64),
+        ) else {
+            return die(&format!("bad baseline ratio entry: {e}"));
+        };
+        match (lookup(group, id_new), lookup(group, id_old)) {
+            (Some(new), Some(old)) => {
+                checked += 1;
+                let ratio = old / new.max(1e-12);
+                let verdict = if ratio < min_ratio { "FAIL" } else { "ok" };
+                println!(
+                    "bench_gate: {verdict} {group}: {id_old}/{id_new} ratio {ratio:.2}x \
+                     (floor {min_ratio}x)"
+                );
+                if ratio < min_ratio {
+                    failures.push(format!(
+                        "{group}: {id_old} vs {id_new} ratio {ratio:.2}x below {min_ratio}x"
+                    ));
+                }
+            }
+            _ if allow_missing => {
+                eprintln!("bench_gate: SKIP {group} ratio {id_old}/{id_new} (not in results)");
+            }
+            _ => failures.push(format!(
+                "{group}: ratio gate {id_old}/{id_new} missing from results"
+            )),
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("bench_gate: {} gate(s) FAILED:", failures.len());
+        for f in &failures {
+            eprintln!("bench_gate:   {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: all {checked} gate(s) passed");
+    ExitCode::SUCCESS
+}

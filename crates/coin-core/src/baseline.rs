@@ -81,7 +81,8 @@ impl PairwiseIntegration {
                                         scale_ratio.map(|r| r * (*x as f64) / (*y as f64));
                                 }
                                 (Value::Str(x), Value::Str(y)) if m == "currency" && x != y => {
-                                    currency_pair = Some((x.clone(), y.clone()));
+                                    currency_pair =
+                                        Some((x.as_ref().to_owned(), y.as_ref().to_owned()));
                                 }
                                 _ => {}
                             }

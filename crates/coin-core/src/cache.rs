@@ -1,5 +1,6 @@
-//! Bounded LRU cache of prepared queries, keyed by `(receiver, SQL)` and
-//! guarded by the system's model epoch.
+//! Bounded LRU cache of prepared queries, keyed by `(receiver, canonical
+//! SQL)` — the printed form of the parsed AST, so spelling variants of one
+//! query share an entry — and guarded by the system's model epoch.
 //!
 //! The mediation procedure is expensive relative to execution (the
 //! abductive rewrite dominates the hot path), so [`crate::CoinSystem`]

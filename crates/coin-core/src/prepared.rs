@@ -90,6 +90,18 @@ impl PreparedQuery {
         receiver: &str,
     ) -> Result<PreparedQuery, CoinError> {
         let q = coin_sql::parse_query(sql)?;
+        PreparedQuery::compile_parsed(system, q, sql, receiver)
+    }
+
+    /// [`PreparedQuery::compile`] from an already-parsed query — the
+    /// cache-aware path parses once to canonicalize its key, then hands
+    /// the AST here so the text is never parsed twice.
+    pub(crate) fn compile_parsed(
+        system: &CoinSystem,
+        q: Query,
+        sql: &str,
+        receiver: &str,
+    ) -> Result<PreparedQuery, CoinError> {
         let Query::Select(s) = q else {
             return Err(CoinError::Unsupported(
                 "receiver queries are single SELECT blocks".into(),
@@ -111,7 +123,10 @@ impl PreparedQuery {
         })
     }
 
-    /// The receiver SQL this artifact was compiled from.
+    /// The receiver SQL this artifact was compiled from. Artifacts obtained
+    /// through the cache-aware [`crate::CoinSystem::prepare`] path report
+    /// the *canonical* printed form of the parsed query (the cache key);
+    /// direct [`PreparedQuery::compile`] keeps the caller's spelling.
     pub fn sql(&self) -> &str {
         &self.sql
     }

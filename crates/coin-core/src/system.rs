@@ -139,7 +139,8 @@ pub struct CoinSystem {
     /// system can never execute against a *different* system whose epoch
     /// happens to match.
     id: u64,
-    /// Prepared-query cache keyed by `(receiver, sql)`.
+    /// Prepared-query cache keyed by `(receiver, canonical sql)` — see
+    /// [`CoinSystem::prepare_with_status`] for the canonicalization.
     cache: QueryCache,
 }
 
@@ -299,8 +300,19 @@ impl CoinSystem {
     /// [`CoinSystem::prepare`], also reporting whether the artifact came
     /// from the cache.
     ///
+    /// The cache key is the **canonical printed form of the parsed AST**,
+    /// not the raw SQL text: spelling variants of one query — whitespace,
+    /// keyword case, redundant parentheses — normalize to the same key and
+    /// share a single compiled plan (visible as extra
+    /// [`crate::cache::CacheStats::hits`]). Variants that only parse-level
+    /// normalization cannot unify (renamed table aliases, unqualified vs
+    /// qualified columns) still compile separately. The text is parsed
+    /// exactly once: the canonicalizing parse feeds the compile pipeline
+    /// directly on a miss.
+    ///
     /// Cold misses are **single-flight**: when N threads miss the same
-    /// `(receiver, sql)` key at once, exactly one (the leader, reported as
+    /// `(receiver, canonical sql)` key at once — even via different
+    /// spellings — exactly one (the leader, reported as
     /// [`CacheStatus::Miss`]) runs the compile pipeline; the others park
     /// until it lands and share its artifact (reported as
     /// [`CacheStatus::Hit`]). A leader whose compile fails wakes the
@@ -311,11 +323,15 @@ impl CoinSystem {
         sql: &str,
         receiver: &str,
     ) -> Result<(Arc<PreparedQuery>, CacheStatus), CoinError> {
-        match self.cache.begin(receiver, sql, self.epoch) {
+        let q = coin_sql::parse_query(sql)?;
+        let canonical = q.to_string();
+        match self.cache.begin(receiver, &canonical, self.epoch) {
             crate::cache::PrepareSlot::Cached(hit) => Ok((hit, CacheStatus::Hit)),
             crate::cache::PrepareSlot::Leader(permit) => {
                 // On Err the permit drops here, aborting the flight.
-                let prepared = Arc::new(self.prepare_uncached(sql, receiver)?);
+                let prepared = Arc::new(PreparedQuery::compile_parsed(
+                    self, q, &canonical, receiver,
+                )?);
                 permit.complete(Arc::clone(&prepared));
                 Ok((prepared, CacheStatus::Miss))
             }

@@ -164,7 +164,7 @@ fn selecting_r1_revenue_alone_yields_three_way_union() {
         .map(|r| {
             (
                 match &r[0] {
-                    Value::Str(s) => s.clone(),
+                    Value::Str(s) => s.as_ref().to_owned(),
                     other => panic!("{other:?}"),
                 },
                 r[1].as_f64().unwrap(),

@@ -292,3 +292,85 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Canonical cache keys: spelling variants of one query share a plan
+// ---------------------------------------------------------------------------
+
+#[test]
+fn whitespace_and_case_variants_share_one_cache_entry() {
+    let sys = figure2_system();
+    // Four spellings of Q1: extra whitespace, lower-cased keywords, and
+    // redundant parentheses around the conjuncts.
+    let variants = [
+        Q1.to_owned(),
+        Q1.replace(' ', "  "),
+        "select r1.cname, r1.revenue from r1, r2 \
+         where r1.cname = r2.cname and r1.revenue > r2.expenses"
+            .to_owned(),
+        "SELECT r1.cname, r1.revenue FROM r1, r2 \
+         WHERE (r1.cname = r2.cname) AND (r1.revenue > r2.expenses)"
+            .to_owned(),
+    ];
+    let first = sys.query(&variants[0], "c_recv").unwrap();
+    assert_eq!(first.cache, CacheStatus::Miss);
+    for v in &variants[1..] {
+        let a = sys.query(v, "c_recv").unwrap();
+        assert_eq!(a.cache, CacheStatus::Hit, "variant did not share: {v}");
+        assert_eq!(a.table.rows, first.table.rows);
+    }
+    let stats = sys.cache_stats();
+    assert_eq!(stats.entries, 1, "one canonical entry for all spellings");
+    assert_eq!(stats.compiles, 1, "compiled exactly once");
+    assert_eq!(stats.hits, (variants.len() - 1) as u64);
+}
+
+#[test]
+fn canonical_key_still_separates_distinct_queries() {
+    let sys = figure2_system();
+    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Miss);
+    // Genuinely different queries must not collide.
+    assert_eq!(
+        sys.query("SELECT r1.cname, r1.revenue FROM r1", "c_recv")
+            .unwrap()
+            .cache,
+        CacheStatus::Miss
+    );
+    assert_eq!(sys.cache_stats().entries, 2);
+}
+
+#[test]
+fn int_and_float_literals_never_share_a_canonical_key() {
+    // 1e16 is integral, and f64 Display prints it without a fraction —
+    // byte-identical to the i64 literal. The canonical printer must keep
+    // the two distinguishable or an int-comparand query would execute a
+    // float-comparand plan from the cache.
+    let sys = figure2_system();
+    let int_q = "SELECT r1.cname FROM r1 WHERE r1.revenue = 10000000000000000";
+    let float_q = "SELECT r1.cname FROM r1 WHERE r1.revenue = 10000000000000000.0";
+    assert_ne!(
+        coin_sql::parse_query(int_q).unwrap().to_string(),
+        coin_sql::parse_query(float_q).unwrap().to_string()
+    );
+    assert_eq!(sys.query(int_q, "c_recv").unwrap().cache, CacheStatus::Miss);
+    assert_eq!(
+        sys.query(float_q, "c_recv").unwrap().cache,
+        CacheStatus::Miss,
+        "float-literal variant must compile its own plan"
+    );
+    assert_eq!(sys.cache_stats().entries, 2);
+}
+
+#[test]
+fn prepared_sql_reports_canonical_text() {
+    let sys = figure2_system();
+    let sloppy = "select   r1.cname from r1  where r1.revenue > 50";
+    let prepared = sys.prepare(sloppy, "c_recv").unwrap();
+    // The artifact's identity is the canonical printed AST, not the
+    // caller's spelling.
+    assert_eq!(
+        prepared.sql(),
+        coin_sql::parse_query(sloppy).unwrap().to_string()
+    );
+    assert_ne!(prepared.sql(), sloppy);
+}

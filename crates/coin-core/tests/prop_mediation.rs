@@ -52,7 +52,7 @@ proptest! {
             .iter()
             .filter_map(|r| {
                 let name = match &r[0] {
-                    Value::Str(s) => s.clone(),
+                    Value::Str(s) => s.as_ref().to_owned(),
                     _ => unreachable!(),
                 };
                 let amount = match r[1] {
@@ -72,7 +72,7 @@ proptest! {
             .map(|r| {
                 (
                     match &r[0] {
-                        Value::Str(s) => s.clone(),
+                        Value::Str(s) => s.as_ref().to_owned(),
                         _ => unreachable!(),
                     },
                     r[1].as_f64().unwrap(),
@@ -115,7 +115,7 @@ proptest! {
                 .map(|r| {
                     (
                         match &r[0] {
-                            Value::Str(s) => s.clone(),
+                            Value::Str(s) => s.as_ref().to_owned(),
                             _ => unreachable!(),
                         },
                         match r[1] {
@@ -144,7 +144,7 @@ proptest! {
             .rows
             .iter()
             .map(|r| match &r[0] {
-                Value::Str(s) => s.clone(),
+                Value::Str(s) => s.as_ref().to_owned(),
                 _ => unreachable!(),
             })
             .collect();

@@ -31,12 +31,24 @@ pub struct ExecStats {
     pub cache_misses: u64,
     /// Model epoch the executed plan was compiled against.
     pub plan_epoch: u64,
+    /// Temp-store run files written while executing this query (external
+    /// sort / distinct spills on the "local secondary storage").
+    pub spill_runs: u64,
+    /// Bytes written to spill runs while executing this query.
+    pub spill_bytes: u64,
+    /// Upper bound on this query's largest spill run, in bytes: 0 when the
+    /// query wrote no runs, never more than [`ExecStats::spill_bytes`]
+    /// (see `SpillStats::since` in `coin-rel` for the exactness contract).
+    pub spill_max_run_bytes: u64,
 }
 
 /// Execute a plan, returning the result and execution statistics.
 pub fn execute_plan(plan: &Plan, dict: &Dictionary) -> Result<(Table, ExecStats), PlanError> {
     let mut staging = Catalog::new();
     let mut stats = ExecStats::default();
+    // Plan execution is synchronous on this thread, so the thread-local
+    // spill counters bracket exactly this query's disk activity.
+    let spill_before = coin_rel::thread_spill_stats();
 
     for step in &plan.steps {
         match step {
@@ -117,6 +129,10 @@ pub fn execute_plan(plan: &Plan, dict: &Dictionary) -> Result<(Table, ExecStats)
     }
 
     let result = coin_rel::execute_select(&plan.local, &staging)?;
+    let spilled = coin_rel::thread_spill_stats().since(&spill_before);
+    stats.spill_runs = spilled.runs_written;
+    stats.spill_bytes = spilled.bytes_spilled;
+    stats.spill_max_run_bytes = spilled.max_run_bytes;
     Ok((result, stats))
 }
 
@@ -226,6 +242,6 @@ fn value_to_expr(v: &Value) -> Expr {
         Value::Bool(b) => Expr::Bool(*b),
         Value::Int(i) => Expr::Int(*i),
         Value::Float(f) => Expr::Float(*f),
-        Value::Str(s) => Expr::Str(s.clone()),
+        Value::Str(s) => Expr::Str(s.as_ref().to_owned()),
     }
 }

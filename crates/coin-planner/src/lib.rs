@@ -59,6 +59,9 @@ impl Planner {
             stats.remote_queries += st.remote_queries;
             stats.rows_shipped += st.rows_shipped;
             stats.comm_cost += st.comm_cost;
+            stats.spill_runs += st.spill_runs;
+            stats.spill_bytes += st.spill_bytes;
+            stats.spill_max_run_bytes = stats.spill_max_run_bytes.max(st.spill_max_run_bytes);
             merged = Some(match merged {
                 None => t,
                 Some(mut acc) => {

@@ -6,6 +6,7 @@
 //! (paper §2); the planner composes them over remote sub-query results.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::expr::CExpr;
 use crate::schema::{Row, Schema};
@@ -218,45 +219,171 @@ impl Operator for NestedLoopJoin {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Key hashing
+// ---------------------------------------------------------------------------
+
+/// A fast multiplicative word hasher (the FxHash construction from
+/// rustc/Firefox: `state = (state.rotl(5) ^ word) * K` per 8-byte word).
+/// Key hashing runs once per input row on the join/group/distinct hot
+/// paths and the buckets it feeds are always re-verified with real value
+/// equality, so a cheap non-cryptographic hash is the right trade: ~5× less
+/// per-row hashing work than SipHash with no correctness exposure beyond
+/// bucket collisions.
+#[derive(Default)]
+pub struct KeyHasher(u64);
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl KeyHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for KeyHasher {
+    /// Murmur3 `fmix64` finalizer. The multiplicative state mixes its
+    /// entropy toward the *high* bits, while the bucket maps behind
+    /// [`Prehashed`] index by the *low* bits — without this final
+    /// avalanche, near-sequential integer keys cluster into a few
+    /// buckets and probe chains grow linear.
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^ (h >> 33)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(tail));
+        }
+        // Length word: keeps `"a"` + `"b\0..."`-style boundary ambiguities
+        // across multi-column keys distinct.
+        self.add_word(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, b: u8) {
+        self.add_word(u64::from(b));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+}
+
+/// An identity hasher for maps keyed by an **already-hashed** `u64` (the
+/// output of [`hash_row_key`]/[`hash_values`]). The standard `HashMap`
+/// would otherwise SipHash the 64-bit key on every probe — measurable on
+/// a per-input-row hot path.
+#[derive(Default)]
+pub struct Prehashed(u64);
+
+impl Hasher for Prehashed {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("Prehashed maps take u64 keys only")
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+/// A `HashMap` keyed by a precomputed 64-bit key hash, mapping to bucket
+/// member indices. Shared shape of the join build table, the aggregation
+/// group index, and the distinct set.
+pub type KeyIndex = HashMap<u64, Vec<u32>, BuildHasherDefault<Prehashed>>;
+
+/// Feed one value into a hasher with a type discriminant, widening numerics
+/// so `Int(2)` and `Float(2.0)` hash identically (they compare equal both
+/// under SQL `=` and under the grouping order). `-0.0` is collapsed onto
+/// `0.0` before hashing: SQL equality (`sql_cmp`, used by join keys) treats
+/// them as equal, so they must share a bucket; grouping (`total_cmp`)
+/// distinguishes them, which stays correct because bucket membership is
+/// always re-verified with the operator's own equality.
+pub fn hash_value(v: &Value, h: &mut impl Hasher) {
+    match v {
+        Value::Null => h.write_u8(0),
+        Value::Bool(b) => {
+            h.write_u8(1);
+            h.write_u8(u8::from(*b));
+        }
+        v if v.is_number() => {
+            h.write_u8(2);
+            let x = v.as_f64().unwrap();
+            let x = if x == 0.0 { 0.0 } else { x };
+            h.write_u64(x.to_bits());
+        }
+        Value::Str(s) => {
+            h.write_u8(3);
+            // `write` appends a length word, keeping multi-column keys
+            // unambiguous without a sentinel byte.
+            h.write(s.as_bytes());
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Hash the `keys` columns of a row directly into a 64-bit key — no string
+/// materialization, no allocation. Callers bucket rows by this value and
+/// must confirm candidate equality themselves (a 64-bit hash can collide).
+pub fn hash_row_key(row: &Row, keys: &[usize]) -> u64 {
+    let mut h = KeyHasher::default();
+    for &i in keys {
+        hash_value(&row[i], &mut h);
+    }
+    h.finish()
+}
+
+/// Hash a contiguous slice of values (an evaluated group key).
+pub fn hash_values(vals: &[Value]) -> u64 {
+    let mut h = KeyHasher::default();
+    for v in vals {
+        hash_value(v, &mut h);
+    }
+    h.finish()
+}
+
 /// Hash (equi-)join: `left.keyL = right.keyR` column pairs, with an optional
 /// residual predicate over the concatenated row. Builds a hash table over
-/// the right input.
+/// the right input, bucketed by [`hash_row_key`]; every probe candidate is
+/// confirmed with SQL equality on the key columns, so hash collisions can
+/// never manufacture a match.
 pub struct HashJoin {
     left: BoxOp,
     right_width: usize,
     build: Option<BoxOp>,
-    table: HashMap<String, Vec<Row>>,
+    /// Build rows in arrival order; the table holds indices into it.
+    build_rows: Vec<Row>,
+    table: KeyIndex,
     built: bool,
     left_keys: Vec<usize>,
     right_keys: Vec<usize>,
     residual: Option<CExpr>,
     schema: Schema,
     current_left: Option<Row>,
-    matches: Vec<Row>,
+    current_hash: u64,
     match_pos: usize,
-}
-
-/// Hash key for a set of values: a canonical string encoding. Numeric values
-/// are widened so `Int(2)` and `Float(2.0)` hash identically (they compare
-/// equal in SQL).
-fn hash_key(row: &Row, keys: &[usize]) -> String {
-    let mut s = String::new();
-    for &i in keys {
-        match &row[i] {
-            Value::Null => s.push_str("\u{1}N"),
-            Value::Bool(b) => s.push_str(if *b { "\u{1}T" } else { "\u{1}F" }),
-            v if v.is_number() => {
-                s.push_str("\u{1}#");
-                s.push_str(&format!("{:?}", v.as_f64().unwrap()));
-            }
-            Value::Str(t) => {
-                s.push_str("\u{1}S");
-                s.push_str(t);
-            }
-            _ => unreachable!(),
-        }
-    }
-    s
 }
 
 impl HashJoin {
@@ -275,16 +402,25 @@ impl HashJoin {
             left,
             right_width,
             build: Some(right),
-            table: HashMap::new(),
+            build_rows: Vec::new(),
+            table: KeyIndex::default(),
             built: false,
             left_keys,
             right_keys,
             residual,
             schema,
             current_left: None,
-            matches: Vec::new(),
+            current_hash: 0,
             match_pos: 0,
         }
+    }
+
+    /// SQL `=` over the key columns of a probe/build row pair.
+    fn keys_equal(&self, l: &Row, r: &Row) -> bool {
+        self.left_keys
+            .iter()
+            .zip(&self.right_keys)
+            .all(|(&li, &ri)| l[li].sql_cmp(&r[ri]) == Some(std::cmp::Ordering::Equal))
     }
 }
 
@@ -301,36 +437,44 @@ impl Operator for HashJoin {
                 if self.right_keys.iter().any(|&i| row[i].is_null()) {
                     continue;
                 }
-                let k = hash_key(&row, &self.right_keys);
-                self.table.entry(k).or_default().push(row);
+                let k = hash_row_key(&row, &self.right_keys);
+                self.table
+                    .entry(k)
+                    .or_default()
+                    .push(self.build_rows.len() as u32);
+                self.build_rows.push(row);
             }
             self.built = true;
         }
         loop {
-            if self.match_pos < self.matches.len() {
-                let l = self.current_left.as_ref().unwrap();
-                let r = &self.matches[self.match_pos];
-                self.match_pos += 1;
-                debug_assert_eq!(r.len(), self.right_width);
-                let mut combined = l.clone();
-                combined.extend(r.iter().cloned());
-                match &self.residual {
-                    Some(p) if !p.matches(&combined)? => continue,
-                    _ => return Ok(Some(combined)),
+            if let Some(l) = &self.current_left {
+                if let Some(bucket) = self.table.get(&self.current_hash) {
+                    while self.match_pos < bucket.len() {
+                        let r = &self.build_rows[bucket[self.match_pos] as usize];
+                        self.match_pos += 1;
+                        if !self.keys_equal(l, r) {
+                            continue;
+                        }
+                        debug_assert_eq!(r.len(), self.right_width);
+                        let mut combined = Vec::with_capacity(l.len() + r.len());
+                        combined.extend(l.iter().cloned());
+                        combined.extend(r.iter().cloned());
+                        match &self.residual {
+                            Some(p) if !p.matches(&combined)? => continue,
+                            _ => return Ok(Some(combined)),
+                        }
+                    }
                 }
+                self.current_left = None;
             }
             match self.left.next()? {
                 None => return Ok(None),
                 Some(l) => {
+                    self.match_pos = 0;
                     if l.is_empty() || self.left_keys.iter().any(|&i| l[i].is_null()) {
-                        self.matches.clear();
-                        self.match_pos = 0;
-                        self.current_left = Some(l);
                         continue;
                     }
-                    let k = hash_key(&l, &self.left_keys);
-                    self.matches = self.table.get(&k).cloned().unwrap_or_default();
-                    self.match_pos = 0;
+                    self.current_hash = hash_row_key(&l, &self.left_keys);
                     self.current_left = Some(l);
                 }
             }
@@ -380,14 +524,32 @@ impl Operator for UnionAll {
     }
 }
 
-/// Duplicate elimination via external sort over all columns.
+/// Default number of distinct rows [`Distinct`] holds in memory before
+/// falling back to the external sorter.
+pub const DISTINCT_SPILL_THRESHOLD: usize = 64 * 1024;
+
+/// Duplicate elimination.
+///
+/// Deduplicates through an in-memory hash set of rows (bucketed by
+/// [`hash_row_key`] over all columns, candidates confirmed with the total
+/// row order, so NULLs deduplicate and hash collisions stay harmless).
+/// When the *distinct* set outgrows `spill_threshold` rows the operator
+/// falls back to the pre-hash strategy — external sort of everything seen
+/// plus the remaining input, then adjacent-duplicate suppression — keeping
+/// memory bounded for arbitrarily large inputs.
+///
+/// Output is emitted in the total row order in both modes (the in-memory
+/// set is sorted once at the end), so results are deterministic and
+/// identical to the sort-based implementation's.
 pub struct Distinct {
     input: Option<BoxOp>,
     schema: Schema,
     sorted: Option<std::vec::IntoIter<Row>>,
-    last: Option<Row>,
     store: TempStore,
     run_capacity: usize,
+    spill_threshold: usize,
+    /// Whether the fallback path ran (observability for tests/benches).
+    spilled: bool,
 }
 
 impl Distinct {
@@ -397,10 +559,80 @@ impl Distinct {
             input: Some(input),
             schema,
             sorted: None,
-            last: None,
             store: TempStore::new(),
             run_capacity: 64 * 1024,
+            spill_threshold: DISTINCT_SPILL_THRESHOLD,
+            spilled: false,
         }
+    }
+
+    /// Lower the distinct-set size at which the operator abandons hashing
+    /// for the external sorter (0 forces the sort path — the pre-hash
+    /// behaviour, used as the equivalence baseline in tests and benches).
+    pub fn with_spill_threshold(mut self, threshold: usize) -> Distinct {
+        self.spill_threshold = threshold;
+        self
+    }
+
+    /// Did this operator fall back to the external-sort path?
+    pub fn spilled(&self) -> bool {
+        self.spilled
+    }
+
+    fn full_key(&self) -> SortKey {
+        (0..self.schema.len()).map(|i| (i, false)).collect()
+    }
+
+    fn materialize(&mut self) -> Result<Vec<Row>, ExecError> {
+        let mut src = self.input.take().expect("input present");
+        let key = self.full_key();
+        let all_cols: Vec<usize> = (0..self.schema.len()).collect();
+
+        // Phase 1: hash dedup while the distinct set fits the threshold.
+        let mut seen: Vec<Row> = Vec::new();
+        let mut table = KeyIndex::default();
+        while let Some(row) = src.next()? {
+            let h = hash_row_key(&row, &all_cols);
+            let bucket = table.entry(h).or_default();
+            let dup = bucket
+                .iter()
+                .any(|&i| cmp_rows(&seen[i as usize], &row, &key) == std::cmp::Ordering::Equal);
+            if dup {
+                continue;
+            }
+            if seen.len() >= self.spill_threshold {
+                // Phase 2: the distinct set no longer fits — push everything
+                // seen plus the rest of the input through the external
+                // sorter and deduplicate the sorted stream.
+                self.spilled = true;
+                let mut sorter =
+                    ExternalSorter::new(self.store.clone(), key.clone(), self.run_capacity);
+                for r in seen.drain(..) {
+                    sorter.push(r)?;
+                }
+                sorter.push(row)?;
+                while let Some(r) = src.next()? {
+                    sorter.push(r)?;
+                }
+                let sorted = sorter.finish()?;
+                let mut out: Vec<Row> = Vec::new();
+                for r in sorted {
+                    let dup = out
+                        .last()
+                        .is_some_and(|l| cmp_rows(l, &r, &key) == std::cmp::Ordering::Equal);
+                    if !dup {
+                        out.push(r);
+                    }
+                }
+                return Ok(out);
+            }
+            bucket.push(seen.len() as u32);
+            seen.push(row);
+        }
+        // Everything fit: one in-memory sort of the distinct set keeps the
+        // output order identical to the sort-based implementation.
+        seen.sort_unstable_by(|a, b| cmp_rows(a, b, &key));
+        Ok(seen)
     }
 }
 
@@ -411,28 +643,10 @@ impl Operator for Distinct {
 
     fn next(&mut self) -> Result<Option<Row>, ExecError> {
         if self.sorted.is_none() {
-            let src = self.input.take().expect("input present");
-            let key: SortKey = (0..self.schema.len()).map(|i| (i, false)).collect();
-            let mut sorter = ExternalSorter::new(self.store.clone(), key, self.run_capacity);
-            let mut src = src;
-            while let Some(row) = src.next()? {
-                sorter.push(row)?;
-            }
-            self.sorted = Some(sorter.finish()?.into_iter());
+            let rows = self.materialize()?;
+            self.sorted = Some(rows.into_iter());
         }
-        let key: SortKey = (0..self.schema.len()).map(|i| (i, false)).collect();
-        let it = self.sorted.as_mut().unwrap();
-        for row in it.by_ref() {
-            let dup = self
-                .last
-                .as_ref()
-                .is_some_and(|l| cmp_rows(l, &row, &key) == std::cmp::Ordering::Equal);
-            if !dup {
-                self.last = Some(row.clone());
-                return Ok(Some(row));
-            }
-        }
-        Ok(None)
+        Ok(self.sorted.as_mut().unwrap().next())
     }
 }
 
@@ -532,13 +746,15 @@ pub enum AggFn {
 
 impl AggFn {
     pub fn parse(name: &str, has_arg: bool) -> Option<AggFn> {
-        Some(match (name.to_ascii_uppercase().as_str(), has_arg) {
-            ("COUNT", false) => AggFn::CountStar,
-            ("COUNT", true) => AggFn::Count,
-            ("SUM", true) => AggFn::Sum,
-            ("AVG", true) => AggFn::Avg,
-            ("MIN", true) => AggFn::Min,
-            ("MAX", true) => AggFn::Max,
+        // Case-insensitive match without the per-call uppercase allocation.
+        let is = |kw: &str| name.eq_ignore_ascii_case(kw);
+        Some(match has_arg {
+            false if is("COUNT") => AggFn::CountStar,
+            true if is("COUNT") => AggFn::Count,
+            true if is("SUM") => AggFn::Sum,
+            true if is("AVG") => AggFn::Avg,
+            true if is("MIN") => AggFn::Min,
+            true if is("MAX") => AggFn::Max,
             _ => return None,
         })
     }
@@ -546,7 +762,7 @@ impl AggFn {
 
 /// Accumulator for one aggregate over one group.
 #[derive(Debug, Clone)]
-enum Acc {
+pub(crate) enum Acc {
     Count(i64),
     Sum {
         sum: f64,
@@ -565,7 +781,7 @@ enum Acc {
 }
 
 impl Acc {
-    fn new(f: AggFn) -> Acc {
+    pub(crate) fn new(f: AggFn) -> Acc {
         match f {
             AggFn::CountStar | AggFn::Count => Acc::Count(0),
             AggFn::Sum => Acc::Sum {
@@ -586,7 +802,7 @@ impl Acc {
         }
     }
 
-    fn update(&mut self, v: Option<&Value>) -> Result<(), ExecError> {
+    pub(crate) fn update(&mut self, v: Option<&Value>) -> Result<(), ExecError> {
         match self {
             Acc::Count(n) => match v {
                 // COUNT(*) gets None; COUNT(e) skips NULLs.
@@ -660,7 +876,7 @@ impl Acc {
         Ok(())
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self {
             Acc::Count(n) => Value::Int(n),
             Acc::Sum {
@@ -689,28 +905,17 @@ impl Acc {
     }
 }
 
-/// Wrapper giving `Vec<Value>` a total order for use as a BTreeMap group key.
-#[derive(Debug, Clone, PartialEq)]
-struct GroupKey(Vec<Value>);
-
-impl Eq for GroupKey {}
-
-impl PartialOrd for GroupKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for GroupKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        for (a, b) in self.0.iter().zip(&other.0) {
-            let ord = a.total_cmp(b);
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
-            }
+/// Lexicographic total order over group keys (then length, for safety) —
+/// the output order of [`Aggregate`], kept identical to the retired
+/// BTreeMap-based implementation's key order.
+pub(crate) fn cmp_keys(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let ord = x.total_cmp(y);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
         }
-        self.0.len().cmp(&other.0.len())
     }
+    a.len().cmp(&b.len())
 }
 
 /// One aggregate specification: the function and its compiled argument
@@ -720,11 +925,23 @@ pub struct AggSpec {
     pub arg: Option<CExpr>,
 }
 
-/// Hash/tree aggregation: groups by `group_exprs`, computes `aggs`; output
+/// Hash aggregation: groups by `group_exprs`, computes `aggs`; output
 /// row = group values ++ aggregate values.
+///
+/// Groups live in an arrival-order arena bucketed by [`hash_values`] over
+/// the evaluated key (candidates confirmed with `group_eq`, so NULL groups
+/// with NULL and hash collisions stay harmless). Each input row costs one
+/// hash + one bucket probe instead of the O(log n) full-key-vector
+/// comparisons of the previous BTreeMap; determinism is recovered by a
+/// single finish-time sort of the group keys, so the output order is
+/// byte-identical to the tree-based implementation's.
 pub struct Aggregate {
     input: Option<BoxOp>,
     group_exprs: Vec<CExpr>,
+    /// When every group expression is a plain column reference (`GROUP BY
+    /// k`, the common shape), the key is hashed and compared directly
+    /// against the input row — no per-row key evaluation or clone.
+    group_cols: Option<Vec<usize>>,
     aggs: Vec<AggSpec>,
     schema: Schema,
     out: Option<std::vec::IntoIter<Row>>,
@@ -741,9 +958,18 @@ impl Aggregate {
         schema: Schema,
     ) -> Aggregate {
         let global = group_exprs.is_empty();
+        let group_cols = group_exprs
+            .iter()
+            .map(|e| match e {
+                CExpr::Col(i) => Some(*i),
+                _ => None,
+            })
+            .collect::<Option<Vec<usize>>>()
+            .filter(|c| !c.is_empty());
         Aggregate {
             input: Some(input),
             group_exprs,
+            group_cols,
             aggs,
             schema,
             out: None,
@@ -760,18 +986,60 @@ impl Operator for Aggregate {
     fn next(&mut self) -> Result<Option<Row>, ExecError> {
         if self.out.is_none() {
             let mut src = self.input.take().expect("input present");
-            let mut groups: std::collections::BTreeMap<GroupKey, Vec<Acc>> =
-                std::collections::BTreeMap::new();
+            // (key, accumulators) in arrival order; `index` buckets arena
+            // positions by key hash.
+            let mut groups: Vec<(Vec<Value>, Vec<Acc>)> = Vec::new();
+            let mut index = KeyIndex::default();
+            let mut keybuf: Vec<Value> = Vec::with_capacity(self.group_exprs.len());
             while let Some(row) = src.next()? {
-                let key = GroupKey(
-                    self.group_exprs
-                        .iter()
-                        .map(|e| e.eval(&row))
-                        .collect::<Result<_, _>>()?,
-                );
-                let accs = groups
-                    .entry(key)
-                    .or_insert_with(|| self.aggs.iter().map(|a| Acc::new(a.f)).collect());
+                // Column-only keys hash/compare straight off the row; the
+                // key values are only cloned when a new group is created.
+                let gi = if let Some(cols) = &self.group_cols {
+                    let h = hash_row_key(&row, cols);
+                    let bucket = index.entry(h).or_default();
+                    match bucket.iter().copied().find(|&g| {
+                        let key = &groups[g as usize].0;
+                        key.iter().zip(cols).all(|(a, &c)| a.group_eq(&row[c]))
+                    }) {
+                        Some(g) => g as usize,
+                        None => {
+                            let gi = groups.len();
+                            bucket.push(gi as u32);
+                            groups.push((
+                                cols.iter().map(|&c| row[c].clone()).collect(),
+                                self.aggs.iter().map(|a| Acc::new(a.f)).collect(),
+                            ));
+                            gi
+                        }
+                    }
+                } else {
+                    keybuf.clear();
+                    for e in &self.group_exprs {
+                        keybuf.push(e.eval(&row)?);
+                    }
+                    let h = hash_values(&keybuf);
+                    let bucket = index.entry(h).or_default();
+                    match bucket.iter().copied().find(|&g| {
+                        let key = &groups[g as usize].0;
+                        key.len() == keybuf.len()
+                            && key.iter().zip(&keybuf).all(|(a, b)| a.group_eq(b))
+                    }) {
+                        Some(g) => g as usize,
+                        None => {
+                            let gi = groups.len();
+                            bucket.push(gi as u32);
+                            groups.push((
+                                std::mem::replace(
+                                    &mut keybuf,
+                                    Vec::with_capacity(self.group_exprs.len()),
+                                ),
+                                self.aggs.iter().map(|a| Acc::new(a.f)).collect(),
+                            ));
+                            gi
+                        }
+                    }
+                };
+                let accs = &mut groups[gi].1;
                 for (acc, spec) in accs.iter_mut().zip(&self.aggs) {
                     match &spec.arg {
                         None => acc.update(None)?,
@@ -783,17 +1051,19 @@ impl Operator for Aggregate {
                 }
             }
             if groups.is_empty() && self.global {
-                groups.insert(
-                    GroupKey(Vec::new()),
+                groups.push((
+                    Vec::new(),
                     self.aggs.iter().map(|a| Acc::new(a.f)).collect(),
-                );
+                ));
             }
+            // Deterministic output: one finish-time sort of the group keys
+            // replaces the per-row tree comparisons.
+            groups.sort_unstable_by(|(a, _), (b, _)| cmp_keys(a, b));
             let rows: Vec<Row> = groups
                 .into_iter()
-                .map(|(k, accs)| {
-                    let mut row = k.0;
-                    row.extend(accs.into_iter().map(Acc::finish));
-                    row
+                .map(|(mut key, accs)| {
+                    key.extend(accs.into_iter().map(Acc::finish));
+                    key
                 })
                 .collect();
             self.out = Some(rows.into_iter());

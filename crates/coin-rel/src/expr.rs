@@ -370,8 +370,8 @@ impl CExpr {
                     return Ok(Value::Null);
                 }
                 match (f, vals.as_slice()) {
-                    (ScalarFn::Upper, [Value::Str(s)]) => Value::Str(s.to_uppercase()),
-                    (ScalarFn::Lower, [Value::Str(s)]) => Value::Str(s.to_lowercase()),
+                    (ScalarFn::Upper, [Value::Str(s)]) => Value::from(s.to_uppercase()),
+                    (ScalarFn::Lower, [Value::Str(s)]) => Value::from(s.to_lowercase()),
                     (ScalarFn::Abs, [Value::Int(i)]) => Value::Int(i.abs()),
                     (ScalarFn::Abs, [Value::Float(x)]) => Value::Float(x.abs()),
                     (ScalarFn::Round, [Value::Float(x)]) => Value::Int(x.round() as i64),

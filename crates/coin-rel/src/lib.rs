@@ -12,7 +12,10 @@
 //! * [`exec`] — Volcano-style operators (scan, filter, project, nested-loop
 //!   and hash joins, union, distinct, sort, aggregate, limit);
 //! * [`tempstore`] — the "local secondary storage" of the prototype: spill
-//!   files and an external merge sorter with bounded memory;
+//!   files and an external merge sorter with bounded memory, with per-store
+//!   and per-thread spill accounting;
+//! * [`mod@reference`] — the pre-optimization operator implementations,
+//!   kept as equivalence-test and benchmark baselines;
 //! * [`engine`] — a per-source SQL processor: parse → normalize → operator
 //!   tree → result table, with filter pushdown and equi-join detection.
 //!
@@ -37,6 +40,7 @@
 pub mod engine;
 pub mod exec;
 pub mod expr;
+pub mod reference;
 pub mod schema;
 pub mod tempstore;
 pub mod value;
@@ -45,5 +49,5 @@ pub use engine::{execute_query, execute_select, execute_sql, Catalog, EngineErro
 pub use exec::{drain, BoxOp, ExecError, Operator};
 pub use expr::{compile, CExpr, CompileError};
 pub use schema::{Column, ColumnType, Row, Schema, Table, TableError};
-pub use tempstore::{ExternalSorter, TempStore};
+pub use tempstore::{thread_spill_stats, ExternalSorter, SpillStats, TempStore};
 pub use value::{sql_like, ArithOp, Value, ValueError};

@@ -7,23 +7,101 @@
 //! compact binary encoding, and an [`ExternalSorter`] that sorts arbitrarily
 //! large row streams with bounded memory (sorted runs + k-way merge).
 
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
 
 use crate::schema::Row;
 use crate::value::Value;
 
 static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(0);
 
+/// Disk-spill accounting: what actually hit the local secondary storage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Run files written.
+    pub runs_written: u64,
+    /// Total bytes written across all runs.
+    pub bytes_spilled: u64,
+    /// Total rows written across all runs.
+    pub rows_spilled: u64,
+    /// Size of the largest single run, in bytes.
+    pub max_run_bytes: u64,
+}
+
+impl SpillStats {
+    fn record_run(&mut self, bytes: u64, rows: u64) {
+        self.runs_written += 1;
+        self.bytes_spilled += bytes;
+        self.rows_spilled += rows;
+        self.max_run_bytes = self.max_run_bytes.max(bytes);
+    }
+
+    /// The difference of two cumulative snapshots (`self` the later one).
+    ///
+    /// A maximum has no exact difference, so `max_run_bytes` is a tight
+    /// *upper bound* for the window: 0 when the window wrote no runs,
+    /// otherwise the cumulative maximum clamped to the window's total
+    /// bytes (every run in the window is ≤ both). Exact when the window
+    /// contains the thread's largest run so far or a single run.
+    pub fn since(&self, earlier: &SpillStats) -> SpillStats {
+        let runs_written = self.runs_written - earlier.runs_written;
+        let bytes_spilled = self.bytes_spilled - earlier.bytes_spilled;
+        SpillStats {
+            runs_written,
+            bytes_spilled,
+            rows_spilled: self.rows_spilled - earlier.rows_spilled,
+            max_run_bytes: if runs_written == 0 {
+                0
+            } else {
+                self.max_run_bytes.min(bytes_spilled)
+            },
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread cumulative spill counters. Query execution is synchronous
+    /// on one thread, so a caller snapshotting this around an execution
+    /// gets exact per-query accounting with no cross-thread interference.
+    static THREAD_SPILL: Cell<SpillStats> = const { Cell::new(SpillStats {
+        runs_written: 0,
+        bytes_spilled: 0,
+        rows_spilled: 0,
+        max_run_bytes: 0,
+    }) };
+}
+
+/// Cumulative spill statistics for the calling thread (every
+/// [`TempStore::spill`] on this thread is counted, whichever store instance
+/// performed it). Snapshot before and after an execution and subtract
+/// ([`SpillStats::since`]) for per-query accounting.
+pub fn thread_spill_stats() -> SpillStats {
+    THREAD_SPILL.with(Cell::get)
+}
+
+/// Shared per-instance counters (a `TempStore` clone observes the same
+/// totals as its original).
+#[derive(Debug, Default)]
+struct StoreCounters {
+    runs_written: AtomicU64,
+    bytes_spilled: AtomicU64,
+    rows_spilled: AtomicU64,
+    max_run_bytes: AtomicU64,
+}
+
 /// A handle to a directory for temporary run files; files are deleted when
-/// their readers/writers drop.
+/// their readers/writers drop. Clones share the directory *and* the spill
+/// counters.
 #[derive(Debug, Clone)]
 pub struct TempStore {
     dir: PathBuf,
+    counters: Arc<StoreCounters>,
 }
 
 impl Default for TempStore {
@@ -37,13 +115,19 @@ impl TempStore {
     pub fn new() -> TempStore {
         let dir = std::env::temp_dir().join("coin-tempstore");
         let _ = std::fs::create_dir_all(&dir);
-        TempStore { dir }
+        TempStore {
+            dir,
+            counters: Arc::new(StoreCounters::default()),
+        }
     }
 
     pub fn in_dir(dir: impl Into<PathBuf>) -> io::Result<TempStore> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(TempStore { dir })
+        Ok(TempStore {
+            dir,
+            counters: Arc::new(StoreCounters::default()),
+        })
     }
 
     fn fresh_path(&self) -> PathBuf {
@@ -53,14 +137,67 @@ impl TempStore {
     }
 
     /// Spill rows to a new run file; returns a reader-factory handle.
+    /// The run's size is recorded on this store's counters and the calling
+    /// thread's cumulative [`thread_spill_stats`].
     pub fn spill(&self, rows: &[Row]) -> io::Result<SpillFile> {
         let path = self.fresh_path();
-        let mut w = BufWriter::new(File::create(&path)?);
+        let mut w = CountingWriter {
+            inner: BufWriter::new(File::create(&path)?),
+            bytes: 0,
+        };
         for row in rows {
             write_row(&mut w, row)?;
         }
-        w.flush()?;
+        w.inner.flush()?;
+        let bytes = w.bytes;
+        self.counters
+            .runs_written
+            .fetch_add(1, AtomicOrdering::Relaxed);
+        self.counters
+            .bytes_spilled
+            .fetch_add(bytes, AtomicOrdering::Relaxed);
+        self.counters
+            .rows_spilled
+            .fetch_add(rows.len() as u64, AtomicOrdering::Relaxed);
+        self.counters
+            .max_run_bytes
+            .fetch_max(bytes, AtomicOrdering::Relaxed);
+        THREAD_SPILL.with(|c| {
+            let mut s = c.get();
+            s.record_run(bytes, rows.len() as u64);
+            c.set(s);
+        });
         Ok(SpillFile { path })
+    }
+
+    /// Snapshot of this store's cumulative spill counters (shared with all
+    /// clones of the store).
+    pub fn spill_stats(&self) -> SpillStats {
+        SpillStats {
+            runs_written: self.counters.runs_written.load(AtomicOrdering::Relaxed),
+            bytes_spilled: self.counters.bytes_spilled.load(AtomicOrdering::Relaxed),
+            rows_spilled: self.counters.rows_spilled.load(AtomicOrdering::Relaxed),
+            max_run_bytes: self.counters.max_run_bytes.load(AtomicOrdering::Relaxed),
+        }
+    }
+}
+
+/// Byte-counting writer so run sizes are recorded without a metadata
+/// syscall.
+struct CountingWriter {
+    inner: BufWriter<File>,
+    bytes: u64,
+}
+
+impl Write for CountingWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
     }
 }
 
@@ -164,7 +301,7 @@ fn read_row(r: &mut impl Read) -> io::Result<Option<Row>> {
                 r.read_exact(&mut lb)?;
                 let mut s = vec![0u8; u32::from_le_bytes(lb) as usize];
                 r.read_exact(&mut s)?;
-                Value::Str(
+                Value::from(
                     String::from_utf8(s)
                         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
                 )
@@ -243,6 +380,13 @@ impl ExternalSorter {
 
     pub fn spilled_rows(&self) -> usize {
         self.spilled_rows
+    }
+
+    /// Disk-spill accounting for this sorter's store: runs written, bytes
+    /// spilled, largest run. (The store's counters — shared with clones —
+    /// so a sorter given a dedicated store reports exactly its own spills.)
+    pub fn spill_stats(&self) -> SpillStats {
+        self.store.spill_stats()
     }
 
     /// Finish and return the fully sorted rows.
@@ -413,5 +557,83 @@ mod tests {
     fn empty_sorter() {
         let s = ExternalSorter::new(TempStore::new(), vec![(0, false)], 4);
         assert!(s.finish().unwrap().is_empty());
+    }
+
+    #[test]
+    fn spill_accounting_counts_runs_bytes_and_max() {
+        let store = TempStore::new();
+        assert_eq!(store.spill_stats(), SpillStats::default());
+        let r1 = store.spill(&[row(1, "a"), row(2, "bb")]).unwrap();
+        let r2 = store.spill(&[row(3, "a")]).unwrap();
+        let s = store.spill_stats();
+        assert_eq!(s.runs_written, 2);
+        assert_eq!(s.rows_spilled, 3);
+        assert!(s.bytes_spilled > 0);
+        assert!(s.max_run_bytes > 0 && s.max_run_bytes < s.bytes_spilled);
+        // The larger (2-row) run is the max: more than half the total.
+        assert!(s.max_run_bytes > s.bytes_spilled / 2);
+        drop((r1, r2));
+    }
+
+    #[test]
+    fn store_clones_share_counters() {
+        let store = TempStore::new();
+        let clone = store.clone();
+        let _run = clone.spill(&[row(1, "x")]).unwrap();
+        assert_eq!(store.spill_stats().runs_written, 1);
+        assert_eq!(clone.spill_stats().runs_written, 1);
+        // A fresh store starts from zero.
+        assert_eq!(TempStore::new().spill_stats().runs_written, 0);
+    }
+
+    #[test]
+    fn in_memory_sort_records_no_spill() {
+        let store = TempStore::new();
+        let mut s = ExternalSorter::new(store, vec![(0, false)], 100);
+        for i in 0..10 {
+            s.push(row(i, "x")).unwrap();
+        }
+        assert_eq!(s.spill_stats(), SpillStats::default());
+        s.finish().unwrap();
+    }
+
+    #[test]
+    fn external_sort_records_spill_stats() {
+        let store = TempStore::new();
+        let mut s = ExternalSorter::new(store, vec![(0, false)], 8);
+        for i in 0..100 {
+            s.push(row((i * 37) % 100, "payload")).unwrap();
+        }
+        let before_finish = s.spill_stats();
+        assert!(before_finish.runs_written >= 100 / 8);
+        let sorted = s.finish().unwrap();
+        assert_eq!(sorted.len(), 100);
+    }
+
+    #[test]
+    fn thread_spill_stats_accumulate_and_delta() {
+        let before = thread_spill_stats();
+        let store = TempStore::new();
+        let _r = store.spill(&[row(1, "a"), row(2, "b")]).unwrap();
+        let delta = thread_spill_stats().since(&before);
+        assert_eq!(delta.runs_written, 1);
+        assert_eq!(delta.rows_spilled, 2);
+        assert!(delta.bytes_spilled > 0);
+        // Other threads' spills are invisible here.
+        let handle = std::thread::spawn(|| {
+            let s = TempStore::new();
+            let _r = s.spill(&[vec![Value::Int(1)]]).unwrap();
+            thread_spill_stats().runs_written
+        });
+        assert!(handle.join().unwrap() >= 1);
+        assert_eq!(thread_spill_stats().since(&before).runs_written, 1);
+        // A later window with no spills reports no max either — a big run
+        // from an earlier query must not leak into it.
+        let quiet = thread_spill_stats();
+        let delta = thread_spill_stats().since(&quiet);
+        assert_eq!(delta, SpillStats::default());
+        // And a window's max never exceeds its own byte total.
+        let w = thread_spill_stats().since(&before);
+        assert!(w.max_run_bytes <= w.bytes_spilled);
     }
 }

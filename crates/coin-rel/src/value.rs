@@ -5,6 +5,15 @@
 //! conventions — any operation touching `NULL` yields `NULL`, numeric types
 //! promote, and predicates treat non-TRUE as filter failure (three-valued
 //! logic collapsed at the filter boundary).
+//!
+//! Strings are shared (`Arc<str>`): cloning a `Value::Str` — and therefore
+//! cloning a `Row` — is a reference-count bump, not a heap copy. Joins
+//! clone the probe row once per match and column projections clone cell
+//! values per row, so this is the difference between O(matches) pointer
+//! bumps and O(matches × string bytes) allocations on the execution hot
+//! path.
+
+use std::sync::Arc;
 
 /// A runtime value.
 #[derive(Debug, Clone, PartialEq)]
@@ -13,12 +22,13 @@ pub enum Value {
     Bool(bool),
     Int(i64),
     Float(f64),
-    Str(String),
+    /// A shared immutable string; cloning bumps a refcount.
+    Str(Arc<str>),
 }
 
 impl Value {
     pub fn str(s: &str) -> Value {
-        Value::Str(s.to_owned())
+        Value::Str(Arc::from(s))
     }
 
     pub fn is_null(&self) -> bool {
@@ -142,7 +152,7 @@ impl Value {
         if self.is_null() || other.is_null() {
             return Value::Null;
         }
-        Value::Str(format!("{}{}", self.render(), other.render()))
+        Value::Str(Arc::from(format!("{}{}", self.render(), other.render())))
     }
 
     /// Plain rendering without quotes (for concatenation and CSV-ish dumps).
@@ -158,7 +168,7 @@ impl Value {
                     f.to_string()
                 }
             }
-            Value::Str(s) => s.clone(),
+            Value::Str(s) => s.as_ref().to_owned(),
         }
     }
 
@@ -195,6 +205,16 @@ impl From<f64> for Value {
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
         Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
+        Value::Str(v)
     }
 }
 impl From<bool> for Value {

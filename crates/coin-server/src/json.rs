@@ -289,22 +289,194 @@ pub fn parse(src: &str) -> Result<Json, JsonError> {
     Ok(v)
 }
 
-fn escape_into(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                write!(out, "\\u{:04x}", c as u32).unwrap();
-            }
-            c => out.push(c),
-        }
+/// Append `s` as a quoted, escaped JSON string.
+///
+/// Fast path: scan the raw bytes for the first one needing an escape
+/// (`"`, `\`, or a control byte — all ASCII, so the byte scan is UTF-8
+/// safe) and copy clean spans wholesale. The common case — no byte needs
+/// escaping — is a single `push_str` of the entire string.
+pub fn escape_into(s: &str, out: &mut String) {
+    #[inline]
+    fn needs_escape(b: u8) -> bool {
+        b == b'"' || b == b'\\' || b < 0x20
     }
     out.push('"');
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if needs_escape(b) {
+            out.push_str(&s[start..i]);
+            match b {
+                b'"' => out.push_str("\\\""),
+                b'\\' => out.push_str("\\\\"),
+                b'\n' => out.push_str("\\n"),
+                b'\t' => out.push_str("\\t"),
+                b'\r' => out.push_str("\\r"),
+                c => write!(out, "\\u{:04x}", c as u32).unwrap(),
+            }
+            i += 1;
+            start = i;
+        } else {
+            i += 1;
+        }
+    }
+    out.push_str(&s[start..]);
+    out.push('"');
+}
+
+/// Append a JSON number: integral doubles print without a fraction. The
+/// single formatting rule for every serialization path ([`Json::Num`]'s
+/// tree serializer delegates here, so [`JsonBuf`] output can never
+/// diverge from it).
+pub fn number_into(n: f64, out: &mut String) {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        write!(out, "{n:.0}").unwrap();
+    } else {
+        write!(out, "{n}").unwrap();
+    }
+}
+
+/// An incremental JSON serializer over a reusable `String` buffer.
+///
+/// The `/query` hot path serializes result sets **directly** into one
+/// output buffer with this writer — column headers, then every row and
+/// cell — instead of first assembling a [`Json`] tree (one heap node per
+/// cell) and then walking it. Commas are managed per open container, so
+/// callers just emit containers, keys and values in order. `clear()`
+/// retains the allocation for reuse across serializations.
+///
+/// The writer does not validate shape (an object value without a
+/// preceding [`JsonBuf::key`] is the caller's bug); it is a serialization
+/// buffer, not a document model. Output produced by the high-level
+/// methods is always valid JSON given well-formed call order.
+#[derive(Debug, Default)]
+pub struct JsonBuf {
+    out: String,
+    /// One flag per open container: has an element been written?
+    comma: Vec<bool>,
+}
+
+impl JsonBuf {
+    pub fn new() -> JsonBuf {
+        JsonBuf::default()
+    }
+
+    /// A writer whose buffer pre-reserves `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> JsonBuf {
+        JsonBuf {
+            out: String::with_capacity(capacity),
+            comma: Vec::new(),
+        }
+    }
+
+    /// Comma bookkeeping before any element in the current container.
+    #[inline]
+    fn pre(&mut self) {
+        if let Some(c) = self.comma.last_mut() {
+            if *c {
+                self.out.push(',');
+            } else {
+                *c = true;
+            }
+        }
+    }
+
+    pub fn begin_obj(&mut self) -> &mut Self {
+        self.pre();
+        self.out.push('{');
+        self.comma.push(false);
+        self
+    }
+
+    pub fn end_obj(&mut self) -> &mut Self {
+        self.comma.pop();
+        self.out.push('}');
+        self
+    }
+
+    pub fn begin_arr(&mut self) -> &mut Self {
+        self.pre();
+        self.out.push('[');
+        self.comma.push(false);
+        self
+    }
+
+    pub fn end_arr(&mut self) -> &mut Self {
+        self.comma.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Object key; the next emitted element is its value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.pre();
+        escape_into(k, &mut self.out);
+        self.out.push(':');
+        // The value that follows must not get its own comma.
+        if let Some(c) = self.comma.last_mut() {
+            *c = false;
+        }
+        self
+    }
+
+    pub fn null(&mut self) -> &mut Self {
+        self.pre();
+        self.out.push_str("null");
+        self
+    }
+
+    pub fn bool_val(&mut self, b: bool) -> &mut Self {
+        self.pre();
+        self.out.push_str(if b { "true" } else { "false" });
+        self
+    }
+
+    pub fn str_val(&mut self, s: &str) -> &mut Self {
+        self.pre();
+        escape_into(s, &mut self.out);
+        self
+    }
+
+    pub fn num(&mut self, n: f64) -> &mut Self {
+        self.pre();
+        number_into(n, &mut self.out);
+        self
+    }
+
+    /// A 64-bit integer as a quoted decimal string (the wire protocol's
+    /// lossless integer encoding), formatted straight into the buffer.
+    pub fn int_str(&mut self, i: i64) -> &mut Self {
+        self.pre();
+        self.out.push('"');
+        write!(self.out, "{i}").unwrap();
+        self.out.push('"');
+        self
+    }
+
+    /// An already-serialized JSON fragment.
+    pub fn fragment(&mut self, j: &Json) -> &mut Self {
+        self.pre();
+        write_into(j, &mut self.out);
+        self
+    }
+
+    /// The serialized document so far.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    /// Reset for reuse, keeping the buffer's allocation.
+    pub fn clear(&mut self) {
+        self.out.clear();
+        self.comma.clear();
+    }
+
+    /// Take the serialized document, consuming the writer.
+    pub fn into_string(self) -> String {
+        self.out
+    }
 }
 
 impl std::fmt::Display for Json {
@@ -319,13 +491,7 @@ fn write_into(v: &Json, out: &mut String) {
     match v {
         Json::Null => out.push_str("null"),
         Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Json::Num(n) => {
-            if n.fract() == 0.0 && n.abs() < 1e15 {
-                write!(out, "{n:.0}").unwrap();
-            } else {
-                write!(out, "{n}").unwrap();
-            }
-        }
+        Json::Num(n) => number_into(*n, out),
         Json::Str(s) => escape_into(s, out),
         Json::Arr(items) => {
             out.push('[');
@@ -429,6 +595,79 @@ mod tests {
     #[test]
     fn get_on_non_object_is_none() {
         assert!(Json::Num(1.0).get("x").is_none());
+    }
+
+    #[test]
+    fn escape_fast_path_matches_slow_path() {
+        // Mixed clean spans and escapes, multi-byte UTF-8 adjacent to
+        // escaped bytes, and strings needing no escapes at all.
+        for s in [
+            "",
+            "plain ascii",
+            "通貨 and €",
+            "a\"b\\c\nd\te\rf\u{1}g",
+            "\"",
+            "\u{0}\u{1f}",
+            "ends with escape\n",
+            "\nstarts with escape",
+            "日本\"語",
+        ] {
+            let mut direct = String::new();
+            escape_into(s, &mut direct);
+            assert_eq!(direct, Json::str(s).to_string(), "{s:?}");
+            // And it parses back to the original.
+            assert_eq!(parse(&direct).unwrap().as_str().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn jsonbuf_builds_equivalent_documents() {
+        let mut b = JsonBuf::new();
+        b.begin_obj();
+        b.key("columns").begin_arr();
+        b.begin_obj().key("name").str_val("a").end_obj();
+        b.end_arr();
+        b.key("rows").begin_arr();
+        b.begin_arr()
+            .null()
+            .bool_val(true)
+            .int_str(1 << 60)
+            .end_arr();
+        b.begin_arr().num(2.5).str_val("x\"y").end_arr();
+        b.end_arr();
+        b.key("n").num(3.0);
+        b.end_obj();
+        let doc = parse(b.as_str()).unwrap();
+        let want = Json::obj([
+            (
+                "columns",
+                Json::Arr(vec![Json::obj([("name", Json::str("a"))])]),
+            ),
+            (
+                "rows",
+                Json::Arr(vec![
+                    Json::Arr(vec![
+                        Json::Null,
+                        Json::Bool(true),
+                        Json::Str((1i64 << 60).to_string()),
+                    ]),
+                    Json::Arr(vec![Json::Num(2.5), Json::str("x\"y")]),
+                ]),
+            ),
+            ("n", Json::Num(3.0)),
+        ]);
+        assert_eq!(doc, want);
+    }
+
+    #[test]
+    fn jsonbuf_clear_reuses_buffer() {
+        let mut b = JsonBuf::with_capacity(256);
+        b.begin_arr().num(1.0).end_arr();
+        assert_eq!(b.as_str(), "[1]");
+        b.clear();
+        assert!(b.as_str().is_empty());
+        b.begin_obj().key("k").fragment(&Json::str("v")).end_obj();
+        assert_eq!(b.as_str(), "{\"k\":\"v\"}");
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub use http::{
     HttpClient, HttpError, HttpRequest, HttpResponse, ServerConfig, ServerHandle,
     ServerMetricsSnapshot, Transport,
 };
-pub use json::{parse as parse_json, Json, JsonError};
+pub use json::{parse as parse_json, Json, JsonBuf, JsonError};
 pub use protocol::{
     start_server, start_server_shared, start_server_with, table_to_json, value_to_json,
     SharedSystem,

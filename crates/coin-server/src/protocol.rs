@@ -27,7 +27,7 @@ use coin_rel::{Table, Value};
 use crate::http::{
     serve_with, Handler, HttpError, HttpRequest, HttpResponse, ServerConfig, ServerHandle,
 };
-use crate::json::{parse, Json};
+use crate::json::{parse, Json, JsonBuf};
 
 /// A mediation system shared between the server and administrative
 /// writers: queries take the read lock for the whole request, `add_*`
@@ -42,7 +42,7 @@ pub fn value_to_json(v: &Value) -> Json {
         Value::Bool(b) => Json::Arr(vec![Json::str("b"), Json::Bool(*b)]),
         Value::Int(i) => Json::Arr(vec![Json::str("i"), Json::Str(i.to_string())]),
         Value::Float(f) => Json::Arr(vec![Json::str("f"), Json::Num(*f)]),
-        Value::Str(s) => Json::Arr(vec![Json::str("s"), Json::Str(s.clone())]),
+        Value::Str(s) => Json::Arr(vec![Json::str("s"), Json::str(s)]),
     }
 }
 
@@ -56,12 +56,71 @@ pub fn json_to_value(j: &Json) -> Option<Value> {
                 "b" => Some(Value::Bool(items.get(1)?.as_bool()?)),
                 "i" => Some(Value::Int(items.get(1)?.as_str()?.parse().ok()?)),
                 "f" => Some(Value::Float(items.get(1)?.as_f64()?)),
-                "s" => Some(Value::Str(items.get(1)?.as_str()?.to_owned())),
+                "s" => Some(Value::str(items.get(1)?.as_str()?)),
                 _ => None,
             }
         }
         _ => None,
     }
+}
+
+/// Serialize a value straight into an output buffer in the tagged wire
+/// format — the allocation-lean counterpart of [`value_to_json`] used on
+/// the `/query` hot path (no `Json` nodes, no intermediate strings).
+pub fn write_value(v: &Value, out: &mut JsonBuf) {
+    match v {
+        Value::Null => out.null(),
+        Value::Bool(b) => out.begin_arr().str_val("b").bool_val(*b).end_arr(),
+        Value::Int(i) => out.begin_arr().str_val("i").int_str(*i).end_arr(),
+        Value::Float(f) => out.begin_arr().str_val("f").num(*f).end_arr(),
+        Value::Str(s) => out.begin_arr().str_val("s").str_val(s).end_arr(),
+    };
+}
+
+/// Serialize a result table's `"columns"` and `"rows"` fields into an
+/// **open object** on `out` (the caller opens/closes the object and may
+/// append further fields). Replaces the per-row/per-cell [`Json`] tree of
+/// [`table_to_json`] on the `/query` response path: the whole result set
+/// is written into one reusable output buffer.
+pub fn write_table(t: &Table, out: &mut JsonBuf) {
+    out.key("columns").begin_arr();
+    for c in &t.schema.columns {
+        out.begin_obj();
+        out.key("name").str_val(&c.name);
+        out.key("type").str_val(c.ty.name());
+        out.end_obj();
+    }
+    out.end_arr();
+    out.key("rows").begin_arr();
+    for r in &t.rows {
+        out.begin_arr();
+        for v in r {
+            write_value(v, out);
+        }
+        out.end_arr();
+    }
+    out.end_arr();
+}
+
+/// Rough serialized-size estimate for a result table, used to size the
+/// output buffer in one allocation (tag + punctuation overhead per cell
+/// plus string payloads are the dominant terms).
+fn estimated_table_bytes(t: &Table) -> usize {
+    let cells: usize = t.rows.len() * t.schema.len();
+    let strings: usize = t
+        .rows
+        .first()
+        .map(|r| {
+            r.iter()
+                .map(|v| match v {
+                    Value::Str(s) => s.len(),
+                    _ => 12,
+                })
+                .sum::<usize>()
+                * t.rows.len()
+        })
+        .unwrap_or(0);
+    256 + t.schema.len() * 32 + cells * 8 + strings
 }
 
 /// Encode a result table.
@@ -205,14 +264,12 @@ fn query_response(system: &CoinSystem, body: &str) -> Result<HttpResponse, Strin
     match mode {
         "naive" => {
             let (table, stats) = system.query_naive(sql).map_err(|e| e.to_string())?;
-            let mut out = table_to_json(&table);
-            if let Json::Obj(pairs) = &mut out {
-                pairs.push((
-                    "remote_queries".into(),
-                    Json::Num(stats.remote_queries as f64),
-                ));
-            }
-            Ok(HttpResponse::json(&out))
+            let mut out = JsonBuf::with_capacity(estimated_table_bytes(&table));
+            out.begin_obj();
+            write_table(&table, &mut out);
+            out.key("remote_queries").num(stats.remote_queries as f64);
+            out.end_obj();
+            Ok(HttpResponse::json_raw(out.into_string()))
         }
         "mediated" | "explain" => {
             let context = doc
@@ -228,29 +285,23 @@ fn query_response(system: &CoinSystem, body: &str) -> Result<HttpResponse, Strin
                 ])));
             }
             let answer = system.query(sql, context).map_err(|e| e.to_string())?;
-            let mut out = table_to_json(&answer.table);
-            if let Json::Obj(pairs) = &mut out {
-                pairs.push((
-                    "mediated_sql".into(),
-                    Json::Str(answer.mediated.query.to_string()),
-                ));
-                pairs.push(("explanation".into(), Json::Str(answer.mediated.explain())));
-                pairs.push((
-                    "remote_queries".into(),
-                    Json::Num(answer.stats.remote_queries as f64),
-                ));
-                pairs.push(("cache".into(), Json::str(answer.cache.as_str())));
-                pairs.push(("epoch".into(), Json::Num(answer.stats.plan_epoch as f64)));
-                pairs.push((
-                    "cache_hits".into(),
-                    Json::Num(answer.stats.cache_hits as f64),
-                ));
-                pairs.push((
-                    "cache_misses".into(),
-                    Json::Num(answer.stats.cache_misses as f64),
-                ));
-            }
-            Ok(HttpResponse::json(&out))
+            // Result sets dominate the response; serialize them (and the
+            // provenance/statistics fields) directly into one buffer.
+            let mut out = JsonBuf::with_capacity(estimated_table_bytes(&answer.table));
+            out.begin_obj();
+            write_table(&answer.table, &mut out);
+            out.key("mediated_sql")
+                .str_val(&answer.mediated.query.to_string());
+            out.key("explanation").str_val(&answer.mediated.explain());
+            out.key("remote_queries")
+                .num(answer.stats.remote_queries as f64);
+            out.key("cache").str_val(answer.cache.as_str());
+            out.key("epoch").num(answer.stats.plan_epoch as f64);
+            out.key("cache_hits").num(answer.stats.cache_hits as f64);
+            out.key("cache_misses")
+                .num(answer.stats.cache_misses as f64);
+            out.end_obj();
+            Ok(HttpResponse::json_raw(out.into_string()))
         }
         other => Err(format!("unknown mode {other:?}")),
     }
@@ -283,6 +334,31 @@ mod tests {
         let v = Value::Int((1 << 60) + 1);
         let back = json_to_value(&parse(&value_to_json(&v).to_string()).unwrap()).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn direct_serialization_matches_json_tree() {
+        // The buffer-direct writer must produce a document equal to the
+        // tree-built one for every value kind, including strings needing
+        // escapes and large integers.
+        let t = Table::from_rows(
+            "x",
+            coin_rel::Schema::of(&[
+                ("n", coin_rel::ColumnType::Any),
+                ("s", coin_rel::ColumnType::Any),
+            ]),
+            vec![
+                vec![Value::Null, Value::str("plain")],
+                vec![Value::Bool(false), Value::str("esc\"ape\n通貨")],
+                vec![Value::Int((1 << 60) + 1), Value::Float(0.0096)],
+                vec![Value::Float(2.0), Value::str("")],
+            ],
+        );
+        let mut buf = JsonBuf::new();
+        buf.begin_obj();
+        write_table(&t, &mut buf);
+        buf.end_obj();
+        assert_eq!(parse(buf.as_str()).unwrap(), table_to_json(&t));
     }
 
     #[test]

@@ -395,7 +395,12 @@ fn fmt_expr(e: &Expr, parent_prec: u8, f: &mut std::fmt::Formatter<'_>) -> std::
         Expr::Column(c) => write!(f, "{c}"),
         Expr::Int(i) => write!(f, "{i}"),
         Expr::Float(x) => {
-            if x.fract() == 0.0 && x.abs() < 1e15 {
+            // Integral floats always print a fraction digit: the printed
+            // form is the prepared-query cache's canonical key, so a float
+            // literal must never be byte-identical to an int literal
+            // (`1e16` would otherwise print exactly like its i64 twin and
+            // two semantically different queries would share a plan).
+            if x.fract() == 0.0 && x.is_finite() {
                 write!(f, "{x:.1}")
             } else {
                 write!(f, "{x}")
