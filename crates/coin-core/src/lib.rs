@@ -61,5 +61,8 @@ pub use model::{
     ContextTheory, Conversion, ConversionRegistry, DomainModel, Elevation, ElevationRegistry,
     ModelError, ModifierSpec, SemanticType,
 };
-pub use prepared::{CacheStatus, PreparedQuery};
+pub use prepared::{CacheStatus, MediatedRows, PreparedQuery};
 pub use system::{CoinError, CoinSystem, MediatedAnswer};
+// Streaming consumers (the server) speak the planner's row type without
+// depending on coin-planner themselves.
+pub use coin_planner::PlanRows;

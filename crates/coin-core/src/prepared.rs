@@ -33,8 +33,8 @@
 
 use std::sync::Arc;
 
-use coin_planner::QueryPlan;
-use coin_rel::{Catalog, Table};
+use coin_planner::{ExecStats, QueryPlan};
+use coin_rel::{BoxOp, CancelToken, Catalog, Row, Schema, SpillStats, Table};
 use coin_sql::{Query, Select};
 
 use crate::mediate::Mediated;
@@ -167,6 +167,25 @@ impl PreparedQuery {
     /// to a *different* [`CoinSystem`] instance fails with
     /// [`CoinError::ForeignPlan`], even when the epochs coincide.
     pub fn execute(&self, system: &CoinSystem) -> Result<MediatedAnswer, CoinError> {
+        self.execute_stream(system, None)?.collect()
+    }
+
+    /// Execute the captured plan as a row stream — the bounded-memory
+    /// counterpart of [`PreparedQuery::execute`].
+    ///
+    /// The remote fetches run eagerly (so the stream's communication
+    /// statistics are final immediately), but every local operation —
+    /// joins, residuals, the UNION merge, and the receiver's outer
+    /// aggregation/ordering block — is a pull-based pipeline over the
+    /// staged data: the mediated result is never materialized as a whole.
+    /// The same epoch/instance checks as `execute` apply. A supplied
+    /// [`CancelToken`] aborts the pipeline mid-pull (the transport layer
+    /// flips it when the consumer disconnects).
+    pub fn execute_stream(
+        &self,
+        system: &CoinSystem,
+        cancel: Option<CancelToken>,
+    ) -> Result<MediatedRows, CoinError> {
         if self.system_id != system.instance_id() {
             return Err(CoinError::ForeignPlan);
         }
@@ -176,18 +195,26 @@ impl PreparedQuery {
                 current: system.epoch(),
             });
         }
-        let (table, mut stats) = system.planner.execute_planned(&self.plan)?;
-        let table = match &self.outer {
-            None => table,
+        let spill_before = coin_rel::thread_spill_stats();
+        let (rows, mut stats) = system
+            .planner
+            .execute_planned_stream(&self.plan, cancel.clone())?;
+        let (schema, op) = match &self.outer {
+            None => rows.into_parts(),
             Some(outer) => {
-                // Execute the outer block over the staged mediated result.
-                let staged = Table {
+                // Feed the mediated pipeline into the outer block as the
+                // live `mediated` binding; the catalog entry is an empty
+                // placeholder that only lends its schema to normalization.
+                let (schema, op) = rows.into_parts();
+                let placeholder = Table {
                     name: "mediated".into(),
-                    schema: table.schema.clone(),
-                    rows: table.rows,
+                    schema,
+                    rows: Vec::new(),
                 };
-                let catalog = Catalog::new().with_table(staged);
-                coin_rel::execute_select(outer, &catalog)?
+                let catalog = Catalog::new().with_table(placeholder);
+                let mut feeds = coin_rel::Feeds::new();
+                feeds.insert("mediated".into(), op);
+                coin_rel::build_select_pipeline(outer, &catalog, feeds, cancel)?
             }
         };
         stats.plan_epoch = self.epoch;
@@ -196,11 +223,105 @@ impl PreparedQuery {
         let (hits, misses) = system.cache_counters();
         stats.cache_hits = hits;
         stats.cache_misses = misses;
-        Ok(MediatedAnswer {
-            table,
+        Ok(MediatedRows {
+            schema,
+            op,
             mediated: Arc::clone(&self.mediated),
-            stats,
             cache: CacheStatus::Prepared,
+            stats,
+            spill_before,
+            done: false,
+        })
+    }
+}
+
+/// A streaming mediated answer: schema and provenance are available up
+/// front, rows are pulled one at a time, and the spill statistics are
+/// folded into [`MediatedRows::stats`] when the stream is exhausted.
+///
+/// Pull the stream on the thread that created it — spill accounting uses
+/// the thread-local counters ([`coin_rel::thread_spill_stats`]), so a
+/// cross-thread drain would misattribute disk activity. Dropping the
+/// stream early aborts the plan and frees staged intermediates.
+pub struct MediatedRows {
+    schema: Schema,
+    op: BoxOp,
+    mediated: Arc<Mediated>,
+    cache: CacheStatus,
+    stats: ExecStats,
+    spill_before: SpillStats,
+    done: bool,
+}
+
+impl MediatedRows {
+    /// The result schema (column names and types).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The mediation report (compile-side provenance).
+    pub fn mediated(&self) -> &Arc<Mediated> {
+        &self.mediated
+    }
+
+    /// How the compile artifact was obtained.
+    pub fn cache_status(&self) -> CacheStatus {
+        self.cache
+    }
+
+    pub(crate) fn set_cache_status(&mut self, status: CacheStatus) {
+        self.cache = status;
+    }
+
+    /// Execution statistics. Communication fields are final from the
+    /// start; the spill fields settle once the stream has been fully
+    /// drained ([`MediatedRows::finished`]).
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Has the stream been drained to the end?
+    pub fn finished(&self) -> bool {
+        self.done
+    }
+
+    /// The next result row; `None` (repeatedly) once exhausted.
+    ///
+    /// Deliberately not `Iterator`: the signature is fallible
+    /// (`Result<Option<Row>, _>`), matching `Operator::next`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Row>, CoinError> {
+        if self.done {
+            return Ok(None);
+        }
+        match self.op.next().map_err(coin_rel::EngineError::from)? {
+            Some(row) => Ok(Some(row)),
+            None => {
+                self.done = true;
+                let spilled = coin_rel::thread_spill_stats().since(&self.spill_before);
+                self.stats.spill_runs = spilled.runs_written;
+                self.stats.spill_bytes = spilled.bytes_spilled;
+                self.stats.spill_max_run_bytes = spilled.max_run_bytes;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Drain the remaining rows into a materialized [`MediatedAnswer`].
+    pub fn collect(mut self) -> Result<MediatedAnswer, CoinError> {
+        let mut rows = Vec::new();
+        while let Some(row) = self.next()? {
+            rows.push(row);
+        }
+        Ok(MediatedAnswer {
+            table: Table {
+                name: "result".into(),
+                schema: self.schema,
+                rows,
+            },
+            mediated: self.mediated,
+            stats: self.stats,
+            cache: self.cache,
         })
     }
 }

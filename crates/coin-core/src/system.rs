@@ -20,7 +20,7 @@ use crate::model::{
     ContextTheory, Conversion, ConversionRegistry, DomainModel, Elevation, ElevationRegistry,
     ModelError,
 };
-use crate::prepared::{CacheStatus, PreparedQuery};
+use crate::prepared::{CacheStatus, MediatedRows, PreparedQuery};
 
 /// Unified error type for the system façade.
 #[derive(Debug)]
@@ -379,10 +379,36 @@ impl CoinSystem {
         Ok(answer)
     }
 
+    /// The streaming counterpart of [`CoinSystem::query`]: same compile
+    /// pipeline and cache behavior, but the answer comes back as a
+    /// [`MediatedRows`] pull stream instead of a materialized table. A
+    /// supplied [`coin_rel::CancelToken`] aborts the running plan mid-pull
+    /// (the server flips it when the client disconnects).
+    pub fn query_stream(
+        &self,
+        sql: &str,
+        receiver: &str,
+        cancel: Option<coin_rel::CancelToken>,
+    ) -> Result<MediatedRows, CoinError> {
+        let (prepared, status) = self.prepare_with_status(sql, receiver)?;
+        let mut rows = prepared.execute_stream(self, cancel)?;
+        rows.set_cache_status(status);
+        Ok(rows)
+    }
+
     /// Execute without mediation (the naive baseline of §3 that returns the
     /// "incorrect" answer).
     pub fn query_naive(&self, sql: &str) -> Result<(Table, coin_planner::ExecStats), CoinError> {
         Ok(self.planner.run_sql(sql)?)
+    }
+
+    /// Streaming counterpart of [`CoinSystem::query_naive`].
+    pub fn query_naive_stream(
+        &self,
+        sql: &str,
+        cancel: Option<coin_rel::CancelToken>,
+    ) -> Result<(coin_planner::PlanRows, coin_planner::ExecStats), CoinError> {
+        Ok(self.planner.run_sql_stream(sql, cancel)?)
     }
 }
 

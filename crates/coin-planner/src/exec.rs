@@ -7,7 +7,7 @@
 
 use std::collections::BTreeSet;
 
-use coin_rel::{Catalog, Table, Value};
+use coin_rel::{BoxOp, CancelToken, Catalog, Row, Schema, Table, Value};
 use coin_sql::{BinOp, ColumnRef, Expr, Select};
 
 use crate::dictionary::Dictionary;
@@ -42,13 +42,86 @@ pub struct ExecStats {
     pub spill_max_run_bytes: u64,
 }
 
+/// A streaming plan execution: the fetch steps have already run (their
+/// communication stats are final), local rows are pulled on demand through
+/// the `coin-rel` operator pipeline. Dropping it aborts the plan — staged
+/// intermediates and spill files are freed.
+pub struct PlanRows {
+    schema: Schema,
+    op: BoxOp,
+}
+
+impl PlanRows {
+    pub fn from_parts(schema: Schema, op: BoxOp) -> PlanRows {
+        PlanRows { schema, op }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The next result row; `None` when exhausted.
+    ///
+    /// Deliberately not `Iterator`: the signature is fallible
+    /// (`Result<Option<Row>, _>`), matching `Operator::next`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Row>, PlanError> {
+        self.op
+            .next()
+            .map_err(|e| PlanError::from(coin_rel::EngineError::from(e)))
+    }
+
+    /// Decompose into the raw operator (for feeding a downstream pipeline).
+    pub fn into_parts(self) -> (Schema, BoxOp) {
+        (self.schema, self.op)
+    }
+}
+
 /// Execute a plan, returning the result and execution statistics.
 pub fn execute_plan(plan: &Plan, dict: &Dictionary) -> Result<(Table, ExecStats), PlanError> {
-    let mut staging = Catalog::new();
-    let mut stats = ExecStats::default();
     // Plan execution is synchronous on this thread, so the thread-local
     // spill counters bracket exactly this query's disk activity.
     let spill_before = coin_rel::thread_spill_stats();
+    let (mut rows, mut stats) = execute_plan_stream(plan, dict, None)?;
+    let mut out = Vec::new();
+    while let Some(r) = rows.next()? {
+        out.push(r);
+    }
+    let spilled = coin_rel::thread_spill_stats().since(&spill_before);
+    stats.spill_runs = spilled.runs_written;
+    stats.spill_bytes = spilled.bytes_spilled;
+    stats.spill_max_run_bytes = spilled.max_run_bytes;
+    Ok((
+        Table {
+            name: "result".into(),
+            schema: rows.schema,
+            rows: out,
+        },
+        stats,
+    ))
+}
+
+/// Execute a plan's fetch steps eagerly and return the local pipeline as a
+/// row stream plus the *communication* statistics (which are final once the
+/// fetches ran). Spill statistics accrue on the pulling thread while the
+/// stream drains; callers wanting per-query spill accounting bracket the
+/// drain with [`coin_rel::thread_spill_stats`] the way [`execute_plan`]
+/// does. A supplied [`CancelToken`] aborts the pipeline mid-pull.
+pub fn execute_plan_stream(
+    plan: &Plan,
+    dict: &Dictionary,
+    cancel: Option<CancelToken>,
+) -> Result<(PlanRows, ExecStats), PlanError> {
+    let (staging, stats) = stage_fetches(plan, dict)?;
+    let (schema, op) =
+        coin_rel::build_select_pipeline(&plan.local, &staging, coin_rel::Feeds::new(), cancel)?;
+    Ok((PlanRows { schema, op }, stats))
+}
+
+/// Run every fetch step against its source and stage the shipped results.
+fn stage_fetches(plan: &Plan, dict: &Dictionary) -> Result<(Catalog, ExecStats), PlanError> {
+    let mut staging = Catalog::new();
+    let mut stats = ExecStats::default();
 
     for step in &plan.steps {
         match step {
@@ -128,12 +201,7 @@ pub fn execute_plan(plan: &Plan, dict: &Dictionary) -> Result<(Table, ExecStats)
         }
     }
 
-    let result = coin_rel::execute_select(&plan.local, &staging)?;
-    let spilled = coin_rel::thread_spill_stats().since(&spill_before);
-    stats.spill_runs = spilled.runs_written;
-    stats.spill_bytes = spilled.bytes_spilled;
-    stats.spill_max_run_bytes = spilled.max_run_bytes;
-    Ok((result, stats))
+    Ok((staging, stats))
 }
 
 fn step_table(step: &FetchStep) -> String {

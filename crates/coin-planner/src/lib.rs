@@ -22,7 +22,7 @@ pub mod optimize;
 pub mod plan;
 
 pub use dictionary::{DictError, Dictionary};
-pub use exec::{execute_plan, ExecStats};
+pub use exec::{execute_plan, execute_plan_stream, ExecStats, PlanRows};
 pub use optimize::{Planner, PlannerConfig};
 pub use plan::{FetchStep, ParamBinding, Plan, PlanError, QueryPlan};
 
@@ -52,41 +52,80 @@ impl Planner {
     /// set semantics unless the plan came from UNION ALL or a single
     /// SELECT).
     pub fn execute_planned(&self, plan: &QueryPlan) -> Result<(Table, ExecStats), PlanError> {
+        // Bracket the drain so per-query spill accounting stays exact (the
+        // stream spills on this thread while it is pulled).
+        let spill_before = coin_rel::thread_spill_stats();
+        let (mut rows, mut stats) = self.execute_planned_stream(plan, None)?;
+        let mut out = Vec::new();
+        while let Some(r) = rows.next()? {
+            out.push(r);
+        }
+        let spilled = coin_rel::thread_spill_stats().since(&spill_before);
+        stats.spill_runs = spilled.runs_written;
+        stats.spill_bytes = spilled.bytes_spilled;
+        stats.spill_max_run_bytes = spilled.max_run_bytes;
+        let (schema, _) = rows.into_parts();
+        Ok((
+            Table {
+                name: "result".into(),
+                schema,
+                rows: out,
+            },
+            stats,
+        ))
+    }
+
+    /// Execute a compiled [`QueryPlan`] as a row stream: every branch's
+    /// fetch steps run eagerly (communication statistics in the returned
+    /// [`ExecStats`] are final), but local joins, residuals, the UNION
+    /// merge and set-semantics deduplication all stream — nothing
+    /// materializes the combined result. Spill statistics accrue on the
+    /// pulling thread (see [`exec::execute_plan_stream`]).
+    pub fn execute_planned_stream(
+        &self,
+        plan: &QueryPlan,
+        cancel: Option<coin_rel::CancelToken>,
+    ) -> Result<(exec::PlanRows, ExecStats), PlanError> {
+        use coin_rel::exec::{Distinct, Rebrand, UnionAll};
+
         let mut stats = ExecStats::default();
-        let mut merged: Option<Table> = None;
+        let mut ops: Vec<coin_rel::BoxOp> = Vec::new();
+        let mut schema: Option<coin_rel::Schema> = None;
         for branch in &plan.branches {
-            let (t, st) = execute_plan(branch, &self.dictionary)?;
+            let (rows, st) = exec::execute_plan_stream(branch, &self.dictionary, cancel.clone())?;
             stats.remote_queries += st.remote_queries;
             stats.rows_shipped += st.rows_shipped;
             stats.comm_cost += st.comm_cost;
-            stats.spill_runs += st.spill_runs;
-            stats.spill_bytes += st.spill_bytes;
-            stats.spill_max_run_bytes = stats.spill_max_run_bytes.max(st.spill_max_run_bytes);
-            merged = Some(match merged {
-                None => t,
-                Some(mut acc) => {
-                    if t.schema.len() != acc.schema.len() {
+            let (sch, op) = rows.into_parts();
+            match &schema {
+                None => {
+                    schema = Some(sch);
+                    ops.push(op);
+                }
+                Some(first) => {
+                    if sch.len() != first.len() {
                         return Err(PlanError::Unsupported(
                             "UNION branches with different arities".into(),
                         ));
                     }
-                    acc.rows.extend(t.rows);
-                    acc
+                    // Re-brand with the first branch's column names so the
+                    // union presents one schema.
+                    ops.push(Box::new(Rebrand::new(op, first.clone())));
                 }
-            });
+            }
         }
-        let mut table = merged.ok_or_else(|| PlanError::Unsupported("empty union".into()))?;
+        let schema = schema.ok_or_else(|| PlanError::Unsupported("empty union".into()))?;
+        let mut op: coin_rel::BoxOp = match ops.len() {
+            1 => ops.pop().expect("one branch"),
+            _ => Box::new(UnionAll::new(ops)),
+        };
         if !plan.all {
-            // Set semantics: sort + dedup on all columns.
-            let key: Vec<(usize, bool)> = (0..table.schema.len()).map(|i| (i, false)).collect();
-            table
-                .rows
-                .sort_by(|a, b| coin_rel::tempstore::cmp_rows(a, b, &key));
-            table.rows.dedup_by(|a, b| {
-                coin_rel::tempstore::cmp_rows(a, b, &key) == std::cmp::Ordering::Equal
-            });
+            // Set semantics: the Distinct operator emits in total row
+            // order — the same sorted, deduplicated sequence the
+            // materialized sort+dedup produced.
+            op = Box::new(Distinct::new(op));
         }
-        Ok((table, stats))
+        Ok((exec::PlanRows::from_parts(schema, op), stats))
     }
 
     /// Plan and execute a full query — the compile-and-run convenience
@@ -99,6 +138,17 @@ impl Planner {
     pub fn run_sql(&self, sql: &str) -> Result<(Table, ExecStats), PlanError> {
         let q = coin_sql::parse_query(sql)?;
         self.execute_query(&q)
+    }
+
+    /// Parse, plan and execute SQL text as a row stream (the streaming
+    /// counterpart of [`Planner::run_sql`]).
+    pub fn run_sql_stream(
+        &self,
+        sql: &str,
+        cancel: Option<coin_rel::CancelToken>,
+    ) -> Result<(exec::PlanRows, ExecStats), PlanError> {
+        let q = coin_sql::parse_query(sql)?;
+        self.execute_planned_stream(&self.plan_query(&q)?, cancel)
     }
 }
 

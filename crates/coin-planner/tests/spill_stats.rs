@@ -33,8 +33,10 @@ fn small_sort_reports_zero_spill() {
 
 #[test]
 fn oversized_sort_reports_spill_runs_and_bytes() {
-    // The engine's Sort flushes 64Ki-row runs; 70k input rows force two.
-    let n = 70_000;
+    // The engine's Sort flushes 64Ki-row runs as they fill; the final
+    // in-memory tail merges from memory without a spill, so two runs on
+    // disk need more than 128Ki input rows.
+    let n = 140_000;
     let planner = planner_with_rows(n);
     let (out, stats) = planner.run_sql("SELECT k FROM t ORDER BY k").unwrap();
     assert_eq!(out.rows.len(), n);

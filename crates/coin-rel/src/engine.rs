@@ -8,21 +8,26 @@
 //! and drains it into a result [`Table`].
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use coin_sql::normalize::SchemaLookup;
 use coin_sql::{BinOp, ColumnRef, Expr, OrderItem, Query, Select, SelectItem};
 
 use crate::exec::{
-    drain, AggFn, AggSpec, Aggregate, BoxOp, Distinct, Filter, HashJoin, Limit, NestedLoopJoin,
-    Project, Sort, UnionAll, ValuesScan,
+    drain, AggFn, AggSpec, Aggregate, BoxOp, CancelGuard, CancelToken, Distinct, Filter, HashJoin,
+    Limit, NestedLoopJoin, Project, Rebrand, Sort, TableScan, UnionAll,
 };
 use crate::expr::{compile, CompileError};
 use crate::schema::{Column, ColumnType, Schema, Table};
 
 /// A named collection of tables (one source's database).
+///
+/// Tables are stored behind `Arc` so building a scan over one — and
+/// cloning a catalog — shares the rows instead of copying them; tables are
+/// immutable once added.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
-    tables: HashMap<String, Table>,
+    tables: HashMap<String, Arc<Table>>,
 }
 
 impl Catalog {
@@ -31,6 +36,11 @@ impl Catalog {
     }
 
     pub fn add_table(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), Arc::new(table));
+    }
+
+    /// Add an already-shared table without copying it.
+    pub fn add_shared(&mut self, table: Arc<Table>) {
         self.tables.insert(table.name.clone(), table);
     }
 
@@ -40,7 +50,12 @@ impl Catalog {
     }
 
     pub fn get(&self, name: &str) -> Option<&Table> {
-        self.tables.get(name)
+        self.tables.get(name).map(Arc::as_ref)
+    }
+
+    /// Shared handle to a table (what scans hold onto).
+    pub fn get_shared(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.get(name).cloned()
     }
 
     pub fn table_names(&self) -> Vec<&str> {
@@ -124,42 +139,53 @@ pub fn execute_query(q: &Query, catalog: &Catalog) -> Result<Table, EngineError>
     match q {
         Query::Select(s) => execute_select(s, catalog),
         Query::Union { .. } => {
-            let branches = q.branches();
-            let mut tables = Vec::new();
-            for b in &branches {
-                tables.push(execute_select(b, catalog)?);
-            }
-            let arity = tables[0].schema.len();
-            for t in &tables[1..] {
-                if t.schema.len() != arity {
-                    return Err(EngineError::Unsupported(
-                        "UNION branches with different arities".into(),
-                    ));
-                }
-            }
-            let all = match q {
-                Query::Union { all, .. } => *all,
-                _ => unreachable!(),
-            };
-            let schema = tables[0].schema.clone();
-            let ops: Vec<BoxOp> = tables
-                .into_iter()
-                .map(|t| {
-                    // Re-brand every branch with the first branch's schema so
-                    // column names line up.
-                    Box::new(ValuesScan::new(schema.clone(), t.rows)) as BoxOp
-                })
-                .collect();
-            let mut op: BoxOp = Box::new(UnionAll::new(ops));
-            if !all {
-                op = Box::new(Distinct::new(op));
-            }
+            let (schema, op) = build_query_pipeline(q, catalog, None)?;
             let rows = drain(op)?;
             Ok(Table {
                 name: "union".into(),
                 schema,
                 rows,
             })
+        }
+    }
+}
+
+/// Build a streaming pipeline for a full query (UNION branches re-branded
+/// with the first branch's column names; `UNION` without `ALL` adds a
+/// [`Distinct`], which emits in total row order).
+pub fn build_query_pipeline(
+    q: &Query,
+    catalog: &Catalog,
+    cancel: Option<CancelToken>,
+) -> Result<(Schema, BoxOp), EngineError> {
+    match q {
+        Query::Select(s) => build_select_pipeline(s, catalog, Feeds::new(), cancel),
+        Query::Union { all, .. } => {
+            let mut ops: Vec<BoxOp> = Vec::new();
+            let mut schema: Option<Schema> = None;
+            for b in q.branches() {
+                let (sch, op) = build_select_pipeline(b, catalog, Feeds::new(), cancel.clone())?;
+                match &schema {
+                    None => {
+                        schema = Some(sch);
+                        ops.push(op);
+                    }
+                    Some(first) => {
+                        if sch.len() != first.len() {
+                            return Err(EngineError::Unsupported(
+                                "UNION branches with different arities".into(),
+                            ));
+                        }
+                        ops.push(Box::new(Rebrand::new(op, first.clone())));
+                    }
+                }
+            }
+            let schema = schema.ok_or_else(|| EngineError::Unsupported("empty UNION".into()))?;
+            let mut op: BoxOp = Box::new(UnionAll::new(ops));
+            if !*all {
+                op = Box::new(Distinct::new(op));
+            }
+            Ok((schema, op))
         }
     }
 }
@@ -202,7 +228,65 @@ fn equi_pairs<'a>(
 
 /// Execute one SELECT block.
 pub fn execute_select(s: &Select, catalog: &Catalog) -> Result<Table, EngineError> {
+    let (schema, op) = build_select_pipeline(s, catalog, Feeds::new(), None)?;
+    let rows = drain(op)?;
+    Ok(Table {
+        name: "result".into(),
+        schema,
+        rows,
+    })
+}
+
+/// Build a streaming pipeline for one SELECT block without draining it —
+/// the bounded-memory seam: callers pull rows one at a time and nothing
+/// materializes the result.
+pub fn execute_select_stream(
+    s: &Select,
+    catalog: &Catalog,
+) -> Result<(Schema, BoxOp), EngineError> {
+    build_select_pipeline(s, catalog, Feeds::new(), None)
+}
+
+/// Live row streams standing in for catalog tables, keyed by table name.
+///
+/// A feed is consumed by the first scan that references its table; the
+/// catalog still needs a placeholder entry carrying the fed table's schema
+/// so name normalization can resolve its columns. If a query references the
+/// same fed table more than once (self-join), the feed is materialized once
+/// and both scans share the copy.
+pub type Feeds = HashMap<String, BoxOp>;
+
+/// Build one SELECT block's pipeline: scans (with per-table filter
+/// pushdown), joins, residual predicates, aggregation or projection,
+/// ordering, distinct and limit — returned unconsumed, with a
+/// [`CancelGuard`] above every scan when a token is supplied.
+pub fn build_select_pipeline(
+    s: &Select,
+    catalog: &Catalog,
+    mut feeds: Feeds,
+    cancel: Option<CancelToken>,
+) -> Result<(Schema, BoxOp), EngineError> {
     let s = coin_sql::normalize_select(s, catalog)?;
+
+    // A feed can serve exactly one scan; a self-join over a fed table
+    // materializes the stream once and scans the shared copy twice.
+    let mut materialized: HashMap<String, Arc<Table>> = HashMap::new();
+    for t in &s.from {
+        if s.from.iter().filter(|u| u.table == t.table).count() > 1 {
+            if let Some(feed) = feeds.remove(&t.table) {
+                let schema = feed.schema().clone();
+                let rows = drain(feed)?;
+                materialized.insert(
+                    t.table.clone(),
+                    Arc::new(Table {
+                        name: t.table.clone(),
+                        schema,
+                        rows,
+                    }),
+                );
+            }
+        }
+    }
 
     // ---- scans with per-table filter pushdown --------------------------
     let conjuncts: Vec<Expr> = s
@@ -216,12 +300,22 @@ pub fn execute_select(s: &Select, catalog: &Catalog) -> Result<Table, EngineErro
     let mut bound: Vec<String> = Vec::new();
 
     for t in &s.from {
-        let table = catalog
-            .get(&t.table)
-            .ok_or_else(|| EngineError::UnknownTable(t.table.clone()))?;
         let binding = t.binding().to_owned();
-        let schema = table.schema.qualified(&binding);
-        let mut scan: BoxOp = Box::new(ValuesScan::new(schema.clone(), table.rows.clone()));
+        let mut scan: BoxOp = if let Some(feed) = feeds.remove(&t.table) {
+            let schema = feed.schema().qualified(&binding);
+            Box::new(Rebrand::new(feed, schema))
+        } else {
+            let table = materialized
+                .get(&t.table)
+                .cloned()
+                .or_else(|| catalog.get_shared(&t.table))
+                .ok_or_else(|| EngineError::UnknownTable(t.table.clone()))?;
+            let schema = table.schema.qualified(&binding);
+            Box::new(TableScan::new(table, schema))
+        };
+        if let Some(token) = &cancel {
+            scan = Box::new(CancelGuard::new(scan, token.clone()));
+        }
 
         // Push single-table predicates down onto the scan.
         let mut pushed = Vec::new();
@@ -410,12 +504,7 @@ pub fn execute_select(s: &Select, catalog: &Catalog) -> Result<Table, EngineErro
         op = Box::new(Limit::new(op, n));
     }
 
-    let rows = drain(op)?;
-    Ok(Table {
-        name: "result".into(),
-        schema: out_schema,
-        rows,
-    })
+    Ok((out_schema, op))
 }
 
 /// Build the aggregation pipeline. Returns the operator (producing

@@ -7,10 +7,12 @@
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::Arc;
 
 use crate::expr::CExpr;
-use crate::schema::{Row, Schema};
-use crate::tempstore::{cmp_rows, ExternalSorter, SortKey, TempStore};
+use crate::schema::{Row, Schema, Table};
+use crate::tempstore::{cmp_rows, ExternalSorter, MergeStream, SortKey, TempStore};
 use crate::value::{Value, ValueError};
 
 /// Execution errors.
@@ -18,6 +20,9 @@ use crate::value::{Value, ValueError};
 pub enum ExecError {
     Value(ValueError),
     Io(std::io::Error),
+    /// The pipeline's [`CancelToken`] was flipped — the consumer went away
+    /// and the plan aborted mid-stream.
+    Cancelled,
     Other(String),
 }
 
@@ -26,6 +31,7 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::Value(e) => write!(f, "{e}"),
             ExecError::Io(e) => write!(f, "io error: {e}"),
+            ExecError::Cancelled => f.write_str("query cancelled"),
             ExecError::Other(m) => f.write_str(m),
         }
     }
@@ -51,8 +57,10 @@ pub trait Operator {
     fn next(&mut self) -> Result<Option<Row>, ExecError>;
 }
 
-/// Boxed operator, the composition unit.
-pub type BoxOp = Box<dyn Operator>;
+/// Boxed operator, the composition unit. `Send` so a built pipeline can
+/// be handed to the transport thread that drains it (streaming `/query`
+/// responses are pulled by a server worker, not the thread that planned).
+pub type BoxOp = Box<dyn Operator + Send>;
 
 /// Drain an operator into a row vector.
 pub fn drain(mut op: BoxOp) -> Result<Vec<Row>, ExecError> {
@@ -87,6 +95,147 @@ impl Operator for ValuesScan {
 
     fn next(&mut self) -> Result<Option<Row>, ExecError> {
         Ok(self.rows.next())
+    }
+}
+
+/// Scan over a shared table, cloning one row per pull.
+///
+/// Unlike [`ValuesScan`] (which owns its rows and is handed freshly built
+/// vectors), a `TableScan` borrows the table through an `Arc` so arbitrarily
+/// many pipelines can scan the same staged data without copying it up
+/// front — the per-row clone is cheap (values are scalars or `Arc<str>`).
+pub struct TableScan {
+    table: Arc<Table>,
+    schema: Schema,
+    pos: usize,
+}
+
+impl TableScan {
+    /// Scan `table` announcing `schema` (usually the table's schema
+    /// qualified by a FROM binding; arities must match).
+    pub fn new(table: Arc<Table>, schema: Schema) -> TableScan {
+        debug_assert_eq!(table.schema.len(), schema.len());
+        TableScan {
+            table,
+            schema,
+            pos: 0,
+        }
+    }
+}
+
+impl Operator for TableScan {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        let row = self.table.rows.get(self.pos).cloned();
+        self.pos += row.is_some() as usize;
+        Ok(row)
+    }
+}
+
+/// Pass rows through unchanged under a replacement schema (re-qualified
+/// column names for a FROM binding, or a UNION branch re-branded with the
+/// first branch's column names).
+pub struct Rebrand {
+    input: BoxOp,
+    schema: Schema,
+}
+
+impl Rebrand {
+    pub fn new(input: BoxOp, schema: Schema) -> Rebrand {
+        debug_assert_eq!(input.schema().len(), schema.len());
+        Rebrand { input, schema }
+    }
+}
+
+impl Operator for Rebrand {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        self.input.next()
+    }
+}
+
+/// A shared cancellation signal for a running pipeline.
+///
+/// Cloning the token shares the flag; any holder may [`CancelToken::cancel`]
+/// and every [`CancelGuard`] in the pipeline then surfaces
+/// [`ExecError::Cancelled`] within [`CANCEL_CHECK_INTERVAL`] rows. The flag
+/// can also be built around an externally owned `Arc<AtomicBool>`
+/// ([`CancelToken::from_shared`]) so a transport layer can flip it without
+/// depending on this crate's types.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Wrap an existing shared flag (`true` means cancelled).
+    pub fn from_shared(flag: Arc<AtomicBool>) -> CancelToken {
+        CancelToken(flag)
+    }
+
+    /// The underlying shared flag.
+    pub fn shared(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.0)
+    }
+
+    /// Request cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, AtomicOrdering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(AtomicOrdering::Relaxed)
+    }
+}
+
+/// How many rows a [`CancelGuard`] lets through between cancellation
+/// checks. Blocking operators (sort, aggregate, join build sides) drain
+/// their inputs through the guards below them, so a flipped token stops
+/// even a pipeline that has not emitted a single output row yet.
+pub const CANCEL_CHECK_INTERVAL: u32 = 256;
+
+/// Propagates cancellation into a pipeline: checks the token every
+/// [`CANCEL_CHECK_INTERVAL`] rows and fails with [`ExecError::Cancelled`].
+/// The engine inserts one guard above every scan, which bounds the work any
+/// operator can do after cancellation to one check interval per input.
+pub struct CancelGuard {
+    input: BoxOp,
+    token: CancelToken,
+    countdown: u32,
+}
+
+impl CancelGuard {
+    pub fn new(input: BoxOp, token: CancelToken) -> CancelGuard {
+        CancelGuard {
+            input,
+            token,
+            countdown: 0,
+        }
+    }
+}
+
+impl Operator for CancelGuard {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, ExecError> {
+        if self.countdown == 0 {
+            if self.token.is_cancelled() {
+                return Err(ExecError::Cancelled);
+            }
+            self.countdown = CANCEL_CHECK_INTERVAL;
+        }
+        self.countdown -= 1;
+        self.input.next()
     }
 }
 
@@ -540,11 +689,17 @@ pub const DISTINCT_SPILL_THRESHOLD: usize = 64 * 1024;
 ///
 /// Output is emitted in the total row order in both modes (the in-memory
 /// set is sorted once at the end), so results are deterministic and
-/// identical to the sort-based implementation's.
+/// identical to the sort-based implementation's. The spill path emits
+/// incrementally from the k-way merge — the deduplicated result is never
+/// materialized as a whole.
 pub struct Distinct {
     input: Option<BoxOp>,
     schema: Schema,
     sorted: Option<std::vec::IntoIter<Row>>,
+    /// Spill path: merge of the pre-sorted dedup set and the sorted tail,
+    /// deduplicated on the fly against `last`.
+    merge: Option<MergeStream>,
+    last: Option<Row>,
     store: TempStore,
     run_capacity: usize,
     spill_threshold: usize,
@@ -559,6 +714,8 @@ impl Distinct {
             input: Some(input),
             schema,
             sorted: None,
+            merge: None,
+            last: None,
             store: TempStore::new(),
             run_capacity: 64 * 1024,
             spill_threshold: DISTINCT_SPILL_THRESHOLD,
@@ -574,6 +731,13 @@ impl Distinct {
         self
     }
 
+    /// Lower the fallback sorter's in-memory run size (exercises the disk
+    /// spill path in tests without a 64Ki-row input).
+    pub fn with_run_capacity(mut self, cap: usize) -> Distinct {
+        self.run_capacity = cap;
+        self
+    }
+
     /// Did this operator fall back to the external-sort path?
     pub fn spilled(&self) -> bool {
         self.spilled
@@ -583,7 +747,9 @@ impl Distinct {
         (0..self.schema.len()).map(|i| (i, false)).collect()
     }
 
-    fn materialize(&mut self) -> Result<Vec<Row>, ExecError> {
+    /// Consume the input and park the result either as an in-memory sorted
+    /// vector (`sorted`) or as a spill-backed merge stream (`merge`).
+    fn build(&mut self) -> Result<(), ExecError> {
         let mut src = self.input.take().expect("input present");
         let key = self.full_key();
         let all_cols: Vec<usize> = (0..self.schema.len()).collect();
@@ -601,30 +767,27 @@ impl Distinct {
                 continue;
             }
             if seen.len() >= self.spill_threshold {
-                // Phase 2: the distinct set no longer fits — push everything
-                // seen plus the rest of the input through the external
-                // sorter and deduplicate the sorted stream.
+                // Phase 2: the distinct set no longer fits. It is already
+                // duplicate-free, so one in-memory sort turns it into a
+                // ready-made merge run — only the *tail* of the input goes
+                // through the external sorter's spill machinery. (Re-pushing
+                // the dedup set would re-sort it and write it to disk,
+                // double-counting it in the spill stats for no benefit.)
                 self.spilled = true;
+                drop(table);
                 let mut sorter =
                     ExternalSorter::new(self.store.clone(), key.clone(), self.run_capacity);
-                for r in seen.drain(..) {
-                    sorter.push(r)?;
-                }
+                seen.sort_unstable_by(|a, b| cmp_rows(a, b, &key));
+                sorter.add_sorted_run(std::mem::take(&mut seen));
                 sorter.push(row)?;
                 while let Some(r) = src.next()? {
                     sorter.push(r)?;
                 }
-                let sorted = sorter.finish()?;
-                let mut out: Vec<Row> = Vec::new();
-                for r in sorted {
-                    let dup = out
-                        .last()
-                        .is_some_and(|l| cmp_rows(l, &r, &key) == std::cmp::Ordering::Equal);
-                    if !dup {
-                        out.push(r);
-                    }
-                }
-                return Ok(out);
+                // Adjacent duplicates are suppressed while pulling from the
+                // merge (see `next`), so the distinct result streams out
+                // without ever being materialized.
+                self.merge = Some(sorter.into_merge()?);
+                return Ok(());
             }
             bucket.push(seen.len() as u32);
             seen.push(row);
@@ -632,7 +795,8 @@ impl Distinct {
         // Everything fit: one in-memory sort of the distinct set keeps the
         // output order identical to the sort-based implementation.
         seen.sort_unstable_by(|a, b| cmp_rows(a, b, &key));
-        Ok(seen)
+        self.sorted = Some(seen.into_iter());
+        Ok(())
     }
 }
 
@@ -642,20 +806,39 @@ impl Operator for Distinct {
     }
 
     fn next(&mut self) -> Result<Option<Row>, ExecError> {
-        if self.sorted.is_none() {
-            let rows = self.materialize()?;
-            self.sorted = Some(rows.into_iter());
+        if self.sorted.is_none() && self.merge.is_none() {
+            self.build()?;
+        }
+        if let Some(merge) = &mut self.merge {
+            while let Some(row) = merge.next_row()? {
+                let dup = self.last.as_ref().is_some_and(|l| {
+                    l.iter()
+                        .zip(&row)
+                        .all(|(a, b)| a.total_cmp(b) == std::cmp::Ordering::Equal)
+                });
+                if dup {
+                    continue;
+                }
+                self.last = Some(row.clone());
+                return Ok(Some(row));
+            }
+            return Ok(None);
         }
         Ok(self.sorted.as_mut().unwrap().next())
     }
 }
 
 /// ORDER BY via the external sorter.
+///
+/// Blocking on the input side (everything must be seen before the first
+/// row can come out), but the *output* side streams from the k-way merge:
+/// after the runs are built the operator holds one in-memory run plus one
+/// row per disk run, never the whole sorted result.
 pub struct Sort {
     input: Option<BoxOp>,
     schema: Schema,
     key: SortKey,
-    sorted: Option<std::vec::IntoIter<Row>>,
+    merge: Option<MergeStream>,
     store: TempStore,
     run_capacity: usize,
 }
@@ -667,7 +850,7 @@ impl Sort {
             input: Some(input),
             schema,
             key,
-            sorted: None,
+            merge: None,
             store: TempStore::new(),
             run_capacity: 64 * 1024,
         }
@@ -687,16 +870,16 @@ impl Operator for Sort {
     }
 
     fn next(&mut self) -> Result<Option<Row>, ExecError> {
-        if self.sorted.is_none() {
+        if self.merge.is_none() {
             let mut src = self.input.take().expect("input present");
             let mut sorter =
                 ExternalSorter::new(self.store.clone(), self.key.clone(), self.run_capacity);
             while let Some(row) = src.next()? {
                 sorter.push(row)?;
             }
-            self.sorted = Some(sorter.finish()?.into_iter());
+            self.merge = Some(sorter.into_merge()?);
         }
-        Ok(self.sorted.as_mut().unwrap().next())
+        Ok(self.merge.as_mut().unwrap().next_row()?)
     }
 }
 

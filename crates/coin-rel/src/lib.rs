@@ -45,9 +45,12 @@ pub mod schema;
 pub mod tempstore;
 pub mod value;
 
-pub use engine::{execute_query, execute_select, execute_sql, Catalog, EngineError};
-pub use exec::{drain, BoxOp, ExecError, Operator};
+pub use engine::{
+    build_query_pipeline, build_select_pipeline, execute_query, execute_select,
+    execute_select_stream, execute_sql, Catalog, EngineError, Feeds,
+};
+pub use exec::{drain, BoxOp, CancelToken, ExecError, Operator};
 pub use expr::{compile, CExpr, CompileError};
 pub use schema::{Column, ColumnType, Row, Schema, Table, TableError};
-pub use tempstore::{thread_spill_stats, ExternalSorter, SpillStats, TempStore};
+pub use tempstore::{thread_spill_stats, ExternalSorter, MergeStream, SpillStats, TempStore};
 pub use value::{sql_like, ArithOp, Value, ValueError};

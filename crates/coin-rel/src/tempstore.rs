@@ -340,6 +340,9 @@ pub struct ExternalSorter {
     run_capacity: usize,
     current: Vec<Row>,
     runs: Vec<SpillFile>,
+    /// Runs handed over already sorted ([`ExternalSorter::add_sorted_run`]);
+    /// they join the final merge without touching disk.
+    mem_runs: Vec<Vec<Row>>,
     /// Count of rows that went through a disk run (spill ablation metric).
     spilled_rows: usize,
 }
@@ -353,7 +356,25 @@ impl ExternalSorter {
             run_capacity,
             current: Vec::new(),
             runs: Vec::new(),
+            mem_runs: Vec::new(),
             spilled_rows: 0,
+        }
+    }
+
+    /// Hand over rows that are *already sorted* by this sorter's key as one
+    /// merge run. The run stays in memory — it is never re-sorted and never
+    /// written to disk, so it contributes nothing to the spill counters.
+    /// Callers that have done the sorting work once (e.g. a deduplicated
+    /// hash set sorted in place) use this to merge only the tail through
+    /// the disk path.
+    pub fn add_sorted_run(&mut self, rows: Vec<Row>) {
+        debug_assert!(
+            rows.windows(2)
+                .all(|w| cmp_rows(&w[0], &w[1], &self.key) != Ordering::Greater),
+            "add_sorted_run: rows not sorted by the sorter's key"
+        );
+        if !rows.is_empty() {
+            self.mem_runs.push(rows);
         }
     }
 
@@ -392,69 +413,139 @@ impl ExternalSorter {
     /// Finish and return the fully sorted rows.
     ///
     /// If everything fit in one in-memory run, no disk I/O happens at all;
-    /// otherwise the in-memory tail is spilled too and all runs are k-way
-    /// merged through a heap.
-    pub fn finish(mut self) -> io::Result<Vec<Row>> {
-        let key = self.key.clone();
-        if self.runs.is_empty() {
-            self.current.sort_by(|a, b| cmp_rows(a, b, &key));
-            return Ok(std::mem::take(&mut self.current));
-        }
-        self.flush_run()?;
-
-        struct HeapItem {
-            row: Row,
-            source: usize,
-        }
-        // BinaryHeap is a max-heap; we wrap with reversed comparison.
-        struct Ctx(SortKey);
-        let ctx = Ctx(key);
-        let mut readers: Vec<SpillReader> = self
-            .runs
-            .iter()
-            .map(SpillFile::reader)
-            .collect::<io::Result<_>>()?;
-        // Rust's BinaryHeap needs Ord on the item itself; we emulate with a
-        // Vec-based loser-tree-ish approach via a keyed wrapper.
-        struct Keyed<'a>(HeapItem, &'a Ctx);
-        impl PartialEq for Keyed<'_> {
-            fn eq(&self, other: &Self) -> bool {
-                cmp_rows(&self.0.row, &other.0.row, &self.1 .0) == Ordering::Equal
-            }
-        }
-        impl Eq for Keyed<'_> {}
-        impl PartialOrd for Keyed<'_> {
-            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl Ord for Keyed<'_> {
-            fn cmp(&self, other: &Self) -> Ordering {
-                // Reversed: min-heap behaviour from the max-heap.
-                cmp_rows(&other.0.row, &self.0.row, &self.1 .0)
-            }
-        }
-
-        let mut heap: BinaryHeap<Keyed<'_>> = BinaryHeap::new();
-        for (i, r) in readers.iter_mut().enumerate() {
-            if let Some(row) = r.next_row()? {
-                heap.push(Keyed(HeapItem { row, source: i }, &ctx));
-            }
-        }
+    /// otherwise all runs are k-way merged through a heap
+    /// ([`ExternalSorter::into_merge`] is the streaming form of the same
+    /// merge). The in-memory tail is merged from memory, not re-spilled.
+    pub fn finish(self) -> io::Result<Vec<Row>> {
+        let mut merge = self.into_merge()?;
         let mut out = Vec::new();
-        while let Some(Keyed(item, _)) = heap.pop() {
-            if let Some(next) = readers[item.source].next_row()? {
-                heap.push(Keyed(
-                    HeapItem {
-                        row: next,
-                        source: item.source,
-                    },
-                    &ctx,
-                ));
-            }
-            out.push(item.row);
+        while let Some(row) = merge.next_row()? {
+            out.push(row);
         }
         Ok(out)
+    }
+
+    /// Finish into a streaming k-way merge: rows come out one at a time in
+    /// sorted order, holding at most one in-memory run plus one row per
+    /// disk run in memory. This is the bounded-memory seam the streaming
+    /// executor pulls from.
+    pub fn into_merge(mut self) -> io::Result<MergeStream> {
+        let key = Arc::new(self.key);
+        self.current.sort_by(|a, b| cmp_rows(a, b, &key));
+        // Source order is the tie-break for equal rows (the merge is
+        // stable): pre-sorted runs were handed over before anything was
+        // pushed, disk runs spilled in push order, and the in-memory tail
+        // holds the latest pushes.
+        let mut sources: Vec<RunSource> =
+            Vec::with_capacity(self.runs.len() + 1 + self.mem_runs.len());
+        for run in self.mem_runs {
+            sources.push(RunSource::Mem(run.into_iter()));
+        }
+        for run in &self.runs {
+            sources.push(RunSource::Disk(run.reader()?));
+        }
+        if !self.current.is_empty() {
+            sources.push(RunSource::Mem(self.current.into_iter()));
+        }
+        let mut heap = BinaryHeap::with_capacity(sources.len());
+        if sources.len() > 1 {
+            for (i, src) in sources.iter_mut().enumerate() {
+                if let Some(row) = src.next_row()? {
+                    heap.push(Keyed {
+                        row,
+                        source: i,
+                        key: Arc::clone(&key),
+                    });
+                }
+            }
+        }
+        Ok(MergeStream {
+            key,
+            sources,
+            heap,
+            _files: self.runs,
+        })
+    }
+}
+
+/// One input to a [`MergeStream`]: a disk run or an in-memory sorted run.
+enum RunSource {
+    Disk(SpillReader),
+    Mem(std::vec::IntoIter<Row>),
+}
+
+impl RunSource {
+    fn next_row(&mut self) -> io::Result<Option<Row>> {
+        match self {
+            RunSource::Disk(r) => r.next_row(),
+            RunSource::Mem(it) => Ok(it.next()),
+        }
+    }
+}
+
+/// Heap entry: Rust's `BinaryHeap` is a max-heap and needs `Ord` on the
+/// item itself, so each entry carries the shared sort key and compares
+/// reversed for min-heap behaviour.
+struct Keyed {
+    row: Row,
+    source: usize,
+    key: Arc<SortKey>,
+}
+
+impl PartialEq for Keyed {
+    fn eq(&self, other: &Self) -> bool {
+        cmp_rows(&self.row, &other.row, &self.key) == Ordering::Equal
+    }
+}
+impl Eq for Keyed {}
+impl PartialOrd for Keyed {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Keyed {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for min-heap behaviour; equal rows pop in source order,
+        // which makes the merge stable (the surviving representative of an
+        // equal-but-distinguishable pair, e.g. Int(1) vs Float(1.0), is
+        // the earliest-arriving one — same as a single stable sort).
+        cmp_rows(&other.row, &self.row, &self.key).then_with(|| other.source.cmp(&self.source))
+    }
+}
+
+/// Streaming k-way merge over sorted runs (see
+/// [`ExternalSorter::into_merge`]). Single-run merges bypass the heap
+/// entirely — the common no-spill sort degenerates to draining one
+/// in-memory run.
+pub struct MergeStream {
+    #[allow(dead_code)]
+    key: Arc<SortKey>,
+    sources: Vec<RunSource>,
+    heap: BinaryHeap<Keyed>,
+    /// Keeps the spill files alive (they are deleted on drop).
+    _files: Vec<SpillFile>,
+}
+
+impl MergeStream {
+    /// The next row in global sorted order; `None` when exhausted.
+    pub fn next_row(&mut self) -> io::Result<Option<Row>> {
+        if self.sources.len() <= 1 {
+            return match self.sources.first_mut() {
+                Some(src) => src.next_row(),
+                None => Ok(None),
+            };
+        }
+        let Some(top) = self.heap.pop() else {
+            return Ok(None);
+        };
+        if let Some(next) = self.sources[top.source].next_row()? {
+            self.heap.push(Keyed {
+                row: next,
+                source: top.source,
+                key: Arc::clone(&top.key),
+            });
+        }
+        Ok(Some(top.row))
     }
 }
 
@@ -635,5 +726,60 @@ mod tests {
         // And a window's max never exceeds its own byte total.
         let w = thread_spill_stats().since(&before);
         assert!(w.max_run_bytes <= w.bytes_spilled);
+    }
+
+    #[test]
+    fn sorted_runs_merge_without_spilling() {
+        let store = TempStore::new();
+        let mut s = ExternalSorter::new(store.clone(), vec![(0, false)], 4);
+        s.add_sorted_run(vec![row(0, "pre"), row(2, "pre"), row(9, "pre")]);
+        for i in [7, 1, 5, 3, 8, 4] {
+            s.push(row(i, "tail")).unwrap();
+        }
+        let sorted = s.finish().unwrap();
+        let keys: Vec<i64> = sorted
+            .iter()
+            .map(|r| match r[0] {
+                Value::Int(i) => i,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4, 5, 7, 8, 9]);
+        // Only the pushed tail spilled (6 rows past a 4-row run capacity
+        // flushes one 4-row run; the rest merges from memory).
+        assert_eq!(store.spill_stats().rows_spilled, 4);
+    }
+
+    #[test]
+    fn streaming_merge_matches_finish() {
+        let store = TempStore::new();
+        let build = |store: &TempStore| {
+            let mut s = ExternalSorter::new(store.clone(), vec![(0, false)], 8);
+            for i in 0..100 {
+                s.push(row((i * 37) % 100, "x")).unwrap();
+            }
+            s
+        };
+        let want = build(&store).finish().unwrap();
+        let mut merge = build(&store).into_merge().unwrap();
+        let mut got = Vec::new();
+        while let Some(r) = merge.next_row().unwrap() {
+            got.push(r);
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn merge_ties_break_by_arrival_order() {
+        // Int(1) and Float(1.0) compare equal but are distinguishable; the
+        // stable merge must surface the pre-sorted run's copy (handed over
+        // before any push) ahead of the pushed one.
+        let store = TempStore::new();
+        let mut s = ExternalSorter::new(store, vec![(0, false)], 1);
+        s.add_sorted_run(vec![vec![Value::Float(1.0)]]);
+        s.push(vec![Value::Int(1)]).unwrap();
+        let sorted = s.finish().unwrap();
+        assert_eq!(sorted[0], vec![Value::Float(1.0)]);
+        assert_eq!(sorted[1], vec![Value::Int(1)]);
     }
 }

@@ -255,3 +255,43 @@ fn output_is_sorted_in_both_modes() {
         }
     }
 }
+
+#[test]
+fn spill_fallback_does_not_respill_the_dedup_set() {
+    // Regression: the fallback used to re-push the already-deduplicated
+    // set through the external sorter, re-sorting it and writing it to
+    // disk a second time — spill accounting double-counted rows the hash
+    // phase had already paid for. The set is now handed over as one
+    // pre-sorted in-memory run, so only the *tail* of the input can reach
+    // disk.
+    let threshold = 50;
+    let run_capacity = 64;
+    let n = 1001; // 50 distinct head rows, 951-row tail after the trip
+    let distinct = 100;
+    let rows = rows_with_distinct(n, distinct);
+    let tail = (n - threshold) as u64;
+
+    let before = coin_rel::thread_spill_stats();
+    let mut d = Distinct::new(scan(rows))
+        .with_spill_threshold(threshold)
+        .with_run_capacity(run_capacity);
+    let mut out = Vec::new();
+    while let Some(r) = d.next().unwrap() {
+        out.push(r);
+    }
+    let delta = coin_rel::thread_spill_stats().since(&before);
+
+    assert!(d.spilled(), "fallback path must run");
+    assert_eq!(out.len(), distinct);
+    assert!(delta.rows_spilled > 0, "tail must exercise the disk path");
+    // The dedup set never hits disk: with the old double-push the head
+    // would be spilled too and this bound would be exceeded.
+    assert!(
+        delta.rows_spilled <= tail,
+        "spilled {} rows but the tail is only {tail} — the dedup set was re-spilled",
+        delta.rows_spilled
+    );
+    // Same answer as the pure hash path.
+    let (want, _) = run_distinct(rows_with_distinct(n, distinct), usize::MAX);
+    assert_eq!(out, want);
+}

@@ -64,11 +64,12 @@ pub struct TableInfo {
 /// The connection holds one pooled keep-alive socket ([`HttpClient`]):
 /// sequential requests reuse it instead of opening a TCP connection per
 /// call, and a socket the server idle-timed-out is transparently
-/// re-opened — under [`HttpClient`]'s retry policy, which reconnects
-/// only on disconnect-before-response and never on a timeout (safe
-/// while every endpoint is read-only; must become method-aware if
-/// mutating endpoints appear). Clones share the pooled socket (requests
-/// serialize over it, as in ODBC connections).
+/// re-opened. [`HttpClient`]'s retry policy replays a request only on
+/// disconnect-before-response, never on a timeout, and only for
+/// idempotent methods — `POST /query` is read-only despite its method,
+/// so this connection opts it in explicitly
+/// ([`HttpClient::send_assuming_idempotent`]). Clones share the pooled
+/// socket (requests serialize over it, as in ODBC connections).
 ///
 /// ```
 /// use coin_core::fixtures::figure2_system;
@@ -132,12 +133,17 @@ impl Connection {
     }
 
     fn post_json(&self, path: &str, payload: &Json) -> Result<Vec<u8>, HttpError> {
-        self.http().request(
-            "POST",
-            path,
-            Some("application/json"),
-            payload.to_string().as_bytes(),
-        )
+        // Every endpoint this client POSTs to is read-only (queries,
+        // explain), so opt in to the stale-socket replay the transport
+        // otherwise reserves for GET/HEAD.
+        self.http()
+            .send_assuming_idempotent(
+                "POST",
+                path,
+                Some("application/json"),
+                payload.to_string().as_bytes(),
+            )?
+            .into_body()
     }
 
     /// Fetch the schema dictionary.
@@ -193,6 +199,8 @@ impl Connection {
         Statement {
             conn: self,
             mediated: true,
+            max_rows: 0,
+            max_bytes: 0,
         }
     }
 
@@ -201,6 +209,8 @@ impl Connection {
         Statement {
             conn: self,
             mediated: false,
+            max_rows: 0,
+            max_bytes: 0,
         }
     }
 
@@ -252,17 +262,41 @@ impl Connection {
 pub struct Statement<'c> {
     conn: &'c Connection,
     mediated: bool,
+    max_rows: u64,
+    max_bytes: u64,
 }
 
 impl Statement<'_> {
+    /// Cap the result at `n` rows (0 = unlimited). A capped result that
+    /// actually dropped rows comes back with [`ResultSet::truncated`]
+    /// set.
+    pub fn max_rows(mut self, n: u64) -> Self {
+        self.max_rows = n;
+        self
+    }
+
+    /// Cap the response body at roughly `n` bytes (0 = unlimited; the
+    /// server stops emitting rows at the first row past the cap).
+    pub fn max_bytes(mut self, n: u64) -> Self {
+        self.max_bytes = n;
+        self
+    }
+
     /// Execute SQL and fetch the full result set.
     pub fn execute(&self, sql: &str) -> Result<ResultSet, ClientError> {
         let mode = if self.mediated { "mediated" } else { "naive" };
-        let payload = Json::obj([
-            ("sql", Json::str(sql)),
-            ("context", Json::str(&self.conn.context)),
-            ("mode", Json::str(mode)),
-        ]);
+        let mut fields = vec![
+            ("sql".to_owned(), Json::str(sql)),
+            ("context".to_owned(), Json::str(&self.conn.context)),
+            ("mode".to_owned(), Json::str(mode)),
+        ];
+        if self.max_rows > 0 {
+            fields.push(("max_rows".to_owned(), Json::Num(self.max_rows as f64)));
+        }
+        if self.max_bytes > 0 {
+            fields.push(("max_bytes".to_owned(), Json::Num(self.max_bytes as f64)));
+        }
+        let payload = Json::Obj(fields);
         let body = self.conn.post_json("/query", &payload)?;
         let doc = parse(&String::from_utf8_lossy(&body))?;
         if let Some(err) = doc.get("error").and_then(Json::as_str) {
@@ -321,6 +355,10 @@ fn decode_result(doc: &Json) -> Result<ResultSet, ClientError> {
             .map(str::to_owned),
         cache: doc.get("cache").and_then(Json::as_str).map(str::to_owned),
         plan_epoch: doc.get("epoch").and_then(Json::as_f64).map(|e| e as u64),
+        truncated: doc
+            .get("truncated")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
     })
 }
 
@@ -360,6 +398,9 @@ pub struct ResultSet {
     /// `None` from older servers). Together with the epoch-guarded cache
     /// this certifies which model state produced the rows.
     pub plan_epoch: Option<u64>,
+    /// The server dropped rows to honor a [`Statement::max_rows`] /
+    /// [`Statement::max_bytes`] cap.
+    pub truncated: bool,
 }
 
 impl ResultSet {

@@ -11,6 +11,8 @@
 use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use crate::http::{
@@ -123,8 +125,38 @@ pub(crate) enum ConnState {
         /// Whether the connection persists after this response.
         keep: bool,
     },
+    /// A chunked response is in progress: the owning worker pumps body
+    /// chunks through [`Conn::body_stream`], the reactor frames and writes
+    /// them as the socket drains, and watches the socket for a peer
+    /// disconnect (which cancels the producer).
+    Streaming {
+        /// Whether the connection persists after a *clean* stream end.
+        keep: bool,
+    },
     /// Final response queued (or none); flush `out`, then close.
     Closing,
+}
+
+/// One message from the producing worker to the reactor on a streaming
+/// response. The channel is bounded, so a worker outrunning the socket
+/// blocks on `send` — backpressure that keeps the reactor-side buffer
+/// bounded no matter how large the result is.
+pub(crate) enum StreamMsg {
+    /// Raw body bytes (unframed; the reactor applies chunk framing).
+    Chunk(Vec<u8>),
+    /// The producer finished. `clean` = write the terminal chunk and
+    /// resume keep-alive; otherwise close without it so the peer detects
+    /// the truncation.
+    End { clean: bool },
+}
+
+/// Reactor-side handle to an in-progress streamed response.
+pub(crate) struct StreamHandle {
+    /// Body chunks from the producing worker.
+    pub(crate) rx: mpsc::Receiver<StreamMsg>,
+    /// Flipped by the reactor when the peer disconnects mid-stream; the
+    /// producer polls it (via its `CancelToken`) and aborts the plan.
+    pub(crate) cancel: Arc<AtomicBool>,
 }
 
 /// One nonblocking connection owned by the reactor.
@@ -150,6 +182,9 @@ pub(crate) struct Conn {
     /// The peer sent FIN: no more request bytes will ever arrive, but a
     /// half-closing client may still be owed (and read) responses.
     pub(crate) peer_eof: bool,
+    /// Live streamed response, present exactly while `state` is
+    /// [`ConnState::Streaming`].
+    pub(crate) body_stream: Option<StreamHandle>,
 }
 
 /// How long a queued response may wait for the peer to read it.
@@ -169,12 +204,16 @@ impl Conn {
             write_deadline: None,
             idle_since: now,
             peer_eof: false,
+            body_stream: None,
         }
     }
 
-    /// Should the reactor poll this connection for readability?
+    /// Should the reactor poll this connection for readability? During a
+    /// stream the socket is watched too — not for requests, but so a
+    /// peer's FIN is observed promptly and cancels the running plan.
     pub(crate) fn wants_read(&self) -> bool {
-        self.state == ConnState::Reading && !self.peer_eof
+        (self.state == ConnState::Reading || matches!(self.state, ConnState::Streaming { .. }))
+            && !self.peer_eof
     }
 
     /// Should the reactor poll this connection for writability?
@@ -184,12 +223,17 @@ impl Conn {
 
     /// Queue an encoded response behind any bytes already pending.
     pub(crate) fn queue_response(&mut self, resp: &HttpResponse, keep_alive: bool, now: Instant) {
+        self.queue_bytes(&encode_response(resp, keep_alive), now);
+    }
+
+    /// Queue raw pre-encoded bytes (a chunked-response head or chunk
+    /// frame) behind any bytes already pending.
+    pub(crate) fn queue_bytes(&mut self, bytes: &[u8], now: Instant) {
         if self.out_pos == self.out.len() {
             self.out.clear();
             self.out_pos = 0;
         }
-        self.out
-            .extend_from_slice(&encode_response(resp, keep_alive));
+        self.out.extend_from_slice(bytes);
         // Armed only when output *first* becomes pending (try_write
         // clears it on drain): a peer that keeps triggering responses
         // without ever reading them must not keep pushing the deadline
@@ -197,6 +241,13 @@ impl Conn {
         if self.write_deadline.is_none() {
             self.write_deadline = Some(now + WRITE_DEADLINE);
         }
+    }
+
+    /// Bytes queued but not yet accepted by the socket — the reactor
+    /// stops refilling from a stream channel past a watermark so its
+    /// buffer stays bounded (backpressure then falls on the producer).
+    pub(crate) fn pending_out(&self) -> usize {
+        self.out.len() - self.out_pos
     }
 
     /// Push pending output into the socket. `Ok(true)` = fully drained,

@@ -66,8 +66,60 @@ impl HttpRequest {
     }
 }
 
+/// A streaming response body: the transport pulls chunks from the
+/// producer and frames them as `Transfer-Encoding: chunked` while the
+/// producer is still computing later rows — nothing is materialized.
+///
+/// The producer returns `Ok(Some(bytes))` per chunk, `Ok(None)` at the
+/// end (the transport writes the terminal chunk; keep-alive resumes),
+/// and `Err` on a mid-stream failure — the transport then closes the
+/// connection *without* the terminal chunk, so the peer detects
+/// truncation instead of trusting a half response.
+///
+/// The transport flips [`StreamBody::cancel_flag`] when the peer
+/// disconnects mid-stream; producers that wire the flag into a
+/// [`coin_rel::CancelToken`] abort their query pipeline instead of
+/// computing rows nobody will read.
+pub struct StreamBody {
+    cancel: Arc<AtomicBool>,
+    next: Box<dyn FnMut() -> Result<Option<Vec<u8>>, String> + Send>,
+}
+
+impl StreamBody {
+    /// Wrap a chunk producer. `cancel` is the flag the transport flips on
+    /// peer disconnect — pass the same flag the producer polls.
+    pub fn new(
+        cancel: Arc<AtomicBool>,
+        next: impl FnMut() -> Result<Option<Vec<u8>>, String> + Send + 'static,
+    ) -> StreamBody {
+        StreamBody {
+            cancel,
+            next: Box::new(next),
+        }
+    }
+
+    /// The disconnect flag shared with the producer.
+    pub fn cancel_flag(&self) -> &Arc<AtomicBool> {
+        &self.cancel
+    }
+
+    /// Pull the next chunk, containing producer panics as errors.
+    pub(crate) fn pull(&mut self) -> Result<Option<Vec<u8>>, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut self.next))
+            .unwrap_or_else(|_| Err("stream producer panicked".into()))
+    }
+}
+
+impl std::fmt::Debug for StreamBody {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamBody")
+            .field("cancelled", &self.cancel.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
 /// An HTTP response under construction.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct HttpResponse {
     pub status: u16,
     pub content_type: String,
@@ -75,6 +127,10 @@ pub struct HttpResponse {
     /// Emitted as a `Retry-After` header (seconds) when set — load-shed
     /// responses tell well-behaved clients when to come back.
     pub retry_after: Option<u64>,
+    /// When set, `body` is ignored and the response is sent
+    /// `Transfer-Encoding: chunked`, pulled from the producer as the
+    /// socket drains (see [`StreamBody`]).
+    pub stream: Option<StreamBody>,
 }
 
 impl HttpResponse {
@@ -84,6 +140,15 @@ impl HttpResponse {
             content_type: content_type.into(),
             body: body.into(),
             retry_after: None,
+            stream: None,
+        }
+    }
+
+    /// A `200` whose body streams from `stream` as a chunked response.
+    pub fn streamed(content_type: &str, stream: StreamBody) -> HttpResponse {
+        HttpResponse {
+            stream: Some(stream),
+            ..HttpResponse::ok(content_type, Vec::new())
         }
     }
 
@@ -108,6 +173,7 @@ impl HttpResponse {
             content_type: "text/plain; charset=utf-8".into(),
             body: message.as_bytes().to_vec(),
             retry_after: None,
+            stream: None,
         }
     }
 
@@ -283,6 +349,11 @@ pub(crate) struct ServerMetrics {
     pub(crate) open: AtomicU64,
     /// Reactor readiness-loop iterations (0 under [`Transport::Threaded`]).
     pub(crate) wakeups: AtomicU64,
+    /// Chunked (streaming) responses started.
+    pub(crate) streams: AtomicU64,
+    /// Streaming responses that ended without the terminal chunk: peer
+    /// disconnect, producer error, or producer panic.
+    pub(crate) streams_aborted: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -296,6 +367,8 @@ impl ServerMetrics {
             request_timeouts: self.timeouts.load(Ordering::Relaxed),
             open_connections: self.open.load(Ordering::SeqCst),
             reactor_wakeups: self.wakeups.load(Ordering::Relaxed),
+            streams: self.streams.load(Ordering::Relaxed),
+            streams_aborted: self.streams_aborted.load(Ordering::Relaxed),
         }
     }
 }
@@ -328,6 +401,12 @@ pub struct ServerMetricsSnapshot {
     /// Gauge of reactor activity: readiness-loop iterations so far
     /// (`poll(2)` returns). Always 0 under [`Transport::Threaded`].
     pub reactor_wakeups: u64,
+    /// Chunked (streaming) responses started.
+    pub streams: u64,
+    /// Streaming responses that ended without the terminal chunk — the
+    /// peer disconnected mid-stream (the running plan was cancelled), the
+    /// producer failed, or it panicked.
+    pub streams_aborted: u64,
 }
 
 /// A running HTTP server; dropping it (or calling [`ServerHandle::stop`])
@@ -644,7 +723,7 @@ fn serve_connection(
                 if served > 1 {
                     metrics.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
                 }
-                let Ok(response) = response else {
+                let Ok(mut response) = response else {
                     let _ = write_response(
                         &stream,
                         &HttpResponse::error(500, "handler panicked"),
@@ -652,6 +731,21 @@ fn serve_connection(
                     );
                     break;
                 };
+                if response.stream.is_some() {
+                    metrics.streams.fetch_add(1, Ordering::Relaxed);
+                    match write_stream_response(&stream, &mut response, keep) {
+                        StreamOutcome::Clean => {
+                            if keep {
+                                continue;
+                            }
+                            break;
+                        }
+                        StreamOutcome::Aborted => {
+                            metrics.streams_aborted.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
                 if write_response(&stream, &response, keep).is_err() || !keep {
                     break;
                 }
@@ -929,6 +1023,96 @@ pub(crate) fn content_length(
     Ok(len)
 }
 
+/// The terminal chunk of a chunked body: its presence is what tells the
+/// peer the stream ended cleanly rather than being cut off.
+pub(crate) const CHUNK_TERMINATOR: &[u8] = b"0\r\n\r\n";
+
+/// Frame one chunk of body bytes for `Transfer-Encoding: chunked`.
+/// Never called with an empty chunk (that would encode the terminator).
+pub(crate) fn encode_chunk(bytes: &[u8]) -> Vec<u8> {
+    debug_assert!(!bytes.is_empty());
+    let mut out = format!("{:x}\r\n", bytes.len()).into_bytes();
+    out.extend_from_slice(bytes);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// Serialize the head of a streamed (chunked) response. The body follows
+/// as chunk frames; there is no `Content-Length`.
+pub(crate) fn encode_stream_head(resp: &HttpResponse, keep_alive: bool) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\n",
+        resp.status,
+        resp.status_text(),
+        resp.content_type,
+    );
+    head.push_str(if keep_alive {
+        "Connection: keep-alive\r\n\r\n"
+    } else {
+        "Connection: close\r\n\r\n"
+    });
+    head.into_bytes()
+}
+
+/// How a streamed response ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StreamOutcome {
+    /// Terminal chunk written: the peer has a complete body and a
+    /// keep-alive connection may serve the next request.
+    Clean,
+    /// Producer error or write failure: the connection must close without
+    /// the terminal chunk so the peer sees the truncation.
+    Aborted,
+}
+
+/// Drive a streamed response over a blocking socket: write the chunked
+/// head, then pull/frame/write until the producer finishes. Used by the
+/// threaded transport (the reactor frames chunks in its event loop
+/// instead). A write failure flips the producer's cancel flag — on this
+/// transport a disconnect is only *observed* through the failed write —
+/// and aborts.
+pub(crate) fn write_stream_response(
+    mut sock: &TcpStream,
+    resp: &mut HttpResponse,
+    keep_alive: bool,
+) -> StreamOutcome {
+    let Some(mut body) = resp.stream.take() else {
+        return StreamOutcome::Aborted;
+    };
+    let abort = |body: &StreamBody| {
+        body.cancel_flag().store(true, Ordering::SeqCst);
+        StreamOutcome::Aborted
+    };
+    if sock
+        .write_all(&encode_stream_head(resp, keep_alive))
+        .is_err()
+    {
+        return abort(&body);
+    }
+    loop {
+        if body.cancel_flag().load(Ordering::SeqCst) {
+            return StreamOutcome::Aborted;
+        }
+        match body.pull() {
+            Ok(Some(chunk)) => {
+                if chunk.is_empty() {
+                    continue; // an empty frame would read as the terminator
+                }
+                if sock.write_all(&encode_chunk(&chunk)).is_err() {
+                    return abort(&body);
+                }
+            }
+            Ok(None) => {
+                if sock.write_all(CHUNK_TERMINATOR).is_err() || sock.flush().is_err() {
+                    return abort(&body);
+                }
+                return StreamOutcome::Clean;
+            }
+            Err(_) => return abort(&body),
+        }
+    }
+}
+
 /// Serialize a response (head + body) into wire bytes. Responses are
 /// always length-framed so keep-alive peers can find the next response.
 pub(crate) fn encode_response(resp: &HttpResponse, keep_alive: bool) -> Vec<u8> {
@@ -1019,21 +1203,30 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> Result<(ClientResponse, b
     }
 
     let content_length: Option<usize> = headers.get("content-length").and_then(|v| v.parse().ok());
+    let chunked = headers
+        .get("transfer-encoding")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"));
     let mut body = Vec::new();
     let mut close = match headers.get("connection") {
         Some(c) if c.eq_ignore_ascii_case("close") => true,
         Some(c) if c.eq_ignore_ascii_case("keep-alive") => false,
         _ => version != "HTTP/1.1",
     };
-    match content_length {
-        Some(n) => {
-            body.resize(n, 0);
-            reader.read_exact(&mut body)?;
-        }
-        None => {
-            // No framing: the body runs to EOF and the socket is spent.
-            reader.read_to_end(&mut body)?;
-            close = true;
+    if chunked {
+        // Chunked framing: EOF before the terminal chunk surfaces as an
+        // error — a truncated stream must never pass for a complete body.
+        read_chunked_body(reader, &mut body)?;
+    } else {
+        match content_length {
+            Some(n) => {
+                body.resize(n, 0);
+                reader.read_exact(&mut body)?;
+            }
+            None => {
+                // No framing: the body runs to EOF and the socket is spent.
+                reader.read_to_end(&mut body)?;
+                close = true;
+            }
         }
     }
     Ok((
@@ -1046,20 +1239,70 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> Result<(ClientResponse, b
     ))
 }
 
+/// Decode a `Transfer-Encoding: chunked` body into `body`, consuming the
+/// terminal chunk and any trailer section. An EOF anywhere before the
+/// terminal chunk is an [`HttpError::Io`] (truncated stream).
+fn read_chunked_body(
+    reader: &mut BufReader<TcpStream>,
+    body: &mut Vec<u8>,
+) -> Result<(), HttpError> {
+    loop {
+        let mut size_line = String::new();
+        if reader.read_line(&mut size_line)? == 0 {
+            return Err(HttpError::Io(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "stream truncated before the terminal chunk",
+            )));
+        }
+        // Chunk extensions (after ';') are tolerated and ignored.
+        let size_str = size_line.trim().split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_str, 16)
+            .map_err(|_| HttpError::Malformed(format!("bad chunk size {size_line:?}")))?;
+        if size == 0 {
+            break;
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader.read_exact(&mut body[start..])?;
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(HttpError::Malformed("chunk missing CRLF".into()));
+        }
+    }
+    // Trailer section: lines until the blank terminator (ignored).
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line.trim_end().is_empty() {
+            break;
+        }
+    }
+    Ok(())
+}
+
 /// A persistent HTTP/1.1 client: one socket reused across requests, with
 /// a transparent one-shot reconnect when the pooled socket went stale
 /// (e.g. the server's idle timeout closed it between requests).
 ///
 /// # Retry policy
 ///
-/// [`HttpClient::send`] retries **exactly once**, and **only** on the
-/// stale-pooled-socket signature: a *reused* connection that the peer
-/// closed before any response bytes arrived. It never retries on a read
-/// timeout — the server may still be executing the request, and
-/// re-sending would double the work. This is safe today because every
-/// mediation endpoint (including `POST /query`) is read-only; if
-/// mutating endpoints ever appear, this policy must become
-/// method-aware (retry `GET`, never blindly retry `POST`).
+/// [`HttpClient::send`] retries **exactly once**, and **only** when both
+/// hold:
+///
+/// 1. the failure is the stale-pooled-socket signature — a *reused*
+///    connection that the peer closed before any response bytes
+///    arrived (never a read timeout: the server may still be executing
+///    the request, and re-sending would double the work);
+/// 2. the method is **idempotent** (`GET` / `HEAD`). A `POST` is never
+///    retried implicitly: the server may have received and acted on it
+///    before the connection died, and replaying a non-idempotent
+///    request would repeat its effect.
+///
+/// Callers that *know* a specific `POST` is safe to replay (the
+/// mediation protocol's `POST /query` is read-only) opt in per call with
+/// [`HttpClient::send_assuming_idempotent`] — the opt-in is an assertion
+/// about the endpoint, made where that knowledge lives, instead of a
+/// blanket client-wide gamble.
 ///
 /// ```
 /// use coin_server::http::{serve, HttpClient, HttpResponse};
@@ -1122,15 +1365,42 @@ impl HttpClient {
     /// or [`HttpClient::request`] for status-checked calls.
     ///
     /// Reconnects transparently (once) when a *reused* pooled socket
-    /// turns out to be disconnected before any response bytes arrive;
-    /// see the [type-level retry policy](HttpClient#retry-policy) for
-    /// exactly when that is safe.
+    /// turns out to be disconnected before any response bytes arrive —
+    /// but only for idempotent methods (`GET` / `HEAD`); see the
+    /// [type-level retry policy](HttpClient#retry-policy). For read-only
+    /// `POST` endpoints use [`HttpClient::send_assuming_idempotent`].
     pub fn send(
         &mut self,
         method: &str,
         path: &str,
         content_type: Option<&str>,
         body: &[u8],
+    ) -> Result<ClientResponse, HttpError> {
+        let idempotent = method.eq_ignore_ascii_case("GET") || method.eq_ignore_ascii_case("HEAD");
+        self.send_with_retry(method, path, content_type, body, idempotent)
+    }
+
+    /// [`HttpClient::send`], with the caller asserting the request is
+    /// safe to replay regardless of method — use for endpoints known to
+    /// be read-only (e.g. the mediation protocol's `POST /query`), where
+    /// the stale-pooled-socket reconnect is as safe as for a `GET`.
+    pub fn send_assuming_idempotent(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: Option<&str>,
+        body: &[u8],
+    ) -> Result<ClientResponse, HttpError> {
+        self.send_with_retry(method, path, content_type, body, true)
+    }
+
+    fn send_with_retry(
+        &mut self,
+        method: &str,
+        path: &str,
+        content_type: Option<&str>,
+        body: &[u8],
+        may_retry: bool,
     ) -> Result<ClientResponse, HttpError> {
         let mut retried = false;
         loop {
@@ -1142,8 +1412,8 @@ impl HttpClient {
                 // before any response bytes arrived. A read *timeout* is
                 // explicitly not retried — the server has the request and
                 // may still be executing it; re-sending would double the
-                // work.
-                Err(HttpError::Io(e)) if reused && !retried && is_disconnect(&e) => {
+                // work. Non-idempotent requests are never retried here.
+                Err(HttpError::Io(e)) if may_retry && reused && !retried && is_disconnect(&e) => {
                     self.stream = None;
                     retried = true;
                 }

@@ -477,6 +477,13 @@ impl JsonBuf {
     pub fn into_string(self) -> String {
         self.out
     }
+
+    /// Drain the bytes written so far, keeping container/comma state so
+    /// writing can continue — the chunked-response path emits the buffer
+    /// mid-document after every row batch.
+    pub fn take(&mut self) -> String {
+        std::mem::take(&mut self.out)
+    }
 }
 
 impl std::fmt::Display for Json {

@@ -30,7 +30,7 @@ mod reactor;
 pub use client::{ClientError, Connection, ResultSet, ServerStats, Statement, TableInfo};
 pub use http::{
     HttpClient, HttpError, HttpRequest, HttpResponse, ServerConfig, ServerHandle,
-    ServerMetricsSnapshot, Transport,
+    ServerMetricsSnapshot, StreamBody, Transport,
 };
 pub use json::{parse as parse_json, Json, JsonBuf, JsonError};
 pub use protocol::{

@@ -10,7 +10,11 @@
 //!   execution statistics; mediated responses also report whether the
 //!   prepared-query cache served the compile side (`"cache":
 //!   "hit"|"miss"`), the model `"epoch"`, and the cumulative
-//!   `"cache_hits"`/`"cache_misses"` counters;
+//!   `"cache_hits"`/`"cache_misses"` counters. Result rows stream from
+//!   the operator pipeline as a chunked response by default (`"stream":
+//!   false` opts back into a single materialized body — the bytes are
+//!   identical either way); `"max_rows"`/`"max_bytes"` cap the result
+//!   and set `"truncated": true` when rows were dropped;
 //! * `GET /stats` — cumulative prepared-query cache counters and the
 //!   current model epoch;
 //! * `GET /qbe`, `POST /qbe` — the HTML Query-By-Example interface
@@ -19,13 +23,15 @@
 //! Values travel as tagged JSON arrays so 64-bit integers survive:
 //! `null`, `["b",true]`, `["i","42"]`, `["f",2.5]`, `["s","text"]`.
 
+use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, RwLock};
 
-use coin_core::CoinSystem;
-use coin_rel::{Table, Value};
+use coin_core::{CoinSystem, MediatedRows, PlanRows};
+use coin_rel::{CancelToken, Schema, Table, Value};
 
 use crate::http::{
     serve_with, Handler, HttpError, HttpRequest, HttpResponse, ServerConfig, ServerHandle,
+    StreamBody,
 };
 use crate::json::{parse, Json, JsonBuf};
 
@@ -83,15 +89,7 @@ pub fn write_value(v: &Value, out: &mut JsonBuf) {
 /// [`table_to_json`] on the `/query` response path: the whole result set
 /// is written into one reusable output buffer.
 pub fn write_table(t: &Table, out: &mut JsonBuf) {
-    out.key("columns").begin_arr();
-    for c in &t.schema.columns {
-        out.begin_obj();
-        out.key("name").str_val(&c.name);
-        out.key("type").str_val(c.ty.name());
-        out.end_obj();
-    }
-    out.end_arr();
-    out.key("rows").begin_arr();
+    write_columns_open_rows(&t.schema, out);
     for r in &t.rows {
         out.begin_arr();
         for v in r {
@@ -102,25 +100,60 @@ pub fn write_table(t: &Table, out: &mut JsonBuf) {
     out.end_arr();
 }
 
+/// Write the `"columns"` field and *open* the `"rows"` array on `out`
+/// (the caller appends row arrays and closes it). Shared between the
+/// materialized writer above and the incremental [`QueryStream`], so the
+/// two produce byte-identical documents.
+fn write_columns_open_rows(schema: &Schema, out: &mut JsonBuf) {
+    out.key("columns").begin_arr();
+    for c in &schema.columns {
+        out.begin_obj();
+        out.key("name").str_val(&c.name);
+        out.key("type").str_val(c.ty.name());
+        out.end_obj();
+    }
+    out.end_arr();
+    out.key("rows").begin_arr();
+}
+
+/// How many rows are sampled (evenly spaced) when estimating a table's
+/// serialized size.
+const SIZE_SAMPLE_ROWS: usize = 16;
+
 /// Rough serialized-size estimate for a result table, used to size the
 /// output buffer in one allocation (tag + punctuation overhead per cell
 /// plus string payloads are the dominant terms).
+///
+/// The string payload is sized from the *widest of up to
+/// [`SIZE_SAMPLE_ROWS`] evenly-spaced sample rows*, not from row 0: wide
+/// string tables whose first row happens to be narrow used to undersize
+/// the buffer badly and pay repeated reallocation-and-copy on the hot
+/// path. Taking the sampled maximum deliberately over-provisions skewed
+/// tables a little — a single allocation slightly too large beats
+/// doubling an initially too-small one.
 fn estimated_table_bytes(t: &Table) -> usize {
     let cells: usize = t.rows.len() * t.schema.len();
-    let strings: usize = t
-        .rows
-        .first()
-        .map(|r| {
-            r.iter()
-                .map(|v| match v {
-                    Value::Str(s) => s.len(),
-                    _ => 12,
-                })
-                .sum::<usize>()
-                * t.rows.len()
-        })
-        .unwrap_or(0);
-    256 + t.schema.len() * 32 + cells * 8 + strings
+    let strings: usize = if t.rows.is_empty() {
+        0
+    } else {
+        let samples = t.rows.len().min(SIZE_SAMPLE_ROWS);
+        let step = t.rows.len() / samples;
+        let widest: usize = (0..samples)
+            .map(|i| {
+                t.rows[i * step]
+                    .iter()
+                    .map(|v| match v {
+                        Value::Str(s) => s.len(),
+                        _ => 0,
+                    })
+                    .sum::<usize>()
+            })
+            .max()
+            .unwrap_or(0);
+        widest * t.rows.len()
+    };
+    let names: usize = t.schema.columns.iter().map(|c| c.name.len()).sum();
+    256 + t.schema.len() * 32 + names + cells * 12 + strings
 }
 
 /// Encode a result table.
@@ -151,6 +184,206 @@ pub fn table_to_json(t: &Table) -> Json {
             ),
         ),
     ])
+}
+
+/// Rows per emitted chunk on the streamed `/query` path: small enough to
+/// keep the transport pipeline busy, large enough that framing overhead
+/// (hex length lines, channel messages) is noise.
+const STREAM_BATCH_ROWS: usize = 256;
+
+/// Row/byte caps for one `/query` response, taken from the request's
+/// optional `"max_rows"` / `"max_bytes"` fields (0 or absent = unlimited).
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+struct Limits {
+    max_rows: u64,
+    max_bytes: u64,
+}
+
+impl Limits {
+    fn from_doc(doc: &Json) -> Result<Limits, String> {
+        let field = |key: &str| -> Result<u64, String> {
+            match doc.get(key) {
+                None => Ok(0),
+                Some(j) => {
+                    let n = j
+                        .as_f64()
+                        .ok_or_else(|| format!("{key:?} must be a number"))?;
+                    if n < 0.0 || n.fract() != 0.0 {
+                        return Err(format!("{key:?} must be a non-negative integer"));
+                    }
+                    Ok(n as u64)
+                }
+            }
+        };
+        Ok(Limits {
+            max_rows: field("max_rows")?,
+            max_bytes: field("max_bytes")?,
+        })
+    }
+
+    fn unlimited(&self) -> bool {
+        *self == Limits::default()
+    }
+}
+
+/// The row pipeline behind one `/query` response.
+enum RowSource {
+    Naive { rows: PlanRows, remote_queries: u64 },
+    Mediated(Box<MediatedRows>),
+}
+
+impl RowSource {
+    fn schema(&self) -> &Schema {
+        match self {
+            RowSource::Naive { rows, .. } => rows.schema(),
+            RowSource::Mediated(rows) => rows.schema(),
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<coin_rel::Row>, String> {
+        match self {
+            RowSource::Naive { rows, .. } => rows.next().map_err(|e| e.to_string()),
+            RowSource::Mediated(rows) => rows.next().map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// Incremental `/query` response writer: pulls rows from a live operator
+/// pipeline and emits the response document one row batch at a time.
+///
+/// Produces the exact byte sequence of the materialized path (same
+/// [`JsonBuf`] call sequence), so a chunked response reassembles to the
+/// identical body. Rows never exist in memory all at once: peak memory is
+/// one batch plus whatever the operators themselves hold.
+struct QueryStream {
+    source: RowSource,
+    buf: JsonBuf,
+    limits: Limits,
+    /// Body bytes already handed to the transport.
+    emitted: u64,
+    rows_out: u64,
+    truncated: bool,
+    started: bool,
+    done: bool,
+}
+
+impl QueryStream {
+    fn new(source: RowSource, limits: Limits) -> QueryStream {
+        QueryStream {
+            source,
+            buf: JsonBuf::new(),
+            limits,
+            emitted: 0,
+            rows_out: 0,
+            truncated: false,
+            started: false,
+            done: false,
+        }
+    }
+
+    /// Produce the next batch of body bytes (`None` once the document is
+    /// complete). An `Err` means the pipeline failed mid-stream; the
+    /// transport closes the connection without the terminal chunk so the
+    /// client can detect the truncation.
+    fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, String> {
+        if self.done {
+            return Ok(None);
+        }
+        if !self.started {
+            self.started = true;
+            self.buf.begin_obj();
+            write_columns_open_rows(self.source.schema(), &mut self.buf);
+        }
+        for _ in 0..STREAM_BATCH_ROWS {
+            if self.limits.max_rows > 0 && self.rows_out >= self.limits.max_rows {
+                // Only report truncation if a row was actually dropped.
+                self.truncated = self.source.next()?.is_some();
+                return self.finish();
+            }
+            let Some(row) = self.source.next()? else {
+                return self.finish();
+            };
+            self.buf.begin_arr();
+            for v in &row {
+                write_value(v, &mut self.buf);
+            }
+            self.buf.end_arr();
+            self.rows_out += 1;
+            // Row-granular soft cap: the body may overshoot `max_bytes`
+            // by at most one row plus the fixed tail.
+            if self.limits.max_bytes > 0
+                && self.emitted + self.buf.as_str().len() as u64 >= self.limits.max_bytes
+            {
+                self.truncated = self.source.next()?.is_some();
+                return self.finish();
+            }
+        }
+        Ok(Some(self.take_bytes()))
+    }
+
+    /// Close the rows array, append the tail fields, emit the remainder.
+    fn finish(&mut self) -> Result<Option<Vec<u8>>, String> {
+        self.buf.end_arr();
+        match &self.source {
+            RowSource::Naive { remote_queries, .. } => {
+                self.buf.key("remote_queries").num(*remote_queries as f64);
+            }
+            RowSource::Mediated(rows) => {
+                self.buf
+                    .key("mediated_sql")
+                    .str_val(&rows.mediated().query.to_string());
+                self.buf
+                    .key("explanation")
+                    .str_val(&rows.mediated().explain());
+                self.buf
+                    .key("remote_queries")
+                    .num(rows.stats().remote_queries as f64);
+                self.buf.key("cache").str_val(rows.cache_status().as_str());
+                self.buf.key("epoch").num(rows.stats().plan_epoch as f64);
+                self.buf
+                    .key("cache_hits")
+                    .num(rows.stats().cache_hits as f64);
+                self.buf
+                    .key("cache_misses")
+                    .num(rows.stats().cache_misses as f64);
+            }
+        }
+        if self.truncated {
+            self.buf.key("truncated").bool_val(true);
+        }
+        self.buf.end_obj();
+        self.done = true;
+        Ok(Some(self.take_bytes()))
+    }
+
+    fn take_bytes(&mut self) -> Vec<u8> {
+        let chunk = self.buf.take();
+        self.emitted += chunk.len() as u64;
+        chunk.into_bytes()
+    }
+}
+
+/// Package a [`QueryStream`] as either a chunked streaming response or
+/// (when the client opted out with `"stream": false`) a fully drained
+/// conventional body.
+fn query_stream_response(
+    mut qs: QueryStream,
+    stream: bool,
+    cancel: Arc<AtomicBool>,
+) -> Result<HttpResponse, String> {
+    if stream {
+        Ok(HttpResponse::streamed(
+            "application/json",
+            StreamBody::new(cancel, move || qs.next_chunk()),
+        ))
+    } else {
+        let mut out = String::new();
+        while let Some(chunk) = qs.next_chunk()? {
+            // The machine emits UTF-8 (it writes through `JsonBuf`).
+            out.push_str(std::str::from_utf8(&chunk).expect("JsonBuf emits UTF-8"));
+        }
+        Ok(HttpResponse::json_raw(out))
+    }
 }
 
 /// Build the protocol handler over a shared system.
@@ -261,15 +494,30 @@ fn query_response(system: &CoinSystem, body: &str) -> Result<HttpResponse, Strin
         .and_then(Json::as_str)
         .ok_or("missing \"sql\" field")?;
     let mode = doc.get("mode").and_then(Json::as_str).unwrap_or("mediated");
+    let stream = doc.get("stream").and_then(Json::as_bool).unwrap_or(true);
+    let limits = Limits::from_doc(&doc)?;
     match mode {
         "naive" => {
-            let (table, stats) = system.query_naive(sql).map_err(|e| e.to_string())?;
-            let mut out = JsonBuf::with_capacity(estimated_table_bytes(&table));
-            out.begin_obj();
-            write_table(&table, &mut out);
-            out.key("remote_queries").num(stats.remote_queries as f64);
-            out.end_obj();
-            Ok(HttpResponse::json_raw(out.into_string()))
+            if !stream && limits.unlimited() {
+                // Materialized path: one table, one presized buffer.
+                let (table, stats) = system.query_naive(sql).map_err(|e| e.to_string())?;
+                let mut out = JsonBuf::with_capacity(estimated_table_bytes(&table));
+                out.begin_obj();
+                write_table(&table, &mut out);
+                out.key("remote_queries").num(stats.remote_queries as f64);
+                out.end_obj();
+                return Ok(HttpResponse::json_raw(out.into_string()));
+            }
+            let flag = Arc::new(AtomicBool::new(false));
+            let cancel = CancelToken::from_shared(Arc::clone(&flag));
+            let (rows, stats) = system
+                .query_naive_stream(sql, Some(cancel))
+                .map_err(|e| e.to_string())?;
+            let source = RowSource::Naive {
+                rows,
+                remote_queries: stats.remote_queries as u64,
+            };
+            query_stream_response(QueryStream::new(source, limits), stream, flag)
         }
         "mediated" | "explain" => {
             let context = doc
@@ -284,24 +532,34 @@ fn query_response(system: &CoinSystem, body: &str) -> Result<HttpResponse, Strin
                     ("branches", Json::Num(mediated.branches.len() as f64)),
                 ])));
             }
-            let answer = system.query(sql, context).map_err(|e| e.to_string())?;
-            // Result sets dominate the response; serialize them (and the
-            // provenance/statistics fields) directly into one buffer.
-            let mut out = JsonBuf::with_capacity(estimated_table_bytes(&answer.table));
-            out.begin_obj();
-            write_table(&answer.table, &mut out);
-            out.key("mediated_sql")
-                .str_val(&answer.mediated.query.to_string());
-            out.key("explanation").str_val(&answer.mediated.explain());
-            out.key("remote_queries")
-                .num(answer.stats.remote_queries as f64);
-            out.key("cache").str_val(answer.cache.as_str());
-            out.key("epoch").num(answer.stats.plan_epoch as f64);
-            out.key("cache_hits").num(answer.stats.cache_hits as f64);
-            out.key("cache_misses")
-                .num(answer.stats.cache_misses as f64);
-            out.end_obj();
-            Ok(HttpResponse::json_raw(out.into_string()))
+            if !stream && limits.unlimited() {
+                let answer = system.query(sql, context).map_err(|e| e.to_string())?;
+                // Result sets dominate the response; serialize them (and
+                // the provenance/statistics fields) directly into one
+                // buffer.
+                let mut out = JsonBuf::with_capacity(estimated_table_bytes(&answer.table));
+                out.begin_obj();
+                write_table(&answer.table, &mut out);
+                out.key("mediated_sql")
+                    .str_val(&answer.mediated.query.to_string());
+                out.key("explanation").str_val(&answer.mediated.explain());
+                out.key("remote_queries")
+                    .num(answer.stats.remote_queries as f64);
+                out.key("cache").str_val(answer.cache.as_str());
+                out.key("epoch").num(answer.stats.plan_epoch as f64);
+                out.key("cache_hits").num(answer.stats.cache_hits as f64);
+                out.key("cache_misses")
+                    .num(answer.stats.cache_misses as f64);
+                out.end_obj();
+                return Ok(HttpResponse::json_raw(out.into_string()));
+            }
+            let flag = Arc::new(AtomicBool::new(false));
+            let cancel = CancelToken::from_shared(Arc::clone(&flag));
+            let rows = system
+                .query_stream(sql, context, Some(cancel))
+                .map_err(|e| e.to_string())?;
+            let source = RowSource::Mediated(Box::new(rows));
+            query_stream_response(QueryStream::new(source, limits), stream, flag)
         }
         other => Err(format!("unknown mode {other:?}")),
     }
@@ -359,6 +617,53 @@ mod tests {
         write_table(&t, &mut buf);
         buf.end_obj();
         assert_eq!(parse(buf.as_str()).unwrap(), table_to_json(&t));
+    }
+
+    #[test]
+    fn size_estimate_covers_wide_string_tables() {
+        // Regression: string payloads used to be sized from row 0 alone,
+        // so a table whose first row happened to be narrow undersized the
+        // buffer by orders of magnitude and paid reallocation-and-copy
+        // for the whole serialization. The sampled estimate must be
+        // capacity-sufficient (>= the actual serialized size) for string
+        // tables of varying row widths.
+        let schema = coin_rel::Schema::of(&[
+            ("a", coin_rel::ColumnType::Str),
+            ("b", coin_rel::ColumnType::Str),
+        ]);
+        let narrow_first = Table::from_rows(
+            "t",
+            schema.clone(),
+            (0..400)
+                .map(|i| {
+                    let w = if i == 0 { 0 } else { 200 };
+                    vec![
+                        Value::Str("x".repeat(w).into()),
+                        Value::Str("y".repeat(w).into()),
+                    ]
+                })
+                .collect(),
+        );
+        let monotone = Table::from_rows(
+            "t",
+            schema,
+            (0..400)
+                .map(|i| vec![Value::Str("x".repeat(i).into()), Value::str("fixed")])
+                .collect(),
+        );
+        for t in [narrow_first, monotone] {
+            let mut buf = JsonBuf::new();
+            buf.begin_obj();
+            write_table(&t, &mut buf);
+            buf.end_obj();
+            let actual = buf.as_str().len();
+            let estimated = estimated_table_bytes(&t);
+            assert!(
+                estimated >= actual,
+                "estimate {estimated} under actual {actual} for {} rows",
+                t.rows.len()
+            );
+        }
     }
 
     #[test]

@@ -34,10 +34,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
-use crate::conn::{try_parse_request, Conn, ConnState, ParseStatus};
+use crate::conn::{try_parse_request, Conn, ConnState, ParseStatus, StreamHandle, StreamMsg};
 use crate::http::{
-    connection_persists, shed, Handler, HttpError, HttpRequest, HttpResponse, RequestError,
-    ServerConfig, ServerHandle, ServerMetrics,
+    connection_persists, encode_chunk, encode_stream_head, shed, Handler, HttpError, HttpRequest,
+    HttpResponse, RequestError, ServerConfig, ServerHandle, ServerMetrics, CHUNK_TERMINATOR,
 };
 
 // --- a thin poll(2) binding -------------------------------------------------
@@ -80,9 +80,32 @@ fn poll_wait(fds: &mut [PollFd], timeout_ms: Option<i32>) -> std::io::Result<usi
 
 // --- the reactor ------------------------------------------------------------
 
-/// What a worker hands back: the connection the response belongs to, and
-/// the handler's response (`None` = the handler panicked).
-type Completion = (u64, Option<HttpResponse>);
+/// What a worker hands back through the completion queue.
+enum Completion {
+    /// A buffered response for this connection (`None` = the handler
+    /// panicked; the reactor answers `500` and closes).
+    Response(u64, Option<HttpResponse>),
+    /// The handler returned a streaming body: the worker is now pumping
+    /// chunks through `rx` and the reactor should write the chunked head
+    /// and start framing. `cancel` is the producer's abort flag — the
+    /// reactor flips it when the peer disconnects mid-stream.
+    StreamStart {
+        id: u64,
+        status: u16,
+        content_type: String,
+        rx: mpsc::Receiver<StreamMsg>,
+        cancel: Arc<AtomicBool>,
+    },
+}
+
+/// Bound on body chunks in flight between a producing worker and the
+/// reactor: a worker outrunning the socket blocks on `send`, which is
+/// the backpressure that keeps streamed responses bounded-memory.
+const STREAM_CHANNEL_DEPTH: usize = 2;
+
+/// Stop refilling a connection's output buffer from its stream channel
+/// once this many bytes are already pending on the socket.
+const STREAM_OUT_WATERMARK: usize = 256 * 1024;
 
 /// Start the reactor transport on an already-bound nonblocking listener.
 pub(crate) fn serve(
@@ -120,13 +143,66 @@ pub(crate) fn serve(
             };
             let response =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request))).ok();
-            completions
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .push((conn_id, response));
-            // A full (or closed) wake pipe is fine: the reactor drains it
-            // whole and checks the completion queue on every wakeup.
-            let _ = (&wake).write(&[1]);
+            let push = |c: Completion| {
+                completions
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(c);
+                // A full (or closed) wake pipe is fine: the reactor
+                // drains it whole and checks the completion queue on
+                // every wakeup.
+                let _ = (&wake).write(&[1]);
+            };
+            match response {
+                Some(mut resp) if resp.stream.is_some() => {
+                    // Streamed response: this worker stays on it, pulling
+                    // body chunks and pushing them through a bounded
+                    // channel; the reactor owns the socket and frames
+                    // them. The worker is pinned for the stream's
+                    // lifetime — the price of never materializing.
+                    let mut body = resp.stream.take().expect("checked is_some");
+                    let (tx, rx) = mpsc::sync_channel::<StreamMsg>(STREAM_CHANNEL_DEPTH);
+                    push(Completion::StreamStart {
+                        id: conn_id,
+                        status: resp.status,
+                        content_type: resp.content_type.clone(),
+                        rx,
+                        cancel: Arc::clone(body.cancel_flag()),
+                    });
+                    loop {
+                        // Flipped by the reactor on peer disconnect; the
+                        // producer's own pipeline also observes it (via
+                        // its CancelToken) and aborts between rows.
+                        if body.cancel_flag().load(Ordering::SeqCst) {
+                            break;
+                        }
+                        match body.pull() {
+                            Ok(Some(chunk)) => {
+                                if chunk.is_empty() {
+                                    continue;
+                                }
+                                // A dropped receiver = the connection
+                                // died; stop producing.
+                                if tx.send(StreamMsg::Chunk(chunk)).is_err() {
+                                    break;
+                                }
+                                let _ = (&wake).write(&[1]);
+                            }
+                            Ok(None) => {
+                                let _ = tx.send(StreamMsg::End { clean: true });
+                                let _ = (&wake).write(&[1]);
+                                break;
+                            }
+                            Err(_) => {
+                                let _ = tx.send(StreamMsg::End { clean: false });
+                                let _ = (&wake).write(&[1]);
+                                break;
+                            }
+                        }
+                    }
+                }
+                other => push(Completion::Response(conn_id, other)),
+            }
         }));
     }
 
@@ -240,6 +316,9 @@ impl Reactor {
             // Completions are drained every wakeup, whatever woke us:
             // a missed wake byte can never strand a finished response.
             self.apply_completions(now);
+            // Streaming workers signal new chunks with a wake byte only;
+            // pump every live stream on every wakeup so none strands.
+            self.pump_streams(now);
             if accept_pending {
                 self.accept_ready(now);
             }
@@ -272,7 +351,9 @@ impl Reactor {
                         fold(conn.read_deadline);
                     }
                 }
-                ConnState::InFlight { .. } | ConnState::Closing => {}
+                // Streaming has no idle clock: the write deadline above
+                // already bounds a peer that stops draining chunks.
+                ConnState::InFlight { .. } | ConnState::Streaming { .. } | ConnState::Closing => {}
             }
         }
         soonest.map(|s| {
@@ -324,7 +405,12 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(&id) else {
             return;
         };
-        if revents & (POLLERR | POLLNVAL) != 0 {
+        let streaming = conn.body_stream.is_some();
+        // During a stream, POLLHUP means the peer is gone: further
+        // chunks are wasted work, so abort immediately (close() flips
+        // the producer's cancel flag) instead of waiting for a write to
+        // fail.
+        if revents & (POLLERR | POLLNVAL) != 0 || (streaming && revents & POLLHUP != 0) {
             self.close(id);
             return;
         }
@@ -333,6 +419,12 @@ impl Reactor {
                 Ok(true) => {
                     if conn.state == ConnState::Closing {
                         self.close(id);
+                        return;
+                    }
+                    if conn.body_stream.is_some() {
+                        // Output drained mid-stream: refill from the
+                        // producer's channel.
+                        self.pump_stream(id, now);
                         return;
                     }
                     // Response flushed on a persistent connection: a
@@ -352,6 +444,16 @@ impl Reactor {
                 Ok(peer_closed) => {
                     if peer_closed {
                         conn.peer_eof = true;
+                    }
+                    if peer_closed && streaming {
+                        // The peer's FIN mid-stream is treated as a
+                        // disconnect: the response in progress has no
+                        // reader, so cancel the plan and close. (A
+                        // half-closing streaming client loses the rest
+                        // of its response; ordinary clients keep the
+                        // socket open until the terminal chunk.)
+                        self.close(id);
+                        return;
                     }
                     // A half-closing peer may still be owed response
                     // bytes (`wants_write`); only a FIN with nothing
@@ -483,34 +585,151 @@ impl Reactor {
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner),
         );
-        for (id, response) in done {
-            let Some(conn) = self.conns.get_mut(&id) else {
-                continue; // connection died while the handler ran
-            };
-            let ConnState::InFlight { keep } = conn.state else {
-                continue;
-            };
-            match response {
-                Some(resp) => {
+        for completion in done {
+            match completion {
+                Completion::Response(id, response) => self.apply_response(id, response, now),
+                Completion::StreamStart {
+                    id,
+                    status,
+                    content_type,
+                    rx,
+                    cancel,
+                } => self.start_stream(id, status, &content_type, rx, cancel, now),
+            }
+        }
+    }
+
+    fn apply_response(&mut self, id: u64, response: Option<HttpResponse>, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return; // connection died while the handler ran
+        };
+        let ConnState::InFlight { keep } = conn.state else {
+            return;
+        };
+        match response {
+            Some(resp) => {
+                conn.state = if keep {
+                    ConnState::Reading
+                } else {
+                    ConnState::Closing
+                };
+                conn.idle_since = now;
+                conn.queue_response(&resp, keep, now);
+                if keep {
+                    // Write, then look for a pipelined successor.
+                    self.process_input(id, now);
+                    return;
+                }
+            }
+            None => {
+                // Handler panicked: contained to this connection.
+                conn.state = ConnState::Closing;
+                conn.queue_response(&HttpResponse::error(500, "handler panicked"), false, now);
+            }
+        }
+        self.flush(id);
+    }
+
+    /// A worker began a streamed response: write the chunked head and
+    /// switch the connection to [`ConnState::Streaming`].
+    fn start_stream(
+        &mut self,
+        id: u64,
+        status: u16,
+        content_type: &str,
+        rx: mpsc::Receiver<StreamMsg>,
+        cancel: Arc<AtomicBool>,
+        now: Instant,
+    ) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            // Connection died while the handler ran: aborting the
+            // producer (flag + dropped receiver) is all that is left.
+            cancel.store(true, Ordering::SeqCst);
+            return;
+        };
+        let ConnState::InFlight { keep } = conn.state else {
+            cancel.store(true, Ordering::SeqCst);
+            return;
+        };
+        self.metrics.streams.fetch_add(1, Ordering::Relaxed);
+        let head = HttpResponse {
+            status,
+            ..HttpResponse::ok(content_type, Vec::new())
+        };
+        conn.state = ConnState::Streaming { keep };
+        conn.body_stream = Some(StreamHandle { rx, cancel });
+        conn.queue_bytes(&encode_stream_head(&head, keep), now);
+        self.pump_stream(id, now);
+    }
+
+    /// Pump every live stream: move producer chunks into connection
+    /// output buffers (bounded by the watermark) and flush.
+    fn pump_streams(&mut self, now: Instant) {
+        let streaming: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.body_stream.is_some())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in streaming {
+            self.pump_stream(id, now);
+        }
+    }
+
+    /// Refill one connection's output from its stream channel and flush.
+    /// Ends the stream on an `End` message: terminal chunk + keep-alive
+    /// resume when clean, abort (no terminal chunk, close) otherwise.
+    fn pump_stream(&mut self, id: u64, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let mut resume_keepalive = false;
+        while let Some(handle) = &conn.body_stream {
+            if conn.pending_out() >= STREAM_OUT_WATERMARK {
+                break; // backpressure: the producer blocks on its channel
+            }
+            match handle.rx.try_recv() {
+                Ok(StreamMsg::Chunk(bytes)) => {
+                    conn.queue_bytes(&encode_chunk(&bytes), now);
+                }
+                Ok(StreamMsg::End { clean: true }) => {
+                    conn.queue_bytes(CHUNK_TERMINATOR, now);
+                    let keep = matches!(conn.state, ConnState::Streaming { keep: true });
+                    conn.body_stream = None;
                     conn.state = if keep {
                         ConnState::Reading
                     } else {
                         ConnState::Closing
                     };
                     conn.idle_since = now;
-                    conn.queue_response(&resp, keep, now);
-                    if keep {
-                        // Write, then look for a pipelined successor.
-                        self.process_input(id, now);
-                        continue;
-                    }
+                    resume_keepalive = keep;
+                    break;
                 }
-                None => {
-                    // Handler panicked: contained to this connection.
+                Ok(StreamMsg::End { clean: false }) => {
+                    // Producer failed mid-stream: close WITHOUT the
+                    // terminal chunk (already-queued chunks may still
+                    // drain) so the peer sees a truncated stream.
+                    self.metrics.streams_aborted.fetch_add(1, Ordering::Relaxed);
+                    conn.body_stream = None;
                     conn.state = ConnState::Closing;
-                    conn.queue_response(&HttpResponse::error(500, "handler panicked"), false, now);
+                    break;
+                }
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    // Worker vanished without an End (poisoned/killed):
+                    // indistinguishable from a failure.
+                    self.metrics.streams_aborted.fetch_add(1, Ordering::Relaxed);
+                    conn.body_stream = None;
+                    conn.state = ConnState::Closing;
+                    break;
                 }
             }
+        }
+        if resume_keepalive {
+            // The stream ended cleanly on a persistent connection: a
+            // pipelined successor may already be buffered.
+            self.process_input(id, now);
+        } else {
             self.flush(id);
         }
     }
@@ -573,6 +792,14 @@ impl Reactor {
 
     fn close(&mut self, id: u64) {
         if let Some(conn) = self.conns.remove(&id) {
+            if let Some(handle) = &conn.body_stream {
+                // A stream handle still present means the response never
+                // finished: tell the producer its reader is gone. The
+                // dropped receiver below unblocks a worker parked in
+                // `send`, and the flag stops the plan at its next check.
+                handle.cancel.store(true, Ordering::SeqCst);
+                self.metrics.streams_aborted.fetch_add(1, Ordering::Relaxed);
+            }
             conn.shutdown();
             self.metrics.open.fetch_sub(1, Ordering::SeqCst);
         }

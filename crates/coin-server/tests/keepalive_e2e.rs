@@ -1,7 +1,7 @@
 //! Keep-alive transport e2e: one connection serving many sequential
-//! mediation requests, exact `Content-Length` framing, pipelining, idle
-//! timeout, `Connection: close`, and fault isolation for malformed or
-//! oversized requests.
+//! mediation requests, exact framing (`Content-Length` or chunked),
+//! pipelining, idle timeout, `Connection: close`, and fault isolation
+//! for malformed or oversized requests.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use coin_core::fixtures::figure2_system;
-use coin_server::http::HttpClient;
+use coin_server::http::{HttpClient, HttpError};
 use coin_server::{start_server_with, Connection, ServerConfig, ServerHandle, Transport};
 
 const Q1: &str = "SELECT r1.cname, r1.revenue FROM r1, r2 \
@@ -65,7 +65,10 @@ fn odbc_connection_reuses_its_socket() {
 }
 
 #[test]
-fn responses_carry_exact_content_length_framing() {
+fn responses_carry_exact_framing() {
+    // Keep-alive requires self-delimiting responses: streamed `/query`
+    // answers are `Transfer-Encoding: chunked`, everything else carries
+    // an exact `Content-Length`. Both kinds interleave on one socket.
     let server = start(ServerConfig::default());
     let mut client = HttpClient::new(server.addr);
     for _ in 0..3 {
@@ -78,10 +81,23 @@ fn responses_carry_exact_content_length_framing() {
             )
             .unwrap();
         assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.headers.get("transfer-encoding").map(String::as_str),
+            Some("chunked"),
+            "streamed /query responses are chunk-framed"
+        );
+        assert!(!resp.headers.contains_key("content-length"));
+        assert_eq!(
+            resp.headers.get("connection").map(String::as_str),
+            Some("keep-alive")
+        );
+
+        let resp = client.send("GET", "/stats", None, &[]).unwrap();
+        assert_eq!(resp.status, 200);
         let framed: usize = resp
             .headers
             .get("content-length")
-            .expect("keep-alive responses must be length-framed")
+            .expect("non-streamed responses must be length-framed")
             .parse()
             .unwrap();
         assert_eq!(framed, resp.body.len());
@@ -90,6 +106,7 @@ fn responses_carry_exact_content_length_framing() {
             Some("keep-alive")
         );
     }
+    assert_eq!(client.connects(), 1, "both framings reuse one socket");
     server.stop();
 }
 
@@ -148,6 +165,61 @@ fn idle_timeout_closes_the_connection_and_client_reconnects() {
     client.request("GET", "/stats", None, &[]).unwrap();
     assert_eq!(client.connects(), 2, "idle-timed-out socket was replaced");
     assert_eq!(server.metrics().connections_accepted, 2);
+    server.stop();
+}
+
+#[test]
+fn stale_socket_replay_is_method_aware() {
+    let server = start(ServerConfig {
+        idle_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    });
+    // A POST through the default policy must NOT be replayed on the
+    // stale-socket signature: the disconnect surfaces as an error.
+    let mut client = HttpClient::new(server.addr);
+    client
+        .request(
+            "POST",
+            "/query",
+            Some("application/json"),
+            query_body(Q1).as_bytes(),
+        )
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+    let second = client.send(
+        "POST",
+        "/query",
+        Some("application/json"),
+        query_body(Q1).as_bytes(),
+    );
+    assert!(
+        matches!(second, Err(HttpError::Io(_))),
+        "non-idempotent request must not be replayed: {second:?}"
+    );
+
+    // The same POST with the caller vouching for idempotency is
+    // transparently replayed on a fresh socket (as `Connection` does for
+    // the read-only /query endpoint).
+    let mut client = HttpClient::new(server.addr);
+    client
+        .request(
+            "POST",
+            "/query",
+            Some("application/json"),
+            query_body(Q1).as_bytes(),
+        )
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+    let resp = client
+        .send_assuming_idempotent(
+            "POST",
+            "/query",
+            Some("application/json"),
+            query_body(Q1).as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(client.connects(), 2, "replay reconnected the pooled socket");
     server.stop();
 }
 
