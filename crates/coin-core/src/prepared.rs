@@ -78,6 +78,10 @@ pub struct PreparedQuery {
     /// Outer aggregation/ordering block applied over the mediated result
     /// (None when the receiver query was already a conjunctive core).
     outer: Option<Select>,
+    /// Register-VM programs for the outer block's expressions, compiled on
+    /// the first execution and reused by every subsequent one (the branch
+    /// plans carry their own caches, warmed at plan time).
+    outer_programs: Arc<coin_rel::ExprCache>,
 }
 
 impl PreparedQuery {
@@ -120,6 +124,7 @@ impl PreparedQuery {
             mediated: Arc::new(mediated),
             plan,
             outer,
+            outer_programs: Arc::new(coin_rel::ExprCache::new()),
         })
     }
 
@@ -214,7 +219,13 @@ impl PreparedQuery {
                 let catalog = Catalog::new().with_table(placeholder);
                 let mut feeds = coin_rel::Feeds::new();
                 feeds.insert("mediated".into(), op);
-                coin_rel::build_select_pipeline(outer, &catalog, feeds, cancel)?
+                coin_rel::build_select_pipeline_cached(
+                    outer,
+                    &catalog,
+                    feeds,
+                    cancel,
+                    Some(&self.outer_programs),
+                )?
             }
         };
         stats.plan_epoch = self.epoch;

@@ -113,8 +113,13 @@ pub fn execute_plan_stream(
     cancel: Option<CancelToken>,
 ) -> Result<(PlanRows, ExecStats), PlanError> {
     let (staging, stats) = stage_fetches(plan, dict)?;
-    let (schema, op) =
-        coin_rel::build_select_pipeline(&plan.local, &staging, coin_rel::Feeds::new(), cancel)?;
+    let (schema, op) = coin_rel::build_select_pipeline_cached(
+        &plan.local,
+        &staging,
+        coin_rel::Feeds::new(),
+        cancel,
+        Some(&plan.programs),
+    )?;
     Ok((PlanRows { schema, op }, stats))
 }
 
@@ -122,6 +127,27 @@ pub fn execute_plan_stream(
 fn stage_fetches(plan: &Plan, dict: &Dictionary) -> Result<(Catalog, ExecStats), PlanError> {
     let mut staging = Catalog::new();
     let mut stats = ExecStats::default();
+
+    if plan.const_empty {
+        // The WHERE clause folded to a non-TRUE constant at plan time: the
+        // block yields no rows, so stage empty tables with the schemas the
+        // fetches would have produced and issue zero remote queries.
+        for step in &plan.steps {
+            let (source, remote) = match step {
+                FetchStep::Independent { source, remote, .. } => (source, remote),
+                FetchStep::Dependent {
+                    source,
+                    remote_base,
+                    ..
+                } => (source, remote_base),
+            };
+            let schema = dict
+                .schema_of(Some(source), &step_table(step))
+                .unwrap_or_default();
+            staging.add_table(Table::new(step.binding(), project_schema(&schema, remote)));
+        }
+        return Ok((staging, stats));
+    }
 
     for step in &plan.steps {
         match step {
@@ -210,9 +236,11 @@ fn step_table(step: &FetchStep) -> String {
     }
 }
 
-/// When a dependent fetch never ran, the staged table still needs the
-/// schema the remote query would have produced.
-fn project_schema(base: &coin_rel::Schema, remote: &Select) -> coin_rel::Schema {
+/// When a fetch never ran (const-empty plans, dependent fetches with no
+/// parameter values), the staged table still needs the schema the remote
+/// query would have produced. Also used by plan-time program warming in
+/// [`crate::optimize`].
+pub(crate) fn project_schema(base: &coin_rel::Schema, remote: &Select) -> coin_rel::Schema {
     use coin_sql::SelectItem;
     let mut cols = Vec::new();
     for item in &remote.items {

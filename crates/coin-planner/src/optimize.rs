@@ -142,12 +142,43 @@ impl Planner {
 
     /// Plan one SELECT block.
     pub fn plan_select(&self, select: &Select) -> Result<Plan, PlanError> {
-        let s = coin_sql::normalize_select(select, &self.dictionary)?;
+        let mut s = coin_sql::normalize_select(select, &self.dictionary)?;
         let conjuncts: Vec<Expr> = s
             .where_clause
             .as_ref()
             .map(|w| w.conjuncts().into_iter().cloned().collect())
             .unwrap_or_default();
+
+        // ---- constant-fold the WHERE conjuncts --------------------------
+        // A conjunct without column references can be decided at plan time:
+        // TRUE conjuncts vanish from the plan entirely, and when *every*
+        // conjunct is constant with at least one non-TRUE among them the
+        // block provably yields no rows (`const_empty`) — execution then
+        // stages empty tables and issues zero remote queries. A mix of
+        // constant-FALSE and columned conjuncts stays in place: columned
+        // predicates may error per row and the evaluator visits conjuncts
+        // in order, so short-circuiting the whole block would change
+        // observable behaviour.
+        let no_cols = coin_rel::Schema::new(Vec::new());
+        let mut kept: Vec<Expr> = Vec::new();
+        let mut all_const = !conjuncts.is_empty();
+        let mut any_non_true = false;
+        for c in conjuncts {
+            match coin_rel::compile(&c, &no_cols).map(|ce| coin_rel::fold(&ce)) {
+                Ok(coin_rel::CExpr::Const(v)) if v.is_true() => {} // drop
+                Ok(coin_rel::CExpr::Const(_)) => {
+                    any_non_true = true;
+                    kept.push(c);
+                }
+                _ => {
+                    all_const = false;
+                    kept.push(c);
+                }
+            }
+        }
+        let const_empty = all_const && any_non_true;
+        let conjuncts = kept;
+        s.where_clause = Expr::conjoin(conjuncts.clone());
 
         // ---- gather per-binding info -----------------------------------
         let mut infos: Vec<BindingInfo> = Vec::new();
@@ -357,11 +388,63 @@ impl Planner {
         };
 
         let est_cost: f64 = ordered.iter().map(FetchStep::est_cost).sum();
+
+        // ---- warm the expression-program cache ---------------------------
+        // Lower every predicate/projection of the local pipeline into
+        // register-VM programs now, so repeated executions of this plan
+        // reuse them instead of re-compiling per run.
+        let programs = std::sync::Arc::new(coin_rel::ExprCache::new());
+        if !const_empty {
+            self.warm_programs(&ordered, &local, &programs);
+        }
+
         Ok(Plan {
             steps: ordered,
             local,
             est_cost,
+            programs,
+            const_empty,
         })
+    }
+
+    /// Pre-compile the local pipeline's expression programs into `cache` by
+    /// building it once over empty placeholder tables carrying the schemas
+    /// the staged fetches will produce. Best-effort: any failure (schema
+    /// lookup, normalization) just defers lowering to the first execution.
+    fn warm_programs(&self, steps: &[FetchStep], local: &Select, cache: &coin_rel::ExprCache) {
+        let mut placeholder = coin_rel::Catalog::new();
+        for step in steps {
+            let (source, table, binding, remote) = match step {
+                FetchStep::Independent {
+                    source,
+                    table,
+                    binding,
+                    remote,
+                    ..
+                } => (source, table, binding, remote),
+                FetchStep::Dependent {
+                    source,
+                    table,
+                    binding,
+                    remote_base,
+                    ..
+                } => (source, table, binding, remote_base),
+            };
+            let Ok(schema) = self.dictionary.schema_of(Some(source), table) else {
+                return;
+            };
+            placeholder.add_table(coin_rel::Table::new(
+                binding,
+                crate::exec::project_schema(&schema, remote),
+            ));
+        }
+        let _ = coin_rel::build_select_pipeline_cached(
+            local,
+            &placeholder,
+            coin_rel::Feeds::new(),
+            None,
+            Some(cache),
+        );
     }
 }
 

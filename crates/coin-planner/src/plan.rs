@@ -91,6 +91,16 @@ pub struct Plan {
     pub local: Select,
     /// Total estimated cost in abstract cost units.
     pub est_cost: f64,
+    /// Compiled expression programs for the local pipeline. Warmed at plan
+    /// time so repeated executions of the same plan reuse the register-VM
+    /// programs instead of re-lowering every predicate/projection per run.
+    /// Cloning the plan shares the cache (it is append-only and keyed by
+    /// structural expression equality).
+    pub programs: std::sync::Arc<coin_rel::ExprCache>,
+    /// The WHERE clause constant-folded to a non-TRUE constant: the branch
+    /// provably yields no rows, so execution stages empty tables and issues
+    /// zero remote queries.
+    pub const_empty: bool,
 }
 
 impl Plan {
@@ -98,6 +108,9 @@ impl Plan {
     pub fn explain(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("PLAN (estimated cost {:.1})\n", self.est_cost));
+        if self.const_empty {
+            out.push_str("  const-empty: WHERE folds to FALSE/NULL — no remote fetches issued\n");
+        }
         for (i, s) in self.steps.iter().enumerate() {
             match s {
                 FetchStep::Independent {

@@ -17,7 +17,8 @@ use crate::exec::{
     drain, AggFn, AggSpec, Aggregate, BoxOp, CancelGuard, CancelToken, Distinct, Filter, HashJoin,
     Limit, NestedLoopJoin, Project, Rebrand, Sort, TableScan, UnionAll,
 };
-use crate::expr::{compile, CompileError};
+use crate::expr::{compile, CExpr, CompileError};
+use crate::prog::{fold, lower, ExprCache};
 use crate::schema::{Column, ColumnType, Schema, Table};
 
 /// A named collection of tables (one source's database).
@@ -158,13 +159,26 @@ pub fn build_query_pipeline(
     catalog: &Catalog,
     cancel: Option<CancelToken>,
 ) -> Result<(Schema, BoxOp), EngineError> {
+    build_query_pipeline_cached(q, catalog, cancel, None)
+}
+
+/// [`build_query_pipeline`] with a per-plan expression-program cache, so
+/// rebuilding the pipeline (one rebuild per execution of a prepared plan)
+/// reuses the compiled programs instead of re-lowering every expression.
+pub fn build_query_pipeline_cached(
+    q: &Query,
+    catalog: &Catalog,
+    cancel: Option<CancelToken>,
+    cache: Option<&ExprCache>,
+) -> Result<(Schema, BoxOp), EngineError> {
     match q {
-        Query::Select(s) => build_select_pipeline(s, catalog, Feeds::new(), cancel),
+        Query::Select(s) => build_select_pipeline_cached(s, catalog, Feeds::new(), cancel, cache),
         Query::Union { all, .. } => {
             let mut ops: Vec<BoxOp> = Vec::new();
             let mut schema: Option<Schema> = None;
             for b in q.branches() {
-                let (sch, op) = build_select_pipeline(b, catalog, Feeds::new(), cancel.clone())?;
+                let (sch, op) =
+                    build_select_pipeline_cached(b, catalog, Feeds::new(), cancel.clone(), cache)?;
                 match &schema {
                     None => {
                         schema = Some(sch);
@@ -256,6 +270,31 @@ pub fn execute_select_stream(
 /// and both scans share the copy.
 pub type Feeds = HashMap<String, BoxOp>;
 
+/// A scan over zero rows: what a constant-false predicate reduces its
+/// input to. Constants cannot error per row, so no behavior is lost.
+fn empty_scan(schema: Schema) -> BoxOp {
+    Box::new(TableScan::new(
+        Arc::new(Table {
+            name: "const-false".into(),
+            schema: schema.clone(),
+            rows: Vec::new(),
+        }),
+        schema,
+    ))
+}
+
+/// Wrap `op` in a [`Filter`] for the compiled predicate, constant-folding
+/// first: an always-TRUE predicate drops the filter node entirely, and an
+/// always-false (FALSE or NULL — both fail SQL filters) one replaces the
+/// input with an empty scan.
+fn apply_filter(op: BoxOp, pred: CExpr, cache: Option<&ExprCache>) -> BoxOp {
+    match fold(&pred) {
+        CExpr::Const(v) if v.is_true() => op,
+        CExpr::Const(_) => empty_scan(op.schema().clone()),
+        folded => Box::new(Filter::compiled(op, lower(&folded, cache))),
+    }
+}
+
 /// Build one SELECT block's pipeline: scans (with per-table filter
 /// pushdown), joins, residual predicates, aggregation or projection,
 /// ordering, distinct and limit — returned unconsumed, with a
@@ -263,8 +302,22 @@ pub type Feeds = HashMap<String, BoxOp>;
 pub fn build_select_pipeline(
     s: &Select,
     catalog: &Catalog,
+    feeds: Feeds,
+    cancel: Option<CancelToken>,
+) -> Result<(Schema, BoxOp), EngineError> {
+    build_select_pipeline_cached(s, catalog, feeds, cancel, None)
+}
+
+/// [`build_select_pipeline`] with a per-plan expression-program cache: all
+/// predicate/projection/aggregate-input expressions are lowered through
+/// `cache`, so the per-row register programs are compiled once per plan and
+/// shared across pipeline rebuilds (one per execution or stream).
+pub fn build_select_pipeline_cached(
+    s: &Select,
+    catalog: &Catalog,
     mut feeds: Feeds,
     cancel: Option<CancelToken>,
+    cache: Option<&ExprCache>,
 ) -> Result<(Schema, BoxOp), EngineError> {
     let s = coin_sql::normalize_select(s, catalog)?;
 
@@ -331,7 +384,7 @@ pub fn build_select_pipeline(
         }
         if let Some(pred) = Expr::conjoin(pushed) {
             let compiled = compile(&pred, scan.schema())?;
-            scan = Box::new(Filter::new(scan, compiled));
+            scan = apply_filter(scan, compiled, cache);
         }
 
         op = Some(match op {
@@ -368,7 +421,7 @@ pub fn build_select_pipeline(
                         rkeys.push(ri);
                         used[avail_idx[*ci]] = true;
                     }
-                    Box::new(HashJoin::new(acc, scan, lkeys, rkeys, None))
+                    Box::new(HashJoin::compiled(acc, scan, lkeys, rkeys, None))
                 } else {
                     // Predicates joining exactly these two sides run inside
                     // the nested loop.
@@ -391,7 +444,11 @@ pub fn build_select_pipeline(
                     let pred = Expr::conjoin(inner)
                         .map(|p| compile(&p, &combined_schema))
                         .transpose()?;
-                    Box::new(NestedLoopJoin::new(acc, scan, pred))
+                    Box::new(NestedLoopJoin::compiled(
+                        acc,
+                        scan,
+                        pred.map(|p| lower(&p, cache)),
+                    ))
                 }
             }
         });
@@ -409,7 +466,7 @@ pub fn build_select_pipeline(
         .collect();
     if let Some(pred) = Expr::conjoin(leftovers) {
         let compiled = compile(&pred, op.schema())?;
-        op = Box::new(Filter::new(op, compiled));
+        op = apply_filter(op, compiled, cache);
     }
 
     // ---- aggregation or plain projection --------------------------------
@@ -422,11 +479,11 @@ pub fn build_select_pipeline(
 
     let mut out_schema;
     if needs_agg {
-        let (agg_op, schema, having, order_keys) = build_aggregate(&s, op)?;
+        let (agg_op, schema, having, order_keys) = build_aggregate(&s, op, cache)?;
         op = agg_op;
         out_schema = schema;
         if let Some(h) = having {
-            op = Box::new(Filter::new(op, h));
+            op = apply_filter(op, h, cache);
         }
         if !order_keys.is_empty() {
             op = Box::new(Sort::new(op, order_keys));
@@ -434,9 +491,9 @@ pub fn build_select_pipeline(
         // Final projection: keep only the select items (group/agg columns
         // may include extra order/having columns).
         let keep = s.items.len();
-        let exprs: Vec<crate::expr::CExpr> = (0..keep).map(crate::expr::CExpr::Col).collect();
+        let progs = (0..keep).map(|i| lower(&CExpr::Col(i), cache)).collect();
         let schema = Schema::new(out_schema.columns[..keep].to_vec());
-        op = Box::new(Project::new(op, exprs, schema.clone()));
+        op = Box::new(Project::compiled(op, progs, schema.clone()));
         out_schema = schema;
     } else {
         // Plain projection. ORDER BY may reference non-projected source
@@ -478,7 +535,8 @@ pub fn build_select_pipeline(
             }
         }
         out_schema = Schema::new(cols);
-        op = Box::new(Project::new(op, exprs, out_schema.clone()));
+        let progs = exprs.iter().map(|e| lower(e, cache)).collect();
+        op = Box::new(Project::compiled(op, progs, out_schema.clone()));
         if !deferred.is_empty() {
             let mut post_keys = Vec::new();
             for o in deferred {
@@ -514,6 +572,7 @@ pub fn build_select_pipeline(
 fn build_aggregate(
     s: &Select,
     input: BoxOp,
+    cache: Option<&ExprCache>,
 ) -> Result<
     (
         BoxOp,
@@ -561,7 +620,7 @@ fn build_aggregate(
         internal_cols.push(Column::new(&a.to_string(), ColumnType::Any));
     }
     let internal_schema = Schema::new(internal_cols);
-    let agg = Aggregate::new(input, group_compiled, specs, internal_schema.clone());
+    let agg = Aggregate::with_cache(input, group_compiled, specs, internal_schema.clone(), cache);
 
     // Rewrite outer expressions over the internal schema.
     let rewrite_ctx = RewriteCtx {
@@ -612,10 +671,11 @@ fn build_aggregate(
     // Pipeline: Aggregate -> [Filter(having)] -> Project(items + order cols).
     let mut inner: BoxOp = Box::new(agg);
     if let Some(h) = having {
-        inner = Box::new(Filter::new(inner, h));
+        inner = apply_filter(inner, h, cache);
     }
     let out_schema = Schema::new(out_cols);
-    let project: BoxOp = Box::new(Project::new(inner, out_exprs, out_schema.clone()));
+    let progs = out_exprs.iter().map(|e| lower(e, cache)).collect();
+    let project: BoxOp = Box::new(Project::compiled(inner, progs, out_schema.clone()));
     Ok((project, out_schema, None, order_keys))
 }
 

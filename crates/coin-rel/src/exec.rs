@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 use crate::expr::CExpr;
+use crate::prog::{lower, ExprCache, ExprProg};
 use crate::schema::{Row, Schema, Table};
 use crate::tempstore::{cmp_rows, ExternalSorter, MergeStream, SortKey, TempStore};
 use crate::value::{Value, ValueError};
@@ -239,15 +240,26 @@ impl Operator for CancelGuard {
     }
 }
 
-/// Filter by a compiled predicate.
+/// Filter by a compiled predicate program.
 pub struct Filter {
     input: BoxOp,
-    predicate: CExpr,
+    prog: Arc<ExprProg>,
+    regs: Vec<Value>,
 }
 
 impl Filter {
     pub fn new(input: BoxOp, predicate: CExpr) -> Filter {
-        Filter { input, predicate }
+        Filter::compiled(input, Arc::new(ExprProg::compile(&predicate)))
+    }
+
+    /// Build from an already-lowered program (the plan-cache path: compile
+    /// once per plan, share across executions).
+    pub fn compiled(input: BoxOp, prog: Arc<ExprProg>) -> Filter {
+        Filter {
+            input,
+            prog,
+            regs: Vec::new(),
+        }
     }
 }
 
@@ -258,7 +270,7 @@ impl Operator for Filter {
 
     fn next(&mut self) -> Result<Option<Row>, ExecError> {
         while let Some(row) = self.input.next()? {
-            if self.predicate.matches(&row)? {
+            if self.prog.matches(&row, &mut self.regs)? {
                 return Ok(Some(row));
             }
         }
@@ -266,19 +278,30 @@ impl Operator for Filter {
     }
 }
 
-/// Projection: compute a new row from compiled expressions.
+/// Projection: compute a new row from compiled expression programs.
 pub struct Project {
     input: BoxOp,
-    exprs: Vec<CExpr>,
+    progs: Vec<Arc<ExprProg>>,
+    regs: Vec<Value>,
     schema: Schema,
 }
 
 impl Project {
     pub fn new(input: BoxOp, exprs: Vec<CExpr>, schema: Schema) -> Project {
-        assert_eq!(exprs.len(), schema.len());
+        let progs = exprs
+            .iter()
+            .map(|e| Arc::new(ExprProg::compile(e)))
+            .collect();
+        Project::compiled(input, progs, schema)
+    }
+
+    /// Build from already-lowered programs (the plan-cache path).
+    pub fn compiled(input: BoxOp, progs: Vec<Arc<ExprProg>>, schema: Schema) -> Project {
+        assert_eq!(progs.len(), schema.len());
         Project {
             input,
-            exprs,
+            progs,
+            regs: Vec::new(),
             schema,
         }
     }
@@ -292,11 +315,10 @@ impl Operator for Project {
     fn next(&mut self) -> Result<Option<Row>, ExecError> {
         match self.input.next()? {
             Some(row) => {
-                let out = self
-                    .exprs
-                    .iter()
-                    .map(|e| e.eval(&row))
-                    .collect::<Result<Row, _>>()?;
+                let mut out = Vec::with_capacity(self.progs.len());
+                for p in &self.progs {
+                    out.push(p.eval(&row, &mut self.regs)?);
+                }
                 Ok(Some(out))
             }
             None => Ok(None),
@@ -311,7 +333,8 @@ pub struct NestedLoopJoin {
     right_rows: Vec<Row>,
     right_loaded: bool,
     right_src: Option<BoxOp>,
-    predicate: Option<CExpr>,
+    predicate: Option<Arc<ExprProg>>,
+    regs: Vec<Value>,
     schema: Schema,
     current_left: Option<Row>,
     right_pos: usize,
@@ -319,6 +342,12 @@ pub struct NestedLoopJoin {
 
 impl NestedLoopJoin {
     pub fn new(left: BoxOp, right: BoxOp, predicate: Option<CExpr>) -> NestedLoopJoin {
+        let predicate = predicate.map(|p| Arc::new(ExprProg::compile(&p)));
+        NestedLoopJoin::compiled(left, right, predicate)
+    }
+
+    /// Build from an already-lowered residual program (the plan-cache path).
+    pub fn compiled(left: BoxOp, right: BoxOp, predicate: Option<Arc<ExprProg>>) -> NestedLoopJoin {
         let schema = left.schema().join(right.schema());
         NestedLoopJoin {
             left,
@@ -326,6 +355,7 @@ impl NestedLoopJoin {
             right_loaded: false,
             right_src: Some(right),
             predicate,
+            regs: Vec::new(),
             schema,
             current_left: None,
             right_pos: 0,
@@ -359,7 +389,7 @@ impl Operator for NestedLoopJoin {
                 let mut combined = l.clone();
                 combined.extend(r.iter().cloned());
                 match &self.predicate {
-                    Some(p) if !p.matches(&combined)? => continue,
+                    Some(p) if !p.matches(&combined, &mut self.regs)? => continue,
                     _ => return Ok(Some(combined)),
                 }
             }
@@ -528,7 +558,8 @@ pub struct HashJoin {
     built: bool,
     left_keys: Vec<usize>,
     right_keys: Vec<usize>,
-    residual: Option<CExpr>,
+    residual: Option<Arc<ExprProg>>,
+    regs: Vec<Value>,
     schema: Schema,
     current_left: Option<Row>,
     current_hash: u64,
@@ -542,6 +573,18 @@ impl HashJoin {
         left_keys: Vec<usize>,
         right_keys: Vec<usize>,
         residual: Option<CExpr>,
+    ) -> HashJoin {
+        let residual = residual.map(|p| Arc::new(ExprProg::compile(&p)));
+        HashJoin::compiled(left, right, left_keys, right_keys, residual)
+    }
+
+    /// Build from an already-lowered residual program (the plan-cache path).
+    pub fn compiled(
+        left: BoxOp,
+        right: BoxOp,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        residual: Option<Arc<ExprProg>>,
     ) -> HashJoin {
         assert_eq!(left_keys.len(), right_keys.len());
         assert!(!left_keys.is_empty());
@@ -557,6 +600,7 @@ impl HashJoin {
             left_keys,
             right_keys,
             residual,
+            regs: Vec::new(),
             schema,
             current_left: None,
             current_hash: 0,
@@ -609,7 +653,7 @@ impl Operator for HashJoin {
                         combined.extend(l.iter().cloned());
                         combined.extend(r.iter().cloned());
                         match &self.residual {
-                            Some(p) if !p.matches(&combined)? => continue,
+                            Some(p) if !p.matches(&combined, &mut self.regs)? => continue,
                             _ => return Ok(Some(combined)),
                         }
                     }
@@ -1120,12 +1164,15 @@ pub struct AggSpec {
 /// byte-identical to the tree-based implementation's.
 pub struct Aggregate {
     input: Option<BoxOp>,
-    group_exprs: Vec<CExpr>,
+    group_progs: Vec<Arc<ExprProg>>,
     /// When every group expression is a plain column reference (`GROUP BY
     /// k`, the common shape), the key is hashed and compared directly
     /// against the input row — no per-row key evaluation or clone.
     group_cols: Option<Vec<usize>>,
     aggs: Vec<AggSpec>,
+    /// Lowered `AggSpec::arg` programs, index-aligned with `aggs`.
+    arg_progs: Vec<Option<Arc<ExprProg>>>,
+    regs: Vec<Value>,
     schema: Schema,
     out: Option<std::vec::IntoIter<Row>>,
     /// With no GROUP BY and no input rows, SQL still produces one row of
@@ -1140,6 +1187,18 @@ impl Aggregate {
         aggs: Vec<AggSpec>,
         schema: Schema,
     ) -> Aggregate {
+        Aggregate::with_cache(input, group_exprs, aggs, schema, None)
+    }
+
+    /// [`Aggregate::new`], lowering key and argument expressions through a
+    /// per-plan [`ExprCache`] so re-executions share the compiled programs.
+    pub fn with_cache(
+        input: BoxOp,
+        group_exprs: Vec<CExpr>,
+        aggs: Vec<AggSpec>,
+        schema: Schema,
+        cache: Option<&ExprCache>,
+    ) -> Aggregate {
         let global = group_exprs.is_empty();
         let group_cols = group_exprs
             .iter()
@@ -1149,11 +1208,18 @@ impl Aggregate {
             })
             .collect::<Option<Vec<usize>>>()
             .filter(|c| !c.is_empty());
+        let group_progs = group_exprs.iter().map(|e| lower(e, cache)).collect();
+        let arg_progs = aggs
+            .iter()
+            .map(|a| a.arg.as_ref().map(|e| lower(e, cache)))
+            .collect();
         Aggregate {
             input: Some(input),
-            group_exprs,
+            group_progs,
             group_cols,
             aggs,
+            arg_progs,
+            regs: Vec::new(),
             schema,
             out: None,
             global,
@@ -1173,7 +1239,7 @@ impl Operator for Aggregate {
             // positions by key hash.
             let mut groups: Vec<(Vec<Value>, Vec<Acc>)> = Vec::new();
             let mut index = KeyIndex::default();
-            let mut keybuf: Vec<Value> = Vec::with_capacity(self.group_exprs.len());
+            let mut keybuf: Vec<Value> = Vec::with_capacity(self.group_progs.len());
             while let Some(row) = src.next()? {
                 // Column-only keys hash/compare straight off the row; the
                 // key values are only cloned when a new group is created.
@@ -1197,8 +1263,8 @@ impl Operator for Aggregate {
                     }
                 } else {
                     keybuf.clear();
-                    for e in &self.group_exprs {
-                        keybuf.push(e.eval(&row)?);
+                    for p in &self.group_progs {
+                        keybuf.push(p.eval(&row, &mut self.regs)?);
                     }
                     let h = hash_values(&keybuf);
                     let bucket = index.entry(h).or_default();
@@ -1214,7 +1280,7 @@ impl Operator for Aggregate {
                             groups.push((
                                 std::mem::replace(
                                     &mut keybuf,
-                                    Vec::with_capacity(self.group_exprs.len()),
+                                    Vec::with_capacity(self.group_progs.len()),
                                 ),
                                 self.aggs.iter().map(|a| Acc::new(a.f)).collect(),
                             ));
@@ -1223,11 +1289,11 @@ impl Operator for Aggregate {
                     }
                 };
                 let accs = &mut groups[gi].1;
-                for (acc, spec) in accs.iter_mut().zip(&self.aggs) {
-                    match &spec.arg {
+                for (acc, arg) in accs.iter_mut().zip(&self.arg_progs) {
+                    match arg {
                         None => acc.update(None)?,
-                        Some(e) => {
-                            let v = e.eval(&row)?;
+                        Some(p) => {
+                            let v = p.eval(&row, &mut self.regs)?;
                             acc.update(Some(&v))?;
                         }
                     }

@@ -258,7 +258,10 @@ impl CExpr {
                 }
             },
             CExpr::Neg(inner) => match inner.eval(row)? {
-                Value::Int(i) => Value::Int(-i),
+                // i64::MIN widens to float, like overflowing +/-/*.
+                Value::Int(i) => i
+                    .checked_neg()
+                    .map_or_else(|| Value::Float(-(i as f64)), Value::Int),
                 Value::Float(f) => Value::Float(-f),
                 Value::Null => Value::Null,
                 other => {
@@ -372,7 +375,10 @@ impl CExpr {
                 match (f, vals.as_slice()) {
                     (ScalarFn::Upper, [Value::Str(s)]) => Value::from(s.to_uppercase()),
                     (ScalarFn::Lower, [Value::Str(s)]) => Value::from(s.to_lowercase()),
-                    (ScalarFn::Abs, [Value::Int(i)]) => Value::Int(i.abs()),
+                    // i64::MIN widens to float, like overflowing arithmetic.
+                    (ScalarFn::Abs, [Value::Int(i)]) => i
+                        .checked_abs()
+                        .map_or_else(|| Value::Float((*i as f64).abs()), Value::Int),
                     (ScalarFn::Abs, [Value::Float(x)]) => Value::Float(x.abs()),
                     (ScalarFn::Round, [Value::Float(x)]) => Value::Int(x.round() as i64),
                     (ScalarFn::Round, [Value::Int(i)]) => Value::Int(*i),

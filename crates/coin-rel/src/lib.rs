@@ -9,6 +9,9 @@
 //! * [`schema`] — columns, schemas, in-memory [`schema::Table`]s with type
 //!   checking;
 //! * [`expr`] — expressions compiled from `coin-sql` ASTs to positional form;
+//! * [`prog`] — expressions lowered once more into flat register-VM
+//!   programs with constant folding and precompiled `LIKE` matchers, the
+//!   per-row evaluation form on the streaming hot path;
 //! * [`exec`] — Volcano-style operators (scan, filter, project, nested-loop
 //!   and hash joins, union, distinct, sort, aggregate, limit);
 //! * [`tempstore`] — the "local secondary storage" of the prototype: spill
@@ -40,17 +43,20 @@
 pub mod engine;
 pub mod exec;
 pub mod expr;
+pub mod prog;
 pub mod reference;
 pub mod schema;
 pub mod tempstore;
 pub mod value;
 
 pub use engine::{
-    build_query_pipeline, build_select_pipeline, execute_query, execute_select,
-    execute_select_stream, execute_sql, Catalog, EngineError, Feeds,
+    build_query_pipeline, build_query_pipeline_cached, build_select_pipeline,
+    build_select_pipeline_cached, execute_query, execute_select, execute_select_stream,
+    execute_sql, Catalog, EngineError, Feeds,
 };
 pub use exec::{drain, BoxOp, CancelToken, ExecError, Operator};
 pub use expr::{compile, CExpr, CompileError};
+pub use prog::{fold, lower, ExprCache, ExprProg, LikeProg};
 pub use schema::{Column, ColumnType, Row, Schema, Table, TableError};
 pub use tempstore::{thread_spill_stats, ExternalSorter, MergeStream, SpillStats, TempStore};
 pub use value::{sql_like, ArithOp, Value, ValueError};
