@@ -22,7 +22,8 @@ use coin_wrapper::RelationalSource;
 fn system_with_k_cases(k: usize) -> CoinSystem {
     let (domain, _) = coin_core::model::figure2_domain();
     let mut sys = CoinSystem::new(domain);
-    sys.add_conversion("scaleFactor", Conversion::Ratio);
+    sys.add_conversion("scaleFactor", Conversion::Ratio)
+        .unwrap();
     sys.add_conversion(
         "currency",
         Conversion::Lookup {
@@ -31,7 +32,8 @@ fn system_with_k_cases(k: usize) -> CoinSystem {
             to_col: "toCur".into(),
             factor_col: "rate".into(),
         },
-    );
+    )
+    .unwrap();
 
     let fin = Table::from_rows(
         "fin",

@@ -1,18 +1,24 @@
 //! Bounded LRU cache of prepared queries, keyed by `(receiver, canonical
 //! SQL)` — the printed form of the parsed AST, so spelling variants of one
-//! query share an entry — and guarded by the system's model epoch.
+//! query share an entry — and guarded by **dependency-tracked model
+//! versions**.
 //!
 //! The mediation procedure is expensive relative to execution (the
 //! abductive rewrite dominates the hot path), so [`crate::CoinSystem`]
 //! caches the compile side — the [`crate::prepared::PreparedQuery`]
-//! artifact — and reuses it across calls. Correctness is enforced by an
-//! **epoch** counter: every model/planner mutation (`add_context`,
-//! `add_elevation`, `add_conversion`, `add_source`,
-//! `with_planner_config`) bumps the system epoch and purges the cache,
-//! and a lookup only returns an entry whose compile-time epoch matches
-//! the current one. A cached plan is therefore
-//! served exactly as long as re-mediating would produce the same result,
-//! and never after the shared model changes.
+//! artifact — and reuses it across calls. Correctness is enforced by the
+//! per-part vector clock of [`crate::versions`]: each artifact records
+//! the model parts its compilation consulted
+//! ([`PreparedQuery::deps`]), each mutation stamps exactly the parts it
+//! changed, and a lookup returns an entry only while *none of its
+//! dependencies* changed after it was compiled
+//! ([`crate::versions::ModelVersions::plan_valid`]). Mutations evict
+//! eagerly through [`QueryCache::invalidate_dependents`] — only entries
+//! whose footprint intersects the mutated parts are dropped, so
+//! administering one source leaves every other source's plans hot. A
+//! cached plan is therefore served exactly as long as re-mediating would
+//! produce the same result, and never after the consulted model state
+//! changes.
 //!
 //! # Single-flight compilation
 //!
@@ -31,6 +37,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 use crate::prepared::PreparedQuery;
+use crate::versions::{ModelPart, ModelVersions};
 
 /// Default maximum number of cached prepared queries.
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
@@ -47,7 +54,8 @@ pub struct CacheStats {
     /// single-flight guard this stays at 1 for any number of concurrent
     /// cold misses on one key.
     pub compiles: u64,
-    /// Entries dropped because the model epoch advanced.
+    /// Entries dropped because a model mutation touched one of their
+    /// recorded dependencies (or an explicit purge dropped them).
     pub invalidations: u64,
     /// Entries dropped to respect the capacity bound.
     pub evictions: u64,
@@ -112,7 +120,7 @@ impl Flight {
 /// Outcome of [`QueryCache::begin`]: either a ready artifact or the duty
 /// (and exclusive right, per key) to compile one.
 pub enum PrepareSlot<'a> {
-    /// A current-epoch artifact was already cached, or an in-flight leader
+    /// A still-valid artifact was already cached, or an in-flight leader
     /// finished compiling one while we waited.
     Cached(Arc<PreparedQuery>),
     /// This caller is the single-flight leader for the key: compile, then
@@ -153,8 +161,8 @@ impl Drop for FlightPermit<'_> {
     }
 }
 
-/// A bounded, epoch-validated LRU cache of [`PreparedQuery`] artifacts
-/// with a per-key single-flight guard for cold misses.
+/// A bounded, dependency-validated LRU cache of [`PreparedQuery`]
+/// artifacts with a per-key single-flight guard for cold misses.
 ///
 /// Interior mutability (mutexes plus atomics for the counters) lets a
 /// shared `&CoinSystem` serve cached lookups from many threads at once.
@@ -195,14 +203,24 @@ impl QueryCache {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Counter-free lookup: a present but stale entry is removed and
-    /// counted as an invalidation; hit/miss attribution is the caller's.
-    fn lookup(&self, receiver: &str, sql: &str, epoch: u64) -> Option<Arc<PreparedQuery>> {
+    /// Counter-free lookup: a present but stale entry (one of its
+    /// dependencies changed after compilation) is removed and counted as
+    /// an invalidation; hit/miss attribution is the caller's. Mutations
+    /// evict eagerly via [`QueryCache::invalidate_dependents`], so this
+    /// validity check is defense in depth, not the primary mechanism.
+    fn lookup(
+        &self,
+        receiver: &str,
+        sql: &str,
+        versions: &ModelVersions,
+    ) -> Option<Arc<PreparedQuery>> {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(receiver).and_then(|m| m.get_mut(sql)) {
-            Some((prepared, last_used)) if prepared.epoch() == epoch => {
+            Some((prepared, last_used))
+                if versions.plan_valid(prepared.deps(), prepared.epoch()) =>
+            {
                 *last_used = tick;
                 Some(Arc::clone(prepared))
             }
@@ -215,11 +233,16 @@ impl QueryCache {
         }
     }
 
-    /// Look up a prepared query compiled at exactly `epoch`. A present but
-    /// stale entry is removed and counted as an invalidation; any
+    /// Look up a prepared query still valid under `versions`. A present
+    /// but stale entry is removed and counted as an invalidation; any
     /// non-returning outcome counts as a miss.
-    pub fn get(&self, receiver: &str, sql: &str, epoch: u64) -> Option<Arc<PreparedQuery>> {
-        match self.lookup(receiver, sql, epoch) {
+    pub fn get(
+        &self,
+        receiver: &str,
+        sql: &str,
+        versions: &ModelVersions,
+    ) -> Option<Arc<PreparedQuery>> {
+        match self.lookup(receiver, sql, versions) {
             Some(hit) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(hit)
@@ -235,13 +258,13 @@ impl QueryCache {
     /// caller leader for the key, or park until the current leader lands
     /// and serve its artifact. Only a leader election counts as a miss;
     /// both cache hits and coalesced waits count as hits.
-    pub fn begin(&self, receiver: &str, sql: &str, epoch: u64) -> PrepareSlot<'_> {
+    pub fn begin(&self, receiver: &str, sql: &str, versions: &ModelVersions) -> PrepareSlot<'_> {
         loop {
             let flight = {
                 // `inflight` is held across the cache lookup so a leader
                 // completing in between cannot slip past both checks.
                 let mut inflight = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
-                if let Some(hit) = self.lookup(receiver, sql, epoch) {
+                if let Some(hit) = self.lookup(receiver, sql, versions) {
                     drop(inflight);
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return PrepareSlot::Cached(hit);
@@ -272,14 +295,17 @@ impl QueryCache {
                             .wait(state)
                             .unwrap_or_else(PoisonError::into_inner);
                     }
-                    FlightState::Done(prepared) if prepared.epoch() == epoch => {
+                    FlightState::Done(prepared)
+                        if versions.plan_valid(prepared.deps(), prepared.epoch()) =>
+                    {
                         let out = Arc::clone(prepared);
                         drop(state);
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         return PrepareSlot::Cached(out);
                     }
-                    // Leader failed, or compiled at a different epoch than
-                    // we need: go around (possibly becoming leader).
+                    // Leader failed, or its artifact was obsoleted by a
+                    // mutation while we waited: go around (possibly
+                    // becoming leader).
                     FlightState::Done(_) | FlightState::Aborted => break,
                 }
             }
@@ -322,8 +348,34 @@ impl QueryCache {
         evict_down_to_capacity(&mut inner);
     }
 
-    /// Drop every entry (called when the model epoch advances, so stale
-    /// plans never linger even unread).
+    /// Drop every entry whose recorded dependency footprint intersects
+    /// `parts` — the eager half of dependency-tracked invalidation,
+    /// called by [`crate::CoinSystem`] on every model mutation so stale
+    /// plans never linger even unread, while plans over untouched parts
+    /// stay hot. Returns the number of entries dropped.
+    pub fn invalidate_dependents(&self, parts: &[ModelPart]) -> u64 {
+        let mut inner = self.lock();
+        let victims: Vec<(String, String)> = inner
+            .map
+            .iter()
+            .flat_map(|(r, per)| {
+                per.iter()
+                    .filter(|(_, (prepared, _))| {
+                        parts.iter().any(|p| prepared.deps().contains(p))
+                    })
+                    .map(move |(s, _)| (r.clone(), s.clone()))
+            })
+            .collect();
+        for (receiver, sql) in &victims {
+            inner.remove(receiver, sql);
+        }
+        inner.invalidations += victims.len() as u64;
+        victims.len() as u64
+    }
+
+    /// Drop every entry unconditionally (the pre-dependency-tracking
+    /// "epoch hammer", kept as an explicit administrative control and as
+    /// the baseline the invalidation bench compares against).
     pub fn purge(&self) {
         let mut inner = self.lock();
         inner.invalidations += inner.len as u64;

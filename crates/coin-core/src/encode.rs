@@ -24,6 +24,7 @@ use coin_rel::Value;
 use crate::model::{
     ContextTheory, Conversion, ConversionRegistry, DomainModel, Elevation, ModelError, ModifierSpec,
 };
+use crate::versions::{ModelPart, PlanDeps};
 
 /// Render a data constant as a logic-program term. Strings become logic
 /// string constants; atoms are reserved for structural names.
@@ -188,6 +189,10 @@ impl Encoder {
     /// Emit the full per-column pipeline for one FROM binding: modifier
     /// axioms in the source context plus the `rcv/2` clause converting into
     /// the receiver context.
+    ///
+    /// Every conversion function actually applied is recorded into `deps`
+    /// — the plan's read footprint — so later mutations to *unconsulted*
+    /// conversions cannot invalidate the resulting plan.
     #[allow(clippy::too_many_arguments)]
     pub fn elevated_column(
         &mut self,
@@ -198,6 +203,7 @@ impl Encoder {
         elevation: &Elevation,
         binding: &str,
         column: &str,
+        deps: &mut PlanDeps,
     ) -> Result<(), ModelError> {
         let col = col_term(binding, column);
         let Some(sem_type) = elevation.type_of(column) else {
@@ -216,6 +222,7 @@ impl Encoder {
         let mut current = col.clone();
         for (i, m) in modifiers.iter().enumerate() {
             conversions.get(m)?; // must have a conversion function
+            deps.record(ModelPart::Conversion(m.clone()));
             let spec = source_ctx.get(sem_type, m).ok_or_else(|| {
                 ModelError::Invalid(format!(
                     "context {} does not assign {sem_type}.{m}",
@@ -267,6 +274,7 @@ impl Encoder {
 mod tests {
     use super::*;
     use crate::model::figure2_domain;
+    use crate::versions::PlanDeps;
     use coin_logic::{Program, Solver};
 
     fn source1_context() -> ContextTheory {
@@ -318,6 +326,7 @@ mod tests {
             &elevation,
             "r1",
             "revenue",
+            &mut PlanDeps::new(),
         )
         .unwrap();
         enc
@@ -391,6 +400,7 @@ mod tests {
             &elevation,
             "r2",
             "expenses",
+            &mut PlanDeps::new(),
         )
         .unwrap();
         let program = Program::from_source(enc.text()).unwrap();
@@ -415,6 +425,7 @@ mod tests {
             &elevation,
             "r1",
             "cname",
+            &mut PlanDeps::new(),
         )
         .unwrap();
         assert!(enc
@@ -437,6 +448,7 @@ mod tests {
                 &elevation,
                 "r1",
                 "revenue",
+                &mut PlanDeps::new(),
             )
             .unwrap_err();
         assert!(matches!(e, ModelError::Invalid(_)));
@@ -467,6 +479,7 @@ mod tests {
                 &elevation,
                 "r1",
                 "revenue",
+                &mut PlanDeps::new(),
             )
             .unwrap_err();
         assert!(matches!(e, ModelError::Invalid(_)));

@@ -23,7 +23,8 @@ pub fn figure2_system() -> CoinSystem {
     let (domain, conversions) = crate::model::figure2_domain();
     let mut sys = CoinSystem::new(domain);
     for (m, c) in conversions.iter() {
-        sys.add_conversion(m, c.clone());
+        sys.add_conversion(m, c.clone())
+            .expect("fixture conversions are fresh and valid");
     }
 
     // ---- sources ---------------------------------------------------------
@@ -191,6 +192,7 @@ pub fn synthetic_system(n_sources: usize, rows_per: usize, seed: u64) -> CoinSys
             ),
             other => sys.add_conversion(m, other.clone()),
         }
+        .expect("fixture conversions are fresh and valid");
     }
     let mut rng = Rng::new(seed);
 

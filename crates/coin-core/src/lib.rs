@@ -18,7 +18,10 @@
 //!   multi-database access engine, the deployment unit of Figure 1;
 //! * [`prepared`] — compile-once / execute-many [`prepared::PreparedQuery`]
 //!   artifacts (parsed SQL + mediated UNION + optimized plan);
-//! * [`cache`] — the bounded, model-epoch-invalidated LRU cache of
+//! * [`versions`] — fine-grained model versioning: a vector clock over
+//!   [`versions::ModelPart`]s plus the [`versions::PlanDeps`] read
+//!   footprints that make invalidation dependency-exact;
+//! * [`cache`] — the bounded, dependency-invalidated LRU cache of
 //!   prepared queries behind [`system::CoinSystem::prepare`];
 //! * [`fixtures`] — the Figure 2 scenario and synthetic n-source
 //!   deployments;
@@ -54,6 +57,7 @@ pub mod mediate;
 pub mod model;
 pub mod prepared;
 pub mod system;
+pub mod versions;
 
 pub use cache::{CacheStats, FlightPermit, PrepareSlot, QueryCache};
 pub use mediate::{BranchReport, Mediated, MediationError, Mediator};
@@ -63,6 +67,7 @@ pub use model::{
 };
 pub use prepared::{CacheStatus, MediatedRows, PreparedQuery};
 pub use system::{CoinError, CoinSystem, MediatedAnswer};
+pub use versions::{ModelPart, ModelVersions, PlanDeps};
 // Streaming consumers (the server) speak the planner's row type without
 // depending on coin-planner themselves.
 pub use coin_planner::PlanRows;

@@ -36,6 +36,7 @@ use crate::encode::{col_term, value_term, Encoder};
 use crate::model::{
     ContextTheory, Conversion, ConversionRegistry, DomainModel, ElevationRegistry, ModelError,
 };
+use crate::versions::{ModelPart, PlanDeps};
 
 /// Mediation errors.
 #[derive(Debug)]
@@ -110,6 +111,12 @@ pub struct Mediated {
     pub program_text: String,
     /// Number of logic statements compiled for this mediation.
     pub statements: usize,
+    /// The model parts this mediation consulted — the read footprint the
+    /// prepared-query cache uses for dependency-exact invalidation:
+    /// the receiver and source contexts, the staged relations'
+    /// elevations, every applied conversion function, and every relation
+    /// appearing in a mediated branch (ancillary joins included).
+    pub deps: PlanDeps,
 }
 
 impl Mediated {
@@ -190,7 +197,14 @@ impl<'a> Mediator<'a> {
         check_conjunctive(&s)?;
         let referenced = referenced_columns(&s)?;
 
-        let enc = self.compile_program(&s, receiver, &referenced)?;
+        // Normalization resolved the FROM tables through the dictionary:
+        // their resolvability is part of the read footprint.
+        let mut deps = PlanDeps::new();
+        for t in &s.from {
+            deps.record(ModelPart::Relation(t.table.clone()));
+        }
+
+        let enc = self.compile_program(&s, receiver, &referenced, &mut deps)?;
         let program_text = enc.text().to_owned();
         let statements = enc.statement_count();
 
@@ -224,6 +238,7 @@ impl<'a> Mediator<'a> {
                 }],
                 program_text,
                 statements,
+                deps,
             });
         }
 
@@ -236,12 +251,23 @@ impl<'a> Mediator<'a> {
             self.conversions,
         )?;
 
+        // Ancillary lookups surface as extra FROM tables in the decoded
+        // branches (e.g. the exchange-rate relation): stage them in the
+        // footprint too, so a mutation affecting the conversion source's
+        // resolvability recompiles dependents.
+        for b in &branches {
+            for t in &b.select.from {
+                deps.record(ModelPart::Relation(t.table.clone()));
+            }
+        }
+
         let query = Query::union_of(branches.iter().map(|b| b.select.clone()).collect(), false);
         Ok(Mediated {
             query,
             branches,
             program_text,
             statements,
+            deps,
         })
     }
 
@@ -253,20 +279,24 @@ impl<'a> Mediator<'a> {
         s: &Select,
         receiver: &str,
         referenced: &[(String, String)],
+        deps: &mut PlanDeps,
     ) -> Result<Encoder, MediationError> {
         let receiver_ctx = self
             .contexts
             .get(receiver)
             .ok_or_else(|| ModelError::UnknownContext(receiver.to_owned()))?;
+        deps.record(ModelPart::Context(receiver.to_owned()));
         let mut enc = Encoder::new();
         enc.preamble();
         enc.conversions(self.conversions);
         for t in &s.from {
             let elevation = self.elevations.get(&t.table)?;
+            deps.record(ModelPart::Elevation(t.table.clone()));
             let source_ctx = self
                 .contexts
                 .get(&elevation.context)
                 .ok_or_else(|| ModelError::UnknownContext(elevation.context.clone()))?;
+            deps.record(ModelPart::Context(elevation.context.clone()));
             let binding = t.binding();
             for (b, c) in referenced {
                 if b == binding {
@@ -278,6 +308,7 @@ impl<'a> Mediator<'a> {
                         elevation,
                         binding,
                         c,
+                        deps,
                     )?;
                 }
             }

@@ -34,6 +34,7 @@ pub enum ModelError {
     DuplicateElevation(String),
     UnknownRelation(String),
     MissingConversion(String),
+    DuplicateConversion(String),
     Invalid(String),
 }
 
@@ -59,6 +60,13 @@ impl std::fmt::Display for ModelError {
             ModelError::UnknownRelation(r) => write!(f, "no elevation axioms for {r}"),
             ModelError::MissingConversion(m) => {
                 write!(f, "no conversion function registered for modifier {m}")
+            }
+            ModelError::DuplicateConversion(m) => {
+                write!(
+                    f,
+                    "modifier {m} already has a conversion function; use \
+                     replace_conversion to change it"
+                )
             }
             ModelError::Invalid(m) => f.write_str(m),
         }
@@ -146,6 +154,15 @@ impl DomainModel {
             }
         }
         Ok(out)
+    }
+
+    /// Is `modifier` declared by any semantic type? Used to validate
+    /// conversion registrations: a conversion for a modifier no type
+    /// declares could never be applied.
+    pub fn has_modifier(&self, modifier: &str) -> bool {
+        self.types
+            .values()
+            .any(|t| t.modifiers.iter().any(|m| m == modifier))
     }
 
     pub fn type_names(&self) -> Vec<&str> {

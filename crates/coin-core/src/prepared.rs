@@ -14,22 +14,38 @@
 //! abductive solve and planning entirely — only the fetch/join/residual
 //! work remains, which is the cheap part of the pipeline.
 //!
-//! # The epoch-invalidation contract
+//! # The dependency-invalidation contract
 //!
-//! A prepared query is only valid against the model it was compiled from.
-//! [`crate::CoinSystem`] maintains a monotonically increasing **model
-//! epoch**, bumped by every model/planner mutation (`add_context`,
-//! `add_elevation`, `add_conversion`, `add_source`,
-//! `with_planner_config`). Each artifact records the epoch it was
-//! compiled at ([`PreparedQuery::epoch`]):
+//! A prepared query is only valid against the model state it actually
+//! *read*. Compilation records that read set as a [`crate::PlanDeps`]
+//! footprint — the receiver and source contexts consulted, the elevation
+//! axioms applied, the conversion functions invoked, every relation the
+//! mediated query or its plan stages, and the planner configuration.
+//! [`crate::CoinSystem`] maintains a per-part vector clock
+//! ([`crate::ModelVersions`]): each mutation (`add_context`,
+//! `add_elevation`, `add_conversion`/`replace_conversion`, `add_source`,
+//! `with_planner_config`) stamps exactly the parts it changed, and a
+//! semantically no-op administration (re-applying the current planner
+//! config, replacing a conversion with an identical one) stamps nothing.
 //!
-//! * the system's [`crate::cache::QueryCache`] never serves an entry whose
-//!   epoch differs from the current one — a model mutation invalidates all
-//!   cached plans exactly once, and the next lookup re-mediates;
-//! * [`PreparedQuery::execute`] re-checks the epoch at execution time and
-//!   fails with [`crate::CoinError::StalePlan`] rather than silently
-//!   returning answers mediated against an outdated model. Call
-//!   [`crate::CoinSystem::prepare`] again to recompile.
+//! * The system's [`crate::cache::QueryCache`] drops exactly the entries
+//!   whose footprint intersects a mutation's stamped parts
+//!   ([`crate::cache::QueryCache::invalidate_dependents`]) — plans that
+//!   never consulted the mutated part stay cached and keep hitting.
+//! * [`PreparedQuery::execute`]/[`PreparedQuery::execute_stream`]
+//!   re-validate every recorded dependency at execution time
+//!   ([`crate::ModelVersions::plan_valid`]) and fail with
+//!   [`crate::CoinError::StalePlan`] rather than silently returning
+//!   answers mediated against an outdated model. Recover by calling
+//!   [`crate::CoinSystem::prepare`] again, or let
+//!   [`crate::CoinSystem::execute_reprepared`] re-prepare and re-execute
+//!   in one step, handing back the fresh artifact.
+//!
+//! The scalar **epoch** survives as a monotone summary: it advances once
+//! per effective mutation, artifacts record the epoch they were compiled
+//! at ([`PreparedQuery::epoch`]), and [`crate::CoinError::StalePlan`]
+//! reports prepared/current epochs for wire compatibility — but staleness
+//! itself is decided per dependency, never by comparing epochs.
 
 use std::sync::Arc;
 
@@ -39,6 +55,7 @@ use coin_sql::{Query, Select};
 
 use crate::mediate::Mediated;
 use crate::system::{split_outer, CoinError, CoinSystem, MediatedAnswer};
+use crate::versions::{ModelPart, PlanDeps};
 
 /// How a query's compile artifact was obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,7 +80,8 @@ impl CacheStatus {
 }
 
 /// An immutable compile-side artifact: parsed SQL, mediated UNION, and
-/// optimized plan, bound to the model epoch it was compiled at.
+/// optimized plan, bound to the model parts its compilation read and the
+/// epoch it was compiled at.
 #[derive(Debug)]
 pub struct PreparedQuery {
     sql: String,
@@ -73,6 +91,9 @@ pub struct PreparedQuery {
     /// coincidentally matches.
     system_id: u64,
     epoch: u64,
+    /// Every model part compilation consulted — the artifact is valid
+    /// exactly while none of these advanced past `epoch`.
+    deps: PlanDeps,
     mediated: Arc<Mediated>,
     plan: QueryPlan,
     /// Outer aggregation/ordering block applied over the mediated result
@@ -116,11 +137,20 @@ impl PreparedQuery {
             .mediator()
             .mediate_select(&core, receiver, system.dictionary())?;
         let plan = system.planner.plan_query(&mediated.query)?;
+        // The artifact's read footprint: everything mediation consulted,
+        // every relation the plan stages (ancillary conversion tables
+        // included), and the planner configuration the plan was shaped by.
+        let mut deps = mediated.deps.clone();
+        deps.record(ModelPart::PlannerConfig);
+        for table in plan.staged_relations() {
+            deps.record(ModelPart::Relation(table.to_owned()));
+        }
         Ok(PreparedQuery {
             sql: sql.to_owned(),
             receiver: receiver.to_owned(),
             system_id: system.instance_id(),
             epoch: system.epoch(),
+            deps,
             mediated: Arc::new(mediated),
             plan,
             outer,
@@ -146,6 +176,12 @@ impl PreparedQuery {
         self.epoch
     }
 
+    /// The model parts compilation consulted — the artifact's dependency
+    /// footprint for invalidation (see the module docs).
+    pub fn deps(&self) -> &PlanDeps {
+        &self.deps
+    }
+
     /// The mediated UNION (compile-side provenance).
     pub fn mediated(&self) -> &Arc<Mediated> {
         &self.mediated
@@ -158,19 +194,24 @@ impl PreparedQuery {
 
     /// Is this artifact still valid against this system's current model?
     /// `false` for a different [`CoinSystem`] instance (regardless of its
-    /// epoch) and after any model mutation on the owning one.
+    /// versions) and after any mutation of a model part this artifact's
+    /// compilation consulted; mutations of unrelated parts leave it
+    /// current.
     pub fn is_current(&self, system: &CoinSystem) -> bool {
-        self.system_id == system.instance_id() && self.epoch == system.epoch()
+        self.system_id == system.instance_id()
+            && system.versions().plan_valid(&self.deps, self.epoch)
     }
 
     /// Execute the captured plan against the system's sources.
     ///
-    /// Fails with [`CoinError::StalePlan`] if the model changed since
-    /// compilation (see the module docs for the epoch contract) — a stale
-    /// plan could silently resolve conflicts against axioms that no longer
-    /// hold, so execution refuses rather than guessing. Handing the plan
-    /// to a *different* [`CoinSystem`] instance fails with
-    /// [`CoinError::ForeignPlan`], even when the epochs coincide.
+    /// Fails with [`CoinError::StalePlan`] if any model part this plan's
+    /// compilation consulted changed since (see the module docs for the
+    /// dependency contract) — a stale plan could silently resolve
+    /// conflicts against axioms that no longer hold, so execution refuses
+    /// rather than guessing. Mutations of parts the plan never read do
+    /// not stale it. Handing the plan to a *different* [`CoinSystem`]
+    /// instance fails with [`CoinError::ForeignPlan`], even when the
+    /// epochs coincide.
     pub fn execute(&self, system: &CoinSystem) -> Result<MediatedAnswer, CoinError> {
         self.execute_stream(system, None)?.collect()
     }
@@ -183,7 +224,7 @@ impl PreparedQuery {
     /// joins, residuals, the UNION merge, and the receiver's outer
     /// aggregation/ordering block — is a pull-based pipeline over the
     /// staged data: the mediated result is never materialized as a whole.
-    /// The same epoch/instance checks as `execute` apply. A supplied
+    /// The same dependency/instance checks as `execute` apply. A supplied
     /// [`CancelToken`] aborts the pipeline mid-pull (the transport layer
     /// flips it when the consumer disconnects).
     pub fn execute_stream(
@@ -194,7 +235,7 @@ impl PreparedQuery {
         if self.system_id != system.instance_id() {
             return Err(CoinError::ForeignPlan);
         }
-        if self.epoch != system.epoch() {
+        if !system.versions().plan_valid(&self.deps, self.epoch) {
             return Err(CoinError::StalePlan {
                 prepared: self.epoch,
                 current: system.epoch(),

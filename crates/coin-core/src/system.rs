@@ -21,6 +21,7 @@ use crate::model::{
     ModelError,
 };
 use crate::prepared::{CacheStatus, MediatedRows, PreparedQuery};
+use crate::versions::{ModelPart, ModelVersions};
 
 /// Unified error type for the system façade.
 #[derive(Debug)]
@@ -32,9 +33,11 @@ pub enum CoinError {
     Dict(coin_planner::DictError),
     Sql(coin_sql::SqlError),
     Unsupported(String),
-    /// A [`PreparedQuery`] compiled at an older model epoch was executed
-    /// after the shared model changed; recompile with
-    /// [`CoinSystem::prepare`].
+    /// A [`PreparedQuery`] was executed after one of its recorded model
+    /// dependencies changed; recompile with [`CoinSystem::prepare`], or
+    /// use [`CoinSystem::execute_reprepared`] to recover automatically.
+    /// The fields are the scalar epochs (compile-time and current) for
+    /// wire compatibility; staleness itself is decided per-dependency.
     StalePlan {
         prepared: u64,
         current: u64,
@@ -122,19 +125,21 @@ pub struct MediatedAnswer {
 /// The assembled system.
 ///
 /// The model state is deliberately not `pub`: every mutation must go
-/// through the `add_*` methods so the model epoch advances in lockstep
-/// and cached prepared queries can never be served stale. Read access is
-/// available through the accessor methods ([`CoinSystem::domain`],
-/// [`CoinSystem::contexts`], …).
+/// through the `add_*`/`replace_*` methods so the per-part model versions
+/// advance in lockstep and cached prepared queries can never be served
+/// stale. Read access is available through the accessor methods
+/// ([`CoinSystem::domain`], [`CoinSystem::contexts`], …).
 pub struct CoinSystem {
     pub(crate) domain: DomainModel,
     pub(crate) conversions: ConversionRegistry,
     pub(crate) contexts: BTreeMap<String, ContextTheory>,
     pub(crate) elevations: ElevationRegistry,
     pub(crate) planner: Planner,
-    /// Model epoch: bumped by every mutating administration call; guards
-    /// the prepared-query cache (see [`crate::prepared`]).
-    epoch: u64,
+    /// Per-part model versions (vector clock) plus the scalar epoch
+    /// summary: every mutating administration call stamps exactly the
+    /// parts it changed, and the prepared-query cache evicts only the
+    /// plans whose footprint intersects them (see [`crate::versions`]).
+    versions: ModelVersions,
     /// Process-unique instance id, so a [`PreparedQuery`] compiled on one
     /// system can never execute against a *different* system whose epoch
     /// happens to match.
@@ -156,51 +161,76 @@ impl CoinSystem {
             contexts: BTreeMap::new(),
             elevations: ElevationRegistry::new(),
             planner: Planner::new(Dictionary::new()),
-            epoch: 0,
+            versions: ModelVersions::new(),
             id: SYSTEM_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             cache: QueryCache::default(),
         }
     }
 
+    /// Swap the planner configuration. A semantically-unchanged
+    /// reconfiguration (new config equals the current one) is a no-op:
+    /// no version bump, no plan invalidated.
     pub fn with_planner_config(mut self, config: PlannerConfig) -> CoinSystem {
-        self.planner.config = config;
-        self.bump_epoch();
+        if self.planner.config != config {
+            self.planner.config = config;
+            self.bump(vec![ModelPart::PlannerConfig]);
+        }
         self
     }
 
-    /// The current model epoch. Every model/planner mutation —
-    /// `add_source`, `add_context`, `add_elevation`, `add_conversion`,
-    /// and `with_planner_config` — advances it; prepared queries compiled
-    /// at an older epoch are stale.
+    /// The scalar model epoch: the total number of model/planner
+    /// mutations administered so far (`add_source`, `add_context`,
+    /// `add_elevation`, `add_conversion`, `replace_conversion`,
+    /// `with_planner_config`). Kept as a monotone summary for wire/stats
+    /// compatibility; plan *validity* is decided per-dependency against
+    /// [`CoinSystem::versions`].
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.versions.epoch()
     }
 
-    /// Advance the model epoch and drop every cached plan.
-    fn bump_epoch(&mut self) {
-        self.epoch += 1;
-        self.cache.purge();
+    /// The per-part model versions (the invalidation granule).
+    pub fn versions(&self) -> &ModelVersions {
+        &self.versions
     }
 
-    /// Register a source (its tables become queryable).
+    /// Record a mutation to `parts`: advance the vector clock and evict
+    /// exactly the cached plans whose read footprint intersects them.
+    fn bump(&mut self, parts: Vec<ModelPart>) {
+        self.versions.bump(parts.iter().cloned());
+        self.cache.invalidate_dependents(&parts);
+    }
+
+    /// Register a source (its tables become queryable). Invalidate plans
+    /// staging any table the new source exports: a duplicate table name
+    /// flips unqualified resolution to ambiguous, which dependents must
+    /// observe rather than keep executing the old binding.
     pub fn add_source<S: coin_wrapper::Source + 'static>(
         &mut self,
         source: S,
     ) -> Result<(), CoinError> {
+        let tables: Vec<ModelPart> = source
+            .tables()
+            .into_iter()
+            .map(|(t, _)| ModelPart::Relation(t))
+            .collect();
         self.planner.dictionary.register_source(source)?;
-        self.bump_epoch();
+        self.bump(tables);
         Ok(())
     }
 
     /// Register a context theory. Adding a source+context is the *only*
-    /// administration needed to join the system (extensibility claim).
+    /// administration needed to join the system (extensibility claim) —
+    /// and since a *new* context can't appear in any existing plan's
+    /// footprint, administering source N+1 leaves every cached plan for
+    /// sources 1..N live.
     pub fn add_context(&mut self, ctx: ContextTheory) -> Result<(), CoinError> {
         ctx.validate(&self.domain)?;
         if self.contexts.contains_key(&ctx.name) {
             return Err(ModelError::DuplicateContext(ctx.name).into());
         }
+        let part = ModelPart::Context(ctx.name.clone());
         self.contexts.insert(ctx.name.clone(), ctx);
-        self.bump_epoch();
+        self.bump(vec![part]);
         Ok(())
     }
 
@@ -212,15 +242,82 @@ impl CoinSystem {
         for (_, ty) in e.columns() {
             self.domain.get(ty)?;
         }
+        let part = ModelPart::Elevation(e.relation.clone());
         self.elevations.add(e)?;
-        self.bump_epoch();
+        self.bump(vec![part]);
         Ok(())
     }
 
-    /// Register a conversion function for a modifier.
-    pub fn add_conversion(&mut self, modifier: &str, conversion: Conversion) {
+    /// Register a conversion function for a modifier. Consistent with the
+    /// other `add_*` calls: the modifier must be declared by some semantic
+    /// type, a lookup conversion must name its relation and columns, and
+    /// registering over an existing conversion is rejected — use
+    /// [`CoinSystem::replace_conversion`] to change one deliberately.
+    pub fn add_conversion(
+        &mut self,
+        modifier: &str,
+        conversion: Conversion,
+    ) -> Result<(), CoinError> {
+        self.validate_conversion(modifier, &conversion)?;
+        if self.conversions.get(modifier).is_ok() {
+            return Err(ModelError::DuplicateConversion(modifier.to_owned()).into());
+        }
         self.conversions.set(modifier, conversion);
-        self.bump_epoch();
+        self.bump(vec![ModelPart::Conversion(modifier.to_owned())]);
+        Ok(())
+    }
+
+    /// Replace the conversion function of an already-registered modifier.
+    /// Replacing a conversion with an equal one is a no-op (no version
+    /// bump, no plan invalidated); replacing an unregistered modifier's
+    /// conversion is an error (use [`CoinSystem::add_conversion`]).
+    pub fn replace_conversion(
+        &mut self,
+        modifier: &str,
+        conversion: Conversion,
+    ) -> Result<(), CoinError> {
+        self.validate_conversion(modifier, &conversion)?;
+        if *self.conversions.get(modifier)? == conversion {
+            return Ok(());
+        }
+        self.conversions.set(modifier, conversion);
+        self.bump(vec![ModelPart::Conversion(modifier.to_owned())]);
+        Ok(())
+    }
+
+    /// Shared validation for conversion registration/replacement.
+    fn validate_conversion(
+        &self,
+        modifier: &str,
+        conversion: &Conversion,
+    ) -> Result<(), CoinError> {
+        if !self.domain.has_modifier(modifier) {
+            return Err(ModelError::Invalid(format!(
+                "no semantic type declares modifier {modifier}; a conversion \
+                 for it could never be applied"
+            ))
+            .into());
+        }
+        if let Conversion::Lookup {
+            relation,
+            from_col,
+            to_col,
+            factor_col,
+        } = conversion
+        {
+            if relation.is_empty()
+                || from_col.is_empty()
+                || to_col.is_empty()
+                || factor_col.is_empty()
+            {
+                return Err(ModelError::Invalid(format!(
+                    "lookup conversion for {modifier} must name a relation \
+                     and from/to/factor columns"
+                ))
+                .into());
+            }
+        }
+        Ok(())
     }
 
     /// The schema dictionary (receiver-visible).
@@ -325,7 +422,7 @@ impl CoinSystem {
     ) -> Result<(Arc<PreparedQuery>, CacheStatus), CoinError> {
         let q = coin_sql::parse_query(sql)?;
         let canonical = q.to_string();
-        match self.cache.begin(receiver, &canonical, self.epoch) {
+        match self.cache.begin(receiver, &canonical, &self.versions) {
             crate::cache::PrepareSlot::Cached(hit) => Ok((hit, CacheStatus::Hit)),
             crate::cache::PrepareSlot::Leader(permit) => {
                 // On Err the permit drops here, aborting the flight.
@@ -364,6 +461,15 @@ impl CoinSystem {
         self.cache.set_capacity(capacity);
     }
 
+    /// Drop every cached plan unconditionally — the old "epoch hammer"
+    /// behavior, kept as an explicit operational control (and as the
+    /// baseline the invalidation bench measures fine-grained eviction
+    /// against). Normal administration never needs this: the `add_*`
+    /// methods already evict exactly the dependent plans.
+    pub fn purge_plan_cache(&self) {
+        self.cache.purge();
+    }
+
     /// The full pipeline: mediate, plan, execute, and (if the receiver's
     /// query had aggregation/ordering above the conjunctive core) apply the
     /// outer operations over the mediated result.
@@ -394,6 +500,53 @@ impl CoinSystem {
         let mut rows = prepared.execute_stream(self, cancel)?;
         rows.set_cache_status(status);
         Ok(rows)
+    }
+
+    /// Execute a caller-held prepared artifact with **stale-plan
+    /// recovery**: if the artifact's dependencies changed since it was
+    /// compiled ([`CoinError::StalePlan`]), transparently re-prepare
+    /// through the cache and execute the fresh plan instead of erroring.
+    ///
+    /// Returns the answer together with the artifact that actually
+    /// produced it — the original when it was still current, the
+    /// recompiled one after recovery — so callers can swap their held
+    /// handle and stop paying the re-prepare on subsequent calls.
+    /// [`CoinError::ForeignPlan`] is *not* recovered: a plan from a
+    /// different system instance is a caller bug, not staleness.
+    pub fn execute_reprepared(
+        &self,
+        prepared: &Arc<PreparedQuery>,
+    ) -> Result<(MediatedAnswer, Arc<PreparedQuery>), CoinError> {
+        match prepared.execute(self) {
+            Err(CoinError::StalePlan { .. }) => {
+                let (fresh, status) =
+                    self.prepare_with_status(prepared.sql(), prepared.receiver())?;
+                let mut answer = fresh.execute(self)?;
+                answer.cache = status;
+                Ok((answer, fresh))
+            }
+            other => other.map(|answer| (answer, Arc::clone(prepared))),
+        }
+    }
+
+    /// Streaming counterpart of [`CoinSystem::execute_reprepared`]: same
+    /// recovery contract, answer delivered as a [`MediatedRows`] pull
+    /// stream.
+    pub fn execute_reprepared_stream(
+        &self,
+        prepared: &Arc<PreparedQuery>,
+        cancel: Option<coin_rel::CancelToken>,
+    ) -> Result<(MediatedRows, Arc<PreparedQuery>), CoinError> {
+        match prepared.execute_stream(self, cancel.clone()) {
+            Err(CoinError::StalePlan { .. }) => {
+                let (fresh, status) =
+                    self.prepare_with_status(prepared.sql(), prepared.receiver())?;
+                let mut rows = fresh.execute_stream(self, cancel)?;
+                rows.set_cache_status(status);
+                Ok((rows, fresh))
+            }
+            other => other.map(|rows| (rows, Arc::clone(prepared))),
+        }
     }
 
     /// Execute without mediation (the naive baseline of §3 that returns the

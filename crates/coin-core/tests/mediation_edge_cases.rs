@@ -139,7 +139,7 @@ fn ratio_conversion_between_constant_units() {
     let mut dm = coin_core::DomainModel::new();
     dm.add_type("weight", &["unitFactor"]).unwrap();
     let mut sys = CoinSystem::new(dm);
-    sys.add_conversion("unitFactor", Conversion::Ratio);
+    sys.add_conversion("unitFactor", Conversion::Ratio).unwrap();
     let t = Table::from_rows(
         "parts",
         Schema::of(&[("pid", ColumnType::Int), ("w", ColumnType::Int)]),

@@ -1,11 +1,16 @@
-//! Correctness of the prepared-query pipeline and its epoch-invalidated
+//! Correctness of the prepared-query pipeline and its dependency-tracked
 //! plan cache: cached answers must be indistinguishable from freshly
-//! mediated ones, every model mutation must invalidate, eviction must be
-//! LRU at the capacity bound, and no interleaving of prepares and
-//! mutations may ever serve a stale plan.
+//! mediated ones, every model mutation must invalidate *exactly* the
+//! plans that read the mutated part (dependents always recompile,
+//! non-dependents keep hitting), eviction must be LRU at the capacity
+//! bound, and no interleaving of prepares and mutations may ever serve a
+//! stale plan.
 
 use coin_core::fixtures::figure2_system;
-use coin_core::{CacheStatus, CoinError, ContextTheory, Conversion, Elevation, ModifierSpec};
+use coin_core::{
+    CacheStatus, CoinError, ContextTheory, Conversion, Elevation, ModelPart, ModifierSpec, PlanDeps,
+};
+use coin_planner::PlannerConfig;
 use coin_rel::Value;
 use proptest::prelude::*;
 
@@ -61,37 +66,38 @@ fn query_reports_hit_and_miss_status() {
     assert_eq!(warm.table.rows[0][0], Value::str("NTT"));
 }
 
-/// Each mutating `add_*` call must bump the epoch and force re-mediation.
+/// Every mutating call must bump the epoch and invalidate exactly the
+/// plans that depend on the mutated part — administration of parts no
+/// cached plan ever read must leave the whole cache hot (the behavior the
+/// old whole-cache "epoch hammer" got wrong).
 #[test]
-fn every_mutation_invalidates_cached_plans() {
+fn mutations_invalidate_exactly_dependent_plans() {
     let mut sys = figure2_system();
-
-    // add_conversion
+    // Q1 reads r1+r2+r3, both source contexts, and the currency/
+    // scaleFactor conversions. Q_R2 projects only r2's company *name* — a
+    // semantic type with no modifiers, so no conversion is ever consulted
+    // (any companyFinancials column would consult both conversions even
+    // in agreeing contexts: the abductive encoding cites their clauses).
+    const Q_R2: &str = "SELECT r2.cname FROM r2";
     sys.query(Q1, "c_recv").unwrap();
+    sys.query(Q_R2, "c_recv").unwrap();
     assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Hit);
-    let before = sys.epoch();
-    sys.add_conversion("scaleFactor", Conversion::Ratio);
-    assert_eq!(sys.epoch(), before + 1);
-    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Miss);
+    assert_eq!(sys.query(Q_R2, "c_recv").unwrap().cache, CacheStatus::Hit);
 
-    // add_context
-    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Hit);
+    // add_context of a context neither plan consults: epoch advances,
+    // nothing invalidated.
+    let before = sys.epoch();
     sys.add_context(ContextTheory::new("c_other").set(
         "companyFinancials",
         "currency",
         ModifierSpec::constant("EUR"),
     ))
     .unwrap();
-    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Miss);
-
-    // add_elevation (a second relation elevated into the new context)
+    assert_eq!(sys.epoch(), before + 1);
     assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Hit);
-    sys.add_elevation(Elevation::new("r2", "c_other").column("cname", "companyName"))
-        .unwrap_err(); // duplicate elevation is rejected…
-                       // …and a rejected mutation must NOT invalidate (no model change).
-    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Hit);
+    assert_eq!(sys.query(Q_R2, "c_recv").unwrap().cache, CacheStatus::Hit);
 
-    // add_source
+    // add_source exporting an unrelated table: still nothing invalidated.
     let t = coin_rel::Table::from_rows(
         "extra",
         coin_rel::Schema::of(&[("x", coin_rel::ColumnType::Int)]),
@@ -102,20 +108,47 @@ fn every_mutation_invalidates_cached_plans() {
         coin_rel::Catalog::new().with_table(t),
     ))
     .unwrap();
-    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Miss);
-
-    // add_elevation, successful this time: elevate the new relation into
-    // the previously added context — must bump the epoch and invalidate.
     assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Hit);
-    let before = sys.epoch();
+    assert_eq!(sys.query(Q_R2, "c_recv").unwrap().cache, CacheStatus::Hit);
+
+    // add_elevation of the new relation into the new context: unrelated.
     sys.add_elevation(Elevation::new("extra", "c_other").column("x", "companyFinancials"))
         .unwrap();
+    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Hit);
+    assert_eq!(sys.query(Q_R2, "c_recv").unwrap().cache, CacheStatus::Hit);
+
+    // A rejected mutation must neither bump nor invalidate.
+    let before = sys.epoch();
+    sys.add_elevation(Elevation::new("r2", "c_other").column("cname", "companyName"))
+        .unwrap_err(); // r2 already has an elevation
+    assert_eq!(sys.epoch(), before);
+    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Hit);
+    assert_eq!(sys.query(Q_R2, "c_recv").unwrap().cache, CacheStatus::Hit);
+    assert_eq!(sys.cache_stats().invalidations, 0);
+
+    // replace_conversion of the currency lookup: Q1 consulted it, Q_R2
+    // never did — exactly one plan recompiles.
+    let before = sys.epoch();
+    sys.replace_conversion(
+        "currency",
+        Conversion::Lookup {
+            relation: "r3".into(),
+            from_col: "toCur".into(), // swapped orientation: a real change
+            to_col: "fromCur".into(),
+            factor_col: "rate".into(),
+        },
+    )
+    .unwrap();
     assert_eq!(sys.epoch(), before + 1);
     assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Miss);
+    assert_eq!(sys.query(Q_R2, "c_recv").unwrap().cache, CacheStatus::Hit);
+    assert_eq!(sys.cache_stats().invalidations, 1);
 }
 
-/// A caller-held `PreparedQuery` refuses to execute after the model
-/// changes rather than serving answers mediated against outdated axioms.
+/// A caller-held `PreparedQuery` refuses to execute after one of its
+/// *dependencies* changes rather than serving answers mediated against
+/// outdated axioms — while mutations of parts it never read leave it
+/// executable.
 #[test]
 fn stale_prepared_query_refuses_to_execute() {
     let mut sys = figure2_system();
@@ -123,7 +156,21 @@ fn stale_prepared_query_refuses_to_execute() {
     assert!(prepared.is_current(&sys));
     assert_eq!(prepared.execute(&sys).unwrap().table.rows.len(), 1);
 
-    sys.add_conversion("scaleFactor", Conversion::Ratio);
+    // A part this plan never read: still current, still executable.
+    sys.add_context(ContextTheory::new("c_unrelated").set(
+        "companyFinancials",
+        "currency",
+        ModifierSpec::constant("EUR"),
+    ))
+    .unwrap();
+    assert!(prepared.is_current(&sys));
+    assert_eq!(prepared.execute(&sys).unwrap().table.rows.len(), 1);
+
+    // The planner configuration is a dependency of every plan.
+    sys = sys.with_planner_config(PlannerConfig {
+        reorder: false,
+        ..PlannerConfig::default()
+    });
     assert!(!prepared.is_current(&sys));
     match prepared.execute(&sys) {
         Err(CoinError::StalePlan {
@@ -137,6 +184,118 @@ fn stale_prepared_query_refuses_to_execute() {
     // Re-preparing recovers.
     let fresh = sys.prepare(Q1, "c_recv").unwrap();
     assert_eq!(fresh.execute(&sys).unwrap().table.rows.len(), 1);
+}
+
+/// Opt-in recovery: `execute_reprepared` passes a current plan through
+/// untouched, and transparently recompiles + re-executes a stale one,
+/// handing back the artifact that actually produced the answer.
+#[test]
+fn execute_reprepared_recovers_from_stale_plans() {
+    let mut sys = figure2_system();
+    let prepared = sys.prepare(Q1, "c_recv").unwrap();
+
+    // Current plan: passthrough, same artifact handed back.
+    let (answer, artifact) = sys.execute_reprepared(&prepared).unwrap();
+    assert_eq!(answer.table.rows.len(), 1);
+    assert!(std::sync::Arc::ptr_eq(&artifact, &prepared));
+
+    // Stale the plan via a dependency it read, then recover.
+    sys = sys.with_planner_config(PlannerConfig {
+        reorder: false,
+        ..PlannerConfig::default()
+    });
+    assert!(matches!(
+        prepared.execute(&sys),
+        Err(CoinError::StalePlan { .. })
+    ));
+    let (answer, fresh) = sys.execute_reprepared(&prepared).unwrap();
+    assert_eq!(answer.table.rows.len(), 1);
+    assert_eq!(answer.table.rows[0][0], Value::str("NTT"));
+    assert!(!std::sync::Arc::ptr_eq(&fresh, &prepared));
+    assert!(fresh.is_current(&sys));
+    // The swapped-in artifact executes directly from here on.
+    assert_eq!(fresh.execute(&sys).unwrap().table.rows.len(), 1);
+
+    // The streaming variant recovers identically.
+    let (mut rows, fresh2) = sys.execute_reprepared_stream(&prepared, None).unwrap();
+    assert!(fresh2.is_current(&sys));
+    let mut n = 0;
+    while rows.next().unwrap().is_some() {
+        n += 1;
+    }
+    assert_eq!(n, 1);
+
+    // ForeignPlan is a caller bug, not staleness: never recovered.
+    let other = figure2_system();
+    assert!(matches!(
+        other.execute_reprepared(&prepared),
+        Err(CoinError::ForeignPlan)
+    ));
+}
+
+/// Satellite regression: semantically-unchanged administration is a
+/// no-op — no epoch bump, no invalidation, cached plans stay live.
+#[test]
+fn noop_administration_leaves_cached_plans_live() {
+    let mut sys = figure2_system();
+    sys.query(Q1, "c_recv").unwrap();
+    let epoch = sys.epoch();
+
+    // Re-applying the current planner configuration.
+    sys = sys.with_planner_config(PlannerConfig::default());
+    assert_eq!(sys.epoch(), epoch);
+    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Hit);
+
+    // Replacing a conversion with an identical one.
+    sys.replace_conversion(
+        "currency",
+        Conversion::Lookup {
+            relation: "r3".into(),
+            from_col: "fromCur".into(),
+            to_col: "toCur".into(),
+            factor_col: "rate".into(),
+        },
+    )
+    .unwrap();
+    assert_eq!(sys.epoch(), epoch);
+    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Hit);
+    assert_eq!(sys.cache_stats().invalidations, 0);
+}
+
+/// The `add_conversion`/`replace_conversion` split: registering over an
+/// existing conversion is rejected (no silent overwrite), replacing an
+/// unregistered one is rejected, and neither rejection touches the model
+/// or the cache.
+#[test]
+fn conversion_registration_rejects_silent_overwrite() {
+    let mut sys = figure2_system();
+    sys.query(Q1, "c_recv").unwrap();
+    let epoch = sys.epoch();
+
+    // Already registered: must go through replace_conversion.
+    assert!(sys
+        .add_conversion("scaleFactor", Conversion::Ratio)
+        .is_err());
+    // Unknown modifier: no semantic type declares it.
+    assert!(sys.add_conversion("flavour", Conversion::Ratio).is_err());
+    // Replace of a modifier that has no conversion yet.
+    assert!(sys.replace_conversion("nope", Conversion::Ratio).is_err());
+    // Lookup conversions must name their relation and columns.
+    assert!(sys
+        .replace_conversion(
+            "currency",
+            Conversion::Lookup {
+                relation: String::new(),
+                from_col: "a".into(),
+                to_col: "b".into(),
+                factor_col: "c".into(),
+            },
+        )
+        .is_err());
+
+    // None of the rejections changed anything.
+    assert_eq!(sys.epoch(), epoch);
+    assert_eq!(sys.query(Q1, "c_recv").unwrap().cache, CacheStatus::Hit);
 }
 
 /// A plan compiled on one system must not execute against a *different*
@@ -210,7 +369,8 @@ fn invalidation_remediates_against_new_axioms() {
     // Replace the currency conversion with a blunt Ratio conversion: the
     // re-mediated query must no longer join the rates relation.
     assert!(before.mediated.query.to_string().contains("r3"));
-    sys.add_conversion("currency", Conversion::Ratio);
+    sys.replace_conversion("currency", Conversion::Ratio)
+        .unwrap();
     let (prepared, status) = sys.prepare_with_status(Q1, "c_recv").unwrap();
     assert_eq!(status, CacheStatus::Miss);
     assert_ne!(
@@ -224,6 +384,37 @@ fn invalidation_remediates_against_new_axioms() {
     );
 }
 
+/// The currency lookup in its two orientations — flip-flopping between
+/// them makes every `replace_conversion` a real change while keeping the
+/// system executable (r3 carries rates in both directions).
+fn currency_lookup(swapped: bool) -> Conversion {
+    let (from, to) = if swapped {
+        ("toCur", "fromCur")
+    } else {
+        ("fromCur", "toCur")
+    };
+    Conversion::Lookup {
+        relation: "r3".into(),
+        from_col: from.into(),
+        to_col: to.into(),
+        factor_col: "rate".into(),
+    }
+}
+
+/// Drop the prediction for every resident plan whose recorded footprint
+/// intersects the mutated parts — the test-side oracle mirror of
+/// `QueryCache::invalidate_dependents`.
+fn predict_invalidation(resident: &mut [Option<PlanDeps>], parts: &[ModelPart]) {
+    for slot in resident.iter_mut() {
+        if slot
+            .as_ref()
+            .is_some_and(|deps| parts.iter().any(|p| deps.contains(p)))
+        {
+            *slot = None;
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 12,
@@ -231,57 +422,100 @@ proptest! {
         ..ProptestConfig::default()
     })]
 
-    /// Interleave prepares, queries and model mutations arbitrarily: a
-    /// prepared artifact served by the cache must always carry the current
-    /// epoch, and its answer must equal a freshly compiled, uncached one.
+    /// Interleave prepares and random admin mutations arbitrarily: a
+    /// mutation must invalidate *exactly* the dependent plans — every
+    /// dependent recompiles (never serves stale), every non-dependent
+    /// keeps hitting — and every served answer must equal the one from an
+    /// oracle that recompiles from scratch, uncached, on each access.
     #[test]
     fn interleaved_prepares_and_mutations_never_serve_stale_plans(
-        ops in prop::collection::vec((0usize..QUERIES.len(), 0usize..4), 1..12),
-        capacity in 1usize..4,
+        ops in prop::collection::vec((0usize..QUERIES.len(), 0usize..8), 1..16),
     ) {
         let mut sys = figure2_system();
-        sys.set_cache_capacity(capacity);
-        let mut mutation_round = 0usize;
+        // Capacity above the working set, so every predicted miss is an
+        // invalidation effect and never an LRU eviction.
+        sys.set_cache_capacity(64);
+        // Per-query prediction: Some(recorded footprint) while a live
+        // entry must be resident, None when the next access must compile.
+        let mut resident: Vec<Option<PlanDeps>> = vec![None; QUERIES.len()];
+        let mut fresh_names = 0usize;
+        let mut swapped = false;
+        let mut reorder = true;
         for (qi, action) in ops {
             match action {
-                // Mutate: register a fresh (unused) context — cheap, valid,
-                // and repeatable any number of times.
+                // A fresh context: no existing plan can depend on it.
                 0 => {
-                    mutation_round += 1;
-                    sys.add_context(ContextTheory::new(&format!("c_mut{mutation_round}")).set(
+                    fresh_names += 1;
+                    let name = format!("c_mut{fresh_names}");
+                    sys.add_context(ContextTheory::new(&name).set(
                         "companyFinancials",
                         "currency",
                         ModifierSpec::constant("EUR"),
                     ))
                     .unwrap();
+                    predict_invalidation(&mut resident, &[ModelPart::Context(name)]);
                 }
-                // Mutate: re-register the currency conversion. The value is
-                // unchanged (so every query stays executable) but a write is
-                // a write: the epoch must advance and the cache must flush.
+                // A fresh source exporting a fresh table: same.
                 1 => {
-                    mutation_round += 1;
-                    sys.add_conversion(
-                        "currency",
-                        Conversion::Lookup {
-                            relation: "r3".into(),
-                            from_col: "fromCur".into(),
-                            to_col: "toCur".into(),
-                            factor_col: "rate".into(),
-                        },
+                    fresh_names += 1;
+                    let table = format!("aux{fresh_names}");
+                    let t = coin_rel::Table::from_rows(
+                        &table,
+                        coin_rel::Schema::of(&[("x", coin_rel::ColumnType::Int)]),
+                        vec![vec![Value::Int(1)]],
+                    );
+                    sys.add_source(coin_wrapper::RelationalSource::new(
+                        &format!("aux_src{fresh_names}"),
+                        coin_rel::Catalog::new().with_table(t),
+                    ))
+                    .unwrap();
+                    predict_invalidation(&mut resident, &[ModelPart::Relation(table)]);
+                }
+                // Flip the currency lookup's orientation: a real change —
+                // exactly the plans that consulted the conversion recompile.
+                2 => {
+                    swapped = !swapped;
+                    sys.replace_conversion("currency", currency_lookup(swapped)).unwrap();
+                    predict_invalidation(
+                        &mut resident,
+                        &[ModelPart::Conversion("currency".into())],
                     );
                 }
-                // Prepare/query through the cache and cross-check.
+                // Re-register the identical conversion: semantically
+                // unchanged, must invalidate nothing.
+                3 => {
+                    sys.replace_conversion("currency", currency_lookup(swapped)).unwrap();
+                }
+                // Toggle the planner configuration: every plan depends on
+                // it, so everything resident recompiles.
+                4 => {
+                    reorder = !reorder;
+                    sys = sys.with_planner_config(PlannerConfig {
+                        reorder,
+                        ..PlannerConfig::default()
+                    });
+                    predict_invalidation(&mut resident, &[ModelPart::PlannerConfig]);
+                }
+                // Prepare through the cache, check the hit/miss outcome
+                // against the prediction, and cross-check the answer
+                // against the recompile-everything oracle.
                 _ => {
                     let sql = QUERIES[qi];
-                    let prepared = sys.prepare(sql, "c_recv").unwrap();
+                    let expected = match &resident[qi] {
+                        Some(_) => CacheStatus::Hit,
+                        None => CacheStatus::Miss,
+                    };
+                    let (prepared, status) = sys.prepare_with_status(sql, "c_recv").unwrap();
                     prop_assert_eq!(
-                        prepared.epoch(),
-                        sys.epoch(),
-                        "cache served a plan from a stale epoch"
+                        status,
+                        expected,
+                        "wrong invalidation granule for {}", sql
                     );
-                    let via_cache = sys.query(sql, "c_recv").unwrap();
-                    let fresh = sys.prepare_uncached(sql, "c_recv").unwrap();
-                    let direct = fresh.execute(&sys).unwrap();
+                    prop_assert!(prepared.is_current(&sys), "cache served a stale plan");
+                    resident[qi] = Some(prepared.deps().clone());
+                    let via_cache = prepared.execute(&sys).unwrap();
+                    let oracle = sys.prepare_uncached(sql, "c_recv").unwrap();
+                    let direct = oracle.execute(&sys).unwrap();
                     prop_assert_eq!(&via_cache.table.rows, &direct.table.rows, "{}", sql);
                     prop_assert_eq!(
                         via_cache.mediated.query.to_string(),

@@ -84,9 +84,9 @@ fn overlapping_misses_coalesce_even_with_cache_disabled() {
     let sys = figure2_system();
     let artifact = Arc::new(sys.prepare_uncached(Q1, "c_recv").unwrap());
     let cache = Arc::new(QueryCache::with_capacity(0));
-    let epoch = sys.epoch();
+    let versions = Arc::new(sys.versions().clone());
 
-    let permit = match cache.begin("c_recv", Q1, epoch) {
+    let permit = match cache.begin("c_recv", Q1, &versions) {
         PrepareSlot::Leader(p) => p,
         PrepareSlot::Cached(_) => panic!("first caller must lead"),
     };
@@ -94,10 +94,11 @@ fn overlapping_misses_coalesce_even_with_cache_disabled() {
     let waiters: Vec<_> = (0..4)
         .map(|_| {
             let cache = Arc::clone(&cache);
+            let versions = Arc::clone(&versions);
             let entering_tx = entering_tx.clone();
             std::thread::spawn(move || {
                 entering_tx.send(()).unwrap();
-                match cache.begin("c_recv", Q1, epoch) {
+                match cache.begin("c_recv", Q1, &versions) {
                     PrepareSlot::Cached(p) => Some(p),
                     // A waiter descheduled past the leader's completion
                     // misses the coalescing window and is elected leader
@@ -182,7 +183,11 @@ fn compile_counter_tracks_sequential_recompiles() {
     sys.prepare(Q1, "c_recv").unwrap(); // compile 1
     sys.prepare(Q1, "c_recv").unwrap(); // hit — no compile
     assert_eq!(sys.cache_stats().compiles, 1);
-    sys.add_conversion("scaleFactor", coin_core::Conversion::Ratio);
+    // Reconfiguring the planner is a dependency of every cached plan.
+    sys = sys.with_planner_config(coin_planner::PlannerConfig {
+        reorder: false,
+        ..coin_planner::PlannerConfig::default()
+    });
     sys.prepare(Q1, "c_recv").unwrap(); // invalidated — compile 2
     assert_eq!(sys.cache_stats().compiles, 2);
 }

@@ -25,8 +25,10 @@ use coin_sql::{BinOp, ColumnRef, Expr, Select, SelectItem, TableRef};
 use crate::dictionary::Dictionary;
 use crate::plan::{FetchStep, ParamBinding, Plan, PlanError};
 
-/// Optimizer switches (all on by default).
-#[derive(Debug, Clone, Copy)]
+/// Optimizer switches (all on by default). `PartialEq` lets the system
+/// detect a semantically-unchanged reconfiguration and skip plan
+/// invalidation entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlannerConfig {
     /// Push single-binding predicates into capable sources.
     pub pushdown_select: bool,

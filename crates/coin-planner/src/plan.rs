@@ -171,6 +171,27 @@ impl QueryPlan {
         self.branches.iter().map(|p| p.est_cost).sum()
     }
 
+    /// Every relation staged by any branch's fetch steps, deduplicated in
+    /// first-staged order — the planner's contribution to a prepared
+    /// query's read footprint (a plan is only as current as the
+    /// resolvability of the tables it fetches).
+    pub fn staged_relations(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for p in &self.branches {
+            for step in &p.steps {
+                let t = match step {
+                    FetchStep::Independent { table, .. } | FetchStep::Dependent { table, .. } => {
+                        table.as_str()
+                    }
+                };
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
     /// Human-readable rendering of every branch plan.
     pub fn explain(&self) -> String {
         let mut out = String::new();

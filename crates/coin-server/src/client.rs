@@ -219,6 +219,10 @@ impl Connection {
         let body = self.get("/stats")?;
         let doc = parse(&String::from_utf8_lossy(&body))?;
         let num = |k: &str| doc.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let tracked_model_parts = match doc.get("model_versions") {
+            Some(Json::Obj(parts)) => parts.len() as u64,
+            _ => 0,
+        };
         Ok(ServerStats {
             epoch: num("epoch"),
             cache_hits: num("cache_hits"),
@@ -229,6 +233,7 @@ impl Connection {
             cache_entries: num("cache_entries"),
             cache_capacity: num("cache_capacity"),
             axioms: num("axioms"),
+            tracked_model_parts,
         })
     }
 
@@ -373,11 +378,17 @@ pub struct ServerStats {
     /// Fresh compiles performed through the cache path; under the
     /// single-flight guard a stampede on one key adds exactly 1.
     pub cache_compiles: u64,
+    /// Entries dropped because a model mutation touched one of their
+    /// recorded dependencies (plus explicit purges).
     pub cache_invalidations: u64,
     pub cache_evictions: u64,
     pub cache_entries: u64,
     pub cache_capacity: u64,
     pub axioms: u64,
+    /// Number of model parts with an explicit version stamp in the
+    /// server's `model_versions` map (0 from older servers that only
+    /// report the scalar epoch).
+    pub tracked_model_parts: u64,
 }
 
 /// A fetched result set.
@@ -395,8 +406,8 @@ pub struct ResultSet {
     /// it).
     pub cache: Option<String>,
     /// The model epoch the server's plan was compiled at (mediated mode;
-    /// `None` from older servers). Together with the epoch-guarded cache
-    /// this certifies which model state produced the rows.
+    /// `None` from older servers). Together with the dependency-guarded
+    /// cache this certifies which model state produced the rows.
     pub plan_epoch: Option<u64>,
     /// The server dropped rows to honor a [`Statement::max_rows`] /
     /// [`Statement::max_bytes`] cap.

@@ -474,6 +474,14 @@ fn dictionary_response(system: &CoinSystem) -> HttpResponse {
 
 fn stats_response(system: &CoinSystem) -> HttpResponse {
     let cache = system.cache_stats();
+    // Per-part model versions: the invalidation granule behind the scalar
+    // epoch (which stays a monotone summary for wire compatibility).
+    let versions: Vec<(String, Json)> = system
+        .versions()
+        .iter()
+        .map(|(part, v)| (part.to_string(), Json::Num(v as f64)))
+        .collect();
+    let model_versions = Json::Obj(versions);
     HttpResponse::json(&Json::obj([
         ("epoch", Json::Num(system.epoch() as f64)),
         ("cache_hits", Json::Num(cache.hits as f64)),
@@ -484,6 +492,7 @@ fn stats_response(system: &CoinSystem) -> HttpResponse {
         ("cache_entries", Json::Num(cache.entries as f64)),
         ("cache_capacity", Json::Num(cache.capacity as f64)),
         ("axioms", Json::Num(system.axiom_count() as f64)),
+        ("model_versions", model_versions),
     ]))
 }
 

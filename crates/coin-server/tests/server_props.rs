@@ -164,3 +164,90 @@ proptest! {
         server.stop();
     }
 }
+
+/// Dependency-tracked invalidation end to end through the wire protocol:
+/// administering parts no cached plan reads (a fresh context, a fresh
+/// source) leaves the server's plan cache hot, while mutating an actual
+/// dependency forces exactly the dependent plans to recompile. `/stats`
+/// reports the per-part versions alongside the scalar epoch.
+#[test]
+fn unrelated_administration_keeps_server_cache_hot() {
+    use coin_core::{ContextTheory, Conversion, ModifierSpec};
+
+    let sys = synthetic_system(2, 4, 7);
+    let shared = Arc::new(RwLock::new(sys));
+    let server = start_server_shared(
+        Arc::clone(&shared),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let conn = Connection::open(server.addr, "c_recv");
+    let sql = "SELECT SUM(f.amount) FROM fin0 f";
+
+    // Warm the cache: miss, then hit.
+    conn.statement().execute(sql).unwrap();
+    conn.statement().execute(sql).unwrap();
+    let before = conn.server_stats().unwrap();
+    assert!(before.cache_hits >= 1);
+    assert_eq!(before.cache_entries, 1);
+    assert!(
+        before.tracked_model_parts > 0,
+        "/stats must expose the per-part model versions"
+    );
+
+    // Unrelated admin: a fresh context through the shared handle. The
+    // epoch advances but the cached fin0 plan never read this part.
+    {
+        let mut guard = shared.write().unwrap();
+        guard
+            .add_context(ContextTheory::new("c_fresh").set(
+                "companyFinancials",
+                "currency",
+                ModifierSpec::constant("EUR"),
+            ))
+            .unwrap();
+    }
+    let rs = conn.statement().execute(sql).unwrap();
+    assert!(
+        rs.cache.as_deref() == Some("hit"),
+        "plan must survive: {rs:?}"
+    );
+    let after = conn.server_stats().unwrap();
+    assert_eq!(after.epoch, before.epoch + 1);
+    assert_eq!(
+        after.cache_invalidations, before.cache_invalidations,
+        "unrelated administration must not invalidate"
+    );
+    assert!(after.tracked_model_parts > before.tracked_model_parts);
+
+    // Dependent admin: flip the currency conversion's lookup orientation
+    // — every financial plan read it, so the next query recompiles.
+    {
+        let mut guard = shared.write().unwrap();
+        guard
+            .replace_conversion(
+                "currency",
+                Conversion::Lookup {
+                    relation: "rates".into(),
+                    from_col: "toCur".into(),
+                    to_col: "fromCur".into(),
+                    factor_col: "rate".into(),
+                },
+            )
+            .unwrap();
+    }
+    let rs = conn.statement().execute(sql).unwrap();
+    assert!(
+        rs.cache.as_deref() == Some("miss"),
+        "dependent plan must recompile: {rs:?}"
+    );
+    let end = conn.server_stats().unwrap();
+    assert_eq!(end.epoch, after.epoch + 1);
+    assert!(end.cache_invalidations > after.cache_invalidations);
+
+    server.stop();
+}

@@ -21,7 +21,8 @@ use coin::wrapper::RelationalSource;
 fn build_system() -> CoinSystem {
     let (domain, _) = coin::core::model::figure2_domain();
     let mut sys = CoinSystem::new(domain);
-    sys.add_conversion("scaleFactor", Conversion::Ratio);
+    sys.add_conversion("scaleFactor", Conversion::Ratio)
+        .unwrap();
     sys.add_conversion(
         "currency",
         Conversion::Lookup {
@@ -30,7 +31,8 @@ fn build_system() -> CoinSystem {
             to_col: "toCur".into(),
             factor_col: "rate".into(),
         },
-    );
+    )
+    .unwrap();
 
     // ---- three filings databases in three contexts ----------------------
     let us = Table::from_rows(

@@ -60,7 +60,8 @@ PAGE listing MATCH MANY "<tr><td>(?P<symbol>[A-Z]+)</td><td>(?P<price>[0-9.]+)</
     // ---- assemble the COIN system -------------------------------------------
     let (domain, _) = coin::core::model::figure2_domain();
     let mut sys = CoinSystem::new(domain);
-    sys.add_conversion("scaleFactor", Conversion::Ratio);
+    sys.add_conversion("scaleFactor", Conversion::Ratio)
+        .unwrap();
     sys.add_conversion(
         "currency",
         Conversion::Lookup {
@@ -69,7 +70,8 @@ PAGE listing MATCH MANY "<tr><td>(?P<symbol>[A-Z]+)</td><td>(?P<price>[0-9.]+)</
             to_col: "toCur".into(),
             factor_col: "rate".into(),
         },
-    );
+    )
+    .unwrap();
     sys.add_source(WebSource::new("quotes_site", spec, web.clone()))
         .unwrap();
     sys.add_source(figure2_rates_source(&web)).unwrap();

@@ -12,7 +12,8 @@ use coin::wrapper::RelationalSource;
 fn pl_system() -> CoinSystem {
     let (domain, _) = coin::core::model::figure2_domain();
     let mut sys = CoinSystem::new(domain);
-    sys.add_conversion("scaleFactor", Conversion::Ratio);
+    sys.add_conversion("scaleFactor", Conversion::Ratio)
+        .unwrap();
     sys.add_conversion(
         "currency",
         Conversion::Lookup {
@@ -21,7 +22,8 @@ fn pl_system() -> CoinSystem {
             to_col: "toCur".into(),
             factor_col: "rate".into(),
         },
-    );
+    )
+    .unwrap();
 
     let us = Table::from_rows(
         "us_filings",
