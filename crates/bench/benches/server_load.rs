@@ -84,6 +84,7 @@ fn config(keep_alive: bool, workload: Workload) -> LoadConfig {
         keep_alive,
         workload,
         seed: 42,
+        skew: 0,
         time_limit: Duration::from_secs(60),
     }
 }

@@ -360,9 +360,7 @@ impl QueryCache {
             .iter()
             .flat_map(|(r, per)| {
                 per.iter()
-                    .filter(|(_, (prepared, _))| {
-                        parts.iter().any(|p| prepared.deps().contains(p))
-                    })
+                    .filter(|(_, (prepared, _))| parts.iter().any(|p| prepared.deps().contains(p)))
                     .map(move |(s, _)| (r.clone(), s.clone()))
             })
             .collect();

@@ -159,7 +159,10 @@ pub(crate) struct StreamHandle {
     pub(crate) cancel: Arc<AtomicBool>,
 }
 
-/// One nonblocking connection owned by the reactor.
+/// One nonblocking connection, exclusively owned by the reactor shard
+/// it was assigned to at accept time: only that shard's event loop
+/// reads, writes, times out, or closes it (workers see connection *ids*,
+/// never sockets), so no per-connection locking exists anywhere.
 pub(crate) struct Conn {
     pub(crate) stream: TcpStream,
     /// Received-but-unparsed bytes (may hold pipelined requests).
@@ -219,6 +222,14 @@ impl Conn {
     /// Should the reactor poll this connection for writability?
     pub(crate) fn wants_write(&self) -> bool {
         self.out_pos < self.out.len()
+    }
+
+    /// The `(read, write)` readiness interest the owning shard should
+    /// register with its poller. Derived entirely from connection state,
+    /// so re-submitting it after every state change is always correct —
+    /// the poller skips the syscall when nothing changed.
+    pub(crate) fn interest(&self) -> (bool, bool) {
+        (self.wants_read(), self.wants_write())
     }
 
     /// Queue an encoded response behind any bytes already pending.

@@ -22,6 +22,8 @@ pub mod client;
 mod conn;
 pub mod http;
 pub mod json;
+#[cfg(unix)]
+mod poller;
 pub mod protocol;
 pub mod qbe;
 #[cfg(unix)]
@@ -29,7 +31,7 @@ mod reactor;
 
 pub use client::{ClientError, Connection, ResultSet, ServerStats, Statement, TableInfo};
 pub use http::{
-    HttpClient, HttpError, HttpRequest, HttpResponse, ServerConfig, ServerHandle,
+    HttpClient, HttpError, HttpRequest, HttpResponse, ReactorBackend, ServerConfig, ServerHandle,
     ServerMetricsSnapshot, StreamBody, Transport,
 };
 pub use json::{parse as parse_json, Json, JsonBuf, JsonError};

@@ -1,0 +1,417 @@
+//! Pluggable readiness backends for the reactor shards (Unix only).
+//!
+//! [`Poller`] hides the difference between the portable `poll(2)`
+//! backend and the Linux `epoll(7)` backend behind one
+//! register / update / deregister / wait surface keyed by
+//! connection-id tokens. Both are bound directly from libc with
+//! `extern "C"` — no external crate, consistent with the workspace's
+//! offline-vendoring policy.
+//!
+//! The structural difference between the backends is *where the
+//! interest set lives*:
+//!
+//! * **poll(2)** keeps no kernel-side state: the whole `pollfd` array
+//!   is rebuilt and copied into the kernel on every wakeup — O(conns)
+//!   per iteration, however few of them are active.
+//! * **epoll(7)** keeps a persistent interest set inside the kernel:
+//!   one `epoll_ctl` per registration and per actual interest *change*,
+//!   and a wakeup costs O(ready), not O(registered).
+//!
+//! [`Poller::interest_ops`] counts the interest-set syscall traffic
+//! each backend generates (pollfd slots submitted per wait, `epoll_ctl`
+//! calls). The conformance suite asserts on it: under epoll the count
+//! must stay flat as the idle fleet grows, which is the machine-checkable
+//! form of "no per-wakeup O(conns) rebuild".
+
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::os::raw::{c_int, c_short, c_ulong};
+use std::os::unix::io::RawFd;
+
+// --- a thin poll(2) binding -------------------------------------------------
+
+pub(crate) const POLLIN: c_short = 0x001;
+pub(crate) const POLLOUT: c_short = 0x004;
+pub(crate) const POLLERR: c_short = 0x008;
+pub(crate) const POLLHUP: c_short = 0x010;
+pub(crate) const POLLNVAL: c_short = 0x020;
+
+/// `struct pollfd` (POSIX): identical layout on every Unix we target.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub(crate) struct PollFd {
+    pub(crate) fd: RawFd,
+    pub(crate) events: c_short,
+    pub(crate) revents: c_short,
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Block until any registered fd is ready or `timeout_ms` elapses
+/// (`None` = wait indefinitely). Returns how many fds have events.
+/// Also used directly by the acceptor thread, whose two fds (listener +
+/// wake pipe) never justify an interest set.
+pub(crate) fn poll_wait(fds: &mut [PollFd], timeout_ms: Option<i32>) -> std::io::Result<usize> {
+    let timeout = timeout_ms.unwrap_or(-1);
+    // SAFETY: `fds` is a valid, exclusively-borrowed slice of pollfd
+    // structs for the whole call; poll only writes `revents` in place.
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout) };
+    if rc < 0 {
+        let e = std::io::Error::last_os_error();
+        if e.kind() == ErrorKind::Interrupted {
+            return Ok(0); // EINTR: just re-run the loop
+        }
+        return Err(e);
+    }
+    Ok(rc as usize)
+}
+
+// --- a thin epoll(7) binding (Linux only) -----------------------------------
+
+#[cfg(target_os = "linux")]
+mod sys_epoll {
+    use super::{c_int, RawFd};
+
+    pub(super) const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub(super) const EPOLL_CTL_ADD: c_int = 1;
+    pub(super) const EPOLL_CTL_DEL: c_int = 2;
+    pub(super) const EPOLL_CTL_MOD: c_int = 3;
+    pub(super) const EPOLLIN: u32 = 0x001;
+    pub(super) const EPOLLOUT: u32 = 0x004;
+    pub(super) const EPOLLERR: u32 = 0x008;
+    pub(super) const EPOLLHUP: u32 = 0x010;
+
+    /// `struct epoll_event`. The kernel ABI packs it on x86-64 (12
+    /// bytes); other architectures use natural alignment.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub(super) struct EpollEvent {
+        pub(super) events: u32,
+        pub(super) data: u64,
+    }
+
+    extern "C" {
+        pub(super) fn epoll_create1(flags: c_int) -> c_int;
+        pub(super) fn epoll_ctl(epfd: c_int, op: c_int, fd: RawFd, event: *mut EpollEvent)
+            -> c_int;
+        pub(super) fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub(super) fn close(fd: c_int) -> c_int;
+    }
+}
+
+// --- the backend-neutral surface --------------------------------------------
+
+/// Token a shard reserves for its self-wake pipe (connection ids start
+/// at 1 and count up, so they can never collide with it).
+pub(crate) const WAKE_TOKEN: u64 = u64::MAX;
+
+/// A readiness backend, resolved from the user-facing
+/// [`crate::http::ReactorBackend`] (which may say `Auto`, or ask for
+/// epoll on a host that lacks it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Backend {
+    Poll,
+    #[cfg(target_os = "linux")]
+    Epoll,
+}
+
+/// One readiness event, normalized across backends: `POLLNVAL` folds
+/// into `error`, and a mask-0 registration still reports `error` /
+/// `hangup` (both primitives guarantee that).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Event {
+    pub(crate) token: u64,
+    pub(crate) readable: bool,
+    pub(crate) writable: bool,
+    pub(crate) error: bool,
+    pub(crate) hangup: bool,
+}
+
+/// A shard's readiness multiplexer.
+pub(crate) enum Poller {
+    Poll(PollSet),
+    #[cfg(target_os = "linux")]
+    Epoll(EpollSet),
+}
+
+impl Poller {
+    pub(crate) fn new(backend: Backend) -> std::io::Result<Poller> {
+        match backend {
+            Backend::Poll => Ok(Poller::Poll(PollSet::default())),
+            #[cfg(target_os = "linux")]
+            Backend::Epoll => EpollSet::new().map(Poller::Epoll),
+        }
+    }
+
+    /// Start watching `fd` under `token`.
+    pub(crate) fn register(
+        &mut self,
+        token: u64,
+        fd: RawFd,
+        read: bool,
+        write: bool,
+    ) -> std::io::Result<()> {
+        match self {
+            Poller::Poll(p) => p.register(token, fd, read, write),
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(e) => e.register(token, fd, read, write),
+        }
+    }
+
+    /// Update a registration's interest. A no-op when nothing changed,
+    /// so callers may re-submit every touched connection unconditionally.
+    pub(crate) fn set_interest(&mut self, token: u64, read: bool, write: bool) {
+        match self {
+            Poller::Poll(p) => p.set_interest(token, read, write),
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(e) => e.set_interest(token, read, write),
+        }
+    }
+
+    /// Stop watching a token (the fd is about to be closed).
+    pub(crate) fn deregister(&mut self, token: u64) {
+        match self {
+            Poller::Poll(p) => p.deregister(token),
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(e) => e.deregister(token),
+        }
+    }
+
+    /// Block until something is ready or `timeout_ms` elapses (`None` =
+    /// indefinitely), filling `events` with what fired.
+    pub(crate) fn wait(
+        &mut self,
+        timeout_ms: Option<i32>,
+        events: &mut Vec<Event>,
+    ) -> std::io::Result<()> {
+        events.clear();
+        match self {
+            Poller::Poll(p) => p.wait(timeout_ms, events),
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(e) => e.wait(timeout_ms, events),
+        }
+    }
+
+    /// Cumulative interest-set syscall traffic: pollfd slots submitted
+    /// (poll) or `epoll_ctl` calls (epoll). See the module docs.
+    pub(crate) fn interest_ops(&self) -> u64 {
+        match self {
+            Poller::Poll(p) => p.ops,
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(e) => e.ops,
+        }
+    }
+}
+
+// --- poll(2) backend --------------------------------------------------------
+
+/// The portable backend: interest lives in user space and the pollfd
+/// array is rebuilt for every wait — the O(conns)-per-wakeup cost the
+/// epoll backend exists to avoid.
+#[derive(Default)]
+pub(crate) struct PollSet {
+    slots: HashMap<u64, (RawFd, bool, bool)>,
+    fds: Vec<PollFd>,
+    tokens: Vec<u64>,
+    ops: u64,
+}
+
+impl PollSet {
+    fn register(&mut self, token: u64, fd: RawFd, read: bool, write: bool) -> std::io::Result<()> {
+        self.slots.insert(token, (fd, read, write));
+        Ok(())
+    }
+
+    fn set_interest(&mut self, token: u64, read: bool, write: bool) {
+        if let Some(slot) = self.slots.get_mut(&token) {
+            slot.1 = read;
+            slot.2 = write;
+        }
+    }
+
+    fn deregister(&mut self, token: u64) {
+        self.slots.remove(&token);
+    }
+
+    fn wait(&mut self, timeout_ms: Option<i32>, events: &mut Vec<Event>) -> std::io::Result<()> {
+        self.fds.clear();
+        self.tokens.clear();
+        for (&token, &(fd, read, write)) in &self.slots {
+            let mut mask = 0;
+            if read {
+                mask |= POLLIN;
+            }
+            if write {
+                mask |= POLLOUT;
+            }
+            // mask == 0 still reports POLLERR/POLLHUP, so a vanished
+            // peer is noticed even while nothing is wanted.
+            self.fds.push(PollFd {
+                fd,
+                events: mask,
+                revents: 0,
+            });
+            self.tokens.push(token);
+        }
+        // Every registered slot crosses the syscall boundary on every
+        // wait: that is the rebuild cost being counted.
+        self.ops += self.slots.len() as u64;
+        let n = poll_wait(&mut self.fds, timeout_ms)?;
+        if n == 0 {
+            return Ok(());
+        }
+        for (slot, &token) in self.fds.iter().zip(&self.tokens) {
+            if slot.revents == 0 {
+                continue;
+            }
+            events.push(Event {
+                token,
+                readable: slot.revents & POLLIN != 0,
+                writable: slot.revents & POLLOUT != 0,
+                error: slot.revents & (POLLERR | POLLNVAL) != 0,
+                hangup: slot.revents & POLLHUP != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+// --- epoll(7) backend -------------------------------------------------------
+
+/// The Linux backend: interest lives in the kernel, updated only on
+/// registration and on actual interest changes.
+#[cfg(target_os = "linux")]
+pub(crate) struct EpollSet {
+    epfd: RawFd,
+    /// Mirror of the kernel-side interest set, so unchanged interest
+    /// submissions can be skipped without a syscall.
+    interest: HashMap<u64, (RawFd, bool, bool)>,
+    buf: Vec<sys_epoll::EpollEvent>,
+    ops: u64,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollSet {
+    fn new() -> std::io::Result<EpollSet> {
+        // SAFETY: plain syscall, no pointers involved.
+        let epfd = unsafe { sys_epoll::epoll_create1(sys_epoll::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(EpollSet {
+            epfd,
+            interest: HashMap::new(),
+            buf: Vec::new(),
+            ops: 0,
+        })
+    }
+
+    fn mask(read: bool, write: bool) -> u32 {
+        let mut mask = 0;
+        if read {
+            mask |= sys_epoll::EPOLLIN;
+        }
+        if write {
+            mask |= sys_epoll::EPOLLOUT;
+        }
+        // mask == 0 still reports EPOLLERR/EPOLLHUP (they are always
+        // delivered), matching the poll backend's semantics.
+        mask
+    }
+
+    fn ctl(&mut self, op: c_int, fd: RawFd, mask: u32, token: u64) -> std::io::Result<()> {
+        let mut ev = sys_epoll::EpollEvent {
+            events: mask,
+            data: token,
+        };
+        self.ops += 1;
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        let rc = unsafe { sys_epoll::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn register(&mut self, token: u64, fd: RawFd, read: bool, write: bool) -> std::io::Result<()> {
+        self.ctl(sys_epoll::EPOLL_CTL_ADD, fd, Self::mask(read, write), token)?;
+        self.interest.insert(token, (fd, read, write));
+        Ok(())
+    }
+
+    fn set_interest(&mut self, token: u64, read: bool, write: bool) {
+        let Some(&(fd, cur_read, cur_write)) = self.interest.get(&token) else {
+            return;
+        };
+        if (cur_read, cur_write) == (read, write) {
+            return; // persistent interest set: unchanged = no syscall
+        }
+        if self
+            .ctl(sys_epoll::EPOLL_CTL_MOD, fd, Self::mask(read, write), token)
+            .is_ok()
+        {
+            self.interest.insert(token, (fd, read, write));
+        }
+    }
+
+    fn deregister(&mut self, token: u64) {
+        if let Some((fd, _, _)) = self.interest.remove(&token) {
+            // The event argument must be non-null for portability with
+            // pre-2.6.9 kernels; its contents are ignored on DEL.
+            let _ = self.ctl(sys_epoll::EPOLL_CTL_DEL, fd, 0, token);
+        }
+    }
+
+    fn wait(&mut self, timeout_ms: Option<i32>, events: &mut Vec<Event>) -> std::io::Result<()> {
+        const MAX_EVENTS: usize = 1024;
+        self.buf
+            .resize(MAX_EVENTS, sys_epoll::EpollEvent { events: 0, data: 0 });
+        let timeout = timeout_ms.unwrap_or(-1);
+        // SAFETY: `buf` is a valid, exclusively-borrowed array of
+        // epoll_event structs for the whole call.
+        let rc = unsafe {
+            sys_epoll::epoll_wait(
+                self.epfd,
+                self.buf.as_mut_ptr(),
+                MAX_EVENTS as c_int,
+                timeout,
+            )
+        };
+        if rc < 0 {
+            let e = std::io::Error::last_os_error();
+            if e.kind() == ErrorKind::Interrupted {
+                return Ok(()); // EINTR: just re-run the loop
+            }
+            return Err(e);
+        }
+        for raw in &self.buf[..rc as usize] {
+            // Copy out of the (possibly packed) struct before use.
+            let mask = raw.events;
+            let token = raw.data;
+            events.push(Event {
+                token,
+                readable: mask & sys_epoll::EPOLLIN != 0,
+                writable: mask & sys_epoll::EPOLLOUT != 0,
+                error: mask & sys_epoll::EPOLLERR != 0,
+                hangup: mask & sys_epoll::EPOLLHUP != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EpollSet {
+    fn drop(&mut self) {
+        // SAFETY: epfd came from epoll_create1 and is closed only here.
+        unsafe { sys_epoll::close(self.epfd) };
+    }
+}

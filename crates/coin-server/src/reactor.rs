@@ -1,12 +1,18 @@
-//! The event-driven reactor transport (Unix only).
+//! The event-driven reactor transport (Unix only), sharded across N
+//! event-loop threads.
 //!
-//! One reactor thread owns the listener and every open connection, all
-//! nonblocking, multiplexed with `poll(2)` — bound directly from libc
-//! (no external crate, consistent with the workspace's offline-vendoring
-//! policy). The loop:
+//! A dedicated **acceptor** thread owns the nonblocking listener. Every
+//! accepted connection is either shed (`503 + Retry-After` when the
+//! fleet is over budget) or handed off **round-robin** to one of N
+//! **shard** threads: connection `i` lands on shard `i % N`, so the
+//! fleet stays balanced and tests can place connections deterministically.
+//! Each shard owns its slice of the fleet outright — sockets never
+//! migrate — and multiplexes it with a [`crate::poller::Poller`]
+//! (`epoll(7)` with a persistent interest set on Linux, portable
+//! `poll(2)` elsewhere; see [`crate::http::ReactorBackend`]). Per shard,
+//! the loop:
 //!
-//! 1. **accepts** new connections (shedding over-budget ones with
-//!    `503 + Retry-After`),
+//! 1. **admits** connections the acceptor queued on its intake,
 //! 2. **reads** whatever bytes are ready and runs the incremental parser
 //!    ([`crate::conn`]) until a *complete* request emerges,
 //! 3. **dispatches** complete requests to the bounded worker queue
@@ -16,19 +22,20 @@
 //!    keep-alive connections (silent close), and peers that stop reading
 //!    their responses.
 //!
-//! Workers never see a socket: they take `(connection id, request)`
-//! pairs, run the handler (panics contained to a `500`), and hand the
-//! encoded response back through a completion queue, waking the reactor
-//! through a self-wake socket pair. Idle or slow connections therefore
-//! cost no thread, which is what decouples the open-connection count from
-//! the pool size — the scaling property measured by the
-//! `server_load/stats_idle_fleet` bench scenario.
+//! Workers never see a socket: they take [`Job`]s (shard, connection id,
+//! request), run the handler (panics contained to a `500`), and hand
+//! the encoded response back through the owning shard's completion
+//! queue, waking that shard through its self-wake socket pair (one pipe
+//! per shard, so a completion never wakes an uninvolved shard). Idle or
+//! slow connections therefore cost no thread, which is what decouples
+//! the open-connection count from the pool size — and under epoll they
+//! cost no per-wakeup syscall traffic either, which is what decouples
+//! wakeup cost from fleet size (the property the `c10k` bench gates).
 
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
-use std::net::TcpListener;
-use std::os::raw::{c_int, c_short, c_ulong};
-use std::os::unix::io::{AsRawFd, RawFd};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -37,58 +44,53 @@ use std::time::Instant;
 use crate::conn::{try_parse_request, Conn, ConnState, ParseStatus, StreamHandle, StreamMsg};
 use crate::http::{
     connection_persists, encode_chunk, encode_stream_head, shed, Handler, HttpError, HttpRequest,
-    HttpResponse, RequestError, ServerConfig, ServerHandle, ServerMetrics, CHUNK_TERMINATOR,
+    HttpResponse, ReactorBackend, RequestError, ServerConfig, ServerHandle, ServerMetrics,
+    CHUNK_TERMINATOR,
 };
+use crate::poller::{poll_wait, Backend, Event, PollFd, Poller, POLLIN, WAKE_TOKEN};
 
-// --- a thin poll(2) binding -------------------------------------------------
-
-const POLLIN: c_short = 0x001;
-const POLLOUT: c_short = 0x004;
-const POLLERR: c_short = 0x008;
-const POLLHUP: c_short = 0x010;
-const POLLNVAL: c_short = 0x020;
-
-/// `struct pollfd` (POSIX): identical layout on every Unix we target.
-#[repr(C)]
-#[derive(Clone, Copy)]
-struct PollFd {
-    fd: RawFd,
-    events: c_short,
-    revents: c_short,
-}
-
-extern "C" {
-    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
-}
-
-/// Block until any registered fd is ready or `timeout_ms` elapses
-/// (`None` = wait indefinitely). Returns how many fds have events.
-fn poll_wait(fds: &mut [PollFd], timeout_ms: Option<i32>) -> std::io::Result<usize> {
-    let timeout = timeout_ms.unwrap_or(-1);
-    // SAFETY: `fds` is a valid, exclusively-borrowed slice of pollfd
-    // structs for the whole call; poll only writes `revents` in place.
-    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout) };
-    if rc < 0 {
-        let e = std::io::Error::last_os_error();
-        if e.kind() == ErrorKind::Interrupted {
-            return Ok(0); // EINTR: just re-run the loop
-        }
-        return Err(e);
+/// How many reactor shards a config resolves to (`0` = one per
+/// available core, capped at 8 — more shards than cores buys nothing).
+fn resolved_shards(cfg: &ServerConfig) -> usize {
+    if cfg.reactor_shards != 0 {
+        return cfg.reactor_shards;
     }
-    Ok(rc as usize)
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .clamp(1, 8)
 }
 
-// --- the reactor ------------------------------------------------------------
+/// Map the user-facing backend choice onto what this host can run.
+fn resolved_backend(cfg: &ServerConfig) -> Backend {
+    match cfg.reactor_backend {
+        #[cfg(target_os = "linux")]
+        ReactorBackend::Auto | ReactorBackend::Epoll => Backend::Epoll,
+        // Hosts without epoll run the identical contract on poll(2).
+        #[cfg(not(target_os = "linux"))]
+        ReactorBackend::Auto | ReactorBackend::Epoll => Backend::Poll,
+        ReactorBackend::Poll => Backend::Poll,
+    }
+}
 
-/// What a worker hands back through the completion queue.
+/// One parsed request in flight from a shard to the worker pool.
+struct Job {
+    /// The shard that owns the connection (routes the completion back).
+    shard: usize,
+    /// Shard-local connection id.
+    conn: u64,
+    request: HttpRequest,
+}
+
+/// What a worker hands back through a shard's completion queue.
 enum Completion {
     /// A buffered response for this connection (`None` = the handler
-    /// panicked; the reactor answers `500` and closes).
+    /// panicked; the shard answers `500` and closes).
     Response(u64, Option<HttpResponse>),
     /// The handler returned a streaming body: the worker is now pumping
-    /// chunks through `rx` and the reactor should write the chunked head
+    /// chunks through `rx` and the shard should write the chunked head
     /// and start framing. `cancel` is the producer's abort flag — the
-    /// reactor flips it when the peer disconnects mid-stream.
+    /// shard flips it when the peer disconnects mid-stream.
     StreamStart {
         id: u64,
         status: u16,
@@ -99,66 +101,94 @@ enum Completion {
 }
 
 /// Bound on body chunks in flight between a producing worker and the
-/// reactor: a worker outrunning the socket blocks on `send`, which is
-/// the backpressure that keeps streamed responses bounded-memory.
+/// owning shard: a worker outrunning the socket blocks on `send`, which
+/// is the backpressure that keeps streamed responses bounded-memory.
 const STREAM_CHANNEL_DEPTH: usize = 2;
 
 /// Stop refilling a connection's output buffer from its stream channel
 /// once this many bytes are already pending on the socket.
 const STREAM_OUT_WATERMARK: usize = 256 * 1024;
 
-/// Start the reactor transport on an already-bound nonblocking listener.
+/// Start the sharded reactor transport on an already-bound nonblocking
+/// listener.
 pub(crate) fn serve(
     listener: TcpListener,
     cfg: ServerConfig,
     handler: Handler,
 ) -> Result<ServerHandle, HttpError> {
     let local = listener.local_addr()?;
+    let nshards = resolved_shards(&cfg);
+    let backend = resolved_backend(&cfg);
     let stop = Arc::new(AtomicBool::new(false));
-    let metrics = Arc::new(ServerMetrics::default());
+    let metrics = Arc::new(ServerMetrics::with_shards(nshards));
 
-    // Self-wake channel: workers (and the handle) write one byte to kick
-    // the reactor out of poll(2).
-    let (wake_rx, wake_tx) = UnixStream::pair()?;
-    wake_rx.set_nonblocking(true)?;
-    wake_tx.set_nonblocking(true)?;
+    // Per-shard plumbing: a self-wake pipe (workers, the acceptor, and
+    // the handle write one byte to kick the shard out of its wait), an
+    // intake queue the acceptor pushes accepted sockets onto, and a
+    // completion queue the workers push finished responses onto.
+    let mut shard_wake_rx = Vec::with_capacity(nshards);
+    let mut shard_wake_tx = Vec::with_capacity(nshards);
+    for _ in 0..nshards {
+        let (rx, tx) = UnixStream::pair()?;
+        rx.set_nonblocking(true)?;
+        tx.set_nonblocking(true)?;
+        shard_wake_rx.push(rx);
+        shard_wake_tx.push(tx);
+    }
+    let intakes: Vec<Arc<Mutex<Vec<TcpStream>>>> = (0..nshards)
+        .map(|_| Arc::new(Mutex::new(Vec::new())))
+        .collect();
+    let completions: Vec<Arc<Mutex<Vec<Completion>>>> = (0..nshards)
+        .map(|_| Arc::new(Mutex::new(Vec::new())))
+        .collect();
 
-    let (job_tx, job_rx) = mpsc::sync_channel::<(u64, HttpRequest)>(cfg.queue_depth.max(1));
+    let (accept_wake_rx, accept_wake_tx) = UnixStream::pair()?;
+    accept_wake_rx.set_nonblocking(true)?;
+    accept_wake_tx.set_nonblocking(true)?;
+
+    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(cfg.queue_depth.max(1));
     let job_rx = Arc::new(Mutex::new(job_rx));
-    let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
 
-    let mut workers = Vec::with_capacity(cfg.workers.max(1));
+    let mut worker_threads = Vec::with_capacity(cfg.workers.max(1));
     for _ in 0..cfg.workers.max(1) {
         let job_rx = Arc::clone(&job_rx);
         let handler = Arc::clone(&handler);
-        let completions = Arc::clone(&completions);
-        let wake = wake_tx.try_clone()?;
-        workers.push(std::thread::spawn(move || loop {
+        let completions: Vec<_> = completions.iter().map(Arc::clone).collect();
+        let wakes = shard_wake_tx
+            .iter()
+            .map(UnixStream::try_clone)
+            .collect::<std::io::Result<Vec<_>>>()?;
+        worker_threads.push(std::thread::spawn(move || loop {
             let next = job_rx
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .recv();
-            let Ok((conn_id, request)) = next else {
-                break; // reactor gone: queue drained, pool winds down
+            let Ok(Job {
+                shard,
+                conn: conn_id,
+                request,
+            }) = next
+            else {
+                break; // shards gone: queue drained, pool winds down
             };
             let response =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request))).ok();
             let push = |c: Completion| {
-                completions
+                completions[shard]
                     .lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .push(c);
-                // A full (or closed) wake pipe is fine: the reactor
-                // drains it whole and checks the completion queue on
-                // every wakeup.
-                let _ = (&wake).write(&[1]);
+                // A full (or closed) wake pipe is fine: the shard drains
+                // it whole and checks the completion queue on every
+                // wakeup.
+                let _ = (&wakes[shard]).write(&[1]);
             };
             match response {
                 Some(mut resp) if resp.stream.is_some() => {
                     // Streamed response: this worker stays on it, pulling
                     // body chunks and pushing them through a bounded
-                    // channel; the reactor owns the socket and frames
-                    // them. The worker is pinned for the stream's
+                    // channel; the owning shard owns the socket and
+                    // frames them. The worker is pinned for the stream's
                     // lifetime — the price of never materializing.
                     let mut body = resp.stream.take().expect("checked is_some");
                     let (tx, rx) = mpsc::sync_channel::<StreamMsg>(STREAM_CHANNEL_DEPTH);
@@ -170,7 +200,7 @@ pub(crate) fn serve(
                         cancel: Arc::clone(body.cancel_flag()),
                     });
                     loop {
-                        // Flipped by the reactor on peer disconnect; the
+                        // Flipped by the shard on peer disconnect; the
                         // producer's own pipeline also observes it (via
                         // its CancelToken) and aborts between rows.
                         if body.cancel_flag().load(Ordering::SeqCst) {
@@ -186,16 +216,16 @@ pub(crate) fn serve(
                                 if tx.send(StreamMsg::Chunk(chunk)).is_err() {
                                     break;
                                 }
-                                let _ = (&wake).write(&[1]);
+                                let _ = (&wakes[shard]).write(&[1]);
                             }
                             Ok(None) => {
                                 let _ = tx.send(StreamMsg::End { clean: true });
-                                let _ = (&wake).write(&[1]);
+                                let _ = (&wakes[shard]).write(&[1]);
                                 break;
                             }
                             Err(_) => {
                                 let _ = tx.send(StreamMsg::End { clean: false });
-                                let _ = (&wake).write(&[1]);
+                                let _ = (&wakes[shard]).write(&[1]);
                                 break;
                             }
                         }
@@ -206,112 +236,229 @@ pub(crate) fn serve(
         }));
     }
 
-    let reactor = Reactor {
+    let mut shard_threads = Vec::with_capacity(nshards);
+    for (idx, wake_rx) in shard_wake_rx.into_iter().enumerate() {
+        // Created here (not in the thread) so backend setup failures
+        // surface as a serve() error instead of a dead shard.
+        let poller = Poller::new(backend)?;
+        let shard = Shard {
+            idx,
+            cfg: cfg.clone(),
+            metrics: Arc::clone(&metrics),
+            stop: Arc::clone(&stop),
+            wake_rx,
+            intake: Arc::clone(&intakes[idx]),
+            job_tx: job_tx.clone(),
+            completions: Arc::clone(&completions[idx]),
+            poller,
+            conns: HashMap::new(),
+            next_id: 1,
+            dirty: Vec::new(),
+        };
+        shard_threads.push(std::thread::spawn(move || shard.run()));
+    }
+    // Only the shards hold job senders now: when they exit, the worker
+    // pool drains the queue and winds down.
+    drop(job_tx);
+
+    let acceptor = Acceptor {
         listener,
         cfg,
         metrics: Arc::clone(&metrics),
         stop: Arc::clone(&stop),
-        wake_rx,
-        job_tx,
-        completions,
-        conns: HashMap::new(),
-        next_id: 1,
+        wake_rx: accept_wake_rx,
+        shards: intakes
+            .into_iter()
+            .zip(
+                shard_wake_tx
+                    .iter()
+                    .map(UnixStream::try_clone)
+                    .collect::<std::io::Result<Vec<_>>>()?,
+            )
+            .map(|(queue, wake)| ShardIntake { queue, wake })
+            .collect(),
+        next_shard: 0,
     };
-    let reactor_thread = std::thread::spawn(move || reactor.run());
+    let accept_thread = std::thread::spawn(move || acceptor.run());
 
-    let waker = wake_tx;
+    // Shard threads precede worker threads so shutdown joins them (and
+    // drops their job senders) before waiting on the pool.
+    let mut transport_threads = shard_threads;
+    transport_threads.extend(worker_threads);
+
     Ok(ServerHandle::from_parts(
         local,
         stop,
-        reactor_thread,
-        workers,
+        accept_thread,
+        transport_threads,
         metrics,
         Some(Box::new(move || {
-            let _ = (&waker).write(&[1]);
+            let _ = (&accept_wake_tx).write(&[1]);
+            for wake in &shard_wake_tx {
+                let _ = (&*wake).write(&[1]);
+            }
         })),
     ))
 }
 
-struct Reactor {
+/// The acceptor's handle to one shard: where to queue a socket and how
+/// to wake the shard so it notices.
+struct ShardIntake {
+    queue: Arc<Mutex<Vec<TcpStream>>>,
+    wake: UnixStream,
+}
+
+/// The accept loop: polls the listener (and its own wake pipe), sheds
+/// over-budget connections, and deals admitted sockets round-robin.
+struct Acceptor {
     listener: TcpListener,
     cfg: ServerConfig,
     metrics: Arc<ServerMetrics>,
     stop: Arc<AtomicBool>,
     wake_rx: UnixStream,
-    job_tx: mpsc::SyncSender<(u64, HttpRequest)>,
-    completions: Arc<Mutex<Vec<Completion>>>,
-    conns: HashMap<u64, Conn>,
-    next_id: u64,
+    shards: Vec<ShardIntake>,
+    next_shard: usize,
 }
 
-/// What a poll slot refers to.
-enum Token {
-    Wake,
-    Listener,
-    Conn(u64),
-}
-
-impl Reactor {
+impl Acceptor {
     fn run(mut self) {
-        let mut fds: Vec<PollFd> = Vec::new();
-        let mut tokens: Vec<Token> = Vec::new();
-        while !self.stop.load(Ordering::SeqCst) {
-            fds.clear();
-            tokens.clear();
-            fds.push(PollFd {
+        let mut fds = [
+            PollFd {
                 fd: self.wake_rx.as_raw_fd(),
                 events: POLLIN,
                 revents: 0,
-            });
-            tokens.push(Token::Wake);
-            fds.push(PollFd {
+            },
+            PollFd {
                 fd: self.listener.as_raw_fd(),
                 events: POLLIN,
                 revents: 0,
-            });
-            tokens.push(Token::Listener);
-            for (&id, conn) in &self.conns {
-                let mut events = 0;
-                if conn.wants_read() {
-                    events |= POLLIN;
-                }
-                if conn.wants_write() {
-                    events |= POLLOUT;
-                }
-                // events == 0 (request in flight, nothing to write) still
-                // reports POLLERR/POLLHUP, so a vanished peer is noticed.
-                fds.push(PollFd {
-                    fd: conn.stream.as_raw_fd(),
-                    events,
-                    revents: 0,
-                });
-                tokens.push(Token::Conn(id));
+            },
+        ];
+        while !self.stop.load(Ordering::SeqCst) {
+            fds[0].revents = 0;
+            fds[1].revents = 0;
+            if poll_wait(&mut fds, None).is_err() {
+                break;
             }
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            if fds[0].revents & POLLIN != 0 {
+                let mut sink = [0u8; 64];
+                while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+            }
+            if fds[1].revents & POLLIN != 0 {
+                self.accept_ready();
+            }
+        }
+    }
 
+    fn accept_ready(&mut self) {
+        let budget = self.cfg.budget();
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                    // The global open gauge is the budget's source of
+                    // truth: shards decrement it as they close, so
+                    // freed budget is visible here as soon as the
+                    // owning shard processes the close. (A connect that
+                    // races a still-unprocessed close may be shed; the
+                    // budget is a bound, not a reservation system.)
+                    if self.metrics.open.load(Ordering::SeqCst) as usize >= budget {
+                        // Shedding writes a tiny fixed response; do it
+                        // blocking (with a short timeout) for simplicity.
+                        let _ = stream.set_nonblocking(false);
+                        shed(stream, self.cfg.retry_after_secs, &self.metrics);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Round-robin over *admitted* connections only, so
+                    // placement stays deterministic: connection i lands
+                    // on shard i % N regardless of shed traffic.
+                    let shard = self.next_shard;
+                    self.next_shard = (self.next_shard + 1) % self.shards.len();
+                    self.metrics.open.fetch_add(1, Ordering::SeqCst);
+                    self.metrics.shards[shard]
+                        .open
+                        .fetch_add(1, Ordering::SeqCst);
+                    let target = &self.shards[shard];
+                    target
+                        .queue
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(stream);
+                    let _ = (&target.wake).write(&[1]);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                // Transient accept failures (ECONNABORTED, EMFILE):
+                // leave the listener registered and retry next wakeup.
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// One reactor shard: exclusive owner of its slice of the connection
+/// fleet, its poller, and its wake pipe.
+struct Shard {
+    idx: usize,
+    cfg: ServerConfig,
+    metrics: Arc<ServerMetrics>,
+    stop: Arc<AtomicBool>,
+    wake_rx: UnixStream,
+    /// Sockets the acceptor assigned to this shard, not yet admitted
+    /// into `conns`.
+    intake: Arc<Mutex<Vec<TcpStream>>>,
+    job_tx: mpsc::SyncSender<Job>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    poller: Poller,
+    conns: HashMap<u64, Conn>,
+    next_id: u64,
+    /// Connection ids whose interest may have changed since the last
+    /// [`Shard::sync_interest`]. Duplicates are fine (an unchanged
+    /// interest re-submission is a poller no-op); ids of connections
+    /// closed in the meantime are skipped.
+    dirty: Vec<u64>,
+}
+
+impl Shard {
+    fn run(mut self) {
+        if self
+            .poller
+            .register(WAKE_TOKEN, self.wake_rx.as_raw_fd(), true, false)
+            .is_err()
+        {
+            self.teardown();
+            return;
+        }
+        let mut events: Vec<Event> = Vec::new();
+        while !self.stop.load(Ordering::SeqCst) {
             let timeout = self.next_deadline_ms();
-            if poll_wait(&mut fds, timeout).is_err() {
-                break; // unrecoverable poll failure; shut the transport
+            if self.poller.wait(timeout, &mut events).is_err() {
+                break; // unrecoverable backend failure; shut the shard
             }
             self.metrics.wakeups.fetch_add(1, Ordering::Relaxed);
+            let per_shard = &self.metrics.shards[self.idx];
+            per_shard.wakeups.fetch_add(1, Ordering::Relaxed);
+            per_shard
+                .interest_ops
+                .store(self.poller.interest_ops(), Ordering::Relaxed);
             if self.stop.load(Ordering::SeqCst) {
                 break;
             }
 
             let now = Instant::now();
-            // Connection events (including peers that just closed) are
-            // processed before the listener, so budget freed by a FIN in
-            // this same readiness batch is available to admissions.
-            let mut accept_pending = false;
-            for (slot, token) in fds.iter().zip(&tokens) {
-                match token {
-                    Token::Wake => {
-                        if slot.revents & POLLIN != 0 {
-                            self.drain_wake_pipe();
-                        }
+            for ev in events.drain(..) {
+                if ev.token == WAKE_TOKEN {
+                    if ev.readable {
+                        self.drain_wake_pipe();
                     }
-                    Token::Listener => accept_pending = slot.revents & POLLIN != 0,
-                    Token::Conn(id) => self.service_conn(*id, slot.revents, now),
+                    continue;
                 }
+                self.service_conn(ev, now);
             }
             // Completions are drained every wakeup, whatever woke us:
             // a missed wake byte can never strand a finished response.
@@ -319,16 +466,45 @@ impl Reactor {
             // Streaming workers signal new chunks with a wake byte only;
             // pump every live stream on every wakeup so none strands.
             self.pump_streams(now);
-            if accept_pending {
-                self.accept_ready(now);
-            }
+            self.admit_intake(now);
             self.expire_deadlines(now);
+            self.sync_interest();
         }
+        self.teardown();
+    }
+
+    /// Drain open connections and hand their budget back, one by one —
+    /// sibling shards may still be mid-drain, so no global reset.
+    fn teardown(&mut self) {
         for (_, conn) in self.conns.drain() {
+            if let Some(handle) = &conn.body_stream {
+                // Unpin the producing worker: flag the plan cancelled;
+                // the receiver drop below unblocks a parked `send`.
+                handle.cancel.store(true, Ordering::SeqCst);
+            }
             conn.shutdown();
+            self.metrics.open.fetch_sub(1, Ordering::SeqCst);
+            self.metrics.shards[self.idx]
+                .open
+                .fetch_sub(1, Ordering::SeqCst);
         }
-        self.metrics.open.store(0, Ordering::SeqCst);
-        // Dropping `job_tx` lets the workers drain the queue and exit.
+        // Sockets handed off but never admitted still hold budget the
+        // acceptor charged at handoff: release them too.
+        let stranded: Vec<TcpStream> = std::mem::take(
+            &mut *self
+                .intake
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for stream in stranded {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            self.metrics.open.fetch_sub(1, Ordering::SeqCst);
+            self.metrics.shards[self.idx]
+                .open
+                .fetch_sub(1, Ordering::SeqCst);
+        }
+        // Dropping `job_tx` (with the other shards) lets the worker
+        // pool drain the queue and exit.
     }
 
     /// Milliseconds until the soonest connection deadline (`None` = no
@@ -368,53 +544,66 @@ impl Reactor {
         while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
     }
 
-    fn accept_ready(&mut self, now: Instant) {
-        let budget = self.cfg.budget();
-        loop {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    self.metrics.accepted.fetch_add(1, Ordering::Relaxed);
-                    if self.conns.len() >= budget {
-                        // Shedding writes a tiny fixed response; do it
-                        // blocking (with a short timeout) for simplicity.
-                        let _ = stream.set_nonblocking(false);
-                        shed(stream, self.cfg.retry_after_secs, &self.metrics);
-                        continue;
-                    }
-                    if stream.set_nonblocking(true).is_err() {
-                        continue;
-                    }
-                    let id = self.next_id;
-                    self.next_id += 1;
-                    self.conns.insert(id, Conn::new(stream, now));
-                    self.metrics.open.fetch_add(1, Ordering::SeqCst);
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                // Transient accept failures (ECONNABORTED, EMFILE):
-                // leave the listener registered and retry next wakeup.
-                Err(_) => break,
+    /// Take ownership of sockets the acceptor queued for this shard.
+    fn admit_intake(&mut self, now: Instant) {
+        let fresh: Vec<TcpStream> = std::mem::take(
+            &mut *self
+                .intake
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for stream in fresh {
+            let id = self.next_id;
+            self.next_id += 1;
+            let conn = Conn::new(stream, now);
+            let (read, write) = conn.interest();
+            if self
+                .poller
+                .register(id, conn.stream.as_raw_fd(), read, write)
+                .is_err()
+            {
+                // Registration failure (fd pressure): a failed
+                // admission, not a poisoned shard.
+                conn.shutdown();
+                self.metrics.open.fetch_sub(1, Ordering::SeqCst);
+                self.metrics.shards[self.idx]
+                    .open
+                    .fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            self.conns.insert(id, conn);
+        }
+    }
+
+    /// Re-submit the interest of every connection touched this
+    /// iteration. Under epoll only actual changes cost a syscall; under
+    /// poll this just updates the user-space slot table.
+    fn sync_interest(&mut self) {
+        while let Some(id) = self.dirty.pop() {
+            if let Some(conn) = self.conns.get(&id) {
+                let (read, write) = conn.interest();
+                self.poller.set_interest(id, read, write);
             }
         }
     }
 
-    /// React to poll events on one connection.
-    fn service_conn(&mut self, id: u64, revents: c_short, now: Instant) {
-        if revents == 0 {
-            return;
-        }
+    /// React to readiness events on one connection.
+    fn service_conn(&mut self, ev: Event, now: Instant) {
+        let id = ev.token;
+        self.dirty.push(id);
         let Some(conn) = self.conns.get_mut(&id) else {
             return;
         };
         let streaming = conn.body_stream.is_some();
-        // During a stream, POLLHUP means the peer is gone: further
+        // During a stream, a hangup means the peer is gone: further
         // chunks are wasted work, so abort immediately (close() flips
         // the producer's cancel flag) instead of waiting for a write to
         // fail.
-        if revents & (POLLERR | POLLNVAL) != 0 || (streaming && revents & POLLHUP != 0) {
+        if ev.error || (streaming && ev.hangup) {
             self.close(id);
             return;
         }
-        if revents & POLLOUT != 0 && conn.wants_write() {
+        if ev.writable && conn.wants_write() {
             match conn.try_write() {
                 Ok(true) => {
                     if conn.state == ConnState::Closing {
@@ -439,7 +628,7 @@ impl Reactor {
                 }
             }
         }
-        if revents & POLLIN != 0 && conn.wants_read() {
+        if ev.readable && conn.wants_read() {
             match conn.read_available() {
                 Ok(peer_closed) => {
                     if peer_closed {
@@ -466,7 +655,7 @@ impl Reactor {
                 }
                 Err(_) => self.close(id),
             }
-        } else if revents & POLLHUP != 0 && !conn.wants_write() {
+        } else if ev.hangup && !conn.wants_write() {
             // Peer hung up while we owe it nothing (e.g. mid-handler):
             // drop now; the eventual completion is discarded harmlessly.
             self.close(id);
@@ -507,7 +696,12 @@ impl Reactor {
                     // a cap slot) vs shed (it does not).
                     let keep_served = connection_persists(&request, &self.cfg, conn.served + 1);
                     let keep_shed = connection_persists(&request, &self.cfg, conn.served);
-                    match self.job_tx.try_send((id, *request)) {
+                    let job = Job {
+                        shard: self.idx,
+                        conn: id,
+                        request: *request,
+                    };
+                    match self.job_tx.try_send(job) {
                         Ok(()) => {
                             conn.served += 1;
                             conn.state = ConnState::InFlight { keep: keep_served };
@@ -587,14 +781,20 @@ impl Reactor {
         );
         for completion in done {
             match completion {
-                Completion::Response(id, response) => self.apply_response(id, response, now),
+                Completion::Response(id, response) => {
+                    self.dirty.push(id);
+                    self.apply_response(id, response, now);
+                }
                 Completion::StreamStart {
                     id,
                     status,
                     content_type,
                     rx,
                     cancel,
-                } => self.start_stream(id, status, &content_type, rx, cancel, now),
+                } => {
+                    self.dirty.push(id);
+                    self.start_stream(id, status, &content_type, rx, cancel, now);
+                }
             }
         }
     }
@@ -672,6 +872,7 @@ impl Reactor {
             .map(|(&id, _)| id)
             .collect();
         for id in streaming {
+            self.dirty.push(id);
             self.pump_stream(id, now);
         }
     }
@@ -725,6 +926,7 @@ impl Reactor {
                 }
             }
         }
+        self.dirty.push(id);
         if resume_keepalive {
             // The stream ended cleanly on a persistent connection: a
             // pipelined successor may already be buffered.
@@ -766,6 +968,7 @@ impl Reactor {
                     false,
                     now,
                 );
+                self.dirty.push(id);
                 self.flush(id);
             }
         }
@@ -785,7 +988,7 @@ impl Reactor {
         }
         match conn.try_write() {
             Ok(true) if conn.state == ConnState::Closing => self.close(id),
-            Ok(_) => {} // drained or would-block; poll handles the rest
+            Ok(_) => {} // drained or would-block; poller handles the rest
             Err(_) => self.close(id),
         }
     }
@@ -800,8 +1003,12 @@ impl Reactor {
                 handle.cancel.store(true, Ordering::SeqCst);
                 self.metrics.streams_aborted.fetch_add(1, Ordering::Relaxed);
             }
+            self.poller.deregister(id);
             conn.shutdown();
             self.metrics.open.fetch_sub(1, Ordering::SeqCst);
+            self.metrics.shards[self.idx]
+                .open
+                .fetch_sub(1, Ordering::SeqCst);
         }
     }
 }

@@ -11,13 +11,15 @@ use coin_server::{start_server_with, ServerConfig};
 
 #[path = "support/load.rs"]
 mod load;
+#[path = "support/transport.rs"]
+mod support;
 
-use load::{run_load, LoadConfig, Workload};
+use load::{expected_requests, run_load, run_mixed_fleet, LoadConfig, Workload};
 
 fn server(workers: usize) -> coin_server::ServerHandle {
     start_server_with(
         Arc::new(figure2_system()),
-        "127.0.0.1:0",
+        support::EPHEMERAL,
         ServerConfig {
             workers,
             ..ServerConfig::default()
@@ -35,6 +37,7 @@ fn keep_alive_load_completes_without_errors() {
         keep_alive: true,
         workload: Workload::QueryMix,
         seed: 42,
+        skew: 0,
         time_limit: Duration::from_secs(30),
     };
     let report = run_load(server.addr, &cfg);
@@ -58,6 +61,7 @@ fn per_request_mode_opens_a_connection_per_request() {
         keep_alive: false,
         workload: Workload::QueryMix,
         seed: 42,
+        skew: 0,
         time_limit: Duration::from_secs(30),
     };
     let report = run_load(server.addr, &cfg);
@@ -78,6 +82,7 @@ fn identical_configs_issue_identical_request_sequences() {
         keep_alive: true,
         workload: Workload::QueryMix,
         seed: 7,
+        skew: 0,
         time_limit: Duration::from_secs(30),
     };
     let a = run_load(server.addr, &cfg);
@@ -109,10 +114,66 @@ fn time_limit_bounds_the_run() {
         keep_alive: true,
         workload: Workload::Stats,
         seed: 1,
+        skew: 0,
         time_limit: Duration::ZERO,
     };
     let report = run_load(server.addr, &cfg);
     assert_eq!(report.timed_out, 15, "{report:?}");
     assert_eq!(report.requests_issued(), 0);
+    server.stop();
+}
+
+#[test]
+fn skewed_hot_fleet_over_an_idle_fleet_completes_unshed_and_deterministic() {
+    // The C10k shape at test scale: an idle fleet 8× the worker pool
+    // parked across 4 shards, with a seeded *skewed* hot mix running
+    // over it — some clients issue 4× the volume of others. Everything
+    // completes (zero shed, zero errors), no parked socket is lost, and
+    // the whole run is a pure function of the seed.
+    const WORKERS: usize = 4;
+    let server = start_server_with(
+        Arc::new(figure2_system()),
+        support::EPHEMERAL,
+        ServerConfig {
+            workers: WORKERS,
+            reactor_shards: 4,
+            idle_timeout: Duration::from_secs(300),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let cfg = LoadConfig {
+        clients: 6,
+        requests_per_client: 8,
+        keep_alive: true,
+        workload: Workload::QueryMix,
+        seed: 11,
+        skew: 4,
+        time_limit: Duration::from_secs(30),
+    };
+    // Skew must actually skew: the per-client multipliers make the total
+    // exceed the uniform volume for this seed.
+    let expected = expected_requests(&cfg);
+    assert!(
+        expected > (cfg.clients * cfg.requests_per_client) as u64,
+        "seed 11 produces no hot clients ({expected} requests)"
+    );
+
+    let a = run_mixed_fleet(server.addr, 8 * WORKERS, &cfg);
+    assert_eq!(a.hot.ok, expected, "{a:?}");
+    assert_eq!(a.hot.shed, 0, "nothing may be shed: {a:?}");
+    assert_eq!(a.hot.errors, 0, "{a:?}");
+    assert_eq!(a.hot.timed_out, 0, "{a:?}");
+    assert_eq!(a.hot.connects, cfg.clients as u64, "{a:?}");
+    assert_eq!(
+        a.idle_reconnects, 0,
+        "the hot fleet cost parked sockets their lives: {a:?}"
+    );
+
+    // Same seed, same traffic — byte-identical request streams.
+    let b = run_mixed_fleet(server.addr, 8 * WORKERS, &cfg);
+    assert_eq!(a.hot.ops_checksum, b.hot.ops_checksum, "{a:?} vs {b:?}");
+    assert_eq!(b.hot.ok, expected);
+    assert_eq!(b.idle_reconnects, 0);
     server.stop();
 }

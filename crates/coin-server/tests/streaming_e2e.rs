@@ -2,6 +2,10 @@
 //! operator pipeline — byte-identical to the materialized path, capped
 //! by row/byte limits, and aborted (plan cancelled, worker freed) when
 //! the client disconnects mid-stream.
+//!
+//! The byte-identity contract runs over the full transport conformance
+//! matrix and the mid-stream-abort contract over every reactor backend ×
+//! shard count (see `support/transport.rs`).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -14,6 +18,11 @@ use coin_rel::{Catalog, ColumnType, Schema, Table, Value};
 use coin_server::http::HttpClient;
 use coin_server::{start_server_with, Connection, ServerConfig, ServerHandle, Transport};
 use coin_wrapper::RelationalSource;
+
+#[path = "support/transport.rs"]
+mod support;
+
+use support::{full_matrix, reactor_matrix, EPHEMERAL};
 
 const BULK_SQL: &str = "SELECT big.id, big.payload FROM big";
 
@@ -38,43 +47,52 @@ fn bulk_system(rows: usize) -> CoinSystem {
 }
 
 fn start_bulk(rows: usize, config: ServerConfig) -> ServerHandle {
-    start_server_with(Arc::new(bulk_system(rows)), "127.0.0.1:0", config).unwrap()
+    start_server_with(Arc::new(bulk_system(rows)), EPHEMERAL, config).unwrap()
 }
 
 #[test]
 fn chunked_and_whole_naive_bodies_are_byte_identical() {
-    let server = start_bulk(5_000, ServerConfig::default());
-    let mut client = HttpClient::new(server.addr);
-    let streamed = client
-        .send(
-            "POST",
-            "/query",
-            Some("application/json"),
-            format!("{{\"sql\":\"{BULK_SQL}\",\"mode\":\"naive\"}}").as_bytes(),
-        )
-        .unwrap();
-    assert_eq!(streamed.status, 200);
-    assert_eq!(
-        streamed
-            .headers
-            .get("transfer-encoding")
-            .map(String::as_str),
-        Some("chunked")
-    );
-    let whole = client
-        .send(
-            "POST",
-            "/query",
-            Some("application/json"),
-            format!("{{\"sql\":\"{BULK_SQL}\",\"mode\":\"naive\",\"stream\":false}}").as_bytes(),
-        )
-        .unwrap();
-    assert_eq!(whole.status, 200);
-    assert!(whole.headers.contains_key("content-length"));
-    // The incremental writer and the materialized writer are independent
-    // code paths; the documents they produce must match byte for byte.
-    assert_eq!(streamed.body, whole.body);
-    server.stop();
+    // Byte identity is a cross-transport contract: the chunked document
+    // must not vary with the writer driving it (blocking thread, poll
+    // loop, epoll loop, any shard count).
+    for case in full_matrix() {
+        let server = start_bulk(5_000, case.apply(ServerConfig::default()));
+        let mut client = HttpClient::new(server.addr);
+        let streamed = client
+            .send(
+                "POST",
+                "/query",
+                Some("application/json"),
+                format!("{{\"sql\":\"{BULK_SQL}\",\"mode\":\"naive\"}}").as_bytes(),
+            )
+            .unwrap();
+        assert_eq!(streamed.status, 200);
+        assert_eq!(
+            streamed
+                .headers
+                .get("transfer-encoding")
+                .map(String::as_str),
+            Some("chunked"),
+            "[{}]",
+            case.name
+        );
+        let whole = client
+            .send(
+                "POST",
+                "/query",
+                Some("application/json"),
+                format!("{{\"sql\":\"{BULK_SQL}\",\"mode\":\"naive\",\"stream\":false}}")
+                    .as_bytes(),
+            )
+            .unwrap();
+        assert_eq!(whole.status, 200);
+        assert!(whole.headers.contains_key("content-length"));
+        // The incremental writer and the materialized writer are
+        // independent code paths; the documents they produce must match
+        // byte for byte.
+        assert_eq!(streamed.body, whole.body, "[{}]", case.name);
+        server.stop();
+    }
 }
 
 #[test]
@@ -132,7 +150,7 @@ fn chunked_and_whole_mediated_bodies_are_byte_identical() {
     let fetch = |stream: bool| {
         let server = start_server_with(
             Arc::new(figure2_system()),
-            "127.0.0.1:0",
+            EPHEMERAL,
             ServerConfig::default(),
         )
         .unwrap();
@@ -274,59 +292,63 @@ fn threaded_transport_streams_and_aborts_on_disconnect() {
 fn mid_stream_disconnect_aborts_the_plan_and_frees_the_worker() {
     // One worker: if the disconnected stream's plan kept running (or its
     // producer stayed parked on the channel), the follow-up request could
-    // never be served.
-    let server = start_bulk(
-        200_000,
-        ServerConfig {
-            workers: 1,
-            transport: Transport::Reactor,
-            ..ServerConfig::default()
-        },
-    );
-    let body = format!("{{\"sql\":\"{BULK_SQL}\",\"mode\":\"naive\"}}");
-    let mut raw = TcpStream::connect(server.addr).unwrap();
-    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
-    raw.write_all(
-        format!(
-            "POST /query HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\n\r\n{body}",
-            body.len()
-        )
-        .as_bytes(),
-    )
-    .unwrap();
-    raw.flush().unwrap();
-
-    // Read far enough to prove the stream is in flight (the ~14 MB body
-    // cannot have completed into socket buffers), then vanish.
-    let mut got = 0usize;
-    let mut buf = [0u8; 8192];
-    while got < 64 * 1024 {
-        let n = raw.read(&mut buf).unwrap();
-        assert!(n > 0, "server closed the stream before the disconnect");
-        got += n;
-    }
-    drop(raw);
-
-    // The reactor observes the disconnect, cancels the plan, and counts
-    // the abort.
-    let deadline = Instant::now() + Duration::from_secs(10);
-    while server.metrics().streams_aborted == 0 {
-        assert!(
-            Instant::now() < deadline,
-            "abort never observed: {:?}",
-            server.metrics()
+    // never be served. Every reactor backend × shard count must observe
+    // the disconnect the same way.
+    for case in reactor_matrix() {
+        let server = start_bulk(
+            200_000,
+            case.apply(ServerConfig {
+                workers: 1,
+                transport: Transport::Reactor,
+                ..ServerConfig::default()
+            }),
         );
-        std::thread::sleep(Duration::from_millis(10));
-    }
-
-    // The lone worker is free again: a fresh request completes.
-    let stats = HttpClient::new(server.addr)
-        .request("GET", "/stats", None, &[])
+        let body = format!("{{\"sql\":\"{BULK_SQL}\",\"mode\":\"naive\"}}");
+        let mut raw = TcpStream::connect(server.addr).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        raw.write_all(
+            format!(
+                "POST /query HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
         .unwrap();
-    assert!(String::from_utf8_lossy(&stats).contains("cache_hits"));
-    let m = server.metrics();
-    assert_eq!(m.streams, 1);
-    assert_eq!(m.streams_aborted, 1);
-    server.stop();
+        raw.flush().unwrap();
+
+        // Read far enough to prove the stream is in flight (the ~14 MB
+        // body cannot have completed into socket buffers), then vanish.
+        let mut got = 0usize;
+        let mut buf = [0u8; 8192];
+        while got < 64 * 1024 {
+            let n = raw.read(&mut buf).unwrap();
+            assert!(n > 0, "server closed the stream before the disconnect");
+            got += n;
+        }
+        drop(raw);
+
+        // The owning shard observes the disconnect, cancels the plan,
+        // and counts the abort.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.metrics().streams_aborted == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "[{}] abort never observed: {:?}",
+                case.name,
+                server.metrics()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // The lone worker is free again: a fresh request completes.
+        let stats = HttpClient::new(server.addr)
+            .request("GET", "/stats", None, &[])
+            .unwrap();
+        assert!(String::from_utf8_lossy(&stats).contains("cache_hits"));
+        let m = server.metrics();
+        assert_eq!(m.streams, 1, "[{}] {m:?}", case.name);
+        assert_eq!(m.streams_aborted, 1, "[{}] {m:?}", case.name);
+        server.stop();
+    }
 }

@@ -49,6 +49,13 @@ pub struct LoadConfig {
     pub workload: Workload,
     /// Base seed; client `i` derives its own stream from `seed` and `i`.
     pub seed: u64,
+    /// Per-client volume skew. `0`: every client issues exactly
+    /// `requests_per_client` requests. `k > 0`: client `i` issues
+    /// `requests_per_client × m_i` where `m_i ∈ 1..=k` is drawn
+    /// deterministically from `seed` and `i` — a hot/cold mix in which
+    /// some clients hammer the server while others trickle, without
+    /// giving up run-to-run determinism.
+    pub skew: u64,
     /// Hard wall-clock bound; requests not issued by then count as
     /// `timed_out` instead of running forever.
     pub time_limit: Duration,
@@ -62,9 +69,35 @@ impl Default for LoadConfig {
             keep_alive: true,
             workload: Workload::QueryMix,
             seed: 42,
+            skew: 0,
             time_limit: Duration::from_secs(60),
         }
     }
+}
+
+/// Client `i`'s volume multiplier under `cfg.skew` — a pure function of
+/// the config, so callers can predict exact request counts.
+fn client_multiplier(cfg: &LoadConfig, client: usize) -> u64 {
+    if cfg.skew == 0 {
+        return 1;
+    }
+    // A different derivation than the op stream, so skew never perturbs
+    // which requests a client issues, only how many.
+    let mut rng = Rng::new(
+        cfg.seed
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(0x5bf0_3635 ^ client as u64),
+    );
+    1 + rng.next_u64() % cfg.skew
+}
+
+/// Exactly how many requests `run_load` will issue for `cfg` (absent a
+/// time-limit cutoff) — the zero-shed assertions compare against this.
+#[allow(dead_code)]
+pub fn expected_requests(cfg: &LoadConfig) -> u64 {
+    (0..cfg.clients)
+        .map(|c| client_multiplier(cfg, c) * cfg.requests_per_client as u64)
+        .sum()
 }
 
 /// Aggregate outcome of one load run.
@@ -159,6 +192,35 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
     report
 }
 
+/// Outcome of [`run_mixed_fleet`]: the hot traffic's report plus the
+/// idle fleet's fate.
+#[allow(dead_code)]
+#[derive(Debug)]
+pub struct MixReport {
+    /// The hot clients' aggregate outcome.
+    pub hot: LoadReport,
+    /// Idle connections that had to reconnect when pinged after the hot
+    /// run — 0 means the server kept every parked socket alive while
+    /// serving the hot fleet.
+    pub idle_reconnects: u64,
+}
+
+/// The C10k-shaped workload: park `idle_conns` established keep-alive
+/// connections, drive the configured hot load over them, then ping every
+/// parked socket to prove it survived. The idle fleet costs the server
+/// per-connection state on every shard but demands no work while the hot
+/// fleet runs.
+#[allow(dead_code)]
+pub fn run_mixed_fleet(addr: SocketAddr, idle_conns: usize, cfg: &LoadConfig) -> MixReport {
+    let mut fleet = IdleFleet::open(addr, idle_conns);
+    let hot = run_load(addr, cfg);
+    let idle_reconnects = fleet.ping_all();
+    MixReport {
+        hot,
+        idle_reconnects,
+    }
+}
+
 fn run_client(addr: SocketAddr, cfg: &LoadConfig, client: usize, deadline: Instant) -> LoadReport {
     let mut rng = Rng::new(
         cfg.seed
@@ -167,9 +229,10 @@ fn run_client(addr: SocketAddr, cfg: &LoadConfig, client: usize, deadline: Insta
     );
     let mut keep = cfg.keep_alive.then(|| HttpClient::new(addr));
     let mut report = LoadReport::default();
-    for seq in 0..cfg.requests_per_client {
+    let total = cfg.requests_per_client * client_multiplier(cfg, client) as usize;
+    for seq in 0..total {
         if Instant::now() >= deadline {
-            report.timed_out += (cfg.requests_per_client - seq) as u64;
+            report.timed_out += (total - seq) as u64;
             break;
         }
         let op = rng.next_u64();
